@@ -1,0 +1,61 @@
+"""F1 — Figure 1: the Purchasing process flowchart (model structure).
+
+Regenerates the structural content of the flowchart — activities grouped
+by subprocess, the services they interact with, and the conditional
+branch — and times model construction.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.purchasing import SUCCESS_BRANCH, build_purchasing_process
+
+
+def test_fig1_process_structure(benchmark, artifact_sink):
+    process = benchmark(build_purchasing_process)
+
+    assert len(process.activities) == 14
+    assert {s.name for s in process.services} == {
+        "Credit",
+        "Purchase",
+        "Ship",
+        "Production",
+    }
+    branch = process.branches[0]
+    assert branch.guard == "if_au"
+    assert set(branch.cases["T"]) == set(SUCCESS_BRANCH)
+
+    lines = ["Figure 1 - the Purchasing process", ""]
+    lines.append("services:")
+    for service in process.services:
+        flags = []
+        if service.asynchronous:
+            flags.append("async")
+        if service.sequential:
+            flags.append("state-aware/sequential")
+        lines.append(
+            "   %-11s ports=%s %s"
+            % (
+                service.name,
+                [p.name for p in service.all_ports],
+                " ".join(flags),
+            )
+        )
+    lines.append("")
+    lines.append("activities:")
+    for activity in process.activities:
+        port = " @%s" % activity.port.port if activity.port else ""
+        io = []
+        if activity.reads:
+            io.append("reads %s" % ",".join(sorted(activity.reads)))
+        if activity.writes:
+            io.append("writes %s" % ",".join(sorted(activity.writes)))
+        lines.append(
+            "   %-18s %-8s%s  %s"
+            % (activity.name, activity.kind.value, port, "; ".join(io))
+        )
+    lines.append("")
+    lines.append(
+        "branch on if_au: T -> {%s}; F -> {set_oi}; join replyClient_oi"
+        % ", ".join(branch.cases["T"])
+    )
+    artifact_sink("fig1_flowchart", "\n".join(lines))

@@ -1,0 +1,42 @@
+"""F2 — Figure 2: the sequencing-construct implementation and its diagnosis.
+
+The paper's Section 2 analysis of Figure 2: the sequencing
+``invProduction_po -> invProduction_ss`` is over-specified (no dependency
+requires it), while ``invPurchase_po -> invPurchase_si`` — superficially
+identical — is required by the Purchase service dependency.  The benchmark
+times the specification analysis.
+"""
+
+from __future__ import annotations
+
+from repro.constructs.specification import analyze_specification
+from repro.workloads.purchasing_constructs import build_purchasing_constructs
+
+
+def test_fig2_specification_analysis(benchmark, purchasing_result, artifact_sink):
+    tree = build_purchasing_constructs()
+
+    report = benchmark(analyze_specification, tree, purchasing_result.asc)
+
+    assert ("invProduction_po", "invProduction_ss") in report.over_specified
+    assert ("invPurchase_po", "invPurchase_si") in report.satisfied
+    assert report.under_specified == ()
+
+    lines = [
+        "Figure 2 - Purchasing implemented in sequencing constructs",
+        "",
+        str(tree),
+        "",
+        "diagnosis (vs. the translated dependency requirements):",
+        "   " + report.summary(),
+        "",
+        "over-specified orderings (lost concurrency):",
+    ]
+    for source, target in report.over_specified:
+        lines.append("   %s -> %s" % (source, target))
+    lines += [
+        "",
+        "note: invPurchase_po -> invPurchase_si is NOT over-specified -",
+        "it is imposed by the state-aware Purchase service dependency.",
+    ]
+    artifact_sink("fig2_constructs", "\n".join(lines))

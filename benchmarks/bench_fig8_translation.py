@@ -1,0 +1,59 @@
+"""F8 — Figure 8: service dependency translation (Section 4.3).
+
+Paper-checked outcomes: ``Purchase1 ->s Purchase2`` translates to
+``invPurchase_po -> invPurchase_si`` (the bold edge needing invoke-port
+contraction), the async call/reply chains bridge into invoke-before-receive
+edges, and the Production constraints vanish (no internal offspring).
+The benchmark times the translation.
+"""
+
+from __future__ import annotations
+
+from repro.core.translation import (
+    invoke_bindings_from_process,
+    translate_service_dependencies,
+)
+from repro.dscl.compiler import compile_dependencies
+
+EXPECTED_BOLD_EDGES = {
+    "invCredit_po -> recCredit_au",
+    "invPurchase_po -> invPurchase_si",
+    "invPurchase_po -> recPurchase_oi",
+    "invPurchase_si -> recPurchase_oi",
+    "invShip_po -> recShip_si",
+    "invShip_po -> recShip_ss",
+}
+
+
+def test_fig8_service_translation(benchmark, purchasing, artifact_sink):
+    process, dependencies = purchasing
+    merged = compile_dependencies(process, dependencies).sc
+    bindings = invoke_bindings_from_process(process)
+
+    result = benchmark(translate_service_dependencies, merged, bindings)
+
+    assert {str(c) for c in result.bridged} == EXPECTED_BOLD_EDGES
+    assert len(result.asc) == 30
+    assert not result.asc.has_constraint("invProduction_po", "invProduction_ss")
+
+    lines = [
+        "Figure 8 - dependency translation on service dependencies",
+        "",
+        "translated (bold) edges:",
+    ]
+    for edge in sorted(map(str, result.bridged)):
+        lines.append("   %s" % edge)
+    lines.append("")
+    lines.append("dropped constraints (touched external ports):")
+    for constraint in sorted(map(str, result.dropped)):
+        lines.append("   %s" % constraint)
+    lines += [
+        "",
+        "Production's service constraints vanish entirely: its ports have",
+        "no internal offspring, so no ordering between invProduction_po and",
+        "invProduction_ss is invented (Figure 2 over-specified exactly this).",
+        "",
+        "resulting ASC: %d constraints over internal activities only"
+        % len(result.asc),
+    ]
+    artifact_sink("fig8_translation", "\n".join(lines))

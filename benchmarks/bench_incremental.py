@@ -1,0 +1,85 @@
+"""S6 — incremental evolution: adding a constraint to a minimal set vs.
+re-minimizing from scratch.
+
+The paper's adaptability story made quantitative: on an already-minimal
+set, adding one dependency touches only the constraints bridging the new
+edge's ancestors to its descendants.  Covered additions are detected
+without modifying anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.closure import Semantics
+from repro.core.constraints import Constraint
+from repro.core.equivalence import transitive_equivalent
+from repro.core.incremental import add_constraint_incremental
+from repro.core.minimize import minimize
+from repro.core.pipeline import DSCWeaver
+from repro.workloads.synthetic import SyntheticSpec, generate_dependency_set
+
+
+@pytest.fixture(scope="module")
+def big_minimal():
+    process, dependencies = generate_dependency_set(
+        SyntheticSpec(n_activities=80, n_services=4, n_branches=2, coop_density=0.8, seed=9)
+    )
+    result = DSCWeaver().weave(process, dependencies)
+    return result.minimal
+
+
+def test_incremental_add_new_requirement(benchmark, big_minimal, artifact_sink):
+    activities = big_minimal.activities
+    new = Constraint(activities[3], activities[-2])
+
+    result = benchmark(
+        add_constraint_incremental, big_minimal, new, Semantics.GUARD_AWARE
+    )
+
+    reference = big_minimal.copy()
+    reference.add(new)
+    assert transitive_equivalent(result, reference, Semantics.GUARD_AWARE)
+    artifact_sink(
+        "s6_incremental_add",
+        "S6 incremental addition on n=80 minimal set (%d constraints)\n"
+        "result: %d constraints, equivalent to full re-minimization"
+        % (len(big_minimal), len(result)),
+    )
+
+
+def test_incremental_add_covered_is_noop(benchmark, big_minimal, artifact_sink):
+    # Pick a covered ordering: any 2-step transitive pair.
+    graph = big_minimal.as_graph()
+    covered = None
+    for constraint in big_minimal.constraints:
+        for successor in graph.successors(constraint.target):
+            covered = Constraint(constraint.source, successor)
+            break
+        if covered:
+            break
+    assert covered is not None
+
+    result = benchmark(
+        add_constraint_incremental, big_minimal, covered, Semantics.GUARD_AWARE
+    )
+    assert result is big_minimal
+    artifact_sink(
+        "s6_incremental_noop",
+        "S6 covered addition detected as no-op (set object returned unchanged)",
+    )
+
+
+def test_full_reminimization_baseline(benchmark, big_minimal, artifact_sink):
+    activities = big_minimal.activities
+    new = Constraint(activities[3], activities[-2])
+    grown = big_minimal.copy()
+    grown.add(new)
+
+    result = benchmark(minimize, grown, Semantics.GUARD_AWARE)
+    assert transitive_equivalent(result, grown, Semantics.GUARD_AWARE)
+    artifact_sink(
+        "s6_full_baseline",
+        "S6 full re-minimization baseline: %d -> %d constraints"
+        % (len(grown), len(result)),
+    )

@@ -1,0 +1,91 @@
+"""S4 — Petri-net validation cost and outcomes.
+
+Times the constraint-set -> workflow-net translation plus the full
+behavioral soundness check (reachability-graph exploration) on each paper
+workload and on growing synthetic processes.  Every woven minimal set must
+validate sound; the purchasing state space has 166 reachable markings and
+is identical for the full and minimal sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.petri.from_constraints import constraint_set_to_petri_net
+from repro.petri.soundness import check_soundness
+from repro.workloads.loan import build_loan_process, loan_cooperation
+from repro.workloads.synthetic import SyntheticSpec, generate_dependency_set
+from repro.workloads.travel import build_travel_process, travel_cooperation
+
+
+def _validate(sc):
+    net, _marking = constraint_set_to_petri_net(sc)
+    return check_soundness(net)
+
+
+def test_petri_validation_purchasing(benchmark, purchasing_result, artifact_sink):
+    report = benchmark(_validate, purchasing_result.minimal)
+    assert report.is_sound
+    assert report.reachable_markings == 166
+
+    full_report = _validate(purchasing_result.asc)
+    artifact_sink(
+        "s4_petri_purchasing",
+        "S4 Petri validation (Purchasing)\n"
+        "minimal: sound=%s, markings=%d\n"
+        "full:    sound=%s, markings=%d (identical behavior)"
+        % (
+            report.is_sound,
+            report.reachable_markings,
+            full_report.is_sound,
+            full_report.reachable_markings,
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "name,builder,cooperation",
+    [
+        ("loan", build_loan_process, loan_cooperation),
+        ("travel", build_travel_process, travel_cooperation),
+    ],
+)
+def test_petri_validation_workloads(benchmark, name, builder, cooperation, artifact_sink):
+    process = builder()
+    result = DSCWeaver().weave(
+        process,
+        extract_all_dependencies(process, cooperation=cooperation(process).dependencies),
+    )
+    report = benchmark(_validate, result.minimal)
+    assert report.is_sound
+    artifact_sink(
+        "s4_petri_%s" % name,
+        "S4 Petri validation (%s): sound=%s, markings=%d, constraints=%d"
+        % (name, report.is_sound, report.reachable_markings, len(result.minimal)),
+    )
+
+
+@pytest.mark.parametrize("n_activities", [14, 18])
+def test_petri_validation_synthetic(benchmark, n_activities, artifact_sink):
+    """Exhaustive soundness checking is exponential in the process's genuine
+    parallelism, so the synthetic sweep stays at sizes whose full state
+    space fits the explorer; dense cooperation keeps interleavings bounded."""
+    process, dependencies = generate_dependency_set(
+        SyntheticSpec(
+            n_activities=n_activities,
+            n_services=2,
+            n_branches=1,
+            branch_width=4,
+            coop_density=1.2,
+            seed=5,
+        )
+    )
+    result = DSCWeaver().weave(process, dependencies)
+    report = benchmark(_validate, result.minimal)
+    assert report.is_sound
+    artifact_sink(
+        "s4_petri_synthetic_%d" % n_activities,
+        "S4 Petri validation (synthetic n=%d): sound=%s, markings=%d"
+        % (n_activities, report.is_sound, report.reachable_markings),
+    )

@@ -1,0 +1,74 @@
+"""S1 — minimization cost scaling: naive Definition-6 loop vs. the
+ancestor-pruned fast algorithm, over synthetic processes of growing size.
+
+Both algorithms produce identical minimal sets (property-tested); the fast
+one prunes the equivalence check to the removed edge's source and its
+ancestors and pre-filters with a single-source closure test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.closure import Semantics
+from repro.core.minimize import minimize_fast, minimize_naive
+from repro.core.pipeline import DSCWeaver
+from repro.workloads.synthetic import SyntheticSpec, generate_dependency_set
+
+SIZES = [40, 80, 120]
+
+
+def _translated_asc(n_activities: int):
+    from repro.core.translation import (
+        invoke_bindings_from_process,
+        translate_service_dependencies,
+    )
+    from repro.dscl.compiler import compile_dependencies
+
+    process, dependencies = generate_dependency_set(
+        SyntheticSpec(
+            n_activities=n_activities,
+            n_services=4,
+            n_branches=2,
+            coop_density=0.8,
+            seed=42,
+        )
+    )
+    merged = compile_dependencies(process, dependencies).sc
+    return translate_service_dependencies(
+        merged, invoke_bindings_from_process(process)
+    ).asc
+
+
+@pytest.fixture(scope="module")
+def translated_sets():
+    return {n: _translated_asc(n) for n in SIZES}
+
+
+@pytest.mark.benchmark(min_rounds=3, max_time=1.0)
+@pytest.mark.parametrize("n_activities", SIZES)
+def test_scaling_minimize_fast(benchmark, translated_sets, n_activities, artifact_sink):
+    asc = translated_sets[n_activities]
+    minimal = benchmark(minimize_fast, asc, Semantics.GUARD_AWARE)
+    assert len(minimal) <= len(asc)
+    artifact_sink(
+        "s1_scaling_fast_%d" % n_activities,
+        "S1 fast minimizer, n=%d activities: %d -> %d constraints"
+        % (n_activities, len(asc), len(minimal)),
+    )
+
+
+@pytest.mark.benchmark(min_rounds=3, max_time=1.0)
+@pytest.mark.parametrize("n_activities", SIZES[:2])
+def test_scaling_minimize_naive(
+    benchmark, translated_sets, n_activities, artifact_sink
+):
+    asc = translated_sets[n_activities]
+    minimal = benchmark(minimize_naive, asc, Semantics.GUARD_AWARE)
+    fast = minimize_fast(asc, Semantics.GUARD_AWARE)
+    assert set(minimal.constraints) == set(fast.constraints)
+    artifact_sink(
+        "s1_scaling_naive_%d" % n_activities,
+        "S1 naive minimizer, n=%d activities: %d -> %d constraints "
+        "(identical set to fast)" % (n_activities, len(asc), len(minimal)),
+    )

@@ -1,0 +1,48 @@
+"""Shared fixtures and the artifact sink for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or one of
+the extension experiments in DESIGN.md).  Besides timing the relevant
+pipeline stage with ``pytest-benchmark``, each bench writes its artifact —
+the rows/series the paper reports — to ``benchmarks/artifacts/<name>.txt``
+so the reproduction can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.workloads.purchasing import (
+    build_purchasing_process,
+    purchasing_cooperation_dependencies,
+)
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_sink():
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = ARTIFACT_DIR / ("%s.txt" % name)
+        path.write_text(text.rstrip() + "\n", encoding="utf-8")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def purchasing():
+    process = build_purchasing_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=purchasing_cooperation_dependencies(process)
+    )
+    return process, dependencies
+
+
+@pytest.fixture(scope="session")
+def purchasing_result(purchasing):
+    process, dependencies = purchasing
+    return DSCWeaver().weave(process, dependencies)

@@ -1,0 +1,87 @@
+"""Quickstart: weave the paper's Purchasing process end to end.
+
+Reproduces, in one script, the whole vertical flow of the paper on its
+running example:
+
+1. build the process model (Figure 1);
+2. extract and categorize all four dependency dimensions (Table 1);
+3. merge them into DSCL synchronization constraints (Figure 7);
+4. translate service dependencies onto internal activities (Figure 8);
+5. minimize (Figure 9 / Table 2: 40 -> 17 constraints, 23 removed);
+6. validate through Petri-net soundness;
+7. emit BPEL and execute both branches in the simulator.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DSCWeaver, extract_all_dependencies
+from repro.petri.soundness import check_soundness
+from repro.scheduler.engine import ConstraintScheduler
+from repro.scheduler.metrics import max_concurrency
+from repro.workloads.purchasing import (
+    build_purchasing_process,
+    purchasing_cooperation_dependencies,
+)
+
+
+def main() -> None:
+    # 1-2. The process model and its categorized dependencies.
+    process = build_purchasing_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=purchasing_cooperation_dependencies(process)
+    )
+    print("=== Table 1: categorized dependencies ===")
+    print(dependencies.as_table())
+    print()
+
+    # 3-5. Merge, translate, minimize.
+    result = DSCWeaver().weave(process, dependencies)
+    print("=== Table 2: reduction report ===")
+    print(result.report.as_table())
+    print()
+
+    print("=== Figure 8: translated service constraints (bold edges) ===")
+    for constraint in result.translation.bridged:
+        print("   ", constraint)
+    print()
+
+    print("=== Figure 9: the minimal synchronization constraint set ===")
+    for constraint in sorted(result.minimal.constraints):
+        print("   ", constraint)
+    print()
+
+    # 6. Petri-net validation.
+    net, _marking = result.to_petri_net()
+    report = check_soundness(net)
+    print(
+        "Petri-net validation: workflow net=%s, sound=%s, %d reachable markings"
+        % (report.is_workflow_net, report.is_sound, report.reachable_markings)
+    )
+    print()
+
+    # 7. Execute both authorization outcomes.
+    for outcome in ("T", "F"):
+        run = ConstraintScheduler(process, result.minimal).run(
+            outcomes={"if_au": outcome}
+        )
+        print(
+            "execution with if_au=%s: makespan=%.1f, peak concurrency=%d, "
+            "constraint checks=%d, skipped=%d"
+            % (
+                outcome,
+                run.makespan,
+                max_concurrency(run.trace),
+                run.constraint_checks,
+                len(run.trace.skipped()),
+            )
+        )
+
+    # The generated BPEL is what a real engine would deploy.
+    print()
+    print("BPEL output: %d characters (see result.to_bpel())" % len(result.to_bpel()))
+
+
+if __name__ == "__main__":
+    main()

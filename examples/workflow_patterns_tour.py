@@ -1,0 +1,128 @@
+"""A tour of the workflow patterns expressible in DSCL (Section 4.1).
+
+The paper claims DSCL covers "sequence, parallel split, synchronization,
+interleave parallel routing, and milestone".  This script builds each
+pattern with :mod:`repro.dscl.patterns`, compiles it, runs it in the
+scheduling engine and prints the observed behavior.
+
+Run with::
+
+    python examples/workflow_patterns_tour.py
+"""
+
+from repro.dscl.ast import Program
+from repro.dscl.compiler import compile_program
+from repro.dscl.patterns import (
+    exclusive_choice,
+    interleaved_parallel_routing,
+    milestone,
+    parallel_split,
+    sequence,
+    simple_merge,
+    synchronization,
+)
+from repro.dscl.printer import to_text
+from repro.model.builder import ProcessBuilder
+from repro.scheduler.engine import ConstraintScheduler
+from repro.scheduler.metrics import max_concurrency
+
+
+def run(title, process, statements, outcomes=None):
+    program = Program(list(statements))
+    compiled = compile_program(
+        program, activities=[a.name for a in process.activities]
+    )
+    sc = compiled.sc.with_guards(compiled.sc.derive_guards_from_constraints())
+    scheduler = ConstraintScheduler(
+        process,
+        sc,
+        fine_grained=compiled.fine_grained,
+        exclusives=compiled.exclusives,
+    )
+    result = scheduler.run(outcomes=outcomes)
+    print("== %s ==" % title)
+    print(to_text(program, include_provenance=False), end="")
+    print(
+        "-> makespan=%.1f, peak concurrency=%d"
+        % (result.makespan, max_concurrency(result.trace))
+    )
+    for record in result.trace.executed():
+        print("   %5.1f .. %5.1f  %s" % (record.start, record.finish, record.name))
+    skipped = result.trace.skipped()
+    if skipped:
+        print("   skipped: %s" % ", ".join(skipped))
+    print()
+    return result
+
+
+def main() -> None:
+    # WP-1 Sequence.
+    process = ProcessBuilder("seq").compute("a").compute("b").compute("c").build()
+    run("sequence", process, sequence(["a", "b", "c"]))
+
+    # WP-2/WP-3 Parallel split + synchronization (fork/join diamond).
+    process = (
+        ProcessBuilder("diamond")
+        .compute("split")
+        .compute("left")
+        .compute("right")
+        .compute("join")
+        .build()
+    )
+    run(
+        "parallel split + synchronization",
+        process,
+        parallel_split("split", ["left", "right"])
+        + synchronization(["left", "right"], "join"),
+    )
+
+    # WP-4/WP-5 Exclusive choice + simple merge.
+    process = (
+        ProcessBuilder("xor")
+        .receive("start", writes=["v"])
+        .guard("decide", reads=["v"])
+        .compute("approve")
+        .compute("reject")
+        .compute("archive")
+        .build()
+    )
+    run(
+        "exclusive choice + simple merge (decide=F)",
+        process,
+        sequence(["start", "decide"])
+        + exclusive_choice("decide", [("T", "approve"), ("F", "reject")])
+        + simple_merge(["approve", "reject"], "archive"),
+        outcomes={"decide": "F"},
+    )
+
+    # WP-17 Interleaved parallel routing.
+    process = (
+        ProcessBuilder("interleave")
+        .compute("auditA", duration=2.0)
+        .compute("auditB", duration=2.0)
+        .compute("auditC", duration=2.0)
+        .build()
+    )
+    run(
+        "interleaved parallel routing (never concurrent, any order)",
+        process,
+        interleaved_parallel_routing(["auditA", "auditB", "auditC"]),
+    )
+
+    # WP-18 Milestone: the survey must start while the order is closing —
+    # the paper's collectSurvey/closeOrder fine-granularity example.
+    process = (
+        ProcessBuilder("milestone")
+        .compute("closeOrder", duration=5.0)
+        .compute("collectSurvey", duration=1.0)
+        .build()
+    )
+    run(
+        "milestone (collectSurvey within closeOrder's life span)",
+        process,
+        milestone("closeOrder", "collectSurvey"),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of *Categorization and Optimization of
+Synchronization Dependencies in Business Processes* (Wu, Pu, Sahai, Barga;
+ICDE 2007).
+
+Public API quickstart::
+
+    from repro import DSCWeaver, ProcessBuilder
+
+    process = (
+        ProcessBuilder("demo")
+        .service("Svc", asynchronous=True)
+        .receive("intake", writes=["x"])
+        .invoke("call", service="Svc", reads=["x"])
+        .receive("answer", service="Svc", writes=["y"])
+        .reply("reply", reads=["y"])
+        .build()
+    )
+    result = DSCWeaver().weave(process)
+    print(result.report.as_table())
+    print(result.minimal.pretty())
+
+Subsystem map (see DESIGN.md for the full inventory):
+
+* ``repro.model`` — processes, activities, services, ports;
+* ``repro.deps`` — the four dependency dimensions and their extractors;
+* ``repro.dscl`` — the DSCL constraint language (parser, printer, compiler);
+* ``repro.core`` — merge, service translation, minimization, pipeline;
+* ``repro.constructs`` — BPEL-style sequencing constructs (the baseline);
+* ``repro.petri`` — Petri-net validation backend;
+* ``repro.bpel`` — BPEL emission and parsing;
+* ``repro.wscl`` — WSCL conversation documents;
+* ``repro.scheduler`` — dataflow scheduling engine and simulator;
+* ``repro.workloads`` — paper examples and synthetic generators;
+* ``repro.validation`` — conflict and specification-coverage checks.
+"""
+
+from repro.core.closure import Semantics
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.minimize import minimize
+from repro.core.pipeline import DSCWeaver, WeaveResult, extract_all_dependencies, weave
+from repro.core.report import ReductionReport
+from repro.core.translation import translate_service_dependencies
+from repro.deps.registry import DependencySet
+from repro.deps.types import Dependency, DependencyKind
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusinessProcess",
+    "Constraint",
+    "DSCWeaver",
+    "Dependency",
+    "DependencyKind",
+    "DependencySet",
+    "ProcessBuilder",
+    "ReductionReport",
+    "Semantics",
+    "SynchronizationConstraintSet",
+    "WeaveResult",
+    "__version__",
+    "extract_all_dependencies",
+    "minimize",
+    "translate_service_dependencies",
+    "weave",
+]

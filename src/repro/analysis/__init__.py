@@ -1,0 +1,55 @@
+"""Shared analysis substrate: condition algebra, graph and dominator utilities.
+
+This package is dependency-free (standard library only) and is used by every
+other subsystem: the condition algebra implements the annotated-closure
+semantics of Definition 3, the graph helpers implement the reachability
+machinery behind Definitions 4-6, and the dominator module implements the
+post-dominator criterion used to extract control dependencies from
+sequencing-construct programs (Figure 3/4 of the paper).
+"""
+
+from repro.analysis.conditions import (
+    Cond,
+    ConditionDomains,
+    is_contradictory,
+    merge_complementary,
+    normalize_facts,
+    strip_implied,
+    subsumes,
+)
+from repro.analysis.graphs import (
+    DirectedGraph,
+    ancestors,
+    descendants,
+    find_cycle,
+    has_path,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+from repro.analysis.dominators import (
+    control_dependencies,
+    immediate_dominators,
+    postdominators,
+)
+
+__all__ = [
+    "Cond",
+    "ConditionDomains",
+    "DirectedGraph",
+    "ancestors",
+    "control_dependencies",
+    "descendants",
+    "find_cycle",
+    "has_path",
+    "immediate_dominators",
+    "is_contradictory",
+    "merge_complementary",
+    "normalize_facts",
+    "postdominators",
+    "strip_implied",
+    "subsumes",
+    "topological_sort",
+    "transitive_closure",
+    "transitive_reduction",
+]

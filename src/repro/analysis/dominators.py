@@ -1,0 +1,166 @@
+"""Dominator / post-dominator analysis and control-dependence extraction.
+
+The paper (Section 3.1, Figures 3-4) derives *control dependencies* from a
+process's control-flow graph using the classic criterion of Ferrante,
+Ottenstein and Warren [7]: an activity ``n`` is control dependent on a
+branch activity ``b`` iff ``b`` has a successor from which ``n`` is always
+reached (``n`` post-dominates that successor) while ``n`` does not
+post-dominate ``b`` itself.  This is exactly why, in Figure 4, ``a7`` — which
+dominates every path from ``a1`` to ``stop`` — is *not* control dependent on
+``a1`` while ``a2..a6`` are.
+
+The implementation uses the straightforward iterative dataflow formulation
+(adequate for process-sized graphs) rather than Lengauer-Tarjan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.analysis.graphs import DirectedGraph
+
+Node = Hashable
+
+
+def _reverse(graph: DirectedGraph) -> DirectedGraph:
+    reversed_graph = DirectedGraph(nodes=graph.nodes())
+    for source, target in graph.edges():
+        reversed_graph.add_edge(target, source)
+    return reversed_graph
+
+
+def immediate_dominators(graph: DirectedGraph, entry: Node) -> Dict[Node, Node]:
+    """Immediate dominator of every node reachable from ``entry``.
+
+    Returns a mapping ``node -> idom(node)``; the entry maps to itself.
+    Uses the Cooper-Harvey-Kennedy iterative algorithm over a reverse
+    post-order.
+    """
+    if not graph.has_node(entry):
+        raise ValueError("entry node %r is not in the graph" % (entry,))
+
+    # Reverse post-order via iterative DFS.
+    order: List[Node] = []
+    visited: Set[Node] = set()
+    stack: List[Tuple[Node, List[Node]]] = [(entry, graph.successors(entry))]
+    visited.add(entry)
+    while stack:
+        node, successors = stack[-1]
+        advanced = False
+        while successors:
+            successor = successors.pop(0)
+            if successor not in visited:
+                visited.add(successor)
+                stack.append((successor, graph.successors(successor)))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    position = {node: index for index, node in enumerate(order)}
+
+    idom: Dict[Node, Optional[Node]] = {node: None for node in order}
+    idom[entry] = entry
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            candidates = [
+                predecessor
+                for predecessor in graph.predecessors(node)
+                if predecessor in position and idom[predecessor] is not None
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for predecessor in candidates[1:]:
+                new_idom = intersect(new_idom, predecessor)
+            if idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    return {node: dominator for node, dominator in idom.items() if dominator is not None}
+
+
+def postdominators(graph: DirectedGraph, exit_node: Node) -> Dict[Node, Node]:
+    """Immediate post-dominator of every node that reaches ``exit_node``.
+
+    Equivalent to dominators on the reversed graph rooted at the exit.
+    """
+    return immediate_dominators(_reverse(graph), exit_node)
+
+
+def _postdominates(
+    ipostdom: Dict[Node, Node], exit_node: Node, candidate: Node, node: Node
+) -> bool:
+    """Does ``candidate`` post-dominate ``node`` (reflexively)?"""
+    current = node
+    while True:
+        if current == candidate:
+            return True
+        if current == exit_node or current not in ipostdom:
+            return False
+        parent = ipostdom[current]
+        if parent == current:
+            return current == candidate
+        current = parent
+
+
+def control_dependencies(
+    graph: DirectedGraph,
+    entry: Node,
+    exit_node: Node,
+    branch_labels: Dict[Tuple[Node, Node], str] | None = None,
+) -> List[Tuple[Node, Node, Optional[str]]]:
+    """Control dependencies of a control-flow graph.
+
+    Returns triples ``(branch, dependent, label)`` where ``dependent`` is
+    control dependent on ``branch`` and ``label`` is the branch-edge label
+    ("T", "F", a case name...) through which the dependence arises, or
+    ``None`` when unlabeled.
+
+    ``branch_labels`` maps CFG edges ``(branch, successor)`` to labels; only
+    nodes with out-degree greater than one can be sources of control
+    dependence.
+    """
+    branch_labels = branch_labels or {}
+    ipostdom = postdominators(graph, exit_node)
+    dependencies: List[Tuple[Node, Node, Optional[str]]] = []
+    seen: Set[Tuple[Node, Node, Optional[str]]] = set()
+
+    for branch in graph.nodes():
+        successors = graph.successors(branch)
+        if len(successors) < 2:
+            continue
+        for successor in successors:
+            label = branch_labels.get((branch, successor))
+            # Walk the post-dominator chain from the successor up to (but
+            # excluding) branch's own immediate post-dominator: every node on
+            # that chain post-dominates `successor` but not `branch`.
+            stop = ipostdom.get(branch)
+            current: Optional[Node] = successor
+            while current is not None and current != stop:
+                if current != branch:
+                    triple = (branch, current, label)
+                    if triple not in seen:
+                        seen.add(triple)
+                        dependencies.append(triple)
+                if current == exit_node:
+                    break
+                parent = ipostdom.get(current)
+                if parent == current:
+                    break
+                current = parent
+    return dependencies

@@ -1,0 +1,316 @@
+"""Plain directed-graph utilities used throughout the library.
+
+These helpers are written from scratch (standard library only) so that the
+core algorithms of the paper do not silently depend on third-party graph
+semantics; the test suite cross-checks :func:`transitive_closure` and
+:func:`transitive_reduction` against ``networkx`` on random DAGs.
+
+All functions operate on a :class:`DirectedGraph`, a minimal adjacency-set
+structure with deterministic iteration order (insertion order of nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Node = Hashable
+
+
+class DirectedGraph:
+    """A simple directed graph with at most one edge per ordered pair.
+
+    Nodes may be any hashable value.  Iteration over nodes and successor
+    sets is deterministic (insertion order), which keeps every downstream
+    algorithm — including the order-dependent minimization of Definition 6 —
+    reproducible run to run.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[Tuple[Node, Node]] = (),
+    ) -> None:
+        self._succ: Dict[Node, Dict[Node, None]] = {}
+        self._pred: Dict[Node, Dict[Node, None]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present."""
+        self._succ.setdefault(node, {})
+        self._pred.setdefault(node, {})
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        """Add the edge ``source -> target`` (idempotent)."""
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source][target] = None
+        self._pred[target][source] = None
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove the edge ``source -> target``.
+
+        Raises ``KeyError`` if the edge is not present.
+        """
+        del self._succ[source][target]
+        del self._pred[target][source]
+
+    def copy(self) -> "DirectedGraph":
+        clone = DirectedGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for source, target in self.edges():
+            clone.add_edge(source, target)
+        return clone
+
+    # -- queries -----------------------------------------------------------
+
+    def nodes(self) -> List[Node]:
+        return list(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def successors(self, node: Node) -> List[Node]:
+        return list(self._succ.get(node, ()))
+
+    def predecessors(self, node: Node) -> List[Node]:
+        return list(self._pred.get(node, ()))
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        return target in self._succ.get(source, ())
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ.get(node, ()))
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred.get(node, ()))
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._succ.values())
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DirectedGraph(%d nodes, %d edges)" % (len(self), self.edge_count())
+
+
+def descendants(graph: DirectedGraph, node: Node) -> Set[Node]:
+    """All nodes reachable from ``node`` by one or more edges."""
+    seen: Set[Node] = set()
+    stack = list(graph.successors(node))
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.successors(current))
+    return seen
+
+
+def ancestors(graph: DirectedGraph, node: Node) -> Set[Node]:
+    """All nodes from which ``node`` is reachable by one or more edges."""
+    seen: Set[Node] = set()
+    stack = list(graph.predecessors(node))
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.predecessors(current))
+    return seen
+
+
+def has_path(graph: DirectedGraph, source: Node, target: Node) -> bool:
+    """Return ``True`` if a non-empty path ``source -> ... -> target`` exists."""
+    if not graph.has_node(source):
+        return False
+    seen: Set[Node] = set()
+    stack = list(graph.successors(source))
+    while stack:
+        current = stack.pop()
+        if current == target:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.successors(current))
+    return False
+
+
+def find_cycle(graph: DirectedGraph) -> Optional[List[Node]]:
+    """Return one directed cycle as a node list, or ``None`` if acyclic.
+
+    The returned list contains the cycle's nodes in order, without repeating
+    the first node at the end.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Node, int] = {node: WHITE for node in graph.nodes()}
+    parent: Dict[Node, Optional[Node]] = {}
+
+    for root in graph.nodes():
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Node, Iterator[Node]]] = [(root, iter(graph.successors(root)))]
+        color[root] = GRAY
+        parent[root] = None
+        while stack:
+            node, successor_iter = stack[-1]
+            advanced = False
+            for successor in successor_iter:
+                if color[successor] == GRAY:
+                    # Found a back edge: reconstruct the cycle.
+                    cycle = [node]
+                    while cycle[-1] != successor:
+                        cycle.append(parent[cycle[-1]])
+                    cycle.reverse()
+                    return cycle
+                if color[successor] == WHITE:
+                    color[successor] = GRAY
+                    parent[successor] = node
+                    stack.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def strongly_connected_components(graph: DirectedGraph) -> List[List[Node]]:
+    """Tarjan's algorithm (iterative); components in reverse topological
+    order of the condensation.  Singleton components without a self-loop
+    are included — callers interested in cycles should filter them out."""
+    index_counter = [0]
+    indices: Dict[Node, int] = {}
+    lowlinks: Dict[Node, int] = {}
+    on_stack: Dict[Node, bool] = {}
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+
+    for root in graph.nodes():
+        if root in indices:
+            continue
+        work: List[Tuple[Node, Iterator[Node]]] = [(root, iter(graph.successors(root)))]
+        indices[root] = lowlinks[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successor_iter = work[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+                if on_stack.get(successor):
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indices[node]:
+                    component: List[Node] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+    return components
+
+
+def cyclic_components(graph: DirectedGraph) -> List[List[Node]]:
+    """Strongly connected components that actually contain a cycle
+    (size > 1, or a singleton with a self-loop)."""
+    return [
+        component
+        for component in strongly_connected_components(graph)
+        if len(component) > 1
+        or graph.has_edge(component[0], component[0])
+    ]
+
+
+def topological_sort(graph: DirectedGraph) -> List[Node]:
+    """Kahn topological order; raises ``ValueError`` on a cyclic graph."""
+    in_degree = {node: graph.in_degree(node) for node in graph.nodes()}
+    ready = [node for node, degree in in_degree.items() if degree == 0]
+    order: List[Node] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for successor in graph.successors(node):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+    if len(order) != len(graph):
+        cycle = find_cycle(graph) or []
+        raise ValueError(
+            "graph is cyclic; topological order impossible (cycle: %r)" % (cycle,)
+        )
+    return order
+
+
+def transitive_closure(graph: DirectedGraph) -> Dict[Node, Set[Node]]:
+    """Per-node reachability sets (excluding the node itself unless on a cycle).
+
+    Computed in reverse topological order when the graph is acyclic
+    (``O(V * E / word)`` in practice); falls back to per-node DFS on cyclic
+    graphs so the function stays total.
+    """
+    closure: Dict[Node, Set[Node]] = {}
+    try:
+        order = topological_sort(graph)
+    except ValueError:
+        return {node: descendants(graph, node) for node in graph.nodes()}
+    for node in reversed(order):
+        reach: Set[Node] = set()
+        for successor in graph.successors(node):
+            reach.add(successor)
+            reach |= closure[successor]
+        closure[node] = reach
+    return closure
+
+
+def transitive_reduction(graph: DirectedGraph) -> DirectedGraph:
+    """The unique transitive reduction of a DAG.
+
+    An edge ``u -> v`` is kept iff no alternative path ``u -> ... -> v``
+    exists.  Raises ``ValueError`` for cyclic graphs (the reduction is only
+    unique, and only meaningful for our purposes, on DAGs).
+    """
+    topological_sort(graph)  # raises on cycles
+    closure = transitive_closure(graph)
+    reduced = DirectedGraph(nodes=graph.nodes())
+    for source in graph.nodes():
+        targets = set(graph.successors(source))
+        for target in targets:
+            # Reachable via another direct successor => redundant.
+            redundant = any(
+                target == other or target in closure[other]
+                for other in targets
+                if other != target
+            )
+            if not redundant:
+                reduced.add_edge(source, target)
+    return reduced

@@ -1,0 +1,32 @@
+"""BPEL backend: emission of executable process XML and a subset parser.
+
+The DSCWeaver "finally generates BPEL code for real process deployment"
+(Section 1).  The minimal constraint set maps naturally onto a single BPEL
+``<flow>`` whose ``<link>`` elements are exactly the constraints —
+conditional constraints become link ``transitionCondition`` attributes and
+dead-path elimination (``suppressJoinFailure="yes"``) plays the role the
+skip transitions play in the Petri translation.
+
+* :mod:`repro.bpel.emit` — constraint set -> flow/link XML;
+* :mod:`repro.bpel.parse` — the inverse (recovers the constraint set), plus
+  a parser for *structured* BPEL (``sequence``/``flow``/``switch``) into a
+  construct tree so legacy imperative processes can enter the optimization
+  pipeline via the PDG route.
+"""
+
+from repro.bpel.emit import emit_bpel
+from repro.bpel.parse import parse_bpel_flow, parse_structured_bpel
+from repro.bpel.structure import (
+    StructureError,
+    emit_structured_bpel,
+    recover_structure,
+)
+
+__all__ = [
+    "StructureError",
+    "emit_bpel",
+    "emit_structured_bpel",
+    "parse_bpel_flow",
+    "parse_structured_bpel",
+    "recover_structure",
+]

@@ -1,0 +1,122 @@
+"""Emission of BPEL-style XML from a synchronization constraint set.
+
+The generated document is one ``<flow>`` with:
+
+* one ``<link>`` per constraint, named ``l<n>`` deterministically;
+* one activity element per activity (``receive`` / ``invoke`` / ``reply`` /
+  ``assign``), carrying ``<source>``/``<target>`` link references;
+* ``transitionCondition`` on the sources of conditional constraints
+  (``bpws:getVariableData('<guard>_outcome') = '<value>'``);
+* ``suppressJoinFailure="yes"`` so skipped branches dead-path through
+  joins, matching the engine and the Petri translation.
+
+Guard activities are emitted as ``<assign>`` with a non-standard
+``outcomes`` attribute recording their domain (the parser uses it).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict
+
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.errors import BPELError
+from repro.model.activity import ActivityKind
+from repro.model.process import BusinessProcess
+
+BPEL_NAMESPACE = "http://schemas.xmlsoap.org/ws/2003/03/business-process/"
+
+
+def _element_name(kind: ActivityKind) -> str:
+    return {
+        ActivityKind.RECEIVE: "receive",
+        ActivityKind.INVOKE: "invoke",
+        ActivityKind.REPLY: "reply",
+        ActivityKind.ASSIGN: "assign",
+        ActivityKind.GUARD: "assign",
+        ActivityKind.COMPUTE: "assign",
+        ActivityKind.COORDINATOR: "empty",
+    }[kind]
+
+
+def emit_bpel(
+    process: BusinessProcess, sc: SynchronizationConstraintSet
+) -> str:
+    """Render ``sc`` (an activity set) as BPEL-style XML text."""
+    if not sc.is_activity_set:
+        raise BPELError(
+            "cannot emit BPEL while constraints reference external ports; "
+            "run service dependency translation first"
+        )
+
+    root = ET.Element(
+        "process",
+        {
+            "name": process.name,
+            "xmlns": BPEL_NAMESPACE,
+            "suppressJoinFailure": "yes",
+        },
+    )
+    variables = ET.SubElement(root, "variables")
+    for variable in process.variables:
+        ET.SubElement(
+            variables,
+            "variable",
+            {"name": variable.name, "messageType": variable.type_name},
+        )
+
+    flow = ET.SubElement(root, "flow")
+    links = ET.SubElement(flow, "links")
+    link_names: Dict[object, str] = {}
+    for index, constraint in enumerate(sc.constraints):
+        name = "l%d" % index
+        link_names[constraint] = name
+        ET.SubElement(links, "link", {"name": name})
+
+    for activity_name in sc.activities:
+        if process.has_activity(activity_name):
+            activity = process.activity(activity_name)
+            attributes = {"name": activity.name}
+            if activity.port is not None:
+                attributes["partnerLink"] = activity.port.service
+                attributes["portType"] = activity.port.port
+            if activity.kind is ActivityKind.RECEIVE and activity.port is None:
+                attributes["partnerLink"] = "client"
+            if activity.kind is ActivityKind.REPLY:
+                attributes["partnerLink"] = "client"
+            if activity.reads:
+                attributes["inputVariable"] = ",".join(sorted(activity.reads))
+            if activity.writes:
+                attributes["variable"] = ",".join(sorted(activity.writes))
+            if activity.is_guard:
+                attributes["outcomes"] = ",".join(sorted(activity.outcomes))
+            guard = sc.guard_of(activity_name)
+            if guard:
+                # Execution-guard dialect attribute: records which branch
+                # outcomes this activity's execution depends on, so that
+                # dead-path elimination survives the round trip even when
+                # minimization removed the conditional link itself.
+                attributes["guards"] = ",".join(
+                    "%s=%s" % (cond.guard, cond.value) for cond in sorted(guard)
+                )
+            element = ET.SubElement(flow, _element_name(activity.kind), attributes)
+        else:
+            # Synthetic coordinator from HappenTogether desugaring.
+            element = ET.SubElement(flow, "empty", {"name": activity_name})
+
+        for constraint in sc.constraints:
+            if constraint.source == activity_name:
+                source_attributes = {"linkName": link_names[constraint]}
+                if constraint.condition is not None:
+                    source_attributes["transitionCondition"] = (
+                        "bpws:getVariableData('%s_outcome') = '%s'"
+                        % (constraint.source, constraint.condition)
+                    )
+                ET.SubElement(element, "source", source_attributes)
+            if constraint.target == activity_name:
+                ET.SubElement(
+                    element, "target", {"linkName": link_names[constraint]}
+                )
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")

@@ -1,0 +1,214 @@
+"""Parsing the supported BPEL subsets.
+
+Two entry points:
+
+* :func:`parse_bpel_flow` — the inverse of :func:`repro.bpel.emit.emit_bpel`:
+  recovers the synchronization constraint set from a flat flow/link
+  document (activities, links, transition conditions, guard outcome
+  domains).
+* :func:`parse_structured_bpel` — parses *structured* BPEL
+  (``sequence`` / ``flow`` with links / ``switch``) into a
+  :mod:`repro.constructs` tree, the entry route for legacy imperative
+  processes.  Switch elements use this library's dialect: a ``guard``
+  attribute naming the guard activity and an ``outcome`` attribute per
+  ``case``.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.constructs.ast import Act, Construct, Flow, Link, Sequence, Switch
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.errors import BPELError
+
+_CONDITION_PATTERN = re.compile(
+    r"bpws:getVariableData\('(?P<guard>[^']+)_outcome'\)\s*=\s*'(?P<value>[^']+)'"
+)
+
+_ACTIVITY_TAGS = {"receive", "invoke", "reply", "assign", "empty"}
+
+
+def _local(tag: str) -> str:
+    """Strip a namespace prefix from an element tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_bpel_flow(text: str) -> SynchronizationConstraintSet:
+    """Recover the constraint set from an emitted flow/link document."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise BPELError("malformed BPEL XML: %s" % error) from error
+    if _local(root.tag) != "process":
+        raise BPELError("expected <process> root, found <%s>" % _local(root.tag))
+
+    flow = None
+    for child in root:
+        if _local(child.tag) == "flow":
+            flow = child
+            break
+    if flow is None:
+        raise BPELError("document contains no <flow>")
+
+    declared_links: List[str] = []
+    activities: List[str] = []
+    # link -> (source activity, condition) / target activity
+    link_sources: Dict[str, Tuple[str, Optional[str]]] = {}
+    link_targets: Dict[str, str] = {}
+    guard_domains: Dict[str, List[str]] = {}
+    guard_map: Dict[str, frozenset] = {}
+
+    for element in flow:
+        tag = _local(element.tag)
+        if tag == "links":
+            for link in element:
+                name = link.get("name")
+                if not name:
+                    raise BPELError("<link> without a name")
+                declared_links.append(name)
+            continue
+        if tag not in _ACTIVITY_TAGS:
+            raise BPELError("unsupported element <%s> in flow" % tag)
+        activity_name = element.get("name")
+        if not activity_name:
+            raise BPELError("<%s> without a name" % tag)
+        activities.append(activity_name)
+        outcomes = element.get("outcomes")
+        if outcomes:
+            guard_domains[activity_name] = outcomes.split(",")
+        guards_attribute = element.get("guards")
+        if guards_attribute:
+            conditions = set()
+            for pair in guards_attribute.split(","):
+                if "=" not in pair:
+                    raise BPELError("malformed guards attribute %r" % guards_attribute)
+                guard, value = pair.split("=", 1)
+                conditions.add(Cond(guard, value))
+            guard_map[activity_name] = frozenset(conditions)
+        for reference in element:
+            reference_tag = _local(reference.tag)
+            link_name = reference.get("linkName") or ""
+            if reference_tag == "source":
+                condition_text = reference.get("transitionCondition")
+                condition: Optional[str] = None
+                if condition_text:
+                    match = _CONDITION_PATTERN.match(condition_text)
+                    if not match:
+                        raise BPELError(
+                            "unsupported transitionCondition %r" % condition_text
+                        )
+                    condition = match.group("value")
+                link_sources[link_name] = (activity_name, condition)
+            elif reference_tag == "target":
+                link_targets[link_name] = activity_name
+
+    constraints: List[Constraint] = []
+    for link_name in declared_links:
+        if link_name not in link_sources or link_name not in link_targets:
+            raise BPELError("link %r lacks a source or a target" % link_name)
+        source, condition = link_sources[link_name]
+        constraints.append(Constraint(source, link_targets[link_name], condition))
+
+    domains = ConditionDomains()
+    for guard, outcomes in guard_domains.items():
+        domains.declare(guard, outcomes)
+
+    sc = SynchronizationConstraintSet(
+        activities=activities, constraints=constraints, domains=domains
+    )
+    if not guard_map:
+        # Legacy documents without the guards dialect attribute: fall back
+        # to the guards implied by the conditional links still present.
+        guard_map = sc.derive_guards_from_constraints()
+    return sc.with_guards(guard_map)
+
+
+def parse_structured_bpel(text: str) -> Construct:
+    """Parse structured BPEL into a construct tree.
+
+    Supported elements: ``process`` (single child), ``sequence``, ``flow``
+    (with ``links``; activity ``source``/``target`` children become
+    :class:`Link` objects), ``switch`` (dialect: ``guard`` attribute,
+    ``case outcome="..."`` children), and the activity elements
+    ``receive``/``invoke``/``reply``/``assign``/``empty``.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise BPELError("malformed BPEL XML: %s" % error) from error
+
+    def convert(element: ET.Element) -> Construct:
+        tag = _local(element.tag)
+        if tag == "process":
+            children = [
+                child for child in element if _local(child.tag) != "variables"
+            ]
+            if len(children) != 1:
+                raise BPELError("<process> must contain exactly one root construct")
+            return convert(children[0])
+        if tag == "sequence":
+            return Sequence(*[convert(child) for child in element])
+        if tag == "flow":
+            links: List[Link] = []
+            # Collect link endpoints from nested activity source/target refs.
+            endpoints: Dict[str, Dict[str, str]] = {}
+            children: List[ET.Element] = []
+            for child in element:
+                if _local(child.tag) == "links":
+                    continue
+                children.append(child)
+            for descendant in element.iter():
+                descendant_tag = _local(descendant.tag)
+                if descendant_tag in ("source", "target"):
+                    link_name = descendant.get("linkName") or ""
+                    owner = _owner_of(element, descendant)
+                    endpoints.setdefault(link_name, {})[descendant_tag] = owner
+            for link_name, sides in endpoints.items():
+                if "source" in sides and "target" in sides:
+                    links.append(Link(sides["source"], sides["target"]))
+            return Flow(*[convert(child) for child in children], links=links)
+        if tag == "switch":
+            guard = element.get("guard")
+            if not guard:
+                raise BPELError(
+                    "<switch> requires a guard attribute in this dialect"
+                )
+            cases: Dict[str, Construct] = {}
+            otherwise: Optional[Construct] = None
+            for child in element:
+                child_tag = _local(child.tag)
+                if child_tag == "case":
+                    outcome = child.get("outcome")
+                    if not outcome:
+                        raise BPELError("<case> requires an outcome attribute")
+                    body = [convert(grandchild) for grandchild in child]
+                    cases[outcome] = body[0] if len(body) == 1 else Sequence(*body)
+                elif child_tag == "otherwise":
+                    body = [convert(grandchild) for grandchild in child]
+                    otherwise = body[0] if len(body) == 1 else Sequence(*body)
+                elif child_tag in ("source", "target"):
+                    continue  # flow-link anchors on the switch itself
+                else:
+                    raise BPELError("unexpected <%s> inside <switch>" % child_tag)
+            return Switch(guard, cases=cases, otherwise=otherwise)
+        if tag in _ACTIVITY_TAGS:
+            name = element.get("name")
+            if not name:
+                raise BPELError("<%s> without a name" % tag)
+            return Act(name)
+        raise BPELError("unsupported element <%s>" % tag)
+
+    def _owner_of(flow_element: ET.Element, reference: ET.Element) -> str:
+        owner_tags = _ACTIVITY_TAGS | {"switch"}
+        for descendant in flow_element.iter():
+            if _local(descendant.tag) in owner_tags and reference in list(
+                descendant
+            ):
+                return descendant.get("name") or ""
+        raise BPELError("could not locate the activity owning a link reference")
+
+    return convert(root)

@@ -1,0 +1,526 @@
+"""Structure recovery: minimal constraint sets back into nested constructs.
+
+The flat ``<flow>``/``<link>`` emission (:mod:`repro.bpel.emit`) is already
+executable BPEL, but many engines and most humans prefer *structured*
+processes.  This module recovers a construct tree from an activity
+constraint set:
+
+1. **Switch regions.**  Every guard's directly-guarded activities form the
+   cases of a :class:`~repro.constructs.ast.Switch`; nested guards nest.
+   The region collapses to one *unit* in a quotient DAG.
+2. **Series cut.**  A unit comparable (by reachability) to *every* other
+   unit linearizes the graph; consecutive such units become children of a
+   :class:`~repro.constructs.ast.Sequence`, with the units between two cut
+   points decomposed recursively.
+3. **Parallel cut.**  Weakly-connected components become children of a
+   :class:`~repro.constructs.ast.Flow`.
+4. **Link fallback.**  A component that neither cut can split becomes a
+   flat flow whose :class:`~repro.constructs.ast.Link` set is exactly the
+   residual constraints — always expressible, never over-specifying.
+
+Series cuts may *over-specify* (a sequence orders everything in the
+earlier part before everything in the later part, which can exceed what
+the constraints require — the very phenomenon the paper criticizes).
+:func:`recover_structure` therefore verifies the result against the input
+set and, in ``exact`` mode (default), retries with series cuts disabled so
+the recovered tree implies precisely the required orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence as Seq, Set, Tuple
+
+from repro.analysis.graphs import DirectedGraph, transitive_closure
+from repro.constructs.analysis import implied_orderings
+from repro.constructs.ast import Act, Construct, Flow, Link, Sequence, Switch
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.errors import BPELError
+
+
+class StructureError(BPELError):
+    """The constraint set cannot be expressed as a construct tree (e.g. a
+    conditional constraint targeting an activity outside the guard's
+    region)."""
+
+
+# --------------------------------------------------------------------------
+# Units: the quotient of the activity set by switch regions.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Unit:
+    """One quotient node: a plain activity or a whole switch region."""
+
+    representative: str
+    #: Activities contained (the guard itself included for switch units).
+    members: Set[str] = field(default_factory=set)
+    guard: Optional[str] = None  # set for switch units
+
+    @property
+    def is_switch(self) -> bool:
+        return self.guard is not None
+
+
+def _direct_guard(sc: SynchronizationConstraintSet, activity: str) -> Optional[Tuple[str, str]]:
+    conditions = sc.guard_of(activity)
+    if not conditions:
+        return None
+    if len(conditions) > 1:
+        raise StructureError(
+            "activity %r has multiple direct guards; structure recovery "
+            "requires nested (single-guard) conditionals" % activity
+        )
+    condition = next(iter(conditions))
+    return condition.guard, condition.value
+
+
+def _build_units(
+    sc: SynchronizationConstraintSet, activities: Set[str]
+) -> Dict[str, _Unit]:
+    """Partition ``activities`` into quotient units, keyed by representative.
+
+    The guard climb stops at the boundary of ``activities``: inside a
+    switch case, the members' own guard lives outside the case, so each
+    member roots its own (possibly nested-switch) unit.
+    """
+    units: Dict[str, _Unit] = {}
+
+    def local_root(activity: str) -> str:
+        """Climb direct guards while they stay inside ``activities``."""
+        current = activity
+        seen = set()
+        while True:
+            if current in seen:
+                raise StructureError("guard cycle at %r" % current)
+            seen.add(current)
+            guard_info = _direct_guard(sc, current)
+            if guard_info is None or guard_info[0] not in activities:
+                return current
+            current = guard_info[0]
+
+    for activity in sorted(activities):
+        root = local_root(activity)
+        unit = units.get(root)
+        if unit is None:
+            unit = _Unit(representative=root)
+            units[root] = unit
+        unit.members.add(activity)
+
+    for unit in units.values():
+        if unit.members != {unit.representative}:
+            unit.guard = unit.representative
+    return units
+
+
+# --------------------------------------------------------------------------
+# Expansion of a switch unit into a Switch construct.
+# --------------------------------------------------------------------------
+
+
+def _expand_unit(
+    sc: SynchronizationConstraintSet, unit: _Unit, allow_sequence: bool
+) -> Construct:
+    if not unit.is_switch:
+        return Act(unit.representative)
+
+    guard = unit.representative
+    # Direct dependents by outcome.
+    cases: Dict[str, List[str]] = {}
+    for member in sorted(unit.members - {guard}):
+        guard_info = _direct_guard(sc, member)
+        assert guard_info is not None
+        owner, outcome = guard_info
+        if owner == guard:
+            cases.setdefault(outcome, []).append(member)
+    if not cases:
+        return Act(guard)
+
+    # Constraints between members of *different* cases are dropped here on
+    # purpose: the two activities can never co-execute, so the ordering is
+    # vacuous at runtime (and inexpressible in a switch).
+    case_constructs: Dict[str, Construct] = {}
+    for outcome, roots in cases.items():
+        # The case contains the direct members plus everything nested under
+        # them (transitively guarded by members).
+        contained: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop()
+            if current in contained:
+                continue
+            contained.add(current)
+            for member in unit.members:
+                guard_info = _direct_guard(sc, member)
+                if guard_info is not None and guard_info[0] == current:
+                    frontier.append(member)
+        case_constructs[outcome] = _decompose(
+            sc, contained, allow_sequence=allow_sequence
+        )
+    return Switch(guard, cases=case_constructs)
+
+
+# --------------------------------------------------------------------------
+# Recursive decomposition over activities (top level) or case members.
+# --------------------------------------------------------------------------
+
+
+def _quotient(
+    sc: SynchronizationConstraintSet, activities: Set[str]
+) -> Tuple[List[_Unit], DirectedGraph, Dict[Tuple[str, str], List[Constraint]]]:
+    """Units over ``activities`` plus the induced quotient DAG."""
+    units = _build_units(sc, activities)
+    unit_of: Dict[str, _Unit] = {}
+    for unit in units.values():
+        for member in unit.members:
+            unit_of[member] = unit
+
+    graph = DirectedGraph(nodes=[u.representative for u in units.values()])
+    edge_constraints: Dict[Tuple[str, str], List[Constraint]] = {}
+    for constraint in sc:
+        if constraint.source not in activities or constraint.target not in activities:
+            continue
+        source_unit = unit_of[constraint.source]
+        target_unit = unit_of[constraint.target]
+        if source_unit is target_unit:
+            continue
+        if constraint.condition is not None:
+            raise StructureError(
+                "conditional constraint %s crosses unit boundaries; the "
+                "target is not in the guard's region" % constraint
+            )
+        key = (source_unit.representative, target_unit.representative)
+        graph.add_edge(*key)
+        edge_constraints.setdefault(key, []).append(constraint)
+    return list(units.values()), graph, edge_constraints
+
+
+def _decompose(
+    sc: SynchronizationConstraintSet,
+    activities: Set[str],
+    allow_sequence: bool,
+) -> Construct:
+    units, graph, edge_constraints = _quotient(sc, activities)
+    from repro.analysis.graphs import find_cycle
+
+    if find_cycle(graph) is not None:
+        raise StructureError(
+            "a guarded region is not block-structured (constraints enter "
+            "and leave it); the set has no nested-construct form — use the "
+            "flat flow/link emission instead"
+        )
+    return _decompose_units(sc, units, graph, edge_constraints, allow_sequence)
+
+
+def _decompose_units(
+    sc: SynchronizationConstraintSet,
+    units: List[_Unit],
+    graph: DirectedGraph,
+    edge_constraints: Dict[Tuple[str, str], List[Constraint]],
+    allow_sequence: bool,
+) -> Construct:
+    by_name = {unit.representative: unit for unit in units}
+    names = [unit.representative for unit in units]
+
+    if len(units) == 1:
+        return _expand_unit(sc, units[0], allow_sequence)
+
+    # Parallel cut: weakly connected components.
+    components = _weak_components(graph)
+    if len(components) > 1:
+        children = [
+            _decompose_units(
+                sc,
+                [by_name[name] for name in component],
+                _induced(graph, component),
+                {
+                    key: value
+                    for key, value in edge_constraints.items()
+                    if key[0] in component and key[1] in component
+                },
+                allow_sequence,
+            )
+            for component in components
+        ]
+        return Flow(*children)
+
+    # Series cut: units comparable with every other unit.
+    if allow_sequence:
+        closure = transitive_closure(graph)
+        totals = [
+            name
+            for name in names
+            if all(
+                other == name or other in closure[name] or name in closure[other]
+                for other in names
+            )
+        ]
+        if totals:
+            ordered_totals = [n for n in _topological(graph) if n in set(totals)]
+            parts: List[Construct] = []
+            consumed: Set[str] = set()
+            previous_total: Optional[str] = None
+            for total in ordered_totals:
+                segment = [
+                    name
+                    for name in names
+                    if name not in set(ordered_totals)
+                    and name not in consumed
+                    and (previous_total is None or name in closure[previous_total])
+                    and total in closure[name]
+                ]
+                if segment:
+                    parts.append(
+                        _decompose_units(
+                            sc,
+                            [by_name[name] for name in segment],
+                            _induced(graph, segment),
+                            {
+                                key: value
+                                for key, value in edge_constraints.items()
+                                if key[0] in segment and key[1] in segment
+                            },
+                            allow_sequence,
+                        )
+                    )
+                    consumed.update(segment)
+                parts.append(_expand_unit(sc, by_name[total], allow_sequence))
+                previous_total = total
+            trailing = [
+                name for name in names if name not in set(ordered_totals) and name not in consumed
+            ]
+            if trailing:
+                parts.append(
+                    _decompose_units(
+                        sc,
+                        [by_name[name] for name in trailing],
+                        _induced(graph, trailing),
+                        {
+                            key: value
+                            for key, value in edge_constraints.items()
+                            if key[0] in trailing and key[1] in trailing
+                        },
+                        allow_sequence,
+                    )
+                )
+            if len(parts) > 1:
+                return Sequence(*parts)
+
+    # Link fallback: a flat flow whose links are exactly the residual
+    # constraints.  No unit-level transitive reduction: a unit-level path
+    # does not imply the activity-level edge it bypasses (e.g. a path to a
+    # case member says nothing about an edge to the region's guard), and
+    # redundant links are harmless while missing ones lose orderings.
+    links: List[Link] = []
+    seen_links: Set[Tuple[str, str]] = set()
+    for constraints in edge_constraints.values():
+        for constraint in constraints:
+            key = (constraint.source, constraint.target)
+            if key not in seen_links:
+                seen_links.add(key)
+                links.append(Link(*key))
+    children = [_expand_unit(sc, unit, allow_sequence) for unit in units]
+    return Flow(*children, links=links)
+
+
+def _weak_components(graph: DirectedGraph) -> List[List[str]]:
+    seen: Set[str] = set()
+    components: List[List[str]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component: List[str] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            component.append(current)
+            stack.extend(graph.successors(current))
+            stack.extend(graph.predecessors(current))
+        components.append(sorted(component))
+    return components
+
+
+def _induced(graph: DirectedGraph, nodes: Seq[str]) -> DirectedGraph:
+    node_set = set(nodes)
+    induced = DirectedGraph(nodes=nodes)
+    for source, target in graph.edges():
+        if source in node_set and target in node_set:
+            induced.add_edge(source, target)
+    return induced
+
+
+def _topological(graph: DirectedGraph) -> List[str]:
+    from repro.analysis.graphs import topological_sort
+
+    return topological_sort(graph)
+
+
+# --------------------------------------------------------------------------
+# Public API
+# --------------------------------------------------------------------------
+
+
+def recover_structure(
+    sc: SynchronizationConstraintSet, exact: bool = True
+) -> Construct:
+    """Recover a construct tree from an activity constraint set.
+
+    The result always *implies* every required ordering.  With ``exact``
+    (default), a tree whose series cuts would over-specify is rebuilt with
+    series cuts disabled (links carry the residual orderings), so the
+    implied orderings equal the required ones precisely.
+    """
+    if not sc.is_activity_set:
+        raise StructureError(
+            "structure recovery requires an activity set; translate service "
+            "dependencies first"
+        )
+    activities = set(sc.activities)
+    if not activities:
+        raise StructureError("cannot recover structure of an empty set")
+
+    tree = _decompose(sc, activities, allow_sequence=True)
+    if exact and _over_specifies(tree, sc):
+        tree = _decompose(sc, activities, allow_sequence=False)
+    return tree
+
+
+def co_executable(sc: SynchronizationConstraintSet, first: str, second: str) -> bool:
+    """Can both activities run in the same execution?
+
+    False when their effective guards require conflicting outcomes of some
+    guard activity (e.g. the two cases of one switch) — orderings between
+    such activities are vacuous at runtime.
+    """
+    from repro.analysis.conditions import is_contradictory
+
+    return not is_contradictory(
+        sc.effective_guard(first) | sc.effective_guard(second)
+    )
+
+
+def runtime_required_pairs(
+    sc: SynchronizationConstraintSet,
+) -> Set[Tuple[str, str]]:
+    """Activity pairs whose ordering the set actually enforces at runtime.
+
+    Uses the guard-aware closure: a path through an activity that cannot
+    co-execute with the endpoints enforces nothing (dead-path elimination
+    lets the target proceed when the intermediate is skipped), and neither
+    does a fact whose conditions contradict the endpoints' own guards.
+    """
+    from repro.analysis.conditions import is_contradictory
+    from repro.core.closure import Semantics, closure_map
+
+    required: Set[Tuple[str, str]] = set()
+    for source, facts in closure_map(sc, Semantics.GUARD_AWARE).items():
+        source_guard = sc.effective_guard(source)
+        for target, annotations in facts:
+            context = annotations | source_guard | sc.effective_guard(target)
+            if not is_contradictory(context):
+                required.add((source, target))
+    return required
+
+
+def _over_specifies(tree: Construct, sc: SynchronizationConstraintSet) -> bool:
+    """Does the tree enforce orderings beyond what the set requires?
+
+    Pairs of activities that can never co-execute are disregarded on both
+    sides: no runtime behavior depends on them.
+    """
+    required = runtime_required_pairs(sc)
+    implied = {
+        pair for pair in implied_orderings(tree) if co_executable(sc, *pair)
+    }
+    return bool(implied - required)
+
+
+def emit_structured_bpel(process, sc: SynchronizationConstraintSet) -> str:
+    """Emit *structured* BPEL (nested sequence/flow/switch) for ``sc``.
+
+    The output uses the same dialect
+    :func:`repro.bpel.parse.parse_structured_bpel` reads (``guard``/
+    ``outcome`` attributes on switches), so it round-trips back into a
+    construct tree.
+    """
+    import xml.etree.ElementTree as ET
+
+    from repro.bpel.emit import BPEL_NAMESPACE, _element_name
+    from repro.model.activity import ActivityKind
+
+    tree = recover_structure(sc)
+
+    root = ET.Element(
+        "process",
+        {"name": process.name, "xmlns": BPEL_NAMESPACE, "suppressJoinFailure": "yes"},
+    )
+    variables = ET.SubElement(root, "variables")
+    for variable in process.variables:
+        ET.SubElement(
+            variables,
+            "variable",
+            {"name": variable.name, "messageType": variable.type_name},
+        )
+
+    link_counter = [0]
+
+    def emit(node: Construct, parent: ET.Element) -> None:
+        if isinstance(node, Act):
+            if process.has_activity(node.name):
+                activity = process.activity(node.name)
+                tag = _element_name(activity.kind)
+            else:
+                tag = "empty"
+            ET.SubElement(parent, tag, {"name": node.name})
+            return
+        if isinstance(node, Sequence):
+            element = ET.SubElement(parent, "sequence")
+            for child in node.children:
+                emit(child, element)
+            return
+        if isinstance(node, Flow):
+            element = ET.SubElement(parent, "flow")
+            if node.links:
+                links_element = ET.SubElement(element, "links")
+                link_names = {}
+                for link in node.links:
+                    name = "sl%d" % link_counter[0]
+                    link_counter[0] += 1
+                    link_names[link] = name
+                    ET.SubElement(links_element, "link", {"name": name})
+            for child in node.children:
+                emit(child, element)
+            # Attach source/target references onto the named activities.
+            if node.links:
+                index = {
+                    descendant.get("name"): descendant
+                    for descendant in element.iter()
+                    if descendant.get("name")
+                }
+                for link in node.links:
+                    name = link_names[link]
+                    ET.SubElement(index[link.source], "source", {"linkName": name})
+                    ET.SubElement(index[link.target], "target", {"linkName": name})
+            return
+        if isinstance(node, Switch):
+            # `name` mirrors the guard so flow links may anchor on the
+            # switch (a link to the guard is a link to its region's entry).
+            element = ET.SubElement(
+                parent, "switch", {"guard": node.guard, "name": node.guard}
+            )
+            for outcome, case in sorted(node.cases.items()):
+                case_element = ET.SubElement(element, "case", {"outcome": outcome})
+                emit(case, case_element)
+            if node.otherwise is not None:
+                otherwise_element = ET.SubElement(element, "otherwise")
+                emit(node.otherwise, otherwise_element)
+            return
+        raise StructureError("cannot emit construct %r" % (node,))
+
+    emit(tree, root)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")

@@ -1,0 +1,244 @@
+"""Command-line interface: ``dscweaver`` / ``python -m repro``.
+
+Subcommands::
+
+    dscweaver table1   --workload purchasing      # Table 1 dependency listing
+    dscweaver weave    --workload purchasing      # Table 2 reduction report
+    dscweaver minimal  --workload purchasing      # Figure 9 edge list
+    dscweaver bpel     --workload purchasing      # emit BPEL to stdout/file
+    dscweaver dscl     --workload purchasing      # emit the DSCL program
+    dscweaver validate --workload purchasing      # Petri-net soundness check
+    dscweaver simulate --workload purchasing --outcome if_au=F
+
+Workloads: purchasing, deployment, loan, travel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import DSCWeaver, WeaveResult, extract_all_dependencies
+from repro.deps.registry import DependencySet
+from repro.model.process import BusinessProcess
+
+
+def _load_workload(name: str) -> Tuple[BusinessProcess, DependencySet]:
+    if name == "purchasing":
+        from repro.workloads.purchasing import (
+            build_purchasing_process,
+            purchasing_cooperation_dependencies,
+        )
+
+        process = build_purchasing_process()
+        cooperation = purchasing_cooperation_dependencies(process)
+    elif name == "deployment":
+        from repro.workloads.deployment import (
+            build_deployment_process,
+            deployment_cooperation,
+        )
+
+        process = build_deployment_process()
+        cooperation = deployment_cooperation(process).dependencies
+    elif name == "loan":
+        from repro.workloads.loan import build_loan_process, loan_cooperation
+
+        process = build_loan_process()
+        cooperation = loan_cooperation(process).dependencies
+    elif name == "travel":
+        from repro.workloads.travel import build_travel_process, travel_cooperation
+
+        process = build_travel_process()
+        cooperation = travel_cooperation(process).dependencies
+    elif name == "insurance":
+        from repro.workloads.insurance import (
+            build_insurance_process,
+            insurance_cooperation,
+        )
+
+        process = build_insurance_process()
+        cooperation = insurance_cooperation(process).dependencies
+    else:
+        raise SystemExit("unknown workload %r" % name)
+    return process, extract_all_dependencies(process, cooperation=cooperation)
+
+
+def _weave(name: str) -> Tuple[BusinessProcess, WeaveResult]:
+    process, dependencies = _load_workload(name)
+    return process, DSCWeaver().weave(process, dependencies)
+
+
+def _parse_outcomes(pairs: List[str]) -> Dict[str, str]:
+    outcomes: Dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit("--outcome expects guard=value, got %r" % pair)
+        guard, value = pair.split("=", 1)
+        outcomes[guard] = value
+    return outcomes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dscweaver",
+        description="Dependency categorization and optimization for business "
+        "processes (ICDE 2007 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--workload",
+            default="purchasing",
+            choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+        )
+        return sub
+
+    add("table1", "print the categorized dependency set (Table 1)")
+    add("weave", "run the pipeline and print the reduction report (Table 2)")
+    add("minimal", "print the minimal constraint set (Figure 9)")
+    add("dscl", "print the merged DSCL program")
+    bpel = add("bpel", "emit BPEL XML for the minimal set")
+    bpel.add_argument("--output", default=None, help="file path (default stdout)")
+    bpel.add_argument(
+        "--structured",
+        action="store_true",
+        help="recover nested sequence/flow/switch structure instead of the "
+        "flat flow/link form",
+    )
+    add("validate", "translate to a Petri net and check soundness")
+    simulate = add("simulate", "execute the minimal schedule in the simulator")
+    simulate.add_argument(
+        "--outcome",
+        action="append",
+        default=[],
+        metavar="GUARD=VALUE",
+        help="fix a guard outcome (repeatable)",
+    )
+    dot = add("dot", "export a graph as Graphviz DOT")
+    dot.add_argument(
+        "--what",
+        default="minimal",
+        choices=["dependencies", "merged", "translated", "minimal", "petri"],
+    )
+    dot.add_argument("--output", default=None, help="file path (default stdout)")
+    uml = subparsers.add_parser(
+        "uml", help="extract dependencies from a UML activity diagram XML file"
+    )
+    uml.add_argument("file", help="path to the activity-diagram XML")
+
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "uml":
+        from repro.uml.extract import diagram_dependencies
+        from repro.uml.xmlio import diagram_from_xml
+
+        with open(arguments.file, "r", encoding="utf-8") as handle:
+            diagram = diagram_from_xml(handle.read())
+        print(diagram_dependencies(diagram).as_table())
+        return 0
+
+    if arguments.command == "table1":
+        _process, dependencies = _load_workload(arguments.workload)
+        print(dependencies.as_table())
+        return 0
+
+    process, result = _weave(arguments.workload)
+
+    if arguments.command == "weave":
+        print(result.report.as_table())
+    elif arguments.command == "minimal":
+        for constraint in sorted(result.minimal.constraints):
+            print(constraint)
+    elif arguments.command == "dscl":
+        from repro.dscl.printer import to_text
+
+        print(to_text(result.program), end="")
+    elif arguments.command == "bpel":
+        if arguments.structured:
+            from repro.bpel.structure import emit_structured_bpel
+
+            xml = emit_structured_bpel(process, result.minimal)
+        else:
+            xml = result.to_bpel()
+        if arguments.output:
+            with open(arguments.output, "w", encoding="utf-8") as handle:
+                handle.write(xml + "\n")
+            print("wrote %s" % arguments.output)
+        else:
+            print(xml)
+    elif arguments.command == "validate":
+        from repro.petri.soundness import check_soundness
+
+        net, _marking = result.to_petri_net()
+        report = check_soundness(net)
+        print(
+            "workflow net: %s | sound: %s | reachable markings: %d"
+            % (report.is_workflow_net, report.is_sound, report.reachable_markings)
+        )
+        for problem in report.problems:
+            print("  problem:", problem)
+        return 0 if report.is_sound else 1
+    elif arguments.command == "dot":
+        from repro.export.dot import (
+            constraint_set_to_dot,
+            dependency_set_to_dot,
+            petri_net_to_dot,
+        )
+
+        if arguments.what == "dependencies":
+            text = dependency_set_to_dot(
+                result.dependencies,
+                name=arguments.workload,
+                ports=process.port_names(),
+            )
+        elif arguments.what == "merged":
+            text = constraint_set_to_dot(result.merged, name=arguments.workload)
+        elif arguments.what == "translated":
+            text = constraint_set_to_dot(
+                result.asc,
+                name=arguments.workload,
+                highlight=result.translation.bridged,
+            )
+        elif arguments.what == "petri":
+            net, _marking = result.to_petri_net()
+            text = petri_net_to_dot(net, name=arguments.workload)
+        else:
+            text = constraint_set_to_dot(result.minimal, name=arguments.workload)
+        if arguments.output:
+            with open(arguments.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print("wrote %s" % arguments.output)
+        else:
+            print(text, end="")
+    elif arguments.command == "simulate":
+        from repro.scheduler.engine import ConstraintScheduler
+        from repro.scheduler.metrics import max_concurrency
+
+        scheduler = ConstraintScheduler(
+            process,
+            result.minimal,
+            fine_grained=result.fine_grained,
+            exclusives=result.exclusives,
+        )
+        run = scheduler.run(outcomes=_parse_outcomes(arguments.outcome))
+        print(
+            "makespan=%.1f  constraint checks=%d  peak concurrency=%d"
+            % (run.makespan, run.constraint_checks, max_concurrency(run.trace))
+        )
+        for record in run.trace.executed():
+            outcome = " -> %s" % record.outcome if record.outcome else ""
+            print(
+                "  %6.1f .. %6.1f  %s%s"
+                % (record.start, record.finish, record.name, outcome)
+            )
+        skipped = run.trace.skipped()
+        if skipped:
+            print("  skipped: %s" % ", ".join(skipped))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Sequencing constructs — the imperative baseline the paper argues against.
+
+This package implements a BPEL-style construct algebra (``sequence``,
+``flow`` with links, ``switch``, ``while``) over model activities, plus the
+program-analysis machinery the paper references:
+
+* :mod:`repro.constructs.ast` — the construct tree;
+* :mod:`repro.constructs.analysis` — the total set of orderings a construct
+  tree *implies*;
+* :mod:`repro.constructs.cfg` — construct tree -> control-flow graph;
+* :mod:`repro.constructs.pdg` — Program Dependency Graph extraction
+  (reaching-definition data dependencies + post-dominator control
+  dependencies), the paper's route for applying dependency optimization to
+  imperatively-coded processes;
+* :mod:`repro.constructs.specification` — detection of over- and
+  under-specified synchronization relative to a dependency set (the
+  Figure 2 analysis);
+* :mod:`repro.constructs.rewrite` — rewriting a construct tree into DSCL
+  synchronization constraints.
+"""
+
+from repro.constructs.ast import (
+    Act,
+    Construct,
+    Flow,
+    Link,
+    Sequence,
+    Switch,
+    While,
+)
+from repro.constructs.analysis import implied_orderings, activities_of
+from repro.constructs.cfg import construct_to_cfg
+from repro.constructs.pdg import build_pdg, ProgramDependencyGraph
+from repro.constructs.specification import (
+    SpecificationReport,
+    analyze_specification,
+)
+from repro.constructs.rewrite import constructs_to_constraints
+
+__all__ = [
+    "Act",
+    "Construct",
+    "Flow",
+    "Link",
+    "ProgramDependencyGraph",
+    "Sequence",
+    "SpecificationReport",
+    "Switch",
+    "While",
+    "activities_of",
+    "analyze_specification",
+    "build_pdg",
+    "construct_to_cfg",
+    "constructs_to_constraints",
+    "implied_orderings",
+]

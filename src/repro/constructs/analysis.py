@@ -1,0 +1,161 @@
+"""Ordering semantics of construct trees.
+
+:func:`immediate_orderings` computes the local precedence edges a construct
+tree establishes; :func:`implied_orderings` is their transitive closure —
+the total set of activity pairs the imperative implementation forces into
+sequence.  Comparing this set against what the *dependencies* actually
+require is how over-specification (Figure 2's
+``invProduction_po -> invProduction_ss``) is detected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.graphs import DirectedGraph, transitive_closure
+from repro.constructs.ast import Act, Construct, Flow, Sequence, Switch, While
+from repro.errors import ModelError
+
+#: An ordering edge: (source, target, condition-or-None).
+OrderEdge = Tuple[str, str, Optional[str]]
+
+
+def activities_of(construct: Construct) -> List[str]:
+    """All activity names in the tree, in left-to-right order.
+
+    Raises :class:`ModelError` if an activity appears twice — construct
+    trees in this library are single-occurrence (loops repeat a body, they
+    do not duplicate it).
+    """
+    names: List[str] = []
+
+    def visit(node: Construct) -> None:
+        if isinstance(node, Act):
+            names.append(node.name)
+        elif isinstance(node, Sequence) or isinstance(node, Flow):
+            for child in node.children:
+                visit(child)
+        elif isinstance(node, Switch):
+            names.append(node.guard)
+            for case in node.cases.values():
+                visit(case)
+            if node.otherwise is not None:
+                visit(node.otherwise)
+        elif isinstance(node, While):
+            names.append(node.guard)
+            visit(node.body)
+        else:  # pragma: no cover - exhaustive over the union type
+            raise ModelError("unknown construct %r" % (node,))
+
+    visit(construct)
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ModelError(
+            "activities appear more than once in the construct tree: %s"
+            % sorted(duplicates)
+        )
+    return names
+
+
+def sources(construct: Construct) -> Set[str]:
+    """Activities that can run first within ``construct``."""
+    if isinstance(construct, Act):
+        return {construct.name}
+    if isinstance(construct, Sequence):
+        return sources(construct.children[0])
+    if isinstance(construct, Flow):
+        result: Set[str] = set()
+        for child in construct.children:
+            result |= sources(child)
+        return result
+    if isinstance(construct, (Switch, While)):
+        return {construct.guard}
+    raise ModelError("unknown construct %r" % (construct,))
+
+
+def sinks(construct: Construct) -> Set[str]:
+    """Activities whose completion releases whatever follows ``construct``."""
+    if isinstance(construct, Act):
+        return {construct.name}
+    if isinstance(construct, Sequence):
+        return sinks(construct.children[-1])
+    if isinstance(construct, Flow):
+        result: Set[str] = set()
+        for child in construct.children:
+            result |= sinks(child)
+        return result
+    if isinstance(construct, Switch):
+        result = set()
+        for case in construct.cases.values():
+            result |= sinks(case)
+        if construct.otherwise is not None:
+            result |= sinks(construct.otherwise)
+        else:
+            # Without an otherwise branch the guard itself may be the last
+            # thing to run (no case taken).
+            result.add(construct.guard)
+        return result
+    if isinstance(construct, While):
+        # A while loop may iterate zero times: only the guard's completion
+        # is guaranteed to precede what follows.
+        return {construct.guard}
+    raise ModelError("unknown construct %r" % (construct,))
+
+
+def immediate_orderings(construct: Construct) -> List[OrderEdge]:
+    """The local precedence edges of the tree (before transitive closure).
+
+    Switch edges from the guard into a case carry the case's outcome as
+    condition; all other edges are unconditional.
+    """
+    edges: List[OrderEdge] = []
+
+    def visit(node: Construct) -> None:
+        if isinstance(node, Act):
+            return
+        if isinstance(node, Sequence):
+            for child in node.children:
+                visit(child)
+            for earlier, later in zip(node.children, node.children[1:]):
+                for sink in sorted(sinks(earlier)):
+                    for source in sorted(sources(later)):
+                        edges.append((sink, source, None))
+            return
+        if isinstance(node, Flow):
+            for child in node.children:
+                visit(child)
+            for link in node.links:
+                edges.append((link.source, link.target, None))
+            return
+        if isinstance(node, Switch):
+            for outcome, case in node.cases.items():
+                visit(case)
+                for source in sorted(sources(case)):
+                    edges.append((node.guard, source, outcome))
+            if node.otherwise is not None:
+                visit(node.otherwise)
+                for source in sorted(sources(node.otherwise)):
+                    edges.append((node.guard, source, None))
+            return
+        if isinstance(node, While):
+            visit(node.body)
+            for source in sorted(sources(node.body)):
+                edges.append((node.guard, source, "T"))
+            return
+        raise ModelError("unknown construct %r" % (node,))
+
+    visit(construct)
+    return edges
+
+
+def implied_orderings(construct: Construct) -> Set[Tuple[str, str]]:
+    """All activity pairs ``(a, b)`` forced into the order ``a`` before
+    ``b`` by the construct tree (conditions dropped; the pair holds in every
+    execution where both activities run)."""
+    graph = DirectedGraph(nodes=activities_of(construct))
+    for source, target, _condition in immediate_orderings(construct):
+        graph.add_edge(source, target)
+    closure = transitive_closure(graph)
+    return {
+        (source, target) for source, targets in closure.items() for target in targets
+    }

@@ -1,0 +1,127 @@
+"""Construct tree for imperative (BPEL-style) process implementations.
+
+Constructs reference activities of a :class:`~repro.model.process.
+BusinessProcess` by name — the construct tree adds *ordering*, the model
+holds everything else.  Supported constructs mirror the BPEL 1.0 subset the
+paper's Figure 2 uses:
+
+* :class:`Act` — a single activity;
+* :class:`Sequence` — children execute strictly one after another;
+* :class:`Flow` — children execute concurrently, except where cross-child
+  :class:`Link` edges impose order (BPEL ``<link>``);
+* :class:`Switch` — a guard activity selects exactly one case;
+* :class:`While` — a guard activity repeats its body while true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence as Seq, Tuple, Union
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Act:
+    """A leaf construct: run one activity."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("Act requires an activity name")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Link:
+    """A BPEL flow link: ``source`` must finish before ``target`` starts.
+
+    Links cut across the children of a :class:`Flow` — they are how Figure 2
+    wires ``recShip_si`` into ``invPurchase_si`` across subprocesses.
+    """
+
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ModelError("link endpoints must differ")
+
+    def __str__(self) -> str:
+        return "link(%s -> %s)" % (self.source, self.target)
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """Children run strictly in order."""
+
+    children: Tuple["Construct", ...]
+
+    def __init__(self, *children: "Construct") -> None:
+        object.__setattr__(self, "children", tuple(children))
+        if not self.children:
+            raise ModelError("Sequence requires at least one child")
+
+    def __str__(self) -> str:
+        return "sequence(%s)" % ", ".join(str(c) for c in self.children)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """Children run concurrently; ``links`` add cross-child orderings."""
+
+    children: Tuple["Construct", ...]
+    links: Tuple[Link, ...] = ()
+
+    def __init__(self, *children: "Construct", links: Seq[Link] = ()) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "links", tuple(links))
+        if not self.children:
+            raise ModelError("Flow requires at least one child")
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(c) for c in self.children)
+        if self.links:
+            rendered += "; links=[%s]" % ", ".join(str(l) for l in self.links)
+        return "flow(%s)" % rendered
+
+
+@dataclass(frozen=True)
+class Switch:
+    """A guard activity selects one case (or the optional ``otherwise``).
+
+    ``cases`` maps guard outcomes to constructs.  The guard activity runs
+    first, then exactly one branch.
+    """
+
+    guard: str
+    cases: Mapping[str, "Construct"]
+    otherwise: Optional["Construct"] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cases", dict(self.cases))
+        if not self.cases:
+            raise ModelError("Switch requires at least one case")
+
+    def __str__(self) -> str:
+        rendered = ", ".join("%s: %s" % (k, v) for k, v in self.cases.items())
+        if self.otherwise is not None:
+            rendered += ", otherwise: %s" % self.otherwise
+        return "switch(%s; %s)" % (self.guard, rendered)
+
+
+@dataclass(frozen=True)
+class While:
+    """A guard activity repeats its body while it evaluates true."""
+
+    guard: str
+    body: "Construct"
+
+    def __str__(self) -> str:
+        return "while(%s; %s)" % (self.guard, self.body)
+
+
+Construct = Union[Act, Sequence, Flow, Switch, While]

@@ -1,0 +1,118 @@
+"""Construct tree -> control-flow graph.
+
+The CFG is the substrate of PDG extraction (Section 3.1: "we can use
+program analysis techniques like Program Dependency Graph to extract
+dependency information").  ``Flow`` constructs introduce fork/join pseudo
+nodes; ``Switch``/``While`` guards branch with labeled edges.  Pseudo nodes
+are prefixed ``__`` so downstream analyses can filter them out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.graphs import DirectedGraph
+from repro.constructs.ast import Act, Construct, Flow, Sequence, Switch, While
+from repro.errors import ModelError
+
+ENTRY = "__entry"
+EXIT = "__exit"
+
+
+@dataclass
+class ControlFlowGraph:
+    """A CFG with entry/exit sentinels and branch-edge labels."""
+
+    graph: DirectedGraph
+    entry: str = ENTRY
+    exit: str = EXIT
+    branch_labels: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def is_pseudo(self, node: str) -> bool:
+        return isinstance(node, str) and node.startswith("__")
+
+    def real_nodes(self) -> List[str]:
+        return [n for n in self.graph.nodes() if not self.is_pseudo(n)]
+
+
+def construct_to_cfg(construct: Construct) -> ControlFlowGraph:
+    """Translate a construct tree into a :class:`ControlFlowGraph`."""
+    graph = DirectedGraph()
+    branch_labels: Dict[Tuple[str, str], str] = {}
+    counters = {"fork": 0, "join": 0, "merge": 0}
+
+    def fresh(kind: str) -> str:
+        counters[kind] += 1
+        return "__%s_%d" % (kind, counters[kind])
+
+    def wire(node: Construct, head: str) -> str:
+        """Attach ``node`` after CFG node ``head``; return the tail node."""
+        if isinstance(node, Act):
+            graph.add_edge(head, node.name)
+            return node.name
+        if isinstance(node, Sequence):
+            current = head
+            for child in node.children:
+                current = wire(child, current)
+            return current
+        if isinstance(node, Flow):
+            fork = fresh("fork")
+            join = fresh("join")
+            graph.add_edge(head, fork)
+            for child in node.children:
+                tail = wire(child, fork)
+                graph.add_edge(tail, join)
+            # Flow links are synchronization edges; they are included in the
+            # CFG because data flows along them (a definition made before a
+            # link's source reaches uses after its target), which the
+            # reaching-definitions analysis must see.
+            for link in node.links:
+                graph.add_edge(link.source, link.target)
+            return join
+        if isinstance(node, Switch):
+            graph.add_edge(head, node.guard)
+            merge = fresh("merge")
+            for outcome, case in node.cases.items():
+                first = _first_cfg_edge(graph, node.guard, case, wire)
+                branch_labels[(node.guard, first)] = outcome
+                # `wire` already attached the case; connect its tail.
+                tail = _case_tails.pop()
+                graph.add_edge(tail, merge)
+            if node.otherwise is not None:
+                first = _first_cfg_edge(graph, node.guard, node.otherwise, wire)
+                tail = _case_tails.pop()
+                graph.add_edge(tail, merge)
+            else:
+                graph.add_edge(node.guard, merge)
+            return merge
+        if isinstance(node, While):
+            graph.add_edge(head, node.guard)
+            body_first = _first_cfg_edge(graph, node.guard, node.body, wire)
+            branch_labels[(node.guard, body_first)] = "T"
+            tail = _case_tails.pop()
+            graph.add_edge(tail, node.guard)
+            return node.guard
+        raise ModelError("unknown construct %r" % (node,))
+
+    # Helper state for Switch/While wiring: wire() returns the tail but we
+    # also need the first concrete node a case reaches from the guard.
+    _case_tails: List[str] = []
+
+    def _first_cfg_edge(g: DirectedGraph, guard: str, case: Construct, wirefn) -> str:
+        before = set(g.successors(guard))
+        tail = wirefn(case, guard)
+        _case_tails.append(tail)
+        after = set(g.successors(guard))
+        added = after - before
+        if len(added) == 1:
+            return added.pop()
+        # The case started with a construct whose head node was already a
+        # successor (should not happen with single-occurrence activities).
+        raise ModelError("could not identify the first node of a switch case")
+
+    tail = wire(construct, ENTRY)
+    graph.add_edge(tail, EXIT)
+    graph.add_node(ENTRY)
+    graph.add_node(EXIT)
+    return ControlFlowGraph(graph=graph, branch_labels=branch_labels)

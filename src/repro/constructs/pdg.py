@@ -1,0 +1,218 @@
+"""Program Dependency Graph extraction from construct trees.
+
+Implements the paper's claim that imperatively-coded processes "can be
+parsed to a dependency graph such as PDG" and then participate in
+dependency optimization:
+
+* data dependencies via *reaching definitions* over the CFG — for each use
+  of a variable, every definition that reaches it contributes a
+  definition-use edge;
+* control dependencies via the post-dominator criterion, restricted to
+  *guard* activities (fork/join pseudo nodes of parallel flows have
+  out-degree > 1 but are not decision points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.constructs.analysis import activities_of
+from repro.constructs.ast import Construct
+from repro.constructs.cfg import ControlFlowGraph, construct_to_cfg
+from repro.deps.registry import DependencySet
+from repro.deps.types import Dependency, DependencyKind
+from repro.model.process import BusinessProcess
+
+#: A reaching definition: (variable, defining activity).
+Definition = Tuple[str, str]
+
+
+@dataclass
+class ProgramDependencyGraph:
+    """The extracted PDG: data plus control dependency edges."""
+
+    data_dependencies: List[Dependency] = field(default_factory=list)
+    control_dependencies: List[Dependency] = field(default_factory=list)
+
+    def as_dependency_set(self) -> DependencySet:
+        merged = DependencySet()
+        merged.extend(self.data_dependencies)
+        merged.extend(self.control_dependencies)
+        return merged
+
+
+def _reaching_definitions(
+    process: BusinessProcess, cfg: ControlFlowGraph
+) -> Dict[str, Set[Definition]]:
+    """IN sets of the classic reaching-definitions dataflow analysis.
+
+    Pseudo nodes pass definitions through unchanged.
+    """
+    nodes = cfg.graph.nodes()
+    gen: Dict[str, Set[Definition]] = {}
+    kill_vars: Dict[str, Set[str]] = {}
+    for node in nodes:
+        if cfg.is_pseudo(node) or not process.has_activity(node):
+            gen[node] = set()
+            kill_vars[node] = set()
+            continue
+        activity = process.activity(node)
+        gen[node] = {(variable, node) for variable in activity.writes}
+        kill_vars[node] = set(activity.writes)
+
+    in_sets: Dict[str, Set[Definition]] = {node: set() for node in nodes}
+    out_sets: Dict[str, Set[Definition]] = {node: set() for node in nodes}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            new_in: Set[Definition] = set()
+            for predecessor in cfg.graph.predecessors(node):
+                new_in |= out_sets[predecessor]
+            new_out = gen[node] | {
+                (variable, definer)
+                for variable, definer in new_in
+                if variable not in kill_vars[node]
+            }
+            if new_in != in_sets[node] or new_out != out_sets[node]:
+                in_sets[node] = new_in
+                out_sets[node] = new_out
+                changed = True
+    return in_sets
+
+
+def build_pdg(
+    process: BusinessProcess, construct: Construct
+) -> ProgramDependencyGraph:
+    """Extract the PDG of an imperative implementation of ``process``."""
+    cfg = construct_to_cfg(construct)
+    activities_of(construct)  # validates single occurrence
+    in_sets = _reaching_definitions(process, cfg)
+
+    data: List[Dependency] = []
+    seen_data: Set[Tuple[str, str]] = set()
+    for node in cfg.real_nodes():
+        if not process.has_activity(node):
+            continue
+        activity = process.activity(node)
+        for variable in sorted(activity.reads):
+            for def_variable, definer in sorted(in_sets[node]):
+                if def_variable != variable or definer == node:
+                    continue
+                key = (definer, node)
+                if key in seen_data:
+                    continue
+                seen_data.add(key)
+                data.append(
+                    Dependency(
+                        DependencyKind.DATA,
+                        definer,
+                        node,
+                        rationale="definition of %r reaches this use (PDG)" % variable,
+                    )
+                )
+
+    control = structural_control_dependencies(construct)
+    return ProgramDependencyGraph(data_dependencies=data, control_dependencies=control)
+
+
+def structural_control_dependencies(construct: Construct) -> List[Dependency]:
+    """Control dependencies read off the construct tree.
+
+    Equivalent to the Ferrante-Ottenstein-Warren criterion on structured
+    programs, and — unlike CFG-based post-domination — correct in the
+    presence of parallel ``Flow`` regions nested inside switch cases (a
+    flow member does not post-dominate the fork node, yet it executes iff
+    the case was taken).
+
+    Rules:
+
+    * every activity in a switch case is control dependent on the guard
+      with that case's outcome, except activities nested in a *deeper*
+      switch/while, which depend on the inner guard instead;
+    * while bodies are control dependent on the loop guard with outcome
+      ``T``;
+    * a switch followed by a sibling in a sequence contributes the paper's
+      unconditional "NONE" edge from the guard to the sibling's first
+      activities (the join).
+    """
+    from repro.constructs.analysis import sources as construct_sources
+    from repro.constructs.ast import Act, Flow, Sequence, Switch, While
+
+    control: List[Dependency] = []
+    seen: Set[Tuple[str, str, Optional[str]]] = set()
+
+    def add(source: str, target: str, condition: Optional[str], why: str) -> None:
+        key = (source, target, condition)
+        if key not in seen:
+            seen.add(key)
+            control.append(
+                Dependency(
+                    DependencyKind.CONTROL, source, target, condition, rationale=why
+                )
+            )
+
+    def immediate_members(node: Construct) -> List[str]:
+        """Activities executing iff ``node`` executes (stop at nested
+        decision points, but include the nested guards themselves)."""
+        if isinstance(node, Act):
+            return [node.name]
+        if isinstance(node, (Sequence, Flow)):
+            result: List[str] = []
+            for child in node.children:
+                result.extend(immediate_members(child))
+            return result
+        if isinstance(node, (Switch, While)):
+            return [node.guard]
+        return []
+
+    def visit(node: Construct) -> None:
+        if isinstance(node, (Sequence, Flow)):
+            for child in node.children:
+                visit(child)
+            if isinstance(node, Sequence):
+                for earlier, later in zip(node.children, node.children[1:]):
+                    for switch in _trailing_switches(earlier):
+                        for source in sorted(construct_sources(later)):
+                            add(
+                                switch.guard,
+                                source,
+                                None,
+                                "join after switch on %s" % switch.guard,
+                            )
+            return
+        if isinstance(node, Switch):
+            for outcome, case in node.cases.items():
+                for member in immediate_members(case):
+                    add(
+                        node.guard,
+                        member,
+                        outcome,
+                        "executes only when %s = %s" % (node.guard, outcome),
+                    )
+                visit(case)
+            if node.otherwise is not None:
+                visit(node.otherwise)
+            return
+        if isinstance(node, While):
+            for member in immediate_members(node.body):
+                add(node.guard, member, "T", "loop body of %s" % node.guard)
+            visit(node.body)
+            return
+
+    def _trailing_switches(node: Construct) -> List[Switch]:
+        """Switches whose join is the next sequence sibling."""
+        if isinstance(node, Switch):
+            return [node]
+        if isinstance(node, Sequence):
+            return _trailing_switches(node.children[-1])
+        if isinstance(node, Flow):
+            result: List[Switch] = []
+            for child in node.children:
+                result.extend(_trailing_switches(child))
+            return result
+        return []
+
+    visit(construct)
+    return control

@@ -1,0 +1,95 @@
+"""Rewriting construct trees into synchronization constraint sets.
+
+The paper (Section 5): "a process implemented in workflow patterns ...
+can be parsed to a dependency graph such as PDG and use rewriting rules to
+translate constructs into synchronization constraints, and then
+participate in the step of dependency inference and optimization."
+
+:func:`constructs_to_constraints` performs that rewriting: the immediate
+orderings of the tree become happen-before constraints (switch edges carry
+their case's outcome as condition) and the switch structure yields the
+guard map, so the resulting set can be fed straight into
+:func:`repro.core.minimize.minimize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.constructs.analysis import activities_of, immediate_orderings
+from repro.constructs.ast import Construct, Switch, While
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.model.process import BusinessProcess
+
+
+def _collect_guard_map(construct: Construct) -> Dict[str, Set[Cond]]:
+    """Execution guards implied by the switch/while structure."""
+    from repro.constructs.ast import Act, Flow, Sequence
+
+    guards: Dict[str, Set[Cond]] = {}
+
+    def members(node: Construct) -> List[str]:
+        if isinstance(node, Act):
+            return [node.name]
+        if isinstance(node, (Sequence, Flow)):
+            result: List[str] = []
+            for child in node.children:
+                result.extend(members(child))
+            return result
+        if isinstance(node, Switch):
+            result = [node.guard]
+            for case in node.cases.values():
+                result.extend(members(case))
+            if node.otherwise is not None:
+                result.extend(members(node.otherwise))
+            return result
+        if isinstance(node, While):
+            return [node.guard] + members(node.body)
+        return []
+
+    def visit(node: Construct) -> None:
+        if isinstance(node, (Sequence, Flow)):
+            for child in node.children:
+                visit(child)
+        elif isinstance(node, Switch):
+            for outcome, case in node.cases.items():
+                for member in members(case):
+                    guards.setdefault(member, set()).add(Cond(node.guard, outcome))
+                visit(case)
+            if node.otherwise is not None:
+                visit(node.otherwise)
+        elif isinstance(node, While):
+            for member in members(node.body):
+                guards.setdefault(member, set()).add(Cond(node.guard, "T"))
+            visit(node.body)
+
+    visit(construct)
+    return guards
+
+
+def constructs_to_constraints(
+    process: BusinessProcess, construct: Construct
+) -> SynchronizationConstraintSet:
+    """Rewrite a construct tree into an activity constraint set.
+
+    The set contains only internal activities (constructs cannot mention
+    ports); guards and guard domains come from the switch structure and the
+    process's guard activities respectively.
+    """
+    names = activities_of(construct)
+    constraints = [
+        Constraint(source, target, condition)
+        for source, target, condition in immediate_orderings(construct)
+    ]
+    guard_map = _collect_guard_map(construct)
+    domains = ConditionDomains()
+    for name in names:
+        if process.has_activity(name) and process.activity(name).is_guard:
+            domains.declare(name, process.activity(name).outcomes)
+    return SynchronizationConstraintSet(
+        activities=names,
+        constraints=constraints,
+        guards={k: frozenset(v) for k, v in guard_map.items()},
+        domains=domains,
+    )

@@ -1,0 +1,99 @@
+"""Over-/under-specification analysis of imperative implementations.
+
+Section 2 of the paper diagnoses Figure 2's construct implementation by
+comparing what the constructs *enforce* against what the dependencies
+*require*:
+
+* the sequencing ``invProduction_po -> invProduction_ss`` is
+  **over-specified** — no dependency requires it;
+* the sequencing ``invPurchase_po -> invPurchase_si`` looks equally
+  arbitrary but is **required** (a service dependency of the state-aware
+  Purchase service);
+* a scheme missing a required ordering is **under-specified** (Figure 5's
+  data+control-only scheme misses the cooperation constraints on
+  ``replyClient_oi``).
+
+:func:`analyze_specification` automates this comparison given a construct
+tree and the reference constraint set (normally the translated ``ASC`` of
+the full dependency set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from repro.constructs.analysis import implied_orderings
+from repro.constructs.ast import Construct
+from repro.core.closure import Semantics, closure_map
+from repro.core.constraints import SynchronizationConstraintSet
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class SpecificationReport:
+    """Result of comparing an implementation against required orderings.
+
+    ``over_specified``
+        Orderings the constructs enforce that no dependency requires —
+        lost concurrency.
+    ``under_specified``
+        Orderings the dependencies require that the constructs do not
+        enforce — correctness hazards.
+    ``satisfied``
+        Required orderings the constructs do enforce.
+    """
+
+    over_specified: Tuple[Pair, ...]
+    under_specified: Tuple[Pair, ...]
+    satisfied: Tuple[Pair, ...]
+
+    @property
+    def is_exact(self) -> bool:
+        """Does the implementation enforce exactly the required orderings?"""
+        return not self.over_specified and not self.under_specified
+
+    def summary(self) -> str:
+        return (
+            "required=%d satisfied=%d under-specified=%d over-specified=%d"
+            % (
+                len(self.satisfied) + len(self.under_specified),
+                len(self.satisfied),
+                len(self.under_specified),
+                len(self.over_specified),
+            )
+        )
+
+
+def required_orderings(
+    reference: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> Set[Pair]:
+    """All activity pairs the reference constraint set orders (its closure,
+    annotations disregarded — an ordering required on one branch only still
+    needs enforcement whenever both activities run)."""
+    pairs: Set[Pair] = set()
+    for source, facts in closure_map(reference, semantics).items():
+        for target, _annotations in facts:
+            pairs.add((source, target))
+    return pairs
+
+
+def analyze_specification(
+    construct: Construct,
+    reference: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> SpecificationReport:
+    """Compare a construct tree against a reference constraint set."""
+    implied = implied_orderings(construct)
+    required = required_orderings(reference, semantics)
+
+    over = sorted(implied - required)
+    under = sorted(required - implied)
+    satisfied = sorted(required & implied)
+    return SpecificationReport(
+        over_specified=tuple(over),
+        under_specified=tuple(under),
+        satisfied=tuple(satisfied),
+    )

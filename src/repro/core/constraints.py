@@ -1,0 +1,299 @@
+"""Synchronization constraint sets (Definition 1: ``SC = {A, S, P}``).
+
+A constraint is a (possibly conditional) happen-before between two nodes.
+Internal activities live in ``A``; external service ports live in ``S``;
+after service-dependency translation ``S`` is empty and the set is an
+*Activity Synchronization Constraint* set (``ASC = {A, P}``).
+
+The set also carries the *execution guards* of activities — which branch
+outcomes an activity's execution is conditioned on — because the
+guard-aware equivalence semantics (DESIGN.md) needs them, and the paper's
+Table 2 numbers are only reproducible under that semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.analysis.graphs import DirectedGraph
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A happen-before constraint ``source -> target`` (Definition 1).
+
+    ``condition`` labels a *conditional* happen-before ``->c``: the ordering
+    applies when the **source** activity (a guard) evaluates to
+    ``condition``.  ``None`` means unconditional.
+    """
+
+    source: str
+    target: str
+    condition: Optional[str] = None
+
+    def _sort_key(self) -> Tuple[str, str, str]:
+        # Unconditional sorts before any condition for the same pair.
+        return (self.source, self.target, self.condition or "")
+
+    def __lt__(self, other: "Constraint") -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise ConstraintError("constraint endpoints must be non-empty")
+        if self.source == self.target:
+            raise ConstraintError(
+                "self-constraint %r -> %r is not allowed" % (self.source, self.target)
+            )
+
+    @property
+    def annotation(self) -> FrozenSet[Cond]:
+        """The Definition-3 annotation this edge contributes to a path."""
+        if self.condition is None:
+            return frozenset()
+        return frozenset({Cond(self.source, self.condition)})
+
+    def __str__(self) -> str:
+        if self.condition is None:
+            return "%s -> %s" % (self.source, self.target)
+        return "%s ->%s %s" % (self.source, self.condition, self.target)
+
+
+class SynchronizationConstraintSet:
+    """``SC = {A, S, P}`` plus guard metadata.
+
+    Parameters
+    ----------
+    activities:
+        Internal activity names (``A``).
+    externals:
+        External service-port names (``S``); empty for an ``ASC``.
+    constraints:
+        The happen-before constraints (``P``).
+    guards:
+        Direct execution guards: activity -> set of ``(guard, outcome)``
+        conditions under which it executes.  Derived from control
+        dependencies by the compiler; used by guard-aware equivalence.
+    domains:
+        Outcome domains of guard activities (boolean by default).
+    """
+
+    def __init__(
+        self,
+        activities: Iterable[str],
+        externals: Iterable[str] = (),
+        constraints: Iterable[Constraint] = (),
+        guards: Optional[Mapping[str, Iterable[Cond]]] = None,
+        domains: Optional[ConditionDomains] = None,
+    ) -> None:
+        self._activities: Dict[str, None] = dict.fromkeys(activities)
+        self._externals: Dict[str, None] = dict.fromkeys(externals)
+        overlap = set(self._activities) & set(self._externals)
+        if overlap:
+            raise ConstraintError(
+                "names cannot be both internal and external: %s" % sorted(overlap)
+            )
+        self.domains = domains.copy() if domains is not None else ConditionDomains()
+        self._guards: Dict[str, FrozenSet[Cond]] = {}
+        if guards:
+            for activity, conds in guards.items():
+                self._guards[activity] = frozenset(conds)
+        self._constraints: Dict[Tuple[str, str, Optional[str]], Constraint] = {}
+        for constraint in constraints:
+            self.add(constraint)
+        self._effective_guards: Optional[Dict[str, FrozenSet[Cond]]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, constraint: Constraint) -> "SynchronizationConstraintSet":
+        for endpoint in (constraint.source, constraint.target):
+            if endpoint not in self._activities and endpoint not in self._externals:
+                raise ConstraintError(
+                    "constraint %s mentions unknown node %r" % (constraint, endpoint)
+                )
+        key = (constraint.source, constraint.target, constraint.condition)
+        self._constraints.setdefault(key, constraint)
+        return self
+
+    def remove(self, constraint: Constraint) -> None:
+        key = (constraint.source, constraint.target, constraint.condition)
+        if key not in self._constraints:
+            raise ConstraintError("constraint %s not in set" % constraint)
+        del self._constraints[key]
+
+    def replace_constraints(
+        self, constraints: Iterable[Constraint]
+    ) -> "SynchronizationConstraintSet":
+        """A copy of this set with ``P`` replaced (same ``A``, ``S``, guards)."""
+        return SynchronizationConstraintSet(
+            activities=self._activities,
+            externals=self._externals,
+            constraints=constraints,
+            guards=self._guards,
+            domains=self.domains,
+        )
+
+    def without(self, constraint: Constraint) -> "SynchronizationConstraintSet":
+        """A copy of this set lacking ``constraint``."""
+        remaining = [c for c in self.constraints if c != constraint]
+        return self.replace_constraints(remaining)
+
+    def copy(self) -> "SynchronizationConstraintSet":
+        return self.replace_constraints(self.constraints)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def activities(self) -> List[str]:
+        return list(self._activities)
+
+    @property
+    def externals(self) -> List[str]:
+        return list(self._externals)
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._activities) + list(self._externals)
+
+    @property
+    def constraints(self) -> List[Constraint]:
+        return list(self._constraints.values())
+
+    @property
+    def is_activity_set(self) -> bool:
+        """True when no constraint touches an external node (an ``ASC``)."""
+        return not any(
+            c.source in self._externals or c.target in self._externals
+            for c in self._constraints.values()
+        )
+
+    def has_constraint(
+        self, source: str, target: str, condition: Optional[str] = None
+    ) -> bool:
+        return (source, target, condition) in self._constraints
+
+    def is_internal(self, node: str) -> bool:
+        return node in self._activities
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints.values())
+
+    def __contains__(self, constraint: Constraint) -> bool:
+        return (constraint.source, constraint.target, constraint.condition) in self._constraints
+
+    # -- guards -------------------------------------------------------------------
+
+    def guard_of(self, activity: str) -> FrozenSet[Cond]:
+        """Direct execution guard of ``activity`` (may be empty)."""
+        return self._guards.get(activity, frozenset())
+
+    @property
+    def guards(self) -> Dict[str, FrozenSet[Cond]]:
+        return dict(self._guards)
+
+    def effective_guard(self, activity: str) -> FrozenSet[Cond]:
+        """Transitive execution guard.
+
+        If ``x`` runs only when ``g = v``, and ``g`` itself runs only when
+        ``h = w``, then ``x`` runs only when both hold.  Computed once and
+        cached; guard cycles are broken defensively (they would indicate a
+        malformed model).
+        """
+        if self._effective_guards is None:
+            self._effective_guards = {}
+        cached = self._effective_guards.get(activity)
+        if cached is not None:
+            return cached
+
+        result: Set[Cond] = set()
+        worklist = list(self._guards.get(activity, ()))
+        visited_guards: Set[str] = {activity}
+        while worklist:
+            cond = worklist.pop()
+            if cond in result:
+                continue
+            result.add(cond)
+            if cond.guard not in visited_guards:
+                visited_guards.add(cond.guard)
+                worklist.extend(self._guards.get(cond.guard, ()))
+        frozen = frozenset(result)
+        self._effective_guards[activity] = frozen
+        return frozen
+
+    # -- derived views -----------------------------------------------------------
+
+    def as_graph(self) -> DirectedGraph:
+        """The underlying plain digraph (annotations dropped)."""
+        graph = DirectedGraph(nodes=self.nodes)
+        for constraint in self._constraints.values():
+            graph.add_edge(constraint.source, constraint.target)
+        return graph
+
+    def outgoing(self, node: str) -> List[Constraint]:
+        return [c for c in self._constraints.values() if c.source == node]
+
+    def incoming(self, node: str) -> List[Constraint]:
+        return [c for c in self._constraints.values() if c.target == node]
+
+    def derive_guards_from_constraints(self) -> Dict[str, FrozenSet[Cond]]:
+        """Guards implied by the conditional constraints currently in ``P``.
+
+        Convenience for standalone sets built without a process model: every
+        conditional constraint ``g ->v x`` contributes ``(g, v)`` to the
+        guard of ``x``.
+        """
+        derived: Dict[str, Set[Cond]] = {}
+        for constraint in self._constraints.values():
+            if constraint.condition is not None:
+                derived.setdefault(constraint.target, set()).add(
+                    Cond(constraint.source, constraint.condition)
+                )
+        return {activity: frozenset(conds) for activity, conds in derived.items()}
+
+    def with_guards(
+        self, guards: Mapping[str, Iterable[Cond]]
+    ) -> "SynchronizationConstraintSet":
+        """A copy with the guard map replaced."""
+        return SynchronizationConstraintSet(
+            activities=self._activities,
+            externals=self._externals,
+            constraints=self.constraints,
+            guards={a: frozenset(c) for a, c in guards.items()},
+            domains=self.domains,
+        )
+
+    def pretty(self) -> str:
+        """Multi-line rendering of the set, Figure 7 style."""
+        lines = ["A = {%s}" % ", ".join(self._activities)]
+        if self._externals:
+            lines.append("S = {%s}" % ", ".join(self._externals))
+        lines.append("P = {")
+        for constraint in sorted(self._constraints.values()):
+            lines.append("    %s" % constraint)
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SynchronizationConstraintSet(|A|=%d, |S|=%d, |P|=%d)" % (
+            len(self._activities),
+            len(self._externals),
+            len(self._constraints),
+        )

@@ -1,0 +1,71 @@
+"""Set cover and transitive equivalence (Definitions 4-5).
+
+``P`` covers ``Q`` iff for every activity, each closure fact under ``Q`` is
+subsumed by a fact under ``P`` (same target, annotations at most as strong a
+condition set).  Two sets are *transitively equivalent* iff they cover each
+other.  Equivalence is always judged under one of the three
+:class:`~repro.core.closure.Semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.analysis.conditions import Fact
+from repro.core.closure import Semantics, closure_map
+from repro.core.constraints import SynchronizationConstraintSet
+
+
+def fact_set_covers(
+    covering: FrozenSet[Fact], covered: FrozenSet[Fact]
+) -> bool:
+    """Does every fact in ``covered`` have a subsuming fact in ``covering``?
+
+    A fact ``(t, A)`` is subsumed by ``(t, B)`` when ``B <= A`` (the fewer
+    the annotations, the stronger the obligation).
+    """
+    by_target: Dict[str, list] = {}
+    for target, annotations in covering:
+        by_target.setdefault(target, []).append(annotations)
+    for target, annotations in covered:
+        candidates = by_target.get(target)
+        if not candidates:
+            return False
+        if not any(stronger <= annotations for stronger in candidates):
+            return False
+    return True
+
+
+def covers(
+    covering: SynchronizationConstraintSet,
+    covered: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+    nodes: Optional[Iterable[str]] = None,
+) -> bool:
+    """Definition 4: ``covering`` covers ``covered``.
+
+    ``nodes`` optionally restricts the check to a subset of activities
+    (used by the fast minimizer, which knows removal of an edge can only
+    perturb the closures of the edge's source and its ancestors).
+    """
+    check_nodes = list(nodes) if nodes is not None else covered.nodes
+    covered_map = closure_map(covered, semantics, nodes=check_nodes)
+    covering_map = closure_map(covering, semantics, nodes=check_nodes)
+    for node in check_nodes:
+        if not fact_set_covers(
+            covering_map.get(node, frozenset()), covered_map.get(node, frozenset())
+        ):
+            return False
+    return True
+
+
+def transitive_equivalent(
+    first: SynchronizationConstraintSet,
+    second: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+    nodes: Optional[Iterable[str]] = None,
+) -> bool:
+    """Definition 5: mutual cover."""
+    return covers(first, second, semantics, nodes) and covers(
+        second, first, semantics, nodes
+    )

@@ -1,0 +1,137 @@
+"""Minimal synchronization constraint sets (Definition 6).
+
+The paper's algorithm::
+
+    P* = P
+    for each partial ordering ai -> aj in P:
+        if P* - {ai -> aj} is transitive equivalent to P:
+            P* = P* - {ai -> aj}
+
+Two implementations are provided:
+
+* :func:`minimize_naive` — the algorithm verbatim: every candidate removal
+  re-checks transitive equivalence over *all* activities.  Quadratic in the
+  number of constraints times the closure cost; kept as the reference and
+  as the baseline of the scaling benchmark (S1).
+* :func:`minimize_fast` — exploits a structural fact: removing the edge
+  ``u -> v`` can only change the closure of ``u`` and of ``u``'s ancestors
+  (any path using the edge passes through ``u``).  Equivalence is therefore
+  checked on that (usually small) node set only.  A cheap pre-test — is the
+  fact ``(v, annotation(e))`` still covered from ``u`` without the edge? —
+  rejects most non-removable edges without touching the ancestors.
+
+Both are order-dependent (the minimal set is not unique, as the paper
+notes, mirroring minimal covers of functional dependencies); both iterate
+constraints in deterministic insertion order so results are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.graphs import ancestors as graph_ancestors
+from repro.core.closure import Semantics, annotated_closure, raw_closure
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.equivalence import fact_set_covers, transitive_equivalent
+
+
+def _candidate_order(
+    sc: SynchronizationConstraintSet, order: Optional[Sequence[Constraint]]
+) -> List[Constraint]:
+    if order is None:
+        return sc.constraints
+    ordered = list(order)
+    known = set(sc.constraints)
+    unknown = [c for c in ordered if c not in known]
+    if unknown:
+        raise ValueError("order mentions constraints not in the set: %r" % unknown)
+    missing = [c for c in sc.constraints if c not in set(ordered)]
+    return ordered + missing
+
+
+def minimize_naive(
+    sc: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+    order: Optional[Sequence[Constraint]] = None,
+) -> SynchronizationConstraintSet:
+    """Definition 6, checked globally against the original set each step."""
+    current = sc.copy()
+    for constraint in _candidate_order(sc, order):
+        candidate = current.without(constraint)
+        if transitive_equivalent(candidate, sc, semantics):
+            current = candidate
+    return current
+
+
+def minimize_fast(
+    sc: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+    order: Optional[Sequence[Constraint]] = None,
+) -> SynchronizationConstraintSet:
+    """Ancestor-pruned minimization.
+
+    Equivalent-to-original is maintained inductively: each accepted removal
+    is checked to keep the candidate equivalent to the *current* set, and
+    only closures that can have changed (the edge's source and its
+    ancestors) are compared.  Closures of all other nodes are untouched by
+    the removal, so candidate = current there trivially.
+    """
+    current = sc.copy()
+    for constraint in _candidate_order(sc, order):
+        candidate = current.without(constraint)
+
+        # Shortcut: if the *raw* closure of the source is still covered
+        # without the edge, coverage propagates compositionally to every
+        # ancestor (a fact through the edge is an ancestor-to-source prefix
+        # joined with a source fact), so the removal is safe under any
+        # semantics — no ancestor check needed.
+        raw_before = raw_closure(current, constraint.source, semantics)
+        raw_after = raw_closure(candidate, constraint.source, semantics)
+        if fact_set_covers(raw_after, raw_before):
+            current = candidate
+            continue
+
+        # Cheap rejection: without the edge, is its own ordering fact still
+        # covered from the source *semantically*?  If not, the edge is
+        # certainly needed.
+        source_closure = annotated_closure(candidate, constraint.source, semantics)
+        reference = annotated_closure(
+            current.replace_constraints([constraint]), constraint.source, semantics
+        )
+        if not fact_set_covers(source_closure, reference):
+            continue
+
+        # Full check restricted to the nodes whose closures can change:
+        # the source and its ancestors.
+        affected = [constraint.source] + sorted(
+            graph_ancestors(current.as_graph(), constraint.source),
+            key=str,
+        )
+        if transitive_equivalent(candidate, current, semantics, nodes=affected):
+            current = candidate
+    return current
+
+
+def minimize(
+    sc: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+    order: Optional[Sequence[Constraint]] = None,
+    algorithm: str = "fast",
+) -> SynchronizationConstraintSet:
+    """Minimize ``sc`` with the chosen algorithm (``"fast"`` or ``"naive"``)."""
+    if algorithm == "fast":
+        return minimize_fast(sc, semantics, order)
+    if algorithm == "naive":
+        return minimize_naive(sc, semantics, order)
+    raise ValueError("unknown minimization algorithm %r" % algorithm)
+
+
+def is_minimal(
+    sc: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> bool:
+    """Is ``sc`` minimal — no constraint removable without losing equivalence?"""
+    for constraint in sc.constraints:
+        if transitive_equivalent(sc.without(constraint), sc, semantics):
+            return False
+    return True

@@ -1,0 +1,178 @@
+"""The DSCWeaver pipeline: specification -> optimization -> validation.
+
+This is the vertical flow of the paper: dependencies of all four dimensions
+are merged into a uniform DSCL representation (Section 4.2), service
+dependencies are translated onto internal activities (Section 4.3), the
+result is minimized (Section 4.4), validated by Petri-net analysis, and
+finally emitted as BPEL for execution.
+
+:class:`DSCWeaver` exposes the whole flow; :class:`WeaveResult` retains
+every intermediate artifact so each paper figure can be inspected:
+
+* ``result.dependencies``  -> Table 1
+* ``result.merged``        -> Figure 7
+* ``result.translation``   -> Figure 8 (``.bridged`` = the bold edges)
+* ``result.minimal``       -> Figure 9
+* ``result.report``        -> Table 2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.core.closure import Semantics
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.core.minimize import minimize
+from repro.core.report import ReductionReport
+from repro.core.translation import (
+    TranslationResult,
+    invoke_bindings_from_process,
+    translate_service_dependencies,
+)
+from repro.deps.controlflow import extract_control_dependencies
+from repro.deps.dataflow import extract_data_dependencies
+from repro.deps.registry import DependencySet
+from repro.deps.servicedeps import extract_service_dependencies
+from repro.deps.types import Dependency
+from repro.dscl.ast import Exclusive, HappenBefore, Program
+from repro.dscl.compiler import compile_dependencies, dependencies_to_program
+from repro.errors import CycleError
+from repro.model.process import BusinessProcess
+
+
+def extract_all_dependencies(
+    process: BusinessProcess,
+    cooperation: Iterable[Dependency] = (),
+    extra: Iterable[Dependency] = (),
+) -> DependencySet:
+    """Automatic extraction of data/control/service dependencies, merged with
+    analyst-supplied cooperation dependencies (Section 3.3, Table 1)."""
+    dependencies = DependencySet()
+    dependencies.extend(extract_data_dependencies(process))
+    dependencies.extend(extract_control_dependencies(process))
+    dependencies.extend(cooperation)
+    dependencies.extend(extract_service_dependencies(process))
+    dependencies.extend(extra)
+    return dependencies
+
+
+@dataclass
+class WeaveResult:
+    """All artifacts of one weave run (see module docstring)."""
+
+    process: BusinessProcess
+    dependencies: DependencySet
+    program: Program
+    merged: SynchronizationConstraintSet
+    translation: TranslationResult
+    minimal: SynchronizationConstraintSet
+    report: ReductionReport
+    fine_grained: List[HappenBefore] = field(default_factory=list)
+    exclusives: List[Exclusive] = field(default_factory=list)
+    semantics: Semantics = Semantics.GUARD_AWARE
+
+    @property
+    def asc(self) -> SynchronizationConstraintSet:
+        """The translated (pre-minimization) activity constraint set."""
+        return self.translation.asc
+
+    def to_bpel(self) -> str:
+        """Emit the minimal set as BPEL-style XML (lazy import)."""
+        from repro.bpel.emit import emit_bpel
+
+        return emit_bpel(self.process, self.minimal)
+
+    def to_petri_net(self):
+        """Translate the minimal set to a workflow Petri net (lazy import)."""
+        from repro.petri.from_constraints import constraint_set_to_petri_net
+
+        return constraint_set_to_petri_net(self.minimal)
+
+
+class DSCWeaver:
+    """The weaving engine.
+
+    Parameters
+    ----------
+    semantics:
+        Equivalence semantics for minimization (default guard-aware, the
+        mode that reproduces the paper's Table 2).
+    algorithm:
+        ``"fast"`` (ancestor-pruned) or ``"naive"`` (the paper's Definition
+        6 loop verbatim).
+    check_cycles:
+        When true (default), a synchronization cycle in the merged set
+        raises :class:`~repro.errors.CycleError` before optimization — the
+        static detection of "infinite synchronization sequences" the paper
+        attributes to the design stage.
+    """
+
+    def __init__(
+        self,
+        semantics: Semantics = Semantics.GUARD_AWARE,
+        algorithm: str = "fast",
+        check_cycles: bool = True,
+    ) -> None:
+        self.semantics = semantics
+        self.algorithm = algorithm
+        self.check_cycles = check_cycles
+
+    def weave(
+        self,
+        process: BusinessProcess,
+        dependencies: Optional[DependencySet] = None,
+        cooperation: Iterable[Dependency] = (),
+    ) -> WeaveResult:
+        """Run the full pipeline on ``process``.
+
+        Either pass a pre-built ``dependencies`` set (it is validated
+        against the process) or let the weaver extract data/control/service
+        dependencies automatically and merge in ``cooperation``.
+        """
+        if dependencies is None:
+            dependencies = extract_all_dependencies(process, cooperation)
+        compiled = compile_dependencies(process, dependencies)
+        merged = compiled.sc
+
+        if self.check_cycles:
+            from repro.analysis.graphs import find_cycle
+
+            cycle = find_cycle(merged.as_graph())
+            if cycle is not None:
+                raise CycleError([str(node) for node in cycle])
+
+        translation = translate_service_dependencies(
+            merged, invoke_bindings_from_process(process)
+        )
+        minimal = minimize(
+            translation.asc, semantics=self.semantics, algorithm=self.algorithm
+        )
+        report = ReductionReport.from_counts(
+            dependencies,
+            merged=len(merged),
+            translated=len(translation.asc),
+            minimal=len(minimal),
+        )
+        return WeaveResult(
+            process=process,
+            dependencies=dependencies,
+            program=dependencies_to_program(dependencies),
+            merged=merged,
+            translation=translation,
+            minimal=minimal,
+            report=report,
+            fine_grained=compiled.fine_grained,
+            exclusives=compiled.exclusives,
+            semantics=self.semantics,
+        )
+
+
+def weave(
+    process: BusinessProcess,
+    dependencies: Optional[DependencySet] = None,
+    cooperation: Iterable[Dependency] = (),
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> WeaveResult:
+    """Module-level convenience wrapper around :class:`DSCWeaver`."""
+    return DSCWeaver(semantics=semantics).weave(process, dependencies, cooperation)

@@ -1,0 +1,39 @@
+"""Dependency categorization (Section 3 of the paper).
+
+Four dimensions of synchronization dependencies:
+
+* :data:`~repro.deps.types.DependencyKind.DATA` — definition-use pairs over
+  process variables, extracted automatically (:mod:`repro.deps.dataflow`);
+* :data:`~repro.deps.types.DependencyKind.CONTROL` — guard-to-activity edges
+  labeled with the branch outcome, extracted from branch declarations or a
+  control-flow graph (:mod:`repro.deps.controlflow`);
+* :data:`~repro.deps.types.DependencyKind.SERVICE` — process-to-port and
+  port-to-port constraints derived from service declarations or WSCL
+  conversations (:mod:`repro.deps.servicedeps`);
+* :data:`~repro.deps.types.DependencyKind.COOPERATION` — analyst-supplied
+  business constraints (:mod:`repro.deps.cooperation`).
+
+All four are collected in a :class:`~repro.deps.registry.DependencySet`,
+which is the input of the DSCL compiler and the optimization pipeline.
+"""
+
+from repro.deps.types import Dependency, DependencyKind
+from repro.deps.registry import DependencySet
+from repro.deps.dataflow import extract_data_dependencies
+from repro.deps.controlflow import (
+    extract_control_dependencies,
+    extract_control_dependencies_from_cfg,
+)
+from repro.deps.servicedeps import extract_service_dependencies
+from repro.deps.cooperation import CooperationRegistry
+
+__all__ = [
+    "CooperationRegistry",
+    "Dependency",
+    "DependencyKind",
+    "DependencySet",
+    "extract_control_dependencies",
+    "extract_control_dependencies_from_cfg",
+    "extract_data_dependencies",
+    "extract_service_dependencies",
+]

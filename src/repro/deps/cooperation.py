@@ -1,0 +1,70 @@
+"""Cooperation dependencies (Section 3.2).
+
+Cooperation dependencies are business constraints superimposed over the
+data/control/service dimensions — "the invoice may only be sent once
+production has been notified", "install the middleware before the
+application" (Figure 6).  They cannot be inferred from design documents and
+are supplied by a process analyst; this module provides a small registry
+with provenance so the *source* of each constraint stays first-class, which
+is the paper's core argument against sequencing constructs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.deps.types import Dependency, DependencyKind
+from repro.errors import DependencyError
+from repro.model.process import BusinessProcess
+
+
+class CooperationRegistry:
+    """Analyst-supplied cooperation dependencies for one process.
+
+    The registry validates endpoints against the process eagerly and keeps
+    per-dependency rationales (who required it and why).
+    """
+
+    def __init__(self, process: BusinessProcess) -> None:
+        self._process = process
+        self._dependencies: List[Dependency] = []
+
+    def require_before(
+        self, source: str, target: str, rationale: str = "", analyst: str = ""
+    ) -> Dependency:
+        """Record "``source`` must happen before ``target``"."""
+        self._process.activity(source)
+        self._process.activity(target)
+        note = rationale
+        if analyst:
+            note = "%s (analyst: %s)" % (rationale or "business requirement", analyst)
+        dependency = Dependency(
+            DependencyKind.COOPERATION, source, target, rationale=note
+        )
+        if any(d.key == dependency.key for d in self._dependencies):
+            raise DependencyError(
+                "cooperation dependency %s -> %s already recorded" % (source, target)
+            )
+        self._dependencies.append(dependency)
+        return dependency
+
+    def require_all_before(
+        self, sources: Iterable[str], target: str, rationale: str = ""
+    ) -> List[Dependency]:
+        """Record one dependency per source, all preceding ``target``.
+
+        This is the shape of the Purchasing requirement that *both*
+        ``ShipSubprocess`` and ``ProductionSubprocess`` finish before the
+        invoice is returned (six cooperation rows of Table 1).
+        """
+        return [self.require_before(source, target, rationale) for source in sources]
+
+    @property
+    def dependencies(self) -> List[Dependency]:
+        return list(self._dependencies)
+
+    def __len__(self) -> int:
+        return len(self._dependencies)
+
+    def __iter__(self):
+        return iter(self._dependencies)

@@ -1,0 +1,163 @@
+"""The :class:`DependencySet`: all dependencies of a process, by category.
+
+This is the object printed as Table 1 of the paper and the input to the
+merge step of Section 4.2.  It supports category queries, counting,
+duplicate detection across categories (e.g. ``recPurchase_oi ->
+replyClient_oi`` appearing both as a data and a cooperation dependency),
+and validation against a process model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.deps.types import Dependency, DependencyKind
+from repro.errors import DependencyError
+from repro.model.process import BusinessProcess
+
+
+class DependencySet:
+    """An ordered collection of dependencies across all four categories."""
+
+    def __init__(self, dependencies: Iterable[Dependency] = ()) -> None:
+        self._dependencies: List[Dependency] = []
+        self._index: Set[Tuple[DependencyKind, Tuple]] = set()
+        for dependency in dependencies:
+            self.add(dependency)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, dependency: Dependency) -> "DependencySet":
+        """Add a dependency; exact duplicates (same kind + key) are ignored."""
+        identity = (dependency.kind, dependency.key)
+        if identity not in self._index:
+            self._index.add(identity)
+            self._dependencies.append(dependency)
+        return self
+
+    def extend(self, dependencies: Iterable[Dependency]) -> "DependencySet":
+        for dependency in dependencies:
+            self.add(dependency)
+        return self
+
+    def union(self, other: "DependencySet") -> "DependencySet":
+        merged = DependencySet(self._dependencies)
+        merged.extend(other)
+        return merged
+
+    def remove(self, dependency: Dependency) -> None:
+        identity = (dependency.kind, dependency.key)
+        if identity not in self._index:
+            raise DependencyError("dependency %s not in set" % dependency)
+        self._index.discard(identity)
+        self._dependencies = [
+            d for d in self._dependencies if (d.kind, d.key) != identity
+        ]
+
+    # -- queries --------------------------------------------------------------
+
+    def by_kind(self, kind: DependencyKind) -> List[Dependency]:
+        return [d for d in self._dependencies if d.kind is kind]
+
+    @property
+    def data(self) -> List[Dependency]:
+        return self.by_kind(DependencyKind.DATA)
+
+    @property
+    def control(self) -> List[Dependency]:
+        return self.by_kind(DependencyKind.CONTROL)
+
+    @property
+    def service(self) -> List[Dependency]:
+        return self.by_kind(DependencyKind.SERVICE)
+
+    @property
+    def cooperation(self) -> List[Dependency]:
+        return self.by_kind(DependencyKind.COOPERATION)
+
+    def counts(self) -> Dict[str, int]:
+        """Per-category and total dependency counts (the shape of Table 2's
+        "before" column)."""
+        result = {kind.value: len(self.by_kind(kind)) for kind in DependencyKind}
+        result["total"] = len(self._dependencies)
+        return result
+
+    def cross_category_duplicates(self) -> List[Tuple[Dependency, Dependency]]:
+        """Pairs of dependencies from different categories imposing the same
+        precedence (same source, target, condition).
+
+        These are the within-merge redundancies of Section 4: the merge into
+        a constraint set collapses each pair into a single constraint.
+        """
+        by_key: Dict[Tuple, List[Dependency]] = {}
+        for dependency in self._dependencies:
+            by_key.setdefault(dependency.key, []).append(dependency)
+        duplicates: List[Tuple[Dependency, Dependency]] = []
+        for group in by_key.values():
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    duplicates.append((group[i], group[j]))
+        return duplicates
+
+    def endpoints(self) -> Set[str]:
+        """Every endpoint name (activities and ports) mentioned by the set."""
+        names: Set[str] = set()
+        for dependency in self._dependencies:
+            names.add(dependency.source)
+            names.add(dependency.target)
+        return names
+
+    # -- validation -------------------------------------------------------------
+
+    def validate_against(self, process: BusinessProcess) -> None:
+        """Check every endpoint resolves to an activity or service port.
+
+        Raises :class:`DependencyError` describing the first offending
+        dependency.
+        """
+        known = set(process.activity_names) | set(process.port_names())
+        for dependency in self._dependencies:
+            for endpoint in (dependency.source, dependency.target):
+                if endpoint not in known:
+                    raise DependencyError(
+                        "dependency %s mentions unknown endpoint %r"
+                        % (dependency, endpoint)
+                    )
+            if dependency.kind is not DependencyKind.SERVICE:
+                for endpoint in (dependency.source, dependency.target):
+                    if not process.has_activity(endpoint):
+                        raise DependencyError(
+                            "%s dependency %s must connect activities, but %r is a port"
+                            % (dependency.kind.value, dependency, endpoint)
+                        )
+
+    # -- presentation --------------------------------------------------------------
+
+    def as_table(self) -> str:
+        """A textual rendering in the style of Table 1."""
+        lines: List[str] = []
+        for kind in DependencyKind:
+            group = self.by_kind(kind)
+            if not group:
+                continue
+            lines.append("%s {%s}  (%d)" % (kind.value, kind.arrow, len(group)))
+            for dependency in group:
+                lines.append("    %s" % dependency)
+        return "\n".join(lines)
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._dependencies)
+
+    def __iter__(self) -> Iterator[Dependency]:
+        return iter(self._dependencies)
+
+    def __contains__(self, dependency: Dependency) -> bool:
+        return (dependency.kind, dependency.key) in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.counts()
+        return "DependencySet(%s)" % ", ".join(
+            "%s=%d" % (kind.value, counts[kind.value]) for kind in DependencyKind
+        )

@@ -1,0 +1,93 @@
+"""Extraction of service dependencies (Section 3.2, Table 1).
+
+Service dependencies describe interactions *between* the process and a
+remote service, and *within* a remote service.  They are derived from the
+process model:
+
+* every invoke activity precedes the port it calls
+  (``invPurchase_po ->s Purchase1``);
+* every (dummy) callback port precedes the receive activities listening on
+  it (``Purchase_d ->s recPurchase_oi``);
+* the service's internal orderings (state-aware sequential ports, request
+  ports before the callback port) come from
+  :meth:`repro.model.service.Service.internal_orderings`
+  (``Purchase1 ->s Purchase2``, ``Purchase1 ->s Purchase_d`` ...).
+
+Alternatively, service-internal orderings can be imported from WSCL
+conversation documents (:mod:`repro.wscl`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.deps.types import Dependency, DependencyKind
+from repro.model.activity import ActivityKind
+from repro.model.process import BusinessProcess
+
+
+def extract_service_dependencies(process: BusinessProcess) -> List[Dependency]:
+    """All service dependencies of ``process``, in Table 1's order per service.
+
+    For each service: invocation bindings first, then the callback-delivery
+    bindings, then the service-internal port orderings.  Endpoints that are
+    ports use the port's display name (``Purchase1``, ``Purchase_d`` ...).
+    """
+    dependencies: List[Dependency] = []
+    seen: set = set()
+
+    def _add(dependency: Dependency) -> None:
+        if dependency.key not in seen:
+            seen.add(dependency.key)
+            dependencies.append(dependency)
+
+    for service in process.services:
+        port_names = {port.name for port in service.all_ports}
+
+        # Invocations into the service's request ports.
+        for activity in process.activities:
+            if activity.kind is not ActivityKind.INVOKE:
+                continue
+            if activity.port is None or activity.port.service != service.name:
+                continue
+            _add(
+                Dependency(
+                    DependencyKind.SERVICE,
+                    activity.name,
+                    activity.port.port,
+                    rationale="%s invokes port %s of service %s"
+                    % (activity.name, activity.port.port, service.name),
+                )
+            )
+
+        # Service-internal orderings (sequential ports, request -> callback).
+        for earlier, later in service.internal_orderings():
+            _add(
+                Dependency(
+                    DependencyKind.SERVICE,
+                    earlier.port,
+                    later.port,
+                    rationale="service %s orders port %s before %s"
+                    % (service.name, earlier.port, later.port),
+                )
+            )
+
+        # Callback deliveries to receive activities.
+        for activity in process.activities:
+            if activity.kind is not ActivityKind.RECEIVE:
+                continue
+            if activity.port is None or activity.port.service != service.name:
+                continue
+            if activity.port.port not in port_names:
+                continue
+            _add(
+                Dependency(
+                    DependencyKind.SERVICE,
+                    activity.port.port,
+                    activity.name,
+                    rationale="callback of service %s delivers to %s"
+                    % (service.name, activity.name),
+                )
+            )
+
+    return dependencies

@@ -1,0 +1,105 @@
+"""Dependency kinds and the :class:`Dependency` record.
+
+A dependency is a directed, optionally conditioned precedence between two
+endpoints.  Endpoints are activity names for data/control/cooperation
+dependencies; service dependencies may also have service *port* names as
+endpoints (``invPurchase_po ->s Purchase1``, ``Purchase1 ->s Purchase2``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DependencyError
+
+
+class DependencyKind(enum.Enum):
+    """The four dimensions of Section 3, printed with the paper's arrows."""
+
+    DATA = "data"
+    CONTROL = "control"
+    SERVICE = "service"
+    COOPERATION = "cooperation"
+
+    @property
+    def arrow(self) -> str:
+        return {
+            DependencyKind.DATA: "->d",
+            DependencyKind.CONTROL: "->c",
+            DependencyKind.SERVICE: "->s",
+            DependencyKind.COOPERATION: "->o",
+        }[self]
+
+
+@dataclass(frozen=True, order=True)
+class Dependency:
+    """One dependency: ``source`` precedes ``target``.
+
+    ``condition`` is only meaningful for control dependencies, where it is
+    the guard outcome labeling the edge (``"T"``, ``"F"``, a case name) or
+    ``None`` for the unconditional "NONE" edge to a branch's join activity
+    (Table 1's ``if_au -> replyClient_oi``).
+
+    ``rationale`` is free-text provenance ("why does this dependency
+    exist?") — the information the paper argues sequencing constructs
+    obfuscate.
+    """
+
+    kind: DependencyKind
+    source: str
+    target: str
+    condition: Optional[str] = None
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise DependencyError("dependency endpoints must be non-empty")
+        if self.source == self.target:
+            raise DependencyError(
+                "self-dependency %r -> %r is not allowed" % (self.source, self.target)
+            )
+        if self.condition is not None and self.kind is not DependencyKind.CONTROL:
+            raise DependencyError(
+                "only control dependencies may carry a condition, got %s with %r"
+                % (self.kind.value, self.condition)
+            )
+
+    @property
+    def key(self) -> tuple:
+        """Identity of the precedence itself, ignoring kind and rationale.
+
+        Two dependencies of different kinds with the same key impose the
+        same synchronization constraint — the redundancy the optimization
+        of Section 4 removes.
+        """
+        return (self.source, self.target, self.condition)
+
+    def __str__(self) -> str:
+        arrow = self.kind.arrow
+        if self.kind is DependencyKind.CONTROL:
+            arrow = "->%s" % (self.condition if self.condition is not None else "NONE")
+        return "%s %s %s" % (self.source, arrow, self.target)
+
+
+def data(source: str, target: str, rationale: str = "") -> Dependency:
+    """Shorthand constructor for a data dependency."""
+    return Dependency(DependencyKind.DATA, source, target, rationale=rationale)
+
+
+def control(
+    source: str, target: str, condition: Optional[str], rationale: str = ""
+) -> Dependency:
+    """Shorthand constructor for a (possibly unconditional) control dependency."""
+    return Dependency(DependencyKind.CONTROL, source, target, condition, rationale)
+
+
+def service(source: str, target: str, rationale: str = "") -> Dependency:
+    """Shorthand constructor for a service dependency."""
+    return Dependency(DependencyKind.SERVICE, source, target, rationale=rationale)
+
+
+def cooperation(source: str, target: str, rationale: str = "") -> Dependency:
+    """Shorthand constructor for a cooperation dependency."""
+    return Dependency(DependencyKind.COOPERATION, source, target, rationale=rationale)

@@ -1,0 +1,53 @@
+"""DSCL — the DAG Synchronization Constraint Language (Section 4.1).
+
+DSCL treats an activity's life cycle as the states start (``S``), run
+(``R``) and finish (``F``) and declares synchronization relations between
+states of different activities:
+
+* ``HappenBefore`` (``->`` / ``->[c]``) — conditional precedence;
+* ``HappenTogether`` (``<->`` / ``<->[c]``) — barrier; syntax sugar,
+  desugared through a coordinator activity;
+* ``Exclusive`` (``O``) — mutual exclusion, checked dynamically by the
+  scheduling engine and excluded from static optimization.
+
+The package provides the AST, a text syntax (lexer + recursive-descent
+parser + pretty-printer that round-trips), the desugaring pass, and the
+compiler that turns dependency sets into DSCL programs and DSCL programs
+into synchronization constraint sets.
+"""
+
+from repro.dscl.ast import (
+    Exclusive,
+    HappenBefore,
+    HappenTogether,
+    Program,
+    Statement,
+)
+from repro.dscl.lexer import Token, TokenKind, tokenize
+from repro.dscl.parser import parse
+from repro.dscl.printer import to_text
+from repro.dscl.desugar import desugar
+from repro.dscl.compiler import (
+    CompiledConstraints,
+    compile_program,
+    dependencies_to_program,
+)
+from repro.dscl import patterns
+
+__all__ = [
+    "CompiledConstraints",
+    "Exclusive",
+    "HappenBefore",
+    "HappenTogether",
+    "Program",
+    "Statement",
+    "Token",
+    "TokenKind",
+    "compile_program",
+    "dependencies_to_program",
+    "desugar",
+    "parse",
+    "patterns",
+    "to_text",
+    "tokenize",
+]

@@ -1,0 +1,151 @@
+"""DSCL abstract syntax.
+
+A program is a sequence of statements; each statement relates two activity
+*states* (:class:`~repro.model.activity.StateRef`).  Statements carry an
+optional ``provenance`` string recording which dependency produced them —
+keeping the *source* of every synchronization constraint first-class is the
+point of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.errors import DSCLSemanticError
+from repro.model.activity import ActivityState, StateRef
+
+
+@dataclass(frozen=True)
+class HappenBefore:
+    """``left ->[condition] right``: ``left`` is reached before ``right``.
+
+    ``condition`` is the outcome of the *left* state's activity under which
+    the precedence applies (``None`` = unconditional).
+    """
+
+    left: StateRef
+    right: StateRef
+    condition: Optional[str] = None
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.left.activity == self.right.activity:
+            raise DSCLSemanticError(
+                "HappenBefore cannot relate two states of the same activity %r "
+                "(the lifecycle already orders them)" % self.left.activity
+            )
+
+    def __str__(self) -> str:
+        arrow = "->" if self.condition is None else "->[%s]" % self.condition
+        return "%s %s %s" % (self.left, arrow, self.right)
+
+
+@dataclass(frozen=True)
+class HappenTogether:
+    """``left <->[condition] right``: both states reached together (barrier)."""
+
+    left: StateRef
+    right: StateRef
+    condition: Optional[str] = None
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.left.activity == self.right.activity:
+            raise DSCLSemanticError(
+                "HappenTogether cannot relate two states of the same activity %r"
+                % self.left.activity
+            )
+
+    def __str__(self) -> str:
+        arrow = "<->" if self.condition is None else "<->[%s]" % self.condition
+        return "%s %s %s" % (self.left, arrow, self.right)
+
+
+@dataclass(frozen=True)
+class Exclusive:
+    """``left O right``: the two states must never be concurrent.
+
+    Enforced dynamically by the scheduling engine (Section 4.2); excluded
+    from static optimization.
+    """
+
+    left: StateRef
+    right: StateRef
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.left.activity == self.right.activity:
+            raise DSCLSemanticError(
+                "Exclusive cannot relate two states of the same activity %r"
+                % self.left.activity
+            )
+
+    def __str__(self) -> str:
+        return "%s O %s" % (self.left, self.right)
+
+
+Statement = Union[HappenBefore, HappenTogether, Exclusive]
+
+
+class Program:
+    """An ordered DSCL program."""
+
+    def __init__(self, statements: Optional[List[Statement]] = None) -> None:
+        self.statements: List[Statement] = list(statements or [])
+
+    def add(self, statement: Statement) -> "Program":
+        self.statements.append(statement)
+        return self
+
+    @property
+    def happen_befores(self) -> List[HappenBefore]:
+        return [s for s in self.statements if isinstance(s, HappenBefore)]
+
+    @property
+    def happen_togethers(self) -> List[HappenTogether]:
+        return [s for s in self.statements if isinstance(s, HappenTogether)]
+
+    @property
+    def exclusives(self) -> List[Exclusive]:
+        return [s for s in self.statements if isinstance(s, Exclusive)]
+
+    def activities(self) -> List[str]:
+        """Every activity name mentioned, in first-mention order."""
+        seen: dict = {}
+        for statement in self.statements:
+            seen.setdefault(statement.left.activity, None)
+            seen.setdefault(statement.right.activity, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self.statements == other.statements
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Program(%d statements)" % len(self.statements)
+
+
+def happen_before(
+    left_activity: str,
+    right_activity: str,
+    condition: Optional[str] = None,
+    left_state: ActivityState = ActivityState.FINISH,
+    right_state: ActivityState = ActivityState.START,
+    provenance: str = "",
+) -> HappenBefore:
+    """Convenience constructor: by default ``F(left) -> S(right)``, the shape
+    every activity-level dependency compiles to."""
+    return HappenBefore(
+        StateRef(left_activity, left_state),
+        StateRef(right_activity, right_state),
+        condition=condition,
+        provenance=provenance,
+    )

@@ -1,0 +1,170 @@
+"""Compilation between dependencies, DSCL programs and constraint sets.
+
+Section 4.2: *data*, *service* and *cooperation* dependencies are
+represented by unconditional HappenBefore (``F(source) -> S(target)``);
+*control* dependencies by conditional HappenBefore
+(``F(guard) ->[c] S(target)``).  The compiled
+:class:`~repro.core.constraints.SynchronizationConstraintSet` is the input
+of translation and minimization.
+
+State pairs other than ``F -> S`` (fine-granularity constraints such as
+``S(collectSurvey) -> F(closeOrder)``) cannot be expressed as activity-level
+precedences; they are preserved separately and enforced by the scheduling
+engine, bypassing static optimization — as are ``Exclusive`` relations
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.deps.registry import DependencySet
+from repro.dscl.ast import Exclusive, HappenBefore, Program, happen_before
+from repro.dscl.desugar import desugar
+from repro.errors import DSCLSemanticError
+from repro.model.activity import ActivityState
+from repro.model.process import BusinessProcess
+
+
+@dataclass
+class CompiledConstraints:
+    """Result of compiling a DSCL program.
+
+    ``sc``
+        Activity-level happen-before constraints (``F -> S`` statements).
+    ``fine_grained``
+        HappenBefore statements over other state pairs, for dynamic
+        enforcement.
+    ``exclusives``
+        ``O`` relations, for dynamic enforcement.
+    ``coordinators``
+        Activities synthesized by HappenTogether desugaring.
+    """
+
+    sc: SynchronizationConstraintSet
+    fine_grained: List[HappenBefore] = field(default_factory=list)
+    exclusives: List[Exclusive] = field(default_factory=list)
+    coordinators: List[str] = field(default_factory=list)
+
+
+def dependencies_to_program(dependencies: DependencySet) -> Program:
+    """Uniform DSCL representation of a dependency set (Section 4.2)."""
+    program = Program()
+    for dependency in dependencies:
+        program.add(
+            happen_before(
+                dependency.source,
+                dependency.target,
+                condition=dependency.condition,
+                provenance="%s dependency: %s"
+                % (dependency.kind.value, dependency.rationale or str(dependency)),
+            )
+        )
+    return program
+
+
+def compile_program(
+    program: Program,
+    activities: Iterable[str],
+    externals: Iterable[str] = (),
+    guards: Optional[Dict[str, FrozenSet[Cond]]] = None,
+    domains: Optional[ConditionDomains] = None,
+) -> CompiledConstraints:
+    """Compile a DSCL program into a constraint set plus dynamic residue.
+
+    ``activities``/``externals`` declare the node partition; coordinator
+    activities introduced by desugaring are added to ``activities``
+    automatically.  Statements mentioning undeclared names raise
+    :class:`DSCLSemanticError`.
+    """
+    result = desugar(program)
+    activity_names = list(dict.fromkeys(activities)) + result.coordinators
+    external_names = list(dict.fromkeys(externals))
+    known = set(activity_names) | set(external_names)
+
+    constraints: List[Constraint] = []
+    fine_grained: List[HappenBefore] = []
+    exclusives: List[Exclusive] = []
+
+    for statement in result.program:
+        for endpoint in (statement.left.activity, statement.right.activity):
+            if endpoint not in known:
+                raise DSCLSemanticError(
+                    "statement %r mentions undeclared activity %r"
+                    % (str(statement), endpoint)
+                )
+        if isinstance(statement, Exclusive):
+            exclusives.append(statement)
+            continue
+        assert isinstance(statement, HappenBefore)
+        is_activity_level = (
+            statement.left.state is ActivityState.FINISH
+            and statement.right.state is ActivityState.START
+        )
+        if is_activity_level:
+            constraints.append(
+                Constraint(
+                    statement.left.activity,
+                    statement.right.activity,
+                    statement.condition,
+                )
+            )
+        else:
+            fine_grained.append(statement)
+
+    sc = SynchronizationConstraintSet(
+        activities=activity_names,
+        externals=external_names,
+        constraints=constraints,
+        guards=guards,
+        domains=domains,
+    )
+    return CompiledConstraints(
+        sc=sc,
+        fine_grained=fine_grained,
+        exclusives=exclusives,
+        coordinators=result.coordinators,
+    )
+
+
+def guards_from_process(process: BusinessProcess) -> Dict[str, FrozenSet[Cond]]:
+    """Execution guards of every branch-guarded activity in ``process``."""
+    guards: Dict[str, FrozenSet[Cond]] = {}
+    for activity in process.activities:
+        pairs = process.guard_of(activity.name)
+        if pairs:
+            guards[activity.name] = frozenset(
+                Cond(guard, outcome) for guard, outcome in pairs
+            )
+    return guards
+
+
+def domains_from_process(process: BusinessProcess) -> ConditionDomains:
+    """Outcome domains of every guard activity in ``process``."""
+    domains = ConditionDomains()
+    for activity in process.activities:
+        if activity.is_guard:
+            domains.declare(activity.name, activity.outcomes)
+    return domains
+
+
+def compile_dependencies(
+    process: BusinessProcess, dependencies: DependencySet
+) -> CompiledConstraints:
+    """One-step compilation: dependency set -> DSCL -> constraint set.
+
+    Uses the process model to declare activities, external ports, guards
+    and guard domains.
+    """
+    dependencies.validate_against(process)
+    program = dependencies_to_program(dependencies)
+    return compile_program(
+        program,
+        activities=process.activity_names,
+        externals=process.port_names(),
+        guards=guards_from_process(process),
+        domains=domains_from_process(process),
+    )

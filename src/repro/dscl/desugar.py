@@ -1,0 +1,79 @@
+"""Desugaring of ``HappenTogether`` (Section 4.2).
+
+Per the paper, ``<->c`` is syntax sugar: it "can always be simulated by
+introducing a coordinating activity and using ``->c``".  The barrier
+``L <-> R`` is realized by a fresh coordinator activity ``co`` such that
+
+* every constraint that previously targeted ``L`` or ``R`` is redirected to
+  target ``S(co)`` — the coordinator becomes ready exactly when both sides
+  would have been;
+* ``F(co) ->c L`` and ``F(co) ->c R`` release both sides at once.
+
+The rewrite is applied to a whole program at once so that chained barriers
+compose (a redirected edge may itself target an earlier coordinator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.dscl.ast import HappenBefore, HappenTogether, Program, Statement
+from repro.model.activity import ActivityState, StateRef
+
+#: Prefix of generated coordinator activity names.
+COORDINATOR_PREFIX = "__together"
+
+
+@dataclass
+class DesugarResult:
+    """A desugared program plus the coordinators that were introduced."""
+
+    program: Program
+    coordinators: List[str] = field(default_factory=list)
+
+
+def desugar(program: Program) -> DesugarResult:
+    """Remove every ``HappenTogether`` by coordinator introduction."""
+    statements: List[Statement] = list(program.statements)
+    coordinators: List[str] = []
+    counter = 0
+
+    while True:
+        together = next(
+            (s for s in statements if isinstance(s, HappenTogether)), None
+        )
+        if together is None:
+            break
+        counter += 1
+        coordinator = "%s_%d" % (COORDINATOR_PREFIX, counter)
+        coordinators.append(coordinator)
+        barrier_targets: Tuple[StateRef, StateRef] = (together.left, together.right)
+
+        rewritten: List[Statement] = []
+        for statement in statements:
+            if statement is together:
+                continue
+            if isinstance(statement, HappenBefore) and statement.right in barrier_targets:
+                rewritten.append(
+                    HappenBefore(
+                        statement.left,
+                        StateRef(coordinator, ActivityState.START),
+                        condition=statement.condition,
+                        provenance=statement.provenance,
+                    )
+                )
+            else:
+                rewritten.append(statement)
+        for side in barrier_targets:
+            rewritten.append(
+                HappenBefore(
+                    StateRef(coordinator, ActivityState.FINISH),
+                    side,
+                    condition=together.condition,
+                    provenance="desugared %s" % together,
+                )
+            )
+        statements = rewritten
+
+    return DesugarResult(Program(statements), coordinators)

@@ -1,0 +1,117 @@
+"""Tokenizer for the DSCL text syntax.
+
+The surface syntax, one statement per line (``;``-terminated)::
+
+    # data dependency: po flows between the activities
+    F(recClient_po) -> S(invCredit_po);
+    F(if_au) ->[T] S(invPurchase_po);
+    S(collectSurvey) -> F(closeOrder);
+    F(a) <-> S(b);
+    R(a) O R(b);
+
+``#`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DSCLSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    ARROW = "->"
+    TOGETHER = "<->"
+    EXCLUSIVE = "O"
+    SEMI = ";"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(%r)" % (self.kind.name, self.text)
+
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789.")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize DSCL source; raises :class:`DSCLSyntaxError` on bad input.
+
+    The bare identifier ``O`` is emitted as the EXCLUSIVE operator token —
+    activity names therefore must not be the single letter ``O``, matching
+    the paper's notation.
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("<->", index):
+            tokens.append(Token(TokenKind.TOGETHER, "<->", line, column))
+            index += 3
+            column += 3
+            continue
+        if source.startswith("->", index):
+            tokens.append(Token(TokenKind.ARROW, "->", line, column))
+            index += 2
+            column += 2
+            continue
+        simple = {
+            "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN,
+            "[": TokenKind.LBRACKET,
+            "]": TokenKind.RBRACKET,
+            ";": TokenKind.SEMI,
+        }
+        if char in simple:
+            tokens.append(Token(simple[char], char, line, column))
+            index += 1
+            column += 1
+            continue
+        if char in _IDENT_START:
+            start = index
+            start_column = column
+            while index < length and source[index] in _IDENT_CONT:
+                index += 1
+                column += 1
+            text = source[start:index]
+            if text == "O":
+                tokens.append(Token(TokenKind.EXCLUSIVE, text, line, start_column))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, line, start_column))
+            continue
+        raise DSCLSyntaxError("unexpected character %r" % char, line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

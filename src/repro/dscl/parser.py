@@ -1,0 +1,105 @@
+"""Recursive-descent parser for the DSCL text syntax.
+
+Grammar::
+
+    program    := statement* EOF
+    statement  := stateref relation stateref ';'
+    relation   := '->' cond? | '<->' cond? | 'O'
+    cond       := '[' IDENT ']'
+    stateref   := ('S' | 'R' | 'F') '(' IDENT ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dscl.ast import Exclusive, HappenBefore, HappenTogether, Program, Statement
+from repro.dscl.lexer import Token, TokenKind, tokenize
+from repro.errors import DSCLSyntaxError
+from repro.model.activity import ActivityState, StateRef
+
+_STATE_LETTERS = {"S", "R", "F"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise DSCLSyntaxError(
+                "expected %s, found %r" % (kind.value, token.text or "end of input"),
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _state_ref(self) -> StateRef:
+        token = self._expect(TokenKind.IDENT)
+        if token.text not in _STATE_LETTERS:
+            raise DSCLSyntaxError(
+                "expected a state letter S, R or F, found %r" % token.text,
+                token.line,
+                token.column,
+            )
+        self._expect(TokenKind.LPAREN)
+        name = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.RPAREN)
+        return StateRef(name.text, ActivityState.from_letter(token.text))
+
+    def _condition(self) -> Optional[str]:
+        if self._peek().kind is TokenKind.LBRACKET:
+            self._advance()
+            value = self._expect(TokenKind.IDENT)
+            self._expect(TokenKind.RBRACKET)
+            return value.text
+        return None
+
+    def _statement(self) -> Statement:
+        left = self._state_ref()
+        operator = self._peek()
+        if operator.kind is TokenKind.ARROW:
+            self._advance()
+            condition = self._condition()
+            right = self._state_ref()
+            self._expect(TokenKind.SEMI)
+            return HappenBefore(left, right, condition)
+        if operator.kind is TokenKind.TOGETHER:
+            self._advance()
+            condition = self._condition()
+            right = self._state_ref()
+            self._expect(TokenKind.SEMI)
+            return HappenTogether(left, right, condition)
+        if operator.kind is TokenKind.EXCLUSIVE:
+            self._advance()
+            right = self._state_ref()
+            self._expect(TokenKind.SEMI)
+            return Exclusive(left, right)
+        raise DSCLSyntaxError(
+            "expected a relation (->, <-> or O), found %r"
+            % (operator.text or "end of input"),
+            operator.line,
+            operator.column,
+        )
+
+    def program(self) -> Program:
+        program = Program()
+        while self._peek().kind is not TokenKind.EOF:
+            program.add(self._statement())
+        return program
+
+
+def parse(source: str) -> Program:
+    """Parse DSCL source text into a :class:`~repro.dscl.ast.Program`."""
+    return _Parser(tokenize(source)).program()

@@ -1,0 +1,144 @@
+"""Workflow patterns expressed in DSCL (Section 4.1).
+
+The paper: "DSCL can describe a wide variety of synchronization behavior,
+like sequence, parallel split, synchronization, interleave parallel
+routing, and milestone."  This module provides constructors for those
+patterns (van der Aalst et al., *Workflow Patterns*) as DSCL statements,
+so pattern-based designs can enter the same merge/optimize pipeline:
+
+* **sequence** — chained ``F -> S`` happen-befores;
+* **parallel split (AND-split)** — one activity releases many;
+* **synchronization (AND-join)** — many activities release one;
+* **exclusive choice (XOR-split)** — a guard releases one branch per
+  outcome (conditional happen-befores);
+* **simple merge (XOR-join)** — any branch releases the join, with the
+  complementary conditions covering the guard's domain;
+* **interleaved parallel routing** — activities unordered but never
+  concurrent: pairwise ``Exclusive`` relations, enforced dynamically;
+* **milestone** — an activity may only start while another is in progress:
+  ``S(m) -> S(a)`` plus ``S(a) -> F(m)`` fine-grained constraints.
+
+Every constructor returns a list of DSCL statements (happen-befores,
+exclusives) ready to append to a :class:`~repro.dscl.ast.Program`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Sequence
+
+from repro.dscl.ast import Exclusive, HappenBefore, Statement, happen_before
+from repro.errors import DSCLSemanticError
+from repro.model.activity import ActivityState, StateRef
+
+
+def sequence(activities: Sequence[str]) -> List[HappenBefore]:
+    """WP-1 Sequence: each activity finishes before the next starts."""
+    if len(activities) < 2:
+        raise DSCLSemanticError("a sequence needs at least two activities")
+    return [
+        happen_before(earlier, later, provenance="pattern: sequence")
+        for earlier, later in zip(activities, activities[1:])
+    ]
+
+
+def parallel_split(source: str, branches: Iterable[str]) -> List[HappenBefore]:
+    """WP-2 Parallel Split: ``source`` releases every branch concurrently."""
+    statements = [
+        happen_before(source, branch, provenance="pattern: parallel split")
+        for branch in branches
+    ]
+    if not statements:
+        raise DSCLSemanticError("a parallel split needs at least one branch")
+    return statements
+
+
+def synchronization(branches: Iterable[str], join: str) -> List[HappenBefore]:
+    """WP-3 Synchronization (AND-join): every branch precedes the join."""
+    statements = [
+        happen_before(branch, join, provenance="pattern: synchronization")
+        for branch in branches
+    ]
+    if not statements:
+        raise DSCLSemanticError("a synchronization needs at least one branch")
+    return statements
+
+
+def exclusive_choice(
+    guard: str, cases: Sequence[tuple]
+) -> List[HappenBefore]:
+    """WP-4 Exclusive Choice (XOR-split).
+
+    ``cases`` is a sequence of ``(outcome, first_activity)`` pairs: when the
+    guard evaluates to that outcome, the corresponding branch starts.
+    """
+    if not cases:
+        raise DSCLSemanticError("an exclusive choice needs at least one case")
+    return [
+        happen_before(
+            guard, first, condition=outcome, provenance="pattern: exclusive choice"
+        )
+        for outcome, first in cases
+    ]
+
+
+def simple_merge(last_of_branches: Iterable[str], join: str) -> List[HappenBefore]:
+    """WP-5 Simple Merge (XOR-join): whichever branch ran releases the join.
+
+    Expressed as one happen-before per branch; under dead-path elimination
+    the skipped branches' obligations are vacuous, so the join fires as
+    soon as the chosen branch finishes — and under the guard-aware closure
+    semantics the complementary conditions merge into an unconditional
+    ordering from the guard.
+    """
+    statements = [
+        happen_before(last, join, provenance="pattern: simple merge")
+        for last in last_of_branches
+    ]
+    if not statements:
+        raise DSCLSemanticError("a simple merge needs at least one branch")
+    return statements
+
+
+def interleaved_parallel_routing(activities: Sequence[str]) -> List[Statement]:
+    """WP-17 Interleaved Parallel Routing: any order, never concurrent.
+
+    No happen-before is imposed; instead every pair is pairwise exclusive
+    on its RUN state, which the scheduling engine enforces dynamically
+    (Section 4.2 — ``O`` relations are not part of static optimization).
+    """
+    if len(activities) < 2:
+        raise DSCLSemanticError(
+            "interleaved parallel routing needs at least two activities"
+        )
+    return [
+        Exclusive(
+            StateRef(first, ActivityState.RUN),
+            StateRef(second, ActivityState.RUN),
+            provenance="pattern: interleaved parallel routing",
+        )
+        for first, second in combinations(activities, 2)
+    ]
+
+
+def milestone(milestone_activity: str, dependent: str) -> List[HappenBefore]:
+    """WP-18 Milestone: ``dependent`` may only start while
+    ``milestone_activity`` is in progress.
+
+    Two fine-grained constraints: the milestone must have started before
+    the dependent starts, and the dependent must have started before the
+    milestone finishes — the overlapping-life-span synchronization the
+    paper's ``collectSurvey``/``closeOrder`` example needs.
+    """
+    return [
+        HappenBefore(
+            StateRef(milestone_activity, ActivityState.START),
+            StateRef(dependent, ActivityState.START),
+            provenance="pattern: milestone (must have started)",
+        ),
+        HappenBefore(
+            StateRef(dependent, ActivityState.START),
+            StateRef(milestone_activity, ActivityState.FINISH),
+            provenance="pattern: milestone (window still open)",
+        ),
+    ]

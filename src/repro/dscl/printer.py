@@ -1,0 +1,23 @@
+"""Pretty-printer for DSCL programs.
+
+``parse(to_text(program)) == program`` modulo provenance comments, which is
+checked by a property-based round-trip test.
+"""
+
+from __future__ import annotations
+
+from repro.dscl.ast import Program
+
+
+def to_text(program: Program, include_provenance: bool = True) -> str:
+    """Render ``program`` in the DSCL surface syntax.
+
+    Provenance strings become ``#`` comments above their statement.
+    """
+    lines = []
+    for statement in program:
+        provenance = getattr(statement, "provenance", "")
+        if include_provenance and provenance:
+            lines.append("# %s" % provenance)
+        lines.append("%s;" % statement)
+    return "\n".join(lines) + ("\n" if lines else "")

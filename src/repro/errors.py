@@ -1,0 +1,95 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """The process model is malformed (unknown activity, duplicate name...)."""
+
+
+class DependencyError(ReproError):
+    """A dependency refers to unknown endpoints or has an invalid shape."""
+
+
+class DSCLSyntaxError(ReproError):
+    """The DSCL source text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = "line %d, column %d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class DSCLSemanticError(ReproError):
+    """The DSCL program parsed but is semantically invalid."""
+
+
+class ConstraintError(ReproError):
+    """A synchronization constraint set is malformed or inconsistent."""
+
+
+class CycleError(ConstraintError):
+    """A synchronization cycle was detected (infinite synchronization
+    sequence, Section 4.1 of the paper)."""
+
+    def __init__(self, cycle: list[str]) -> None:
+        self.cycle = list(cycle)
+        super().__init__(
+            "synchronization cycle detected: %s" % " -> ".join(self.cycle + self.cycle[:1])
+        )
+
+
+class TranslationError(ReproError):
+    """Service dependency translation failed (Section 4.3)."""
+
+
+class PetriNetError(ReproError):
+    """A Petri net is structurally invalid or an operation is illegal."""
+
+
+class NotEnabledError(PetriNetError):
+    """A transition was fired without being enabled."""
+
+
+class SoundnessError(PetriNetError):
+    """A workflow net failed a soundness check."""
+
+
+class BPELError(ReproError):
+    """BPEL emission or parsing failed."""
+
+
+class WSCLError(ReproError):
+    """A WSCL conversation document is invalid."""
+
+
+class SchedulingError(ReproError):
+    """The scheduling engine reached an illegal state."""
+
+
+class ProtocolViolation(SchedulingError):
+    """A simulated service observed an out-of-order interaction.
+
+    This is the runtime symptom that a *service* dependency was violated,
+    e.g. the state-aware Purchase service receiving a shipping invoice
+    before the corresponding purchase order (Section 2).
+    """
+
+
+class DeadlockError(SchedulingError):
+    """Execution stalled: activities remain but none can be scheduled."""
+
+
+class ValidationError(ReproError):
+    """Static validation of a specification failed."""

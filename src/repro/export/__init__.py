@@ -1,0 +1,13 @@
+"""Export backends: Graphviz DOT renderings of the paper's graph figures."""
+
+from repro.export.dot import (
+    constraint_set_to_dot,
+    dependency_set_to_dot,
+    petri_net_to_dot,
+)
+
+__all__ = [
+    "constraint_set_to_dot",
+    "dependency_set_to_dot",
+    "petri_net_to_dot",
+]

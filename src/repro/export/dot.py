@@ -1,0 +1,128 @@
+"""Graphviz DOT export for dependency graphs, constraint sets and nets.
+
+The paper's Figures 4, 5, 7, 8 and 9 are graph drawings; these exporters
+produce equivalent DOT sources (render with ``dot -Tpdf``).  Styling
+follows the paper's conventions: data dependencies dotted, control
+dependencies solid with the condition as edge label, service dependencies
+dashed, cooperation dependencies bold, external service ports drawn as
+boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.deps.registry import DependencySet
+from repro.deps.types import DependencyKind
+
+_EDGE_STYLE = {
+    DependencyKind.DATA: 'style=dotted color="#2166ac"',
+    DependencyKind.CONTROL: 'style=solid color="#b2182b"',
+    DependencyKind.SERVICE: 'style=dashed color="#4d4d4d"',
+    DependencyKind.COOPERATION: 'style=bold color="#1b7837"',
+}
+
+
+def _quote(name: str) -> str:
+    return '"%s"' % name.replace('"', '\\"')
+
+
+def dependency_set_to_dot(
+    dependencies: DependencySet,
+    name: str = "dependencies",
+    ports: Iterable[str] = (),
+) -> str:
+    """Render a categorized dependency set (Figure 5 / Table 1 style)."""
+    port_set: Set[str] = set(ports)
+    lines = ["digraph %s {" % _quote(name).strip('"').replace(" ", "_")]
+    lines.append("  rankdir=TB;")
+    lines.append('  node [shape=ellipse fontname="Helvetica" fontsize=10];')
+
+    nodes = dependencies.endpoints()
+    for node in sorted(nodes):
+        if node in port_set:
+            lines.append("  %s [shape=box style=filled fillcolor=lightgray];" % _quote(node))
+        else:
+            lines.append("  %s;" % _quote(node))
+
+    for dependency in dependencies:
+        style = _EDGE_STYLE[dependency.kind]
+        label = ""
+        if dependency.kind is DependencyKind.CONTROL:
+            label = ' label="%s"' % (dependency.condition or "NONE")
+        lines.append(
+            "  %s -> %s [%s%s];"
+            % (_quote(dependency.source), _quote(dependency.target), style, label)
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def constraint_set_to_dot(
+    sc: SynchronizationConstraintSet,
+    name: str = "constraints",
+    highlight: Iterable = (),
+) -> str:
+    """Render a synchronization constraint set (Figures 7-9 style).
+
+    ``highlight`` marks constraints to draw bold (Figure 8's translated
+    edges).
+    """
+    highlighted = {
+        (c.source, c.target, c.condition) for c in highlight
+    }
+    lines = ["digraph %s {" % name.replace(" ", "_")]
+    lines.append("  rankdir=TB;")
+    lines.append('  node [shape=ellipse fontname="Helvetica" fontsize=10];')
+    external = set(sc.externals)
+    for node in sc.nodes:
+        if node in external:
+            lines.append("  %s [shape=box style=filled fillcolor=lightgray];" % _quote(node))
+        else:
+            lines.append("  %s;" % _quote(node))
+    for constraint in sorted(sc.constraints):
+        attributes = []
+        if constraint.condition is not None:
+            attributes.append('label="%s"' % constraint.condition)
+        if (constraint.source, constraint.target, constraint.condition) in highlighted:
+            attributes.append("style=bold penwidth=2")
+        lines.append(
+            "  %s -> %s%s;"
+            % (
+                _quote(constraint.source),
+                _quote(constraint.target),
+                " [%s]" % " ".join(attributes) if attributes else "",
+            )
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def petri_net_to_dot(net, name: Optional[str] = None) -> str:
+    """Render a :class:`~repro.petri.net.PetriNet` (places as circles,
+    transitions as rectangles)."""
+    lines = ["digraph %s {" % (name or net.name).replace(" ", "_")]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [fontname="Helvetica" fontsize=9];')
+    for place in net.places:
+        lines.append("  %s [shape=circle];" % _quote(place.name))
+    for transition in net.transitions:
+        label = transition.label or transition.name
+        lines.append(
+            "  %s [shape=box style=filled fillcolor=lightyellow label=%s];"
+            % (_quote(transition.name), _quote(label))
+        )
+    for transition in net.transitions:
+        for place, weight in net.preset(transition.name).items():
+            suffix = ' [label="%d"]' % weight if weight > 1 else ""
+            lines.append(
+                "  %s -> %s%s;" % (_quote(place), _quote(transition.name), suffix)
+            )
+        for place, weight in net.postset(transition.name).items():
+            suffix = ' [label="%d"]' % weight if weight > 1 else ""
+            lines.append(
+                "  %s -> %s%s;" % (_quote(transition.name), _quote(place), suffix)
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

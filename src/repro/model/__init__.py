@@ -1,0 +1,27 @@
+"""Business-process model: activities, services, ports, variables, processes.
+
+This is the *interaction-centric program* substrate of the paper (Section 3):
+a process is a set of named activities that read/write process variables and
+interact with remote services through ports.  No ordering lives here — all
+sequencing is expressed separately as dependencies (``repro.deps``) or, for
+the baseline, as sequencing constructs (``repro.constructs``).
+"""
+
+from repro.model.activity import Activity, ActivityKind, ActivityState
+from repro.model.service import Port, PortRef, Service
+from repro.model.variables import Variable
+from repro.model.process import Branch, BusinessProcess
+from repro.model.builder import ProcessBuilder
+
+__all__ = [
+    "Activity",
+    "ActivityKind",
+    "ActivityState",
+    "Branch",
+    "BusinessProcess",
+    "Port",
+    "PortRef",
+    "ProcessBuilder",
+    "Service",
+    "Variable",
+]

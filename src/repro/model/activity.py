@@ -1,0 +1,130 @@
+"""Activities and their lifecycle states.
+
+Following DSCL (Section 4.1), every activity's life cycle is the state
+sequence *start* (``S``) -> *run* (``R``) -> *finish* (``F``); constraints
+are expressed between states of different activities.  Activities carry the
+metadata the dependency extractors need: the variables they read and write
+(data dependencies), the service port they are bound to (service
+dependencies) and, for guard activities, the outcome domain (control
+dependencies / colored tokens).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.errors import ModelError
+from repro.model.service import PortRef
+
+
+class ActivityState(enum.Enum):
+    """The three DSCL lifecycle states of an activity."""
+
+    START = "S"
+    RUN = "R"
+    FINISH = "F"
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "ActivityState":
+        for state in cls:
+            if state.value == letter:
+                return state
+        raise ValueError("unknown activity state %r (expected S, R or F)" % letter)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ActivityKind(enum.Enum):
+    """What an activity does, in the paper's ``actionService_parameter`` style."""
+
+    #: Receive a message from the client or from a service callback port.
+    RECEIVE = "receive"
+    #: Asynchronously invoke a remote service port.
+    INVOKE = "invoke"
+    #: Send a reply back to the process client.
+    REPLY = "reply"
+    #: Local computation that assigns process variables (e.g. ``set_oi``).
+    ASSIGN = "assign"
+    #: Evaluate a condition and expose its outcome (e.g. ``if_au``).
+    GUARD = "guard"
+    #: Any other local computation.
+    COMPUTE = "compute"
+    #: Internal coordinator introduced by HappenTogether desugaring.
+    COORDINATOR = "coordinator"
+
+
+@dataclass(frozen=True)
+class Activity:
+    """An immutable activity declaration.
+
+    Parameters
+    ----------
+    name:
+        Unique activity name, e.g. ``"invPurchase_po"``.
+    kind:
+        The :class:`ActivityKind`.
+    reads / writes:
+        Names of process variables consumed / produced.  Definition-use
+        pairs over these sets yield the data dependencies of Section 3.1.
+    port:
+        For ``INVOKE``: the service port this activity calls.  For
+        ``RECEIVE``: the (dummy) callback port it listens on, or ``None``
+        when receiving from the process client.
+    outcomes:
+        For ``GUARD`` activities, the outcome domain (default ``{T, F}``);
+        empty for every other kind.
+    duration:
+        Nominal execution time used by the discrete-event simulator.
+    """
+
+    name: str
+    kind: ActivityKind
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    port: Optional[PortRef] = None
+    outcomes: FrozenSet[str] = frozenset()
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("activity name must be non-empty")
+        if self.kind is ActivityKind.GUARD and not self.outcomes:
+            object.__setattr__(self, "outcomes", frozenset({"T", "F"}))
+        if self.kind is not ActivityKind.GUARD and self.outcomes:
+            raise ModelError(
+                "activity %r: only GUARD activities may declare outcomes" % self.name
+            )
+        if self.kind is ActivityKind.INVOKE and self.port is None:
+            raise ModelError("invoke activity %r must be bound to a service port" % self.name)
+        if self.duration < 0:
+            raise ModelError("activity %r: duration must be non-negative" % self.name)
+
+    @property
+    def is_guard(self) -> bool:
+        return self.kind is ActivityKind.GUARD
+
+    @property
+    def interacts(self) -> bool:
+        """Does this activity talk to a remote service port?"""
+        return self.port is not None
+
+    def state(self, state: ActivityState) -> "StateRef":
+        """A reference to one of this activity's lifecycle states."""
+        return StateRef(self.name, state)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class StateRef:
+    """A reference to a lifecycle state of a named activity, e.g. ``F(a1)``."""
+
+    activity: str
+    state: ActivityState = field(compare=True)
+
+    def __str__(self) -> str:
+        return "%s(%s)" % (self.state.value, self.activity)

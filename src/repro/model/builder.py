@@ -1,0 +1,197 @@
+"""Fluent builder for :class:`~repro.model.process.BusinessProcess`.
+
+The builder keeps workload definitions short and declarative::
+
+    process = (
+        ProcessBuilder("Purchasing")
+        .service("Credit", asynchronous=True)
+        .receive("recClient_po", writes=["po"])
+        .invoke("invCredit_po", service="Credit", port="Credit", reads=["po"])
+        .receive("recCredit_au", service="Credit", writes=["au"])
+        .guard("if_au", reads=["au"])
+        ...
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.model.activity import Activity, ActivityKind
+from repro.model.process import Branch, BusinessProcess
+from repro.model.service import PortRef, Service
+from repro.model.variables import Variable
+
+
+def _frozen(names: Optional[Iterable[str]]) -> frozenset:
+    return frozenset(names or ())
+
+
+class ProcessBuilder:
+    """Chainable construction of a business process."""
+
+    def __init__(self, name: str) -> None:
+        self._process = BusinessProcess(name)
+
+    # -- services & variables ------------------------------------------------
+
+    def service(
+        self,
+        name: str,
+        ports: Optional[Sequence[str]] = None,
+        asynchronous: bool = False,
+        sequential: bool = False,
+        latency: float = 1.0,
+    ) -> "ProcessBuilder":
+        """Register a remote service (see :class:`~repro.model.service.Service`)."""
+        self._process.add_service(
+            Service(
+                name,
+                ports=ports,
+                asynchronous=asynchronous,
+                sequential=sequential,
+                latency=latency,
+            )
+        )
+        return self
+
+    def variable(self, name: str, type_name: str = "message") -> "ProcessBuilder":
+        self._process.add_variable(Variable(name, type_name))
+        return self
+
+    # -- activities ------------------------------------------------------------
+
+    def _add(
+        self,
+        name: str,
+        kind: ActivityKind,
+        reads: Optional[Iterable[str]] = None,
+        writes: Optional[Iterable[str]] = None,
+        port: Optional[PortRef] = None,
+        outcomes: Optional[Iterable[str]] = None,
+        duration: float = 1.0,
+    ) -> "ProcessBuilder":
+        self._process.add_activity(
+            Activity(
+                name=name,
+                kind=kind,
+                reads=_frozen(reads),
+                writes=_frozen(writes),
+                port=port,
+                outcomes=_frozen(outcomes),
+                duration=duration,
+            )
+        )
+        return self
+
+    def receive(
+        self,
+        name: str,
+        service: Optional[str] = None,
+        writes: Optional[Iterable[str]] = None,
+        duration: float = 1.0,
+    ) -> "ProcessBuilder":
+        """A receive activity.
+
+        With ``service`` set, the activity listens on that service's dummy
+        callback port; otherwise it receives from the process client.
+        """
+        port: Optional[PortRef] = None
+        if service is not None:
+            registered = self._process.service(service)
+            if registered.dummy_port is None:
+                raise ModelError(
+                    "receive %r: service %r is not asynchronous (no callback port)"
+                    % (name, service)
+                )
+            port = registered.dummy_port.ref
+        return self._add(name, ActivityKind.RECEIVE, writes=writes, port=port, duration=duration)
+
+    def invoke(
+        self,
+        name: str,
+        service: str,
+        port: Optional[str] = None,
+        reads: Optional[Iterable[str]] = None,
+        duration: float = 1.0,
+    ) -> "ProcessBuilder":
+        """An asynchronous invocation of ``service`` at ``port``.
+
+        ``port`` defaults to the service's single request port.
+        """
+        registered = self._process.service(service)
+        if port is None:
+            request_ports = registered.request_ports
+            if len(request_ports) != 1:
+                raise ModelError(
+                    "invoke %r: service %r has %d request ports; specify one"
+                    % (name, service, len(request_ports))
+                )
+            port = request_ports[0].name
+        return self._add(
+            name,
+            ActivityKind.INVOKE,
+            reads=reads,
+            port=registered.port_ref(port),
+            duration=duration,
+        )
+
+    def reply(
+        self, name: str, reads: Optional[Iterable[str]] = None, duration: float = 1.0
+    ) -> "ProcessBuilder":
+        return self._add(name, ActivityKind.REPLY, reads=reads, duration=duration)
+
+    def assign(
+        self,
+        name: str,
+        writes: Optional[Iterable[str]] = None,
+        reads: Optional[Iterable[str]] = None,
+        duration: float = 1.0,
+    ) -> "ProcessBuilder":
+        return self._add(name, ActivityKind.ASSIGN, reads=reads, writes=writes, duration=duration)
+
+    def compute(
+        self,
+        name: str,
+        reads: Optional[Iterable[str]] = None,
+        writes: Optional[Iterable[str]] = None,
+        duration: float = 1.0,
+    ) -> "ProcessBuilder":
+        return self._add(name, ActivityKind.COMPUTE, reads=reads, writes=writes, duration=duration)
+
+    def guard(
+        self,
+        name: str,
+        reads: Optional[Iterable[str]] = None,
+        outcomes: Optional[Iterable[str]] = None,
+        duration: float = 1.0,
+    ) -> "ProcessBuilder":
+        """A guard (condition-evaluating) activity such as ``if_au``."""
+        return self._add(
+            name, ActivityKind.GUARD, reads=reads, outcomes=outcomes, duration=duration
+        )
+
+    # -- control structure -------------------------------------------------------
+
+    def branch(
+        self,
+        guard: str,
+        cases: Mapping[str, Sequence[str]],
+        join: Optional[str] = None,
+    ) -> "ProcessBuilder":
+        """Declare the conditional region guarded by ``guard``.
+
+        Must be called after the guard and all member activities exist.
+        """
+        self._process.add_branch(
+            Branch(guard=guard, cases={k: tuple(v) for k, v in cases.items()}, join=join)
+        )
+        return self
+
+    # -- finish ---------------------------------------------------------------------
+
+    def build(self) -> BusinessProcess:
+        """Return the constructed process."""
+        return self._process

@@ -1,0 +1,216 @@
+"""The :class:`BusinessProcess` container and branch declarations.
+
+A process is *unordered*: it owns activities, variables, services and branch
+declarations, but no sequencing.  All ordering is derived (data/control/
+service dependencies) or supplied (cooperation dependencies) by the
+``repro.deps`` layer — this is the dataflow-programming stance of the paper,
+where dependencies, not constructs, drive scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.model.activity import Activity, ActivityKind
+from repro.model.service import Port, Service
+from repro.model.variables import Variable
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A declared conditional region guarded by a ``GUARD`` activity.
+
+    ``cases`` maps each outcome of the guard (e.g. ``"T"``/``"F"``) to the
+    activities that execute only under that outcome.  ``join`` optionally
+    names the activity where the branches re-converge; per Figure 4 the join
+    activity post-dominates the guard and receives an *unconditional*
+    ("NONE") control edge rather than a conditional one.
+    """
+
+    guard: str
+    cases: Mapping[str, Tuple[str, ...]]
+    join: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        frozen_cases = {
+            outcome: tuple(activities) for outcome, activities in self.cases.items()
+        }
+        object.__setattr__(self, "cases", frozen_cases)
+        if not frozen_cases:
+            raise ModelError("branch on %r declares no cases" % self.guard)
+
+    @property
+    def outcomes(self) -> FrozenSet[str]:
+        return frozenset(self.cases)
+
+    def members(self) -> FrozenSet[str]:
+        """All activities inside any case of this branch."""
+        return frozenset(
+            activity for activities in self.cases.values() for activity in activities
+        )
+
+    def outcome_of(self, activity: str) -> Optional[str]:
+        """The outcome under which ``activity`` executes, or ``None``."""
+        for outcome, activities in self.cases.items():
+            if activity in activities:
+                return outcome
+        return None
+
+
+class BusinessProcess:
+    """A business process: activities + services + variables + branches.
+
+    The class enforces referential integrity eagerly — every port an
+    activity binds to must belong to a registered service, every branch
+    member must be a registered activity, and so on — so downstream
+    algorithms can assume a well-formed model.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ModelError("process name must be non-empty")
+        self.name = name
+        self._activities: Dict[str, Activity] = {}
+        self._services: Dict[str, Service] = {}
+        self._variables: Dict[str, Variable] = {}
+        self._branches: List[Branch] = []
+
+    # -- registration -------------------------------------------------------
+
+    def add_service(self, service: Service) -> Service:
+        if service.name in self._services:
+            raise ModelError("service %r already registered" % service.name)
+        self._services[service.name] = service
+        return service
+
+    def add_variable(self, variable: Variable) -> Variable:
+        if variable.name in self._variables:
+            raise ModelError("variable %r already registered" % variable.name)
+        self._variables[variable.name] = variable
+        return variable
+
+    def add_activity(self, activity: Activity) -> Activity:
+        if activity.name in self._activities:
+            raise ModelError("activity %r already registered" % activity.name)
+        if activity.port is not None:
+            self._resolve_port(activity)
+        for variable_name in activity.reads | activity.writes:
+            if variable_name not in self._variables:
+                self._variables[variable_name] = Variable(variable_name)
+        self._activities[activity.name] = activity
+        return activity
+
+    def add_branch(self, branch: Branch) -> Branch:
+        guard = self.activity(branch.guard)
+        if not guard.is_guard:
+            raise ModelError(
+                "branch guard %r must be a GUARD activity, got %s"
+                % (branch.guard, guard.kind.value)
+            )
+        unknown_outcomes = branch.outcomes - guard.outcomes
+        if unknown_outcomes:
+            raise ModelError(
+                "branch on %r uses outcomes %s not in the guard's domain %s"
+                % (branch.guard, sorted(unknown_outcomes), sorted(guard.outcomes))
+            )
+        for member in branch.members():
+            self.activity(member)  # raises if unknown
+        if branch.join is not None:
+            self.activity(branch.join)
+        self._branches.append(branch)
+        return branch
+
+    def _resolve_port(self, activity: Activity) -> Port:
+        port_ref = activity.port
+        assert port_ref is not None
+        if port_ref.service not in self._services:
+            raise ModelError(
+                "activity %r is bound to unknown service %r"
+                % (activity.name, port_ref.service)
+            )
+        service = self._services[port_ref.service]
+        port = service.port(port_ref.port)
+        if activity.kind is ActivityKind.INVOKE and port.is_dummy:
+            raise ModelError(
+                "invoke activity %r cannot target the dummy callback port %r"
+                % (activity.name, port.name)
+            )
+        if activity.kind is ActivityKind.RECEIVE and not port.is_dummy:
+            raise ModelError(
+                "receive activity %r must listen on a dummy callback port, not %r"
+                % (activity.name, port.name)
+            )
+        return port
+
+    # -- queries ------------------------------------------------------------
+
+    def activity(self, name: str) -> Activity:
+        try:
+            return self._activities[name]
+        except KeyError:
+            raise ModelError(
+                "process %r has no activity %r" % (self.name, name)
+            ) from None
+
+    def service(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ModelError(
+                "process %r has no service %r" % (self.name, name)
+            ) from None
+
+    @property
+    def activities(self) -> List[Activity]:
+        return list(self._activities.values())
+
+    @property
+    def activity_names(self) -> List[str]:
+        return list(self._activities)
+
+    @property
+    def services(self) -> List[Service]:
+        return list(self._services.values())
+
+    @property
+    def variables(self) -> List[Variable]:
+        return list(self._variables.values())
+
+    @property
+    def branches(self) -> List[Branch]:
+        return list(self._branches)
+
+    def has_activity(self, name: str) -> bool:
+        return name in self._activities
+
+    def port_names(self) -> List[str]:
+        """Display names of every service port (the external node set ``S``)."""
+        return [port.name for service in self.services for port in service.all_ports]
+
+    def writers_of(self, variable_name: str) -> List[Activity]:
+        return [a for a in self.activities if variable_name in a.writes]
+
+    def readers_of(self, variable_name: str) -> List[Activity]:
+        return [a for a in self.activities if variable_name in a.reads]
+
+    def guard_of(self, activity_name: str) -> List[Tuple[str, str]]:
+        """The control guard of an activity as ``(guard, outcome)`` pairs.
+
+        An activity nested in several branches accumulates one pair per
+        enclosing branch.  Used by the guard-aware equivalence semantics.
+        """
+        pairs: List[Tuple[str, str]] = []
+        for branch in self._branches:
+            outcome = branch.outcome_of(activity_name)
+            if outcome is not None:
+                pairs.append((branch.guard, outcome))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BusinessProcess(%r, %d activities, %d services)" % (
+            self.name,
+            len(self._activities),
+            len(self._services),
+        )

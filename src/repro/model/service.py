@@ -1,0 +1,167 @@
+"""Remote services and their ports.
+
+Section 3.3 of the paper names the ports of a service ``s`` as
+``s1, s2, ..., sn`` (or just ``s`` when there is a single port) and adds a
+*dummy* callback port ``s_d`` when the service replies asynchronously.
+Service dependencies (Table 1) connect invocation activities to ports, ports
+to one another (declared invocation orderings, request-before-callback) and
+the dummy port to the receive activities listening on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+
+#: Suffix used for dummy callback ports, as in the paper (``Purchase_d``).
+DUMMY_SUFFIX = "_d"
+
+
+@dataclass(frozen=True, order=True)
+class PortRef:
+    """A reference to a port of a service: ``(service name, port name)``."""
+
+    service: str
+    port: str
+
+    def __str__(self) -> str:
+        return self.port
+
+
+@dataclass(frozen=True)
+class Port:
+    """A single port of a service.
+
+    ``is_dummy`` marks the synthetic callback port through which an
+    asynchronous service calls back into the process.
+    """
+
+    service: str
+    name: str
+    is_dummy: bool = False
+
+    @property
+    def ref(self) -> PortRef:
+        return PortRef(self.service, self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Service:
+    """A remote service: named ports plus interaction constraints.
+
+    Parameters
+    ----------
+    name:
+        Service name, e.g. ``"Purchase"``.
+    ports:
+        Request-port names in declaration order.  When omitted, a single
+        port named after the service is created (the paper's convention
+        for single-port services such as ``Credit``).
+    asynchronous:
+        When true, a dummy callback port ``<name>_d`` is added and every
+        request port is constrained to precede it (a callback can only
+        happen after the request that triggers it).
+    sequential:
+        When true, the service is *state-aware* and requires its request
+        ports to be invoked in declaration order (the ``Purchase`` service
+        of Section 2).  Produces the ``s1 ->s s2 ->s ...`` constraints.
+    latency:
+        Nominal processing latency used by the discrete-event simulator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ports: Optional[Sequence[str]] = None,
+        asynchronous: bool = False,
+        sequential: bool = False,
+        latency: float = 1.0,
+    ) -> None:
+        if not name:
+            raise ModelError("service name must be non-empty")
+        self.name = name
+        self.asynchronous = asynchronous
+        self.sequential = sequential
+        self.latency = latency
+
+        if ports is None:
+            ports = [name]
+        if not ports:
+            raise ModelError("service %r must declare at least one port" % name)
+        self._ports: Dict[str, Port] = {}
+        self._request_order: List[str] = []
+        for port_name in ports:
+            if port_name in self._ports:
+                raise ModelError("service %r declares port %r twice" % (name, port_name))
+            self._ports[port_name] = Port(service=name, name=port_name)
+            self._request_order.append(port_name)
+
+        self.dummy_port: Optional[Port] = None
+        if asynchronous:
+            dummy_name = name + DUMMY_SUFFIX
+            if dummy_name in self._ports:
+                raise ModelError(
+                    "service %r: port name %r collides with the dummy callback port"
+                    % (name, dummy_name)
+                )
+            self.dummy_port = Port(service=name, name=dummy_name, is_dummy=True)
+            self._ports[dummy_name] = self.dummy_port
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def request_ports(self) -> List[Port]:
+        """Request ports in declaration order (dummy port excluded)."""
+        return [self._ports[port_name] for port_name in self._request_order]
+
+    @property
+    def all_ports(self) -> List[Port]:
+        ports = self.request_ports
+        if self.dummy_port is not None:
+            ports = ports + [self.dummy_port]
+        return ports
+
+    def port(self, port_name: str) -> Port:
+        try:
+            return self._ports[port_name]
+        except KeyError:
+            raise ModelError(
+                "service %r has no port %r (known: %s)"
+                % (self.name, port_name, ", ".join(self._ports))
+            ) from None
+
+    def port_ref(self, port_name: str) -> PortRef:
+        return self.port(port_name).ref
+
+    def internal_orderings(self) -> List[Tuple[PortRef, PortRef]]:
+        """Port-to-port constraints internal to the service.
+
+        Sequential (state-aware) services order their request ports; an
+        asynchronous service's callback port follows every request port.
+        These become the ``si ->s sj`` rows of Table 1.
+        """
+        orderings: List[Tuple[PortRef, PortRef]] = []
+        if self.sequential:
+            request_ports = self.request_ports
+            for earlier, later in zip(request_ports, request_ports[1:]):
+                orderings.append((earlier.ref, later.ref))
+        if self.dummy_port is not None:
+            for request_port in self.request_ports:
+                orderings.append((request_port.ref, self.dummy_port.ref))
+        return orderings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.asynchronous:
+            flags.append("async")
+        if self.sequential:
+            flags.append("sequential")
+        return "Service(%r, ports=%r%s)" % (
+            self.name,
+            [port.name for port in self.request_ports],
+            (", " + ", ".join(flags)) if flags else "",
+        )

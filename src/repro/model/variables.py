@@ -1,0 +1,27 @@
+"""Process variables (messages) exchanged between activities.
+
+Variables are the carriers of *data* dependencies: an activity writing a
+variable happens-before every activity reading it (Section 3.1).  Because
+remote-service parameters are call-by-value and service execution has no
+side effect on process state, definition-use is the only data-dependency
+shape the scheduler needs (no anti/output dependencies, per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A named, typed process variable.
+
+    ``type_name`` is informational (it flows into the generated BPEL
+    ``<variable>`` declarations) and does not affect scheduling.
+    """
+
+    name: str
+    type_name: str = "message"
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,53 @@
+"""Petri-net validation backend (Section 4.1: "The synchronization scheme
+described in DSCL can be mapped to Petri Nets for validation").
+
+* :mod:`repro.petri.net` — place/transition nets, markings, firing;
+* :mod:`repro.petri.reachability` — reachability graphs, deadlock and
+  boundedness analysis;
+* :mod:`repro.petri.soundness` — workflow-net structure and behavioral
+  soundness (option to complete, proper completion, no dead transitions);
+* :mod:`repro.petri.from_constraints` — translation of a synchronization
+  constraint set into a workflow net with dead-path-elimination skip
+  transitions, so conditional processes complete properly on every branch;
+* :mod:`repro.petri.colored` — the Colored Petri Net extension the paper
+  invokes for multi-outcome control dependencies: branch outcomes become
+  token colors, visible in every intermediate marking.
+"""
+
+from repro.petri.colored import (
+    ColoredMarking,
+    ColoredPetriNet,
+    InputArc,
+    OutputArc,
+    colored_net_completes,
+    constraint_set_to_colored_net,
+)
+from repro.petri.net import Arc, Marking, PetriNet, Place, Transition
+from repro.petri.reachability import (
+    ReachabilityGraph,
+    build_reachability_graph,
+    find_deadlocks,
+)
+from repro.petri.soundness import SoundnessReport, check_soundness, is_workflow_net
+from repro.petri.from_constraints import constraint_set_to_petri_net
+
+__all__ = [
+    "Arc",
+    "ColoredMarking",
+    "ColoredPetriNet",
+    "InputArc",
+    "Marking",
+    "OutputArc",
+    "colored_net_completes",
+    "constraint_set_to_colored_net",
+    "PetriNet",
+    "Place",
+    "ReachabilityGraph",
+    "SoundnessReport",
+    "Transition",
+    "build_reachability_graph",
+    "check_soundness",
+    "constraint_set_to_petri_net",
+    "find_deadlocks",
+    "is_workflow_net",
+]

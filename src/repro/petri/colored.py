@@ -1,0 +1,387 @@
+"""Colored Petri nets — the token-type extension the paper invokes.
+
+Section 4.1: "we need to extend it with the value of states in order to
+handle the control dependency which has multiple output result.  This
+extension is the same as the extension from basic Petri Nets to Colored
+Petri Nets that differentiate the type of tokens."
+
+This module implements a deliberately small CPN dialect:
+
+* every token carries a *color* (a string; ``PLAIN`` = ``""`` is the
+  colorless token);
+* an **input arc** declares the set of colors it accepts (``None`` =
+  any color) and consumes one matching token;
+* an **output arc** emits one token of a fixed color.
+
+That is exactly enough to make branch outcomes first-class in the marking:
+:func:`constraint_set_to_colored_net` translates a guarded constraint set
+so that a guard activity's transitions emit tokens *colored with the
+outcome*, each guarded activity's ``exec`` transition only accepts its own
+outcome color, and its ``skip`` transition accepts the complementary
+colors — colored dead-path elimination, with the branch decision visible
+in every intermediate marking (unlike the black-token construction of
+:mod:`repro.petri.from_constraints`, which encodes the same information in
+separate go/skip places).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import NotEnabledError, PetriNetError
+
+#: The colorless token color.
+PLAIN = ""
+
+#: Color emitted on behalf of a skipped guard (its outcome never existed).
+SKIPPED = "skipped"
+
+
+class ColoredMarking:
+    """An immutable multiset of colored tokens: ``(place, color) -> count``."""
+
+    __slots__ = ("_tokens", "_hash")
+
+    def __init__(self, tokens: Optional[Mapping[Tuple[str, str], int]] = None) -> None:
+        cleaned = {key: count for key, count in (tokens or {}).items() if count > 0}
+        object.__setattr__(self, "_tokens", dict(sorted(cleaned.items())))
+        object.__setattr__(self, "_hash", hash(tuple(self._tokens.items())))
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("ColoredMarking is immutable")
+
+    def count(self, place: str, color: str = PLAIN) -> int:
+        return self._tokens.get((place, color), 0)
+
+    def colors_at(self, place: str) -> List[str]:
+        return [color for (p, color) in self._tokens if p == place]
+
+    def total_at(self, place: str) -> int:
+        return sum(count for (p, _c), count in self._tokens.items() if p == place)
+
+    def total(self) -> int:
+        return sum(self._tokens.values())
+
+    def items(self):
+        return iter(self._tokens.items())
+
+    def add(self, place: str, color: str = PLAIN, count: int = 1) -> "ColoredMarking":
+        tokens = dict(self._tokens)
+        tokens[(place, color)] = tokens.get((place, color), 0) + count
+        return ColoredMarking(tokens)
+
+    def remove(self, place: str, color: str = PLAIN, count: int = 1) -> "ColoredMarking":
+        have = self._tokens.get((place, color), 0)
+        if have < count:
+            raise PetriNetError(
+                "cannot remove %d %r token(s) from %r (has %d)"
+                % (count, color, place, have)
+            )
+        tokens = dict(self._tokens)
+        tokens[(place, color)] = have - count
+        return ColoredMarking(tokens)
+
+    def __eq__(self, other):
+        if not isinstance(other, ColoredMarking):
+            return NotImplemented
+        return self._tokens == other._tokens
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        inside = ", ".join(
+            "%s%s%s"
+            % (
+                place,
+                ":%s" % color if color else "",
+                "" if count == 1 else "*%d" % count,
+            )
+            for (place, color), count in self._tokens.items()
+        )
+        return "[%s]" % inside
+
+
+@dataclass(frozen=True)
+class InputArc:
+    """Consumes one token from ``place`` whose color is in ``colors``
+    (``None`` accepts any color)."""
+
+    place: str
+    colors: Optional[FrozenSet[str]] = None
+
+    @classmethod
+    def any(cls, place: str) -> "InputArc":
+        return cls(place, None)
+
+    @classmethod
+    def of(cls, place: str, *colors: str) -> "InputArc":
+        return cls(place, frozenset(colors))
+
+    def accepts(self, color: str) -> bool:
+        return self.colors is None or color in self.colors
+
+
+@dataclass(frozen=True)
+class OutputArc:
+    """Emits one token of ``color`` into ``place``."""
+
+    place: str
+    color: str = PLAIN
+
+
+class ColoredPetriNet:
+    """A colored net over the arc dialect above."""
+
+    def __init__(self, name: str = "cpn") -> None:
+        self.name = name
+        self._places: Set[str] = set()
+        self._inputs: Dict[str, List[InputArc]] = {}
+        self._outputs: Dict[str, List[OutputArc]] = {}
+
+    def add_place(self, place: str) -> None:
+        self._places.add(place)
+
+    def add_transition(self, name: str) -> None:
+        if name in self._inputs:
+            raise PetriNetError("transition %r already exists" % name)
+        self._inputs[name] = []
+        self._outputs[name] = []
+
+    def add_input(self, transition: str, arc: InputArc) -> None:
+        if arc.place not in self._places:
+            raise PetriNetError("unknown place %r" % arc.place)
+        self._inputs[transition].append(arc)
+
+    def add_output(self, transition: str, arc: OutputArc) -> None:
+        if arc.place not in self._places:
+            raise PetriNetError("unknown place %r" % arc.place)
+        self._outputs[transition].append(arc)
+
+    @property
+    def places(self) -> List[str]:
+        return sorted(self._places)
+
+    @property
+    def transitions(self) -> List[str]:
+        return list(self._inputs)
+
+    # -- semantics ------------------------------------------------------------
+
+    def _pick(self, marking: ColoredMarking, arc: InputArc) -> Optional[str]:
+        """A deterministic matching color for one input arc, or ``None``."""
+        for color in sorted(marking.colors_at(arc.place)):
+            if arc.accepts(color) and marking.count(arc.place, color) > 0:
+                return color
+        return None
+
+    def is_enabled(self, transition: str, marking: ColoredMarking) -> bool:
+        """Greedy per-arc matching.
+
+        Exact for the nets produced by :func:`constraint_set_to_colored_net`
+        (no two input arcs of one transition share a place), which is the
+        only class this module needs to analyze.
+        """
+        current = marking
+        for arc in self._inputs[transition]:
+            color = self._pick(current, arc)
+            if color is None:
+                return False
+            current = current.remove(arc.place, color)
+        return True
+
+    def fire(self, transition: str, marking: ColoredMarking) -> ColoredMarking:
+        current = marking
+        for arc in self._inputs[transition]:
+            color = self._pick(current, arc)
+            if color is None:
+                raise NotEnabledError("transition %r not enabled" % transition)
+            current = current.remove(arc.place, color)
+        for arc in self._outputs[transition]:
+            current = current.add(arc.place, arc.color)
+        return current
+
+    def enabled_transitions(self, marking: ColoredMarking) -> List[str]:
+        return [t for t in self._inputs if self.is_enabled(t, marking)]
+
+
+def colored_reachable_markings(
+    net: ColoredPetriNet, initial: ColoredMarking, state_limit: int = 100_000
+) -> Tuple[Set[ColoredMarking], bool]:
+    """All reachable colored markings (breadth-first).
+
+    Returns ``(markings, truncated)``.
+    """
+    seen: Set[ColoredMarking] = {initial}
+    frontier = [initial]
+    truncated = False
+    while frontier:
+        next_frontier: List[ColoredMarking] = []
+        for marking in frontier:
+            for transition in net.enabled_transitions(marking):
+                successor = net.fire(transition, marking)
+                if successor not in seen:
+                    if len(seen) >= state_limit:
+                        return seen, True
+                    seen.add(successor)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return seen, truncated
+
+
+def colored_net_completes(
+    net: ColoredPetriNet,
+    initial: ColoredMarking,
+    final_place: str = "o",
+    state_limit: int = 100_000,
+) -> bool:
+    """Does every maximal run end in exactly one token on ``final_place``?
+
+    The colored analogue of proper completion + deadlock freedom.
+    """
+    markings, truncated = colored_reachable_markings(net, initial, state_limit)
+    if truncated:
+        return False
+    for marking in markings:
+        if net.enabled_transitions(marking):
+            continue
+        if marking.total() != 1 or marking.total_at(final_place) != 1:
+            return False
+    return True
+
+
+def constraint_set_to_colored_net(sc) -> Tuple[ColoredPetriNet, ColoredMarking]:
+    """Colored translation of a guarded constraint set.
+
+    Construction (per activity ``a``):
+
+    * a guard activity gets one ``exec`` transition per outcome; each emits
+      tokens **colored with the outcome** into a dedicated decision place
+      ``outcome__g__a`` for every dependent ``a``, plus plain tokens into
+      its outgoing constraint places;
+    * a guarded activity's ``exec`` consumes its decision token with *its*
+      outcome color; its ``skip`` consumes any other color (including
+      ``SKIPPED``, emitted when the guard itself was skipped) — and both
+      consume/produce the same constraint places, so joins always resolve;
+    * unguarded activities are ordinary transitions over plain tokens.
+
+    Supports one direct guard condition per activity, like the black-token
+    translation.
+    """
+    from repro.core.constraints import SynchronizationConstraintSet
+
+    if not isinstance(sc, SynchronizationConstraintSet):
+        raise PetriNetError("expected a SynchronizationConstraintSet")
+    if not sc.is_activity_set:
+        raise PetriNetError("colored translation requires an activity set")
+
+    net = ColoredPetriNet()
+    net.add_place("i")
+    net.add_place("o")
+
+    incoming: Dict[str, List] = {a: [] for a in sc.activities}
+    outgoing: Dict[str, List] = {a: [] for a in sc.activities}
+    place_of = {}
+    for constraint in sc:
+        name = "p__%s__%s__%s" % (
+            constraint.source,
+            constraint.target,
+            constraint.condition or "",
+        )
+        place_of[constraint] = name
+        net.add_place(name)
+        incoming[constraint.target].append(constraint)
+        outgoing[constraint.source].append(constraint)
+
+    # Decision places: one per (guard, dependent).
+    dependents: Dict[str, List[Tuple[str, str]]] = {}
+    own_guard: Dict[str, Optional[object]] = {}
+    for activity in sc.activities:
+        conditions = sc.guard_of(activity)
+        if len(conditions) > 1:
+            raise PetriNetError(
+                "colored translation supports one direct guard per activity"
+            )
+        condition = next(iter(conditions), None)
+        own_guard[activity] = condition
+        if condition is not None:
+            dependents.setdefault(condition.guard, []).append(
+                (activity, condition.value)
+            )
+            net.add_place("outcome__%s__%s" % (condition.guard, activity))
+
+    guard_names = set(dependents)
+    for constraint in sc:
+        if constraint.condition is not None:
+            guard_names.add(constraint.source)
+    unknown = guard_names - set(sc.activities)
+    if unknown:
+        raise PetriNetError("guards missing from the set: %s" % sorted(unknown))
+
+    roots = [a for a in sc.activities if not incoming[a]]
+    leaves = [a for a in sc.activities if not outgoing[a]]
+    net.add_transition("t_in")
+    net.add_input("t_in", InputArc.of("i", PLAIN))
+    for activity in roots:
+        net.add_place("init__%s" % activity)
+        net.add_output("t_in", OutputArc("init__%s" % activity))
+    net.add_transition("t_out")
+    net.add_output("t_out", OutputArc("o"))
+    for activity in leaves:
+        net.add_place("fin__%s" % activity)
+        net.add_input("t_out", InputArc.any("fin__%s" % activity))
+
+    def wire_io(transition: str, activity: str) -> None:
+        for constraint in incoming[activity]:
+            net.add_input(transition, InputArc.any(place_of[constraint]))
+        if not incoming[activity]:
+            net.add_input(transition, InputArc.any("init__%s" % activity))
+        for constraint in outgoing[activity]:
+            net.add_output(transition, OutputArc(place_of[constraint], PLAIN))
+        if not outgoing[activity]:
+            net.add_output(transition, OutputArc("fin__%s" % activity))
+
+    def emit_decisions(transition: str, guard: str, color: str) -> None:
+        for dependent, _required in dependents.get(guard, ()):
+            net.add_output(
+                transition, OutputArc("outcome__%s__%s" % (guard, dependent), color)
+            )
+
+    for activity in sc.activities:
+        condition = own_guard[activity]
+        decision_place = (
+            "outcome__%s__%s" % (condition.guard, activity) if condition else None
+        )
+
+        if activity in guard_names:
+            for outcome in sorted(sc.domains.domain(activity)):
+                transition = "exec__%s__%s" % (activity, outcome)
+                net.add_transition(transition)
+                wire_io(transition, activity)
+                emit_decisions(transition, activity, outcome)
+                if decision_place:
+                    net.add_input(
+                        transition, InputArc.of(decision_place, condition.value)
+                    )
+        else:
+            transition = "exec__%s" % activity
+            net.add_transition(transition)
+            wire_io(transition, activity)
+            if decision_place:
+                net.add_input(
+                    transition, InputArc.of(decision_place, condition.value)
+                )
+
+        if condition is not None:
+            transition = "skip__%s" % activity
+            net.add_transition(transition)
+            wire_io(transition, activity)
+            wrong_colors = (
+                sc.domains.domain(condition.guard) - {condition.value}
+            ) | {SKIPPED}
+            net.add_input(transition, InputArc(decision_place, frozenset(wrong_colors)))
+            if activity in guard_names:
+                emit_decisions(transition, activity, SKIPPED)
+
+    return net, ColoredMarking({("i", PLAIN): 1})

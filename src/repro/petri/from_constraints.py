@@ -1,0 +1,181 @@
+"""Translation of synchronization constraint sets into workflow Petri nets.
+
+Every activity becomes a transition (one per outcome for guard activities);
+every constraint becomes a place between producer and consumer; a source
+place ``i`` feeds the activities with no predecessors and a sink place
+``o`` collects the ones with no successors.
+
+Conditional behavior uses **dead-path elimination**, mirroring how BPEL
+engines execute the woven schemes: when a guard fires with outcome ``v``,
+every activity whose execution guard requires a different outcome receives
+a *skip token*; its ``skip`` transition then waits for the same input
+places as the real activity, consumes them, and produces the same output
+places.  Joins therefore always complete, on either branch, and the net is
+sound exactly when the constraint set is conflict-free — which is how the
+DSCWeaver detects "infinite synchronization sequences" (cycles) statically:
+a cyclic set translates to a net whose initial fragment is dead.
+
+Limitation: at most one *direct* guard condition per activity (nested
+conditionals chain through their guards, so this loses no generality for
+structured processes); richer guard sets raise :class:`PetriNetError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.errors import PetriNetError
+from repro.petri.net import Marking, PetriNet
+
+SOURCE_PLACE = "i"
+SINK_PLACE = "o"
+
+
+def _constraint_place(constraint: Constraint) -> str:
+    condition = constraint.condition or ""
+    return "p__%s__%s__%s" % (constraint.source, constraint.target, condition)
+
+
+def constraint_set_to_petri_net(
+    sc: SynchronizationConstraintSet, name: Optional[str] = None
+) -> Tuple[PetriNet, Marking]:
+    """Translate ``sc`` into ``(net, initial_marking)``.
+
+    ``sc`` must be an activity set (no constraint may touch an external
+    node); use service translation first.
+    """
+    if not sc.is_activity_set:
+        raise PetriNetError(
+            "constraint set still contains external nodes; run service "
+            "dependency translation first"
+        )
+
+    net = PetriNet(name or "wf")
+    net.add_place(SOURCE_PLACE)
+    net.add_place(SINK_PLACE)
+
+    activities = list(sc.activities)
+    incoming: Dict[str, List[Constraint]] = {a: [] for a in activities}
+    outgoing: Dict[str, List[Constraint]] = {a: [] for a in activities}
+    for constraint in sc:
+        incoming[constraint.target].append(constraint)
+        outgoing[constraint.source].append(constraint)
+        net.add_place(_constraint_place(constraint))
+
+    # Guard activities: anything that conditions a constraint or an
+    # execution guard.
+    guard_names: Set[str] = set()
+    for constraint in sc:
+        if constraint.condition is not None:
+            guard_names.add(constraint.source)
+    dependents: Dict[str, List[Tuple[str, str]]] = {}
+    for activity in activities:
+        conditions = sc.guard_of(activity)
+        if len(conditions) > 1:
+            raise PetriNetError(
+                "activity %r has %d direct guard conditions; the Petri "
+                "translation supports at most one (nest branches instead)"
+                % (activity, len(conditions))
+            )
+        for condition in conditions:
+            guard_names.add(condition.guard)
+            dependents.setdefault(condition.guard, []).append(
+                (activity, condition.value)
+            )
+
+    skippable = [a for a in activities if sc.guard_of(a)]
+    for activity in skippable:
+        net.add_place("skip__%s" % activity)
+        net.add_place("go__%s" % activity)
+
+    unknown_guards = guard_names - set(activities)
+    if unknown_guards:
+        raise PetriNetError(
+            "guard activities missing from the set: %s" % sorted(unknown_guards)
+        )
+
+    # Source / sink wiring.
+    roots = [a for a in activities if not incoming[a]]
+    leaves = [a for a in activities if not outgoing[a]]
+    net.add_transition("t_in", label="start")
+    net.add_arc(SOURCE_PLACE, "t_in")
+    if roots:
+        for activity in roots:
+            place = "init__%s" % activity
+            net.add_place(place)
+            net.add_arc("t_in", place)
+    else:
+        # Every activity has predecessors: the set is cyclic.  Park the
+        # token where nothing can consume it so the unsoundness is visible.
+        net.add_place("__no_roots")
+        net.add_arc("t_in", "__no_roots")
+    net.add_transition("t_out", label="complete")
+    net.add_arc("t_out", SINK_PLACE)
+    if leaves:
+        for activity in leaves:
+            place = "fin__%s" % activity
+            net.add_place(place)
+            net.add_arc(place, "t_out")
+    else:
+        net.add_place("__no_leaves")
+        net.add_arc("__no_leaves", "t_out")
+
+    def wire_inputs(transition: str, activity: str) -> None:
+        if incoming[activity]:
+            for constraint in incoming[activity]:
+                net.add_arc(_constraint_place(constraint), transition)
+        else:
+            net.add_arc("init__%s" % activity, transition)
+
+    def wire_outputs(transition: str, activity: str) -> None:
+        if outgoing[activity]:
+            for constraint in outgoing[activity]:
+                net.add_arc(transition, _constraint_place(constraint))
+        else:
+            net.add_arc(transition, "fin__%s" % activity)
+
+    def wire_outcome_production(
+        transition: str, activity: str, outcome: Optional[str]
+    ) -> None:
+        """When ``activity`` (a guard) resolves to ``outcome`` — or is
+        itself skipped (``outcome=None``) — emit a *go* token to every
+        dependent that will run and a *skip* token to every dependent that
+        will not."""
+        for dependent, required in dependents.get(activity, ()):
+            if outcome is not None and required == outcome:
+                net.add_arc(transition, "go__%s" % dependent)
+            else:
+                net.add_arc(transition, "skip__%s" % dependent)
+
+    skippable_set = set(skippable)
+    for activity in activities:
+        if activity in guard_names:
+            outcomes = sorted(sc.domains.domain(activity))
+            for outcome in outcomes:
+                transition = "exec__%s__%s" % (activity, outcome)
+                net.add_transition(transition, label="%s=%s" % (activity, outcome))
+                wire_inputs(transition, activity)
+                wire_outputs(transition, activity)
+                wire_outcome_production(transition, activity, outcome)
+                if activity in skippable_set:
+                    net.add_arc("go__%s" % activity, transition)
+        else:
+            transition = "exec__%s" % activity
+            net.add_transition(transition, label=activity)
+            wire_inputs(transition, activity)
+            wire_outputs(transition, activity)
+            if activity in skippable_set:
+                net.add_arc("go__%s" % activity, transition)
+
+        if activity in skippable_set:
+            transition = "skip__t__%s" % activity
+            net.add_transition(transition, label="skip:%s" % activity)
+            net.add_arc("skip__%s" % activity, transition)
+            wire_inputs(transition, activity)
+            wire_outputs(transition, activity)
+            if activity in guard_names:
+                # A skipped guard skips all of its dependents too.
+                wire_outcome_production(transition, activity, None)
+
+    return net, Marking({SOURCE_PLACE: 1})

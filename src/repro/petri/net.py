@@ -1,0 +1,244 @@
+"""Place/transition Petri nets with weighted arcs.
+
+A marking is an immutable multiset of tokens over places.  The net supports
+the classic queries (preset/postset, enabledness) and firing; reachability
+and soundness analyses live in sibling modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import NotEnabledError, PetriNetError
+
+
+@dataclass(frozen=True, order=True)
+class Place:
+    """A place, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Transition:
+    """A transition, identified by name, with an optional label.
+
+    The label ties a transition back to the model element it represents
+    (e.g. the activity it executes, or ``skip:<activity>`` for dead-path
+    elimination transitions).
+    """
+
+    name: str
+    label: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A weighted arc between a place and a transition (either direction)."""
+
+    source: str
+    target: str
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise PetriNetError("arc weight must be positive")
+
+
+class Marking:
+    """An immutable multiset of tokens over places."""
+
+    __slots__ = ("_tokens", "_hash")
+
+    def __init__(self, tokens: Optional[Mapping[str, int]] = None) -> None:
+        cleaned = {
+            place: count for place, count in (tokens or {}).items() if count > 0
+        }
+        for place, count in cleaned.items():
+            if count < 0:
+                raise PetriNetError("negative token count on %r" % place)
+        object.__setattr__(self, "_tokens", dict(sorted(cleaned.items())))
+        object.__setattr__(self, "_hash", hash(tuple(self._tokens.items())))
+
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover
+        raise AttributeError("Marking is immutable")
+
+    def count(self, place: str) -> int:
+        return self._tokens.get(place, 0)
+
+    def places(self) -> List[str]:
+        return list(self._tokens)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._tokens.items())
+
+    def total(self) -> int:
+        return sum(self._tokens.values())
+
+    def add(self, place: str, count: int = 1) -> "Marking":
+        tokens = dict(self._tokens)
+        tokens[place] = tokens.get(place, 0) + count
+        return Marking(tokens)
+
+    def remove(self, place: str, count: int = 1) -> "Marking":
+        have = self._tokens.get(place, 0)
+        if have < count:
+            raise PetriNetError(
+                "cannot remove %d token(s) from %r (has %d)" % (count, place, have)
+            )
+        tokens = dict(self._tokens)
+        tokens[place] = have - count
+        return Marking(tokens)
+
+    def covers(self, other: "Marking") -> bool:
+        """Does this marking have at least as many tokens everywhere?"""
+        return all(self.count(place) >= count for place, count in other.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Marking):
+            return NotImplemented
+        return self._tokens == other._tokens
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._tokens)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(
+            "%s%s" % (place, "" if count == 1 else ":%d" % count)
+            for place, count in self._tokens.items()
+        )
+        return "[%s]" % inside
+
+
+class PetriNet:
+    """A P/T net: places, transitions and weighted arcs."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._places: Dict[str, Place] = {}
+        self._transitions: Dict[str, Transition] = {}
+        # transition -> {place: weight}
+        self._inputs: Dict[str, Dict[str, int]] = {}
+        self._outputs: Dict[str, Dict[str, int]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_place(self, name: str) -> Place:
+        if name in self._transitions:
+            raise PetriNetError("%r is already a transition" % name)
+        place = self._places.get(name)
+        if place is None:
+            place = Place(name)
+            self._places[name] = place
+        return place
+
+    def add_transition(self, name: str, label: str = "") -> Transition:
+        if name in self._places:
+            raise PetriNetError("%r is already a place" % name)
+        transition = self._transitions.get(name)
+        if transition is None:
+            transition = Transition(name, label)
+            self._transitions[name] = transition
+            self._inputs[name] = {}
+            self._outputs[name] = {}
+        return transition
+
+    def add_arc(self, source: str, target: str, weight: int = 1) -> None:
+        """Add an arc; endpoints must be one place and one transition."""
+        if source in self._places and target in self._transitions:
+            self._inputs[target][source] = (
+                self._inputs[target].get(source, 0) + weight
+            )
+        elif source in self._transitions and target in self._places:
+            self._outputs[source][target] = (
+                self._outputs[source].get(target, 0) + weight
+            )
+        else:
+            raise PetriNetError(
+                "arc %r -> %r must connect a place and a transition"
+                % (source, target)
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def places(self) -> List[Place]:
+        return list(self._places.values())
+
+    @property
+    def transitions(self) -> List[Transition]:
+        return list(self._transitions.values())
+
+    def transition(self, name: str) -> Transition:
+        try:
+            return self._transitions[name]
+        except KeyError:
+            raise PetriNetError("no transition %r" % name) from None
+
+    def preset(self, transition: str) -> Dict[str, int]:
+        """Input places of a transition with arc weights."""
+        return dict(self._inputs[transition])
+
+    def postset(self, transition: str) -> Dict[str, int]:
+        """Output places of a transition with arc weights."""
+        return dict(self._outputs[transition])
+
+    def place_preset(self, place: str) -> List[str]:
+        """Transitions producing into ``place``."""
+        return [t for t, outs in self._outputs.items() if place in outs]
+
+    def place_postset(self, place: str) -> List[str]:
+        """Transitions consuming from ``place``."""
+        return [t for t, ins in self._inputs.items() if place in ins]
+
+    # -- semantics ------------------------------------------------------------
+
+    def is_enabled(self, transition: str, marking: Marking) -> bool:
+        if transition not in self._transitions:
+            raise PetriNetError("no transition %r" % transition)
+        return all(
+            marking.count(place) >= weight
+            for place, weight in self._inputs[transition].items()
+        )
+
+    def enabled_transitions(self, marking: Marking) -> List[str]:
+        return [
+            name for name in self._transitions if self.is_enabled(name, marking)
+        ]
+
+    def fire(self, transition: str, marking: Marking) -> Marking:
+        """Fire ``transition`` from ``marking``; returns the new marking."""
+        if not self.is_enabled(transition, marking):
+            raise NotEnabledError(
+                "transition %r is not enabled in %r" % (transition, marking)
+            )
+        tokens = {place: count for place, count in marking.items()}
+        for place, weight in self._inputs[transition].items():
+            tokens[place] = tokens.get(place, 0) - weight
+        for place, weight in self._outputs[transition].items():
+            tokens[place] = tokens.get(place, 0) + weight
+        return Marking(tokens)
+
+    def fire_sequence(self, transitions: Iterable[str], marking: Marking) -> Marking:
+        """Fire a sequence of transitions; raises on the first disabled one."""
+        current = marking
+        for transition in transitions:
+            current = self.fire(transition, current)
+        return current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PetriNet(%r, %d places, %d transitions)" % (
+            self.name,
+            len(self._places),
+            len(self._transitions),
+        )

@@ -1,0 +1,127 @@
+"""Reachability analysis for Petri nets.
+
+Builds the (bounded) reachability graph by breadth-first exploration and
+answers the behavioral questions the soundness checker needs: which
+markings are reachable, which of them are deadlocks, which transitions ever
+fire, and whether the net stays within a token bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.petri.net import Marking, PetriNet
+
+#: Safety valve: exploration aborts past this many distinct markings.
+DEFAULT_STATE_LIMIT = 200_000
+
+
+@dataclass
+class ReachabilityGraph:
+    """The explored state space of a net from an initial marking."""
+
+    initial: Marking
+    markings: List[Marking] = field(default_factory=list)
+    #: (marking index, transition name, marking index)
+    edges: List[Tuple[int, str, int]] = field(default_factory=list)
+    #: True if exploration hit the state limit before exhausting the space.
+    truncated: bool = False
+
+    _index: Dict[Marking, int] = field(default_factory=dict, repr=False)
+
+    def index_of(self, marking: Marking) -> Optional[int]:
+        return self._index.get(marking)
+
+    def successors(self, index: int) -> List[Tuple[str, int]]:
+        return [(t, j) for i, t, j in self.edges if i == index]
+
+    def fired_transitions(self) -> Set[str]:
+        return {transition for _, transition, _ in self.edges}
+
+    def __len__(self) -> int:
+        return len(self.markings)
+
+
+def build_reachability_graph(
+    net: PetriNet,
+    initial: Marking,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+) -> ReachabilityGraph:
+    """Breadth-first reachability graph construction.
+
+    ``truncated`` is set (rather than raising) when the limit is hit, so
+    callers can distinguish "analysis incomplete" from genuine properties.
+    """
+    graph = ReachabilityGraph(initial=initial)
+    graph.markings.append(initial)
+    graph._index[initial] = 0
+    frontier = [0]
+    while frontier:
+        next_frontier: List[int] = []
+        for index in frontier:
+            marking = graph.markings[index]
+            for transition in net.enabled_transitions(marking):
+                successor = net.fire(transition, marking)
+                successor_index = graph._index.get(successor)
+                if successor_index is None:
+                    if len(graph.markings) >= state_limit:
+                        graph.truncated = True
+                        return graph
+                    successor_index = len(graph.markings)
+                    graph.markings.append(successor)
+                    graph._index[successor] = successor_index
+                    next_frontier.append(successor_index)
+                graph.edges.append((index, transition, successor_index))
+        frontier = next_frontier
+    return graph
+
+
+def find_deadlocks(
+    net: PetriNet, graph: ReachabilityGraph
+) -> List[Marking]:
+    """Reachable markings enabling no transition."""
+    deadlocks: List[Marking] = []
+    for marking in graph.markings:
+        if not net.enabled_transitions(marking):
+            deadlocks.append(marking)
+    return deadlocks
+
+
+def is_bounded(graph: ReachabilityGraph, bound: int) -> bool:
+    """Did every explored marking keep every place within ``bound`` tokens?
+
+    Only meaningful when the graph is not truncated.
+    """
+    for marking in graph.markings:
+        for _place, count in marking.items():
+            if count > bound:
+                return False
+    return True
+
+
+def can_reach(
+    net: PetriNet,
+    graph: ReachabilityGraph,
+    target: Marking,
+) -> Set[int]:
+    """Indices of explored markings from which ``target`` is reachable.
+
+    Computed by backward traversal over the explored edges; if the target
+    was never explored the result is empty.
+    """
+    target_index = graph.index_of(target)
+    if target_index is None:
+        return set()
+    predecessors: Dict[int, List[int]] = {}
+    for i, _t, j in graph.edges:
+        predecessors.setdefault(j, []).append(i)
+    reached: Set[int] = {target_index}
+    stack = [target_index]
+    while stack:
+        node = stack.pop()
+        for predecessor in predecessors.get(node, ()):
+            if predecessor not in reached:
+                reached.add(predecessor)
+                stack.append(predecessor)
+    return reached

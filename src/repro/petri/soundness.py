@@ -1,0 +1,161 @@
+"""Workflow-net soundness (van der Aalst's classical criteria).
+
+A *workflow net* has one source place ``i`` (empty preset), one sink place
+``o`` (empty postset), and every node lies on a path from ``i`` to ``o``.
+It is *sound* iff, starting from the marking ``[i]``:
+
+1. **option to complete** — from every reachable marking, the final
+   marking ``[o]`` remains reachable;
+2. **proper completion** — every reachable marking containing a token in
+   ``o`` is exactly ``[o]``;
+3. **no dead transitions** — every transition fires in some run.
+
+The paper validates woven synchronization schemes by mapping them to Petri
+nets; an unsound net signals conflicting dependencies (e.g. a
+synchronization cycle manifests as a dead initial fragment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.petri.net import Marking, PetriNet
+from repro.petri.reachability import build_reachability_graph, can_reach
+
+
+@dataclass(frozen=True)
+class SoundnessReport:
+    """Outcome of a soundness check."""
+
+    is_workflow_net: bool
+    option_to_complete: bool
+    proper_completion: bool
+    dead_transitions: Tuple[str, ...]
+    truncated: bool
+    reachable_markings: int
+    problems: Tuple[str, ...] = ()
+
+    @property
+    def is_sound(self) -> bool:
+        return (
+            self.is_workflow_net
+            and self.option_to_complete
+            and self.proper_completion
+            and not self.dead_transitions
+            and not self.truncated
+        )
+
+
+def workflow_places(net: PetriNet) -> Tuple[Optional[str], Optional[str]]:
+    """The (source, sink) places of a would-be workflow net, or Nones."""
+    sources = [
+        place.name for place in net.places if not net.place_preset(place.name)
+    ]
+    sinks = [
+        place.name for place in net.places if not net.place_postset(place.name)
+    ]
+    source = sources[0] if len(sources) == 1 else None
+    sink = sinks[0] if len(sinks) == 1 else None
+    return source, sink
+
+
+def is_workflow_net(net: PetriNet) -> bool:
+    """Structural check: unique source/sink and full connectivity."""
+    source, sink = workflow_places(net)
+    if source is None or sink is None:
+        return False
+
+    # Every node must lie on a path from source to sink.  Check forward
+    # reachability from the source and backward from the sink over the
+    # bipartite structure.
+    forward: Set[str] = set()
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in forward:
+            continue
+        forward.add(node)
+        if any(place.name == node for place in net.places):
+            stack.extend(net.place_postset(node))
+        else:
+            stack.extend(net.postset(node))
+
+    backward: Set[str] = set()
+    stack = [sink]
+    while stack:
+        node = stack.pop()
+        if node in backward:
+            continue
+        backward.add(node)
+        if any(place.name == node for place in net.places):
+            stack.extend(net.place_preset(node))
+        else:
+            stack.extend(net.preset(node))
+
+    nodes = {place.name for place in net.places} | {
+        transition.name for transition in net.transitions
+    }
+    return nodes <= forward and nodes <= backward
+
+
+def check_soundness(
+    net: PetriNet, state_limit: int = 200_000
+) -> SoundnessReport:
+    """Behavioral soundness by exhaustive reachability analysis."""
+    problems: List[str] = []
+    structural = is_workflow_net(net)
+    if not structural:
+        problems.append("not a workflow net (source/sink/connectivity)")
+
+    source, sink = workflow_places(net)
+    if source is None or sink is None:
+        return SoundnessReport(
+            is_workflow_net=False,
+            option_to_complete=False,
+            proper_completion=False,
+            dead_transitions=tuple(t.name for t in net.transitions),
+            truncated=False,
+            reachable_markings=0,
+            problems=tuple(problems),
+        )
+
+    initial = Marking({source: 1})
+    final = Marking({sink: 1})
+    graph = build_reachability_graph(net, initial, state_limit=state_limit)
+
+    if graph.truncated:
+        problems.append("state space truncated at %d markings" % len(graph))
+
+    indices_reaching_final = can_reach(net, graph, final)
+    option_to_complete = (
+        not graph.truncated
+        and graph.index_of(final) is not None
+        and all(i in indices_reaching_final for i in range(len(graph.markings)))
+    )
+    if not option_to_complete:
+        problems.append("some reachable marking cannot complete")
+
+    proper_completion = True
+    for marking in graph.markings:
+        if marking.count(sink) >= 1 and marking != final:
+            proper_completion = False
+            problems.append("improper completion: %r" % marking)
+            break
+
+    fired = graph.fired_transitions()
+    dead = tuple(
+        sorted(t.name for t in net.transitions if t.name not in fired)
+    )
+    if dead:
+        problems.append("dead transitions: %s" % ", ".join(dead))
+
+    return SoundnessReport(
+        is_workflow_net=structural,
+        option_to_complete=option_to_complete,
+        proper_completion=proper_completion,
+        dead_transitions=dead,
+        truncated=graph.truncated,
+        reachable_markings=len(graph),
+        problems=tuple(problems),
+    )

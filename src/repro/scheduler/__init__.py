@@ -1,0 +1,38 @@
+"""Dataflow scheduling engine and discrete-event simulator.
+
+The engine executes a process directly from its synchronization constraint
+set — the "dependency-equal-to-scheduling" style of the paper — with:
+
+* dead-path elimination (activities whose guard resolved the other way are
+  skipped and their obligations vacuously satisfied);
+* simulated remote services with latencies, including *state-aware*
+  services that raise :class:`~repro.errors.ProtocolViolation` when their
+  ports are invoked out of order (the runtime symptom of a dropped service
+  dependency);
+* dynamic enforcement of ``Exclusive`` relations and fine-grained
+  (state-level) DSCL constraints, which static optimization leaves alone;
+* metrics: makespan, concurrency profile and constraint-monitoring cost —
+  the quantities behind the paper's claim that the minimal set yields
+  "high concurrency and minimal maintenance cost".
+
+The sequencing-construct baseline (:mod:`repro.scheduler.baseline`) runs
+the *same* engine on the constraint set rewritten from a construct tree,
+so makespan differences measure over-serialization alone.
+"""
+
+from repro.scheduler.events import ActivityRecord, ExecutionTrace
+from repro.scheduler.engine import ConstraintScheduler, ExecutionResult
+from repro.scheduler.services import ServiceSimulator
+from repro.scheduler.metrics import concurrency_profile, max_concurrency
+from repro.scheduler.baseline import execute_constructs
+
+__all__ = [
+    "ActivityRecord",
+    "ConstraintScheduler",
+    "ExecutionResult",
+    "ExecutionTrace",
+    "ServiceSimulator",
+    "concurrency_profile",
+    "execute_constructs",
+    "max_concurrency",
+]

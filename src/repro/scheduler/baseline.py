@@ -1,0 +1,28 @@
+"""The sequencing-construct execution baseline.
+
+Runs the *same* discrete-event engine on the constraint set rewritten from
+a construct tree (:func:`repro.constructs.rewrite.constructs_to_constraints`),
+so any makespan difference against the dependency-minimal schedule is pure
+over-serialization introduced by the imperative encoding — the quantity the
+concurrency benchmark (S2) measures.
+"""
+
+from __future__ import annotations
+
+
+from repro.constructs.ast import Construct
+from repro.constructs.rewrite import constructs_to_constraints
+from repro.model.process import BusinessProcess
+from repro.scheduler.engine import ConstraintScheduler, ExecutionResult, OutcomePolicy
+
+
+def execute_constructs(
+    process: BusinessProcess,
+    construct: Construct,
+    outcomes: OutcomePolicy = None,
+    strict_services: bool = True,
+) -> ExecutionResult:
+    """Execute an imperative (construct-tree) implementation of ``process``."""
+    sc = constructs_to_constraints(process, construct)
+    scheduler = ConstraintScheduler(process, sc, strict_services=strict_services)
+    return scheduler.run(outcomes=outcomes)

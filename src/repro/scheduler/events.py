@@ -1,0 +1,70 @@
+"""Execution traces: what happened when during a simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ActivityRecord:
+    """Lifecycle of one activity in a run.
+
+    ``start``/``finish`` are ``None`` for skipped activities; ``skipped_at``
+    is ``None`` for executed ones.  ``outcome`` is set for guard activities.
+    """
+
+    name: str
+    start: Optional[float] = None
+    finish: Optional[float] = None
+    skipped_at: Optional[float] = None
+    outcome: Optional[str] = None
+
+    @property
+    def executed(self) -> bool:
+        return self.finish is not None
+
+    @property
+    def skipped(self) -> bool:
+        return self.skipped_at is not None
+
+
+@dataclass
+class ExecutionTrace:
+    """Chronological record of a run."""
+
+    records: Dict[str, ActivityRecord] = field(default_factory=dict)
+    #: (time, message) debug/event log in chronological order.
+    log: List[Tuple[float, str]] = field(default_factory=list)
+
+    def note(self, time: float, message: str) -> None:
+        self.log.append((time, message))
+
+    def record(self, record: ActivityRecord) -> None:
+        self.records[record.name] = record
+
+    def executed(self) -> List[ActivityRecord]:
+        return sorted(
+            (r for r in self.records.values() if r.executed),
+            key=lambda r: (r.start, r.name),
+        )
+
+    def skipped(self) -> List[str]:
+        return sorted(r.name for r in self.records.values() if r.skipped)
+
+    def order_of(self, name: str) -> Optional[float]:
+        record = self.records.get(name)
+        return record.start if record else None
+
+    def happened_before(self, first: str, second: str) -> bool:
+        """Did ``first`` finish before ``second`` started?  False unless
+        both executed."""
+        a = self.records.get(first)
+        b = self.records.get(second)
+        if a is None or b is None or not a.executed or not b.executed:
+            return False
+        return a.finish <= b.start
+
+    def makespan(self) -> float:
+        finishes = [r.finish for r in self.records.values() if r.finish is not None]
+        return max(finishes) if finishes else 0.0

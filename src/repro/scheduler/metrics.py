@@ -1,0 +1,54 @@
+"""Metrics over execution traces: concurrency profiles and comparisons."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.scheduler.events import ExecutionTrace
+
+
+def concurrency_profile(trace: ExecutionTrace) -> List[Tuple[float, int]]:
+    """Step function ``(time, running activities)`` over the run.
+
+    Returns change points only, sorted by time; the count at each point is
+    the number of activities running immediately after it.
+    """
+    deltas: Dict[float, int] = {}
+    for record in trace.records.values():
+        if record.start is None or record.finish is None:
+            continue
+        deltas[record.start] = deltas.get(record.start, 0) + 1
+        deltas[record.finish] = deltas.get(record.finish, 0) - 1
+    profile: List[Tuple[float, int]] = []
+    running = 0
+    for time in sorted(deltas):
+        running += deltas[time]
+        profile.append((time, running))
+    return profile
+
+
+def max_concurrency(trace: ExecutionTrace) -> int:
+    """Peak number of simultaneously running activities."""
+    profile = concurrency_profile(trace)
+    return max((count for _time, count in profile), default=0)
+
+
+def average_concurrency(trace: ExecutionTrace) -> float:
+    """Time-averaged number of running activities over the makespan."""
+    profile = concurrency_profile(trace)
+    if not profile:
+        return 0.0
+    makespan = trace.makespan()
+    if makespan <= 0:
+        return 0.0
+    area = 0.0
+    for (time, count), (next_time, _next_count) in zip(profile, profile[1:]):
+        area += count * (next_time - time)
+    return area / makespan
+
+
+def serialization_overhead(baseline_makespan: float, optimized_makespan: float) -> float:
+    """How much longer the baseline takes, as a ratio (1.0 = no overhead)."""
+    if optimized_makespan <= 0:
+        return 1.0
+    return baseline_makespan / optimized_makespan

@@ -1,0 +1,110 @@
+"""Simulated remote services.
+
+Each asynchronous service fires its callback ``latency`` time units after
+*all* of its request ports have been invoked; the callback makes the
+messages awaited by the service's receive activities available.
+
+A *sequential* (state-aware) service additionally verifies that its request
+ports are invoked in declaration order and raises
+:class:`~repro.errors.ProtocolViolation` otherwise — reproducing the
+scenario of Section 2 where the Purchase service "does not receive a
+shipping invoice without receiving the corresponding purchase order".
+Strictness is configurable so experiments can *demonstrate* the fault mode
+that dropping a service dependency exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolViolation, SchedulingError
+from repro.model.process import BusinessProcess
+from repro.model.service import Service
+
+
+@dataclass
+class _ServiceState:
+    service: Service
+    invoked: List[str] = field(default_factory=list)
+    invoke_times: Dict[str, float] = field(default_factory=dict)
+    callback_time: Optional[float] = None
+    violations: List[str] = field(default_factory=list)
+
+
+class ServiceSimulator:
+    """Tracks interactions of one run with every remote service."""
+
+    def __init__(self, process: BusinessProcess, strict: bool = True) -> None:
+        self._strict = strict
+        self._states: Dict[str, _ServiceState] = {
+            service.name: _ServiceState(service) for service in process.services
+        }
+
+    # -- invocation side -----------------------------------------------------
+
+    def invoke(self, service_name: str, port_name: str, time: float) -> Optional[float]:
+        """Record an invocation of ``port_name`` at ``time``.
+
+        Returns the callback time if this invocation completes the request
+        set of an asynchronous service, else ``None``.  Raises
+        :class:`ProtocolViolation` (in strict mode) when a sequential
+        service observes out-of-order ports.
+        """
+        state = self._states.get(service_name)
+        if state is None:
+            raise SchedulingError("invocation of unknown service %r" % service_name)
+        service = state.service
+        known_ports = [port.name for port in service.request_ports]
+        if port_name not in known_ports:
+            raise SchedulingError(
+                "service %r has no request port %r" % (service_name, port_name)
+            )
+        if port_name in state.invoke_times:
+            raise SchedulingError(
+                "port %r of service %r invoked twice" % (port_name, service_name)
+            )
+
+        if service.sequential:
+            expected = known_ports[len(state.invoked)]
+            if port_name != expected:
+                message = (
+                    "state-aware service %r received port %r before %r"
+                    % (service_name, port_name, expected)
+                )
+                state.violations.append(message)
+                if self._strict:
+                    raise ProtocolViolation(message)
+
+        state.invoked.append(port_name)
+        state.invoke_times[port_name] = time
+
+        if service.asynchronous and len(state.invoked) == len(known_ports):
+            state.callback_time = max(state.invoke_times.values()) + service.latency
+            return state.callback_time
+        return None
+
+    # -- receive side -------------------------------------------------------------
+
+    def callback_time(self, service_name: str) -> Optional[float]:
+        """When the service's callback message becomes available (or None)."""
+        state = self._states.get(service_name)
+        if state is None:
+            raise SchedulingError("unknown service %r" % service_name)
+        return state.callback_time
+
+    def message_available(self, service_name: str, time: float) -> bool:
+        callback = self.callback_time(service_name)
+        return callback is not None and callback <= time
+
+    # -- reporting -----------------------------------------------------------------
+
+    def violations(self) -> List[str]:
+        """All protocol violations observed (non-strict mode records them)."""
+        result: List[str] = []
+        for state in self._states.values():
+            result.extend(state.violations)
+        return result
+
+    def invocation_order(self, service_name: str) -> List[str]:
+        return list(self._states[service_name].invoked)

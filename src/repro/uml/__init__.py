@@ -1,0 +1,35 @@
+"""UML activity diagrams as a dependency source.
+
+Section 3.1: "in meta-modeling approach like UML, dependency information
+is available in activity diagrams, use case diagrams etc."  This package
+implements a compact activity-diagram model (actions, decision/merge and
+fork/join nodes, control flows with guard labels, object flows), an XML
+reader/writer, and extraction of data and control dependencies so a
+diagram can feed the weave pipeline directly:
+
+* every **object flow** is a definition-use data dependency;
+* **control dependencies** come from the post-dominator criterion over the
+  diagram's control-flow graph, with decision nodes as the only branch
+  sources (fork/join nodes express parallelism, not decisions).
+"""
+
+from repro.uml.model import (
+    ActivityDiagram,
+    ControlFlow,
+    NodeKind,
+    ObjectFlow,
+    UmlNode,
+)
+from repro.uml.xmlio import diagram_from_xml, diagram_to_xml
+from repro.uml.extract import diagram_dependencies
+
+__all__ = [
+    "ActivityDiagram",
+    "ControlFlow",
+    "NodeKind",
+    "ObjectFlow",
+    "UmlNode",
+    "diagram_dependencies",
+    "diagram_from_xml",
+    "diagram_to_xml",
+]

@@ -1,0 +1,119 @@
+"""Dependency extraction from activity diagrams.
+
+* Each **object flow** is, by construction, a definition-use pair: the
+  producing action happens-before the consuming action — one data
+  dependency each.
+* **Control dependencies** apply the post-dominator criterion over the
+  diagram's control-flow graph.  Decision out-edges carry the guard labels
+  that become the conditions; only decision nodes act as branch sources
+  (fork/join express parallelism).  Pseudo nodes (initial/final/decision/
+  merge/fork/join) never appear as dependency endpoints — a control
+  dependence on an interior control node is re-anchored on the actions it
+  governs, and the decision node itself is represented by the *action*
+  that feeds it when one exists (matching the paper's style, where the
+  guard ``if_au`` is an activity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.graphs import DirectedGraph
+from repro.deps.controlflow import extract_control_dependencies_from_cfg
+from repro.deps.registry import DependencySet
+from repro.deps.types import Dependency, DependencyKind
+from repro.uml.model import ActivityDiagram, NodeKind
+
+
+def _cfg_of(diagram: ActivityDiagram) -> Tuple[DirectedGraph, Dict[Tuple[str, str], str]]:
+    graph = DirectedGraph(nodes=[node.name for node in diagram.nodes])
+    labels: Dict[Tuple[str, str], str] = {}
+    for flow in diagram.control_flows:
+        graph.add_edge(flow.source, flow.target)
+        if flow.guard is not None:
+            labels[(flow.source, flow.target)] = flow.guard
+    return graph, labels
+
+
+def diagram_dependencies(diagram: ActivityDiagram) -> DependencySet:
+    """Extract the data and control dependencies of ``diagram``."""
+    diagram.validate()
+    initial = diagram.sole_node(NodeKind.INITIAL).name
+    final = diagram.sole_node(NodeKind.FINAL).name
+    graph, labels = _cfg_of(diagram)
+
+    dependencies = DependencySet()
+
+    # Data: object flows are definition-use pairs.
+    for flow in diagram.object_flows:
+        dependencies.add(
+            Dependency(
+                DependencyKind.DATA,
+                flow.source,
+                flow.target,
+                rationale="object %r flows along the diagram" % flow.object_name,
+            )
+        )
+
+    # Control: post-dominator criterion, decision nodes only.
+    decision_names = {n.name for n in diagram.nodes_of_kind(NodeKind.DECISION)}
+    action_names = {n.name for n in diagram.nodes_of_kind(NodeKind.ACTION)}
+    raw = extract_control_dependencies_from_cfg(
+        graph, initial, final, labels, include_join_edges=False
+    )
+
+    def anchor_decision(decision: str) -> Optional[str]:
+        """The action immediately feeding the decision, if unique."""
+        feeders = [
+            p for p in graph.predecessors(decision) if p in action_names
+        ]
+        return feeders[0] if len(feeders) == 1 else None
+
+    for dependency in raw:
+        if dependency.source not in decision_names:
+            continue  # forks/joins are not decision points
+        source = anchor_decision(dependency.source) or dependency.source
+        target = dependency.target
+        if target not in action_names:
+            continue  # control nodes are structure, not schedulable work
+        if source == target:
+            continue
+        dependencies.add(
+            Dependency(
+                DependencyKind.CONTROL,
+                source,
+                target,
+                condition=dependency.condition,
+                rationale="decision %r governs %r (UML activity diagram)"
+                % (dependency.source, target),
+            )
+        )
+
+    # Join ("NONE") edges: each decision orders the first *action* at which
+    # its branches re-converge.  Walk the post-dominator chain through any
+    # interior control nodes (merges, joins) until an action is found.
+    from repro.analysis.dominators import postdominators
+
+    ipostdom = postdominators(graph, final)
+    for decision in sorted(decision_names):
+        current = ipostdom.get(decision)
+        while current is not None and current != final:
+            if current in action_names:
+                source = anchor_decision(decision) or decision
+                if source != current:
+                    dependencies.add(
+                        Dependency(
+                            DependencyKind.CONTROL,
+                            source,
+                            current,
+                            condition=None,
+                            rationale="%r is the join of decision %r "
+                            "(UML activity diagram)" % (current, decision),
+                        )
+                    )
+                break
+            parent = ipostdom.get(current)
+            if parent == current:
+                break
+            current = parent
+    return dependencies

@@ -1,0 +1,180 @@
+"""A compact UML activity-diagram model.
+
+Supports the node kinds needed for dependency extraction: actions, the
+initial and final nodes, decision/merge (exclusive) and fork/join
+(parallel) control nodes.  Control flows may carry a guard label
+(``[approved]`` style); object flows carry the name of the object (the
+variable) that travels along them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ModelError
+
+
+class NodeKind(enum.Enum):
+    INITIAL = "initial"
+    FINAL = "final"
+    ACTION = "action"
+    DECISION = "decision"
+    MERGE = "merge"
+    FORK = "fork"
+    JOIN = "join"
+
+
+@dataclass(frozen=True)
+class UmlNode:
+    """One node of the diagram, identified by a unique name."""
+
+    name: str
+    kind: NodeKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("UML node name must be non-empty")
+
+
+@dataclass(frozen=True)
+class ControlFlow:
+    """A control-flow edge; ``guard`` labels decision out-edges."""
+
+    source: str
+    target: str
+    guard: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ModelError("control flow endpoints must differ")
+
+
+@dataclass(frozen=True)
+class ObjectFlow:
+    """An object-flow edge: ``object_name`` produced by ``source`` is
+    consumed by ``target``."""
+
+    source: str
+    target: str
+    object_name: str
+
+    def __post_init__(self) -> None:
+        if not self.object_name:
+            raise ModelError("object flow must name its object")
+        if self.source == self.target:
+            raise ModelError("object flow endpoints must differ")
+
+
+class ActivityDiagram:
+    """An activity diagram: nodes plus control and object flows."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ModelError("diagram name must be non-empty")
+        self.name = name
+        self._nodes: Dict[str, UmlNode] = {}
+        self._control_flows: List[ControlFlow] = []
+        self._object_flows: List[ObjectFlow] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, name: str, kind: NodeKind) -> UmlNode:
+        if name in self._nodes:
+            raise ModelError("node %r already in diagram" % name)
+        node = UmlNode(name, kind)
+        self._nodes[name] = node
+        return node
+
+    def action(self, name: str) -> UmlNode:
+        return self.add_node(name, NodeKind.ACTION)
+
+    def flow(
+        self, source: str, target: str, guard: Optional[str] = None
+    ) -> ControlFlow:
+        for endpoint in (source, target):
+            if endpoint not in self._nodes:
+                raise ModelError("control flow references unknown node %r" % endpoint)
+        edge = ControlFlow(source, target, guard)
+        self._control_flows.append(edge)
+        return edge
+
+    def object_flow(self, source: str, target: str, object_name: str) -> ObjectFlow:
+        for endpoint in (source, target):
+            if endpoint not in self._nodes:
+                raise ModelError("object flow references unknown node %r" % endpoint)
+            if self._nodes[endpoint].kind is not NodeKind.ACTION:
+                raise ModelError(
+                    "object flows connect actions, not %s nodes"
+                    % self._nodes[endpoint].kind.value
+                )
+        edge = ObjectFlow(source, target, object_name)
+        self._object_flows.append(edge)
+        return edge
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[UmlNode]:
+        return list(self._nodes.values())
+
+    @property
+    def control_flows(self) -> List[ControlFlow]:
+        return list(self._control_flows)
+
+    @property
+    def object_flows(self) -> List[ObjectFlow]:
+        return list(self._object_flows)
+
+    def node(self, name: str) -> UmlNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ModelError("diagram has no node %r" % name) from None
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[UmlNode]:
+        return [node for node in self._nodes.values() if node.kind is kind]
+
+    def sole_node(self, kind: NodeKind) -> UmlNode:
+        """The unique node of ``kind``; raises if absent or ambiguous."""
+        found = self.nodes_of_kind(kind)
+        if len(found) != 1:
+            raise ModelError(
+                "expected exactly one %s node, found %d" % (kind.value, len(found))
+            )
+        return found[0]
+
+    def validate(self) -> None:
+        """Structural sanity: one initial, one final, guards only on
+        decision out-edges."""
+        self.sole_node(NodeKind.INITIAL)
+        self.sole_node(NodeKind.FINAL)
+        for edge in self._control_flows:
+            if edge.guard is not None:
+                source = self._nodes[edge.source]
+                if source.kind is not NodeKind.DECISION:
+                    raise ModelError(
+                        "guard %r on flow from non-decision node %r"
+                        % (edge.guard, edge.source)
+                    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActivityDiagram):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._nodes == other._nodes
+            and sorted(map(str, self._control_flows))
+            == sorted(map(str, other._control_flows))
+            and sorted(map(str, self._object_flows))
+            == sorted(map(str, other._object_flows))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ActivityDiagram(%r, %d nodes, %d flows, %d object flows)" % (
+            self.name,
+            len(self._nodes),
+            len(self._control_flows),
+            len(self._object_flows),
+        )

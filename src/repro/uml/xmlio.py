@@ -1,0 +1,87 @@
+"""XML serialization for activity diagrams (an XMI-flavoured subset).
+
+Documents look like::
+
+    <activityDiagram name="Claims">
+      <node name="start" kind="initial"/>
+      <node name="validate" kind="action"/>
+      <node name="d1" kind="decision"/>
+      ...
+      <controlFlow source="start" target="validate"/>
+      <controlFlow source="d1" target="approve" guard="ok"/>
+      <objectFlow source="validate" target="approve" object="claim"/>
+    </activityDiagram>
+
+``diagram_from_xml(diagram_to_xml(d)) == d`` round-trips.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import ModelError
+from repro.uml.model import ActivityDiagram, NodeKind
+
+
+def diagram_to_xml(diagram: ActivityDiagram) -> str:
+    """Serialize a diagram to XML text."""
+    root = ET.Element("activityDiagram", {"name": diagram.name})
+    for node in diagram.nodes:
+        ET.SubElement(root, "node", {"name": node.name, "kind": node.kind.value})
+    for flow in diagram.control_flows:
+        attributes = {"source": flow.source, "target": flow.target}
+        if flow.guard is not None:
+            attributes["guard"] = flow.guard
+        ET.SubElement(root, "controlFlow", attributes)
+    for flow in diagram.object_flows:
+        ET.SubElement(
+            root,
+            "objectFlow",
+            {
+                "source": flow.source,
+                "target": flow.target,
+                "object": flow.object_name,
+            },
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def diagram_from_xml(text: str) -> ActivityDiagram:
+    """Parse the XML subset back into an :class:`ActivityDiagram`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise ModelError("malformed activity-diagram XML: %s" % error) from error
+    if root.tag != "activityDiagram":
+        raise ModelError(
+            "expected <activityDiagram> root, found <%s>" % root.tag
+        )
+    name = root.get("name")
+    if not name:
+        raise ModelError("<activityDiagram> requires a name")
+
+    diagram = ActivityDiagram(name)
+    for element in root.findall("node"):
+        node_name = element.get("name") or ""
+        kind_text = element.get("kind") or ""
+        try:
+            kind = NodeKind(kind_text)
+        except ValueError:
+            raise ModelError(
+                "unknown node kind %r on %r" % (kind_text, node_name)
+            ) from None
+        diagram.add_node(node_name, kind)
+    for element in root.findall("controlFlow"):
+        diagram.flow(
+            element.get("source") or "",
+            element.get("target") or "",
+            element.get("guard"),
+        )
+    for element in root.findall("objectFlow"):
+        diagram.object_flow(
+            element.get("source") or "",
+            element.get("target") or "",
+            element.get("object") or "",
+        )
+    return diagram

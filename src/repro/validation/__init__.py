@@ -1,0 +1,18 @@
+"""Static validation of synchronization specifications.
+
+* :mod:`repro.validation.conflicts` — synchronization cycles ("infinite
+  synchronization sequences", Section 4.1), unsatisfiable execution guards,
+  and exclusives that contradict happen-before constraints;
+* :mod:`repro.validation.coverage` — under-/over-specification of one
+  constraint set relative to another (what must be kept vs. what is noise).
+"""
+
+from repro.validation.conflicts import ConflictReport, find_conflicts
+from repro.validation.coverage import CoverageReport, compare_constraint_sets
+
+__all__ = [
+    "ConflictReport",
+    "CoverageReport",
+    "compare_constraint_sets",
+    "find_conflicts",
+]

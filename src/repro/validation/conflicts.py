@@ -1,0 +1,89 @@
+"""Conflict detection on synchronization constraint sets.
+
+Three classes of design-stage conflicts are detected:
+
+* **cycles** — a happen-before cycle can never be scheduled ("infinite
+  synchronization sequence"); the weaver refuses such sets;
+* **unsatisfiable guards** — an activity whose effective execution guard
+  requires one guard activity to take two different outcomes can never
+  execute (dead code that usually indicates a modeling error);
+* **exclusive/order contradictions** — an ``Exclusive`` relation between
+  activities one of which transitively precedes the other is vacuous (they
+  can never run concurrently anyway), which again usually indicates a
+  misunderstanding worth flagging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.analysis.conditions import is_contradictory
+from repro.analysis.graphs import cyclic_components, has_path
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.dscl.ast import Exclusive
+
+
+@dataclass(frozen=True)
+class ConflictReport:
+    """Outcome of conflict detection."""
+
+    cycles: Tuple[Tuple[str, ...], ...]
+    unsatisfiable_guards: Tuple[str, ...]
+    vacuous_exclusives: Tuple[str, ...]
+
+    @property
+    def has_conflicts(self) -> bool:
+        return bool(self.cycles or self.unsatisfiable_guards)
+
+    def summary(self) -> str:
+        if not self.has_conflicts and not self.vacuous_exclusives:
+            return "no conflicts detected"
+        parts: List[str] = []
+        if self.cycles:
+            parts.append("%d synchronization cycle(s)" % len(self.cycles))
+        if self.unsatisfiable_guards:
+            parts.append(
+                "%d activity(ies) with unsatisfiable guards"
+                % len(self.unsatisfiable_guards)
+            )
+        if self.vacuous_exclusives:
+            parts.append("%d vacuous exclusive(s)" % len(self.vacuous_exclusives))
+        return "; ".join(parts)
+
+
+def find_conflicts(
+    sc: SynchronizationConstraintSet,
+    exclusives: Iterable[Exclusive] = (),
+) -> ConflictReport:
+    """Run all static conflict checks on ``sc``."""
+    graph = sc.as_graph()
+
+    # Every strongly connected component with a cycle is reported, so a
+    # specification with several independent conflicts surfaces all of
+    # them in one pass.
+    cycles: List[Tuple[str, ...]] = [
+        tuple(str(node) for node in component)
+        for component in cyclic_components(graph)
+    ]
+
+    unsatisfiable = tuple(
+        sorted(
+            activity
+            for activity in sc.activities
+            if is_contradictory(sc.effective_guard(activity))
+        )
+    )
+
+    vacuous: List[str] = []
+    for exclusive in exclusives:
+        left = exclusive.left.activity
+        right = exclusive.right.activity
+        if has_path(graph, left, right) or has_path(graph, right, left):
+            vacuous.append(str(exclusive))
+
+    return ConflictReport(
+        cycles=tuple(cycles),
+        unsatisfiable_guards=unsatisfiable,
+        vacuous_exclusives=tuple(sorted(vacuous)),
+    )

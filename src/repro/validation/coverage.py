@@ -1,0 +1,66 @@
+"""Coverage comparison between two constraint sets.
+
+Generalizes the Figure 2 analysis to any pair of constraint sets: given an
+*implementation* set (what a scheme enforces) and a *requirement* set (what
+the dependencies demand), report which required orderings are missing
+(under-specification) and which enforced orderings are unnecessary
+(over-specification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from repro.core.closure import Semantics, closure_map
+from repro.core.constraints import SynchronizationConstraintSet
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Set difference between enforced and required orderings."""
+
+    missing: Tuple[Pair, ...]
+    unnecessary: Tuple[Pair, ...]
+    satisfied: Tuple[Pair, ...]
+
+    @property
+    def is_sufficient(self) -> bool:
+        """Does the implementation enforce everything required?"""
+        return not self.missing
+
+    @property
+    def is_tight(self) -> bool:
+        """Does it enforce *only* what is required?"""
+        return not self.unnecessary
+
+    @property
+    def is_exact(self) -> bool:
+        return self.is_sufficient and self.is_tight
+
+
+def _ordering_pairs(
+    sc: SynchronizationConstraintSet, semantics: Semantics
+) -> Set[Pair]:
+    pairs: Set[Pair] = set()
+    for source, facts in closure_map(sc, semantics).items():
+        for target, _annotations in facts:
+            pairs.add((source, target))
+    return pairs
+
+
+def compare_constraint_sets(
+    implementation: SynchronizationConstraintSet,
+    requirement: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> CoverageReport:
+    """Compare the ordering closures of implementation vs. requirement."""
+    enforced = _ordering_pairs(implementation, semantics)
+    required = _ordering_pairs(requirement, semantics)
+    return CoverageReport(
+        missing=tuple(sorted(required - enforced)),
+        unnecessary=tuple(sorted(enforced - required)),
+        satisfied=tuple(sorted(required & enforced)),
+    )

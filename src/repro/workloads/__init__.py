@@ -1,0 +1,51 @@
+"""Workloads: the paper's example processes plus synthetic generators.
+
+* :mod:`repro.workloads.purchasing` — the Purchasing process (Figure 1,
+  Table 1), the running example of the whole paper;
+* :mod:`repro.workloads.deployment` — the Deployment process (Figure 6)
+  with its implicit cooperation dependency;
+* :mod:`repro.workloads.figure3` — the toy ``a1..a7`` process of Figures
+  3-4 used to illustrate data/control dependency extraction;
+* :mod:`repro.workloads.loan` — a loan-approval process (extra realistic
+  workload in the style of the BPEL specification examples);
+* :mod:`repro.workloads.travel` — a travel-booking process exercising
+  multi-service fan-out with cooperation constraints;
+* :mod:`repro.workloads.synthetic` — parameterized random process
+  generator for scaling benchmarks.
+"""
+
+from repro.workloads.purchasing import (
+    build_purchasing_process,
+    purchasing_cooperation_dependencies,
+    purchasing_dependency_set,
+)
+from repro.workloads.deployment import (
+    build_deployment_process,
+    deployment_dependency_set,
+)
+from repro.workloads.figure3 import build_figure3_cfg, build_figure3_process
+from repro.workloads.insurance import (
+    build_insurance_process,
+    insurance_dependency_set,
+)
+from repro.workloads.loan import build_loan_process, loan_dependency_set
+from repro.workloads.travel import build_travel_process, travel_dependency_set
+from repro.workloads.synthetic import SyntheticSpec, generate_process
+
+__all__ = [
+    "SyntheticSpec",
+    "build_deployment_process",
+    "build_figure3_cfg",
+    "build_figure3_process",
+    "build_insurance_process",
+    "build_loan_process",
+    "build_purchasing_process",
+    "build_travel_process",
+    "deployment_dependency_set",
+    "generate_process",
+    "insurance_dependency_set",
+    "loan_dependency_set",
+    "purchasing_cooperation_dependencies",
+    "purchasing_dependency_set",
+    "travel_dependency_set",
+]

@@ -1,0 +1,54 @@
+"""The Deployment process of Figure 6.
+
+After receiving a deployment configuration, the process invokes the Deploy
+service twice: once with the middleware configuration and once with the
+application configuration.  There is neither a data nor a control
+dependency between the two invocations, yet the middleware installation
+must precede the application installation (it creates the directory
+structure the application lands in — the Tomcat ``$Tomcat/webapp``
+example).  That implicit happen-before is exactly what a *cooperation*
+dependency captures.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import extract_all_dependencies
+from repro.deps.cooperation import CooperationRegistry
+from repro.deps.registry import DependencySet
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+
+
+def build_deployment_process() -> BusinessProcess:
+    """Construct the Deployment process model of Figure 6."""
+    return (
+        ProcessBuilder("Deployment")
+        .service("Deploy", ports=["Deploy1", "Deploy2"])
+        .receive("recClient_Config", writes=["config"])
+        .assign("extract_midConfig", reads=["config"], writes=["midConfig"])
+        .assign("extract_appConfig", reads=["config"], writes=["appConfig"])
+        .invoke("invDeploy_midConfig", service="Deploy", port="Deploy1", reads=["midConfig"])
+        .invoke("invDeploy_appConfig", service="Deploy", port="Deploy2", reads=["appConfig"])
+        .build()
+    )
+
+
+def deployment_cooperation(process: BusinessProcess) -> CooperationRegistry:
+    """The implicit middleware-before-application constraint."""
+    registry = CooperationRegistry(process)
+    registry.require_before(
+        "invDeploy_midConfig",
+        "invDeploy_appConfig",
+        rationale="middleware install creates the directory structure "
+        "the application package is installed into",
+        analyst="deployment engineer",
+    )
+    return registry
+
+
+def deployment_dependency_set() -> DependencySet:
+    """All dependencies of the Deployment process."""
+    process = build_deployment_process()
+    return extract_all_dependencies(
+        process, cooperation=deployment_cooperation(process).dependencies
+    )

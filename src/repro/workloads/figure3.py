@@ -1,0 +1,62 @@
+"""The toy process of Figures 3-4: branch ``a1``, activities ``a2..a7``.
+
+``a1`` evaluates ``flag``; the T branch runs ``a2 -> a3 -> a4`` (with a
+definition-use dependency on ``y`` between ``a2`` and ``a3``), the F branch
+runs ``a5 -> a6``; ``a7`` joins both paths.  Because ``a7`` dominates every
+path from ``a1`` to stop, it is *not* control dependent on ``a1`` — the
+post-dominator subtlety Figure 4 illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.graphs import DirectedGraph
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+
+#: Sentinel CFG nodes.
+ENTRY = "start"
+EXIT = "stop"
+
+
+def build_figure3_process() -> BusinessProcess:
+    """The declared-model form of the Figure 3 process."""
+    builder = (
+        ProcessBuilder("Figure3")
+        .receive("a0", writes=["flag"])
+        .guard("a1", reads=["flag"])
+        .compute("a2", writes=["y"])
+        .compute("a3", reads=["y"])
+        .compute("a4")
+        .compute("a5", writes=["z"])
+        .compute("a6", reads=["z"])
+        .compute("a7")
+    )
+    builder.branch("a1", cases={"T": ["a2", "a3", "a4"], "F": ["a5", "a6"]}, join="a7")
+    return builder.build()
+
+
+def build_figure3_cfg() -> Tuple[DirectedGraph, Dict[Tuple[str, str], str]]:
+    """The control-flow graph of Figure 3 plus its branch-edge labels.
+
+    Returns ``(cfg, branch_labels)`` suitable for
+    :func:`repro.deps.controlflow.extract_control_dependencies_from_cfg`.
+    """
+    cfg = DirectedGraph()
+    edges = [
+        (ENTRY, "a0"),
+        ("a0", "a1"),
+        ("a1", "a2"),
+        ("a2", "a3"),
+        ("a3", "a4"),
+        ("a4", "a7"),
+        ("a1", "a5"),
+        ("a5", "a6"),
+        ("a6", "a7"),
+        ("a7", EXIT),
+    ]
+    for source, target in edges:
+        cfg.add_edge(source, target)
+    branch_labels = {("a1", "a2"): "T", ("a1", "a5"): "F"}
+    return cfg, branch_labels

@@ -1,0 +1,88 @@
+"""An insurance claim-handling process with *nested* conditionals.
+
+Exercises the machinery the Purchasing example does not: a branch inside a
+branch.  The outer guard decides whether the claim is valid at all; within
+valid claims, an inner guard splits fast-track settlement from full
+investigation.  Nested guards produce *transitive* execution guards
+(``payFastTrack`` runs only when ``if_valid = T`` **and**
+``if_severity = T``), which drive the guard-aware closure semantics, the
+Petri skip-propagation (a skipped inner guard skips its dependents), and
+the scheduler's fate resolution.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import extract_all_dependencies
+from repro.deps.cooperation import CooperationRegistry
+from repro.deps.registry import DependencySet
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+
+#: Activities of the inner (severity) branch.
+FAST_TRACK = ("payFastTrack",)
+INVESTIGATION = ("invInspector_claim", "recInspector_report", "settleClaim")
+
+
+def build_insurance_process() -> BusinessProcess:
+    """Construct the claim-handling process."""
+    builder = (
+        ProcessBuilder("InsuranceClaims")
+        .service("Registry")
+        .service("Inspector", asynchronous=True, latency=2.0)
+        .service("Archive")
+        .receive("recClient_claim", writes=["claim"])
+        .compute("validate", reads=["claim"], writes=["validity"])
+        .guard("if_valid", reads=["validity"])
+        # Valid claims: register, then triage severity.
+        .invoke("invRegistry_claim", service="Registry", reads=["claim"])
+        .compute("triage", reads=["claim"], writes=["severity"])
+        .guard("if_severity", reads=["severity"])
+        # Inner T branch: low severity -> fast-track payment.
+        .assign("payFastTrack", reads=["claim"], writes=["payment"])
+        # Inner F branch: full investigation through the Inspector service.
+        .invoke("invInspector_claim", service="Inspector", reads=["claim"])
+        .receive("recInspector_report", service="Inspector", writes=["report"])
+        .assign("settleClaim", reads=["report"], writes=["payment"])
+        # Invalid claims.
+        .assign("rejectClaim", writes=["payment"])
+        # Archival and reply happen for every claim.
+        .invoke("invArchive_outcome", service="Archive", reads=["payment"])
+        .reply("replyClient_outcome", reads=["payment"])
+    )
+    builder.branch(
+        "if_severity",
+        cases={"T": list(FAST_TRACK), "F": list(INVESTIGATION)},
+        join="invArchive_outcome",
+    )
+    builder.branch(
+        "if_valid",
+        cases={
+            # The inner guard and its shared prelude belong to the outer
+            # T case; inner-branch members are governed by the inner guard
+            # only (their outer condition is transitive).
+            "T": ["invRegistry_claim", "triage", "if_severity"],
+            "F": ["rejectClaim"],
+        },
+        join="replyClient_outcome",
+    )
+    return builder.build()
+
+
+def insurance_cooperation(process: BusinessProcess) -> CooperationRegistry:
+    """The archive must be written before the customer hears back."""
+    registry = CooperationRegistry(process)
+    registry.require_before(
+        "invArchive_outcome",
+        "replyClient_outcome",
+        rationale="regulatory: the outcome must be archived before disclosure",
+        analyst="claims compliance",
+    )
+    return registry
+
+
+def insurance_dependency_set() -> DependencySet:
+    """All dependencies of the claim-handling process."""
+    process = build_insurance_process()
+    return extract_all_dependencies(
+        process, cooperation=insurance_cooperation(process).dependencies
+    )

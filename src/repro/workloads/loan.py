@@ -1,0 +1,77 @@
+"""A loan-approval process — an extra realistic workload.
+
+Modeled after the classic loan-approval example of the BPEL specification,
+extended with a state-aware risk-assessment service (its profile port must
+be invoked before its assessment port, like the paper's Purchase service)
+and a notification service whose completion gates the reply through a
+cooperation dependency.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import extract_all_dependencies
+from repro.deps.cooperation import CooperationRegistry
+from repro.deps.registry import DependencySet
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+
+#: Activities on the approval (high-score) branch.
+APPROVAL_BRANCH = (
+    "invRisk_profile",
+    "invRisk_score",
+    "recRisk_assessment",
+    "setApproved",
+)
+
+
+def build_loan_process() -> BusinessProcess:
+    """Construct the loan-approval process."""
+    builder = (
+        ProcessBuilder("LoanApproval")
+        .service("CreditBureau", asynchronous=True)
+        .service(
+            "RiskAssessor",
+            ports=["Risk1", "Risk2"],
+            asynchronous=True,
+            sequential=True,
+        )
+        .service("Notifier")
+        .receive("recClient_app", writes=["app"])
+        .invoke("invBureau_app", service="CreditBureau", reads=["app"])
+        .receive("recBureau_score", service="CreditBureau", writes=["score"])
+        .guard("if_score", reads=["score"])
+        .invoke("invRisk_profile", service="RiskAssessor", port="Risk1", reads=["app"])
+        .invoke("invRisk_score", service="RiskAssessor", port="Risk2", reads=["score"])
+        .receive("recRisk_assessment", service="RiskAssessor", writes=["assessment"])
+        .assign("setApproved", reads=["assessment"], writes=["decision"])
+        .assign("setRejected", writes=["decision"])
+        .invoke("invNotify_decision", service="Notifier", reads=["decision"])
+        .reply("replyClient_decision", reads=["decision"])
+    )
+    builder.branch(
+        "if_score",
+        cases={"T": list(APPROVAL_BRANCH), "F": ["setRejected"]},
+        join="replyClient_decision",
+    )
+    return builder.build()
+
+
+def loan_cooperation(process: BusinessProcess) -> CooperationRegistry:
+    """The customer must be notified before the reply goes out."""
+    registry = CooperationRegistry(process)
+    registry.require_before(
+        "invNotify_decision",
+        "replyClient_decision",
+        rationale="regulatory notification must be dispatched before the "
+        "decision is returned to the applicant",
+        analyst="compliance officer",
+    )
+    return registry
+
+
+def loan_dependency_set() -> DependencySet:
+    """All dependencies of the loan-approval process."""
+    process = build_loan_process()
+    return extract_all_dependencies(
+        process, cooperation=loan_cooperation(process).dependencies
+    )

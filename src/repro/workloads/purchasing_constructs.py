@@ -1,0 +1,51 @@
+"""Figure 2: the Purchasing process coded in sequencing constructs.
+
+This is the imperative baseline implementation (BPEL-style) the paper
+criticizes: a top-level sequence, a switch on the authorization outcome,
+and a flow of three subprocess sequences wired together by two links.  The
+specification analysis reproduces the paper's diagnosis: the sequencing
+``invProduction_po -> invProduction_ss`` is over-specified, while the
+superficially similar ``invPurchase_po -> invPurchase_si`` is required by
+the Purchase service dependency.
+"""
+
+from __future__ import annotations
+
+from repro.constructs.ast import Act, Flow, Link, Sequence, Switch
+
+
+def build_purchasing_constructs() -> Sequence:
+    """The construct tree of Figure 2."""
+    purchase_subprocess = Sequence(
+        Act("invPurchase_po"),
+        Act("invPurchase_si"),
+        Act("recPurchase_oi"),
+    )
+    ship_subprocess = Sequence(
+        Act("invShip_po"),
+        Act("recShip_si"),
+        Act("recShip_ss"),
+    )
+    production_subprocess = Sequence(
+        Act("invProduction_po"),
+        Act("invProduction_ss"),  # the over-specified sequencing
+    )
+    concurrent_subprocesses = Flow(
+        purchase_subprocess,
+        ship_subprocess,
+        production_subprocess,
+        links=[
+            Link("recShip_si", "invPurchase_si"),
+            Link("recShip_ss", "invProduction_ss"),
+        ],
+    )
+    return Sequence(
+        Act("recClient_po"),
+        Act("invCredit_po"),
+        Act("recCredit_au"),
+        Switch(
+            "if_au",
+            cases={"T": concurrent_subprocesses, "F": Act("set_oi")},
+        ),
+        Act("replyClient_oi"),
+    )

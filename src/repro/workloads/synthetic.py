@@ -1,0 +1,198 @@
+"""Parameterized random process generator for scaling benchmarks.
+
+Generates layered processes whose dependencies all point forward in
+activity-index order, guaranteeing an acyclic merged constraint set.  The
+generator controls the knobs the scaling benchmarks sweep: activity count,
+dataflow density, number of remote services, number of conditional
+branches, and the amount of (frequently redundant) cooperation
+dependencies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.deps.registry import DependencySet
+from repro.deps.types import Dependency, DependencyKind
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Generation parameters.
+
+    ``n_activities``
+        Number of internal activities (excluding service ports).
+    ``n_services``
+        Number of asynchronous single-port services (each consumes one
+        invoke and one receive activity slot).
+    ``data_density``
+        Expected number of readers per written variable.
+    ``n_branches``
+        Number of disjoint conditional regions.
+    ``branch_width``
+        Activities per conditional region (split between T and F cases).
+    ``coop_density``
+        Expected number of cooperation dependencies, as a fraction of
+        ``n_activities`` (values above ~0.5 produce many redundant ones).
+    ``seed``
+        RNG seed; generation is fully deterministic given the spec.
+    """
+
+    n_activities: int = 40
+    n_services: int = 4
+    data_density: float = 1.5
+    n_branches: int = 2
+    branch_width: int = 6
+    coop_density: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        minimum = 2 + 2 * self.n_services + self.n_branches * (self.branch_width + 1)
+        if self.n_activities < minimum:
+            raise ValueError(
+                "n_activities=%d too small for the requested structure "
+                "(needs at least %d)" % (self.n_activities, minimum)
+            )
+
+
+def generate_process(
+    spec: SyntheticSpec,
+) -> Tuple[BusinessProcess, List[Dependency]]:
+    """Generate ``(process, cooperation_dependencies)`` from ``spec``."""
+    rng = random.Random(spec.seed)
+    n = spec.n_activities
+    builder = ProcessBuilder("Synthetic_%d_%d" % (n, spec.seed))
+
+    # --- plan the layout -------------------------------------------------
+    # Index 0 is always the intake receive; the last index always a reply.
+    roles: Dict[int, Tuple[str, Optional[str]]] = {0: ("intake", None)}
+    free = list(range(1, n - 1))
+    rng.shuffle(free)
+
+    # Disjoint branch windows: guard index followed by `branch_width` members.
+    branch_plans: List[Tuple[int, List[int]]] = []
+    used: Set[int] = {0, n - 1}
+    window = spec.branch_width + 1
+    cursor = 1
+    for _ in range(spec.n_branches):
+        # Find the next run of `window` consecutive unused indices.
+        while cursor + window <= n - 1:
+            span = list(range(cursor, cursor + window))
+            if not any(index in used for index in span):
+                break
+            cursor += 1
+        else:
+            break
+        guard_index, member_indices = span[0], span[1:]
+        branch_plans.append((guard_index, member_indices))
+        used.update(span)
+        cursor += window
+
+    # Service invoke/receive pairs in the remaining free slots.
+    remaining = sorted(set(range(1, n - 1)) - used)
+    service_pairs: List[Tuple[int, int]] = []
+    for service_index in range(spec.n_services):
+        if len(remaining) < 2:
+            break
+        invoke_position = remaining.pop(0)
+        receive_position = remaining.pop(rng.randrange(len(remaining)))
+        if invoke_position > receive_position:
+            invoke_position, receive_position = receive_position, invoke_position
+        service_pairs.append((invoke_position, receive_position))
+        used.update((invoke_position, receive_position))
+
+    for service_index, _pair in enumerate(service_pairs):
+        builder.service("Svc%d" % service_index, asynchronous=True)
+
+    # --- emit activities in index order -----------------------------------
+    written: List[Tuple[int, str]] = []  # (writer index, variable)
+
+    def pick_reads(position: int, expected: float = 1.0) -> List[str]:
+        candidates = [variable for index, variable in written if index < position]
+        if not candidates:
+            return []
+        count = min(len(candidates), max(0, int(round(rng.expovariate(1.0 / expected)))))
+        count = max(count, 1) if rng.random() < 0.8 else count
+        return rng.sample(candidates, min(count, len(candidates)))
+
+    guard_indices = {guard for guard, _ in branch_plans}
+    member_of: Dict[int, Tuple[int, str]] = {}
+    for guard, members in branch_plans:
+        for offset, member in enumerate(members):
+            outcome = "T" if offset < (len(members) + 1) // 2 else "F"
+            member_of[member] = (guard, outcome)
+    invoke_at = {pair[0]: index for index, pair in enumerate(service_pairs)}
+    receive_at = {pair[1]: index for index, pair in enumerate(service_pairs)}
+
+    for position in range(n):
+        name = "act%d" % position
+        variable = "v%d" % position
+        if position == 0:
+            builder.receive(name, writes=[variable])
+            written.append((position, variable))
+        elif position == n - 1:
+            builder.reply(name, reads=pick_reads(position, spec.data_density))
+        elif position in guard_indices:
+            reads = pick_reads(position) or []
+            builder.guard(name, reads=reads)
+        elif position in invoke_at:
+            builder.invoke(
+                name,
+                service="Svc%d" % invoke_at[position],
+                reads=pick_reads(position),
+            )
+        elif position in receive_at:
+            builder.receive(
+                name, service="Svc%d" % receive_at[position], writes=[variable]
+            )
+            written.append((position, variable))
+        else:
+            writes = [variable] if rng.random() < 0.7 else []
+            builder.compute(name, reads=pick_reads(position, spec.data_density), writes=writes)
+            if writes:
+                written.append((position, variable))
+
+    for guard, members in branch_plans:
+        cases: Dict[str, List[str]] = {"T": [], "F": []}
+        for member in members:
+            _, outcome = member_of[member]
+            cases[outcome].append("act%d" % member)
+        join: Optional[str] = "act%d" % (n - 1)
+        builder.branch("act%d" % guard, cases={k: v for k, v in cases.items() if v}, join=join)
+
+    process = builder.build()
+
+    # --- cooperation dependencies ------------------------------------------
+    cooperation: List[Dependency] = []
+    target_count = int(spec.coop_density * n)
+    seen: Set[Tuple[str, str]] = set()
+    attempts = 0
+    while len(cooperation) < target_count and attempts < target_count * 20:
+        attempts += 1
+        source = rng.randrange(0, n - 1)
+        target = rng.randrange(source + 1, n)
+        pair = ("act%d" % source, "act%d" % target)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        cooperation.append(
+            Dependency(
+                DependencyKind.COOPERATION,
+                pair[0],
+                pair[1],
+                rationale="synthetic business constraint",
+            )
+        )
+    return process, cooperation
+
+
+def generate_dependency_set(spec: SyntheticSpec) -> Tuple[BusinessProcess, DependencySet]:
+    """Generate a process and its full merged dependency set."""
+    from repro.core.pipeline import extract_all_dependencies
+
+    process, cooperation = generate_process(spec)
+    return process, extract_all_dependencies(process, cooperation=cooperation)

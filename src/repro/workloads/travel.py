@@ -1,0 +1,64 @@
+"""A travel-booking process — an extra realistic workload.
+
+Three independent reservation services (flight, hotel, car) are invoked
+concurrently — the canonical dataflow fan-out the paper's approach extracts
+automatically — then a state-aware payment service authorizes and captures
+in sequence, and the consolidated confirmation is returned.  Cooperation
+dependencies require every reservation to be confirmed before the reply,
+partly duplicating the data dependencies (redundancy the minimizer removes).
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import extract_all_dependencies
+from repro.deps.cooperation import CooperationRegistry
+from repro.deps.registry import DependencySet
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+
+#: The activities whose completion the reply must wait for.
+CONFIRMATIONS = ("recFlight_conf", "recHotel_conf", "recCar_conf")
+
+
+def build_travel_process() -> BusinessProcess:
+    """Construct the travel-booking process."""
+    return (
+        ProcessBuilder("TravelBooking")
+        .service("Flight", asynchronous=True)
+        .service("Hotel", asynchronous=True)
+        .service("Car", asynchronous=True)
+        .service("Payment", ports=["Pay1", "Pay2"], asynchronous=True, sequential=True)
+        .receive("recClient_trip", writes=["trip"])
+        .invoke("invFlight_trip", service="Flight", reads=["trip"])
+        .receive("recFlight_conf", service="Flight", writes=["fconf"])
+        .invoke("invHotel_trip", service="Hotel", reads=["trip"])
+        .receive("recHotel_conf", service="Hotel", writes=["hconf"])
+        .invoke("invCar_trip", service="Car", reads=["trip"])
+        .receive("recCar_conf", service="Car", writes=["cconf"])
+        .invoke("invPay_auth", service="Payment", port="Pay1", reads=["trip"])
+        .compute("assembleTotal", reads=["fconf", "hconf", "cconf"], writes=["total"])
+        .invoke("invPay_capture", service="Payment", port="Pay2", reads=["total"])
+        .receive("recPay_receipt", service="Payment", writes=["receipt"])
+        .reply("replyClient_conf", reads=["receipt"])
+        .build()
+    )
+
+
+def travel_cooperation(process: BusinessProcess) -> CooperationRegistry:
+    """Every reservation must be confirmed before the reply."""
+    registry = CooperationRegistry(process)
+    registry.require_all_before(
+        CONFIRMATIONS,
+        "replyClient_conf",
+        rationale="no confirmation may be returned while any reservation "
+        "is still pending",
+    )
+    return registry
+
+
+def travel_dependency_set() -> DependencySet:
+    """All dependencies of the travel-booking process."""
+    process = build_travel_process()
+    return extract_all_dependencies(
+        process, cooperation=travel_cooperation(process).dependencies
+    )

@@ -1,0 +1,30 @@
+"""WSCL — Web Services Conversation Language documents.
+
+Section 3.2: "Service dependency information is likely to be found in
+standard description documents like WSCL that specifies the XML documents
+being exchanged, and the allowed sequencing of these document exchanges."
+
+This package implements a WSCL 1.0 subset: conversations with typed
+interactions and allowed transitions, XML parsing/emission, and the
+derivation of *service dependencies* from a conversation — so a service can
+"submit its dependencies like a WSCL document to a scheduling engine"
+(Section 1) instead of relying on the process being hand-coded correctly.
+"""
+
+from repro.wscl.model import Conversation, Interaction, InteractionKind, Transition
+from repro.wscl.xmlio import conversation_from_xml, conversation_to_xml
+from repro.wscl.derive import (
+    conversation_for_service,
+    service_dependencies_from_conversation,
+)
+
+__all__ = [
+    "Conversation",
+    "Interaction",
+    "InteractionKind",
+    "Transition",
+    "conversation_for_service",
+    "conversation_from_xml",
+    "conversation_to_xml",
+    "service_dependencies_from_conversation",
+]

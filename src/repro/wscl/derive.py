@@ -1,0 +1,93 @@
+"""Deriving service dependencies from WSCL conversations — and back.
+
+``service_dependencies_from_conversation`` turns the allowed transitions of
+a conversation into ``->s`` dependencies between the service's ports — the
+"participants of service integration can simply submit their dependencies
+like a WSCL document" workflow of Section 1.
+
+``conversation_for_service`` goes the other way: it renders a declared
+:class:`~repro.model.service.Service` as the WSCL document it would
+publish, which keeps the two representations interchangeable in tests and
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.deps.types import Dependency, DependencyKind
+from repro.model.service import Service
+from repro.wscl.model import Conversation, Interaction, InteractionKind, Transition
+
+
+def service_dependencies_from_conversation(
+    conversation: Conversation,
+) -> List[Dependency]:
+    """Port-to-port service dependencies implied by a conversation.
+
+    Each WSCL transition between interactions at ports ``p`` and ``q``
+    yields ``p ->s q``.  Transitions between interactions at the *same*
+    port collapse (a port is one node in the constraint graph).
+    """
+    dependencies: List[Dependency] = []
+    seen = set()
+    for transition in conversation.transitions:
+        source_port = conversation.interaction(transition.source).port
+        target_port = conversation.interaction(transition.target).port
+        if source_port == target_port:
+            continue
+        key = (source_port, target_port)
+        if key in seen:
+            continue
+        seen.add(key)
+        dependencies.append(
+            Dependency(
+                DependencyKind.SERVICE,
+                source_port,
+                target_port,
+                rationale="WSCL conversation %r of service %r orders %s before %s"
+                % (conversation.name, conversation.service, source_port, target_port),
+            )
+        )
+    return dependencies
+
+
+def conversation_for_service(service: Service) -> Conversation:
+    """The WSCL document a declared service would publish.
+
+    Request ports become ``Receive`` interactions; an asynchronous
+    service's callback becomes a ``Send`` interaction at the dummy port.
+    Transitions mirror :meth:`Service.internal_orderings`.
+    """
+    conversation = Conversation(
+        name="%sConversation" % service.name, service=service.name
+    )
+    for port in service.request_ports:
+        conversation.add_interaction(
+            Interaction(
+                id="recv_%s" % port.name,
+                kind=InteractionKind.RECEIVE,
+                port=port.name,
+                document="%sRequest" % port.name,
+            )
+        )
+    if service.dummy_port is not None:
+        conversation.add_interaction(
+            Interaction(
+                id="send_%s" % service.dummy_port.name,
+                kind=InteractionKind.SEND,
+                port=service.dummy_port.name,
+                document="%sCallback" % service.name,
+            )
+        )
+
+    def interaction_id_for(port_name: str) -> str:
+        if service.dummy_port is not None and port_name == service.dummy_port.name:
+            return "send_%s" % port_name
+        return "recv_%s" % port_name
+
+    for earlier, later in service.internal_orderings():
+        conversation.add_transition(
+            Transition(interaction_id_for(earlier.port), interaction_id_for(later.port))
+        )
+    return conversation

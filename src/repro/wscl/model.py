@@ -1,0 +1,129 @@
+"""WSCL conversation model (subset of WSCL 1.0).
+
+A conversation describes a service's protocol from the service's point of
+view: *interactions* (document exchanges at the service's ports) and
+*transitions* (the allowed orderings between interactions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import WSCLError
+
+
+class InteractionKind(enum.Enum):
+    """Direction of a document exchange, from the service's perspective."""
+
+    #: The service receives a document (the process invokes a port).
+    RECEIVE = "Receive"
+    #: The service sends a document (a callback into the process).
+    SEND = "Send"
+    #: Request-response in one interaction.
+    RECEIVE_SEND = "ReceiveSend"
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One interaction of the conversation.
+
+    ``port`` names the service port the interaction happens at; it is the
+    hook that maps conversation constraints onto the process's service
+    dependency graph.
+    """
+
+    id: str
+    kind: InteractionKind
+    port: str
+    document: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise WSCLError("interaction id must be non-empty")
+        if not self.port:
+            raise WSCLError("interaction %r must name a port" % self.id)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """An allowed ordering: ``source`` interaction precedes ``target``."""
+
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise WSCLError("transition endpoints must differ")
+
+
+class Conversation:
+    """A service conversation: interactions plus allowed transitions."""
+
+    def __init__(
+        self,
+        name: str,
+        service: str,
+        interactions: Iterable[Interaction] = (),
+        transitions: Iterable[Transition] = (),
+    ) -> None:
+        if not name:
+            raise WSCLError("conversation name must be non-empty")
+        if not service:
+            raise WSCLError("conversation %r must name its service" % name)
+        self.name = name
+        self.service = service
+        self._interactions: Dict[str, Interaction] = {}
+        self._transitions: List[Transition] = []
+        for interaction in interactions:
+            self.add_interaction(interaction)
+        for transition in transitions:
+            self.add_transition(transition)
+
+    def add_interaction(self, interaction: Interaction) -> Interaction:
+        if interaction.id in self._interactions:
+            raise WSCLError("duplicate interaction id %r" % interaction.id)
+        self._interactions[interaction.id] = interaction
+        return interaction
+
+    def add_transition(self, transition: Transition) -> Transition:
+        for endpoint in (transition.source, transition.target):
+            if endpoint not in self._interactions:
+                raise WSCLError(
+                    "transition references unknown interaction %r" % endpoint
+                )
+        self._transitions.append(transition)
+        return transition
+
+    @property
+    def interactions(self) -> List[Interaction]:
+        return list(self._interactions.values())
+
+    @property
+    def transitions(self) -> List[Transition]:
+        return list(self._transitions)
+
+    def interaction(self, interaction_id: str) -> Interaction:
+        try:
+            return self._interactions[interaction_id]
+        except KeyError:
+            raise WSCLError("no interaction %r" % interaction_id) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conversation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.service == other.service
+            and self._interactions == other._interactions
+            and self._transitions == other._transitions
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Conversation(%r, service=%r, %d interactions, %d transitions)" % (
+            self.name,
+            self.service,
+            len(self._interactions),
+            len(self._transitions),
+        )

@@ -1,0 +1,98 @@
+"""WSCL XML serialization (subset of the WSCL 1.0 syntax).
+
+Documents look like::
+
+    <Conversation name="PurchaseConversation" service="Purchase">
+      <ConversationInteractions>
+        <Interaction id="order" interactionType="Receive" port="Purchase1"
+                     document="PurchaseOrder"/>
+        ...
+      </ConversationInteractions>
+      <ConversationTransitions>
+        <Transition>
+          <SourceInteraction href="order"/>
+          <DestinationInteraction href="invoiceRequest"/>
+        </Transition>
+      </ConversationTransitions>
+    </Conversation>
+
+``conversation_from_xml(conversation_to_xml(c)) == c`` round-trips.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import WSCLError
+from repro.wscl.model import Conversation, Interaction, InteractionKind, Transition
+
+
+def conversation_to_xml(conversation: Conversation) -> str:
+    """Serialize a conversation to the WSCL XML subset."""
+    root = ET.Element(
+        "Conversation",
+        {"name": conversation.name, "service": conversation.service},
+    )
+    interactions = ET.SubElement(root, "ConversationInteractions")
+    for interaction in conversation.interactions:
+        attributes = {
+            "id": interaction.id,
+            "interactionType": interaction.kind.value,
+            "port": interaction.port,
+        }
+        if interaction.document:
+            attributes["document"] = interaction.document
+        ET.SubElement(interactions, "Interaction", attributes)
+    transitions = ET.SubElement(root, "ConversationTransitions")
+    for transition in conversation.transitions:
+        element = ET.SubElement(transitions, "Transition")
+        ET.SubElement(element, "SourceInteraction", {"href": transition.source})
+        ET.SubElement(element, "DestinationInteraction", {"href": transition.target})
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def conversation_from_xml(text: str) -> Conversation:
+    """Parse the WSCL XML subset back into a :class:`Conversation`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise WSCLError("malformed WSCL XML: %s" % error) from error
+    if root.tag != "Conversation":
+        raise WSCLError("expected <Conversation> root, found <%s>" % root.tag)
+    name = root.get("name")
+    service = root.get("service")
+    if not name or not service:
+        raise WSCLError("<Conversation> requires name and service attributes")
+
+    conversation = Conversation(name, service)
+    interactions = root.find("ConversationInteractions")
+    if interactions is not None:
+        for element in interactions.findall("Interaction"):
+            interaction_id = element.get("id") or ""
+            kind_text = element.get("interactionType") or ""
+            try:
+                kind = InteractionKind(kind_text)
+            except ValueError:
+                raise WSCLError(
+                    "unknown interactionType %r on %r" % (kind_text, interaction_id)
+                ) from None
+            conversation.add_interaction(
+                Interaction(
+                    id=interaction_id,
+                    kind=kind,
+                    port=element.get("port") or "",
+                    document=element.get("document") or "",
+                )
+            )
+    transitions = root.find("ConversationTransitions")
+    if transitions is not None:
+        for element in transitions.findall("Transition"):
+            source = element.find("SourceInteraction")
+            target = element.find("DestinationInteraction")
+            if source is None or target is None:
+                raise WSCLError("<Transition> requires source and destination")
+            conversation.add_transition(
+                Transition(source.get("href") or "", target.get("href") or "")
+            )
+    return conversation

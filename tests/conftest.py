@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's workloads, woven once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.workloads.deployment import build_deployment_process, deployment_cooperation
+from repro.workloads.loan import build_loan_process, loan_cooperation
+from repro.workloads.purchasing import (
+    build_purchasing_process,
+    purchasing_cooperation_dependencies,
+)
+from repro.workloads.purchasing_constructs import build_purchasing_constructs
+from repro.workloads.travel import build_travel_process, travel_cooperation
+
+
+@pytest.fixture(scope="session")
+def purchasing_process():
+    return build_purchasing_process()
+
+
+@pytest.fixture(scope="session")
+def purchasing_dependencies(purchasing_process):
+    return extract_all_dependencies(
+        purchasing_process,
+        cooperation=purchasing_cooperation_dependencies(purchasing_process),
+    )
+
+
+@pytest.fixture(scope="session")
+def purchasing_weave(purchasing_process, purchasing_dependencies):
+    return DSCWeaver().weave(purchasing_process, purchasing_dependencies)
+
+
+@pytest.fixture(scope="session")
+def purchasing_constructs():
+    return build_purchasing_constructs()
+
+
+@pytest.fixture(scope="session")
+def loan_weave():
+    process = build_loan_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=loan_cooperation(process).dependencies
+    )
+    return process, DSCWeaver().weave(process, dependencies)
+
+
+@pytest.fixture(scope="session")
+def travel_weave():
+    process = build_travel_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=travel_cooperation(process).dependencies
+    )
+    return process, DSCWeaver().weave(process, dependencies)
+
+
+@pytest.fixture(scope="session")
+def deployment_weave():
+    process = build_deployment_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=deployment_cooperation(process).dependencies
+    )
+    return process, DSCWeaver().weave(process, dependencies)

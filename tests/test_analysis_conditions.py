@@ -1,0 +1,180 @@
+"""Unit tests for the condition algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.conditions import (
+    Cond,
+    ConditionDomains,
+    is_contradictory,
+    merge_complementary,
+    normalize_facts,
+    strip_implied,
+    subsumes,
+)
+
+
+def conds(*pairs):
+    return frozenset(Cond(guard, value) for guard, value in pairs)
+
+
+class TestCond:
+    def test_equality_and_hash(self):
+        assert Cond("g", "T") == Cond("g", "T")
+        assert Cond("g", "T") != Cond("g", "F")
+        assert len({Cond("g", "T"), Cond("g", "T")}) == 1
+
+    def test_string_rendering(self):
+        assert str(Cond("if_au", "T")) == "T@if_au"
+
+
+class TestDomains:
+    def test_default_domain_is_boolean(self):
+        domains = ConditionDomains()
+        assert domains.domain("anything") == frozenset({"T", "F"})
+
+    def test_declared_domain(self):
+        domains = ConditionDomains()
+        domains.declare("route", ["air", "sea", "land"])
+        assert domains.domain("route") == frozenset({"air", "sea", "land"})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionDomains().declare("g", [])
+
+    def test_copy_is_independent(self):
+        original = ConditionDomains({"g": ["A", "B"]})
+        clone = original.copy()
+        clone.declare("h", ["X"])
+        assert original.domain("h") == frozenset({"T", "F"})
+        assert original == ConditionDomains({"g": ["A", "B"]})
+
+
+class TestContradiction:
+    def test_empty_is_satisfiable(self):
+        assert not is_contradictory(frozenset())
+
+    def test_same_guard_same_value(self):
+        assert not is_contradictory(conds(("g", "T"), ("h", "F")))
+
+    def test_same_guard_two_values(self):
+        assert is_contradictory(conds(("g", "T"), ("g", "F")))
+
+
+class TestSubsumption:
+    def test_fewer_annotations_subsume(self):
+        assert subsumes(conds(), conds(("g", "T")))
+        assert subsumes(conds(("g", "T")), conds(("g", "T"), ("h", "F")))
+
+    def test_incomparable_sets_do_not_subsume(self):
+        assert not subsumes(conds(("g", "T")), conds(("h", "F")))
+
+
+class TestNormalize:
+    def test_drops_subsumed(self):
+        facts = {("x", conds()), ("x", conds(("g", "T")))}
+        assert normalize_facts(facts) == frozenset({("x", conds())})
+
+    def test_keeps_incomparable(self):
+        facts = {("x", conds(("g", "T"))), ("x", conds(("h", "F")))}
+        assert normalize_facts(facts) == frozenset(facts)
+
+    def test_drops_contradictory(self):
+        facts = {("x", conds(("g", "T"), ("g", "F")))}
+        assert normalize_facts(facts) == frozenset()
+
+    def test_distinct_targets_are_independent(self):
+        facts = {("x", conds(("g", "T"))), ("y", conds())}
+        assert normalize_facts(facts) == frozenset(facts)
+
+    @given(
+        st.sets(
+            st.tuples(
+                st.sampled_from(["x", "y"]),
+                st.sets(
+                    st.tuples(st.sampled_from(["g", "h"]), st.sampled_from(["T", "F"])),
+                    max_size=3,
+                ).map(lambda s: frozenset(Cond(g, v) for g, v in s)),
+            ),
+            max_size=8,
+        )
+    )
+    def test_normalize_is_idempotent(self, facts):
+        once = normalize_facts(facts)
+        assert normalize_facts(once) == once
+
+    @given(
+        st.sets(
+            st.tuples(
+                st.sampled_from(["x", "y"]),
+                st.sets(
+                    st.tuples(st.sampled_from(["g", "h"]), st.sampled_from(["T", "F"])),
+                    max_size=3,
+                ).map(lambda s: frozenset(Cond(g, v) for g, v in s)),
+            ),
+            max_size=8,
+        )
+    )
+    def test_every_input_fact_is_covered(self, facts):
+        normalized = normalize_facts(facts)
+        for target, annotations in facts:
+            if is_contradictory(annotations):
+                continue
+            assert any(
+                t == target and subsumes(a, annotations) for t, a in normalized
+            )
+
+
+class TestMergeComplementary:
+    def test_boolean_cover_merges(self):
+        facts = {("x", conds(("g", "T"))), ("x", conds(("g", "F")))}
+        assert merge_complementary(facts) == frozenset({("x", conds())})
+
+    def test_partial_cover_does_not_merge(self):
+        facts = {("x", conds(("g", "T")))}
+        assert merge_complementary(facts) == frozenset(facts)
+
+    def test_three_way_domain_requires_all_values(self):
+        domains = ConditionDomains({"route": ["air", "sea", "land"]})
+        two = {("x", conds(("route", "air"))), ("x", conds(("route", "sea")))}
+        assert merge_complementary(two, domains) == frozenset(two)
+        three = two | {("x", conds(("route", "land")))}
+        assert merge_complementary(three, domains) == frozenset({("x", conds())})
+
+    def test_merge_cascades(self):
+        # Merging on h first exposes a merge on g.
+        facts = {
+            ("x", conds(("g", "T"), ("h", "T"))),
+            ("x", conds(("g", "T"), ("h", "F"))),
+            ("x", conds(("g", "F"))),
+        }
+        assert merge_complementary(facts) == frozenset({("x", conds())})
+
+    def test_merge_respects_base_annotations(self):
+        facts = {
+            ("x", conds(("g", "T"), ("h", "T"))),
+            ("x", conds(("g", "F"), ("h", "F"))),
+        }
+        # Bases differ ({h:T} vs {h:F} when removing g) -> no merge on g;
+        # same for h.  Nothing merges.
+        assert merge_complementary(facts) == frozenset(facts)
+
+    def test_can_merge_veto(self):
+        facts = {("x", conds(("g", "T"))), ("x", conds(("g", "F")))}
+        merged = merge_complementary(
+            facts, can_merge=lambda guard, base, target: False
+        )
+        assert merged == frozenset(facts)
+
+
+class TestStripImplied:
+    def test_strips_only_implied(self):
+        annotations = conds(("g", "T"), ("h", "F"))
+        assert strip_implied(annotations, conds(("g", "T"))) == conds(("h", "F"))
+
+    def test_no_implied_is_identity(self):
+        annotations = conds(("g", "T"))
+        assert strip_implied(annotations, frozenset()) == annotations

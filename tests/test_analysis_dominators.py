@@ -1,0 +1,113 @@
+"""Tests for dominator analysis and CFG control dependencies (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dominators import (
+    control_dependencies,
+    immediate_dominators,
+    postdominators,
+)
+from repro.analysis.graphs import DirectedGraph
+from repro.workloads.figure3 import ENTRY, EXIT, build_figure3_cfg
+
+
+def straight_line() -> DirectedGraph:
+    return DirectedGraph(edges=[("s", "a"), ("a", "b"), ("b", "t")])
+
+
+class TestImmediateDominators:
+    def test_straight_line(self):
+        idom = immediate_dominators(straight_line(), "s")
+        assert idom["s"] == "s"
+        assert idom["a"] == "s"
+        assert idom["b"] == "a"
+        assert idom["t"] == "b"
+
+    def test_diamond_join_dominated_by_branch(self):
+        graph = DirectedGraph(
+            edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")]
+        )
+        idom = immediate_dominators(graph, "s")
+        assert idom["t"] == "s"
+        assert idom["a"] == "s"
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ValueError):
+            immediate_dominators(straight_line(), "nope")
+
+    def test_unreachable_nodes_excluded(self):
+        graph = straight_line()
+        graph.add_edge("island1", "island2")
+        idom = immediate_dominators(graph, "s")
+        assert "island1" not in idom
+        assert "island2" not in idom
+
+
+class TestPostdominators:
+    def test_figure3(self):
+        cfg, _labels = build_figure3_cfg()
+        ipostdom = postdominators(cfg, EXIT)
+        # a7 post-dominates the branch a1 (both paths re-converge there).
+        assert ipostdom["a1"] == "a7"
+        assert ipostdom["a2"] == "a3"
+        assert ipostdom["a4"] == "a7"
+        assert ipostdom["a6"] == "a7"
+
+
+class TestControlDependencies:
+    def test_figure4_reproduction(self):
+        """a2..a6 are control dependent on a1; a7 is not (it dominates all
+        paths from a1 to stop) — the exact point of Figure 4."""
+        cfg, labels = build_figure3_cfg()
+        triples = control_dependencies(cfg, ENTRY, EXIT, labels)
+        dependents = {(branch, dependent) for branch, dependent, _ in triples}
+        for dependent in ("a2", "a3", "a4", "a5", "a6"):
+            assert ("a1", dependent) in dependents
+        assert ("a1", "a7") not in dependents
+
+    def test_figure4_labels(self):
+        cfg, labels = build_figure3_cfg()
+        triples = control_dependencies(cfg, ENTRY, EXIT, labels)
+        by_pair = {(b, d): label for b, d, label in triples}
+        assert by_pair[("a1", "a2")] == "T"
+        assert by_pair[("a1", "a3")] == "T"
+        assert by_pair[("a1", "a5")] == "F"
+        assert by_pair[("a1", "a6")] == "F"
+
+    def test_no_branches_no_dependencies(self):
+        triples = control_dependencies(straight_line(), "s", "t", {})
+        assert triples == []
+
+    def test_nested_branch(self):
+        graph = DirectedGraph(
+            edges=[
+                ("s", "g1"),
+                ("g1", "g2"),
+                ("g1", "x"),
+                ("g2", "a"),
+                ("g2", "b"),
+                ("a", "m"),
+                ("b", "m"),
+                ("m", "t"),
+                ("x", "t"),
+            ]
+        )
+        labels = {
+            ("g1", "g2"): "T",
+            ("g1", "x"): "F",
+            ("g2", "a"): "T",
+            ("g2", "b"): "F",
+        }
+        triples = control_dependencies(graph, "s", "t", labels)
+        pairs = {(b, d) for b, d, _ in triples}
+        # Inner activities depend on the inner guard, not directly on g1.
+        assert ("g2", "a") in pairs
+        assert ("g2", "b") in pairs
+        assert ("g1", "a") not in pairs
+        # The inner guard itself depends on the outer guard.
+        assert ("g1", "g2") in pairs
+        # m post-dominates g2 but not g1.
+        assert ("g1", "m") in pairs
+        assert ("g2", "m") not in pairs

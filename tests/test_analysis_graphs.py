@@ -1,0 +1,156 @@
+"""Unit and property tests for the graph utilities (cross-checked against
+networkx on random DAGs)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.analysis.graphs import (
+    DirectedGraph,
+    ancestors,
+    descendants,
+    find_cycle,
+    has_path,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+from tests.strategies import dag_edges
+
+
+def diamond() -> DirectedGraph:
+    return DirectedGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestBasics:
+    def test_add_edge_adds_nodes(self):
+        graph = DirectedGraph()
+        graph.add_edge("x", "y")
+        assert graph.has_node("x") and graph.has_node("y")
+        assert graph.has_edge("x", "y")
+        assert not graph.has_edge("y", "x")
+
+    def test_degrees_and_counts(self):
+        graph = diamond()
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("d") == 2
+        assert graph.edge_count() == 4
+        assert len(graph) == 4
+
+    def test_remove_edge(self):
+        graph = diamond()
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+        with pytest.raises(KeyError):
+            graph.remove_edge("a", "b")
+
+    def test_copy_is_independent(self):
+        graph = diamond()
+        clone = graph.copy()
+        clone.add_edge("d", "e")
+        assert not graph.has_node("e")
+
+    def test_deterministic_node_order(self):
+        graph = DirectedGraph(nodes=["z", "a", "m"])
+        assert graph.nodes() == ["z", "a", "m"]
+
+
+class TestReachability:
+    def test_descendants(self):
+        assert descendants(diamond(), "a") == {"b", "c", "d"}
+        assert descendants(diamond(), "d") == set()
+
+    def test_ancestors(self):
+        assert ancestors(diamond(), "d") == {"a", "b", "c"}
+        assert ancestors(diamond(), "a") == set()
+
+    def test_has_path(self):
+        graph = diamond()
+        assert has_path(graph, "a", "d")
+        assert not has_path(graph, "d", "a")
+        assert not has_path(graph, "a", "a")  # no self-loop
+
+    def test_has_path_on_cycle_back_to_self(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "a")])
+        assert has_path(graph, "a", "a")
+
+
+class TestCycles:
+    def test_acyclic_returns_none(self):
+        assert find_cycle(diamond()) is None
+
+    def test_simple_cycle_found(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_self_contained_subcycle(self):
+        graph = diamond()
+        graph.add_edge("d", "b")
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) <= {"b", "c", "d", "a"}
+        # Verify it really is a cycle.
+        for first, second in zip(cycle, cycle[1:] + cycle[:1]):
+            assert graph.has_edge(first, second)
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self):
+        order = topological_sort(diamond())
+        position = {node: i for i, node in enumerate(order)}
+        for source, target in diamond().edges():
+            assert position[source] < position[target]
+
+    def test_raises_on_cycle(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            topological_sort(graph)
+
+
+class TestClosureAndReduction:
+    def test_closure_diamond(self):
+        closure = transitive_closure(diamond())
+        assert closure["a"] == {"b", "c", "d"}
+        assert closure["b"] == {"d"}
+        assert closure["d"] == set()
+
+    def test_reduction_removes_shortcut(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        reduced = transitive_reduction(graph)
+        assert set(reduced.edges()) == {("a", "b"), ("b", "c")}
+
+    def test_reduction_rejects_cycles(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            transitive_reduction(graph)
+
+    @given(dag_edges(max_nodes=9, max_edges=18))
+    def test_closure_matches_networkx(self, drawn):
+        node_count, edges = drawn
+        graph = DirectedGraph(nodes=range(node_count), edges=edges)
+        reference = nx.DiGraph(edges)
+        reference.add_nodes_from(range(node_count))
+        ours = transitive_closure(graph)
+        for node in range(node_count):
+            assert ours[node] == nx.descendants(reference, node)
+
+    @given(dag_edges(max_nodes=9, max_edges=18))
+    def test_reduction_matches_networkx(self, drawn):
+        node_count, edges = drawn
+        graph = DirectedGraph(nodes=range(node_count), edges=edges)
+        reference = nx.DiGraph(edges)
+        reference.add_nodes_from(range(node_count))
+        ours = set(transitive_reduction(graph).edges())
+        theirs = set(nx.transitive_reduction(reference).edges())
+        assert ours == theirs
+
+    @given(dag_edges(max_nodes=9, max_edges=18))
+    def test_reduction_preserves_reachability(self, drawn):
+        node_count, edges = drawn
+        graph = DirectedGraph(nodes=range(node_count), edges=edges)
+        reduced = transitive_reduction(graph)
+        assert transitive_closure(graph) == transitive_closure(reduced)

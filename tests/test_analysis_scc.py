@@ -1,0 +1,90 @@
+"""Tests for strongly-connected-component analysis (multi-cycle detection)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.graphs import (
+    DirectedGraph,
+    cyclic_components,
+    strongly_connected_components,
+)
+
+
+class TestSccExamples:
+    def test_acyclic_graph_all_singletons(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "c")])
+        components = strongly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+        assert cyclic_components(graph) == []
+
+    def test_one_cycle(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "a"), ("b", "c")])
+        cyclic = cyclic_components(graph)
+        assert len(cyclic) == 1
+        assert set(cyclic[0]) == {"a", "b"}
+
+    def test_two_independent_cycles(self):
+        graph = DirectedGraph(
+            edges=[("a", "b"), ("b", "a"), ("x", "y"), ("y", "z"), ("z", "x")]
+        )
+        cyclic = cyclic_components(graph)
+        assert len(cyclic) == 2
+        sizes = sorted(len(c) for c in cyclic)
+        assert sizes == [2, 3]
+
+    def test_self_loop_detected(self):
+        graph = DirectedGraph(edges=[("a", "a"), ("a", "b")])
+        cyclic = cyclic_components(graph)
+        assert [set(c) for c in cyclic] == [{"a"}]
+
+    def test_reverse_topological_order(self):
+        graph = DirectedGraph(edges=[("a", "b"), ("b", "c")])
+        components = strongly_connected_components(graph)
+        positions = {component[0]: i for i, component in enumerate(components)}
+        # Tarjan emits sinks first.
+        assert positions["c"] < positions["a"]
+
+
+class TestSccAgainstNetworkx:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_matches_networkx(self, edges):
+        edges = [(u, v) for u, v in edges if u != v]
+        graph = DirectedGraph(nodes=range(8), edges=edges)
+        reference = nx.DiGraph(edges)
+        reference.add_nodes_from(range(8))
+        ours = {frozenset(c) for c in strongly_connected_components(graph)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(reference)}
+        assert ours == theirs
+
+
+class TestMultiCycleConflictReport:
+    def test_all_cycles_reported(self):
+        from repro.core.constraints import Constraint, SynchronizationConstraintSet
+        from repro.validation.conflicts import find_conflicts
+
+        sc = SynchronizationConstraintSet(
+            ["a", "b", "x", "y", "ok"],
+            constraints=[
+                Constraint("a", "b"),
+                Constraint("b", "a"),
+                Constraint("x", "y"),
+                Constraint("y", "x"),
+                Constraint("a", "ok"),
+            ],
+        )
+        report = find_conflicts(sc)
+        assert len(report.cycles) == 2
+        assert {frozenset(c) for c in report.cycles} == {
+            frozenset({"a", "b"}),
+            frozenset({"x", "y"}),
+        }

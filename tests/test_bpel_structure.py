@@ -1,0 +1,209 @@
+"""Tests for structure recovery and structured BPEL emission."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bpel.parse import parse_structured_bpel
+from repro.bpel.structure import (
+    StructureError,
+    emit_structured_bpel,
+    recover_structure,
+)
+from repro.constructs.analysis import activities_of, implied_orderings
+from repro.constructs.ast import Act, Flow, Sequence, Switch
+from repro.constructs.specification import analyze_specification
+from repro.core.closure import Semantics, closure_map
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.minimize import minimize
+from tests.strategies import constraint_sets, unconditional_constraint_sets
+
+SLOW = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def required_pairs(sc):
+    """The orderings the set enforces at runtime: guard-aware closure with
+    vacuous facts (contradictory guard contexts, paths through activities
+    that cannot co-execute with the endpoints) removed."""
+    from repro.bpel.structure import runtime_required_pairs
+
+    return runtime_required_pairs(sc)
+
+
+def implied_pairs(tree, sc):
+    from repro.bpel.structure import co_executable
+
+    return {
+        pair for pair in implied_orderings(tree) if co_executable(sc, *pair)
+    }
+
+
+class TestRecoveryExamples:
+    def test_chain_becomes_sequence(self):
+        sc = SynchronizationConstraintSet(
+            ["a", "b", "c"],
+            constraints=[Constraint("a", "b"), Constraint("b", "c")],
+        )
+        tree = recover_structure(sc)
+        assert tree == Sequence(Act("a"), Act("b"), Act("c"))
+
+    def test_independent_activities_become_flow(self):
+        sc = SynchronizationConstraintSet(["a", "b"])
+        tree = recover_structure(sc)
+        assert isinstance(tree, Flow)
+        assert set(activities_of(tree)) == {"a", "b"}
+
+    def test_diamond_becomes_sequence_of_flow(self):
+        sc = SynchronizationConstraintSet(
+            ["a", "b", "c", "d"],
+            constraints=[
+                Constraint("a", "b"),
+                Constraint("a", "c"),
+                Constraint("b", "d"),
+                Constraint("c", "d"),
+            ],
+        )
+        tree = recover_structure(sc)
+        assert tree == Sequence(Act("a"), Flow(Act("b"), Act("c")), Act("d"))
+
+    def test_n_graph_uses_links(self):
+        """The 'N' shape (a->c, a->d, b->d) is not series-parallel: exact
+        recovery needs links."""
+        sc = SynchronizationConstraintSet(
+            ["a", "b", "c", "d"],
+            constraints=[
+                Constraint("a", "c"),
+                Constraint("a", "d"),
+                Constraint("b", "d"),
+            ],
+        )
+        tree = recover_structure(sc)
+        assert implied_orderings(tree) == required_pairs(sc)
+
+    def test_guarded_region_becomes_switch(self):
+        from repro.analysis.conditions import Cond
+
+        sc = SynchronizationConstraintSet(
+            ["g", "yes", "no"],
+            constraints=[Constraint("g", "yes", "T"), Constraint("g", "no", "F")],
+            guards={
+                "yes": frozenset({Cond("g", "T")}),
+                "no": frozenset({Cond("g", "F")}),
+            },
+        )
+        tree = recover_structure(sc)
+        assert isinstance(tree, Switch)
+        assert tree.guard == "g"
+        assert tree.cases == {"T": Act("yes"), "F": Act("no")}
+
+    def test_purchasing_recovery_is_exact(self, purchasing_weave):
+        tree = recover_structure(purchasing_weave.minimal)
+        report = analyze_specification(tree, purchasing_weave.minimal)
+        assert report.is_exact
+        # Top level mirrors the paper's skeleton.
+        assert isinstance(tree, Sequence)
+        assert activities_of(tree)[0] == "recClient_po"
+        assert any(isinstance(child, Switch) for child in tree.children)
+
+    def test_requires_activity_set(self, purchasing_weave):
+        with pytest.raises(StructureError):
+            recover_structure(purchasing_weave.merged)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(StructureError):
+            recover_structure(SynchronizationConstraintSet([]))
+
+    def test_conditional_to_unguarded_target_rejected(self):
+        sc = SynchronizationConstraintSet(
+            ["g", "x"],
+            constraints=[Constraint("g", "x", "T")],
+            # No guard map: x is not in g's region.
+        )
+        with pytest.raises(StructureError):
+            recover_structure(sc)
+
+
+class TestRecoveryProperties:
+    @SLOW
+    @given(unconditional_constraint_sets(max_nodes=8, max_edges=14))
+    def test_unconditional_recovery_is_exact(self, sc):
+        tree = recover_structure(sc)
+        assert implied_orderings(tree) == required_pairs(sc)
+
+    @SLOW
+    @given(constraint_sets(max_nodes=7, max_edges=10))
+    def test_guarded_recovery_is_exact_when_expressible(self, sc):
+        from hypothesis import assume
+
+        try:
+            tree = recover_structure(sc)
+        except StructureError:
+            # Conditional edge outside its guard's region, or a region
+            # that is not block-structured: no nested-construct form.
+            assume(False)
+            return
+        assert implied_pairs(tree, sc) == required_pairs(sc)
+
+    @SLOW
+    @given(unconditional_constraint_sets(max_nodes=8, max_edges=14))
+    def test_recovery_of_minimal_set_matches(self, sc):
+        minimal = minimize(sc, Semantics.STRICT)
+        tree = recover_structure(minimal)
+        assert implied_orderings(tree) == required_pairs(minimal)
+
+
+class TestStructuredEmission:
+    def test_round_trip(self, purchasing_process, purchasing_weave):
+        xml = emit_structured_bpel(purchasing_process, purchasing_weave.minimal)
+        parsed = parse_structured_bpel(xml)
+        original = recover_structure(purchasing_weave.minimal)
+        assert implied_orderings(parsed) == implied_orderings(original)
+        assert set(activities_of(parsed)) == set(activities_of(original))
+
+    def test_insurance_round_trip(self):
+        from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+        from repro.workloads.insurance import (
+            build_insurance_process,
+            insurance_cooperation,
+        )
+
+        process = build_insurance_process()
+        weave = DSCWeaver().weave(
+            process,
+            extract_all_dependencies(
+                process, cooperation=insurance_cooperation(process).dependencies
+            ),
+        )
+        xml = emit_structured_bpel(process, weave.minimal)
+        parsed = parse_structured_bpel(xml)
+        assert implied_orderings(parsed) == implied_orderings(
+            recover_structure(weave.minimal)
+        )
+
+    def test_emitted_xml_uses_proper_tags(self, purchasing_process, purchasing_weave):
+        xml = emit_structured_bpel(purchasing_process, purchasing_weave.minimal)
+        assert "<sequence>" in xml
+        assert "<switch" in xml and 'guard="if_au"' in xml
+        assert "<receive" in xml and "<invoke" in xml and "<reply" in xml
+
+    def test_recovered_tree_executes_equivalently(
+        self, purchasing_process, purchasing_weave
+    ):
+        """The recovered structured implementation schedules exactly like
+        the dependency-minimal one."""
+        from repro.scheduler.baseline import execute_constructs
+        from repro.scheduler.engine import ConstraintScheduler
+
+        tree = recover_structure(purchasing_weave.minimal)
+        for outcome in ("T", "F"):
+            structured = execute_constructs(
+                purchasing_process, tree, outcomes={"if_au": outcome}
+            )
+            direct = ConstraintScheduler(
+                purchasing_process, purchasing_weave.minimal
+            ).run(outcomes={"if_au": outcome})
+            assert structured.makespan == direct.makespan
+            assert set(structured.executed_names()) == set(direct.executed_names())

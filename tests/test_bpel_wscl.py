@@ -1,0 +1,212 @@
+"""Tests for the BPEL and WSCL serialization backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bpel.emit import emit_bpel
+from repro.bpel.parse import parse_bpel_flow, parse_structured_bpel
+from repro.constructs.analysis import activities_of, implied_orderings
+from repro.constructs.ast import Act, Flow, Link, Sequence, Switch
+from repro.core.constraints import Constraint
+from repro.deps.types import DependencyKind
+from repro.errors import BPELError, WSCLError
+from repro.model.service import Service
+from repro.wscl.derive import (
+    conversation_for_service,
+    service_dependencies_from_conversation,
+)
+from repro.wscl.model import Conversation, Interaction, InteractionKind, Transition
+from repro.wscl.xmlio import conversation_from_xml, conversation_to_xml
+
+
+class TestBpelEmission:
+    def test_emit_contains_all_links(self, purchasing_process, purchasing_weave):
+        xml = emit_bpel(purchasing_process, purchasing_weave.minimal)
+        assert xml.count("<link name=") == 17
+        assert 'suppressJoinFailure="yes"' in xml
+        assert 'name="recClient_po"' in xml
+        assert "transitionCondition" in xml
+
+    def test_emit_rejects_mixed_set(self, purchasing_process, purchasing_weave):
+        with pytest.raises(BPELError):
+            emit_bpel(purchasing_process, purchasing_weave.merged)
+
+    def test_guard_outcomes_attribute(self, purchasing_process, purchasing_weave):
+        xml = emit_bpel(purchasing_process, purchasing_weave.minimal)
+        assert 'outcomes="F,T"' in xml
+
+    def test_weave_result_to_bpel(self, purchasing_weave):
+        assert purchasing_weave.to_bpel().startswith("<process")
+
+
+class TestBpelRoundTrip:
+    def test_flow_round_trip(self, purchasing_process, purchasing_weave):
+        xml = emit_bpel(purchasing_process, purchasing_weave.minimal)
+        recovered = parse_bpel_flow(xml)
+        assert set(map(str, recovered.constraints)) == set(
+            map(str, purchasing_weave.minimal.constraints)
+        )
+        assert set(recovered.activities) == set(purchasing_weave.minimal.activities)
+        assert recovered.domains.domain("if_au") == frozenset({"T", "F"})
+        assert recovered.guard_of("invPurchase_po")
+
+    def test_round_trip_all_workloads(self, loan_weave, travel_weave, deployment_weave):
+        for process, weave in (loan_weave, travel_weave, deployment_weave):
+            xml = emit_bpel(process, weave.minimal)
+            recovered = parse_bpel_flow(xml)
+            assert set(map(str, recovered.constraints)) == set(
+                map(str, weave.minimal.constraints)
+            )
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(BPELError):
+            parse_bpel_flow("<not-bpel/>")
+        with pytest.raises(BPELError):
+            parse_bpel_flow("not xml at all <<<")
+
+    def test_parse_rejects_dangling_link(self):
+        xml = (
+            '<process name="p"><flow><links><link name="l0"/></links>'
+            '<assign name="a"><source linkName="l0"/></assign>'
+            "</flow></process>"
+        )
+        with pytest.raises(BPELError):
+            parse_bpel_flow(xml)
+
+
+class TestStructuredBpelParsing:
+    def test_sequence_and_switch(self):
+        xml = """
+        <process name="demo">
+          <sequence>
+            <receive name="in"/>
+            <switch guard="g">
+              <case outcome="T"><assign name="a"/></case>
+              <case outcome="F"><assign name="b"/></case>
+            </switch>
+            <reply name="out"/>
+          </sequence>
+        </process>
+        """
+        tree = parse_structured_bpel(xml)
+        assert activities_of(tree) == ["in", "g", "a", "b", "out"]
+        implied = implied_orderings(tree)
+        assert ("g", "a") in implied
+        assert ("a", "b") not in implied
+
+    def test_flow_with_links(self):
+        xml = """
+        <process name="demo">
+          <flow>
+            <links><link name="l1"/></links>
+            <sequence>
+              <invoke name="x"><source linkName="l1"/></invoke>
+            </sequence>
+            <sequence>
+              <invoke name="y"><target linkName="l1"/></invoke>
+            </sequence>
+          </flow>
+        </process>
+        """
+        tree = parse_structured_bpel(xml)
+        assert ("x", "y") in implied_orderings(tree)
+
+    def test_switch_requires_guard_attribute(self):
+        xml = '<process name="p"><switch><case outcome="T"><assign name="a"/></case></switch></process>'
+        with pytest.raises(BPELError):
+            parse_structured_bpel(xml)
+
+    def test_otherwise_branch(self):
+        xml = """
+        <process name="p">
+          <switch guard="g">
+            <case outcome="T"><assign name="a"/></case>
+            <otherwise><assign name="b"/></otherwise>
+          </switch>
+        </process>
+        """
+        tree = parse_structured_bpel(xml)
+        assert isinstance(tree, Switch)
+        assert tree.otherwise == Act("b")
+
+
+class TestWscl:
+    def test_round_trip(self):
+        conversation = Conversation(
+            "C",
+            "Svc",
+            interactions=[
+                Interaction("a", InteractionKind.RECEIVE, "P1", document="Doc1"),
+                Interaction("b", InteractionKind.SEND, "P_d"),
+            ],
+            transitions=[Transition("a", "b")],
+        )
+        assert conversation_from_xml(conversation_to_xml(conversation)) == conversation
+
+    def test_conversation_for_purchase_service(self):
+        service = Service(
+            "Purchase", ports=["Purchase1", "Purchase2"], asynchronous=True,
+            sequential=True,
+        )
+        conversation = conversation_for_service(service)
+        dependencies = service_dependencies_from_conversation(conversation)
+        rendered = {str(d) for d in dependencies}
+        assert rendered == {
+            "Purchase1 ->s Purchase2",
+            "Purchase1 ->s Purchase_d",
+            "Purchase2 ->s Purchase_d",
+        }
+        assert all(d.kind is DependencyKind.SERVICE for d in dependencies)
+
+    def test_same_port_transitions_collapse(self):
+        conversation = Conversation(
+            "C",
+            "Svc",
+            interactions=[
+                Interaction("a", InteractionKind.RECEIVE, "P1"),
+                Interaction("b", InteractionKind.RECEIVE, "P1"),
+            ],
+            transitions=[Transition("a", "b")],
+        )
+        assert service_dependencies_from_conversation(conversation) == []
+
+    def test_duplicate_interaction_rejected(self):
+        conversation = Conversation("C", "S")
+        conversation.add_interaction(Interaction("x", InteractionKind.SEND, "p"))
+        with pytest.raises(WSCLError):
+            conversation.add_interaction(Interaction("x", InteractionKind.SEND, "p"))
+
+    def test_transition_endpoints_validated(self):
+        conversation = Conversation("C", "S")
+        with pytest.raises(WSCLError):
+            conversation.add_transition(Transition("a", "b"))
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(WSCLError):
+            conversation_from_xml("<Nope/>")
+        with pytest.raises(WSCLError):
+            conversation_from_xml("garbage <")
+
+    def test_wscl_feeds_pipeline(self, purchasing_process):
+        """Service dependencies derived from the WSCL documents published by
+        each service equal the ones the extractor derives from the model —
+        the 'submit a WSCL document to the scheduling engine' flow."""
+        from repro.deps.servicedeps import extract_service_dependencies
+
+        from_wscl = set()
+        for service in purchasing_process.services:
+            conversation = conversation_for_service(service)
+            from_wscl |= {
+                str(d)
+                for d in service_dependencies_from_conversation(conversation)
+            }
+        ports = set(purchasing_process.port_names())
+        from_model = {
+            str(d)
+            for d in extract_service_dependencies(purchasing_process)
+            # keep only the service-internal (port-to-port) rows; the
+            # process-to-port bindings are not part of a WSCL document
+            if d.source in ports and d.target in ports
+        }
+        assert from_wscl == from_model

@@ -1,0 +1,114 @@
+"""Tests for the dscweaver command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--workload", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        assert "data {->d}  (9)" in out
+        assert "service {->s}  (15)" in out
+
+    def test_weave_prints_table2(self, capsys):
+        assert main(["weave", "--workload", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out and "23" in out
+
+    def test_minimal_lists_17_edges(self, capsys):
+        assert main(["minimal", "--workload", "purchasing"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 17
+        assert "invPurchase_po ->T" not in "\n".join(out)
+
+    def test_dscl_output_parses(self, capsys):
+        from repro.dscl.parser import parse
+
+        assert main(["dscl", "--workload", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        program = parse(out)
+        assert len(program) == 40
+
+    def test_bpel_stdout(self, capsys):
+        assert main(["bpel", "--workload", "travel"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<process")
+
+    def test_bpel_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.xml"
+        assert main(["bpel", "--workload", "loan", "--output", str(target)]) == 0
+        assert target.read_text().startswith("<process")
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--workload", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        assert "sound: True" in out
+
+    def test_simulate_with_outcome(self, capsys):
+        assert main(["simulate", "--workload", "purchasing", "--outcome", "if_au=F"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan=" in out
+        assert "skipped:" in out
+
+    def test_simulate_bad_outcome_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--outcome", "nonsense"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["weave", "--workload", "nope"])
+
+    def test_all_workloads_weave(self, capsys):
+        for workload in ("purchasing", "deployment", "loan", "travel"):
+            assert main(["weave", "--workload", workload]) == 0
+
+
+class TestCliExtensions:
+    def test_insurance_workload(self, capsys):
+        assert main(["weave", "--workload", "insurance"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal" in out
+
+    def test_dot_minimal(self, capsys):
+        assert main(["dot", "--workload", "purchasing", "--what", "minimal"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert out.count("->") >= 17
+
+    def test_dot_translated_highlights(self, capsys):
+        assert main(["dot", "--workload", "purchasing", "--what", "translated"]) == 0
+        out = capsys.readouterr().out
+        assert "style=bold penwidth=2" in out
+
+    def test_dot_petri(self, capsys):
+        assert main(["dot", "--workload", "deployment", "--what", "petri"]) == 0
+        out = capsys.readouterr().out
+        assert "shape=circle" in out
+
+    def test_dot_to_file(self, tmp_path, capsys):
+        target = tmp_path / "graph.dot"
+        assert main(
+            ["dot", "--workload", "loan", "--what", "dependencies", "--output", str(target)]
+        ) == 0
+        assert target.read_text().startswith("digraph")
+
+    def test_uml_extraction(self, tmp_path, capsys):
+        from repro.uml.xmlio import diagram_to_xml
+        from tests.test_uml import figure3_diagram
+
+        path = tmp_path / "fig3.xml"
+        path.write_text(diagram_to_xml(figure3_diagram()))
+        assert main(["uml", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "a2 ->d a3" in out
+        assert "a1 ->NONE a7" in out
+
+    def test_bpel_structured(self, capsys):
+        assert main(["bpel", "--workload", "purchasing", "--structured"]) == 0
+        out = capsys.readouterr().out
+        assert "<sequence>" in out
+        assert 'guard="if_au"' in out

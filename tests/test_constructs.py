@@ -1,0 +1,271 @@
+"""Tests for the sequencing-construct baseline: AST, orderings, CFG, PDG,
+specification analysis (Figure 2) and rewriting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructs.analysis import (
+    activities_of,
+    immediate_orderings,
+    implied_orderings,
+    sinks,
+    sources,
+)
+from repro.constructs.ast import Act, Flow, Link, Sequence, Switch, While
+from repro.constructs.cfg import construct_to_cfg
+from repro.constructs.pdg import build_pdg, structural_control_dependencies
+from repro.constructs.rewrite import constructs_to_constraints
+from repro.constructs.specification import analyze_specification
+from repro.core.closure import Semantics
+from repro.core.minimize import minimize
+from repro.errors import ModelError
+
+
+def sample_switch() -> Sequence:
+    return Sequence(
+        Act("in"),
+        Switch("g", cases={"T": Sequence(Act("a"), Act("b")), "F": Act("c")}),
+        Act("out"),
+    )
+
+
+class TestAst:
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ModelError):
+            Sequence()
+
+    def test_link_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            Link("a", "a")
+
+    def test_switch_requires_cases(self):
+        with pytest.raises(ModelError):
+            Switch("g", cases={})
+
+    def test_rendering(self):
+        tree = sample_switch()
+        text = str(tree)
+        assert "sequence(" in text and "switch(g;" in text
+
+
+class TestActivitiesAndBoundaries:
+    def test_activities_in_order(self):
+        assert activities_of(sample_switch()) == ["in", "g", "a", "b", "c", "out"]
+
+    def test_duplicate_activity_rejected(self):
+        with pytest.raises(ModelError):
+            activities_of(Sequence(Act("x"), Act("x")))
+
+    def test_sources_and_sinks(self):
+        tree = sample_switch()
+        assert sources(tree) == {"in"}
+        assert sinks(tree) == {"out"}
+        switch = tree.children[1]
+        assert sources(switch) == {"g"}
+        assert sinks(switch) == {"b", "c", "g"}
+
+    def test_flow_sources_sinks(self):
+        flow = Flow(Sequence(Act("a"), Act("b")), Act("c"))
+        assert sources(flow) == {"a", "c"}
+        assert sinks(flow) == {"b", "c"}
+
+    def test_while_sinks_are_guard(self):
+        loop = While("g", Sequence(Act("a"), Act("b")))
+        assert sinks(loop) == {"g"}
+
+
+class TestOrderings:
+    def test_sequence_orders_all_pairs(self):
+        tree = Sequence(Act("a"), Act("b"), Act("c"))
+        assert implied_orderings(tree) == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_flow_is_unordered_without_links(self):
+        tree = Flow(Act("a"), Act("b"))
+        assert implied_orderings(tree) == set()
+
+    def test_flow_links_add_order(self):
+        tree = Flow(
+            Sequence(Act("a"), Act("b")),
+            Sequence(Act("c"), Act("d")),
+            links=[Link("b", "c")],
+        )
+        implied = implied_orderings(tree)
+        assert ("b", "c") in implied
+        assert ("a", "d") in implied  # transitively through the link
+
+    def test_switch_cases_unordered_across(self):
+        implied = implied_orderings(sample_switch())
+        assert ("a", "c") not in implied and ("c", "a") not in implied
+        assert ("g", "a") in implied and ("g", "c") in implied
+        assert ("b", "out") in implied and ("c", "out") in implied
+        # The guard itself precedes the join (empty-path case).
+        assert ("g", "out") in implied
+
+    def test_switch_edge_conditions(self):
+        edges = immediate_orderings(sample_switch())
+        conditions = {(s, t): c for s, t, c in edges}
+        assert conditions[("g", "a")] == "T"
+        assert conditions[("g", "c")] == "F"
+
+    def test_while_body_after_guard_only(self):
+        tree = Sequence(Act("in"), While("g", Act("body")), Act("out"))
+        implied = implied_orderings(tree)
+        assert ("g", "body") in implied
+        assert ("g", "out") in implied
+        # Zero-iteration possibility: body does not precede out.
+        assert ("body", "out") not in implied
+
+
+class TestCfg:
+    def test_linear_cfg(self):
+        cfg = construct_to_cfg(Sequence(Act("a"), Act("b")))
+        assert cfg.graph.has_edge("a", "b")
+        assert cfg.graph.has_edge(cfg.entry, "a")
+        assert cfg.graph.has_edge("b", cfg.exit)
+
+    def test_flow_fork_join(self):
+        cfg = construct_to_cfg(Flow(Act("a"), Act("b")))
+        assert cfg.graph.has_edge("__fork_1", "a") or cfg.graph.has_edge(
+            "__fork_1", "b"
+        )
+        assert cfg.real_nodes() == ["a", "b"]
+
+    def test_switch_branch_labels(self):
+        cfg = construct_to_cfg(sample_switch())
+        assert cfg.branch_labels[("g", "a")] == "T"
+        assert cfg.branch_labels[("g", "c")] == "F"
+
+    def test_flow_links_present_in_cfg(self):
+        cfg = construct_to_cfg(
+            Flow(Act("a"), Act("b"), links=[Link("a", "b")])
+        )
+        assert cfg.graph.has_edge("a", "b")
+
+
+class TestPdg:
+    def test_purchasing_pdg_matches_table1(
+        self, purchasing_process, purchasing_constructs
+    ):
+        pdg = build_pdg(purchasing_process, purchasing_constructs)
+        data = {str(d) for d in pdg.data_dependencies}
+        control = {str(d) for d in pdg.control_dependencies}
+        assert len(data) == 9
+        assert "recShip_si ->d invPurchase_si" in data
+        assert "recShip_ss ->d invProduction_ss" in data
+        assert len(control) == 10
+        assert "if_au ->T invPurchase_po" in control
+        assert "if_au ->F set_oi" in control
+        assert "if_au ->NONE replyClient_oi" in control
+
+    def test_structural_control_nested(self):
+        tree = Sequence(
+            Act("in"),
+            Switch(
+                "g1",
+                cases={
+                    "T": Sequence(
+                        Act("x"),
+                        Switch("g2", cases={"T": Act("y"), "F": Act("z")}),
+                        Act("w"),
+                    ),
+                    "F": Act("other"),
+                },
+            ),
+            Act("out"),
+        )
+        control = {str(d) for d in structural_control_dependencies(tree)}
+        assert "g1 ->T x" in control
+        assert "g1 ->T g2" in control
+        assert "g2 ->T y" in control
+        assert "g1 ->T y" not in control  # nested guard owns it
+        assert "g1 ->NONE out" in control
+        assert "g1 ->T w" in control
+
+    def test_flow_members_control_dependent_on_enclosing_switch(self):
+        tree = Sequence(
+            Act("in"),
+            Switch("g", cases={"T": Flow(Act("p"), Act("q"))}),
+        )
+        control = {str(d) for d in structural_control_dependencies(tree)}
+        assert "g ->T p" in control
+        assert "g ->T q" in control
+
+    def test_pdg_as_dependency_set(self, purchasing_process, purchasing_constructs):
+        pdg = build_pdg(purchasing_process, purchasing_constructs)
+        merged = pdg.as_dependency_set()
+        assert merged.counts()["data"] == 9
+        assert merged.counts()["control"] == 10
+
+
+class TestSpecificationAnalysis:
+    def test_figure2_diagnosis(self, purchasing_weave, purchasing_constructs):
+        """The paper's Section 2 analysis: the Production sequencing is
+        over-specified; everything required is satisfied."""
+        report = analyze_specification(purchasing_constructs, purchasing_weave.asc)
+        assert ("invProduction_po", "invProduction_ss") in report.over_specified
+        assert report.under_specified == ()
+        assert not report.is_exact  # over-specification exists
+
+    def test_figure2_purchase_sequencing_is_required(
+        self, purchasing_weave, purchasing_constructs
+    ):
+        report = analyze_specification(purchasing_constructs, purchasing_weave.asc)
+        assert ("invPurchase_po", "invPurchase_si") in report.satisfied
+        assert ("invPurchase_po", "invPurchase_si") not in report.over_specified
+
+    def test_figure5_scheme_is_under_specified(
+        self, purchasing_process, purchasing_weave, purchasing_constructs
+    ):
+        """Data + control dependencies alone miss the cooperation and
+        service requirements (Section 3.1's observation about Figure 5)."""
+        from repro.constructs.rewrite import constructs_to_constraints
+        from repro.deps.controlflow import extract_control_dependencies
+        from repro.deps.dataflow import extract_data_dependencies
+        from repro.dscl.compiler import compile_dependencies
+        from repro.deps.registry import DependencySet
+        from repro.validation.coverage import compare_constraint_sets
+
+        data_control_only = DependencySet(
+            extract_data_dependencies(purchasing_process)
+            + extract_control_dependencies(purchasing_process)
+        )
+        compiled = compile_dependencies(purchasing_process, data_control_only)
+        report = compare_constraint_sets(compiled.sc, purchasing_weave.asc)
+        assert not report.is_sufficient
+        missing = set(report.missing)
+        # The invoice can escape before the subprocesses finish...
+        assert ("invProduction_ss", "replyClient_oi") in missing
+        # ...and the Purchase port ordering is unenforced.
+        assert ("invPurchase_po", "invPurchase_si") in missing
+
+    def test_summary_format(self, purchasing_weave, purchasing_constructs):
+        report = analyze_specification(purchasing_constructs, purchasing_weave.asc)
+        assert "over-specified=" in report.summary()
+
+
+class TestRewrite:
+    def test_rewrite_minimizes_to_constructs_shape(
+        self, purchasing_process, purchasing_constructs
+    ):
+        sc = constructs_to_constraints(purchasing_process, purchasing_constructs)
+        # The rewrite keeps the over-specified Production edge.
+        assert sc.has_constraint("invProduction_po", "invProduction_ss")
+        minimal = minimize(sc, Semantics.GUARD_AWARE)
+        # Minimization of the construct set cannot remove it (it is not
+        # redundant *within* the construct semantics, only against the
+        # true dependencies).
+        assert minimal.has_constraint("invProduction_po", "invProduction_ss")
+
+    def test_rewrite_guard_map(self, purchasing_process, purchasing_constructs):
+        sc = constructs_to_constraints(purchasing_process, purchasing_constructs)
+        from repro.analysis.conditions import Cond
+
+        assert sc.guard_of("invPurchase_po") == frozenset({Cond("if_au", "T")})
+        assert sc.guard_of("set_oi") == frozenset({Cond("if_au", "F")})
+        assert sc.guard_of("replyClient_oi") == frozenset()
+
+    def test_rewrite_switch_conditions(self, purchasing_process, purchasing_constructs):
+        sc = constructs_to_constraints(purchasing_process, purchasing_constructs)
+        assert sc.has_constraint("if_au", "set_oi", "F")
+        assert sc.has_constraint("if_au", "invPurchase_po", "T")

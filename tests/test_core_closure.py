@@ -1,0 +1,159 @@
+"""Tests for annotated transitive closure (Definition 3) and semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conditions import Cond
+from repro.core.closure import (
+    Semantics,
+    annotated_closure,
+    closure_map,
+    internal_closure_map,
+)
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+
+
+def sc_of(edges, activities=None, guards=None):
+    if activities is None:
+        activities = sorted(
+            {e[0] for e in edges} | {e[1] for e in edges}
+        )
+    constraints = [
+        Constraint(*edge) if len(edge) == 3 else Constraint(edge[0], edge[1])
+        for edge in edges
+    ]
+    return SynchronizationConstraintSet(
+        activities=activities, constraints=constraints, guards=guards
+    )
+
+
+class TestDefinition3Examples:
+    def test_plain_chain(self):
+        """a1 -> a2, a2 -> a3 gives a1+ = {a2, a3} (the paper's example)."""
+        sc = sc_of([("a1", "a2"), ("a2", "a3")])
+        closure = annotated_closure(sc, "a1", Semantics.STRICT)
+        assert closure == frozenset({("a2", frozenset()), ("a3", frozenset())})
+
+    def test_conditional_annotation_propagates(self):
+        """a1 -> a2 ->T a3 -> a4 gives a1+ = {a2, a3(T@a2), a4(T@a2)}."""
+        sc = sc_of([("a1", "a2"), ("a2", "a3", "T"), ("a3", "a4")])
+        closure = annotated_closure(sc, "a1", Semantics.STRICT)
+        t_at_a2 = frozenset({Cond("a2", "T")})
+        assert closure == frozenset(
+            {("a2", frozenset()), ("a3", t_at_a2), ("a4", t_at_a2)}
+        )
+
+    def test_unconditional_path_subsumes_conditional(self):
+        sc = sc_of([("a", "b"), ("a", "c"), ("c", "b", "T")])
+        closure = annotated_closure(sc, "a", Semantics.STRICT)
+        assert ("b", frozenset()) in closure
+        assert all(not anns for target, anns in closure if target == "b")
+
+    def test_contradictory_paths_dropped(self):
+        sc = sc_of([("g", "x", "T"), ("x", "g2"), ("g2", "y", "F")])
+        # Path g ->T x -> g2 ->F y accumulates {T@g, F@g2}: satisfiable.
+        closure = annotated_closure(sc, "g", Semantics.STRICT)
+        assert ("y", frozenset({Cond("g", "T"), Cond("g2", "F")})) in closure
+
+    def test_contradiction_on_same_guard(self):
+        sc = sc_of([("g", "x", "T"), ("x", "y"), ("g", "y", "F")])
+        closure = annotated_closure(sc, "g", Semantics.STRICT)
+        # y reachable via T-path (T@g) and direct F edge (F@g): both kept
+        # (incomparable), no contradictory combination arises.
+        annotations = {anns for target, anns in closure if target == "y"}
+        assert frozenset({Cond("g", "T")}) in annotations
+        assert frozenset({Cond("g", "F")}) in annotations
+
+
+class TestSemantics:
+    def test_reachability_ignores_annotations(self):
+        sc = sc_of([("g", "x", "T")])
+        closure = annotated_closure(sc, "g", Semantics.REACHABILITY)
+        assert closure == frozenset({("x", frozenset())})
+
+    def test_guard_aware_strips_target_guard(self):
+        """An annotation implied by the target's execution guard is vacuous."""
+        guards = {"x": frozenset({Cond("g", "T")})}
+        sc = sc_of(
+            [("a", "g"), ("g", "x", "T"), ("a", "x")],
+            guards=guards,
+        )
+        closure = annotated_closure(sc, "a", Semantics.GUARD_AWARE)
+        assert ("x", frozenset()) in closure
+        # Under strict semantics the annotated fact stays separate.
+        strict = annotated_closure(sc.without(Constraint("a", "x")), "a", Semantics.STRICT)
+        assert ("x", frozenset({Cond("g", "T")})) in strict
+
+    def test_guard_aware_strips_source_guard(self):
+        guards = {"u": frozenset({Cond("g", "T")}), "x": frozenset({Cond("g", "T")})}
+        sc = sc_of([("u", "g2"), ("g2", "x", "T")], guards=guards)
+        # The annotation is (T@g2), not implied by u's guard -> stays.
+        closure = annotated_closure(sc, "u", Semantics.GUARD_AWARE)
+        assert ("x", frozenset({Cond("g2", "T")})) in closure
+
+    def test_guard_aware_merges_complementary(self):
+        """d -> r via a T path and an F path is as good as unconditional."""
+        sc = sc_of(
+            [("d", "a", "T"), ("a", "r"), ("d", "m", "F"), ("m", "r")],
+            guards={
+                "a": frozenset({Cond("d", "T")}),
+                "m": frozenset({Cond("d", "F")}),
+            },
+        )
+        closure = annotated_closure(sc, "d", Semantics.GUARD_AWARE)
+        assert ("r", frozenset()) in closure
+
+    def test_merge_vetoed_when_guard_may_not_run(self):
+        """Complementary facts over a guard that itself may be skipped must
+        not merge: if g never runs, neither conditional path orders x."""
+        guards = {
+            "g": frozenset({Cond("outer", "T")}),
+            "a": frozenset({Cond("g", "T")}),
+            "b": frozenset({Cond("g", "F")}),
+        }
+        sc = sc_of(
+            [("s", "g"), ("g", "a", "T"), ("g", "b", "F"), ("a", "x"), ("b", "x")],
+            guards=guards,
+        )
+        closure = annotated_closure(sc, "s", Semantics.GUARD_AWARE)
+        facts_x = {anns for target, anns in closure if target == "x"}
+        assert frozenset() not in facts_x
+
+    def test_effective_guard_transitivity(self):
+        guards = {
+            "inner": frozenset({Cond("outer", "T")}),
+            "x": frozenset({Cond("inner", "T")}),
+        }
+        sc = sc_of([("outer", "inner", "T"), ("inner", "x", "T")], guards=guards)
+        assert sc.effective_guard("x") == frozenset(
+            {Cond("inner", "T"), Cond("outer", "T")}
+        )
+
+
+class TestClosureMap:
+    def test_matches_single_closures(self, purchasing_weave):
+        sc = purchasing_weave.minimal
+        mapped = closure_map(sc, Semantics.GUARD_AWARE)
+        for node in sc.activities:
+            assert mapped[node] == annotated_closure(sc, node, Semantics.GUARD_AWARE)
+
+    def test_cyclic_sets_terminate(self):
+        sc = sc_of([("a", "b"), ("b", "c"), ("c", "a")])
+        mapped = closure_map(sc, Semantics.STRICT)
+        assert mapped["a"] == frozenset(
+            {("a", frozenset()), ("b", frozenset()), ("c", frozenset())}
+        )
+
+    def test_internal_closure_map_filters_externals(self, purchasing_weave):
+        merged = purchasing_weave.merged
+        internal = internal_closure_map(merged, Semantics.REACHABILITY)
+        internal_names = set(merged.activities)
+        for facts in internal.values():
+            for target, _anns in facts:
+                assert target in internal_names
+
+    def test_restricted_nodes(self, purchasing_weave):
+        sc = purchasing_weave.minimal
+        subset = closure_map(sc, Semantics.GUARD_AWARE, nodes=["recClient_po"])
+        assert set(subset) == {"recClient_po"}

@@ -1,0 +1,175 @@
+"""Unit tests for the SynchronizationConstraintSet container and the
+ReductionReport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.report import ReductionReport
+from repro.deps.registry import DependencySet
+from repro.deps.types import Dependency, DependencyKind
+from repro.errors import ConstraintError
+
+
+class TestConstraint:
+    def test_annotation_of_conditional(self):
+        constraint = Constraint("g", "x", "T")
+        assert constraint.annotation == frozenset({Cond("g", "T")})
+
+    def test_annotation_of_unconditional(self):
+        assert Constraint("a", "b").annotation == frozenset()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraint("a", "a")
+
+    def test_rendering(self):
+        assert str(Constraint("a", "b")) == "a -> b"
+        assert str(Constraint("g", "b", "F")) == "g ->F b"
+
+    def test_ordering_is_total(self):
+        constraints = [Constraint("b", "c"), Constraint("a", "b"), Constraint("a", "b", "T")]
+        assert sorted(constraints)[0] == Constraint("a", "b")
+
+
+class TestConstraintSet:
+    def test_unknown_endpoint_rejected(self):
+        sc = SynchronizationConstraintSet(["a", "b"])
+        with pytest.raises(ConstraintError):
+            sc.add(Constraint("a", "ghost"))
+
+    def test_internal_external_overlap_rejected(self):
+        with pytest.raises(ConstraintError):
+            SynchronizationConstraintSet(["a"], externals=["a"])
+
+    def test_duplicate_constraints_collapse(self):
+        sc = SynchronizationConstraintSet(
+            ["a", "b"], constraints=[Constraint("a", "b"), Constraint("a", "b")]
+        )
+        assert len(sc) == 1
+
+    def test_same_pair_different_conditions_both_kept(self):
+        sc = SynchronizationConstraintSet(
+            ["g", "x"],
+            constraints=[Constraint("g", "x", "T"), Constraint("g", "x", None)],
+        )
+        assert len(sc) == 2
+
+    def test_without_and_remove(self):
+        constraint = Constraint("a", "b")
+        sc = SynchronizationConstraintSet(["a", "b"], constraints=[constraint])
+        smaller = sc.without(constraint)
+        assert len(smaller) == 0
+        assert len(sc) == 1  # original untouched
+        sc.remove(constraint)
+        assert len(sc) == 0
+        with pytest.raises(ConstraintError):
+            sc.remove(constraint)
+
+    def test_is_activity_set(self):
+        sc = SynchronizationConstraintSet(
+            ["a"], externals=["p"], constraints=[Constraint("a", "p")]
+        )
+        assert not sc.is_activity_set
+        assert sc.without(Constraint("a", "p")).is_activity_set
+
+    def test_incoming_outgoing(self):
+        sc = SynchronizationConstraintSet(
+            ["a", "b", "c"],
+            constraints=[Constraint("a", "b"), Constraint("b", "c")],
+        )
+        assert [str(c) for c in sc.outgoing("b")] == ["b -> c"]
+        assert [str(c) for c in sc.incoming("b")] == ["a -> b"]
+
+    def test_replace_constraints_preserves_guards(self):
+        guards = {"x": frozenset({Cond("g", "T")})}
+        sc = SynchronizationConstraintSet(
+            ["g", "x"], constraints=[Constraint("g", "x", "T")], guards=guards
+        )
+        replaced = sc.replace_constraints([])
+        assert replaced.guard_of("x") == frozenset({Cond("g", "T")})
+
+    def test_effective_guard_caching_consistency(self):
+        guards = {
+            "inner": frozenset({Cond("outer", "T")}),
+            "x": frozenset({Cond("inner", "F")}),
+        }
+        sc = SynchronizationConstraintSet(["outer", "inner", "x"], guards=guards)
+        first = sc.effective_guard("x")
+        second = sc.effective_guard("x")
+        assert first is second  # cached
+        assert first == frozenset({Cond("inner", "F"), Cond("outer", "T")})
+
+    def test_derive_guards_from_constraints(self):
+        sc = SynchronizationConstraintSet(
+            ["g", "x", "y"],
+            constraints=[Constraint("g", "x", "T"), Constraint("x", "y")],
+        )
+        derived = sc.derive_guards_from_constraints()
+        assert derived == {"x": frozenset({Cond("g", "T")})}
+
+    def test_pretty_rendering(self, purchasing_weave):
+        text = purchasing_weave.merged.pretty()
+        assert text.startswith("A = {")
+        assert "S = {" in text
+        assert "recClient_po -> invCredit_po" in text
+
+    def test_as_graph(self):
+        sc = SynchronizationConstraintSet(
+            ["a", "b"], constraints=[Constraint("a", "b", "T")]
+        )
+        graph = sc.as_graph()
+        assert graph.has_edge("a", "b")
+
+    def test_contains_and_iteration(self):
+        constraint = Constraint("a", "b")
+        sc = SynchronizationConstraintSet(["a", "b"], constraints=[constraint])
+        assert constraint in sc
+        assert list(sc) == [constraint]
+        assert sc.has_constraint("a", "b")
+        assert not sc.has_constraint("a", "b", "T")
+
+
+class TestReductionReport:
+    def _report(self):
+        dependencies = DependencySet(
+            [
+                Dependency(DependencyKind.DATA, "a", "b"),
+                Dependency(DependencyKind.COOPERATION, "a", "b"),
+                Dependency(DependencyKind.SERVICE, "b", "p"),
+                Dependency(DependencyKind.CONTROL, "g", "c", "T"),
+            ]
+        )
+        return ReductionReport.from_counts(
+            dependencies, merged=3, translated=2, minimal=2
+        )
+
+    def test_stage_deltas(self):
+        report = self._report()
+        assert report.raw_total == 4
+        assert report.removed == 2
+        assert report.removed_by_merge == 1
+        assert report.removed_by_translation == 1
+        assert report.removed_by_minimization == 0
+
+    def test_ratio(self):
+        assert self._report().reduction_ratio == pytest.approx(0.5)
+
+    def test_zero_division_guard(self):
+        empty = ReductionReport(
+            raw_by_kind={}, raw_total=0, merged=0, translated=0, minimal=0
+        )
+        assert empty.reduction_ratio == 0.0
+
+    def test_as_dict_round_trip(self):
+        data = self._report().as_dict()
+        assert data["raw_total"] == 4
+        assert data["removed"] == 2
+        assert data["raw_by_kind"]["data"] == 1
+
+    def test_table_contains_every_stage(self):
+        table = self._report().as_table()
+        for token in ("original", "merged", "translated", "minimal", "removed"):
+            assert token in table

@@ -1,0 +1,156 @@
+"""Tests for service dependency translation (Section 4.3, Figure 8)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.closure import Semantics, internal_closure_map
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.equivalence import fact_set_covers
+from repro.core.translation import (
+    invoke_bindings_from_process,
+    translate_service_dependencies,
+)
+from repro.errors import TranslationError
+
+
+def mixed_sc(edges, activities, externals):
+    return SynchronizationConstraintSet(
+        activities=activities,
+        externals=externals,
+        constraints=[Constraint(*e) for e in edges],
+    )
+
+
+class TestBridging:
+    def test_paper_example_path(self):
+        """a1 -> a2 -> ws1 -> wsd -> a3 -> a4 becomes a1 -> a2 -> a3 -> a4."""
+        sc = mixed_sc(
+            [
+                ("a1", "a2"),
+                ("a2", "ws1"),
+                ("ws1", "wsd"),
+                ("wsd", "a3"),
+                ("a3", "a4"),
+            ],
+            activities=["a1", "a2", "a3", "a4"],
+            externals=["ws1", "wsd"],
+        )
+        result = translate_service_dependencies(sc)
+        rendered = {str(c) for c in result.asc.constraints}
+        assert rendered == {"a1 -> a2", "a2 -> a3", "a3 -> a4"}
+        assert {str(c) for c in result.bridged} == {"a2 -> a3"}
+
+    def test_external_without_offspring_vanishes(self):
+        """Ports with no internal offspring are simply removed (Production)."""
+        sc = mixed_sc(
+            [("a", "p1"), ("b", "p2")],
+            activities=["a", "b"],
+            externals=["p1", "p2"],
+        )
+        result = translate_service_dependencies(sc)
+        assert len(result.asc) == 0
+        assert len(result.dropped) == 2
+
+    def test_fan_out_through_dummy(self):
+        """Ship_d delivering to two receives bridges both."""
+        sc = mixed_sc(
+            [("inv", "Ship"), ("Ship", "Ship_d"), ("Ship_d", "r1"), ("Ship_d", "r2")],
+            activities=["inv", "r1", "r2"],
+            externals=["Ship", "Ship_d"],
+        )
+        result = translate_service_dependencies(sc)
+        assert {str(c) for c in result.asc.constraints} == {
+            "inv -> r1",
+            "inv -> r2",
+        }
+
+
+class TestContraction:
+    def test_port_ordering_becomes_invocation_ordering(self):
+        """Purchase1 ->s Purchase2 with bindings becomes invPo -> invSi —
+        the Figure 8 bold edge bridging alone cannot produce."""
+        sc = mixed_sc(
+            [("invPo", "P1"), ("invSi", "P2"), ("P1", "P2")],
+            activities=["invPo", "invSi"],
+            externals=["P1", "P2"],
+        )
+        plain = translate_service_dependencies(sc)
+        assert not plain.asc.has_constraint("invPo", "invSi")
+
+        contracted = translate_service_dependencies(
+            sc, invoke_bindings={"P1": "invPo", "P2": "invSi"}
+        )
+        assert contracted.asc.has_constraint("invPo", "invSi")
+        assert len(contracted.asc) == 1
+
+    def test_bindings_from_process(self, purchasing_process):
+        bindings = invoke_bindings_from_process(purchasing_process)
+        assert bindings == {
+            "Credit": "invCredit_po",
+            "Purchase1": "invPurchase_po",
+            "Purchase2": "invPurchase_si",
+            "Ship": "invShip_po",
+            "Production1": "invProduction_po",
+            "Production2": "invProduction_ss",
+        }
+
+    def test_binding_must_reference_external(self):
+        sc = mixed_sc([("a", "p")], activities=["a"], externals=["p"])
+        with pytest.raises(TranslationError):
+            translate_service_dependencies(sc, invoke_bindings={"nope": "a"})
+
+    def test_binding_target_must_be_internal(self):
+        sc = mixed_sc([("a", "p")], activities=["a"], externals=["p", "q"])
+        with pytest.raises(TranslationError):
+            translate_service_dependencies(sc, invoke_bindings={"p": "q"})
+
+    def test_conditional_through_external_rejected(self):
+        sc = SynchronizationConstraintSet(
+            activities=["g", "a"],
+            externals=["p"],
+            constraints=[Constraint("g", "p", "T"), Constraint("p", "a")],
+        )
+        with pytest.raises(TranslationError):
+            translate_service_dependencies(sc)
+
+
+class TestPurchasingTranslation:
+    def test_figure8_bold_edges(self, purchasing_weave):
+        bridged = {str(c) for c in purchasing_weave.translation.bridged}
+        assert bridged == {
+            "invCredit_po -> recCredit_au",
+            "invPurchase_po -> invPurchase_si",
+            "invPurchase_po -> recPurchase_oi",
+            "invPurchase_si -> recPurchase_oi",
+            "invShip_po -> recShip_si",
+            "invShip_po -> recShip_ss",
+        }
+
+    def test_no_production_ordering(self, purchasing_weave):
+        asc = purchasing_weave.asc
+        assert not asc.has_constraint("invProduction_po", "invProduction_ss")
+        assert not asc.has_constraint("invProduction_ss", "invProduction_po")
+
+    def test_asc_has_no_externals(self, purchasing_weave):
+        assert purchasing_weave.asc.is_activity_set
+        external = set(purchasing_weave.merged.externals)
+        for constraint in purchasing_weave.asc:
+            assert constraint.source not in external
+            assert constraint.target not in external
+
+    def test_translated_count(self, purchasing_weave):
+        assert len(purchasing_weave.asc) == 30
+
+    def test_translation_preserves_internal_orderings(self, purchasing_weave):
+        """Every internal-to-internal ordering of the merged set survives
+        translation (the ASC covers the internal projection)."""
+        merged_internal = internal_closure_map(
+            purchasing_weave.merged, Semantics.REACHABILITY
+        )
+        asc_closures = internal_closure_map(
+            purchasing_weave.asc, Semantics.REACHABILITY
+        )
+        for activity, facts in merged_internal.items():
+            assert fact_set_covers(asc_closures[activity], facts)

@@ -1,0 +1,238 @@
+"""Tests for the dependency layer: the four categories and Table 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deps.cooperation import CooperationRegistry
+from repro.deps.dataflow import dataflow_summary, extract_data_dependencies
+from repro.deps.controlflow import (
+    extract_control_dependencies,
+    extract_control_dependencies_from_cfg,
+)
+from repro.deps.registry import DependencySet
+from repro.deps.servicedeps import extract_service_dependencies
+from repro.deps.types import Dependency, DependencyKind
+from repro.errors import DependencyError
+from repro.model.builder import ProcessBuilder
+from repro.workloads.figure3 import ENTRY, EXIT, build_figure3_cfg
+
+
+def dep(kind, source, target, condition=None):
+    return Dependency(kind, source, target, condition)
+
+
+class TestDependencyType:
+    def test_self_dependency_rejected(self):
+        with pytest.raises(DependencyError):
+            dep(DependencyKind.DATA, "a", "a")
+
+    def test_condition_only_on_control(self):
+        with pytest.raises(DependencyError):
+            Dependency(DependencyKind.DATA, "a", "b", condition="T")
+
+    def test_rendering_uses_paper_arrows(self):
+        assert str(dep(DependencyKind.DATA, "a", "b")) == "a ->d b"
+        assert str(dep(DependencyKind.SERVICE, "a", "b")) == "a ->s b"
+        assert str(dep(DependencyKind.COOPERATION, "a", "b")) == "a ->o b"
+        assert (
+            str(Dependency(DependencyKind.CONTROL, "g", "b", "T")) == "g ->T b"
+        )
+        assert (
+            str(Dependency(DependencyKind.CONTROL, "g", "b", None)) == "g ->NONE b"
+        )
+
+    def test_key_ignores_kind(self):
+        a = dep(DependencyKind.DATA, "x", "y")
+        b = dep(DependencyKind.COOPERATION, "x", "y")
+        assert a.key == b.key
+
+
+class TestDataExtraction:
+    def test_purchasing_table1_data(self, purchasing_process):
+        dependencies = extract_data_dependencies(purchasing_process)
+        rendered = {str(d) for d in dependencies}
+        assert rendered == {
+            "recClient_po ->d invCredit_po",
+            "recClient_po ->d invPurchase_po",
+            "recClient_po ->d invShip_po",
+            "recClient_po ->d invProduction_po",
+            "recCredit_au ->d if_au",
+            "recShip_si ->d invPurchase_si",
+            "recShip_ss ->d invProduction_ss",
+            "recPurchase_oi ->d replyClient_oi",
+            "set_oi ->d replyClient_oi",
+        }
+
+    def test_multiple_writers_produce_one_dep_each(self):
+        process = (
+            ProcessBuilder("p")
+            .compute("w1", writes=["v"])
+            .compute("w2", writes=["v"])
+            .compute("r", reads=["v"])
+            .build()
+        )
+        dependencies = extract_data_dependencies(process)
+        assert {str(d) for d in dependencies} == {"w1 ->d r", "w2 ->d r"}
+
+    def test_self_read_write_produces_no_dep(self):
+        process = ProcessBuilder("p").compute("a", reads=["v"], writes=["v"]).build()
+        assert extract_data_dependencies(process) == []
+
+    def test_summary(self, purchasing_process):
+        summary = dataflow_summary(purchasing_process)
+        assert summary["oi"]["writers"] == ["recPurchase_oi", "set_oi"]
+        assert summary["oi"]["readers"] == ["replyClient_oi"]
+
+
+class TestControlExtraction:
+    def test_purchasing_table1_control(self, purchasing_process):
+        dependencies = extract_control_dependencies(purchasing_process)
+        rendered = {str(d) for d in dependencies}
+        expected_true = {
+            "if_au ->T %s" % name
+            for name in (
+                "invPurchase_po",
+                "invPurchase_si",
+                "recPurchase_oi",
+                "invShip_po",
+                "recShip_si",
+                "recShip_ss",
+                "invProduction_po",
+                "invProduction_ss",
+            )
+        }
+        assert rendered == expected_true | {
+            "if_au ->F set_oi",
+            "if_au ->NONE replyClient_oi",
+        }
+
+    def test_cfg_extraction_matches_figure4(self):
+        cfg, labels = build_figure3_cfg()
+        dependencies = extract_control_dependencies_from_cfg(cfg, ENTRY, EXIT, labels)
+        rendered = {str(d) for d in dependencies}
+        assert "a1 ->T a2" in rendered
+        assert "a1 ->F a5" in rendered
+        assert "a1 ->NONE a7" in rendered  # the join edge
+        assert not any("a7" in r and r != "a1 ->NONE a7" for r in rendered)
+
+    def test_cfg_extraction_without_join_edges(self):
+        cfg, labels = build_figure3_cfg()
+        dependencies = extract_control_dependencies_from_cfg(
+            cfg, ENTRY, EXIT, labels, include_join_edges=False
+        )
+        assert all(d.condition is not None for d in dependencies)
+
+
+class TestServiceExtraction:
+    def test_purchasing_table1_service(self, purchasing_process):
+        dependencies = extract_service_dependencies(purchasing_process)
+        rendered = {str(d) for d in dependencies}
+        assert rendered == {
+            "invCredit_po ->s Credit",
+            "Credit ->s Credit_d",
+            "Credit_d ->s recCredit_au",
+            "invPurchase_po ->s Purchase1",
+            "invPurchase_si ->s Purchase2",
+            "Purchase1 ->s Purchase2",
+            "Purchase1 ->s Purchase_d",
+            "Purchase2 ->s Purchase_d",
+            "Purchase_d ->s recPurchase_oi",
+            "invShip_po ->s Ship",
+            "Ship ->s Ship_d",
+            "Ship_d ->s recShip_si",
+            "Ship_d ->s recShip_ss",
+            "invProduction_po ->s Production1",
+            "invProduction_ss ->s Production2",
+        }
+        assert len(dependencies) == 15
+
+    def test_sync_service_without_callbacks(self):
+        process = (
+            ProcessBuilder("p")
+            .service("S")
+            .receive("in", writes=["x"])
+            .invoke("call", service="S", reads=["x"])
+            .build()
+        )
+        dependencies = extract_service_dependencies(process)
+        assert {str(d) for d in dependencies} == {"call ->s S"}
+
+
+class TestCooperation:
+    def test_registry_validates_endpoints(self, purchasing_process):
+        registry = CooperationRegistry(purchasing_process)
+        with pytest.raises(Exception):
+            registry.require_before("nope", "replyClient_oi")
+
+    def test_duplicate_rejected(self, purchasing_process):
+        registry = CooperationRegistry(purchasing_process)
+        registry.require_before("invShip_po", "replyClient_oi")
+        with pytest.raises(DependencyError):
+            registry.require_before("invShip_po", "replyClient_oi")
+
+    def test_require_all_before(self, purchasing_process):
+        registry = CooperationRegistry(purchasing_process)
+        created = registry.require_all_before(
+            ["invShip_po", "recShip_si"], "replyClient_oi"
+        )
+        assert len(created) == 2
+        assert len(registry) == 2
+
+
+class TestDependencySet:
+    def test_table1_counts(self, purchasing_dependencies):
+        counts = purchasing_dependencies.counts()
+        assert counts == {
+            "data": 9,
+            "control": 10,
+            "service": 15,
+            "cooperation": 6,
+            "total": 40,
+        }
+
+    def test_cross_category_duplicate_detected(self, purchasing_dependencies):
+        duplicates = purchasing_dependencies.cross_category_duplicates()
+        assert len(duplicates) == 1
+        first, second = duplicates[0]
+        assert {first.kind, second.kind} == {
+            DependencyKind.DATA,
+            DependencyKind.COOPERATION,
+        }
+        assert first.key == ("recPurchase_oi", "replyClient_oi", None)
+
+    def test_exact_duplicates_ignored(self):
+        ds = DependencySet()
+        ds.add(dep(DependencyKind.DATA, "a", "b"))
+        ds.add(dep(DependencyKind.DATA, "a", "b"))
+        assert len(ds) == 1
+
+    def test_remove(self):
+        d = dep(DependencyKind.DATA, "a", "b")
+        ds = DependencySet([d])
+        ds.remove(d)
+        assert len(ds) == 0
+        with pytest.raises(DependencyError):
+            ds.remove(d)
+
+    def test_validate_against_rejects_unknown(self, purchasing_process):
+        ds = DependencySet([dep(DependencyKind.DATA, "ghost", "replyClient_oi")])
+        with pytest.raises(DependencyError):
+            ds.validate_against(purchasing_process)
+
+    def test_validate_rejects_port_in_data_dep(self, purchasing_process):
+        ds = DependencySet([dep(DependencyKind.DATA, "Purchase1", "replyClient_oi")])
+        with pytest.raises(DependencyError):
+            ds.validate_against(purchasing_process)
+
+    def test_table_rendering(self, purchasing_dependencies):
+        table = purchasing_dependencies.as_table()
+        assert "data {->d}  (9)" in table
+        assert "recShip_si ->d invPurchase_si" in table
+
+    def test_union(self):
+        a = DependencySet([dep(DependencyKind.DATA, "a", "b")])
+        b = DependencySet([dep(DependencyKind.COOPERATION, "b", "c")])
+        merged = a.union(b)
+        assert len(merged) == 2
+        assert len(a) == 1

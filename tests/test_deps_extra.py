@@ -1,0 +1,95 @@
+"""Additional coverage for dependency-layer corners and the module-level
+weave entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.closure import Semantics
+from repro.core.pipeline import weave
+from repro.deps.registry import DependencySet
+from repro.deps.types import (
+    Dependency,
+    DependencyKind,
+    control,
+    cooperation,
+    data,
+    service,
+)
+from repro.workloads.purchasing import (
+    build_purchasing_process,
+    purchasing_cooperation_dependencies,
+)
+
+
+class TestShorthandConstructors:
+    def test_kinds(self):
+        assert data("a", "b").kind is DependencyKind.DATA
+        assert service("a", "p").kind is DependencyKind.SERVICE
+        assert cooperation("a", "b").kind is DependencyKind.COOPERATION
+        assert control("g", "b", "T").kind is DependencyKind.CONTROL
+        assert control("g", "b", None).condition is None
+
+    def test_rationale_preserved(self):
+        dependency = data("a", "b", rationale="x flows")
+        assert dependency.rationale == "x flows"
+
+
+class TestDependencySetExtras:
+    def test_endpoints(self):
+        ds = DependencySet([data("a", "b"), service("b", "p1")])
+        assert ds.endpoints() == {"a", "b", "p1"}
+
+    def test_contains(self):
+        d = data("a", "b")
+        ds = DependencySet([d])
+        assert d in ds
+        assert cooperation("a", "b") not in ds  # different kind
+
+    def test_by_kind_ordering_is_insertion(self):
+        ds = DependencySet([data("x", "y"), data("a", "b")])
+        assert [str(d) for d in ds.data] == ["x ->d y", "a ->d b"]
+
+    def test_counts_with_empty_categories(self):
+        ds = DependencySet([data("a", "b")])
+        counts = ds.counts()
+        assert counts["service"] == 0
+        assert counts["total"] == 1
+
+
+class TestModuleLevelWeave:
+    def test_weave_function(self):
+        process = build_purchasing_process()
+        result = weave(
+            process,
+            cooperation=purchasing_cooperation_dependencies(process),
+        )
+        assert result.report.minimal == 17
+
+    def test_weave_with_semantics(self):
+        process = build_purchasing_process()
+        result = weave(
+            process,
+            cooperation=purchasing_cooperation_dependencies(process),
+            semantics=Semantics.STRICT,
+        )
+        assert result.report.minimal == 21
+        assert result.semantics is Semantics.STRICT
+
+
+class TestWeaveResultArtifacts:
+    def test_program_matches_dependency_count(self, purchasing_weave):
+        assert len(purchasing_weave.program) == 40
+
+    def test_asc_property_alias(self, purchasing_weave):
+        assert purchasing_weave.asc is purchasing_weave.translation.asc
+
+    def test_translation_dropped_are_all_port_touching(self, purchasing_weave):
+        external = set(purchasing_weave.merged.externals)
+        for constraint in purchasing_weave.translation.dropped:
+            assert constraint.source in external or constraint.target in external
+
+    def test_petri_roundtrip_helper(self, purchasing_weave):
+        net, marking = purchasing_weave.to_petri_net()
+        assert marking.count("i") == 1
+        assert len(net.transitions) > 14

@@ -1,0 +1,236 @@
+"""Tests for the DSCL language: lexer, parser, printer, desugaring, compiler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.deps.registry import DependencySet
+from repro.deps.types import Dependency, DependencyKind
+from repro.dscl.ast import (
+    Exclusive,
+    HappenBefore,
+    HappenTogether,
+    Program,
+    happen_before,
+)
+from repro.dscl.compiler import (
+    compile_dependencies,
+    compile_program,
+    dependencies_to_program,
+)
+from repro.dscl.desugar import COORDINATOR_PREFIX, desugar
+from repro.dscl.lexer import TokenKind, tokenize
+from repro.dscl.parser import parse
+from repro.dscl.printer import to_text
+from repro.errors import DSCLSemanticError, DSCLSyntaxError
+from repro.model.activity import ActivityState, StateRef
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("F(a) ->[T] S(b);")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+            TokenKind.ARROW,
+            TokenKind.LBRACKET,
+            TokenKind.IDENT,
+            TokenKind.RBRACKET,
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+            TokenKind.SEMI,
+            TokenKind.EOF,
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("# a comment\nF(a) -> S(b);")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].line == 2
+
+    def test_exclusive_keyword(self):
+        tokens = tokenize("R(a) O R(b);")
+        assert any(t.kind is TokenKind.EXCLUSIVE for t in tokens)
+
+    def test_together_operator(self):
+        tokens = tokenize("S(a) <-> S(b);")
+        assert any(t.kind is TokenKind.TOGETHER for t in tokens)
+
+    def test_bad_character(self):
+        with pytest.raises(DSCLSyntaxError) as excinfo:
+            tokenize("F(a) % S(b);")
+        assert excinfo.value.column > 0
+
+    def test_identifiers_with_dots_and_digits(self):
+        tokens = tokenize("F(svc.port_1) -> S(b2);")
+        assert tokens[2].text == "svc.port_1"
+
+
+class TestParser:
+    def test_happen_before(self):
+        program = parse("F(a) -> S(b);")
+        assert len(program) == 1
+        statement = program.statements[0]
+        assert isinstance(statement, HappenBefore)
+        assert statement.left == StateRef("a", ActivityState.FINISH)
+        assert statement.right == StateRef("b", ActivityState.START)
+        assert statement.condition is None
+
+    def test_conditional(self):
+        program = parse("F(g) ->[T] S(b);")
+        assert program.statements[0].condition == "T"
+
+    def test_happen_together(self):
+        program = parse("S(a) <->[F] S(b);")
+        statement = program.statements[0]
+        assert isinstance(statement, HappenTogether)
+        assert statement.condition == "F"
+
+    def test_exclusive(self):
+        program = parse("R(a) O R(b);")
+        assert isinstance(program.statements[0], Exclusive)
+
+    def test_fine_grained_states(self):
+        program = parse("S(collectSurvey) -> F(closeOrder);")
+        statement = program.statements[0]
+        assert statement.left.state is ActivityState.START
+        assert statement.right.state is ActivityState.FINISH
+
+    def test_missing_semicolon(self):
+        with pytest.raises(DSCLSyntaxError):
+            parse("F(a) -> S(b)")
+
+    def test_bad_state_letter(self):
+        with pytest.raises(DSCLSyntaxError):
+            parse("X(a) -> S(b);")
+
+    def test_same_activity_rejected(self):
+        with pytest.raises(DSCLSemanticError):
+            parse("F(a) -> S(a);")
+
+    def test_multiple_statements(self):
+        program = parse("F(a) -> S(b);\nF(b) -> S(c);\nR(a) O R(c);")
+        assert len(program) == 3
+
+
+class TestPrinterRoundTrip:
+    def test_simple_round_trip(self):
+        source = "F(a) -> S(b);\nF(g) ->[T] S(c);\nS(x) <-> S(y);\nR(a) O R(b);\n"
+        program = parse(source)
+        assert parse(to_text(program, include_provenance=False)) == program
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["S", "R", "F"]),
+                st.sampled_from(["a1", "b2", "c3", "d4"]),
+                st.sampled_from(["->", "<->", "O"]),
+                st.sampled_from([None, "T", "F", "case1"]),
+                st.sampled_from(["S", "R", "F"]),
+                st.sampled_from(["e5", "f6", "g7"]),
+            ),
+            max_size=8,
+        )
+    )
+    def test_random_round_trip(self, rows):
+        lines = []
+        for left_state, left, op, condition, right_state, right in rows:
+            if op == "O":
+                lines.append(
+                    "%s(%s) O %s(%s);" % (left_state, left, right_state, right)
+                )
+            else:
+                suffix = "[%s]" % condition if condition else ""
+                lines.append(
+                    "%s(%s) %s%s %s(%s);"
+                    % (left_state, left, op, suffix, right_state, right)
+                )
+        source = "\n".join(lines)
+        program = parse(source)
+        assert parse(to_text(program, include_provenance=False)) == program
+
+
+class TestDesugar:
+    def test_no_togethers_is_identity(self):
+        program = parse("F(a) -> S(b);")
+        result = desugar(program)
+        assert result.program == program
+        assert result.coordinators == []
+
+    def test_together_introduces_coordinator(self):
+        program = parse("F(x) -> S(a);\nF(y) -> S(b);\nS(a) <-> S(b);")
+        result = desugar(program)
+        assert len(result.coordinators) == 1
+        coordinator = result.coordinators[0]
+        assert coordinator.startswith(COORDINATOR_PREFIX)
+        rendered = {str(s) for s in result.program}
+        # Incoming edges redirected to the coordinator...
+        assert "F(x) -> S(%s)" % coordinator in rendered
+        assert "F(y) -> S(%s)" % coordinator in rendered
+        # ...and the coordinator releases both sides.
+        assert "F(%s) -> S(a)" % coordinator in rendered
+        assert "F(%s) -> S(b)" % coordinator in rendered
+        assert not any("<->" in r for r in rendered)
+
+    def test_conditional_together(self):
+        program = parse("S(a) <->[T] S(b);")
+        result = desugar(program)
+        conditions = {s.condition for s in result.program}
+        assert conditions == {"T"}
+
+    def test_chained_togethers(self):
+        program = parse("S(a) <-> S(b);\nS(b) <-> S(c);")
+        result = desugar(program)
+        assert len(result.coordinators) == 2
+        assert not any(isinstance(s, HappenTogether) for s in result.program)
+
+
+class TestCompiler:
+    def test_dependencies_to_program(self):
+        ds = DependencySet(
+            [
+                Dependency(DependencyKind.DATA, "a", "b"),
+                Dependency(DependencyKind.CONTROL, "g", "c", "T"),
+                Dependency(DependencyKind.SERVICE, "b", "p1"),
+            ]
+        )
+        program = dependencies_to_program(ds)
+        rendered = [str(s) for s in program]
+        assert rendered == ["F(a) -> S(b)", "F(g) ->[T] S(c)", "F(b) -> S(p1)"]
+        assert all(s.provenance for s in program)
+
+    def test_compile_splits_activity_level_and_fine_grained(self):
+        program = parse("F(a) -> S(b);\nS(a) -> F(c);\nR(a) O R(b);")
+        compiled = compile_program(program, activities=["a", "b", "c"])
+        assert len(compiled.sc) == 1
+        assert len(compiled.fine_grained) == 1
+        assert len(compiled.exclusives) == 1
+
+    def test_compile_rejects_undeclared_names(self):
+        program = parse("F(a) -> S(b);")
+        with pytest.raises(DSCLSemanticError):
+            compile_program(program, activities=["a"])
+
+    def test_compile_adds_coordinators(self):
+        program = parse("F(x) -> S(a);\nS(a) <-> S(b);")
+        compiled = compile_program(program, activities=["x", "a", "b"])
+        assert compiled.coordinators
+        assert compiled.coordinators[0] in compiled.sc.activities
+
+    def test_compile_dependencies_purchasing(
+        self, purchasing_process, purchasing_dependencies
+    ):
+        compiled = compile_dependencies(purchasing_process, purchasing_dependencies)
+        # 40 deps, one data/cooperation duplicate -> 39 constraints.
+        assert len(compiled.sc) == 39
+        assert set(compiled.sc.externals) == set(purchasing_process.port_names())
+        assert compiled.sc.guard_of("invPurchase_po")
+        assert not compiled.sc.guard_of("recClient_po")
+        assert compiled.fine_grained == []
+        assert compiled.exclusives == []

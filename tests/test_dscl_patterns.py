@@ -1,0 +1,184 @@
+"""Tests for the workflow-pattern constructors and their runtime behavior.
+
+Each pattern is both checked structurally (the DSCL statements produced)
+and exercised through the full pipeline: compile -> (minimize) -> schedule,
+asserting the behavior the pattern name promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.closure import Semantics
+from repro.core.minimize import minimize
+from repro.dscl.ast import Exclusive, HappenBefore, Program
+from repro.dscl.compiler import compile_program
+from repro.dscl.patterns import (
+    exclusive_choice,
+    interleaved_parallel_routing,
+    milestone,
+    parallel_split,
+    sequence,
+    simple_merge,
+    synchronization,
+)
+from repro.errors import DSCLSemanticError
+from repro.model.builder import ProcessBuilder
+from repro.scheduler.engine import ConstraintScheduler
+from repro.scheduler.metrics import max_concurrency
+
+
+def run_program(process, program, outcomes=None, **scheduler_kwargs):
+    compiled = compile_program(
+        program,
+        activities=[a.name for a in process.activities],
+        guards={
+            # Derive execution guards from the conditional statements so
+            # dead-path elimination works for the XOR patterns.
+        },
+    )
+    sc = compiled.sc.with_guards(compiled.sc.derive_guards_from_constraints())
+    scheduler = ConstraintScheduler(
+        process,
+        sc,
+        fine_grained=compiled.fine_grained,
+        exclusives=compiled.exclusives,
+        **scheduler_kwargs,
+    )
+    return scheduler.run(outcomes=outcomes)
+
+
+class TestStructure:
+    def test_sequence_statements(self):
+        statements = sequence(["a", "b", "c"])
+        assert [str(s) for s in statements] == ["F(a) -> S(b)", "F(b) -> S(c)"]
+
+    def test_sequence_too_short(self):
+        with pytest.raises(DSCLSemanticError):
+            sequence(["a"])
+
+    def test_parallel_split(self):
+        statements = parallel_split("a", ["b", "c"])
+        assert {str(s) for s in statements} == {"F(a) -> S(b)", "F(a) -> S(c)"}
+
+    def test_synchronization(self):
+        statements = synchronization(["b", "c"], "d")
+        assert {str(s) for s in statements} == {"F(b) -> S(d)", "F(c) -> S(d)"}
+
+    def test_exclusive_choice_conditions(self):
+        statements = exclusive_choice("g", [("T", "yes"), ("F", "no")])
+        assert {str(s) for s in statements} == {
+            "F(g) ->[T] S(yes)",
+            "F(g) ->[F] S(no)",
+        }
+
+    def test_interleaved_routing_pairwise(self):
+        statements = interleaved_parallel_routing(["a", "b", "c"])
+        assert len(statements) == 3
+        assert all(isinstance(s, Exclusive) for s in statements)
+
+    def test_milestone_states(self):
+        statements = milestone("window", "act")
+        assert [str(s) for s in statements] == [
+            "S(window) -> S(act)",
+            "S(act) -> F(window)",
+        ]
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(DSCLSemanticError):
+            parallel_split("a", [])
+        with pytest.raises(DSCLSemanticError):
+            synchronization([], "d")
+        with pytest.raises(DSCLSemanticError):
+            exclusive_choice("g", [])
+        with pytest.raises(DSCLSemanticError):
+            interleaved_parallel_routing(["a"])
+
+
+class TestBehavior:
+    def _process(self, names, guard=None, durations=None):
+        builder = ProcessBuilder("patterns")
+        durations = durations or {}
+        for name in names:
+            if name == guard:
+                builder.guard(name, duration=durations.get(name, 1.0))
+            else:
+                builder.compute(name, duration=durations.get(name, 1.0))
+        return builder.build()
+
+    def test_fork_join_diamond(self):
+        process = self._process(["a", "b", "c", "d"])
+        program = Program(
+            parallel_split("a", ["b", "c"]) + synchronization(["b", "c"], "d")
+        )
+        run = run_program(process, program)
+        assert run.makespan == 3.0  # b and c concurrent
+        assert max_concurrency(run.trace) == 2
+        assert run.trace.happened_before("a", "b")
+        assert run.trace.happened_before("c", "d")
+
+    def test_xor_split_and_merge(self):
+        process = self._process(["g", "yes", "no", "after"], guard="g")
+        program = Program(
+            exclusive_choice("g", [("T", "yes"), ("F", "no")])
+            + simple_merge(["yes", "no"], "after")
+        )
+        for outcome, executed, skipped in (("T", "yes", "no"), ("F", "no", "yes")):
+            run = run_program(process, program, outcomes={"g": outcome})
+            assert run.trace.records[executed].executed
+            assert run.trace.records[skipped].skipped
+            assert run.trace.records["after"].executed
+
+    def test_xor_merge_minimizes_to_unconditional(self):
+        """Under guard-aware semantics the two merge edges plus the choice
+        edges imply the join follows the guard unconditionally."""
+        program = Program(
+            exclusive_choice("g", [("T", "yes"), ("F", "no")])
+            + simple_merge(["yes", "no"], "after")
+        )
+        compiled = compile_program(program, activities=["g", "yes", "no", "after"])
+        sc = compiled.sc.with_guards(compiled.sc.derive_guards_from_constraints())
+        minimal = minimize(sc, Semantics.GUARD_AWARE)
+        # Nothing is redundant in the diamond itself.
+        assert len(minimal) == 4
+
+    def test_interleaved_routing_serializes_without_fixing_order(self):
+        process = self._process(["x", "y", "z"], durations={"x": 2, "y": 2, "z": 2})
+        program = Program(list(interleaved_parallel_routing(["x", "y", "z"])))
+        run = run_program(process, program)
+        assert max_concurrency(run.trace) == 1
+        assert run.makespan == 6.0
+
+    def test_milestone_window(self):
+        process = self._process(
+            ["window", "act"], durations={"window": 5.0, "act": 1.0}
+        )
+        program = Program(milestone("window", "act"))
+        run = run_program(process, program)
+        window = run.trace.records["window"]
+        act = run.trace.records["act"]
+        assert window.start <= act.start  # started inside the window
+        assert act.start <= window.finish  # window still open
+
+    def test_max_workers_limits_concurrency(self):
+        process = self._process(["a", "b", "c", "d"])
+        program = Program(
+            parallel_split("a", ["b", "c", "d"])
+        )
+        unlimited = run_program(process, program)
+        limited = run_program(process, program, max_workers=1)
+        assert max_concurrency(unlimited.trace) == 3
+        assert max_concurrency(limited.trace) == 1
+        assert limited.makespan > unlimited.makespan
+
+    def test_max_workers_validation(self):
+        process = self._process(["a"])
+        from repro.core.constraints import SynchronizationConstraintSet
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            ConstraintScheduler(
+                process,
+                SynchronizationConstraintSet(["a"]),
+                max_workers=0,
+            )

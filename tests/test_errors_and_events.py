@@ -1,0 +1,102 @@
+"""Tests for the exception hierarchy and the execution-trace API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.scheduler.events import ActivityRecord, ExecutionTrace
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ModelError",
+            "DependencyError",
+            "DSCLSyntaxError",
+            "DSCLSemanticError",
+            "ConstraintError",
+            "CycleError",
+            "TranslationError",
+            "PetriNetError",
+            "NotEnabledError",
+            "SoundnessError",
+            "BPELError",
+            "WSCLError",
+            "SchedulingError",
+            "ProtocolViolation",
+            "DeadlockError",
+            "ValidationError",
+        ):
+            error_class = getattr(errors, name)
+            assert issubclass(error_class, errors.ReproError), name
+
+    def test_cycle_error_carries_cycle(self):
+        error = errors.CycleError(["a", "b", "c"])
+        assert error.cycle == ["a", "b", "c"]
+        assert "a -> b -> c -> a" in str(error)
+
+    def test_dscl_syntax_error_position(self):
+        error = errors.DSCLSyntaxError("bad token", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3, column 7" in str(error)
+
+    def test_dscl_syntax_error_without_position(self):
+        error = errors.DSCLSyntaxError("bad token")
+        assert "line" not in str(error)
+
+    def test_protocol_violation_is_scheduling_error(self):
+        assert issubclass(errors.ProtocolViolation, errors.SchedulingError)
+
+    def test_not_enabled_is_petri_error(self):
+        assert issubclass(errors.NotEnabledError, errors.PetriNetError)
+
+
+class TestActivityRecord:
+    def test_executed_record(self):
+        record = ActivityRecord("a", start=1.0, finish=2.0)
+        assert record.executed and not record.skipped
+
+    def test_skipped_record(self):
+        record = ActivityRecord("a", skipped_at=3.0)
+        assert record.skipped and not record.executed
+
+
+class TestExecutionTrace:
+    def _trace(self) -> ExecutionTrace:
+        trace = ExecutionTrace()
+        trace.record(ActivityRecord("a", start=0.0, finish=1.0))
+        trace.record(ActivityRecord("b", start=1.0, finish=3.0, outcome="T"))
+        trace.record(ActivityRecord("c", skipped_at=3.0))
+        return trace
+
+    def test_executed_sorted_by_start(self):
+        executed = self._trace().executed()
+        assert [r.name for r in executed] == ["a", "b"]
+
+    def test_skipped_names(self):
+        assert self._trace().skipped() == ["c"]
+
+    def test_happened_before(self):
+        trace = self._trace()
+        assert trace.happened_before("a", "b")
+        assert not trace.happened_before("b", "a")
+        # Skipped or missing activities never "happen before".
+        assert not trace.happened_before("a", "c")
+        assert not trace.happened_before("a", "ghost")
+
+    def test_makespan(self):
+        assert self._trace().makespan() == 3.0
+        assert ExecutionTrace().makespan() == 0.0
+
+    def test_order_of(self):
+        trace = self._trace()
+        assert trace.order_of("b") == 1.0
+        assert trace.order_of("ghost") is None
+
+    def test_notes_accumulate(self):
+        trace = ExecutionTrace()
+        trace.note(0.0, "start a")
+        trace.note(1.0, "finish a")
+        assert trace.log == [(0.0, "start a"), (1.0, "finish a")]

@@ -1,0 +1,80 @@
+"""Tests for the Graphviz DOT exporters."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.export.dot import (
+    constraint_set_to_dot,
+    dependency_set_to_dot,
+    petri_net_to_dot,
+)
+from repro.petri.from_constraints import constraint_set_to_petri_net
+
+
+def _edges_of(dot: str):
+    return re.findall(r'"([^"]+)" -> "([^"]+)"', dot)
+
+
+class TestDependencyDot:
+    def test_all_edges_present(self, purchasing_dependencies, purchasing_process):
+        dot = dependency_set_to_dot(
+            purchasing_dependencies,
+            name="fig5",
+            ports=purchasing_process.port_names(),
+        )
+        assert dot.startswith("digraph")
+        assert len(_edges_of(dot)) == 40
+
+    def test_styles_by_kind(self, purchasing_dependencies):
+        dot = dependency_set_to_dot(purchasing_dependencies)
+        assert "style=dotted" in dot  # data
+        assert "style=dashed" in dot  # service
+        assert "style=bold" in dot  # cooperation
+        assert 'label="T"' in dot and 'label="F"' in dot  # control conditions
+        assert 'label="NONE"' in dot  # the join edge
+
+    def test_ports_drawn_as_boxes(self, purchasing_dependencies, purchasing_process):
+        dot = dependency_set_to_dot(
+            purchasing_dependencies, ports=purchasing_process.port_names()
+        )
+        assert '"Purchase_d" [shape=box' in dot
+
+
+class TestConstraintDot:
+    def test_minimal_graph(self, purchasing_weave):
+        dot = constraint_set_to_dot(purchasing_weave.minimal, name="fig9")
+        assert len(_edges_of(dot)) == 17
+
+    def test_highlighting(self, purchasing_weave):
+        dot = constraint_set_to_dot(
+            purchasing_weave.asc,
+            name="fig8",
+            highlight=purchasing_weave.translation.bridged,
+        )
+        assert dot.count("style=bold penwidth=2") == len(
+            purchasing_weave.translation.bridged
+        )
+
+    def test_conditions_become_labels(self, purchasing_weave):
+        dot = constraint_set_to_dot(purchasing_weave.minimal)
+        assert 'label="T"' in dot and 'label="F"' in dot
+
+    def test_externals_boxed(self, purchasing_weave):
+        dot = constraint_set_to_dot(purchasing_weave.merged)
+        assert '"Ship_d" [shape=box' in dot
+
+
+class TestPetriDot:
+    def test_net_rendering(self, purchasing_weave):
+        net, _marking = constraint_set_to_petri_net(purchasing_weave.minimal)
+        dot = petri_net_to_dot(net)
+        assert dot.startswith("digraph")
+        assert "[shape=circle]" in dot
+        assert "shape=box" in dot
+        assert '"i"' in dot and '"o"' in dot
+        # Every transition appears.
+        for transition in net.transitions:
+            assert '"%s"' % transition.name in dot

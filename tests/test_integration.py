@@ -1,0 +1,198 @@
+"""Cross-subsystem integration tests: the full vertical story of the paper,
+specification -> merge -> translation -> minimization -> validation ->
+BPEL -> execution, plus the imperative import route."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bpel.parse import parse_bpel_flow
+from repro.core.closure import Semantics
+from repro.core.equivalence import transitive_equivalent
+from repro.core.minimize import minimize
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.deps.registry import DependencySet
+from repro.petri.soundness import check_soundness
+from repro.scheduler.engine import ConstraintScheduler
+from repro.validation.conflicts import find_conflicts
+from repro.validation.coverage import compare_constraint_sets
+
+
+class TestVerticalPipeline:
+    def test_full_story_purchasing(self, purchasing_process, purchasing_weave):
+        """Weave -> validate (conflicts, Petri) -> emit BPEL -> re-import ->
+        still equivalent -> execute and complete on both branches."""
+        weave = purchasing_weave
+
+        conflicts = find_conflicts(weave.minimal, weave.exclusives)
+        assert not conflicts.has_conflicts
+
+        net, _marking = weave.to_petri_net()
+        assert check_soundness(net).is_sound
+
+        recovered = parse_bpel_flow(weave.to_bpel())
+        assert transitive_equivalent(recovered, weave.minimal, Semantics.GUARD_AWARE)
+
+        for outcome in ("T", "F"):
+            run = ConstraintScheduler(purchasing_process, recovered).run(
+                outcomes={"if_au": outcome}
+            )
+            assert run.trace.records["replyClient_oi"].executed
+            assert not run.deadlocked
+
+    def test_imperative_import_route(self, purchasing_process, purchasing_constructs):
+        """Section 5's claim: an imperative process can be parsed to a PDG,
+        rewritten to constraints, and then optimized.  The result, merged
+        with the service and cooperation dimensions, is exactly the same
+        minimal scheme as the dataflow route."""
+        from repro.constructs.pdg import build_pdg
+        from repro.deps.servicedeps import extract_service_dependencies
+        from repro.workloads.purchasing import purchasing_cooperation_dependencies
+
+        pdg = build_pdg(purchasing_process, purchasing_constructs)
+        dependencies = pdg.as_dependency_set()
+        dependencies.extend(purchasing_cooperation_dependencies(purchasing_process))
+        dependencies.extend(extract_service_dependencies(purchasing_process))
+
+        from_pdg = DSCWeaver().weave(purchasing_process, dependencies)
+        from_model = DSCWeaver().weave(
+            purchasing_process,
+            extract_all_dependencies(
+                purchasing_process,
+                cooperation=purchasing_cooperation_dependencies(purchasing_process),
+            ),
+        )
+        assert set(map(str, from_pdg.minimal.constraints)) == set(
+            map(str, from_model.minimal.constraints)
+        )
+
+    def test_wscl_submission_route(self, purchasing_process):
+        """Section 1's automatic-composition story: each service submits a
+        WSCL document; the engine merges those conversations with the
+        process-side dependencies and infers the same global scheme."""
+        from repro.deps.controlflow import extract_control_dependencies
+        from repro.deps.dataflow import extract_data_dependencies
+        from repro.deps.servicedeps import extract_service_dependencies
+        from repro.deps.types import Dependency, DependencyKind
+        from repro.model.activity import ActivityKind
+        from repro.workloads.purchasing import purchasing_cooperation_dependencies
+        from repro.wscl.derive import (
+            conversation_for_service,
+            service_dependencies_from_conversation,
+        )
+
+        dependencies = DependencySet()
+        dependencies.extend(extract_data_dependencies(purchasing_process))
+        dependencies.extend(extract_control_dependencies(purchasing_process))
+        dependencies.extend(
+            purchasing_cooperation_dependencies(purchasing_process)
+        )
+        # Port-to-port constraints come from the services' WSCL documents...
+        for service in purchasing_process.services:
+            conversation = conversation_for_service(service)
+            dependencies.extend(
+                service_dependencies_from_conversation(conversation)
+            )
+        # ...while the process contributes its own binding rows (which
+        # activity talks to which port).
+        ports = set(purchasing_process.port_names())
+        for dependency in extract_service_dependencies(purchasing_process):
+            if not (dependency.source in ports and dependency.target in ports):
+                dependencies.add(dependency)
+
+        result = DSCWeaver().weave(purchasing_process, dependencies)
+        assert result.report.raw_total == 40
+        assert result.report.minimal == 17
+
+    def test_evolution_add_constraint(self, purchasing_process, purchasing_weave):
+        """Adding one cooperation dependency re-weaves without touching any
+        other constraint source — the adaptability claim."""
+        from repro.deps.types import Dependency, DependencyKind
+        from repro.workloads.purchasing import purchasing_cooperation_dependencies
+
+        extra = Dependency(
+            DependencyKind.COOPERATION,
+            "invCredit_po",
+            "invShip_po",
+            rationale="new fraud-screening rule",
+        )
+        dependencies = extract_all_dependencies(
+            purchasing_process,
+            cooperation=purchasing_cooperation_dependencies(purchasing_process)
+            + [extra],
+        )
+        result = DSCWeaver().weave(purchasing_process, dependencies)
+        # The new requirement is already implied: invCredit_po precedes the
+        # guard which precedes invShip_po, so the minimal set is unchanged.
+        assert set(map(str, result.minimal.constraints)) == set(
+            map(str, purchasing_weave.minimal.constraints)
+        )
+
+    def test_evolution_remove_requirement(self, purchasing_process):
+        """Dropping the Production cooperation requirement frees the reply
+        from waiting on Production — visible as a removed edge."""
+        from repro.deps.cooperation import CooperationRegistry
+
+        registry = CooperationRegistry(purchasing_process)
+        registry.require_all_before(
+            ["recPurchase_oi", "invShip_po", "recShip_si", "recShip_ss"],
+            "replyClient_oi",
+        )
+        result = DSCWeaver().weave(
+            purchasing_process,
+            extract_all_dependencies(
+                purchasing_process, cooperation=registry.dependencies
+            ),
+        )
+        assert not result.minimal.has_constraint(
+            "invProduction_po", "replyClient_oi"
+        )
+        assert not result.minimal.has_constraint(
+            "invProduction_ss", "replyClient_oi"
+        )
+
+    def test_minimal_vs_required_coverage_all_workloads(
+        self, loan_weave, travel_weave, deployment_weave
+    ):
+        for _process, weave in (loan_weave, travel_weave, deployment_weave):
+            report = compare_constraint_sets(weave.minimal, weave.asc)
+            assert report.is_exact
+
+    def test_weave_without_explicit_dependencies(self, purchasing_process):
+        """weave() extracts data/control/service deps automatically."""
+        from repro.workloads.purchasing import purchasing_cooperation_dependencies
+
+        result = DSCWeaver().weave(
+            purchasing_process,
+            cooperation=purchasing_cooperation_dependencies(purchasing_process),
+        )
+        assert result.report.raw_total == 40
+        assert result.report.minimal == 17
+
+
+class TestStructuredEmissionAcrossWorkloads:
+    def test_structured_trees_execute_equivalently(
+        self, loan_weave, travel_weave, deployment_weave
+    ):
+        """For every workload: recover structure from the minimal set, run
+        the construct interpreter, and compare against the dependency
+        schedule on every branch outcome."""
+        import itertools
+
+        from repro.bpel.structure import recover_structure
+        from repro.scheduler.baseline import execute_constructs
+        from repro.scheduler.engine import ConstraintScheduler
+
+        for process, weave in (loan_weave, travel_weave, deployment_weave):
+            tree = recover_structure(weave.minimal)
+            guards = [a.name for a in process.activities if a.is_guard]
+            for combo in itertools.product(["T", "F"], repeat=len(guards)):
+                outcomes = dict(zip(guards, combo))
+                structured = execute_constructs(process, tree, outcomes=outcomes)
+                direct = ConstraintScheduler(process, weave.minimal).run(
+                    outcomes=outcomes
+                )
+                assert structured.makespan == direct.makespan, process.name
+                assert set(structured.executed_names()) == set(
+                    direct.executed_names()
+                ), process.name

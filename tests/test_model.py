@@ -1,0 +1,210 @@
+"""Tests for the process model: activities, services, processes, builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.activity import Activity, ActivityKind, ActivityState, StateRef
+from repro.model.builder import ProcessBuilder
+from repro.model.process import Branch, BusinessProcess
+from repro.model.service import PortRef, Service
+from repro.model.variables import Variable
+
+
+class TestActivityState:
+    def test_letters(self):
+        assert ActivityState.from_letter("S") is ActivityState.START
+        assert ActivityState.from_letter("R") is ActivityState.RUN
+        assert ActivityState.from_letter("F") is ActivityState.FINISH
+
+    def test_unknown_letter(self):
+        with pytest.raises(ValueError):
+            ActivityState.from_letter("X")
+
+    def test_state_ref_rendering(self):
+        ref = StateRef("a1", ActivityState.FINISH)
+        assert str(ref) == "F(a1)"
+
+
+class TestActivity:
+    def test_guard_gets_boolean_domain_by_default(self):
+        guard = Activity("if_x", ActivityKind.GUARD)
+        assert guard.outcomes == frozenset({"T", "F"})
+        assert guard.is_guard
+
+    def test_non_guard_cannot_declare_outcomes(self):
+        with pytest.raises(ModelError):
+            Activity("a", ActivityKind.COMPUTE, outcomes=frozenset({"T"}))
+
+    def test_invoke_requires_port(self):
+        with pytest.raises(ModelError):
+            Activity("a", ActivityKind.INVOKE)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            Activity("a", ActivityKind.COMPUTE, duration=-1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Activity("", ActivityKind.COMPUTE)
+
+    def test_interacts(self):
+        invoke = Activity(
+            "call", ActivityKind.INVOKE, port=PortRef("Svc", "Svc")
+        )
+        assert invoke.interacts
+        assert not Activity("calc", ActivityKind.COMPUTE).interacts
+
+
+class TestService:
+    def test_single_port_named_after_service(self):
+        service = Service("Credit")
+        assert [p.name for p in service.request_ports] == ["Credit"]
+
+    def test_async_adds_dummy_port(self):
+        service = Service("Credit", asynchronous=True)
+        assert service.dummy_port is not None
+        assert service.dummy_port.name == "Credit_d"
+        assert service.dummy_port.is_dummy
+
+    def test_sequential_orderings(self):
+        service = Service(
+            "Purchase", ports=["P1", "P2"], asynchronous=True, sequential=True
+        )
+        orderings = {
+            (a.port, b.port) for a, b in service.internal_orderings()
+        }
+        assert orderings == {("P1", "P2"), ("P1", "Purchase_d"), ("P2", "Purchase_d")}
+
+    def test_non_sequential_non_async_has_no_orderings(self):
+        service = Service("Production", ports=["P1", "P2"])
+        assert service.internal_orderings() == []
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ModelError):
+            Service("S", ports=["p", "p"])
+
+    def test_dummy_name_collision_rejected(self):
+        with pytest.raises(ModelError):
+            Service("S", ports=["S_d"], asynchronous=True)
+
+    def test_unknown_port_lookup(self):
+        with pytest.raises(ModelError):
+            Service("S").port("nope")
+
+
+class TestBusinessProcess:
+    def test_duplicate_activity_rejected(self):
+        process = BusinessProcess("p")
+        process.add_activity(Activity("a", ActivityKind.COMPUTE))
+        with pytest.raises(ModelError):
+            process.add_activity(Activity("a", ActivityKind.COMPUTE))
+
+    def test_activity_auto_registers_variables(self):
+        process = BusinessProcess("p")
+        process.add_activity(
+            Activity("a", ActivityKind.COMPUTE, writes=frozenset({"x"}))
+        )
+        assert [v.name for v in process.variables] == ["x"]
+
+    def test_invoke_must_reference_known_service(self):
+        process = BusinessProcess("p")
+        with pytest.raises(ModelError):
+            process.add_activity(
+                Activity("a", ActivityKind.INVOKE, port=PortRef("Nope", "Nope"))
+            )
+
+    def test_invoke_cannot_target_dummy_port(self):
+        process = BusinessProcess("p")
+        process.add_service(Service("S", asynchronous=True))
+        with pytest.raises(ModelError):
+            process.add_activity(
+                Activity("a", ActivityKind.INVOKE, port=PortRef("S", "S_d"))
+            )
+
+    def test_receive_must_listen_on_dummy_port(self):
+        process = BusinessProcess("p")
+        process.add_service(Service("S", asynchronous=True))
+        with pytest.raises(ModelError):
+            process.add_activity(
+                Activity("a", ActivityKind.RECEIVE, port=PortRef("S", "S"))
+            )
+
+    def test_branch_guard_must_be_guard_kind(self):
+        process = BusinessProcess("p")
+        process.add_activity(Activity("a", ActivityKind.COMPUTE))
+        process.add_activity(Activity("b", ActivityKind.COMPUTE))
+        with pytest.raises(ModelError):
+            process.add_branch(Branch("a", {"T": ("b",)}))
+
+    def test_branch_outcomes_must_be_in_domain(self):
+        process = BusinessProcess("p")
+        process.add_activity(Activity("g", ActivityKind.GUARD))
+        process.add_activity(Activity("b", ActivityKind.COMPUTE))
+        with pytest.raises(ModelError):
+            process.add_branch(Branch("g", {"MAYBE": ("b",)}))
+
+    def test_guard_of(self):
+        process = BusinessProcess("p")
+        process.add_activity(Activity("g", ActivityKind.GUARD))
+        process.add_activity(Activity("b", ActivityKind.COMPUTE))
+        process.add_branch(Branch("g", {"T": ("b",)}))
+        assert process.guard_of("b") == [("g", "T")]
+        assert process.guard_of("g") == []
+
+    def test_writers_and_readers(self):
+        process = BusinessProcess("p")
+        process.add_activity(
+            Activity("w", ActivityKind.COMPUTE, writes=frozenset({"x"}))
+        )
+        process.add_activity(
+            Activity("r", ActivityKind.COMPUTE, reads=frozenset({"x"}))
+        )
+        assert [a.name for a in process.writers_of("x")] == ["w"]
+        assert [a.name for a in process.readers_of("x")] == ["r"]
+
+
+class TestBuilder:
+    def test_fluent_construction(self):
+        process = (
+            ProcessBuilder("demo")
+            .service("Svc", asynchronous=True)
+            .receive("intake", writes=["x"])
+            .invoke("call", service="Svc", reads=["x"])
+            .receive("answer", service="Svc", writes=["y"])
+            .reply("reply", reads=["y"])
+            .build()
+        )
+        assert process.activity_names == ["intake", "call", "answer", "reply"]
+        assert process.activity("call").port == PortRef("Svc", "Svc")
+        assert process.activity("answer").port == PortRef("Svc", "Svc_d")
+
+    def test_invoke_needs_port_when_ambiguous(self):
+        builder = ProcessBuilder("demo").service("S", ports=["p1", "p2"])
+        with pytest.raises(ModelError):
+            builder.invoke("call", service="S")
+
+    def test_receive_from_sync_service_rejected(self):
+        builder = ProcessBuilder("demo").service("S")
+        with pytest.raises(ModelError):
+            builder.receive("r", service="S")
+
+    def test_branch_validation(self):
+        builder = (
+            ProcessBuilder("demo")
+            .receive("in", writes=["x"])
+            .guard("g", reads=["x"])
+            .compute("a")
+        )
+        builder.branch("g", cases={"T": ["a"]})
+        process = builder.build()
+        assert process.branches[0].outcome_of("a") == "T"
+        assert process.branches[0].outcome_of("in") is None
+
+    def test_port_names(self, purchasing_process):
+        names = purchasing_process.port_names()
+        assert "Purchase1" in names
+        assert "Purchase_d" in names
+        assert "Production2" in names
+        assert "Credit_d" in names

@@ -1,0 +1,144 @@
+"""End-to-end tests with a non-boolean guard (three-way switch).
+
+The paper's colored-token extension explicitly targets "the control
+dependency which has multiple output result"; this module runs a three-way
+routing process through extraction, minimization (complementary-cover
+merging needs the full declared domain), Petri validation and scheduling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conditions import Cond
+from repro.core.closure import Semantics, annotated_closure
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.minimize import minimize
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.deps.cooperation import CooperationRegistry
+from repro.model.builder import ProcessBuilder
+from repro.petri.from_constraints import constraint_set_to_petri_net
+from repro.petri.soundness import check_soundness
+from repro.scheduler.engine import ConstraintScheduler
+
+OUTCOMES = ("air", "sea", "land")
+
+
+@pytest.fixture(scope="module")
+def routing():
+    builder = (
+        ProcessBuilder("Routing")
+        .receive("recOrder", writes=["order"])
+        .guard("route", reads=["order"], outcomes=OUTCOMES)
+        .assign("shipAir", reads=["order"], writes=["manifest"])
+        .assign("shipSea", reads=["order"], writes=["manifest"])
+        .assign("shipLand", reads=["order"], writes=["manifest"])
+        .reply("replyManifest", reads=["manifest"])
+    )
+    builder.branch(
+        "route",
+        cases={"air": ["shipAir"], "sea": ["shipSea"], "land": ["shipLand"]},
+        join="replyManifest",
+    )
+    process = builder.build()
+    result = DSCWeaver().weave(process, extract_all_dependencies(process))
+    return process, result
+
+
+class TestThreeWayPipeline:
+    def test_guard_domain_propagates(self, routing):
+        _process, result = routing
+        assert result.minimal.domains.domain("route") == frozenset(OUTCOMES)
+
+    def test_each_branch_executes_alone(self, routing):
+        process, result = routing
+        for outcome in OUTCOMES:
+            run = ConstraintScheduler(process, result.minimal).run(
+                outcomes={"route": outcome}
+            )
+            expected = "ship%s" % outcome.capitalize()
+            assert run.trace.records[expected].executed
+            skipped = set(run.trace.skipped())
+            assert skipped == {
+                "ship%s" % other.capitalize()
+                for other in OUTCOMES
+                if other != outcome
+            }
+            assert run.trace.records["replyManifest"].executed
+
+    def test_petri_sound_with_three_outcomes(self, routing):
+        _process, result = routing
+        net, _marking = constraint_set_to_petri_net(result.minimal)
+        report = check_soundness(net)
+        assert report.is_sound
+        # One exec transition per outcome.
+        names = {t.name for t in net.transitions}
+        for outcome in OUTCOMES:
+            assert "exec__route__%s" % outcome in names
+
+    def test_unconditional_join_edge_kept_or_covered(self, routing):
+        """The route -> replyManifest ordering holds on every branch; the
+        minimizer may keep the NONE edge or cover it by the three branch
+        paths, but the closure must contain the unconditional fact."""
+        _process, result = routing
+        closure = annotated_closure(
+            result.minimal, "route", Semantics.GUARD_AWARE
+        )
+        assert ("replyManifest", frozenset()) in closure
+
+
+class TestThreeWayMergeSemantics:
+    def test_two_of_three_do_not_merge(self):
+        """Complementary-cover merging needs the whole domain: two of three
+        outcomes leave the join conditional."""
+        from repro.analysis.conditions import ConditionDomains
+
+        domains = ConditionDomains({"g": OUTCOMES})
+        guards = {
+            "a": frozenset({Cond("g", "air")}),
+            "b": frozenset({Cond("g", "sea")}),
+        }
+        sc = SynchronizationConstraintSet(
+            ["g", "a", "b", "j"],
+            constraints=[
+                Constraint("g", "a", "air"),
+                Constraint("g", "b", "sea"),
+                Constraint("a", "j"),
+                Constraint("b", "j"),
+            ],
+            guards=guards,
+            domains=domains,
+        )
+        closure = annotated_closure(sc, "g", Semantics.GUARD_AWARE)
+        facts_j = {anns for target, anns in closure if target == "j"}
+        assert frozenset() not in facts_j  # land outcome leaves j unordered
+
+    def test_all_three_merge(self):
+        from repro.analysis.conditions import ConditionDomains
+
+        domains = ConditionDomains({"g": OUTCOMES})
+        guards = {
+            "a": frozenset({Cond("g", "air")}),
+            "b": frozenset({Cond("g", "sea")}),
+            "c": frozenset({Cond("g", "land")}),
+        }
+        sc = SynchronizationConstraintSet(
+            ["g", "a", "b", "c", "j"],
+            constraints=[
+                Constraint("g", "a", "air"),
+                Constraint("g", "b", "sea"),
+                Constraint("g", "c", "land"),
+                Constraint("a", "j"),
+                Constraint("b", "j"),
+                Constraint("c", "j"),
+            ],
+            guards=guards,
+            domains=domains,
+        )
+        closure = annotated_closure(sc, "g", Semantics.GUARD_AWARE)
+        assert ("j", frozenset()) in closure
+        # And therefore a redundant direct g -> j edge would be removable.
+        grown = sc.copy()
+        grown.add(Constraint("g", "j"))
+        minimal = minimize(grown, Semantics.GUARD_AWARE)
+        assert not minimal.has_constraint("g", "j")

@@ -1,0 +1,78 @@
+"""Tests for the Monte-Carlo makespan comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructs.rewrite import constructs_to_constraints
+from repro.scheduler.montecarlo import MakespanSummary, compare_schemes
+from repro.workloads.purchasing_constructs import build_purchasing_constructs
+
+
+class TestSummary:
+    def test_statistics(self):
+        summary = MakespanSummary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.runs == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == 3.0
+        assert summary.p95 == 4.0
+
+    def test_single_sample(self):
+        summary = MakespanSummary.of([7.0])
+        assert summary.stdev == 0.0
+        assert summary.p95 == 7.0
+
+
+class TestCompareSchemes:
+    def test_paired_comparison(self, purchasing_process, purchasing_weave):
+        figure2 = constructs_to_constraints(
+            purchasing_process, build_purchasing_constructs()
+        )
+        summaries = compare_schemes(
+            purchasing_process,
+            {
+                "minimal": purchasing_weave.minimal,
+                "full": purchasing_weave.asc,
+                "figure2": figure2,
+            },
+            runs=30,
+            jitter=0.5,
+            seed=11,
+        )
+        minimal = summaries["minimal"]
+        full = summaries["full"]
+        figure2_summary = summaries["figure2"]
+        # Equivalent schemes: identical distributions on paired draws.
+        assert minimal.mean == pytest.approx(full.mean)
+        assert minimal.maximum == pytest.approx(full.maximum)
+        # The imperative encoding never beats the dependency schedule and,
+        # with jittered durations, its extra sequencing costs on average
+        # (the over-specified edges sit on some sampled critical paths).
+        assert figure2_summary.mean >= minimal.mean
+
+    def test_determinism_by_seed(self, purchasing_process, purchasing_weave):
+        kwargs = dict(
+            schemes={"minimal": purchasing_weave.minimal}, runs=10, seed=3
+        )
+        first = compare_schemes(purchasing_process, **kwargs)
+        second = compare_schemes(purchasing_process, **kwargs)
+        assert first["minimal"] == second["minimal"]
+
+    def test_zero_jitter_reproduces_deterministic_makespan(
+        self, purchasing_process, purchasing_weave
+    ):
+        from repro.scheduler.engine import ConstraintScheduler
+
+        deterministic = ConstraintScheduler(
+            purchasing_process, purchasing_weave.minimal
+        ).run()
+        summaries = compare_schemes(
+            purchasing_process,
+            {"minimal": purchasing_weave.minimal},
+            runs=5,
+            jitter=0.0,
+        )
+        assert summaries["minimal"].mean == pytest.approx(deterministic.makespan)
+        assert summaries["minimal"].stdev == pytest.approx(0.0)

@@ -1,0 +1,97 @@
+"""Property-based tests of the scheduling engine on random processes.
+
+The key soundness property of the whole system: for any generated process,
+any branch-outcome combination, and both the full and the minimized
+constraint set, the engine produces a schedule in which **every original
+constraint is respected** among executed activities, the skipped set is
+exactly the guard-determined one, and minimization changes neither
+makespan nor the executed set.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.pipeline import DSCWeaver
+from repro.scheduler.engine import ConstraintScheduler
+from repro.workloads.synthetic import SyntheticSpec, generate_dependency_set
+
+SEEDS = range(8)
+
+
+def _weaves():
+    for seed in SEEDS:
+        process, dependencies = generate_dependency_set(
+            SyntheticSpec(n_activities=40, n_branches=2, coop_density=0.6, seed=seed)
+        )
+        yield process, DSCWeaver().weave(process, dependencies)
+
+
+@pytest.fixture(scope="module")
+def woven_workloads():
+    return list(_weaves())
+
+
+def _outcome_policies(process):
+    guards = [a.name for a in process.activities if a.is_guard]
+    for combo in itertools.product(["T", "F"], repeat=len(guards)):
+        yield dict(zip(guards, combo))
+
+
+class TestScheduleSoundness:
+    def test_all_constraints_respected(self, woven_workloads):
+        for process, weave in woven_workloads:
+            for outcomes in _outcome_policies(process):
+                run = ConstraintScheduler(process, weave.minimal).run(
+                    outcomes=outcomes
+                )
+                for constraint in weave.asc:  # original, pre-minimization
+                    source = run.trace.records.get(constraint.source)
+                    target = run.trace.records.get(constraint.target)
+                    assert source is not None and target is not None
+                    if source.executed and target.executed:
+                        assert source.finish <= target.start, (
+                            "seed run violated %s under %r"
+                            % (constraint, outcomes)
+                        )
+
+    def test_skipped_set_is_guard_determined(self, woven_workloads):
+        for process, weave in woven_workloads:
+            for outcomes in _outcome_policies(process):
+                run = ConstraintScheduler(process, weave.minimal).run(
+                    outcomes=outcomes
+                )
+                for activity in process.activities:
+                    record = run.trace.records[activity.name]
+                    should_run = all(
+                        outcomes[guard] == outcome
+                        for guard, outcome in process.guard_of(activity.name)
+                    )
+                    assert record.executed == should_run
+                    assert record.skipped == (not should_run)
+
+    def test_minimal_and_full_schedules_agree(self, woven_workloads):
+        for process, weave in woven_workloads:
+            for outcomes in _outcome_policies(process):
+                minimal = ConstraintScheduler(process, weave.minimal).run(
+                    outcomes=outcomes
+                )
+                full = ConstraintScheduler(process, weave.asc).run(outcomes=outcomes)
+                assert minimal.makespan == full.makespan
+                assert set(minimal.executed_names()) == set(full.executed_names())
+
+    def test_minimal_never_costs_more_monitoring(self, woven_workloads):
+        for process, weave in woven_workloads:
+            minimal = ConstraintScheduler(process, weave.minimal).run()
+            full = ConstraintScheduler(process, weave.asc).run()
+            assert minimal.constraint_checks <= full.constraint_checks
+
+    def test_no_deadlocks_on_any_branch(self, woven_workloads):
+        for process, weave in woven_workloads:
+            for outcomes in _outcome_policies(process):
+                run = ConstraintScheduler(process, weave.minimal).run(
+                    outcomes=outcomes, raise_on_deadlock=False
+                )
+                assert not run.deadlocked

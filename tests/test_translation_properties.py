@@ -1,0 +1,125 @@
+"""Property-based tests for service dependency translation on random
+mixed (activity + port) constraint graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import Semantics, internal_closure_map
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.equivalence import fact_set_covers
+from repro.core.translation import translate_service_dependencies
+
+SLOW = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def mixed_sets(draw):
+    """A random acyclic mixed graph over activities ``a0..`` and external
+    ports ``p0..``, with optional invoke bindings (each port bound to at
+    most one activity, and the binding edge activity -> port present)."""
+    n_activities = draw(st.integers(min_value=2, max_value=6))
+    n_ports = draw(st.integers(min_value=1, max_value=4))
+    activities = ["a%d" % i for i in range(n_activities)]
+    ports = ["p%d" % i for i in range(n_ports)]
+    # Global forward order: interleave activities and ports deterministically
+    # from a drawn permutation of slots, so edges (earlier -> later) keep the
+    # graph acyclic.
+    nodes = activities + ports
+    order = draw(st.permutations(nodes))
+    position = {node: i for i, node in enumerate(order)}
+
+    # Bindings first: a bound port's event *is* its binder's finish, so for
+    # acyclicity the effective position of a bound port is its binder's.
+    bindings: Dict[str, str] = {}
+    for port in ports:
+        if activities and draw(st.booleans()):
+            bindings[port] = draw(st.sampled_from(activities))
+
+    def effective(node: str) -> int:
+        return position[bindings.get(node, node)]
+
+    possible = [
+        (u, v)
+        for u in nodes
+        for v in nodes
+        if u != v and effective(u) < effective(v)
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=12, unique=True)
+        if possible
+        else st.just([])
+    )
+    for port, binder in bindings.items():
+        if (binder, port) not in edges:
+            edges = edges + [(binder, port)]
+
+    sc = SynchronizationConstraintSet(
+        activities=activities,
+        externals=ports,
+        constraints=[Constraint(u, v) for u, v in edges],
+    )
+    return sc, bindings
+
+
+class TestTranslationProperties:
+    @SLOW
+    @given(mixed_sets())
+    def test_result_is_activity_set(self, drawn):
+        sc, bindings = drawn
+        result = translate_service_dependencies(sc, bindings)
+        assert result.asc.is_activity_set
+        externals = set(sc.externals)
+        for constraint in result.asc:
+            assert constraint.source not in externals
+            assert constraint.target not in externals
+
+    @SLOW
+    @given(mixed_sets())
+    def test_internal_orderings_preserved(self, drawn):
+        """Every internal-to-internal reachability fact of the mixed graph
+        survives translation (the ASC covers the internal projection)."""
+        sc, bindings = drawn
+        result = translate_service_dependencies(sc, bindings)
+        before = internal_closure_map(sc, Semantics.REACHABILITY)
+        after = internal_closure_map(result.asc, Semantics.REACHABILITY)
+        for activity, facts in before.items():
+            assert fact_set_covers(after[activity], facts), activity
+
+    @SLOW
+    @given(mixed_sets())
+    def test_no_binding_falls_back_to_bridging(self, drawn):
+        sc, _bindings = drawn
+        result = translate_service_dependencies(sc)  # pure bridging
+        assert result.asc.is_activity_set
+        before = internal_closure_map(sc, Semantics.REACHABILITY)
+        after = internal_closure_map(result.asc, Semantics.REACHABILITY)
+        for activity, facts in before.items():
+            assert fact_set_covers(after[activity], facts), activity
+
+    @SLOW
+    @given(mixed_sets())
+    def test_contraction_only_strengthens(self, drawn):
+        """Port contraction can only add orderings (the binding identifies
+        two events); it never loses one that bridging provides."""
+        sc, bindings = drawn
+        bridged = translate_service_dependencies(sc)
+        contracted = translate_service_dependencies(sc, bindings)
+        before = internal_closure_map(bridged.asc, Semantics.REACHABILITY)
+        after = internal_closure_map(contracted.asc, Semantics.REACHABILITY)
+        for activity, facts in before.items():
+            assert fact_set_covers(after[activity], facts), activity
+
+    @SLOW
+    @given(mixed_sets())
+    def test_translation_is_idempotent(self, drawn):
+        sc, bindings = drawn
+        once = translate_service_dependencies(sc, bindings)
+        twice = translate_service_dependencies(once.asc)
+        assert set(twice.asc.constraints) == set(once.asc.constraints)

@@ -1,0 +1,84 @@
+"""Tests for static validation: conflicts and coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conditions import Cond
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.dscl.parser import parse
+from repro.validation.conflicts import find_conflicts
+from repro.validation.coverage import compare_constraint_sets
+
+
+def sc_of(edges, activities=None, guards=None):
+    if activities is None:
+        activities = sorted({e[0] for e in edges} | {e[1] for e in edges})
+    return SynchronizationConstraintSet(
+        activities=activities,
+        constraints=[
+            Constraint(*e) if len(e) == 3 else Constraint(e[0], e[1]) for e in edges
+        ],
+        guards=guards,
+    )
+
+
+class TestConflicts:
+    def test_clean_set(self, purchasing_weave):
+        report = find_conflicts(purchasing_weave.minimal)
+        assert not report.has_conflicts
+        assert report.summary() == "no conflicts detected"
+
+    def test_cycle_detected(self):
+        sc = sc_of([("a", "b"), ("b", "c"), ("c", "a")])
+        report = find_conflicts(sc)
+        assert report.has_conflicts
+        assert len(report.cycles) == 1
+        assert set(report.cycles[0]) == {"a", "b", "c"}
+        assert "cycle" in report.summary()
+
+    def test_unsatisfiable_guard(self):
+        guards = {"x": frozenset({Cond("g", "T"), Cond("g", "F")})}
+        sc = sc_of([("g", "x", "T")], guards=guards)
+        report = find_conflicts(sc)
+        assert report.unsatisfiable_guards == ("x",)
+        assert report.has_conflicts
+
+    def test_vacuous_exclusive(self):
+        sc = sc_of([("a", "b")])
+        exclusives = parse("R(a) O R(b);").statements
+        report = find_conflicts(sc, exclusives=exclusives)
+        assert len(report.vacuous_exclusives) == 1
+        # Vacuous exclusives are a warning, not a hard conflict.
+        assert not report.has_conflicts
+
+    def test_meaningful_exclusive_not_flagged(self):
+        sc = SynchronizationConstraintSet(["a", "b"])
+        exclusives = parse("R(a) O R(b);").statements
+        report = find_conflicts(sc, exclusives=exclusives)
+        assert report.vacuous_exclusives == ()
+
+
+class TestCoverage:
+    def test_exact_coverage(self, purchasing_weave):
+        report = compare_constraint_sets(
+            purchasing_weave.minimal, purchasing_weave.asc
+        )
+        assert report.is_exact
+        assert report.is_sufficient and report.is_tight
+
+    def test_missing_detected(self):
+        implementation = sc_of([("a", "b")], activities=["a", "b", "c"])
+        requirement = sc_of([("a", "b"), ("b", "c")])
+        report = compare_constraint_sets(implementation, requirement)
+        assert not report.is_sufficient
+        assert ("b", "c") in report.missing
+        assert ("a", "c") in report.missing
+
+    def test_unnecessary_detected(self):
+        implementation = sc_of([("a", "b"), ("b", "c")])
+        requirement = sc_of([("a", "b")], activities=["a", "b", "c"])
+        report = compare_constraint_sets(implementation, requirement)
+        assert report.is_sufficient
+        assert not report.is_tight
+        assert ("b", "c") in report.unnecessary

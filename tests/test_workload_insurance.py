@@ -1,0 +1,100 @@
+"""Tests for the nested-branch insurance workload (transitive guards)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conditions import Cond
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.petri.from_constraints import constraint_set_to_petri_net
+from repro.petri.soundness import check_soundness
+from repro.scheduler.engine import ConstraintScheduler
+from repro.workloads.insurance import (
+    build_insurance_process,
+    insurance_cooperation,
+)
+
+
+@pytest.fixture(scope="module")
+def insurance():
+    process = build_insurance_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=insurance_cooperation(process).dependencies
+    )
+    return process, DSCWeaver().weave(process, dependencies)
+
+
+class TestNestedGuards:
+    def test_transitive_effective_guard(self, insurance):
+        _process, weave = insurance
+        assert weave.minimal.effective_guard("payFastTrack") == frozenset(
+            {Cond("if_severity", "T"), Cond("if_valid", "T")}
+        )
+        assert weave.minimal.effective_guard("settleClaim") == frozenset(
+            {Cond("if_severity", "F"), Cond("if_valid", "T")}
+        )
+        assert weave.minimal.effective_guard("rejectClaim") == frozenset(
+            {Cond("if_valid", "F")}
+        )
+
+    def test_direct_guards_are_single(self, insurance):
+        """Nested structure keeps direct guards single-condition (the
+        innermost branch), which the Petri translations require."""
+        _process, weave = insurance
+        for activity in weave.minimal.activities:
+            assert len(weave.minimal.guard_of(activity)) <= 1
+
+    def test_reduction(self, insurance):
+        _process, weave = insurance
+        assert weave.report.raw_total == 30
+        assert weave.report.minimal == 14
+        assert weave.report.removed == 16
+
+    def test_petri_sound(self, insurance):
+        _process, weave = insurance
+        net, _ = constraint_set_to_petri_net(weave.minimal)
+        assert check_soundness(net).is_sound
+
+
+class TestNestedExecution:
+    @pytest.mark.parametrize(
+        "valid,severity,executed,skipped",
+        [
+            ("T", "T", ["payFastTrack"], ["settleClaim", "rejectClaim"]),
+            ("T", "F", ["settleClaim"], ["payFastTrack", "rejectClaim"]),
+            (
+                "F",
+                "T",
+                ["rejectClaim"],
+                ["if_severity", "payFastTrack", "settleClaim", "triage"],
+            ),
+        ],
+    )
+    def test_branch_combinations(self, insurance, valid, severity, executed, skipped):
+        process, weave = insurance
+        run = ConstraintScheduler(process, weave.minimal).run(
+            outcomes={"if_valid": valid, "if_severity": severity}
+        )
+        for name in executed:
+            assert run.trace.records[name].executed, name
+        for name in skipped:
+            assert run.trace.records[name].skipped, name
+        # Archival and reply always happen, in order.
+        assert run.trace.happened_before("invArchive_outcome", "replyClient_outcome")
+
+    def test_skipped_inner_guard_resolves_no_outcome(self, insurance):
+        process, weave = insurance
+        run = ConstraintScheduler(process, weave.minimal).run(
+            outcomes={"if_valid": "F"}
+        )
+        assert "if_severity" not in run.outcomes
+        assert run.outcomes == {"if_valid": "F"}
+
+    def test_investigation_uses_inspector_latency(self, insurance):
+        process, weave = insurance
+        run = ConstraintScheduler(process, weave.minimal).run(
+            outcomes={"if_valid": "T", "if_severity": "F"}
+        )
+        invoke = run.trace.records["invInspector_claim"]
+        receive = run.trace.records["recInspector_report"]
+        assert receive.start >= invoke.finish + 2.0  # Inspector latency

@@ -1,0 +1,158 @@
+"""Tests for the workload library: paper examples, extra processes, the
+synthetic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.graphs import find_cycle
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.petri.from_constraints import constraint_set_to_petri_net
+from repro.petri.soundness import check_soundness
+from repro.scheduler.engine import ConstraintScheduler
+from repro.workloads.figure3 import build_figure3_process
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    generate_dependency_set,
+    generate_process,
+)
+
+
+class TestFigure3:
+    def test_branch_structure(self):
+        process = build_figure3_process()
+        branch = process.branches[0]
+        assert branch.guard == "a1"
+        assert set(branch.cases["T"]) == {"a2", "a3", "a4"}
+        assert set(branch.cases["F"]) == {"a5", "a6"}
+        assert branch.join == "a7"
+
+    def test_weaves_cleanly(self):
+        process = build_figure3_process()
+        result = DSCWeaver().weave(process)
+        assert result.report.minimal <= result.report.raw_total
+        # a7 is ordered after the guard through the join edge.
+        assert any(
+            c.target == "a7" for c in result.minimal
+        )
+
+
+class TestDeployment:
+    def test_cooperation_dependency_survives(self, deployment_weave):
+        """The mid-before-app constraint has no data/control backing, so
+        minimization must keep it (Figure 6's point)."""
+        _process, weave = deployment_weave
+        assert weave.minimal.has_constraint(
+            "invDeploy_midConfig", "invDeploy_appConfig"
+        )
+
+    def test_executes(self, deployment_weave):
+        process, weave = deployment_weave
+        result = ConstraintScheduler(process, weave.minimal).run()
+        assert result.trace.happened_before(
+            "invDeploy_midConfig", "invDeploy_appConfig"
+        )
+
+
+class TestLoan:
+    def test_weave_and_both_branches(self, loan_weave):
+        process, weave = loan_weave
+        approve = ConstraintScheduler(process, weave.minimal).run(
+            outcomes={"if_score": "T"}
+        )
+        assert approve.trace.records["setApproved"].executed
+        assert "setRejected" in approve.trace.skipped()
+        reject = ConstraintScheduler(process, weave.minimal).run(
+            outcomes={"if_score": "F"}
+        )
+        assert reject.trace.records["setRejected"].executed
+        assert "invRisk_profile" in reject.trace.skipped()
+
+    def test_sequential_risk_service_ordering_kept(self, loan_weave):
+        _process, weave = loan_weave
+        assert weave.minimal.has_constraint("invRisk_profile", "invRisk_score")
+
+    def test_notification_gates_reply(self, loan_weave):
+        process, weave = loan_weave
+        result = ConstraintScheduler(process, weave.minimal).run()
+        assert result.trace.happened_before(
+            "invNotify_decision", "replyClient_decision"
+        )
+
+    def test_petri_sound(self, loan_weave):
+        _process, weave = loan_weave
+        net, _ = constraint_set_to_petri_net(weave.minimal)
+        assert check_soundness(net).is_sound
+
+
+class TestTravel:
+    def test_reservations_fan_out(self, travel_weave):
+        process, weave = travel_weave
+        result = ConstraintScheduler(process, weave.minimal).run()
+        flight = result.trace.records["invFlight_trip"]
+        hotel = result.trace.records["invHotel_trip"]
+        car = result.trace.records["invCar_trip"]
+        assert flight.start == hotel.start == car.start
+
+    def test_payment_sequencing_kept(self, travel_weave):
+        _process, weave = travel_weave
+        assert weave.minimal.has_constraint("invPay_auth", "invPay_capture")
+
+    def test_redundant_cooperation_removed(self, travel_weave):
+        """recFlight_conf ->o replyClient_conf is covered by the dataflow
+        through assembleTotal and the payment chain."""
+        _process, weave = travel_weave
+        assert not weave.minimal.has_constraint("recFlight_conf", "replyClient_conf")
+
+    def test_report_reduces(self, travel_weave):
+        _process, weave = travel_weave
+        assert weave.report.removed > 0
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        spec = SyntheticSpec(n_activities=40, seed=7)
+        first_process, first_coop = generate_process(spec)
+        second_process, second_coop = generate_process(spec)
+        assert first_process.activity_names == second_process.activity_names
+        assert [str(d) for d in first_coop] == [str(d) for d in second_coop]
+
+    def test_acyclic_merged_set(self):
+        for seed in range(5):
+            process, dependencies = generate_dependency_set(
+                SyntheticSpec(n_activities=40, seed=seed)
+            )
+            from repro.dscl.compiler import compile_dependencies
+
+            compiled = compile_dependencies(process, dependencies)
+            assert find_cycle(compiled.sc.as_graph()) is None
+
+    def test_weaves_and_minimizes(self):
+        process, dependencies = generate_dependency_set(
+            SyntheticSpec(n_activities=40, coop_density=1.0, seed=3)
+        )
+        result = DSCWeaver().weave(process, dependencies)
+        assert result.report.minimal < result.report.raw_total
+        assert result.report.removed > 0
+
+    def test_executes_all_outcome_combinations(self):
+        process, dependencies = generate_dependency_set(
+            SyntheticSpec(n_activities=40, seed=11)
+        )
+        result = DSCWeaver().weave(process, dependencies)
+        for policy in ("T", "F"):
+            run = ConstraintScheduler(process, result.minimal).run(
+                outcomes=lambda guard: policy
+            )
+            assert not run.deadlocked
+
+    def test_too_small_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_activities=5, n_services=4, n_branches=3)
+
+    def test_structure_knobs(self):
+        spec = SyntheticSpec(n_activities=60, n_services=6, n_branches=3, seed=1)
+        process, _ = generate_process(spec)
+        assert len(process.services) <= 6
+        assert len(process.branches) <= 3
+        assert len(process.activities) == 60
