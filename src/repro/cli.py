@@ -7,10 +7,16 @@ Subcommands::
     dscweaver minimal  --workload purchasing      # Figure 9 edge list
     dscweaver bpel     --workload purchasing      # emit BPEL to stdout/file
     dscweaver dscl     --workload purchasing      # emit the DSCL program
-    dscweaver validate --workload purchasing      # Petri-net soundness check
+    dscweaver validate --workload purchasing      # conflicts + Petri soundness
     dscweaver simulate --workload purchasing --outcome if_au=F
+    dscweaver lint purchasing --format sarif      # static analysis (repro.lint)
 
-Workloads: purchasing, deployment, loan, travel.
+Workloads: purchasing, deployment, loan, travel, insurance.
+
+Exit codes: ``validate`` returns 1 when the specification has conflicts
+(cycles, unsatisfiable guards) or the Petri net is unsound; ``lint``
+returns 1 when any finding is at or above ``--fail-on`` (default
+``error``), 2 on usage errors.  Both return 0 on a clean specification.
 """
 
 from __future__ import annotations
@@ -69,6 +75,70 @@ def _weave(name: str) -> Tuple[BusinessProcess, WeaveResult]:
     return process, DSCWeaver().weave(process, dependencies)
 
 
+def _split_codes(values: List[str]) -> List[str]:
+    codes: List[str] = []
+    for value in values:
+        codes.extend(code for code in value.split(",") if code.strip())
+    return codes
+
+
+def _run_lint_command(arguments) -> int:
+    from repro.errors import CycleError
+    from repro.lint import Baseline, LintConfig, LintContext, render, run_lint
+
+    try:
+        process, result = _weave(arguments.workload)
+    except CycleError as error:
+        print(
+            "error SYNC003 [process:%s] %s" % (arguments.workload, error),
+            file=sys.stderr,
+        )
+        return 1
+
+    construct = None
+    if arguments.constructs:
+        if arguments.workload != "purchasing":
+            print(
+                "--constructs: no construct tree available for workload %r"
+                % arguments.workload,
+                file=sys.stderr,
+            )
+            return 2
+        from repro.workloads.purchasing_constructs import build_purchasing_constructs
+
+        construct = build_purchasing_constructs()
+
+    baseline = None
+    if arguments.baseline:
+        try:
+            baseline = Baseline.load(arguments.baseline)
+        except (OSError, ValueError) as error:
+            print("cannot load baseline: %s" % error, file=sys.stderr)
+            return 2
+
+    config = LintConfig.from_codes(
+        select=_split_codes(arguments.select),
+        ignore=_split_codes(arguments.ignore),
+        fail_on=arguments.fail_on,
+        baseline=baseline,
+    )
+    context = LintContext.from_weave(result, construct=construct)
+    report = run_lint(context, config)
+
+    if arguments.write_baseline:
+        merged = Baseline.from_diagnostics(
+            list(report.findings) + list(report.suppressed)
+        )
+        merged.save(arguments.write_baseline)
+        print(
+            "wrote %s (%d suppression(s))" % (arguments.write_baseline, len(merged))
+        )
+        return 0
+
+    print(render(report, arguments.format, title=arguments.workload), end="")
+    return report.exit_code(config.fail_on)
+
+
 def _parse_outcomes(pairs: List[str]) -> Dict[str, str]:
     outcomes: Dict[str, str] = {}
     for pair in pairs:
@@ -121,7 +191,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     dot.add_argument(
         "--what",
         default="minimal",
-        choices=["dependencies", "merged", "translated", "minimal", "petri"],
+        choices=["dependencies", "merged", "translated", "minimal", "petri", "races"],
     )
     dot.add_argument("--output", default=None, help="file path (default stdout)")
     uml = subparsers.add_parser(
@@ -129,7 +199,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     uml.add_argument("file", help="path to the activity-diagram XML")
 
+    lint = subparsers.add_parser(
+        "lint", help="run the static analyzer (races, protocol, redundancy)"
+    )
+    lint.add_argument(
+        "workload",
+        nargs="?",
+        default="purchasing",
+        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"]
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="only run these rule codes or prefixes, comma-separated "
+        "(repeatable); e.g. --select SYNC001,SVC",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="skip these rule codes or prefixes (repeatable)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error"],
+        help="exit 1 when any finding is at or above this severity",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write all current findings to a baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--constructs",
+        action="store_true",
+        help="also check the workload's construct tree for over-/under-"
+        "specification (purchasing only)",
+    )
+
     arguments = parser.parse_args(argv)
+
+    if arguments.command == "lint":
+        return _run_lint_command(arguments)
 
     if arguments.command == "uml":
         from repro.uml.extract import diagram_dependencies
@@ -171,7 +296,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(xml)
     elif arguments.command == "validate":
         from repro.petri.soundness import check_soundness
+        from repro.validation.conflicts import find_conflicts
 
+        conflicts = find_conflicts(result.asc, exclusives=result.exclusives)
+        print("conflicts: %s" % conflicts.summary())
         net, _marking = result.to_petri_net()
         report = check_soundness(net)
         print(
@@ -180,7 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for problem in report.problems:
             print("  problem:", problem)
-        return 0 if report.is_sound else 1
+        return 0 if report.is_sound and not conflicts.has_conflicts else 1
     elif arguments.command == "dot":
         from repro.export.dot import (
             constraint_set_to_dot,
@@ -205,6 +333,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif arguments.what == "petri":
             net, _marking = result.to_petri_net()
             text = petri_net_to_dot(net, name=arguments.workload)
+        elif arguments.what == "races":
+            from repro.lint import find_races
+
+            races = find_races(
+                result.asc, process=process, exclusives=result.exclusives
+            )
+            text = constraint_set_to_dot(
+                result.asc, name=arguments.workload, races=races
+            )
         else:
             text = constraint_set_to_dot(result.minimal, name=arguments.workload)
         if arguments.output:

@@ -71,11 +71,30 @@ class WeaveResult:
     fine_grained: List[HappenBefore] = field(default_factory=list)
     exclusives: List[Exclusive] = field(default_factory=list)
     semantics: Semantics = Semantics.GUARD_AWARE
+    #: Populated by :meth:`run_lint` (or by ``DSCWeaver(lint=True)``).
+    lint_report: Optional[object] = None
 
     @property
     def asc(self) -> SynchronizationConstraintSet:
         """The translated (pre-minimization) activity constraint set."""
         return self.translation.asc
+
+    def run_lint(self, config=None, construct=None, conversations=()):
+        """Run the static analyzer over this result (lazy import).
+
+        Stores the :class:`~repro.lint.diagnostics.LintReport` on
+        ``self.lint_report``, folds its severity rollup into
+        ``self.report`` and returns it.
+        """
+        from repro.lint import LintContext, run_lint
+
+        context = LintContext.from_weave(
+            self, construct=construct, conversations=conversations
+        )
+        report = run_lint(context, config)
+        self.lint_report = report
+        self.report = self.report.with_lint_counts(report.counts_by_severity())
+        return report
 
     def to_bpel(self) -> str:
         """Emit the minimal set as BPEL-style XML (lazy import)."""
@@ -106,6 +125,10 @@ class DSCWeaver:
         raises :class:`~repro.errors.CycleError` before optimization — the
         static detection of "infinite synchronization sequences" the paper
         attributes to the design stage.
+    lint:
+        When true, run the :mod:`repro.lint` static analyzer after
+        minimization; findings land on ``WeaveResult.lint_report`` and the
+        severity rollup on the reduction report.
     """
 
     def __init__(
@@ -113,10 +136,12 @@ class DSCWeaver:
         semantics: Semantics = Semantics.GUARD_AWARE,
         algorithm: str = "fast",
         check_cycles: bool = True,
+        lint: bool = False,
     ) -> None:
         self.semantics = semantics
         self.algorithm = algorithm
         self.check_cycles = check_cycles
+        self.lint = lint
 
     def weave(
         self,
@@ -154,7 +179,7 @@ class DSCWeaver:
             translated=len(translation.asc),
             minimal=len(minimal),
         )
-        return WeaveResult(
+        result = WeaveResult(
             process=process,
             dependencies=dependencies,
             program=dependencies_to_program(dependencies),
@@ -166,6 +191,9 @@ class DSCWeaver:
             exclusives=compiled.exclusives,
             semantics=self.semantics,
         )
+        if self.lint:
+            result.run_lint()
+        return result
 
 
 def weave(

@@ -9,8 +9,8 @@ process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 from repro.deps.registry import DependencySet
 from repro.deps.types import DependencyKind
@@ -32,6 +32,10 @@ class ReductionReport:
         eliminated).
     ``minimal``
         Constraints in the minimal set (Table 2's "after").
+    ``lint_counts``
+        Optional static-analysis rollup (``info``/``warning``/``error``
+        finding counts from :mod:`repro.lint`), attached when the pipeline
+        ran with linting enabled.
     """
 
     raw_by_kind: Dict[str, int]
@@ -39,6 +43,7 @@ class ReductionReport:
     merged: int
     translated: int
     minimal: int
+    lint_counts: Optional[Dict[str, int]] = None
 
     @property
     def removed(self) -> int:
@@ -82,6 +87,10 @@ class ReductionReport:
             minimal=minimal,
         )
 
+    def with_lint_counts(self, counts: Dict[str, int]) -> "ReductionReport":
+        """A copy of this report carrying a lint severity rollup."""
+        return replace(self, lint_counts=dict(counts))
+
     def as_table(self) -> str:
         """Text rendering in the spirit of Table 2."""
         lines: List[str] = []
@@ -96,10 +105,20 @@ class ReductionReport:
         lines.append("%-25s  %11d" % ("translated (Sec 4.3)", self.translated))
         lines.append("%-25s  %11d" % ("minimal (Def 6)", self.minimal))
         lines.append("%-25s  %11d" % ("removed", self.removed))
+        if self.lint_counts is not None:
+            lines.append(
+                "%-25s  %d error(s), %d warning(s), %d info"
+                % (
+                    "lint",
+                    self.lint_counts.get("error", 0),
+                    self.lint_counts.get("warning", 0),
+                    self.lint_counts.get("info", 0),
+                )
+            )
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "raw_by_kind": dict(self.raw_by_kind),
             "raw_total": self.raw_total,
             "merged": self.merged,
@@ -108,3 +127,6 @@ class ReductionReport:
             "removed": self.removed,
             "reduction_ratio": self.reduction_ratio,
         }
+        if self.lint_counts is not None:
+            payload["lint_counts"] = dict(self.lint_counts)
+        return payload

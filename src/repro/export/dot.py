@@ -63,21 +63,31 @@ def constraint_set_to_dot(
     sc: SynchronizationConstraintSet,
     name: str = "constraints",
     highlight: Iterable = (),
+    races: Iterable = (),
 ) -> str:
     """Render a synchronization constraint set (Figures 7-9 style).
 
     ``highlight`` marks constraints to draw bold (Figure 8's translated
-    edges).
+    edges).  ``races`` takes :class:`~repro.lint.races.Race` records (or
+    any objects with ``first``/``second``/``variable``); racing activity
+    pairs are drawn as red double-headed dashed edges, their endpoints
+    filled red — the visual counterpart of the SYNC001/SYNC002 lint rules.
     """
     highlighted = {
         (c.source, c.target, c.condition) for c in highlight
     }
+    race_list = list(races)
+    racing_nodes = {r.first for r in race_list} | {r.second for r in race_list}
     lines = ["digraph %s {" % name.replace(" ", "_")]
     lines.append("  rankdir=TB;")
     lines.append('  node [shape=ellipse fontname="Helvetica" fontsize=10];')
     external = set(sc.externals)
     for node in sc.nodes:
-        if node in external:
+        if node in racing_nodes:
+            lines.append(
+                "  %s [style=filled fillcolor=mistyrose color=red];" % _quote(node)
+            )
+        elif node in external:
             lines.append("  %s [shape=box style=filled fillcolor=lightgray];" % _quote(node))
         else:
             lines.append("  %s;" % _quote(node))
@@ -94,6 +104,12 @@ def constraint_set_to_dot(
                 _quote(constraint.target),
                 " [%s]" % " ".join(attributes) if attributes else "",
             )
+        )
+    for race in sorted(race_list, key=lambda r: (r.variable, r.first, r.second)):
+        lines.append(
+            '  %s -> %s [dir=both style=dashed color=red label="race: %s" '
+            "fontcolor=red constraint=false];"
+            % (_quote(race.first), _quote(race.second), race.variable)
         )
     lines.append("}")
     return "\n".join(lines) + "\n"

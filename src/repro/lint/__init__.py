@@ -1,0 +1,100 @@
+"""Static analysis of synchronization specifications.
+
+The paper's thesis is that making synchronization dependencies explicit
+and first-class makes processes *analyzable*; :mod:`repro.lint` is that
+analyzer.  It runs a registry of rules — synchronization races, protocol
+conformance, dead activities, redundancy, over-/under-specification —
+over a :class:`~repro.core.constraints.SynchronizationConstraintSet`
+(plus, optionally, the process model, construct tree and WSCL
+conversations) and reports :class:`Diagnostic` findings with stable rule
+codes, severities, source locations, evidence and fix suggestions, in
+text, JSON or SARIF 2.1.0.
+
+Typical use::
+
+    from repro.lint import LintContext, LintConfig, run_lint, render
+
+    context = LintContext.from_weave(weave_result)
+    report = run_lint(context, LintConfig.from_codes(ignore=["RED"]))
+    print(render(report, "text"))
+    exit(report.exit_code())
+"""
+
+from repro.lint.baseline import Baseline, Suppression
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+    activity_location,
+    constraint_location,
+)
+from repro.lint.engine import (
+    LintConfig,
+    LintContext,
+    Rule,
+    all_rules,
+    get_rule,
+    rule,
+    run_lint,
+)
+from repro.lint.formats import (
+    FORMATS,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+    report_dict,
+    sarif_dict,
+)
+from repro.lint.protocol import (
+    ProtocolViolation,
+    UnmatchedCallback,
+    check_callback_matching,
+    check_invocation_order,
+)
+from repro.lint.races import (
+    READ_WRITE,
+    WRITE_WRITE,
+    Race,
+    access_maps_from_process,
+    find_races,
+    find_races_from_accesses,
+    ordered_pairs,
+)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "FORMATS",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "ProtocolViolation",
+    "READ_WRITE",
+    "Race",
+    "Rule",
+    "Severity",
+    "SourceLocation",
+    "Suppression",
+    "UnmatchedCallback",
+    "WRITE_WRITE",
+    "access_maps_from_process",
+    "activity_location",
+    "all_rules",
+    "check_callback_matching",
+    "check_invocation_order",
+    "constraint_location",
+    "find_races",
+    "find_races_from_accesses",
+    "get_rule",
+    "ordered_pairs",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "report_dict",
+    "rule",
+    "run_lint",
+    "sarif_dict",
+]

@@ -1,0 +1,124 @@
+"""Baseline suppression files.
+
+A baseline records the fingerprints of *known* findings so that adopting
+the linter on an existing specification does not require fixing every
+legacy warning at once: baselined findings are reported as *suppressed*
+and do not gate the exit code.  New findings — anything not in the
+baseline — still fail the build.
+
+The file is JSON, diff-friendly (sorted, one suppression per entry) and
+versioned::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"fingerprint": "ab12...", "code": "SYNC002", "message": "..."}
+      ]
+    }
+
+``code`` and ``message`` are informational (they make the file reviewable);
+matching is by fingerprint only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baselined finding."""
+
+    fingerprint: str
+    code: str = ""
+    message: str = ""
+
+
+class Baseline:
+    """A set of suppressed finding fingerprints."""
+
+    def __init__(self, suppressions: Iterable[Suppression] = ()) -> None:
+        self._by_fingerprint: Dict[str, Suppression] = {}
+        for suppression in suppressions:
+            self._by_fingerprint[suppression.fingerprint] = suppression
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        """A baseline accepting every current finding (adoption mode)."""
+        return cls(
+            Suppression(
+                fingerprint=diagnostic.fingerprint,
+                code=diagnostic.code,
+                message=diagnostic.message,
+            )
+            for diagnostic in diagnostics
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                "unsupported baseline version %r (expected %d)"
+                % (version, BASELINE_VERSION)
+            )
+        suppressions = [
+            Suppression(
+                fingerprint=entry["fingerprint"],
+                code=entry.get("code", ""),
+                message=entry.get("message", ""),
+            )
+            for entry in payload.get("suppressions", [])
+        ]
+        return cls(suppressions)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- queries ------------------------------------------------------------
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        return diagnostic.fingerprint in self._by_fingerprint
+
+    @property
+    def suppressions(self) -> List[Suppression]:
+        return sorted(
+            self._by_fingerprint.values(), key=lambda s: (s.code, s.fingerprint)
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._by_fingerprint
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "version": BASELINE_VERSION,
+            "suppressions": [
+                {
+                    "fingerprint": suppression.fingerprint,
+                    "code": suppression.code,
+                    "message": suppression.message,
+                }
+                for suppression in self.suppressions
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

@@ -1,0 +1,232 @@
+"""Diagnostics: severities, source locations, findings and reports.
+
+Every static-analysis rule (:mod:`repro.lint.rules`) emits
+:class:`Diagnostic` records carrying a **stable rule code** (``SYNC001``,
+``SVC002`` ...), a :class:`Severity`, a :class:`SourceLocation` pointing at
+the offending activity/constraint/port (optionally with the line span of
+the corresponding DSCL statement), free-text evidence, and — where the
+analysis knows one — a concrete fix suggestion.
+
+A :class:`LintReport` aggregates the findings of one engine run and knows
+how to gate: ``exit_code(fail_on)`` is what the CLI returns, so CI can
+fail a build on any finding at or above a chosen severity.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """Finding severity, ordered ``info < warning < error``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def at_least(self, threshold: "Severity") -> bool:
+        return self.rank >= threshold.rank
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        for severity in cls:
+            if severity.value == name:
+                return severity
+        raise ValueError(
+            "unknown severity %r (expected info, warning or error)" % name
+        )
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a finding points.
+
+    ``kind`` classifies the logical location (``activity``, ``constraint``,
+    ``port``, ``service``, ``variable`` or ``process``); ``name`` is the
+    model element's name (for constraints, the ``source -> target``
+    rendering).  ``span`` optionally carries the 1-based ``(first, last)``
+    line range of the corresponding statement in the canonical DSCL
+    rendering of the specification, so editors and SARIF viewers can jump
+    to a textual position.
+    """
+
+    kind: str
+    name: str
+    span: Optional[Tuple[int, int]] = None
+
+    @property
+    def fully_qualified(self) -> str:
+        return "%s:%s" % (self.kind, self.name)
+
+    def __str__(self) -> str:
+        if self.span is not None:
+            return "%s (dscl:%d-%d)" % (self.fully_qualified, *self.span)
+        return self.fully_qualified
+
+
+def activity_location(name: str) -> SourceLocation:
+    return SourceLocation("activity", name)
+
+
+def constraint_location(
+    source: str,
+    target: str,
+    condition: Optional[str] = None,
+    span: Optional[Tuple[int, int]] = None,
+) -> SourceLocation:
+    if condition is None:
+        rendered = "%s -> %s" % (source, target)
+    else:
+        rendered = "%s ->%s %s" % (source, condition, target)
+    return SourceLocation("constraint", rendered, span=span)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule.
+
+    ``evidence`` holds the facts the rule based its verdict on (variable
+    names, covering paths, cycle members ...) — the analogue of the
+    dependency ``rationale`` the paper insists on keeping first-class.
+    ``fix`` is a human-actionable suggestion, when the rule can compute one.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: SourceLocation
+    related: Tuple[SourceLocation, ...] = ()
+    evidence: Tuple[str, ...] = ()
+    fix: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline suppression.
+
+        Hashes the rule code, the primary and related locations and the
+        evidence — everything that identifies *this* finding, nothing that
+        depends on rule wording or finding order.
+        """
+        parts = [self.code, self.location.fully_qualified]
+        parts.extend(sorted(loc.fully_qualified for loc in self.related))
+        parts.extend(sorted(self.evidence))
+        digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+        return digest[:16]
+
+    def with_severity(self, severity: Severity) -> "Diagnostic":
+        return replace(self, severity=severity)
+
+    def render(self) -> str:
+        """One-finding textual rendering (multi-line)."""
+        lines = [
+            "%s %s [%s] %s" % (self.severity.value, self.code, self.location, self.message)
+        ]
+        for item in self.evidence:
+            lines.append("    evidence: %s" % item)
+        if self.fix:
+            lines.append("    fix: %s" % self.fix)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return "%s %s: %s" % (self.code, self.severity.value, self.message)
+
+
+#: Sort key: errors first, then code, then location — deterministic output.
+def _order_key(diagnostic: Diagnostic) -> Tuple:
+    return (
+        -diagnostic.severity.rank,
+        diagnostic.code,
+        diagnostic.location.fully_qualified,
+        diagnostic.message,
+    )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings of one lint run.
+
+    ``findings`` are the active diagnostics; ``suppressed`` are findings
+    matched by the baseline file (kept so tooling can report "N suppressed"
+    and so a stale baseline is detectable).
+    """
+
+    findings: Tuple[Diagnostic, ...]
+    suppressed: Tuple[Diagnostic, ...] = ()
+    rules_run: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_diagnostics(
+        cls,
+        diagnostics: List[Diagnostic],
+        suppressed: List[Diagnostic] = (),
+        rules_run: Tuple[str, ...] = (),
+    ) -> "LintReport":
+        return cls(
+            findings=tuple(sorted(diagnostics, key=_order_key)),
+            suppressed=tuple(sorted(suppressed, key=_order_key)),
+            rules_run=tuple(rules_run),
+        )
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.findings if d.code == code)
+
+    def by_severity(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.findings if d.severity is severity)
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts = {severity.value: 0 for severity in Severity}
+        for diagnostic in self.findings:
+            counts[diagnostic.severity.value] += 1
+        return counts
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max((d.severity for d in self.findings), key=lambda s: s.rank)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.findings)
+
+    def gating(self, fail_on: Severity = Severity.ERROR) -> Tuple[Diagnostic, ...]:
+        """Findings at or above the ``fail_on`` threshold."""
+        return tuple(d for d in self.findings if d.severity.at_least(fail_on))
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """0 when nothing gates, 1 otherwise — the CLI/CI contract."""
+        return 1 if self.gating(fail_on) else 0
+
+    def summary(self) -> str:
+        counts = self.counts_by_severity()
+        base = "%d finding(s): %d error, %d warning, %d info" % (
+            len(self.findings),
+            counts["error"],
+            counts["warning"],
+            counts["info"],
+        )
+        if self.suppressed:
+            base += " (%d suppressed by baseline)" % len(self.suppressed)
+        return base
+
+
+# Re-exported by repro.lint; kept here so formats.py and engine.py share them
+# without circular imports.
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SourceLocation",
+    "activity_location",
+    "constraint_location",
+]

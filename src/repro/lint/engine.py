@@ -1,0 +1,291 @@
+"""The lint engine: analysis context, rule registry and runner.
+
+Rules are plain functions ``check(context) -> Iterable[Diagnostic]``
+registered with the :func:`rule` decorator under a stable code.  The
+engine (:func:`run_lint`) runs every enabled rule over a
+:class:`LintContext` — the bundle of process model, constraint sets and
+derived caches the rules share — then applies per-rule selection and
+baseline suppression and returns a
+:class:`~repro.lint.diagnostics.LintReport`.
+
+Rule codes are grouped by prefix, which ``--select``/``--ignore`` honor:
+
+* ``SYNC`` — synchronization safety (races, cycles, dead activities);
+* ``SVC``  — service-protocol conformance;
+* ``RED``  — redundancy (constraints the minimizer would remove);
+* ``SPEC`` — over-/under-specification of a constructs tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.conditions import Fact
+from repro.core.closure import Semantics, closure_map
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.dscl.ast import Exclusive, HappenBefore, Program
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.model.process import BusinessProcess
+from repro.validation.conflicts import ConflictReport, find_conflicts
+from repro.wscl.model import Conversation
+
+CheckFunction = Callable[["LintContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered analyzer."""
+
+    code: str
+    name: str
+    summary: str
+    severity: Severity
+    check: CheckFunction
+
+    def run(self, context: "LintContext") -> List[Diagnostic]:
+        return list(self.check(context))
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    code: str, name: str, summary: str, severity: Severity
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Register ``check`` under ``code``; duplicate codes are a bug."""
+
+    def register(check: CheckFunction) -> CheckFunction:
+        if code in _REGISTRY:
+            raise ValueError("rule code %r registered twice" % code)
+        _REGISTRY[code] = Rule(
+            code=code, name=name, summary=summary, severity=severity, check=check
+        )
+        return check
+
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            "unknown rule code %r (known: %s)" % (code, ", ".join(sorted(_REGISTRY)))
+        ) from None
+
+
+def _ensure_rules_loaded() -> None:
+    # The built-in rules live in repro.lint.rules and self-register on
+    # import; importing lazily here avoids a circular import at load time.
+    import repro.lint.rules  # noqa: F401
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule selection, severity gating and baseline suppression.
+
+    ``select``/``ignore`` hold exact rule codes or prefixes (``"SYNC"``
+    enables/disables the whole group).  ``select=None`` means *all rules*.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    fail_on: Severity = Severity.ERROR
+    baseline: Optional[Baseline] = None
+
+    @classmethod
+    def from_codes(
+        cls,
+        select: Iterable[str] = (),
+        ignore: Iterable[str] = (),
+        fail_on: str = "error",
+        baseline: Optional[Baseline] = None,
+    ) -> "LintConfig":
+        selected = frozenset(code.strip().upper() for code in select if code.strip())
+        return cls(
+            select=selected or None,
+            ignore=frozenset(code.strip().upper() for code in ignore if code.strip()),
+            fail_on=Severity.from_name(fail_on),
+            baseline=baseline,
+        )
+
+    def enabled(self, code: str) -> bool:
+        def matches(patterns: FrozenSet[str]) -> bool:
+            return any(code == p or code.startswith(p) for p in patterns)
+
+        if self.select is not None and not matches(self.select):
+            return False
+        return not matches(self.ignore)
+
+
+class LintContext:
+    """Everything the rules may consult, with shared caches.
+
+    ``sc`` is the set the rules analyze — normally the translated ``ASC``
+    (activities only, full ordering information).  ``merged`` optionally
+    carries the pre-translation set (with external port nodes) for rules
+    that want to look at service ports directly.
+    """
+
+    def __init__(
+        self,
+        sc: SynchronizationConstraintSet,
+        process: Optional[BusinessProcess] = None,
+        merged: Optional[SynchronizationConstraintSet] = None,
+        minimal: Optional[SynchronizationConstraintSet] = None,
+        exclusives: Iterable[Exclusive] = (),
+        program: Optional[Program] = None,
+        construct=None,
+        conversations: Iterable[Conversation] = (),
+        reads: Optional[Mapping[str, Set[str]]] = None,
+        writes: Optional[Mapping[str, Set[str]]] = None,
+        semantics: Semantics = Semantics.GUARD_AWARE,
+    ) -> None:
+        self.sc = sc
+        self.process = process
+        self.merged = merged
+        self.exclusives: Tuple[Exclusive, ...] = tuple(exclusives)
+        self.program = program
+        self.construct = construct
+        self.conversations: Tuple[Conversation, ...] = tuple(conversations)
+        self.reads = reads
+        self.writes = writes
+        self.semantics = semantics
+        self._minimal = minimal
+        self._closure: Optional[Dict[str, FrozenSet[Fact]]] = None
+        self._conflicts: Optional[ConflictReport] = None
+        self._spans: Optional[Dict[Tuple[str, str, Optional[str]], Tuple[int, int]]] = None
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_weave(cls, result, construct=None, conversations=()) -> "LintContext":
+        """Context over a :class:`~repro.core.pipeline.WeaveResult`."""
+        return cls(
+            sc=result.asc,
+            process=result.process,
+            merged=result.merged,
+            minimal=result.minimal,
+            exclusives=result.exclusives,
+            program=result.program,
+            construct=construct,
+            conversations=conversations,
+            semantics=result.semantics,
+        )
+
+    @classmethod
+    def from_constraints(
+        cls,
+        sc: SynchronizationConstraintSet,
+        process: Optional[BusinessProcess] = None,
+        **kwargs,
+    ) -> "LintContext":
+        """Context over a bare constraint set (no pipeline run required)."""
+        return cls(sc=sc, process=process, **kwargs)
+
+    # -- shared caches ------------------------------------------------------
+
+    @property
+    def has_cycles(self) -> bool:
+        return bool(self.conflicts.cycles)
+
+    @property
+    def conflicts(self) -> ConflictReport:
+        if self._conflicts is None:
+            self._conflicts = find_conflicts(self.sc, exclusives=self.exclusives)
+        return self._conflicts
+
+    @property
+    def minimal(self) -> Optional[SynchronizationConstraintSet]:
+        """The minimized set; computed on demand, never for cyclic input."""
+        if self._minimal is None and not self.has_cycles:
+            from repro.core.minimize import minimize
+
+            self._minimal = minimize(self.sc, semantics=self.semantics)
+        return self._minimal
+
+    def closure(self) -> Dict[str, FrozenSet[Fact]]:
+        if self._closure is None:
+            self._closure = closure_map(self.sc, self.semantics)
+        return self._closure
+
+    def ordered(self, first: str, second: str) -> bool:
+        """Does ``first`` precede ``second`` whenever both run?"""
+        facts = self.closure().get(first, frozenset())
+        return any(target == second and not anns for target, anns in facts)
+
+    def span_of(self, constraint: Constraint) -> Optional[Tuple[int, int]]:
+        """Line span of the constraint's DSCL statement, if a program is
+        attached.  Lines are 1-based into the canonical
+        :func:`repro.dscl.printer.to_text` rendering (provenance comments
+        included)."""
+        if self.program is None:
+            return None
+        if self._spans is None:
+            self._spans = _program_spans(self.program)
+        return self._spans.get(
+            (constraint.source, constraint.target, constraint.condition)
+        )
+
+
+def _program_spans(
+    program: Program,
+) -> Dict[Tuple[str, str, Optional[str]], Tuple[int, int]]:
+    """Map ``(source, target, condition)`` to DSCL statement line spans."""
+    spans: Dict[Tuple[str, str, Optional[str]], Tuple[int, int]] = {}
+    line = 0
+    for statement in program:
+        first = line + 1
+        if getattr(statement, "provenance", ""):
+            line += 1  # the "# provenance" comment line
+        line += 1  # the statement itself
+        if isinstance(statement, HappenBefore):
+            key = (
+                statement.left.activity,
+                statement.right.activity,
+                statement.condition,
+            )
+            spans.setdefault(key, (first, line))
+    return spans
+
+
+def run_lint(
+    context: LintContext, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run every enabled rule over ``context`` and assemble the report."""
+    if config is None:
+        config = LintConfig()
+    findings: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    rules_run: List[str] = []
+    for registered in all_rules():
+        if not config.enabled(registered.code):
+            continue
+        rules_run.append(registered.code)
+        for diagnostic in registered.run(context):
+            if config.baseline is not None and config.baseline.matches(diagnostic):
+                suppressed.append(diagnostic)
+            else:
+                findings.append(diagnostic)
+    return LintReport.from_diagnostics(
+        findings, suppressed, rules_run=tuple(rules_run)
+    )

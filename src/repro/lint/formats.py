@@ -1,0 +1,213 @@
+"""Output formats for lint reports: text, JSON and SARIF 2.1.0.
+
+The SARIF output targets the OASIS SARIF 2.1.0 schema so findings can be
+uploaded to code-scanning UIs.  Process models have no physical files, so
+findings carry **logical locations** (``activity:shipOrder_so``,
+``constraint:a -> b``); when the engine knows the line span of the
+corresponding DSCL statement it also attaches a physical location into the
+canonical ``<workload>.dscl`` rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity, SourceLocation
+from repro.lint.engine import Rule, all_rules
+
+TEXT = "text"
+JSON = "json"
+SARIF = "sarif"
+FORMATS = (TEXT, JSON, SARIF)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "dscweaver-lint"
+TOOL_INFORMATION_URI = (
+    "https://doi.org/10.1109/ICDE.2007.367857"  # the source paper
+)
+
+#: SARIF ``level`` values for our severities.
+_SARIF_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def render(
+    report: LintReport,
+    fmt: str = TEXT,
+    title: str = "specification",
+) -> str:
+    """Render ``report`` in ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == TEXT:
+        return render_text(report, title=title)
+    if fmt == JSON:
+        return render_json(report, title=title)
+    if fmt == SARIF:
+        return render_sarif(report, title=title)
+    raise ValueError("unknown format %r (expected one of %s)" % (fmt, ", ".join(FORMATS)))
+
+
+# ---------------------------------------------------------------------------
+# text
+# ---------------------------------------------------------------------------
+
+
+def render_text(report: LintReport, title: str = "specification") -> str:
+    lines: List[str] = ["lint results for %s" % title]
+    if not report.findings and not report.suppressed:
+        lines.append("  no findings")
+    for diagnostic in report.findings:
+        for rendered in diagnostic.render().splitlines():
+            lines.append("  " + rendered)
+    if report.suppressed:
+        lines.append(
+            "  (%d finding(s) suppressed by baseline)" % len(report.suppressed)
+        )
+    lines.append(report.summary())
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# json
+# ---------------------------------------------------------------------------
+
+
+def _location_dict(location: SourceLocation) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"kind": location.kind, "name": location.name}
+    if location.span is not None:
+        payload["span"] = {"first_line": location.span[0], "last_line": location.span[1]}
+    return payload
+
+
+def _diagnostic_dict(diagnostic: Diagnostic) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "code": diagnostic.code,
+        "severity": diagnostic.severity.value,
+        "message": diagnostic.message,
+        "location": _location_dict(diagnostic.location),
+        "fingerprint": diagnostic.fingerprint,
+    }
+    if diagnostic.related:
+        payload["related"] = [_location_dict(loc) for loc in diagnostic.related]
+    if diagnostic.evidence:
+        payload["evidence"] = list(diagnostic.evidence)
+    if diagnostic.fix is not None:
+        payload["fix"] = diagnostic.fix
+    return payload
+
+
+def report_dict(report: LintReport, title: str = "specification") -> Dict[str, Any]:
+    """The JSON-format payload as a plain dict (useful for embedding)."""
+    return {
+        "tool": TOOL_NAME,
+        "subject": title,
+        "rules_run": list(report.rules_run),
+        "counts": report.counts_by_severity(),
+        "findings": [_diagnostic_dict(d) for d in report.findings],
+        "suppressed": [_diagnostic_dict(d) for d in report.suppressed],
+    }
+
+
+def render_json(report: LintReport, title: str = "specification") -> str:
+    return json.dumps(report_dict(report, title=title), indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0
+# ---------------------------------------------------------------------------
+
+
+def _sarif_location(
+    location: SourceLocation, title: str, message: Optional[str] = None
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "logicalLocations": [
+            {
+                "name": location.name,
+                "fullyQualifiedName": location.fully_qualified,
+                "kind": location.kind,
+            }
+        ]
+    }
+    if location.span is not None:
+        payload["physicalLocation"] = {
+            "artifactLocation": {"uri": "%s.dscl" % title},
+            "region": {
+                "startLine": location.span[0],
+                "endLine": location.span[1],
+            },
+        }
+    if message is not None:
+        payload["message"] = {"text": message}
+    return payload
+
+
+def _sarif_rule(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
+    }
+
+
+def _sarif_result(diagnostic: Diagnostic, title: str, suppressed: bool) -> Dict[str, Any]:
+    message = diagnostic.message
+    if diagnostic.evidence:
+        message += "\n" + "\n".join("evidence: %s" % e for e in diagnostic.evidence)
+    if diagnostic.fix:
+        message += "\nfix: %s" % diagnostic.fix
+    result: Dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": _SARIF_LEVELS[diagnostic.severity],
+        "message": {"text": message},
+        "locations": [_sarif_location(diagnostic.location, title)],
+        "partialFingerprints": {"dscweaverFingerprint/v1": diagnostic.fingerprint},
+    }
+    if diagnostic.related:
+        result["relatedLocations"] = [
+            _sarif_location(loc, title, message="related location")
+            for loc in diagnostic.related
+        ]
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def sarif_dict(report: LintReport, title: str = "specification") -> Dict[str, Any]:
+    """The SARIF 2.1.0 log as a plain dict."""
+    ran = set(report.rules_run)
+    rules = [r for r in all_rules() if not ran or r.code in ran]
+    results = [_sarif_result(d, title, suppressed=False) for d in report.findings]
+    results.extend(
+        _sarif_result(d, title, suppressed=True) for d in report.suppressed
+    )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_INFORMATION_URI,
+                        "rules": [_sarif_rule(r) for r in rules],
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, title: str = "specification") -> str:
+    return json.dumps(sarif_dict(report, title=title), indent=2, sort_keys=True) + "\n"

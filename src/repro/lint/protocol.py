@@ -1,0 +1,233 @@
+"""Static service-protocol conformance checking.
+
+Section 4 of the paper warns that missing orderings cause protocol faults
+at *state-aware* services (invoking ``Purchase2`` before ``Purchase1``
+faults the Purchase service at runtime).  This module checks conformance
+statically, before anything executes:
+
+* **Invocation-order conformance** — for every WSCL conversation (derived
+  from the declared :class:`~repro.model.service.Service` objects or
+  supplied as :class:`~repro.wscl.model.Conversation` documents), every
+  transition between ports ``p -> q`` must be respected by the constraint
+  set: each activity bound to ``p`` must happen before each activity bound
+  to ``q`` in every execution where both run.
+* **Callback matching** — every asynchronous invoke must have a matching
+  receive on the service's callback port that is reachable (ordered after
+  the invoke) and can co-occur with it; otherwise the callback is lost and
+  the process deadlocks or drops a message.
+
+Both checks are guard-aware: a violating pair whose execution guards are
+contradictory (exclusive branch arms) is not reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.conditions import is_contradictory
+from repro.core.closure import Semantics
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.lint.races import ordered_pairs
+from repro.model.activity import ActivityKind
+from repro.model.process import BusinessProcess
+from repro.wscl.derive import (
+    conversation_for_service,
+    service_dependencies_from_conversation,
+)
+from repro.wscl.model import Conversation
+
+
+@dataclass(frozen=True)
+class ProtocolViolation:
+    """A pair of port-bound activities violating a conversation ordering."""
+
+    service: str
+    conversation: str
+    earlier_port: str
+    later_port: str
+    earlier_activity: str
+    later_activity: str
+
+    def __str__(self) -> str:
+        return (
+            "conversation %r of service %r requires port %s before %s, but "
+            "%r is not ordered before %r"
+            % (
+                self.conversation,
+                self.service,
+                self.earlier_port,
+                self.later_port,
+                self.earlier_activity,
+                self.later_activity,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class UnmatchedCallback:
+    """An async invoke with no reachable matching receive."""
+
+    service: str
+    invoke: str
+    callback_port: str
+    #: Receives that exist on the callback port but are not reachable from
+    #: the invoke (empty when the process declares no receive at all).
+    candidates: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.candidates:
+            return (
+                "async invoke %r of service %r has no receive listening on "
+                "callback port %s" % (self.invoke, self.service, self.callback_port)
+            )
+        return (
+            "async invoke %r of service %r has no *reachable* matching receive "
+            "on %s (candidates: %s)"
+            % (
+                self.invoke,
+                self.service,
+                self.callback_port,
+                ", ".join(self.candidates),
+            )
+        )
+
+
+def port_actors(process: BusinessProcess) -> Dict[str, List[str]]:
+    """Map ``port display name -> activities bound to it``.
+
+    Invoke activities are the actors of request ports; receive activities
+    are the actors of (dummy) callback ports.
+    """
+    actors: Dict[str, List[str]] = {}
+    for activity in process.activities:
+        if activity.port is None:
+            continue
+        if activity.kind in (ActivityKind.INVOKE, ActivityKind.RECEIVE):
+            actors.setdefault(activity.port.port, []).append(activity.name)
+    return actors
+
+
+def conversations_for_process(
+    process: BusinessProcess,
+    conversations: Iterable[Conversation] = (),
+) -> List[Conversation]:
+    """Supplied conversations, plus derived ones for undeclared services."""
+    supplied = list(conversations)
+    covered = {conversation.service for conversation in supplied}
+    for service in process.services:
+        if service.name not in covered:
+            supplied.append(conversation_for_service(service))
+    return supplied
+
+
+def check_invocation_order(
+    sc: SynchronizationConstraintSet,
+    process: BusinessProcess,
+    conversations: Iterable[Conversation] = (),
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> List[ProtocolViolation]:
+    """Find activity pairs that violate a conversation's port ordering."""
+    ordered = ordered_pairs(sc, semantics)
+    actors = port_actors(process)
+    known = set(sc.activities)
+
+    violations: List[ProtocolViolation] = []
+    nodes = set(sc.nodes)
+    for conversation in conversations_for_process(process, conversations):
+        for dependency in service_dependencies_from_conversation(conversation):
+            earlier_port, later_port = dependency.source, dependency.target
+            # Pre-translation sets keep the external port nodes; a port-level
+            # ordering there is enforced service-side by the runtime, which
+            # already rules out the protocol fault (Section 4.3 merely
+            # *translates* it onto activities for optimization).
+            if (
+                earlier_port in nodes
+                and later_port in nodes
+                and (earlier_port, later_port) in ordered
+            ):
+                continue
+            for earlier_activity in sorted(actors.get(earlier_port, ())):
+                for later_activity in sorted(actors.get(later_port, ())):
+                    if earlier_activity == later_activity:
+                        continue
+                    if earlier_activity not in known or later_activity not in known:
+                        continue
+                    if (earlier_activity, later_activity) in ordered:
+                        continue
+                    guards = sc.effective_guard(earlier_activity) | sc.effective_guard(
+                        later_activity
+                    )
+                    if is_contradictory(guards):
+                        continue  # exclusive branch arms never co-occur
+                    violations.append(
+                        ProtocolViolation(
+                            service=conversation.service,
+                            conversation=conversation.name,
+                            earlier_port=earlier_port,
+                            later_port=later_port,
+                            earlier_activity=earlier_activity,
+                            later_activity=later_activity,
+                        )
+                    )
+    return violations
+
+
+def check_callback_matching(
+    sc: SynchronizationConstraintSet,
+    process: BusinessProcess,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> List[UnmatchedCallback]:
+    """Find async invokes with no reachable matching receive."""
+    ordered = ordered_pairs(sc, semantics)
+    known = set(sc.activities)
+
+    receives_by_port: Dict[str, List[str]] = {}
+    for activity in process.activities:
+        if activity.kind is ActivityKind.RECEIVE and activity.port is not None:
+            receives_by_port.setdefault(activity.port.port, []).append(activity.name)
+
+    unmatched: List[UnmatchedCallback] = []
+    for service in process.services:
+        if service.dummy_port is None:
+            continue
+        callback_port = service.dummy_port.name
+        candidates = sorted(receives_by_port.get(callback_port, ()))
+        for activity in process.activities:
+            if activity.kind is not ActivityKind.INVOKE:
+                continue
+            if activity.port is None or activity.port.service != service.name:
+                continue
+            if activity.name not in known:
+                continue
+            matched = _matching_receive(
+                sc, ordered, activity.name, candidates, known
+            )
+            if matched is None:
+                unmatched.append(
+                    UnmatchedCallback(
+                        service=service.name,
+                        invoke=activity.name,
+                        callback_port=callback_port,
+                        candidates=tuple(candidates),
+                    )
+                )
+    return unmatched
+
+
+def _matching_receive(
+    sc: SynchronizationConstraintSet,
+    ordered: Set[Tuple[str, str]],
+    invoke: str,
+    candidates: Iterable[str],
+    known: Set[str],
+) -> Optional[str]:
+    invoke_guard = sc.effective_guard(invoke)
+    for receive in candidates:
+        if receive not in known:
+            continue
+        if is_contradictory(invoke_guard | sc.effective_guard(receive)):
+            continue  # the receive never runs when the invoke does
+        if (invoke, receive) in ordered:
+            return receive
+    return None

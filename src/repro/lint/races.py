@@ -1,0 +1,206 @@
+"""Static synchronization-race detection.
+
+The paper's central claim is that explicit dependencies make
+synchronization *analyzable*; this module is the analysis that claim begs
+for.  Two activities **race** on a variable ``v`` when
+
+* both access ``v`` and at least one access is a write,
+* no happen-before path orders them — in *either* direction — in every
+  execution where both run, and
+* they can actually co-occur (activities on exclusive branch arms, whose
+  execution guards are contradictory, never race — the guard-awareness
+  that keeps ``set_oi`` vs. ``recPurchase_oi`` in Purchasing from
+  false-positiving), and no ``Exclusive`` relation serializes them at
+  runtime.
+
+Ordering is judged on the guard-aware annotated closure
+(:mod:`repro.core.closure`): a fact ``b`` in ``a+`` with an *empty*
+residual annotation set means ``a`` precedes ``b`` in every execution in
+which both run (annotations implied by either endpoint's own execution
+guard are already stripped, and complementary conditional facts are
+merged).  A fact that survives only under some extra condition does **not**
+order the pair — on the other branch both run unordered, which is exactly
+a race.
+
+Because minimization preserves guard-aware transitive equivalence, a
+minimal constraint set is race-free **iff** the full set is — a property
+the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.conditions import is_contradictory
+from repro.core.closure import Semantics, closure_map
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.dscl.ast import Exclusive
+from repro.model.process import BusinessProcess
+
+#: Access maps: variable -> the activities reading / writing it.
+AccessMap = Mapping[str, AbstractSet[str]]
+
+WRITE_WRITE = "write/write"
+READ_WRITE = "read/write"
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unordered pair of conflicting accesses to one variable.
+
+    ``first``/``second`` are sorted lexicographically (the pair is
+    symmetric); ``kind`` is :data:`WRITE_WRITE` or :data:`READ_WRITE`.  For
+    read/write races ``writer`` names the writing side.
+    """
+
+    variable: str
+    first: str
+    second: str
+    kind: str
+    writer: str = ""
+
+    def __str__(self) -> str:
+        return "%s race on %r between %r and %r" % (
+            self.kind,
+            self.variable,
+            self.first,
+            self.second,
+        )
+
+
+def access_maps_from_process(
+    process: BusinessProcess,
+) -> Tuple[Dict[str, Set[str]], Dict[str, Set[str]]]:
+    """``(reads, writes)`` maps ``variable -> accessing activities``."""
+    reads: Dict[str, Set[str]] = {}
+    writes: Dict[str, Set[str]] = {}
+    for activity in process.activities:
+        for variable in activity.reads:
+            reads.setdefault(variable, set()).add(activity.name)
+        for variable in activity.writes:
+            writes.setdefault(variable, set()).add(activity.name)
+    return reads, writes
+
+
+def ordered_pairs(
+    sc: SynchronizationConstraintSet,
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> Set[Tuple[str, str]]:
+    """All pairs ``(a, b)`` such that ``a`` precedes ``b`` whenever both run.
+
+    Under the guard-aware semantics a closure fact with an empty residual
+    annotation set is exactly that guarantee; under strict/reachability
+    semantics the same criterion degrades gracefully (strict keeps more
+    annotations, so it reports fewer ordered pairs — a sound
+    over-approximation of racing).
+    """
+    pairs: Set[Tuple[str, str]] = set()
+    for source, facts in closure_map(sc, semantics).items():
+        for target, annotations in facts:
+            if not annotations:
+                pairs.add((source, target))
+    return pairs
+
+
+def _exclusive_pairs(exclusives: Iterable[Exclusive]) -> Set[FrozenSet[str]]:
+    return {
+        frozenset({exclusive.left.activity, exclusive.right.activity})
+        for exclusive in exclusives
+    }
+
+
+def find_races_from_accesses(
+    sc: SynchronizationConstraintSet,
+    reads: AccessMap,
+    writes: AccessMap,
+    exclusives: Iterable[Exclusive] = (),
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> List[Race]:
+    """Race detection given explicit variable-access maps.
+
+    Activities unknown to ``sc`` are ignored (a caller may pass a process
+    whose activity set is a superset of the constraint set's).
+    """
+    known = set(sc.activities)
+    ordered = ordered_pairs(sc, semantics)
+    serialized = _exclusive_pairs(exclusives)
+
+    def is_race(a: str, b: str) -> bool:
+        if a == b or a not in known or b not in known:
+            return False
+        if (a, b) in ordered or (b, a) in ordered:
+            return False
+        if frozenset({a, b}) in serialized:
+            return False
+        # Exclusive branch arms: contradictory execution guards mean the
+        # two activities never co-occur in any single execution.
+        if is_contradictory(sc.effective_guard(a) | sc.effective_guard(b)):
+            return False
+        return True
+
+    races: Dict[Tuple[str, str, str], Race] = {}
+    variables = sorted(set(reads) | set(writes))
+    for variable in variables:
+        variable_writers = sorted(writes.get(variable, ()))
+        variable_readers = sorted(reads.get(variable, ()))
+        for i, first_writer in enumerate(variable_writers):
+            for second_writer in variable_writers[i + 1 :]:
+                if is_race(first_writer, second_writer):
+                    key = (variable, first_writer, second_writer)
+                    races[key] = Race(
+                        variable=variable,
+                        first=first_writer,
+                        second=second_writer,
+                        kind=WRITE_WRITE,
+                    )
+        for writer in variable_writers:
+            for reader in variable_readers:
+                if reader == writer:
+                    continue
+                pair = tuple(sorted((writer, reader)))
+                key = (variable, pair[0], pair[1])
+                if key in races:
+                    continue  # already a write/write race on this pair
+                if is_race(writer, reader):
+                    races[key] = Race(
+                        variable=variable,
+                        first=pair[0],
+                        second=pair[1],
+                        kind=READ_WRITE,
+                        writer=writer,
+                    )
+    return [races[key] for key in sorted(races)]
+
+
+def find_races(
+    sc: SynchronizationConstraintSet,
+    process: Optional[BusinessProcess] = None,
+    reads: Optional[AccessMap] = None,
+    writes: Optional[AccessMap] = None,
+    exclusives: Iterable[Exclusive] = (),
+    semantics: Semantics = Semantics.GUARD_AWARE,
+) -> List[Race]:
+    """Race detection over a constraint set.
+
+    Accesses come from ``process`` (the normal route) or from explicit
+    ``reads``/``writes`` maps (standalone sets in tests and tools).
+    """
+    if process is not None:
+        derived_reads, derived_writes = access_maps_from_process(process)
+        return find_races_from_accesses(
+            sc, derived_reads, derived_writes, exclusives, semantics
+        )
+    return find_races_from_accesses(
+        sc, reads or {}, writes or {}, exclusives, semantics
+    )

@@ -1,0 +1,414 @@
+"""The built-in rule set.
+
+=========  ========  =======================================================
+code       severity  finding
+=========  ========  =======================================================
+SYNC001    warning   write/write race: two writers of a variable unordered
+SYNC002    warning   read/write race: reader and writer unordered
+SYNC003    error     synchronization cycle (infinite synchronization sequence)
+SYNC004    error     dead activity: unsatisfiable execution guard
+SYNC005    info      vacuous Exclusive: endpoints already ordered
+SYNC006    warning   unreachable guard outcome: condition outside the domain
+SVC001     error     service-protocol order violated (WSCL transition)
+SVC002     warning   async invoke without a reachable matching receive
+RED001     info      redundant constraint (the minimizer would remove it)
+SPEC001    warning   over-specified construct ordering (lost concurrency)
+SPEC002    error     under-specified construct ordering (correctness hazard)
+=========  ========  =======================================================
+
+Rules degrade gracefully: a rule that needs an input the context lacks
+(process model, construct tree) yields nothing instead of failing, so the
+engine can run any subset over any context.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceLocation,
+    activity_location,
+    constraint_location,
+)
+from repro.lint.engine import LintContext, rule
+from repro.lint.protocol import check_callback_matching, check_invocation_order
+from repro.lint.races import READ_WRITE, WRITE_WRITE, find_races
+
+
+# ---------------------------------------------------------------------------
+# SYNC: synchronization safety
+# ---------------------------------------------------------------------------
+
+
+def _race_diagnostics(context: LintContext, kind: str) -> Iterator[Diagnostic]:
+    if context.has_cycles:
+        return  # ordering is meaningless until the cycle is fixed
+    races = find_races(
+        context.sc,
+        process=context.process,
+        reads=context.reads,
+        writes=context.writes,
+        exclusives=context.exclusives,
+        semantics=context.semantics,
+    )
+    for race in races:
+        if race.kind != kind:
+            continue
+        code = "SYNC001" if kind == WRITE_WRITE else "SYNC002"
+        if kind == WRITE_WRITE:
+            message = (
+                "activities %r and %r both write variable %r but no "
+                "happen-before path orders them" % (race.first, race.second, race.variable)
+            )
+        else:
+            reader = race.second if race.writer == race.first else race.first
+            message = (
+                "activity %r writes variable %r while %r reads it, with no "
+                "happen-before path between them" % (race.writer, race.variable, reader)
+            )
+        yield Diagnostic(
+            code=code,
+            severity=Severity.WARNING,
+            message=message,
+            location=activity_location(race.first),
+            related=(activity_location(race.second),),
+            evidence=(
+                "variable: %s" % race.variable,
+                "conflict: %s" % race.kind,
+            ),
+            fix=(
+                "add a happen-before constraint %s -> %s (or the reverse), "
+                "e.g. as a cooperation dependency" % (race.first, race.second)
+            ),
+        )
+
+
+@rule(
+    "SYNC001",
+    "race-write-write",
+    "two unordered activities write the same variable",
+    Severity.WARNING,
+)
+def check_write_write_races(context: LintContext) -> Iterable[Diagnostic]:
+    return _race_diagnostics(context, WRITE_WRITE)
+
+
+@rule(
+    "SYNC002",
+    "race-read-write",
+    "an unordered reader/writer pair accesses the same variable",
+    Severity.WARNING,
+)
+def check_read_write_races(context: LintContext) -> Iterable[Diagnostic]:
+    return _race_diagnostics(context, READ_WRITE)
+
+
+@rule(
+    "SYNC003",
+    "synchronization-cycle",
+    "a happen-before cycle can never be scheduled",
+    Severity.ERROR,
+)
+def check_cycles(context: LintContext) -> Iterable[Diagnostic]:
+    for cycle in context.conflicts.cycles:
+        members = list(cycle)
+        rendered = " -> ".join(members + members[:1])
+        yield Diagnostic(
+            code="SYNC003",
+            severity=Severity.ERROR,
+            message="synchronization cycle: %s" % rendered,
+            location=activity_location(members[0]),
+            related=tuple(activity_location(member) for member in members[1:]),
+            evidence=("cycle: %s" % rendered,),
+            fix="remove one constraint on the cycle; an 'infinite "
+            "synchronization sequence' can never be scheduled",
+        )
+
+
+@rule(
+    "SYNC004",
+    "dead-activity",
+    "an activity whose execution guard is unsatisfiable never runs",
+    Severity.ERROR,
+)
+def check_dead_activities(context: LintContext) -> Iterable[Diagnostic]:
+    for activity in context.conflicts.unsatisfiable_guards:
+        guard = context.sc.effective_guard(activity)
+        yield Diagnostic(
+            code="SYNC004",
+            severity=Severity.ERROR,
+            message=(
+                "activity %r can never execute: its effective guard requires "
+                "contradictory outcomes" % activity
+            ),
+            location=activity_location(activity),
+            evidence=(
+                "effective guard: {%s}" % ", ".join(sorted(str(c) for c in guard)),
+            ),
+            fix="restructure the branches so %r is guarded by a satisfiable "
+            "condition, or delete the dead activity" % activity,
+        )
+
+
+@rule(
+    "SYNC005",
+    "vacuous-exclusive",
+    "an Exclusive between transitively ordered activities is vacuous",
+    Severity.INFO,
+)
+def check_vacuous_exclusives(context: LintContext) -> Iterable[Diagnostic]:
+    for rendered in context.conflicts.vacuous_exclusives:
+        yield Diagnostic(
+            code="SYNC005",
+            severity=Severity.INFO,
+            message=(
+                "exclusive %r is vacuous: its endpoints are already ordered "
+                "by happen-before constraints and can never run concurrently"
+                % rendered
+            ),
+            location=SourceLocation("constraint", rendered),
+            fix="drop the Exclusive, or drop the ordering if concurrency "
+            "plus mutual exclusion was intended",
+        )
+
+
+@rule(
+    "SYNC006",
+    "unreachable-outcome",
+    "a condition names an outcome outside the guard's declared domain",
+    Severity.WARNING,
+)
+def check_unreachable_outcomes(context: LintContext) -> Iterable[Diagnostic]:
+    sc = context.sc
+    for constraint in sorted(sc.constraints):
+        if constraint.condition is None:
+            continue
+        domain = sc.domains.domain(constraint.source)
+        if constraint.condition not in domain:
+            yield Diagnostic(
+                code="SYNC006",
+                severity=Severity.WARNING,
+                message=(
+                    "constraint %s is conditioned on outcome %r, which is not "
+                    "in guard %r's domain {%s} — the edge can never fire"
+                    % (
+                        constraint,
+                        constraint.condition,
+                        constraint.source,
+                        ", ".join(sorted(domain)),
+                    )
+                ),
+                location=constraint_location(
+                    constraint.source,
+                    constraint.target,
+                    constraint.condition,
+                    span=context.span_of(constraint),
+                ),
+                evidence=("declared domain: {%s}" % ", ".join(sorted(domain)),),
+                fix="declare the outcome in the guard's domain or fix the "
+                "condition's spelling",
+            )
+
+
+# ---------------------------------------------------------------------------
+# SVC: service-protocol conformance
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "SVC001",
+    "protocol-order",
+    "the constraint set does not enforce a conversation's port ordering",
+    Severity.ERROR,
+)
+def check_protocol_order(context: LintContext) -> Iterable[Diagnostic]:
+    if context.process is None or context.has_cycles:
+        return
+    for violation in check_invocation_order(
+        context.sc,
+        context.process,
+        conversations=context.conversations,
+        semantics=context.semantics,
+    ):
+        yield Diagnostic(
+            code="SVC001",
+            severity=Severity.ERROR,
+            message=str(violation),
+            location=activity_location(violation.later_activity),
+            related=(activity_location(violation.earlier_activity),),
+            evidence=(
+                "conversation: %s" % violation.conversation,
+                "required port order: %s before %s"
+                % (violation.earlier_port, violation.later_port),
+            ),
+            fix=(
+                "add the constraint %s -> %s so the state-aware service %r "
+                "sees its ports in protocol order"
+                % (
+                    violation.earlier_activity,
+                    violation.later_activity,
+                    violation.service,
+                )
+            ),
+        )
+
+
+@rule(
+    "SVC002",
+    "unmatched-callback",
+    "an asynchronous invoke has no reachable matching receive",
+    Severity.WARNING,
+)
+def check_unmatched_callbacks(context: LintContext) -> Iterable[Diagnostic]:
+    if context.process is None or context.has_cycles:
+        return
+    for unmatched in check_callback_matching(
+        context.sc, context.process, semantics=context.semantics
+    ):
+        yield Diagnostic(
+            code="SVC002",
+            severity=Severity.WARNING,
+            message=str(unmatched),
+            location=activity_location(unmatched.invoke),
+            related=tuple(
+                activity_location(candidate) for candidate in unmatched.candidates
+            ),
+            evidence=("callback port: %s" % unmatched.callback_port,),
+            fix=(
+                "add a receive activity listening on %s, ordered after %r in "
+                "every execution where the invoke runs"
+                % (unmatched.callback_port, unmatched.invoke)
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# RED: redundancy
+# ---------------------------------------------------------------------------
+
+
+def _covering_path(
+    sc: SynchronizationConstraintSet, source: str, target: str
+) -> Optional[List[str]]:
+    """A shortest happen-before path ``source -> ... -> target`` (BFS)."""
+    graph = sc.as_graph()
+    frontier = [[source]]
+    seen = {source}
+    while frontier:
+        path = frontier.pop(0)
+        for successor in graph.successors(path[-1]):
+            if successor == target:
+                return path + [successor]
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(path + [successor])
+    return None
+
+
+@rule(
+    "RED001",
+    "redundant-constraint",
+    "a constraint the minimizer would remove (covered by other paths)",
+    Severity.INFO,
+)
+def check_redundant_constraints(context: LintContext) -> Iterable[Diagnostic]:
+    minimal = context.minimal
+    if minimal is None:
+        return
+    for constraint in sorted(context.sc.constraints):
+        if constraint in minimal:
+            continue
+        path = _covering_path(minimal, constraint.source, constraint.target)
+        evidence: tuple
+        if path is not None:
+            evidence = ("covering path: %s" % " -> ".join(path),)
+        else:  # pragma: no cover - conditional covers without a direct path
+            evidence = ("covered by the minimal set's annotated closure",)
+        yield Diagnostic(
+            code="RED001",
+            severity=Severity.INFO,
+            message=(
+                "constraint %s is redundant: transitive equivalence is "
+                "preserved without it" % constraint
+            ),
+            location=constraint_location(
+                constraint.source,
+                constraint.target,
+                constraint.condition,
+                span=context.span_of(constraint),
+            ),
+            evidence=evidence,
+            fix="remove it — redundant constraints cost runtime monitoring "
+            "work and block concurrency for no safety gain",
+        )
+
+
+# ---------------------------------------------------------------------------
+# SPEC: construct trees vs. the dependency set
+# ---------------------------------------------------------------------------
+
+
+def _specification_reports(context: LintContext):
+    """Coverage of the construct tree's orderings vs. the required set."""
+    if context.construct is None or context.process is None or context.has_cycles:
+        return None
+    from repro.constructs.rewrite import constructs_to_constraints
+    from repro.validation.coverage import compare_constraint_sets
+
+    implementation = constructs_to_constraints(context.process, context.construct)
+    return compare_constraint_sets(
+        implementation, context.sc, semantics=context.semantics
+    )
+
+
+@rule(
+    "SPEC001",
+    "over-specified",
+    "the construct tree enforces an ordering no dependency requires",
+    Severity.WARNING,
+)
+def check_over_specification(context: LintContext) -> Iterable[Diagnostic]:
+    report = _specification_reports(context)
+    if report is None:
+        return
+    for source, target in report.unnecessary:
+        yield Diagnostic(
+            code="SPEC001",
+            severity=Severity.WARNING,
+            message=(
+                "construct tree forces %r before %r, but no dependency "
+                "requires that ordering (lost concurrency)" % (source, target)
+            ),
+            location=constraint_location(source, target),
+            evidence=("required by: nothing — over-specification",),
+            fix="let %r and %r run concurrently (drop the sequencing)"
+            % (source, target),
+        )
+
+
+@rule(
+    "SPEC002",
+    "under-specified",
+    "the construct tree misses an ordering the dependencies require",
+    Severity.ERROR,
+)
+def check_under_specification(context: LintContext) -> Iterable[Diagnostic]:
+    report = _specification_reports(context)
+    if report is None:
+        return
+    for source, target in report.missing:
+        yield Diagnostic(
+            code="SPEC002",
+            severity=Severity.ERROR,
+            message=(
+                "dependencies require %r before %r, but the construct tree "
+                "does not enforce it (correctness hazard)" % (source, target)
+            ),
+            location=constraint_location(source, target),
+            evidence=("required ordering not implied by any construct",),
+            fix="sequence %r before %r (or add a link) in the construct tree"
+            % (source, target),
+        )

@@ -1,9 +1,17 @@
-"""Metrics over execution traces: concurrency profiles and comparisons."""
+"""Metrics over execution traces: concurrency profiles and comparisons.
+
+Also the *dynamic race oracle* (:func:`conflicting_overlaps`): the
+runtime counterpart of the static SYNC001/SYNC002 lint rules, used by the
+test suite to confirm that schedules over race-free constraint sets never
+overlap conflicting variable accesses.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.model.process import BusinessProcess
 from repro.scheduler.events import ExecutionTrace
 
 
@@ -45,6 +53,70 @@ def average_concurrency(trace: ExecutionTrace) -> float:
     for (time, count), (next_time, _next_count) in zip(profile, profile[1:]):
         area += count * (next_time - time)
     return area / makespan
+
+
+@dataclass(frozen=True)
+class Overlap:
+    """Two overlapping executions with conflicting accesses to a variable."""
+
+    variable: str
+    first: str
+    second: str
+    kind: str  # "write/write" or "read/write"
+
+    def __str__(self) -> str:
+        return "%s overlap on %r between %r and %r" % (
+            self.kind,
+            self.variable,
+            self.first,
+            self.second,
+        )
+
+
+def conflicting_overlaps(
+    trace: ExecutionTrace, process: BusinessProcess
+) -> List[Overlap]:
+    """Conflicting accesses whose executions overlapped in ``trace``.
+
+    Two executed activities overlap when their ``[start, finish)`` windows
+    intersect; the pair conflicts when both touch the same variable and at
+    least one writes it.  A race-free constraint set must yield no
+    overlaps in any schedule — the dynamic check the static race detector
+    (:mod:`repro.lint.races`) promises to make unnecessary.
+    """
+    accesses: Dict[str, Tuple[frozenset, frozenset]] = {}
+    for activity in process.activities:
+        accesses[activity.name] = (
+            frozenset(activity.reads),
+            frozenset(activity.writes),
+        )
+
+    executed = [
+        record
+        for record in trace.records.values()
+        if record.start is not None and record.finish is not None
+    ]
+    executed.sort(key=lambda record: (record.start, record.name))
+
+    overlaps: List[Overlap] = []
+    for i, first in enumerate(executed):
+        first_reads, first_writes = accesses.get(first.name, (frozenset(), frozenset()))
+        for second in executed[i + 1 :]:
+            if second.start >= first.finish:
+                break  # sorted by start: nothing later can overlap `first`
+            second_reads, second_writes = accesses.get(
+                second.name, (frozenset(), frozenset())
+            )
+            write_write = first_writes & second_writes
+            read_write = (first_reads & second_writes) | (
+                first_writes & second_reads
+            )
+            names = tuple(sorted((first.name, second.name)))
+            for variable in sorted(write_write):
+                overlaps.append(Overlap(variable, names[0], names[1], "write/write"))
+            for variable in sorted(read_write - write_write):
+                overlaps.append(Overlap(variable, names[0], names[1], "read/write"))
+    return overlaps
 
 
 def serialization_overhead(baseline_makespan: float, optimized_makespan: float) -> float:

@@ -16,7 +16,7 @@ Three classes of design-stage conflicts are detected:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.conditions import is_contradictory
 from repro.analysis.graphs import cyclic_components, has_path
@@ -35,6 +35,29 @@ class ConflictReport:
     @property
     def has_conflicts(self) -> bool:
         return bool(self.cycles or self.unsatisfiable_guards)
+
+    def severity_counts(self) -> Dict[str, int]:
+        """Severity-aware rollup, aligned with the :mod:`repro.lint` codes.
+
+        Cycles and unsatisfiable guards are ``error`` (the specification is
+        broken); vacuous exclusives are ``info`` — worth flagging, never
+        build-breaking (``has_conflicts`` ignores them, and so does the
+        default lint gate).
+        """
+        return {
+            "error": len(self.cycles) + len(self.unsatisfiable_guards),
+            "warning": 0,
+            "info": len(self.vacuous_exclusives),
+        }
+
+    @property
+    def max_severity(self) -> Optional[str]:
+        """``"error"``, ``"info"`` or ``None`` when the report is empty."""
+        counts = self.severity_counts()
+        for severity in ("error", "warning", "info"):
+            if counts[severity]:
+                return severity
+        return None
 
     def summary(self) -> str:
         if not self.has_conflicts and not self.vacuous_exclusives:

@@ -12,6 +12,7 @@ from repro.workloads.purchasing import (
     purchasing_cooperation_dependencies,
 )
 from repro.workloads.purchasing_constructs import build_purchasing_constructs
+from repro.workloads.insurance import build_insurance_process, insurance_cooperation
 from repro.workloads.travel import build_travel_process, travel_cooperation
 
 
@@ -63,3 +64,31 @@ def deployment_weave():
         process, cooperation=deployment_cooperation(process).dependencies
     )
     return process, DSCWeaver().weave(process, dependencies)
+
+
+@pytest.fixture(scope="session")
+def insurance_weave():
+    process = build_insurance_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=insurance_cooperation(process).dependencies
+    )
+    return process, DSCWeaver().weave(process, dependencies)
+
+
+@pytest.fixture(scope="session")
+def all_weaves(
+    purchasing_process,
+    purchasing_weave,
+    deployment_weave,
+    loan_weave,
+    travel_weave,
+    insurance_weave,
+):
+    """``name -> (process, weave result)`` for every workload."""
+    return {
+        "purchasing": (purchasing_process, purchasing_weave),
+        "deployment": deployment_weave,
+        "loan": loan_weave,
+        "travel": travel_weave,
+        "insurance": insurance_weave,
+    }

@@ -1,0 +1,94 @@
+"""The ``dscweaver lint`` command and the validate exit-code contract."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_default_exit_zero_on_clean_workload(self, capsys):
+        # Purchasing has only info-level findings; default gate is error.
+        assert main(["lint", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        assert "lint results for purchasing" in out
+        assert "0 error" in out
+
+    def test_fail_on_warning_passes_with_only_info(self, capsys):
+        assert main(["lint", "purchasing", "--fail-on", "warning"]) == 0
+
+    def test_fail_on_info_gates_info_findings(self, capsys):
+        # The acceptance contract: any finding at or above --fail-on -> 1.
+        assert main(["lint", "purchasing", "--fail-on", "info"]) == 1
+
+    def test_ignore_silences_rule_group(self, capsys):
+        assert main(["lint", "purchasing", "--ignore", "RED", "--fail-on", "info"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_select_comma_separated(self, capsys):
+        assert main(["lint", "purchasing", "--select", "SYNC001,SYNC002"]) == 0
+        out = capsys.readouterr().out
+        assert "RED001" not in out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "purchasing", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subject"] == "purchasing"
+        assert payload["counts"]["error"] == 0
+
+    def test_sarif_format(self, capsys):
+        assert main(["lint", "purchasing", "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "dscweaver-lint"
+
+    def test_constructs_flag_surfaces_spec_findings(self, capsys):
+        code = main(
+            ["lint", "purchasing", "--constructs", "--fail-on", "warning"]
+        )
+        assert code == 1  # SPEC001 warnings gate at --fail-on warning
+        out = capsys.readouterr().out
+        assert "SPEC001" in out
+        assert "invProduction_po" in out
+
+    def test_constructs_flag_rejected_for_other_workloads(self, capsys):
+        assert main(["lint", "loan", "--constructs"]) == 2
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", "purchasing", "--write-baseline", baseline]) == 0
+        capsys.readouterr()
+        code = main(
+            ["lint", "purchasing", "--baseline", baseline, "--fail-on", "info"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # everything suppressed, nothing gates
+        assert "suppressed by baseline" in out
+
+    def test_missing_baseline_is_usage_error(self, capsys):
+        assert main(["lint", "purchasing", "--baseline", "/nonexistent.json"]) == 2
+
+    def test_default_workload_is_purchasing(self, capsys):
+        assert main(["lint"]) == 0
+        assert "purchasing" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_validate_clean_workload_exits_zero(self, capsys):
+        assert main(["validate", "--workload", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        assert "conflicts: no conflicts detected" in out
+        assert "sound: True" in out
+
+    def test_validate_all_workloads(self, capsys):
+        for workload in ("deployment", "loan", "travel", "insurance"):
+            assert main(["validate", "--workload", workload]) == 0
+
+
+class TestDotRaces:
+    def test_dot_races_runs(self, capsys):
+        assert main(["dot", "--workload", "purchasing", "--what", "races"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph purchasing")
+        assert "race:" not in out  # purchasing is race-free

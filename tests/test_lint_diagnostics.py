@@ -1,0 +1,153 @@
+"""Diagnostics framework: severities, locations, reports, baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+    activity_location,
+    constraint_location,
+)
+
+
+def _diag(code="SYNC001", severity=Severity.WARNING, name="a", message="m"):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        location=activity_location(name),
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO.rank < Severity.WARNING.rank < Severity.ERROR.rank
+        assert Severity.ERROR.at_least(Severity.WARNING)
+        assert Severity.WARNING.at_least(Severity.WARNING)
+        assert not Severity.INFO.at_least(Severity.WARNING)
+
+    def test_from_name(self):
+        assert Severity.from_name("warning") is Severity.WARNING
+        with pytest.raises(ValueError):
+            Severity.from_name("fatal")
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestSourceLocation:
+    def test_fully_qualified(self):
+        assert activity_location("shipOrder").fully_qualified == "activity:shipOrder"
+
+    def test_constraint_rendering(self):
+        unconditional = constraint_location("a", "b")
+        assert unconditional.name == "a -> b"
+        conditional = constraint_location("g", "b", "T")
+        assert conditional.name == "g ->T b"
+
+    def test_span_rendering(self):
+        location = SourceLocation("constraint", "a -> b", span=(3, 4))
+        assert "dscl:3-4" in str(location)
+
+
+class TestDiagnostic:
+    def test_fingerprint_stable_across_wording(self):
+        first = _diag(message="one wording")
+        second = _diag(message="another wording")
+        assert first.fingerprint == second.fingerprint
+
+    def test_fingerprint_differs_by_location_and_code(self):
+        assert _diag(name="a").fingerprint != _diag(name="b").fingerprint
+        assert _diag(code="SYNC001").fingerprint != _diag(code="SYNC002").fingerprint
+
+    def test_render_includes_evidence_and_fix(self):
+        diagnostic = Diagnostic(
+            code="SYNC001",
+            severity=Severity.WARNING,
+            message="race",
+            location=activity_location("a"),
+            evidence=("variable: x",),
+            fix="add a constraint",
+        )
+        rendered = diagnostic.render()
+        assert "evidence: variable: x" in rendered
+        assert "fix: add a constraint" in rendered
+
+    def test_with_severity(self):
+        assert _diag().with_severity(Severity.ERROR).severity is Severity.ERROR
+
+
+class TestLintReport:
+    def test_sorted_errors_first(self):
+        report = LintReport.from_diagnostics(
+            [
+                _diag(code="ZZZ001", severity=Severity.INFO),
+                _diag(code="AAA001", severity=Severity.ERROR),
+                _diag(code="MMM001", severity=Severity.WARNING),
+            ]
+        )
+        assert [d.severity for d in report.findings] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_counts_and_max_severity(self):
+        report = LintReport.from_diagnostics(
+            [_diag(severity=Severity.WARNING), _diag(name="b", severity=Severity.INFO)]
+        )
+        assert report.counts_by_severity() == {"info": 1, "warning": 1, "error": 0}
+        assert report.max_severity is Severity.WARNING
+        assert not report.has_errors
+
+    def test_empty_report(self):
+        report = LintReport.from_diagnostics([])
+        assert report.max_severity is None
+        assert report.exit_code() == 0
+        assert "0 finding(s)" in report.summary()
+
+    def test_gating_thresholds(self):
+        report = LintReport.from_diagnostics([_diag(severity=Severity.WARNING)])
+        assert report.exit_code(Severity.ERROR) == 0
+        assert report.exit_code(Severity.WARNING) == 1
+        assert report.exit_code(Severity.INFO) == 1
+
+    def test_by_code_and_by_severity(self):
+        report = LintReport.from_diagnostics(
+            [_diag(code="SYNC001"), _diag(code="RED001", severity=Severity.INFO)]
+        )
+        assert len(report.by_code("SYNC001")) == 1
+        assert len(report.by_severity(Severity.INFO)) == 1
+
+    def test_summary_mentions_suppressed(self):
+        report = LintReport.from_diagnostics([], suppressed=[_diag()])
+        assert "1 suppressed" in report.summary()
+
+
+class TestBaseline:
+    def test_round_trip(self):
+        diagnostics = [_diag(name="a"), _diag(name="b")]
+        baseline = Baseline.from_diagnostics(diagnostics)
+        restored = Baseline.from_json(baseline.to_json())
+        assert len(restored) == 2
+        assert all(restored.matches(d) for d in diagnostics)
+        assert not restored.matches(_diag(name="c"))
+
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_diagnostics([_diag()]).save(path)
+        assert Baseline.load(path).matches(_diag())
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            Baseline.from_json('{"version": 99, "suppressions": []}')
+
+    def test_contains(self):
+        diagnostic = _diag()
+        baseline = Baseline.from_diagnostics([diagnostic])
+        assert diagnostic.fingerprint in baseline

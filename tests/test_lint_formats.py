@@ -1,0 +1,301 @@
+"""Output formats: text, JSON and SARIF 2.1.0.
+
+The SARIF output is validated against an embedded subset of the official
+OASIS SARIF 2.1.0 schema (the structural constraints that matter for
+consumers: required run/tool/result fields, severity levels, location
+shapes).  The full schema is not vendored to keep the repo lean; the
+subset uses the same property names and enum values verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    LintContext,
+    LintReport,
+    Severity,
+    activity_location,
+    constraint_location,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+    run_lint,
+    sarif_dict,
+)
+
+#: Reduced SARIF 2.1.0 schema: the subset of the official schema our
+#: output must satisfy, with names and enums copied verbatim.
+SARIF_SCHEMA_SUBSET = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "name": {"type": "string"},
+                                                        "fullyQualifiedName": {
+                                                            "type": "string"
+                                                        },
+                                                        "kind": {"type": "string"},
+                                                    },
+                                                },
+                                            },
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "endLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {"type": "string"},
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": ["inSource", "external"]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _report():
+    return LintReport.from_diagnostics(
+        [
+            Diagnostic(
+                code="SYNC001",
+                severity=Severity.WARNING,
+                message="race on x",
+                location=activity_location("a"),
+                related=(activity_location("b"),),
+                evidence=("variable: x",),
+                fix="add a constraint",
+            ),
+            Diagnostic(
+                code="RED001",
+                severity=Severity.INFO,
+                message="redundant",
+                location=constraint_location("a", "b", span=(3, 4)),
+            ),
+        ]
+    )
+
+
+class TestTextFormat:
+    def test_renders_findings_and_summary(self):
+        text = render_text(_report(), title="demo")
+        assert "lint results for demo" in text
+        assert "warning SYNC001" in text
+        assert "1 warning, 1 info" in text
+
+    def test_empty_report(self):
+        text = render_text(LintReport.from_diagnostics([]))
+        assert "no findings" in text
+
+
+class TestJsonFormat:
+    def test_payload_shape(self):
+        payload = json.loads(render_json(_report(), title="demo"))
+        assert payload["tool"] == "dscweaver-lint"
+        assert payload["subject"] == "demo"
+        assert payload["counts"]["warning"] == 1
+        codes = [finding["code"] for finding in payload["findings"]]
+        assert codes == ["SYNC001", "RED001"]  # errors-first ordering kept
+        assert payload["findings"][1]["location"]["span"] == {
+            "first_line": 3,
+            "last_line": 4,
+        }
+
+    def test_fingerprints_included(self):
+        payload = json.loads(render_json(_report()))
+        assert all(len(f["fingerprint"]) == 16 for f in payload["findings"])
+
+
+class TestSarifFormat:
+    def test_schema_valid(self):
+        log = sarif_dict(_report(), title="demo")
+        jsonschema.validate(
+            log,
+            SARIF_SCHEMA_SUBSET,
+            format_checker=jsonschema.FormatChecker(),
+        )
+
+    def test_purchasing_sarif_schema_valid(self, purchasing_weave):
+        report = run_lint(LintContext.from_weave(purchasing_weave))
+        log = json.loads(render_sarif(report, title="purchasing"))
+        jsonschema.validate(
+            log,
+            SARIF_SCHEMA_SUBSET,
+            format_checker=jsonschema.FormatChecker(),
+        )
+        assert log["version"] == "2.1.0"
+
+    def test_severity_level_mapping(self):
+        log = sarif_dict(_report())
+        levels = {r["ruleId"]: r["level"] for r in log["runs"][0]["results"]}
+        assert levels == {"SYNC001": "warning", "RED001": "note"}
+
+    def test_physical_location_from_span(self):
+        log = sarif_dict(_report(), title="demo")
+        red = next(
+            r for r in log["runs"][0]["results"] if r["ruleId"] == "RED001"
+        )
+        physical = red["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "demo.dscl"
+        assert physical["region"] == {"startLine": 3, "endLine": 4}
+
+    def test_suppressed_findings_marked(self):
+        report = LintReport.from_diagnostics(
+            [],
+            suppressed=[
+                Diagnostic(
+                    code="SYNC001",
+                    severity=Severity.WARNING,
+                    message="baselined",
+                    location=activity_location("a"),
+                )
+            ],
+        )
+        log = sarif_dict(report)
+        (result,) = log["runs"][0]["results"]
+        assert result["suppressions"] == [{"kind": "external"}]
+
+    def test_rules_listed_in_driver(self, purchasing_weave):
+        report = run_lint(
+            LintContext.from_weave(purchasing_weave),
+            LintConfig.from_codes(select=["SYNC"]),
+        )
+        log = sarif_dict(report)
+        ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids and all(rule_id.startswith("SYNC") for rule_id in ids)
+
+
+class TestRenderDispatch:
+    def test_dispatch(self):
+        report = _report()
+        assert render(report, "text") == render_text(report)
+        assert render(report, "json") == render_json(report)
+        assert render(report, "sarif") == render_sarif(report)
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            render(_report(), "xml")

@@ -1,0 +1,134 @@
+"""Static service-protocol conformance: invocation order + callbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.lint import check_callback_matching, check_invocation_order
+from repro.model.builder import ProcessBuilder
+
+
+@pytest.fixture()
+def pay_process():
+    """A state-aware async service with two sequential ports."""
+    return (
+        ProcessBuilder("Proto")
+        .service(
+            "Pay", ports=["Auth", "Capture"], asynchronous=True, sequential=True
+        )
+        .receive("start", writes=["po"])
+        .invoke("invAuth", service="Pay", port="Auth", reads=["po"])
+        .invoke("invCapture", service="Pay", port="Capture", reads=["po"])
+        .receive("recReceipt", service="Pay", writes=["receipt"])
+        .reply("done", reads=["receipt"])
+        .build()
+    )
+
+
+def _sc(process, constraints):
+    return SynchronizationConstraintSet(
+        activities=[activity.name for activity in process.activities],
+        constraints=constraints,
+    )
+
+
+class TestInvocationOrder:
+    def test_unordered_invokes_violate_protocol(self, pay_process):
+        sc = _sc(
+            pay_process,
+            [Constraint("start", "invAuth"), Constraint("start", "invCapture")],
+        )
+        violations = check_invocation_order(sc, pay_process)
+        pairs = {(v.earlier_activity, v.later_activity) for v in violations}
+        assert ("invAuth", "invCapture") in pairs
+        violation = next(
+            v for v in violations if v.later_activity == "invCapture"
+        )
+        assert violation.service == "Pay"
+        assert violation.earlier_port == "Auth"
+        assert violation.later_port == "Capture"
+        assert "Auth" in str(violation)
+
+    def test_ordered_invokes_conform(self, pay_process):
+        sc = _sc(
+            pay_process,
+            [
+                Constraint("start", "invAuth"),
+                Constraint("invAuth", "invCapture"),
+                Constraint("invCapture", "recReceipt"),
+            ],
+        )
+        violations = check_invocation_order(sc, pay_process)
+        assert [v for v in violations if v.later_port == "Capture"] == []
+
+    def test_transitive_ordering_conforms(self, pay_process):
+        sc = _sc(
+            pay_process,
+            [
+                Constraint("invAuth", "start"),
+                Constraint("start", "invCapture"),
+                Constraint("invAuth", "recReceipt"),
+                Constraint("invCapture", "recReceipt"),
+            ],
+        )
+        assert check_invocation_order(sc, pay_process) == []
+
+    def test_purchasing_conforms(self, purchasing_process, purchasing_weave):
+        assert check_invocation_order(purchasing_weave.asc, purchasing_process) == []
+
+
+class TestCallbackMatching:
+    def test_reachable_receive_matches(self, pay_process):
+        sc = _sc(
+            pay_process,
+            [
+                Constraint("invAuth", "invCapture"),
+                Constraint("invAuth", "recReceipt"),
+                Constraint("invCapture", "recReceipt"),
+            ],
+        )
+        assert check_callback_matching(sc, pay_process) == []
+
+    def test_unreachable_receive_is_reported(self, pay_process):
+        # recReceipt exists but nothing orders it after the invokes: the
+        # callback could be consumed before the request is even sent.
+        sc = _sc(pay_process, [Constraint("invAuth", "invCapture")])
+        unmatched = check_callback_matching(sc, pay_process)
+        invokes = {u.invoke for u in unmatched}
+        assert invokes == {"invAuth", "invCapture"}
+        assert all(u.callback_port == "Pay_d" for u in unmatched)
+        assert all("recReceipt" in u.candidates for u in unmatched)
+
+    def test_missing_receive_entirely(self):
+        process = (
+            ProcessBuilder("NoCallback")
+            .service("Notify", asynchronous=True)
+            .receive("start", writes=["msg"])
+            .invoke("invNotify", service="Notify", reads=["msg"])
+            .build()
+        )
+        sc = _sc(process, [Constraint("start", "invNotify")])
+        unmatched = check_callback_matching(sc, process)
+        assert len(unmatched) == 1
+        assert unmatched[0].invoke == "invNotify"
+        assert unmatched[0].candidates == ()
+        assert "no receive listening" in str(unmatched[0])
+
+    def test_synchronous_service_needs_no_callback(self):
+        process = (
+            ProcessBuilder("Sync")
+            .service("Archive")
+            .receive("start", writes=["doc"])
+            .invoke("invArchive", service="Archive", reads=["doc"])
+            .build()
+        )
+        sc = _sc(process, [Constraint("start", "invArchive")])
+        assert check_callback_matching(sc, process) == []
+
+    def test_purchasing_callbacks_all_matched(
+        self, purchasing_process, purchasing_weave
+    ):
+        assert (
+            check_callback_matching(purchasing_weave.asc, purchasing_process) == []
+        )

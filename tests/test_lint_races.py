@@ -1,0 +1,200 @@
+"""The static race detector, incl. the paper-level properties:
+
+* the Purchasing ASC (and its minimal set) are race-free;
+* deleting any data-dependency edge from the minimal set introduces a
+  race — the data dependencies are exactly the synchronization that
+  protects shared variables;
+* minimization preserves race-freedom in both directions (hypothesis).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.conditions import Cond
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.minimize import minimize
+from repro.dscl.ast import Exclusive, StateRef
+from repro.model.activity import ActivityState
+from repro.lint import (
+    READ_WRITE,
+    WRITE_WRITE,
+    access_maps_from_process,
+    find_races,
+    find_races_from_accesses,
+    ordered_pairs,
+)
+
+from .strategies import constraint_sets
+
+
+def _sc(constraints, activities=("a", "b", "c"), guards=None):
+    return SynchronizationConstraintSet(
+        activities=activities, constraints=constraints, guards=guards or {}
+    )
+
+
+class TestFindRaces:
+    def test_unordered_writers_race(self):
+        sc = _sc([])
+        races = find_races(sc, writes={"x": {"a", "b"}})
+        assert len(races) == 1
+        assert races[0].kind == WRITE_WRITE
+        assert (races[0].first, races[0].second) == ("a", "b")
+
+    def test_ordering_removes_race(self):
+        sc = _sc([Constraint("a", "b")])
+        assert find_races(sc, writes={"x": {"a", "b"}}) == []
+
+    def test_transitive_ordering_removes_race(self):
+        sc = _sc([Constraint("a", "c"), Constraint("c", "b")])
+        assert find_races(sc, writes={"x": {"a", "b"}}) == []
+
+    def test_read_write_race(self):
+        sc = _sc([])
+        races = find_races(sc, reads={"x": {"a"}}, writes={"x": {"b"}})
+        assert len(races) == 1
+        assert races[0].kind == READ_WRITE
+        assert races[0].writer == "b"
+
+    def test_two_readers_never_race(self):
+        sc = _sc([])
+        assert find_races(sc, reads={"x": {"a", "b"}}) == []
+
+    def test_contradictory_guards_do_not_race(self):
+        guards = {"a": {Cond("g", "T")}, "b": {Cond("g", "F")}}
+        sc = _sc([], activities=("g", "a", "b"), guards=guards)
+        assert find_races(sc, writes={"x": {"a", "b"}}) == []
+
+    def test_same_branch_still_races(self):
+        guards = {"a": {Cond("g", "T")}, "b": {Cond("g", "T")}}
+        sc = _sc([], activities=("g", "a", "b"), guards=guards)
+        assert len(find_races(sc, writes={"x": {"a", "b"}})) == 1
+
+    def test_exclusive_serializes_pair(self):
+        sc = _sc([])
+        exclusive = Exclusive(
+            StateRef("a", ActivityState.RUN), StateRef("b", ActivityState.RUN)
+        )
+        assert find_races(sc, writes={"x": {"a", "b"}}, exclusives=[exclusive]) == []
+
+    def test_conditional_edge_does_not_order(self):
+        # a ->T b orders the pair only on the T branch; b is unguarded, so
+        # on the F branch both run unordered: that is a race.
+        sc = _sc([Constraint("g", "a"), Constraint("a", "b", "T")],
+                 activities=("g", "a", "b"))
+        assert len(find_races(sc, writes={"x": {"a", "b"}})) == 1
+
+    def test_unknown_activities_ignored(self):
+        sc = _sc([])
+        assert find_races(sc, writes={"x": {"a", "zz"}}) == []
+
+    def test_write_write_dedups_read_write(self):
+        # both write AND read x: report one write/write race, not two.
+        sc = _sc([])
+        races = find_races(
+            sc, reads={"x": {"a", "b"}}, writes={"x": {"a", "b"}}
+        )
+        assert [race.kind for race in races] == [WRITE_WRITE]
+
+    def test_deterministic_order(self):
+        sc = _sc([], activities=("a", "b", "c", "d"))
+        races = find_races(sc, writes={"x": {"a", "b"}, "y": {"c", "d"}})
+        assert [race.variable for race in races] == ["x", "y"]
+
+
+class TestOrderedPairs:
+    def test_includes_transitive(self):
+        sc = _sc([Constraint("a", "b"), Constraint("b", "c")])
+        pairs = ordered_pairs(sc)
+        assert ("a", "c") in pairs
+
+    def test_conditional_fact_not_ordered(self):
+        sc = _sc([Constraint("g", "a"), Constraint("a", "b", "T")],
+                 activities=("g", "a", "b"))
+        assert ("a", "b") not in ordered_pairs(sc)
+
+    def test_guard_implied_condition_is_ordered(self):
+        # b runs only when a = T, and a ->T b: on every execution where b
+        # runs, the edge is active -- the pair is ordered.
+        sc = _sc(
+            [Constraint("g", "a"), Constraint("a", "b", "T")],
+            activities=("g", "a", "b"),
+            guards={"b": {Cond("a", "T")}},
+        )
+        assert ("a", "b") in ordered_pairs(sc)
+
+
+class TestPurchasingRaceFreedom:
+    def test_asc_is_race_free(self, purchasing_process, purchasing_weave):
+        races = find_races(
+            purchasing_weave.asc,
+            process=purchasing_process,
+            exclusives=purchasing_weave.exclusives,
+        )
+        assert races == []
+
+    def test_minimal_is_race_free(self, purchasing_process, purchasing_weave):
+        races = find_races(
+            purchasing_weave.minimal,
+            process=purchasing_process,
+            exclusives=purchasing_weave.exclusives,
+        )
+        assert races == []
+
+    def test_deleting_any_data_edge_introduces_race(
+        self, purchasing_process, purchasing_dependencies, purchasing_weave
+    ):
+        minimal = purchasing_weave.minimal
+        data_edges = {
+            (dep.source, dep.target) for dep in purchasing_dependencies.data
+        }
+        minimal_data = [
+            c for c in minimal.constraints if (c.source, c.target) in data_edges
+        ]
+        assert minimal_data, "minimal set should retain data-dependency edges"
+        for removed in minimal_data:
+            pruned = SynchronizationConstraintSet(
+                activities=minimal.activities,
+                constraints=[c for c in minimal.constraints if c != removed],
+                guards=minimal.guards,
+                domains=minimal.domains,
+            )
+            races = find_races(
+                pruned,
+                process=purchasing_process,
+                exclusives=purchasing_weave.exclusives,
+            )
+            assert races, "deleting %s should introduce a race" % (removed,)
+
+
+@st.composite
+def sets_with_accesses(draw):
+    """A random constraint set plus random read/write maps over its nodes."""
+    sc = draw(constraint_sets(min_nodes=3, max_nodes=7, max_edges=10))
+    names = sorted(sc.activities)
+    variables = ["x", "y"]
+    reads = {}
+    writes = {}
+    for variable in variables:
+        readers = draw(st.lists(st.sampled_from(names), max_size=3, unique=True))
+        writers = draw(st.lists(st.sampled_from(names), max_size=3, unique=True))
+        if readers:
+            reads[variable] = set(readers)
+        if writers:
+            writes[variable] = set(writers)
+    return sc, reads, writes
+
+
+class TestMinimizationPreservesRaces:
+    @given(sets_with_accesses())
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_races_iff_full_races(self, drawn):
+        sc, reads, writes = drawn
+        minimal = minimize(sc)
+        full_races = find_races_from_accesses(sc, reads, writes)
+        minimal_races = find_races_from_accesses(minimal, reads, writes)
+        # Minimization preserves guard-aware transitive equivalence, so the
+        # ordered pairs -- and therefore the races -- are identical.
+        assert full_races == minimal_races
