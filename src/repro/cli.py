@@ -9,14 +9,19 @@ Subcommands::
     dscweaver dscl     --workload purchasing      # emit the DSCL program
     dscweaver validate --workload purchasing      # conflicts + Petri soundness
     dscweaver simulate --workload purchasing --outcome if_au=F
+    dscweaver simulate --record run.jsonl         # write a replayable event log
     dscweaver lint purchasing --format sarif      # static analysis (repro.lint)
+    dscweaver replay purchasing --log run.jsonl   # conformance replay
+    dscweaver monitor purchasing < stream.jsonl   # online conformance
 
 Workloads: purchasing, deployment, loan, travel, insurance.
 
 Exit codes: ``validate`` returns 1 when the specification has conflicts
 (cycles, unsatisfiable guards) or the Petri net is unsound; ``lint``
 returns 1 when any finding is at or above ``--fail-on`` (default
-``error``), 2 on usage errors.  Both return 0 on a clean specification.
+``error``); ``replay``/``monitor`` return 1 when any conformance finding
+is at or above ``--fail-on`` (default ``warning``); all return 2 on usage
+errors and 0 on a clean specification/log.
 """
 
 from __future__ import annotations
@@ -139,6 +144,119 @@ def _run_lint_command(arguments) -> int:
     return report.exit_code(config.fail_on)
 
 
+def _load_event_log(path: str, log_format: Optional[str] = None):
+    """Read an event log, sniffing the format from the extension."""
+    from repro.conformance import EventLog
+
+    if log_format is None:
+        lowered = path.lower()
+        if lowered.endswith(".csv"):
+            log_format = "csv"
+        elif lowered.endswith((".xes", ".xml")):
+            log_format = "xes"
+        else:
+            log_format = "jsonl"
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if log_format == "csv":
+        return EventLog.from_csv(text)
+    if log_format == "xes":
+        return EventLog.from_xes(text)
+    return EventLog.from_jsonl(text)
+
+
+def _conformance_program(arguments):
+    """``(weave result, monitor program)`` for the replay/monitor commands."""
+    from repro.conformance import program_from_weave
+
+    _process, result = _weave(arguments.workload)
+    return result, program_from_weave(result, which=arguments.set)
+
+
+def _print_replay_report(report, arguments) -> int:
+    from repro.lint import Severity, render
+
+    lint_report = report.to_lint_report()
+    title = "%s (%s set)" % (arguments.workload, arguments.set)
+    if arguments.format == "text":
+        print(render(lint_report, "text", title=title), end="")
+        print(report.summary())
+    else:
+        print(render(lint_report, arguments.format, title=title), end="")
+    return lint_report.exit_code(Severity.from_name(arguments.fail_on))
+
+
+def _run_replay_command(arguments) -> int:
+    from repro.conformance import program_from_weave, replay, verdicts_agree
+
+    try:
+        log = _load_event_log(arguments.log, arguments.log_format)
+    except (OSError, ValueError) as error:
+        print("cannot load log: %s" % error, file=sys.stderr)
+        return 2
+    result, program = _conformance_program(arguments)
+    report = replay(log, program, indexed=not arguments.naive)
+    if arguments.compare:
+        other_which = "full" if arguments.set == "minimal" else "minimal"
+        other = replay(log, program_from_weave(result, which=other_which))
+        agree = verdicts_agree(report, other)
+        print(
+            "verdicts vs %s set: %s | checks: %s=%d %s=%d"
+            % (
+                other_which,
+                "identical" if agree else "DIFFERENT",
+                arguments.set,
+                report.checks,
+                other_which,
+                other.checks,
+            )
+        )
+        if not agree:
+            print("minimization changed replay verdicts!", file=sys.stderr)
+            return 1
+    return _print_replay_report(report, arguments)
+
+
+def _run_monitor_command(arguments) -> int:
+    from repro.conformance import ConformanceMonitor, Event
+    from repro.lint import Severity
+
+    import json as json_module
+
+    _result, program = _conformance_program(arguments)
+    monitor = ConformanceMonitor(program)
+    if arguments.log:
+        handle = open(arguments.log, "r", encoding="utf-8")
+    else:
+        handle = sys.stdin
+    try:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = Event.from_dict(json_module.loads(line))
+            except (KeyError, TypeError, ValueError) as error:
+                print("line %d: bad event (%s)" % (number, error), file=sys.stderr)
+                return 2
+            for diagnostic in monitor.feed(event):
+                print(diagnostic.render())
+    finally:
+        if arguments.log:
+            handle.close()
+    for diagnostic in monitor.finish():
+        print(diagnostic.render())
+    threshold = Severity.from_name(arguments.fail_on)
+    gating = sum(
+        1 for d in monitor.diagnostics if d.severity.at_least(threshold)
+    )
+    print(
+        "monitored %d event(s), %d finding(s), %d gating"
+        % (monitor.events_fed, len(monitor.diagnostics), gating)
+    )
+    return 1 if gating else 0
+
+
 def _parse_outcomes(pairs: List[str]) -> Dict[str, str]:
     outcomes: Dict[str, str] = {}
     for pair in pairs:
@@ -186,6 +304,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=[],
         metavar="GUARD=VALUE",
         help="fix a guard outcome (repeatable)",
+    )
+    simulate.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="also write the run as a replayable JSONL event log",
+    )
+    simulate.add_argument(
+        "--case",
+        default=None,
+        metavar="NAME",
+        help="case id used in the recorded log (default: the workload name)",
     )
     dot = add("dot", "export a graph as Graphviz DOT")
     dot.add_argument(
@@ -251,10 +381,72 @@ def main(argv: Optional[List[str]] = None) -> int:
         "specification (purchasing only)",
     )
 
+    def add_conformance(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "workload",
+            nargs="?",
+            default="purchasing",
+            choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+        )
+        sub.add_argument(
+            "--set",
+            default="minimal",
+            choices=["minimal", "full"],
+            help="constraint set to monitor: the minimized set (default) or "
+            "the full translated ASC",
+        )
+        sub.add_argument(
+            "--fail-on",
+            default="warning",
+            choices=["info", "warning", "error"],
+            help="exit 1 when any finding is at or above this severity",
+        )
+        return sub
+
+    replay_cmd = add_conformance(
+        "replay", "replay a recorded event log against the constraint set"
+    )
+    replay_cmd.add_argument(
+        "--log", required=True, metavar="PATH", help="event log to replay"
+    )
+    replay_cmd.add_argument(
+        "--log-format",
+        default=None,
+        choices=["jsonl", "csv", "xes"],
+        help="log format (default: sniffed from the file extension)",
+    )
+    replay_cmd.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"]
+    )
+    replay_cmd.add_argument(
+        "--naive",
+        action="store_true",
+        help="use the full-scan checker instead of the compiled watcher index",
+    )
+    replay_cmd.add_argument(
+        "--compare",
+        action="store_true",
+        help="also replay against the other set and require identical verdicts",
+    )
+    monitor_cmd = add_conformance(
+        "monitor", "check a live JSONL event stream (stdin or --log) online"
+    )
+    monitor_cmd.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="read events from this JSONL file instead of stdin",
+    )
+
     arguments = parser.parse_args(argv)
 
     if arguments.command == "lint":
         return _run_lint_command(arguments)
+    if arguments.command == "replay":
+        return _run_replay_command(arguments)
+    if arguments.command == "monitor":
+        return _run_monitor_command(arguments)
 
     if arguments.command == "uml":
         from repro.uml.extract import diagram_dependencies
@@ -374,6 +566,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         skipped = run.trace.skipped()
         if skipped:
             print("  skipped: %s" % ", ".join(skipped))
+        if arguments.record:
+            from repro.conformance import EventLog, events_from_trace
+
+            case = arguments.case or arguments.workload
+            log = EventLog(events_from_trace(run.trace, case))
+            log.save_jsonl(arguments.record)
+            print(
+                "recorded %d event(s) for case %r to %s"
+                % (len(log), case, arguments.record)
+            )
     return 0
 
 

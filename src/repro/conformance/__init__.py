@@ -1,0 +1,98 @@
+"""Streaming event-log replay and online conformance monitoring.
+
+The optimization story of the paper ends where execution begins: this
+package checks *recorded or live streams* of activity events against a
+woven (or minimized) synchronization constraint set.
+
+* :mod:`repro.conformance.events` — the event/log model with JSONL, CSV
+  and XES I/O;
+* :mod:`repro.conformance.adapter` — scheduler traces to replayable logs;
+* :mod:`repro.conformance.monitor` — the compiled per-activity watcher
+  index and the streaming :class:`ConformanceMonitor` (``feed(event)``);
+* :mod:`repro.conformance.replay` — batch replay with aggregate fitness
+  statistics, rendered through the :mod:`repro.lint` stack;
+* :mod:`repro.conformance.perturb` — known-violation corpora for tests
+  and benchmarks.
+
+Typical use::
+
+    from repro.conformance import EventLog, program_from_weave, replay
+
+    program = program_from_weave(weave_result, which="minimal")
+    report = replay(EventLog.load_jsonl("audit.jsonl"), program)
+    print(report.summary())
+    exit(report.exit_code())
+"""
+
+from repro.conformance import rules  # noqa: F401  (registers CONF00x rules)
+from repro.conformance.adapter import (
+    events_from_trace,
+    log_from_jsonl_trace,
+    log_from_results,
+    log_from_traces,
+)
+from repro.conformance.events import (
+    FINISH,
+    LIFECYCLES,
+    SKIP,
+    START,
+    Event,
+    EventLog,
+)
+from repro.conformance.monitor import (
+    ConformanceMonitor,
+    MonitorProgram,
+    Verdict,
+    WatchedConstraint,
+    WatchedExclusive,
+    WatchedFineGrained,
+    categorize_constraints,
+    compile_monitor,
+)
+from repro.conformance.perturb import (
+    EXPECTED_CODES,
+    PERTURBATION_KINDS,
+    Perturbation,
+    PerturbationError,
+    perturb,
+    perturbation_corpus,
+)
+from repro.conformance.replay import (
+    CONF_CODES,
+    ReplayReport,
+    program_from_weave,
+    replay,
+    verdicts_agree,
+)
+
+__all__ = [
+    "CONF_CODES",
+    "ConformanceMonitor",
+    "EXPECTED_CODES",
+    "Event",
+    "EventLog",
+    "FINISH",
+    "LIFECYCLES",
+    "MonitorProgram",
+    "PERTURBATION_KINDS",
+    "Perturbation",
+    "PerturbationError",
+    "ReplayReport",
+    "SKIP",
+    "START",
+    "Verdict",
+    "WatchedConstraint",
+    "WatchedExclusive",
+    "WatchedFineGrained",
+    "categorize_constraints",
+    "compile_monitor",
+    "events_from_trace",
+    "log_from_jsonl_trace",
+    "log_from_results",
+    "log_from_traces",
+    "perturb",
+    "perturbation_corpus",
+    "program_from_weave",
+    "replay",
+    "verdicts_agree",
+]

@@ -1,0 +1,107 @@
+"""Adapters from scheduler output to conformance event logs.
+
+The discrete-event engine (:mod:`repro.scheduler.engine`) notes every
+start/finish/skip in :attr:`ExecutionTrace.log` in *exact causal order* —
+including the ordering of transitions that share a timestamp (finishes are
+processed before the starts they enable).  The adapter preserves that
+order, so a log generated from a legal run always replays violation-free;
+sorting by timestamp alone would fabricate ties and false positives.
+
+:func:`events_from_trace` works from either a live
+:class:`~repro.scheduler.events.ExecutionTrace` or one rehydrated via
+:meth:`ExecutionTrace.from_jsonl` — the JSONL round-trip is the backbone
+of log persistence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Tuple
+
+from repro.conformance.events import FINISH, SKIP, START, Event, EventLog
+from repro.scheduler.events import ExecutionTrace
+
+
+def events_from_trace(trace: ExecutionTrace, case: str) -> List[Event]:
+    """Convert one execution trace into per-case events.
+
+    Prefers the engine's chronological note log (exact causal order); falls
+    back to reconstructing order from the activity records when a trace has
+    no notes (e.g. hand-built in tests), breaking timestamp ties
+    finish-before-start as the engine would.
+    """
+    events = _events_from_notes(trace, case)
+    if events is not None:
+        return events
+    return _events_from_records(trace, case)
+
+
+def _events_from_notes(trace: ExecutionTrace, case: str) -> Optional[List[Event]]:
+    if not trace.log:
+        return None
+    events: List[Event] = []
+    for time, message in trace.log:
+        parts = message.split()
+        if not parts:
+            continue
+        verb = parts[0]
+        if verb not in ("start", "finish", "skip") or len(parts) < 2:
+            continue  # callbacks and free-form notes are not activity events
+        activity = parts[1]
+        outcome = None
+        if verb == "finish" and len(parts) >= 4 and parts[2] == "->":
+            outcome = parts[3]
+        lifecycle = {"start": START, "finish": FINISH, "skip": SKIP}[verb]
+        events.append(Event(case, activity, lifecycle, time, outcome=outcome))
+    return events or None
+
+
+def _events_from_records(trace: ExecutionTrace, case: str) -> List[Event]:
+    #: (time, phase, sequence): finishes sort before skips before starts at
+    #: the same instant, except an activity's own start precedes its finish.
+    keyed: List[Tuple[float, int, int, Event]] = []
+    for sequence, record in enumerate(trace.records.values()):
+        if record.skipped_at is not None:
+            keyed.append(
+                (record.skipped_at, 1, sequence, Event(case, record.name, SKIP, record.skipped_at))
+            )
+            continue
+        if record.start is not None:
+            start_phase = 2
+            if record.finish is not None and record.finish == record.start:
+                start_phase = 0  # zero-duration: keep start before its own finish
+            keyed.append(
+                (record.start, start_phase, sequence, Event(case, record.name, START, record.start))
+            )
+        if record.finish is not None:
+            keyed.append(
+                (
+                    record.finish,
+                    0 if record.finish != record.start else 1,
+                    sequence,
+                    Event(case, record.name, FINISH, record.finish, outcome=record.outcome),
+                )
+            )
+    keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [event for _time, _phase, _sequence, event in keyed]
+
+
+def log_from_traces(traces: Mapping[str, ExecutionTrace]) -> EventLog:
+    """Merge ``case -> trace`` into one multi-case log (cases concatenated)."""
+    log = EventLog()
+    for case, trace in traces.items():
+        log.extend(events_from_trace(trace, case))
+    return log
+
+
+def log_from_results(results: Iterable, prefix: str = "case") -> EventLog:
+    """Build a log from :class:`~repro.scheduler.engine.ExecutionResult`
+    objects, numbering cases ``<prefix>-1``, ``<prefix>-2`` ..."""
+    log = EventLog()
+    for index, result in enumerate(results, start=1):
+        log.extend(events_from_trace(result.trace, "%s-%d" % (prefix, index)))
+    return log
+
+
+def log_from_jsonl_trace(text: str, case: str) -> EventLog:
+    """Rehydrate a serialized :class:`ExecutionTrace` and adapt it."""
+    return EventLog(events_from_trace(ExecutionTrace.from_jsonl(text), case))

@@ -1,0 +1,284 @@
+"""Event and log model for conformance checking.
+
+An :class:`Event` is one observed lifecycle transition of one activity in
+one *case* (process instance): the activity started, finished (optionally
+with a guard outcome) or was skipped by dead-path elimination.  An
+:class:`EventLog` is a chronological sequence of events, possibly
+interleaving many cases — exactly what a process engine's audit trail or
+a message broker topic delivers.
+
+Logs read and write three formats:
+
+* **JSON Lines** — one event object per line; the native format, also what
+  ``dscweaver simulate --record`` emits and ``dscweaver monitor`` consumes;
+* **CSV** — ``case,activity,lifecycle,time,outcome`` with a header row;
+* **XES** (import only) — the IEEE standard process-mining interchange
+  format; ``lifecycle:transition`` values ``start``/``complete`` map onto
+  our ``start``/``finish``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: The three observable lifecycle transitions.
+START = "start"
+FINISH = "finish"
+SKIP = "skip"
+LIFECYCLES = (START, FINISH, SKIP)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observed lifecycle transition.
+
+    ``outcome`` is only meaningful on ``finish`` events of guard
+    activities; ``time`` is any monotonically non-decreasing clock (the
+    simulator's virtual time, a wall-clock epoch, or a plain sequence
+    number when the source log has no timestamps).
+    """
+
+    case: str
+    activity: str
+    lifecycle: str
+    time: float
+    outcome: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.lifecycle not in LIFECYCLES:
+            raise ValueError(
+                "unknown lifecycle %r (expected one of %s)"
+                % (self.lifecycle, ", ".join(LIFECYCLES))
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "case": self.case,
+            "activity": self.activity,
+            "lifecycle": self.lifecycle,
+            "time": self.time,
+        }
+        if self.outcome is not None:
+            payload["outcome"] = self.outcome
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Event":
+        return cls(
+            case=str(payload["case"]),
+            activity=str(payload["activity"]),
+            lifecycle=str(payload["lifecycle"]),
+            time=float(payload["time"]),
+            outcome=payload.get("outcome"),
+        )
+
+    def __str__(self) -> str:
+        rendered = "%s %s@%.1f [%s]" % (
+            self.lifecycle,
+            self.activity,
+            self.time,
+            self.case,
+        )
+        if self.outcome is not None:
+            rendered += " -> %s" % self.outcome
+        return rendered
+
+
+class EventLog:
+    """An ordered multi-case event log."""
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self.events: List[Event] = list(events)
+
+    def append(self, event: Event) -> "EventLog":
+        self.events.append(event)
+        return self
+
+    def extend(self, events: Iterable[Event]) -> "EventLog":
+        self.events.extend(events)
+        return self
+
+    def cases(self) -> Dict[str, List[Event]]:
+        """``case -> events`` preserving per-case order of appearance."""
+        grouped: Dict[str, List[Event]] = {}
+        for event in self.events:
+            grouped.setdefault(event.case, []).append(event)
+        return grouped
+
+    def case_ids(self) -> List[str]:
+        return list(self.cases())
+
+    def activities(self) -> List[str]:
+        """Every activity mentioned, in first-mention order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.activity, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventLog):
+            return NotImplemented
+        return self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EventLog(%d events, %d cases)" % (len(self.events), len(self.cases()))
+
+    # -- JSON Lines --------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(event.to_dict(), sort_keys=True) for event in self.events]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        log = cls()
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as error:
+                raise ValueError("line %d: invalid JSON (%s)" % (number, error))
+            try:
+                log.append(Event.from_dict(payload))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError("line %d: invalid event (%s)" % (number, error))
+        return log
+
+    def save_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "EventLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_jsonl(handle.read())
+
+    # -- CSV ---------------------------------------------------------------
+
+    CSV_FIELDS: Tuple[str, ...] = ("case", "activity", "lifecycle", "time", "outcome")
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.CSV_FIELDS)
+        for event in self.events:
+            writer.writerow(
+                (
+                    event.case,
+                    event.activity,
+                    event.lifecycle,
+                    repr(event.time),
+                    event.outcome or "",
+                )
+            )
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "EventLog":
+        reader = csv.DictReader(io.StringIO(text))
+        missing = set(cls.CSV_FIELDS[:4]) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError("CSV log missing column(s): %s" % ", ".join(sorted(missing)))
+        log = cls()
+        for row in reader:
+            log.append(
+                Event(
+                    case=row["case"],
+                    activity=row["activity"],
+                    lifecycle=row["lifecycle"],
+                    time=float(row["time"]),
+                    outcome=row.get("outcome") or None,
+                )
+            )
+        return log
+
+    # -- XES import --------------------------------------------------------
+
+    @classmethod
+    def from_xes(cls, text: str) -> "EventLog":
+        """Import an XES document (start/complete lifecycle transitions).
+
+        ``concept:name`` supplies case and activity names; events without a
+        ``lifecycle:transition`` default to ``complete`` (the common
+        single-transition export style, treated as an instantaneous
+        start+finish pair).  ``time:timestamp`` is optional — ordinal
+        position is used when absent.
+        """
+        try:
+            root = ElementTree.fromstring(text)
+        except ElementTree.ParseError as error:
+            raise ValueError("invalid XES document: %s" % error)
+        log = cls()
+        clock = 0.0
+        for index, trace in enumerate(_xes_children(root, "trace")):
+            case = _xes_attribute(trace, "concept:name") or ("case-%d" % (index + 1))
+            for event_element in _xes_children(trace, "event"):
+                activity = _xes_attribute(event_element, "concept:name")
+                if activity is None:
+                    continue
+                transition = (
+                    _xes_attribute(event_element, "lifecycle:transition") or "complete"
+                ).lower()
+                timestamp = _xes_timestamp(event_element)
+                if timestamp is None:
+                    clock += 1.0
+                    timestamp = clock
+                else:
+                    clock = max(clock, timestamp)
+                if transition == "start":
+                    log.append(Event(case, activity, START, timestamp))
+                elif transition == "complete":
+                    if not any(
+                        e.case == case and e.activity == activity and e.lifecycle == START
+                        for e in log.events
+                    ):
+                        log.append(Event(case, activity, START, timestamp))
+                    log.append(Event(case, activity, FINISH, timestamp))
+                # other transitions (suspend/resume/abort...) are out of scope
+        return log
+
+
+def _xes_children(element: ElementTree.Element, tag: str) -> List[ElementTree.Element]:
+    """Children named ``tag``, namespace-agnostic."""
+    return [
+        child
+        for child in element
+        if child.tag == tag or child.tag.endswith("}" + tag)
+    ]
+
+
+def _xes_attribute(element: ElementTree.Element, key: str) -> Optional[str]:
+    for child in element:
+        if child.get("key") == key:
+            return child.get("value")
+    return None
+
+
+def _xes_timestamp(element: ElementTree.Element) -> Optional[float]:
+    value = _xes_attribute(element, "time:timestamp")
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    # ISO-8601 wall-clock timestamps.
+    from datetime import datetime
+
+    try:
+        return datetime.fromisoformat(value.replace("Z", "+00:00")).timestamp()
+    except ValueError:
+        return None

@@ -1,0 +1,272 @@
+"""Synthetic log perturbations: known-violation corpora for testing.
+
+Each perturbation kind injects one specific defect into an otherwise clean
+event log and declares the ``CONF00x`` diagnostic it must trigger — the
+ground truth the conformance tests and benchmarks check the monitor
+against:
+
+================  ===========================================  =========
+kind              defect injected                              expected
+================  ===========================================  =========
+``swap``          target's start moved before source's finish  CONF001
+``drop_finish``   a constraint source's finish event removed   CONF001
+``duplicate``     a start event duplicated                     CONF004
+``orphan_finish`` a start event removed (finish kept)          CONF004
+``alien``         events of an unknown activity inserted       CONF005
+``dead_branch``   a skipped activity executed anyway           CONF006
+``truncate``      the tail of a case cut off                   CONF007
+================  ===========================================  =========
+
+Generation is deterministic given the seed.  ``truncate`` is the only
+*benign* perturbation: a prefix of a clean stream stays order-conformant,
+so it must yield only informational residue, not a violated verdict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.conditions import Cond
+from repro.conformance.events import FINISH, SKIP, START, Event, EventLog
+
+PERTURBATION_KINDS = (
+    "swap",
+    "drop_finish",
+    "duplicate",
+    "orphan_finish",
+    "alien",
+    "dead_branch",
+    "truncate",
+)
+
+#: kind -> the diagnostic code the monitor must emit for it.
+EXPECTED_CODES: Dict[str, str] = {
+    "swap": "CONF001",
+    "drop_finish": "CONF001",
+    "duplicate": "CONF004",
+    "orphan_finish": "CONF004",
+    "alien": "CONF005",
+    "dead_branch": "CONF006",
+    "truncate": "CONF007",
+}
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """What was injected where, and what the monitor must say about it."""
+
+    kind: str
+    case: str
+    description: str
+    expected_code: str
+
+
+class PerturbationError(ValueError):
+    """The log offers no injection site for the requested kind."""
+
+
+ConstraintKey = Tuple[str, str, Optional[str]]
+
+
+def _constraint_keys(constraints: Iterable) -> List[ConstraintKey]:
+    keys: List[ConstraintKey] = []
+    for constraint in constraints:
+        keys.append(
+            (constraint.source, constraint.target, getattr(constraint, "condition", None))
+        )
+    return keys
+
+
+def _active_sites(
+    events: Sequence[Event], constraints: Iterable, unconditional_only: bool = False
+) -> List[Tuple[ConstraintKey, int, int]]:
+    """``(constraint, finish index, start index)`` for constraints that are
+    *active* in the log: source finished (on the required branch) before the
+    target started within the same case."""
+    sites: List[Tuple[ConstraintKey, int, int]] = []
+    position: Dict[Tuple[str, str, str], int] = {}
+    outcomes: Dict[Tuple[str, str], Optional[str]] = {}
+    for index, event in enumerate(events):
+        position.setdefault((event.case, event.activity, event.lifecycle), index)
+        if event.lifecycle == FINISH:
+            outcomes[(event.case, event.activity)] = event.outcome
+    cases = {event.case for event in events}
+    for key in _constraint_keys(constraints):
+        source, target, condition = key
+        if unconditional_only and condition is not None:
+            continue
+        for case in cases:
+            finish_at = position.get((case, source, FINISH))
+            start_at = position.get((case, target, START))
+            if finish_at is None or start_at is None or finish_at >= start_at:
+                continue
+            if condition is not None and outcomes.get((case, source)) != condition:
+                continue
+            sites.append((key, finish_at, start_at))
+    sites.sort(key=lambda site: (site[0], site[1]))
+    return sites
+
+
+def perturb(
+    log: EventLog,
+    kind: str,
+    constraints: Iterable = (),
+    guards: Optional[Mapping[str, FrozenSet[Cond]]] = None,
+    seed: int = 0,
+) -> Tuple[EventLog, Perturbation]:
+    """Inject one ``kind`` defect into a copy of ``log``.
+
+    ``constraints`` (any objects with ``source``/``target``/``condition``)
+    are needed by ``swap`` and ``drop_finish`` to pick an ordering that is
+    actually monitored; ``guards`` is needed by ``dead_branch`` to find a
+    skipped activity whose execution would break its guard.
+    """
+    rng = random.Random(seed)
+    events = list(log.events)
+    if kind == "swap":
+        sites = _active_sites(events, constraints)
+        if not sites:
+            raise PerturbationError("no active constraint to swap in this log")
+        (source, target, condition), finish_at, start_at = sites[
+            rng.randrange(len(sites))
+        ]
+        moved = events.pop(start_at)
+        moved = Event(
+            moved.case, moved.activity, moved.lifecycle, events[finish_at].time
+        )
+        events.insert(finish_at, moved)
+        perturbation = Perturbation(
+            kind,
+            moved.case,
+            "moved start of %s before finish of %s (breaks %s -> %s)"
+            % (target, source, source, target),
+            EXPECTED_CODES[kind],
+        )
+    elif kind == "drop_finish":
+        sites = _active_sites(events, constraints, unconditional_only=True)
+        if not sites:
+            raise PerturbationError("no unconditional constraint active in this log")
+        (source, target, _condition), finish_at, _start_at = sites[
+            rng.randrange(len(sites))
+        ]
+        dropped = events.pop(finish_at)
+        perturbation = Perturbation(
+            kind,
+            dropped.case,
+            "dropped finish of %s (leaves %s -> %s unsatisfied)"
+            % (source, source, target),
+            EXPECTED_CODES[kind],
+        )
+    elif kind == "duplicate":
+        starts = [i for i, e in enumerate(events) if e.lifecycle == START]
+        if not starts:
+            raise PerturbationError("log has no start event to duplicate")
+        index = starts[rng.randrange(len(starts))]
+        events.insert(index + 1, events[index])
+        perturbation = Perturbation(
+            kind,
+            events[index].case,
+            "duplicated start of %s" % events[index].activity,
+            EXPECTED_CODES[kind],
+        )
+    elif kind == "orphan_finish":
+        candidates = [
+            i
+            for i, e in enumerate(events)
+            if e.lifecycle == START
+            and any(
+                o.case == e.case and o.activity == e.activity and o.lifecycle == FINISH
+                for o in events
+            )
+        ]
+        if not candidates:
+            raise PerturbationError("log has no start/finish pair to orphan")
+        index = candidates[rng.randrange(len(candidates))]
+        dropped = events.pop(index)
+        perturbation = Perturbation(
+            kind,
+            dropped.case,
+            "dropped start of %s (finish becomes an orphan)" % dropped.activity,
+            EXPECTED_CODES[kind],
+        )
+    elif kind == "alien":
+        if not events:
+            raise PerturbationError("cannot inject into an empty log")
+        anchor = events[rng.randrange(len(events))]
+        clock = max(event.time for event in events)
+        events.append(Event(anchor.case, "alienActivity", START, clock))
+        perturbation = Perturbation(
+            kind,
+            anchor.case,
+            "injected events of unknown activity 'alienActivity'",
+            EXPECTED_CODES[kind],
+        )
+    elif kind == "dead_branch":
+        guards = guards or {}
+        candidates = [
+            i
+            for i, e in enumerate(events)
+            if e.lifecycle == SKIP and guards.get(e.activity)
+        ]
+        if not candidates:
+            raise PerturbationError("log has no skipped guarded activity")
+        index = candidates[rng.randrange(len(candidates))]
+        skipped = events[index]
+        events[index : index + 1] = [
+            Event(skipped.case, skipped.activity, START, skipped.time),
+            Event(skipped.case, skipped.activity, FINISH, skipped.time),
+        ]
+        perturbation = Perturbation(
+            kind,
+            skipped.case,
+            "executed dead-path activity %s instead of skipping it"
+            % skipped.activity,
+            EXPECTED_CODES[kind],
+        )
+    elif kind == "truncate":
+        cases = sorted({e.case for e in events})
+        if not cases:
+            raise PerturbationError("cannot truncate an empty log")
+        case = cases[rng.randrange(len(cases))]
+        indices = [i for i, e in enumerate(events) if e.case == case]
+        if len(indices) < 2:
+            raise PerturbationError("case %r too short to truncate" % case)
+        cut = indices[len(indices) // 2]
+        events = [e for i, e in enumerate(events) if e.case != case or i < cut]
+        perturbation = Perturbation(
+            kind,
+            case,
+            "truncated case %r at its midpoint" % case,
+            EXPECTED_CODES[kind],
+        )
+    else:
+        raise PerturbationError(
+            "unknown perturbation kind %r (expected one of %s)"
+            % (kind, ", ".join(PERTURBATION_KINDS))
+        )
+    return EventLog(events), perturbation
+
+
+def perturbation_corpus(
+    log: EventLog,
+    constraints: Iterable = (),
+    guards: Optional[Mapping[str, FrozenSet[Cond]]] = None,
+    kinds: Sequence[str] = PERTURBATION_KINDS,
+    seed: int = 0,
+) -> List[Tuple[EventLog, Perturbation]]:
+    """One perturbed copy of ``log`` per kind; kinds without an injection
+    site in this log are silently skipped."""
+    corpus: List[Tuple[EventLog, Perturbation]] = []
+    constraints = list(constraints)
+    for offset, kind in enumerate(kinds):
+        try:
+            corpus.append(
+                perturb(
+                    log, kind, constraints=constraints, guards=guards, seed=seed + offset
+                )
+            )
+        except PerturbationError:
+            continue
+    return corpus

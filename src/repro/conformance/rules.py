@@ -1,0 +1,94 @@
+"""CONF00x rule metadata, registered with the :mod:`repro.lint` engine.
+
+Conformance findings are produced by the *runtime* monitor, not by a
+static check — but registering the codes here gives them the same
+first-class treatment as the static rules: they appear in the SARIF
+``tool.driver.rules`` table, honor ``--select``/``--ignore`` prefixes
+(``CONF`` selects the group), and can surface through :func:`run_lint`
+when a :class:`~repro.conformance.replay.ReplayReport` is attached to the
+lint context (``context.replay = report``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import LintContext, rule
+
+
+def _replayed(context: LintContext, code: str) -> Iterable[Diagnostic]:
+    report = getattr(context, "replay", None)
+    if report is None:
+        return ()
+    return tuple(d for d in report.diagnostics if d.code == code)
+
+
+@rule(
+    "CONF001",
+    "order-violation",
+    "an activity started before a happen-before source finished",
+    Severity.ERROR,
+)
+def check_order_violations(context: LintContext) -> Iterable[Diagnostic]:
+    return _replayed(context, "CONF001")
+
+
+@rule(
+    "CONF002",
+    "state-order-violation",
+    "a fine-grained state-level happen-before was violated",
+    Severity.ERROR,
+)
+def check_state_order_violations(context: LintContext) -> Iterable[Diagnostic]:
+    return _replayed(context, "CONF002")
+
+
+@rule(
+    "CONF003",
+    "exclusive-overlap",
+    "two Exclusive activities ran concurrently",
+    Severity.ERROR,
+)
+def check_exclusive_overlaps(context: LintContext) -> Iterable[Diagnostic]:
+    return _replayed(context, "CONF003")
+
+
+@rule(
+    "CONF004",
+    "lifecycle-violation",
+    "an event broke the start/finish/skip lifecycle of its activity",
+    Severity.ERROR,
+)
+def check_lifecycle_violations(context: LintContext) -> Iterable[Diagnostic]:
+    return _replayed(context, "CONF004")
+
+
+@rule(
+    "CONF005",
+    "unknown-activity",
+    "an event names an activity outside the monitored constraint set",
+    Severity.WARNING,
+)
+def check_unknown_activities(context: LintContext) -> Iterable[Diagnostic]:
+    return _replayed(context, "CONF005")
+
+
+@rule(
+    "CONF006",
+    "guard-violation",
+    "an activity executed although its execution guard disabled it",
+    Severity.ERROR,
+)
+def check_guard_violations(context: LintContext) -> Iterable[Diagnostic]:
+    return _replayed(context, "CONF006")
+
+
+@rule(
+    "CONF007",
+    "obligation-residue",
+    "a case ended with unresolved (pending) obligations",
+    Severity.INFO,
+)
+def check_obligation_residue(context: LintContext) -> Iterable[Diagnostic]:
+    return _replayed(context, "CONF007")

@@ -1,9 +1,16 @@
-"""Execution traces: what happened when during a simulated run."""
+"""Execution traces: what happened when during a simulated run.
+
+Traces are also the bridge into :mod:`repro.conformance`: they serialize
+to JSON Lines (:meth:`ExecutionTrace.to_jsonl` /
+:meth:`ExecutionTrace.from_jsonl`), and the conformance adapter turns a
+trace into a replayable event log.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -27,6 +34,25 @@ class ActivityRecord:
     @property
     def skipped(self) -> bool:
         return self.skipped_at is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; ``None`` fields are omitted."""
+        payload: Dict[str, Any] = {"name": self.name}
+        for key in ("start", "finish", "skipped_at", "outcome"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ActivityRecord":
+        return cls(
+            name=payload["name"],
+            start=payload.get("start"),
+            finish=payload.get("finish"),
+            skipped_at=payload.get("skipped_at"),
+            outcome=payload.get("outcome"),
+        )
 
 
 @dataclass
@@ -68,3 +94,46 @@ class ExecutionTrace:
     def makespan(self) -> float:
         finishes = [r.finish for r in self.records.values() if r.finish is not None]
         return max(finishes) if finishes else 0.0
+
+    # -- serialization -----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize as JSON Lines: one ``note`` object per log entry (in
+        chronological engine order) followed by one ``record`` object per
+        activity.  The note stream preserves the exact event interleaving
+        the engine produced, which :mod:`repro.conformance` relies on to
+        replay same-timestamp events in their true causal order."""
+        lines: List[str] = []
+        for time, message in self.log:
+            lines.append(
+                json.dumps({"type": "note", "time": time, "message": message})
+            )
+        for record in self.records.values():
+            lines.append(
+                json.dumps({"type": "record", **record.to_dict()}, sort_keys=True)
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ExecutionTrace":
+        """Rebuild a trace from :meth:`to_jsonl` output (round-trip safe)."""
+        trace = cls()
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as error:
+                raise ValueError("line %d: invalid JSON (%s)" % (number, error))
+            kind = payload.get("type")
+            if kind == "note":
+                trace.note(float(payload["time"]), str(payload["message"]))
+            elif kind == "record":
+                trace.record(ActivityRecord.from_dict(payload))
+            else:
+                raise ValueError(
+                    "line %d: unknown entry type %r (expected note or record)"
+                    % (number, kind)
+                )
+        return trace

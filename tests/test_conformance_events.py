@@ -1,0 +1,221 @@
+"""Tests for the conformance event/log model and its three I/O formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    FINISH,
+    SKIP,
+    START,
+    Event,
+    EventLog,
+    events_from_trace,
+    log_from_jsonl_trace,
+    log_from_traces,
+)
+from repro.scheduler.events import ActivityRecord, ExecutionTrace
+
+
+def sample_log() -> EventLog:
+    return EventLog(
+        [
+            Event("case-1", "a", START, 0.0),
+            Event("case-1", "a", FINISH, 1.0),
+            Event("case-2", "a", START, 0.0),
+            Event("case-1", "g", START, 1.0),
+            Event("case-1", "g", FINISH, 2.0, outcome="T"),
+            Event("case-1", "c", SKIP, 2.0),
+            Event("case-2", "a", FINISH, 2.5),
+        ]
+    )
+
+
+class TestEvent:
+    def test_rejects_unknown_lifecycle(self):
+        with pytest.raises(ValueError, match="unknown lifecycle"):
+            Event("c", "a", "explode", 0.0)
+
+    def test_dict_round_trip(self):
+        event = Event("c", "g", FINISH, 2.0, outcome="T")
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_dict_omits_missing_outcome(self):
+        assert "outcome" not in Event("c", "a", START, 0.0).to_dict()
+
+    def test_str_includes_outcome(self):
+        assert "-> T" in str(Event("c", "g", FINISH, 2.0, outcome="T"))
+        assert "-> " not in str(Event("c", "g", FINISH, 2.0))
+
+
+class TestEventLog:
+    def test_cases_preserve_order(self):
+        log = sample_log()
+        cases = log.cases()
+        assert list(cases) == ["case-1", "case-2"]
+        assert [e.lifecycle for e in cases["case-2"]] == [START, FINISH]
+
+    def test_activities_first_mention_order(self):
+        assert sample_log().activities() == ["a", "g", "c"]
+
+    def test_len_and_iter(self):
+        log = sample_log()
+        assert len(log) == 7
+        assert sum(1 for _ in log) == 7
+
+    def test_append_extend_chain(self):
+        log = EventLog().append(Event("c", "a", START, 0.0))
+        log.extend([Event("c", "a", FINISH, 1.0)])
+        assert len(log) == 2
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        log = sample_log()
+        assert EventLog.from_jsonl(log.to_jsonl()) == log
+
+    def test_blank_lines_skipped(self):
+        text = sample_log().to_jsonl().replace("\n", "\n\n")
+        assert EventLog.from_jsonl(text) == sample_log()
+
+    def test_invalid_json_names_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            EventLog.from_jsonl('{"case":"c","activity":"a","lifecycle":"start","time":0}\nnot json')
+
+    def test_invalid_event_names_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            EventLog.from_jsonl('{"case":"c"}')
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        sample_log().save_jsonl(path)
+        assert EventLog.load_jsonl(path) == sample_log()
+
+    def test_empty_log_serializes_to_empty_text(self):
+        assert EventLog().to_jsonl() == ""
+        assert EventLog.from_jsonl("") == EventLog()
+
+
+class TestCsv:
+    def test_round_trip(self):
+        log = sample_log()
+        assert EventLog.from_csv(log.to_csv()) == log
+
+    def test_header_present(self):
+        assert sample_log().to_csv().splitlines()[0] == "case,activity,lifecycle,time,outcome"
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="missing column"):
+            EventLog.from_csv("case,activity\nc,a\n")
+
+
+class TestXes:
+    XES = """
+    <log xmlns="http://www.xes-standard.org/">
+      <trace>
+        <string key="concept:name" value="order-7"/>
+        <event>
+          <string key="concept:name" value="a"/>
+          <string key="lifecycle:transition" value="start"/>
+          <float key="time:timestamp" value="1.0"/>
+        </event>
+        <event>
+          <string key="concept:name" value="a"/>
+          <string key="lifecycle:transition" value="complete"/>
+          <float key="time:timestamp" value="2.0"/>
+        </event>
+        <event>
+          <string key="concept:name" value="b"/>
+        </event>
+      </trace>
+    </log>
+    """
+
+    def test_start_complete_mapping(self):
+        log = EventLog.from_xes(self.XES)
+        assert log.events[0] == Event("order-7", "a", START, 1.0)
+        assert log.events[1] == Event("order-7", "a", FINISH, 2.0)
+
+    def test_complete_only_synthesizes_start(self):
+        log = EventLog.from_xes(self.XES)
+        b_events = [e for e in log if e.activity == "b"]
+        assert [e.lifecycle for e in b_events] == [START, FINISH]
+        # No timestamp: the ordinal clock keeps b after a.
+        assert all(e.time >= 2.0 for e in b_events)
+
+    def test_unnamed_trace_gets_numbered_case(self):
+        log = EventLog.from_xes(
+            "<log><trace><event>"
+            '<string key="concept:name" value="x"/>'
+            "</event></trace></log>"
+        )
+        assert log.case_ids() == ["case-1"]
+
+    def test_iso_timestamps_parse(self):
+        log = EventLog.from_xes(
+            "<log><trace><event>"
+            '<string key="concept:name" value="x"/>'
+            '<date key="time:timestamp" value="2026-01-01T00:00:00Z"/>'
+            "</event></trace></log>"
+        )
+        assert log.events[0].time > 0
+
+    def test_invalid_document_rejected(self):
+        with pytest.raises(ValueError, match="invalid XES"):
+            EventLog.from_xes("<log><trace></log>")
+
+
+class TestAdapter:
+    def _noted_trace(self) -> ExecutionTrace:
+        trace = ExecutionTrace()
+        trace.note(0.0, "start a")
+        trace.note(1.0, "finish a -> T")
+        trace.note(1.0, "start b")  # same instant, after the enabling finish
+        trace.note(1.0, "skip c")
+        trace.note(2.0, "finish b")
+        trace.note(2.0, "callback svc.port")  # not an activity event
+        trace.record(ActivityRecord("a", start=0.0, finish=1.0, outcome="T"))
+        trace.record(ActivityRecord("b", start=1.0, finish=2.0))
+        trace.record(ActivityRecord("c", skipped_at=1.0))
+        return trace
+
+    def test_notes_drive_event_order(self):
+        events = events_from_trace(self._noted_trace(), "k")
+        assert [(e.activity, e.lifecycle) for e in events] == [
+            ("a", START),
+            ("a", FINISH),
+            ("b", START),
+            ("c", SKIP),
+            ("b", FINISH),
+        ]
+        assert events[1].outcome == "T"
+        assert all(e.case == "k" for e in events)
+
+    def test_noteless_trace_breaks_ties_finish_first(self):
+        trace = ExecutionTrace()
+        trace.record(ActivityRecord("b", start=1.0, finish=2.0))
+        trace.record(ActivityRecord("a", start=0.0, finish=1.0))
+        events = events_from_trace(trace, "k")
+        # a finishes at 1.0; b starts at 1.0: the finish must come first.
+        kinds = [(e.activity, e.lifecycle) for e in events]
+        assert kinds.index(("a", FINISH)) < kinds.index(("b", START))
+
+    def test_noteless_zero_duration_keeps_start_before_finish(self):
+        trace = ExecutionTrace()
+        trace.record(ActivityRecord("a", start=1.0, finish=1.0))
+        events = events_from_trace(trace, "k")
+        assert [(e.activity, e.lifecycle) for e in events] == [
+            ("a", START),
+            ("a", FINISH),
+        ]
+
+    def test_log_from_traces_concatenates_cases(self):
+        log = log_from_traces(
+            {"c1": self._noted_trace(), "c2": self._noted_trace()}
+        )
+        assert log.case_ids() == ["c1", "c2"]
+        assert len(log) == 10
+
+    def test_log_from_jsonl_trace(self):
+        log = log_from_jsonl_trace(self._noted_trace().to_jsonl(), "k")
+        assert log == EventLog(events_from_trace(self._noted_trace(), "k"))

@@ -1,0 +1,155 @@
+"""Property-based conformance tests.
+
+Two properties close the loop between the scheduler and the monitor:
+
+1. **Soundness of legal runs** — for any synthetic process, any guard
+   outcome combination, and either constraint set, the log of a
+   :class:`ConstraintScheduler` run replays violation-free, and the full
+   and minimal monitors reach identical per-case verdicts.
+2. **Recall on perturbations** — any injectable perturbation of a clean
+   purchasing log is flagged with exactly the declared ``CONF00x`` code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.conformance import (
+    EventLog,
+    PERTURBATION_KINDS,
+    PerturbationError,
+    events_from_trace,
+    log_from_traces,
+    perturb,
+    program_from_weave,
+    replay,
+    verdicts_agree,
+)
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.scheduler.engine import ConstraintScheduler
+from repro.workloads.purchasing import (
+    build_purchasing_process,
+    purchasing_cooperation_dependencies,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate_dependency_set
+
+_SYNTHETIC_CACHE: Dict[int, Tuple[object, object, object, object]] = {}
+
+
+def _synthetic(seed: int):
+    """(process, weave, minimal program, full program) for one seed."""
+    if seed not in _SYNTHETIC_CACHE:
+        process, dependencies = generate_dependency_set(
+            SyntheticSpec(
+                n_activities=20,
+                n_services=2,
+                n_branches=2,
+                branch_width=4,
+                coop_density=0.6,
+                seed=seed,
+            )
+        )
+        weave = DSCWeaver().weave(process, dependencies)
+        _SYNTHETIC_CACHE[seed] = (
+            process,
+            weave,
+            program_from_weave(weave, which="minimal"),
+            program_from_weave(weave, which="full"),
+        )
+    return _SYNTHETIC_CACHE[seed]
+
+
+_PURCHASING_CACHE: Dict[str, Tuple[object, object, object]] = {}
+
+
+def _purchasing():
+    """(clean two-branch log, minimal program, full program), built once."""
+    if "log" not in _PURCHASING_CACHE:
+        process = build_purchasing_process()
+        dependencies = extract_all_dependencies(
+            process, cooperation=purchasing_cooperation_dependencies(process)
+        )
+        weave = DSCWeaver().weave(process, dependencies)
+        traces = {}
+        for case, outcomes in (("case-1", {}), ("case-2", {"if_au": "F"})):
+            run = ConstraintScheduler(process, weave.minimal).run(outcomes=outcomes)
+            traces[case] = run.trace
+        _PURCHASING_CACHE["log"] = (
+            log_from_traces(traces),
+            program_from_weave(weave, which="minimal"),
+            program_from_weave(weave, which="full"),
+        )
+    return _PURCHASING_CACHE["log"]
+
+
+@st.composite
+def scheduler_runs(draw):
+    """A synthetic process plus one guard-outcome assignment."""
+    seed = draw(st.integers(min_value=0, max_value=4))
+    process, weave, minimal, full = _synthetic(seed)
+    guards = sorted(a.name for a in process.activities if a.is_guard)
+    outcomes = {
+        guard: draw(st.sampled_from(["T", "F"])) for guard in guards
+    }
+    return process, weave, minimal, full, outcomes
+
+
+class TestLegalRunsReplayClean:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scheduler_runs())
+    def test_any_interleaving_is_conformant(self, drawn):
+        process, weave, minimal, full, outcomes = drawn
+        run = ConstraintScheduler(process, weave.minimal).run(outcomes=outcomes)
+        log = EventLog(events_from_trace(run.trace, "case"))
+        minimal_report = replay(log, minimal)
+        full_report = replay(log, full)
+        assert minimal_report.clean, minimal_report.diagnostics
+        assert full_report.clean, full_report.diagnostics
+        assert verdicts_agree(minimal_report, full_report)
+        assert minimal_report.checks <= full_report.checks
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scheduler_runs())
+    def test_full_set_schedule_also_replays_clean(self, drawn):
+        process, weave, minimal, _full, outcomes = drawn
+        # Schedule under the *full* set, monitor with the *minimal* one:
+        # the minimal monitor accepts every legal full-set schedule.
+        run = ConstraintScheduler(process, weave.asc).run(outcomes=outcomes)
+        log = EventLog(events_from_trace(run.trace, "case"))
+        assert replay(log, minimal).clean
+
+
+class TestPerturbationsAreCaught:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        kind=st.sampled_from(PERTURBATION_KINDS),
+        seed=st.integers(min_value=0, max_value=31),
+    )
+    def test_every_injectable_perturbation_is_flagged(self, kind, seed):
+        log, minimal, full = _purchasing()
+        try:
+            perturbed, perturbation = perturb(
+                log,
+                kind,
+                constraints=minimal.constraints,
+                guards=minimal.guards,
+                seed=seed,
+            )
+        except PerturbationError:
+            assume(False)
+            return
+        minimal_report = replay(perturbed, minimal)
+        assert minimal_report.counts_by_code()[perturbation.expected_code] >= 1
+        # Minimization never changes the verdict on a defective log either.
+        assert verdicts_agree(minimal_report, replay(perturbed, full))

@@ -100,3 +100,50 @@ class TestExecutionTrace:
         trace.note(0.0, "start a")
         trace.note(1.0, "finish a")
         assert trace.log == [(0.0, "start a"), (1.0, "finish a")]
+
+
+class TestTraceSerialization:
+    def _trace(self) -> ExecutionTrace:
+        trace = ExecutionTrace()
+        trace.note(0.0, "start a")
+        trace.note(1.0, "finish a")
+        trace.note(1.0, "start b")
+        trace.record(ActivityRecord("a", start=0.0, finish=1.0))
+        trace.record(ActivityRecord("b", start=1.0, finish=3.0, outcome="T"))
+        trace.record(ActivityRecord("c", skipped_at=3.0))
+        return trace
+
+    def test_record_dict_round_trip(self):
+        record = ActivityRecord("b", start=1.0, finish=3.0, outcome="T")
+        assert ActivityRecord.from_dict(record.to_dict()) == record
+
+    def test_record_dict_omits_none_fields(self):
+        assert ActivityRecord("c", skipped_at=3.0).to_dict() == {
+            "name": "c",
+            "skipped_at": 3.0,
+        }
+
+    def test_jsonl_round_trip(self):
+        trace = self._trace()
+        rebuilt = ExecutionTrace.from_jsonl(trace.to_jsonl())
+        assert rebuilt.records == trace.records
+        assert rebuilt.log == trace.log
+
+    def test_jsonl_preserves_note_order(self):
+        rebuilt = ExecutionTrace.from_jsonl(self._trace().to_jsonl())
+        assert [message for _time, message in rebuilt.log] == [
+            "start a",
+            "finish a",
+            "start b",
+        ]
+
+    def test_empty_trace_round_trip(self):
+        assert ExecutionTrace.from_jsonl(ExecutionTrace().to_jsonl()).records == {}
+
+    def test_invalid_json_reports_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            ExecutionTrace.from_jsonl("not json")
+
+    def test_unknown_entry_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown entry type"):
+            ExecutionTrace.from_jsonl('{"type": "mystery"}')

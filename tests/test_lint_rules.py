@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.conformance.rules  # noqa: F401  (registers the CONF00x rules)
 from repro.analysis.conditions import Cond, ConditionDomains
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
 from repro.dscl.ast import Exclusive, StateRef
@@ -20,6 +21,13 @@ from repro.lint import (
 from repro.model.activity import ActivityState
 
 ALL_CODES = (
+    "CONF001",
+    "CONF002",
+    "CONF003",
+    "CONF004",
+    "CONF005",
+    "CONF006",
+    "CONF007",
     "RED001",
     "SPEC001",
     "SPEC002",
