@@ -13,15 +13,19 @@ Subcommands::
     dscweaver lint purchasing --format sarif      # static analysis (repro.lint)
     dscweaver replay purchasing --log run.jsonl   # conformance replay
     dscweaver monitor purchasing < stream.jsonl   # online conformance
+    dscweaver serve purchasing --cases 1000 --shards 8   # multi-case runtime
+    dscweaver serve purchasing --journal wal.jsonl --crash-after 500
+    dscweaver serve purchasing --journal wal.jsonl --recover
 
 Workloads: purchasing, deployment, loan, travel, insurance.
 
 Exit codes: ``validate`` returns 1 when the specification has conflicts
 (cycles, unsatisfiable guards) or the Petri net is unsound; ``lint``
 returns 1 when any finding is at or above ``--fail-on`` (default
-``error``); ``replay``/``monitor`` return 1 when any conformance finding
-is at or above ``--fail-on`` (default ``warning``); all return 2 on usage
-errors and 0 on a clean specification/log.
+``error``); ``replay``/``monitor``/``serve`` return 1 when any finding is
+at or above ``--fail-on`` (default ``warning``); ``serve`` returns 3 on a
+simulated crash (``--crash-after``); all return 2 on usage errors and 0
+on a clean specification/log/run.
 """
 
 from __future__ import annotations
@@ -257,6 +261,132 @@ def _run_monitor_command(arguments) -> int:
     return 1 if gating else 0
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's.
+
+    The fallback matters because the repository is routinely run straight
+    off ``PYTHONPATH=src`` without being pip-installed, in which case
+    ``importlib.metadata`` has no distribution to consult.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        PackageNotFoundError = Exception  # type: ignore[assignment]
+        version = None  # type: ignore[assignment]
+    if version is not None:
+        for distribution in ("repro", "dscweaver"):
+            try:
+                return version(distribution)
+            except PackageNotFoundError:
+                continue
+    import repro
+
+    return repro.__version__
+
+
+def _case_plans(program, count: int) -> Dict[str, Dict[str, str]]:
+    """``count`` case outcome plans enumerating guard-domain combinations.
+
+    The case index is read as a mixed-radix number over the guards' outcome
+    domains, so consecutive cases exercise every branch combination before
+    repeating — the synthetic workload behind ``dscweaver serve``.
+    """
+    guards = program.guard_names()
+    domains = {guard: program.outcome_domain(guard) for guard in guards}
+    plans: Dict[str, Dict[str, str]] = {}
+    for index in range(count):
+        plan: Dict[str, str] = {}
+        shift = index
+        for guard in guards:
+            domain = domains[guard]
+            plan[guard] = domain[shift % len(domain)]
+            shift //= len(domain)
+        plans["case-%05d" % index] = plan
+    return plans
+
+
+def _run_serve_command(arguments) -> int:
+    from repro.lint import Severity, render
+    from repro.runtime import (
+        RetryPolicies,
+        RetryPolicy,
+        Runtime,
+        SimulatedCrash,
+        program_from_weave,
+    )
+
+    if arguments.recover and not arguments.journal:
+        print("--recover requires --journal", file=sys.stderr)
+        return 2
+    if arguments.crash_after is not None and not arguments.journal:
+        print("--crash-after requires --journal", file=sys.stderr)
+        return 2
+
+    _process, result = _weave(arguments.workload)
+    program = program_from_weave(result, which=arguments.set)
+    plans = _case_plans(program, arguments.cases)
+    policies = RetryPolicies(
+        default=RetryPolicy(
+            failure_rate=arguments.failure_rate,
+            timeout=arguments.retry_timeout,
+            max_attempts=arguments.max_attempts,
+        )
+    )
+    options = dict(
+        shards=arguments.shards,
+        batch=arguments.batch,
+        indexed=not arguments.naive,
+        max_in_flight=arguments.max_in_flight,
+        max_queue=arguments.max_queue,
+        policies=policies,
+        seed=arguments.seed,
+    )
+    if arguments.recover:
+        runtime = Runtime.recover(
+            arguments.journal,
+            program,
+            crash_after=arguments.crash_after,
+            **options,
+        )
+        known = set(runtime.known_cases)
+        pending = {c: p for c, p in plans.items() if c not in known}
+        print(
+            "recovered journal %s: %d case(s) adopted or resumed, "
+            "%d resubmitted" % (arguments.journal, len(known), len(pending))
+        )
+        plans = pending
+    else:
+        runtime = Runtime(
+            program,
+            journal_path=arguments.journal,
+            crash_after=arguments.crash_after,
+            **options,
+        )
+    runtime.submit_batch(plans)
+    try:
+        report = runtime.run()
+    except SimulatedCrash as crash:
+        print(
+            "simulated crash after journal record %d; recover with: "
+            "dscweaver serve %s --cases %d --set %s --journal %s --recover"
+            % (
+                crash.records_written,
+                arguments.workload,
+                arguments.cases,
+                arguments.set,
+                arguments.journal,
+            )
+        )
+        return 3
+    finally:
+        runtime.close()
+
+    print(report.summary())
+    if report.diagnostics:
+        print(render(report.to_lint_report(), "text", title=arguments.workload), end="")
+    return report.exit_code(Severity.from_name(arguments.fail_on))
+
+
 def _parse_outcomes(pairs: List[str]) -> Dict[str, str]:
     outcomes: Dict[str, str] = {}
     for pair in pairs:
@@ -272,6 +402,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="dscweaver",
         description="Dependency categorization and optimization for business "
         "processes (ICDE 2007 reproduction).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version="%(prog)s " + _package_version(),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -439,6 +574,67 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="read events from this JSONL file instead of stdin",
     )
 
+    serve = add_conformance(
+        "serve", "run many concurrent cases through the sharded runtime"
+    )
+    serve.add_argument(
+        "--cases", type=int, default=1000, metavar="N",
+        help="number of cases to admit (default 1000)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, metavar="K",
+        help="instance-store shards (default 4)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=8, metavar="B",
+        help="cases advanced per shard per scheduling round (default 8)",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead JSONL journal (doubles as a conformance event log)",
+    )
+    serve.add_argument(
+        "--crash-after", type=int, default=None, metavar="N",
+        help="fault injection: simulate a crash after N journal records "
+        "(exit code 3)",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="recover from --journal: adopt completed cases, resume "
+        "in-flight ones, resubmit the rest",
+    )
+    serve.add_argument(
+        "--naive",
+        action="store_true",
+        help="use full-scan constraint evaluation instead of the "
+        "per-activity index",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help="admission control: bound concurrently executing cases",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="bound the admission waiting queue; overflow is rejected (RT002)",
+    )
+    serve.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="P",
+        help="per-attempt service loss probability (default 0: lossless)",
+    )
+    serve.add_argument(
+        "--retry-timeout", type=float, default=2.0, metavar="T",
+        help="virtual time units before a lost attempt is retried (default 2)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="delivery attempts before a case fails with RT001 (default 3)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the deterministic service-loss model (default 0)",
+    )
+
     arguments = parser.parse_args(argv)
 
     if arguments.command == "lint":
@@ -447,6 +643,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replay_command(arguments)
     if arguments.command == "monitor":
         return _run_monitor_command(arguments)
+    if arguments.command == "serve":
+        return _run_serve_command(arguments)
 
     if arguments.command == "uml":
         from repro.uml.extract import diagram_dependencies

@@ -1,0 +1,87 @@
+"""Admission control and backpressure for the multi-case runtime.
+
+The runtime bounds the number of *in-flight* cases (cases holding real
+resources: shard slots, journal traffic, service conversations).  Offers
+beyond ``max_in_flight`` wait in a bounded FIFO queue; offers beyond
+``max_queue`` are **rejected** immediately (an ``RT002`` diagnostic and a
+rejection counter) — load shedding at the door instead of collapse under
+it.  Every case completion frees one slot and promotes the longest-waiting
+queued case.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+#: Verdicts of :meth:`AdmissionController.offer`.
+ADMIT = "admit"
+QUEUE = "queue"
+REJECT = "reject"
+
+#: ``case -> guard outcomes`` pair travelling through the queue.
+Offer = Tuple[str, Dict[str, str]]
+
+
+class AdmissionController:
+    """Bounded in-flight slots plus a bounded waiting queue.
+
+    ``max_in_flight=None`` (default) admits everything immediately;
+    ``max_queue=None`` never rejects (the queue grows without bound).
+    """
+
+    def __init__(
+        self,
+        max_in_flight: Optional[int] = None,
+        max_queue: Optional[int] = None,
+    ) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.in_flight = 0
+        self.rejected = 0
+        self.peak_in_flight = 0
+        self.peak_queue_depth = 0
+        self._waiting: Deque[Offer] = deque()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiting)
+
+    def waiting_cases(self) -> Tuple[str, ...]:
+        return tuple(case for case, _outcomes in self._waiting)
+
+    def offer(self, case: str, outcomes: Dict[str, str]) -> str:
+        """Try to admit ``case``; returns :data:`ADMIT`/:data:`QUEUE`/:data:`REJECT`."""
+        if self.max_in_flight is None or self.in_flight < self.max_in_flight:
+            self._take_slot()
+            return ADMIT
+        if self.max_queue is None or len(self._waiting) < self.max_queue:
+            self._waiting.append((case, dict(outcomes)))
+            self.peak_queue_depth = max(self.peak_queue_depth, len(self._waiting))
+            return QUEUE
+        self.rejected += 1
+        return REJECT
+
+    def force_admit(self) -> None:
+        """Take a slot unconditionally (recovery of already-admitted cases)."""
+        self._take_slot()
+
+    def complete(self) -> Optional[Offer]:
+        """Release one slot; returns the promoted offer, if any waited.
+
+        The promoted case keeps the released slot, so ``in_flight`` stays
+        constant while the queue drains.
+        """
+        self.in_flight -= 1
+        if self._waiting:
+            self._take_slot()
+            return self._waiting.popleft()
+        return None
+
+    def _take_slot(self) -> None:
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)

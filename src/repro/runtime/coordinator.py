@@ -1,0 +1,355 @@
+"""The multi-case coordination runtime.
+
+:class:`Runtime` admits process instances (cases) against a single
+compiled :class:`~repro.runtime.program.ConstraintProgram`, places them on
+hash shards, and drives them in interleaved batches: each scheduling round
+takes a batch of runnable cases per shard and advances every case by
+exactly one discrete event.  Every lifecycle transition is written ahead
+to the JSONL journal; :meth:`Runtime.recover` rebuilds a crashed runtime
+from that journal — completed cases are never re-run, in-flight cases are
+re-executed deterministically while their journaled prefix is verified
+record-for-record (``RT003`` on divergence).
+
+The runtime never raises for a sick case: retry exhaustion (``RT001``),
+admission rejection (``RT002``), recovery divergence (``RT003``),
+deadlock (``RT004``) and runtime protocol faults (``RT005``) become
+:class:`~repro.lint.diagnostics.Diagnostic` records on the
+:class:`RuntimeReport`, so the text/JSON/SARIF renderers and ``--fail-on``
+gating of :mod:`repro.lint` apply unchanged.  The only exception that
+escapes :meth:`run` is :class:`~repro.runtime.journal.SimulatedCrash` —
+the fault-injection hook proving the recovery path.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.conformance.events import FINISH, SKIP, START
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+)
+from repro.runtime import rules as _rules  # noqa: F401  (registers RT00x rules)
+from repro.runtime.admission import ADMIT, QUEUE, AdmissionController
+from repro.runtime.instance import CaseInstance, CaseResult
+from repro.runtime.journal import (
+    COMPLETED,
+    Journal,
+    JournaledCase,
+    read_journal,
+)
+from repro.runtime.metrics import RuntimeMetrics, latency_quantiles
+from repro.runtime.program import ConstraintProgram
+from repro.runtime.retry import RetryPolicies
+from repro.runtime.rules import ADMISSION_REJECTED, RT_CODES
+from repro.runtime.store import ShardedStore
+
+
+@dataclass
+class RuntimeReport:
+    """Everything one serving run produced."""
+
+    metrics: RuntimeMetrics
+    results: Dict[str, CaseResult] = field(default_factory=dict)
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    def completed_cases(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(c for c, r in self.results.items() if r.status == COMPLETED)
+        )
+
+    def failed_cases(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(c for c, r in self.results.items() if r.status != COMPLETED)
+        )
+
+    def final_states(self) -> Dict[str, Tuple]:
+        """``case -> canonical final state`` for equivalence comparisons."""
+        return {case: result.final_state() for case, result in self.results.items()}
+
+    def to_lint_report(self) -> LintReport:
+        return LintReport.from_diagnostics(list(self.diagnostics), rules_run=RT_CODES)
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        return self.to_lint_report().exit_code(fail_on)
+
+    def summary(self) -> str:
+        return self.metrics.summary()
+
+
+def result_from_journal(journaled: JournaledCase) -> CaseResult:
+    """Rebuild a completed case's :class:`CaseResult` from its journal."""
+    starts: Dict[str, float] = {}
+    finishes: Dict[str, float] = {}
+    outcomes: Dict[str, str] = {}
+    skipped: List[str] = []
+    for event in journaled.events:
+        if event.lifecycle == START:
+            starts[event.activity] = event.time
+        elif event.lifecycle == FINISH:
+            finishes[event.activity] = event.time
+            if event.outcome is not None:
+                outcomes[event.activity] = event.outcome
+        elif event.lifecycle == SKIP:
+            skipped.append(event.activity)
+    executed = tuple(
+        (name, starts[name], finish)
+        for name, finish in sorted(finishes.items(), key=lambda kv: (kv[1], kv[0]))
+    )
+    makespan = max(finishes.values()) if finishes else 0.0
+    return CaseResult(
+        case=journaled.case,
+        status=journaled.status or COMPLETED,
+        makespan=journaled.completed_at if journaled.completed_at is not None else makespan,
+        outcomes=tuple(sorted(outcomes.items())),
+        executed=executed,
+        skipped=tuple(sorted(skipped)),
+        transitions=len(journaled.events),
+        reason=journaled.reason,
+    )
+
+
+class Runtime:
+    """Coordinates many concurrent cases over one constraint program.
+
+    Parameters
+    ----------
+    program:
+        The compiled constraint program all cases share.
+    shards:
+        Number of instance-store shards (``K``).
+    batch:
+        Cases advanced per shard per scheduling round.
+    indexed:
+        Use the per-activity constraint index (default); ``False`` swaps in
+        the naive full-scan evaluation as a cost baseline.
+    max_in_flight / max_queue:
+        Admission bounds (see :mod:`repro.runtime.admission`).
+    journal_path:
+        Enable the write-ahead journal at this path.
+    crash_after:
+        Fault injection: simulate a crash after N journal records.
+    policies:
+        Per-service retry-with-timeout policies.
+    seed:
+        Seed for the deterministic service-loss model.
+    """
+
+    def __init__(
+        self,
+        program: ConstraintProgram,
+        shards: int = 4,
+        batch: int = 8,
+        indexed: bool = True,
+        max_in_flight: Optional[int] = None,
+        max_queue: Optional[int] = None,
+        journal_path: Optional[str] = None,
+        crash_after: Optional[int] = None,
+        policies: Optional[RetryPolicies] = None,
+        seed: int = 0,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        self.program = program
+        self._batch = batch
+        self._indexed = indexed
+        self._seed = seed
+        self._policies = policies or RetryPolicies()
+        self._store = ShardedStore(shards)
+        self._admission = AdmissionController(max_in_flight, max_queue)
+        self._journal: Optional[Journal] = (
+            Journal(journal_path, crash_after=crash_after)
+            if journal_path is not None
+            else None
+        )
+        self._results: Dict[str, CaseResult] = {}
+        self._recovered: Dict[str, CaseResult] = {}
+        self._outcome_plans: Dict[str, Dict[str, str]] = {}
+        self.diagnostics: List[Diagnostic] = []
+        self._submitted = 0
+        self._admitted = 0
+        self._wall_seconds = 0.0
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal_path: str,
+        program: ConstraintProgram,
+        crash_after: Optional[int] = None,
+        **kwargs,
+    ) -> "Runtime":
+        """Rebuild a runtime from a (possibly crashed) journal.
+
+        Completed cases are adopted as-is; in-flight cases are re-admitted
+        with their journaled event prefix armed for verification.  The
+        journal is reopened in append mode, so the recovered run extends
+        the same file.
+        """
+        state = read_journal(journal_path)
+        runtime = cls(program, **kwargs)
+        runtime._journal = Journal(
+            journal_path,
+            resume=True,
+            crash_after=crash_after,
+            already_written=state.records,
+        )
+        for journaled in state.completed():
+            runtime._recovered[journaled.case] = result_from_journal(journaled)
+        for journaled in state.in_flight():
+            runtime._submitted += 1
+            runtime._admission.force_admit()
+            runtime._activate(
+                journaled.case,
+                journaled.outcomes,
+                prefix=tuple(journaled.events),
+                journal_admission=False,
+            )
+        return runtime
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def known_cases(self) -> Tuple[str, ...]:
+        """Every case this runtime owns (any state), sorted."""
+        known = set(self._results)
+        known.update(self._recovered)
+        known.update(self._store.active_cases())
+        known.update(self._admission.waiting_cases())
+        return tuple(sorted(known))
+
+    def submit(self, case: str, outcomes: Optional[Mapping[str, str]] = None) -> bool:
+        """Offer one case.  Returns False when admission rejected it."""
+        plan = dict(outcomes or {})
+        self._submitted += 1
+        verdict = self._admission.offer(case, plan)
+        if verdict == ADMIT:
+            self._activate(case, plan)
+            return True
+        if verdict == QUEUE:
+            return True
+        self.diagnostics.append(
+            Diagnostic(
+                code=ADMISSION_REJECTED,
+                severity=Severity.WARNING,
+                message="[%s] rejected: %d case(s) in flight and the waiting "
+                "queue is full" % (case, self._admission.in_flight),
+                location=SourceLocation("case", case),
+                evidence=(
+                    "max_in_flight: %s" % self._admission.max_in_flight,
+                    "max_queue: %s" % self._admission.max_queue,
+                ),
+            )
+        )
+        return False
+
+    def submit_batch(
+        self, plans: Mapping[str, Mapping[str, str]]
+    ) -> Tuple[str, ...]:
+        """Offer many cases; returns the rejected ones."""
+        rejected = [
+            case for case, outcomes in plans.items() if not self.submit(case, outcomes)
+        ]
+        return tuple(rejected)
+
+    def _activate(
+        self,
+        case: str,
+        outcomes: Dict[str, str],
+        prefix: Tuple = (),
+        journal_admission: bool = True,
+    ) -> None:
+        self._admitted += 1
+        self._outcome_plans[case] = dict(outcomes)
+        if self._journal is not None and journal_admission:
+            self._journal.admit(case, 0.0, outcomes)
+        instance = CaseInstance(
+            case,
+            self.program,
+            outcomes=outcomes,
+            indexed=self._indexed,
+            seed=self._seed,
+            policies=self._policies,
+            journal=self._journal,
+            replay_prefix=prefix,
+        )
+        self._store.add(instance)
+
+    # -- the scheduling loop -------------------------------------------------
+
+    def run(self) -> RuntimeReport:
+        """Drive every admitted case to completion and return the report.
+
+        :class:`~repro.runtime.journal.SimulatedCrash` (fault injection)
+        propagates to the caller; wall-clock time spent before the crash is
+        still accounted, so a recovered run reports only its own time.
+        """
+        started = _time.perf_counter()
+        try:
+            while self._store.any_runnable():
+                for shard in self._store.shards:
+                    for instance in shard.take_batch(self._batch):
+                        if instance.advance():
+                            shard.requeue(instance)
+                        else:
+                            shard.retire(instance)
+                            self._on_case_done(instance)
+        finally:
+            self._wall_seconds += _time.perf_counter() - started
+        return self.report()
+
+    def _on_case_done(self, instance: CaseInstance) -> None:
+        self._results[instance.case] = instance.result()
+        self.diagnostics.extend(instance.diagnostics)
+        promoted = self._admission.complete()
+        if promoted is not None:
+            case, outcomes = promoted
+            self._activate(case, outcomes)
+
+    # -- reporting -----------------------------------------------------------
+
+    def metrics(self) -> RuntimeMetrics:
+        completed = [r for r in self._results.values() if r.status == COMPLETED]
+        failed = len(self._results) - len(completed)
+        p50, p95 = latency_quantiles(tuple(r.makespan for r in completed))
+        return RuntimeMetrics(
+            shards=len(self._store.shards),
+            submitted=self._submitted,
+            admitted=self._admitted,
+            completed=len(completed),
+            failed=failed,
+            rejected=self._admission.rejected,
+            recovered=len(self._recovered),
+            in_flight=self._admission.in_flight,
+            queue_depth=self._admission.queue_depth,
+            peak_in_flight=self._admission.peak_in_flight,
+            peak_queue_depth=self._admission.peak_queue_depth,
+            retries=sum(r.retries for r in self._results.values()),
+            transitions=sum(r.transitions for r in self._results.values()),
+            checks=sum(r.checks for r in self._results.values()),
+            journal_records=(
+                self._journal.records_written if self._journal is not None else 0
+            ),
+            wall_seconds=self._wall_seconds,
+            latency_p50=p50,
+            latency_p95=p95,
+            shard_assigned=self._store.assigned_counts(),
+        )
+
+    def report(self) -> RuntimeReport:
+        results = dict(self._recovered)
+        results.update(self._results)
+        return RuntimeReport(
+            metrics=self.metrics(),
+            results=results,
+            diagnostics=tuple(self.diagnostics),
+        )
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()

@@ -1,0 +1,500 @@
+"""One process instance (case) executing against a shared constraint program.
+
+:class:`CaseInstance` is a *stepwise* re-implementation of the single-case
+discrete-event engine (:mod:`repro.scheduler.engine`): the coordinator
+calls :meth:`step` to process exactly one timed event, so thousands of
+cases interleave fairly across shards instead of each monopolizing the
+loop until completion.  Under the default lossless retry policy a case's
+transition sequence (activities, times, outcomes) is bit-for-bit identical
+to ``ConstraintScheduler.run`` — the property the crash-recovery and
+minimal-vs-full equivalence tests pin.
+
+Extras over the single-case engine:
+
+* every start/finish/skip is emitted as a conformance
+  :class:`~repro.conformance.events.Event` and written to the write-ahead
+  journal *before* the in-memory transition is applied;
+* recovery mode replays a journaled event prefix, verifying each replayed
+  transition record-for-record (``RT003`` on divergence) and re-journaling
+  nothing until the prefix is exhausted;
+* service invocations go through per-service retry-with-timeout policies
+  (``RT001`` when retries are exhausted);
+* a case whose event queue drains with unfinished activities fails with
+  ``RT004`` (deadlock) instead of raising, so one poisoned case cannot
+  take down the runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.conformance.events import FINISH, SKIP, START, Event
+from repro.errors import ProtocolViolation
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.model.activity import ActivityState
+from repro.runtime.journal import COMPLETED, FAILED, Journal
+from repro.runtime.program import ConstraintProgram
+from repro.runtime.retry import RetryPolicies
+from repro.runtime.rules import (
+    DEADLOCK,
+    JOURNAL_MISMATCH,
+    PROTOCOL_FAULT,
+    RETRY_EXHAUSTED,
+)
+
+OutcomeMap = Dict[str, str]
+
+
+class CaseStatus(enum.Enum):
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+class _ActivityStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    SKIPPED = "skipped"
+
+
+class _ReplayMismatch(Exception):
+    """Internal: a recovered case diverged from its journaled prefix."""
+
+    def __init__(self, diagnostic: Diagnostic) -> None:
+        self.diagnostic = diagnostic
+        super().__init__(diagnostic.message)
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """The durable outcome of one case."""
+
+    case: str
+    status: str  # "completed" | "failed"
+    makespan: float
+    outcomes: Tuple[Tuple[str, str], ...]
+    executed: Tuple[Tuple[str, float, float], ...]
+    skipped: Tuple[str, ...]
+    retries: int = 0
+    checks: int = 0
+    transitions: int = 0
+    reason: Optional[str] = None
+
+    def final_state(self) -> Tuple:
+        """Canonical comparable snapshot (status, work done, outcomes)."""
+        return (
+            self.status,
+            self.executed,
+            self.skipped,
+            self.outcomes,
+        )
+
+
+class CaseInstance:
+    """All mutable state of one case; shares the read-only program."""
+
+    def __init__(
+        self,
+        case: str,
+        program: ConstraintProgram,
+        outcomes: Optional[OutcomeMap] = None,
+        indexed: bool = True,
+        seed: int = 0,
+        policies: Optional[RetryPolicies] = None,
+        journal: Optional[Journal] = None,
+        replay_prefix: Tuple[Event, ...] = (),
+    ) -> None:
+        from repro.scheduler.services import ServiceSimulator
+
+        self.case = case
+        self.status = CaseStatus.ACTIVE
+        self.reason: Optional[str] = None
+        self.retries = 0
+        self.checks = 0
+        self.transitions = 0
+        self.diagnostics: List[Diagnostic] = []
+
+        self._program = program
+        self._outcome_map: OutcomeMap = dict(outcomes or {})
+        self._indexed = indexed
+        self._seed = seed
+        self._policies = policies or RetryPolicies()
+        self._journal = journal
+        self._prefix: List[Event] = list(replay_prefix)
+
+        self._status: Dict[str, _ActivityStatus] = {
+            name: _ActivityStatus.PENDING for name in program.activities
+        }
+        self._start_time: Dict[str, float] = {}
+        self._finish_time: Dict[str, float] = {}
+        self._outcomes: OutcomeMap = {}
+        self._skipped: Set[str] = set()
+        self._running: Set[str] = set()
+        self._queue: List[Tuple[float, int, str, object]] = []
+        self._sequence = itertools.count()
+        self._held_finishes: Dict[str, float] = {}
+        self._services = ServiceSimulator(program.process, strict=True)
+        self._started = False
+        self.now = 0.0
+
+    # -- public stepping API -------------------------------------------------
+
+    def advance(self) -> bool:
+        """Advance by one unit of work.  Returns True while the case is
+        active: the first call runs the t=0 evaluation, each later call
+        processes one timed event.  This is the coordinator's entry point —
+        it lets freshly admitted and half-done cases share one loop."""
+        if not self._started:
+            self._started = True
+            return self.start()
+        return self.step()
+
+    def start(self) -> bool:
+        """Run the t=0 ready-set evaluation.  Returns True while active."""
+        self._started = True
+        try:
+            self._evaluate(0.0)
+        except _ReplayMismatch as mismatch:
+            self._fail(self.now, JOURNAL_MISMATCH, str(mismatch), mismatch.diagnostic)
+            return False
+        return self._settle()
+
+    def step(self) -> bool:
+        """Process one timed event.  Returns True while the case is active."""
+        if self.status is not CaseStatus.ACTIVE:
+            return False
+        if not self._queue:
+            return self._settle()
+        time, _seq, kind, payload = heapq.heappop(self._queue)
+        self.now = time
+        try:
+            if kind == "finish":
+                name = str(payload)
+                if self._fine_grained_finish_blocked(name):
+                    self._held_finishes[name] = time
+                else:
+                    self._finish(name, time)
+            elif kind == "callback":
+                pass  # the message is now available; re-evaluation below
+            elif kind == "attempt":
+                service, port, attempt = payload  # type: ignore[misc]
+                self._attempt_invocation(service, port, attempt, time)
+            elif kind == "exhausted":
+                service, port, attempts = payload  # type: ignore[misc]
+                self._fail(
+                    time,
+                    RETRY_EXHAUSTED,
+                    "service %s port %s unreachable after %d attempt(s)"
+                    % (service, port, attempts),
+                )
+                return False
+            if self.status is not CaseStatus.ACTIVE:
+                return False
+            self._evaluate(time)
+        except _ReplayMismatch as mismatch:
+            self._fail(self.now, JOURNAL_MISMATCH, str(mismatch), mismatch.diagnostic)
+            return False
+        return self._settle()
+
+    def run_to_completion(self) -> "CaseResult":
+        """Drive this case alone (single-case convenience, used by tests)."""
+        active = self.start()
+        while active:
+            active = self.step()
+        return self.result()
+
+    @property
+    def makespan(self) -> float:
+        return max(self._finish_time.values()) if self._finish_time else 0.0
+
+    def result(self) -> CaseResult:
+        executed = tuple(
+            (name, self._start_time[name], finish)
+            for name, finish in sorted(
+                self._finish_time.items(), key=lambda kv: (kv[1], kv[0])
+            )
+        )
+        return CaseResult(
+            case=self.case,
+            status=COMPLETED if self.status is CaseStatus.COMPLETED else FAILED,
+            makespan=self.makespan,
+            outcomes=tuple(sorted(self._outcomes.items())),
+            executed=executed,
+            skipped=tuple(sorted(self._skipped)),
+            retries=self.retries,
+            checks=self.checks,
+            transitions=self.transitions,
+            reason=self.reason,
+        )
+
+    # -- completion / failure ------------------------------------------------
+
+    def _settle(self) -> bool:
+        """After an event+evaluation round: decide completed/deadlocked."""
+        if self.status is not CaseStatus.ACTIVE:
+            return False
+        if self._queue:
+            return True
+        unfinished = sorted(
+            name
+            for name, status in self._status.items()
+            if status in (_ActivityStatus.PENDING, _ActivityStatus.RUNNING)
+        )
+        if unfinished or self._held_finishes:
+            stuck = unfinished or sorted(self._held_finishes)
+            self._fail(
+                self.now,
+                DEADLOCK,
+                "case stalled with unfinished activities: %s" % ", ".join(stuck),
+            )
+            return False
+        self.status = CaseStatus.COMPLETED
+        if self._journal is not None:
+            self._journal.complete(self.case, self.makespan, COMPLETED)
+        return False
+
+    def _fail(
+        self,
+        time: float,
+        code: str,
+        message: str,
+        diagnostic: Optional[Diagnostic] = None,
+    ) -> None:
+        if self.status is CaseStatus.FAILED:
+            return  # already failed (and journaled) with the first cause
+        self.status = CaseStatus.FAILED
+        self.reason = message
+        self._queue.clear()
+        self.diagnostics.append(
+            diagnostic
+            if diagnostic is not None
+            else Diagnostic(
+                code=code,
+                severity=Severity.ERROR,
+                message="[%s] %s" % (self.case, message),
+                location=SourceLocation("case", self.case),
+                evidence=("case: %s" % self.case, "time: %.1f" % time),
+            )
+        )
+        if self._journal is not None:
+            self._journal.complete(self.case, time, FAILED, reason=message)
+
+    # -- WAL emission --------------------------------------------------------
+
+    def _emit(self, activity: str, lifecycle: str, time: float,
+              outcome: Optional[str] = None) -> None:
+        self.transitions += 1
+        event = Event(self.case, activity, lifecycle, time, outcome=outcome)
+        if self._prefix:
+            expected = self._prefix.pop(0)
+            if (
+                expected.activity != event.activity
+                or expected.lifecycle != event.lifecycle
+                or expected.outcome != event.outcome
+                or expected.time != event.time
+            ):
+                raise _ReplayMismatch(
+                    Diagnostic(
+                        code=JOURNAL_MISMATCH,
+                        severity=Severity.ERROR,
+                        message="[%s] recovery diverged from journal: "
+                        "journal has %s, re-execution produced %s"
+                        % (self.case, expected, event),
+                        location=SourceLocation("case", self.case),
+                        evidence=(
+                            "journaled: %s" % expected,
+                            "replayed:  %s" % event,
+                        ),
+                    )
+                )
+            return  # already durably journaled before the crash
+        if self._journal is not None:
+            self._journal.event(event)
+
+    # -- fate & readiness (mirrors repro.scheduler.engine) -------------------
+
+    def _resolve_outcome(self, guard: str) -> str:
+        domain = self._program.outcome_domain(guard)
+        value = self._outcome_map.get(guard, "T" if "T" in domain else domain[-1])
+        if value not in domain:
+            self._fail(
+                self.now,
+                DEADLOCK,
+                "outcome %r not in domain %s of guard %r" % (value, domain, guard),
+            )
+            raise _ReplayMismatch(self.diagnostics[-1])
+        return value
+
+    def _fate(self, name: str) -> Optional[bool]:
+        """True = will run, False = must skip, None = undecided."""
+        for condition in self._program.guards.get(name, frozenset()):
+            guard_status = self._status.get(condition.guard)
+            if guard_status is _ActivityStatus.SKIPPED:
+                return False
+            if guard_status is _ActivityStatus.DONE:
+                if self._outcomes.get(condition.guard) != condition.value:
+                    return False
+            else:
+                return None
+        return True
+
+    def _constraints_satisfied(self, name: str) -> bool:
+        if self._indexed:
+            constraints = self._program.incoming[name]
+        else:
+            # Naive baseline: scan the whole program per evaluation.
+            self.checks += len(self._program.constraints)
+            constraints = tuple(
+                c for c in self._program.constraints if c.target == name
+            )
+        for constraint in constraints:
+            if self._indexed:
+                self.checks += 1
+            status = self._status[constraint.source]
+            if status not in (_ActivityStatus.DONE, _ActivityStatus.SKIPPED):
+                return False
+        return True
+
+    def _message_ready(self, name: str, now: float) -> bool:
+        awaits = self._program.info[name].awaits
+        if awaits is None:
+            return True
+        return self._services.message_available(awaits, now)
+
+    def _exclusive_blocked(self, name: str) -> bool:
+        for partner in self._program.exclusive_partners.get(name, ()):
+            if partner in self._running:
+                return True
+        return False
+
+    def _fine_grained_start_blocked(self, name: str) -> bool:
+        for hb in self._program.fine_on_start.get(name, ()):
+            if self._vacuous(hb):
+                continue
+            if hb.left.activity not in self._start_time and hb.left.state in (
+                ActivityState.START,
+                ActivityState.RUN,
+            ):
+                return True
+            if (
+                hb.left.state is ActivityState.FINISH
+                and hb.left.activity not in self._finish_time
+            ):
+                return True
+        return False
+
+    def _fine_grained_finish_blocked(self, name: str) -> bool:
+        for hb in self._program.fine_on_finish.get(name, ()):
+            if self._vacuous(hb):
+                continue
+            left = hb.left.activity
+            if hb.left.state is ActivityState.FINISH:
+                if left not in self._finish_time:
+                    return True
+            elif left not in self._start_time:
+                return True
+        return False
+
+    def _vacuous(self, hb) -> bool:
+        return self._status.get(hb.left.activity) is _ActivityStatus.SKIPPED
+
+    # -- transitions ---------------------------------------------------------
+
+    def _push(self, time: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._queue, (time, next(self._sequence), kind, payload))
+
+    def _start(self, name: str, now: float) -> None:
+        self._emit(name, START, now)
+        self._status[name] = _ActivityStatus.RUNNING
+        self._start_time[name] = now
+        self._running.add(name)
+        self._push(now + self._program.info[name].duration, "finish", name)
+
+    def _finish(self, name: str, now: float) -> None:
+        outcome: Optional[str] = None
+        if self._program.info[name].is_guard:
+            outcome = self._resolve_outcome(name)
+        self._emit(name, FINISH, now, outcome=outcome)
+        self._status[name] = _ActivityStatus.DONE
+        self._finish_time[name] = now
+        self._running.discard(name)
+        if outcome is not None:
+            self._outcomes[name] = outcome
+        self._register_invocation(name, now)
+        self._release_held_finishes(now)
+
+    def _skip(self, name: str, now: float) -> None:
+        self._emit(name, SKIP, now)
+        self._status[name] = _ActivityStatus.SKIPPED
+        self._skipped.add(name)
+        self._release_held_finishes(now)
+
+    def _release_held_finishes(self, now: float) -> None:
+        for name in list(self._held_finishes):
+            if not self._fine_grained_finish_blocked(name):
+                del self._held_finishes[name]
+                self._finish(name, now)
+
+    # -- remote services with retry ------------------------------------------
+
+    def _register_invocation(self, name: str, now: float) -> None:
+        invokes = self._program.info[name].invokes
+        if invokes is None:
+            return
+        service, port = invokes
+        self._attempt_invocation(service, port, 1, now)
+
+    def _attempt_invocation(
+        self, service: str, port: str, attempt: int, now: float
+    ) -> None:
+        policy = self._policies.for_service(service)
+        if policy.attempt_delivered(self._seed, self.case, service, port, attempt):
+            try:
+                callback = self._services.invoke(service, port, now)
+            except ProtocolViolation as violation:
+                self._fail(now, PROTOCOL_FAULT, str(violation))
+                return
+            if callback is not None:
+                self._push(callback, "callback", service)
+            return
+        if attempt < policy.max_attempts:
+            self.retries += 1
+            self._push(now + policy.timeout, "attempt", (service, port, attempt + 1))
+        else:
+            self._push(
+                now + policy.timeout, "exhausted", (service, port, attempt)
+            )
+
+    # -- the ready-set fixpoint ----------------------------------------------
+
+    def _evaluate(self, now: float) -> None:
+        """Start or skip every pending activity that can move; repeats to a
+        fixpoint because skips cascade instantly."""
+        moved = True
+        while moved and self.status is CaseStatus.ACTIVE:
+            moved = False
+            for name in self._program.activities:
+                if self._status[name] is not _ActivityStatus.PENDING:
+                    continue
+                fate = self._fate(name)
+                if fate is False:
+                    self._skip(name, now)
+                    moved = True
+                    continue
+                if fate is None:
+                    continue
+                if not self._constraints_satisfied(name):
+                    continue
+                if not self._message_ready(name, now):
+                    continue
+                if self._exclusive_blocked(name):
+                    continue
+                if self._fine_grained_start_blocked(name):
+                    continue
+                self._start(name, now)
+                moved = True

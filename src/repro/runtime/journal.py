@@ -1,0 +1,201 @@
+"""Write-ahead journal for the multi-case runtime, with crash recovery.
+
+The journal is JSON Lines.  Activity-lifecycle records reuse the
+:class:`repro.conformance.events.Event` dictionary format verbatim — a
+journal stripped of its control records *is* a conformance event log, so
+``dscweaver monitor`` and :func:`repro.conformance.replay.replay` consume
+it unchanged.  Two control record types frame each case::
+
+    {"rt": "admit",    "case": "case-7", "time": 0.0, "outcomes": {"if_au": "T"}}
+    {"case": "case-7", "activity": "recClient_po", "lifecycle": "start", "time": 0.0}
+    ...
+    {"rt": "complete", "case": "case-7", "time": 9.0, "status": "completed"}
+
+Every record is flushed before the state transition it describes is
+applied (write-ahead), so after a crash the journal is a faithful prefix
+of the run.  :func:`read_journal` rebuilds the durable state: which cases
+completed (never re-run) and which were in flight, together with each
+in-flight case's event prefix and recorded guard outcomes, so the
+coordinator can re-execute them deterministically and verify the replayed
+prefix record-for-record (mismatches are ``RT003``).
+
+``crash_after=N`` is the fault-injection hook: the journal raises
+:class:`SimulatedCrash` immediately after durably writing its N-th
+record — the moral equivalent of ``kill -9`` at event N — which the
+crash-recovery tests use to prove that an interrupted-then-recovered run
+completes exactly the same set of cases as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.conformance.events import Event
+from repro.errors import ReproError
+
+#: ``status`` values of a ``complete`` control record.
+COMPLETED = "completed"
+FAILED = "failed"
+
+
+class SimulatedCrash(ReproError):
+    """Raised by the fault-injection hook after the N-th journal record."""
+
+    def __init__(self, records_written: int) -> None:
+        self.records_written = records_written
+        super().__init__(
+            "simulated crash after journal record %d" % records_written
+        )
+
+
+class JournalError(ReproError):
+    """The journal file is malformed or recovery found an inconsistency."""
+
+
+class Journal:
+    """Append-only JSONL write-ahead journal.
+
+    ``resume=True`` appends to an existing journal (recovery); the default
+    truncates.  ``crash_after`` arms the fault-injection hook.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        resume: bool = False,
+        crash_after: Optional[int] = None,
+        already_written: int = 0,
+    ) -> None:
+        self.path = path
+        self.records_written = already_written
+        self._crash_after = crash_after
+        self._handle = open(path, "a" if resume else "w", encoding="utf-8")
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.records_written += 1
+        if self._crash_after is not None and self.records_written >= self._crash_after:
+            self.close()
+            raise SimulatedCrash(self.records_written)
+
+    def admit(self, case: str, time: float, outcomes: Dict[str, str]) -> None:
+        self._write(
+            {"rt": "admit", "case": case, "time": time, "outcomes": dict(outcomes)}
+        )
+
+    def event(self, event: Event) -> None:
+        self._write(event.to_dict())
+
+    def complete(
+        self, case: str, time: float, status: str, reason: Optional[str] = None
+    ) -> None:
+        payload: Dict[str, Any] = {
+            "rt": "complete",
+            "case": case,
+            "time": time,
+            "status": status,
+        }
+        if reason:
+            payload["reason"] = reason
+        self._write(payload)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+@dataclass
+class JournaledCase:
+    """Everything the journal knows about one admitted case."""
+
+    case: str
+    outcomes: Dict[str, str] = field(default_factory=dict)
+    events: List[Event] = field(default_factory=list)
+    status: Optional[str] = None  # None while in flight
+    completed_at: Optional[float] = None
+    reason: Optional[str] = None
+
+    @property
+    def in_flight(self) -> bool:
+        return self.status is None
+
+
+@dataclass
+class JournalState:
+    """Parsed journal: admission order, per-case history, record count."""
+
+    cases: Dict[str, JournaledCase] = field(default_factory=dict)
+    #: activity events in journal (commit) order, control records stripped —
+    #: exactly the multi-case conformance event log of the run so far.
+    event_stream: List[Event] = field(default_factory=list)
+    records: int = 0
+
+    def in_flight(self) -> List[JournaledCase]:
+        return [case for case in self.cases.values() if case.in_flight]
+
+    def completed(self) -> List[JournaledCase]:
+        return [case for case in self.cases.values() if not case.in_flight]
+
+
+def read_journal(path: str) -> JournalState:
+    """Parse a journal file back into a :class:`JournalState`."""
+    state = JournalState()
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as error:
+                raise JournalError("record %d: invalid JSON (%s)" % (number, error))
+            state.records += 1
+            kind = payload.get("rt")
+            if kind == "admit":
+                case = str(payload["case"])
+                if case in state.cases:
+                    raise JournalError(
+                        "record %d: case %r admitted twice" % (number, case)
+                    )
+                state.cases[case] = JournaledCase(
+                    case=case, outcomes=dict(payload.get("outcomes") or {})
+                )
+            elif kind == "complete":
+                case = str(payload["case"])
+                journaled = state.cases.get(case)
+                if journaled is None:
+                    raise JournalError(
+                        "record %d: completion of unknown case %r" % (number, case)
+                    )
+                journaled.status = str(payload["status"])
+                journaled.completed_at = float(payload["time"])
+                journaled.reason = payload.get("reason")
+            elif kind is None:
+                try:
+                    event = Event.from_dict(payload)
+                except (KeyError, TypeError, ValueError) as error:
+                    raise JournalError(
+                        "record %d: invalid event (%s)" % (number, error)
+                    )
+                journaled = state.cases.get(event.case)
+                if journaled is None:
+                    raise JournalError(
+                        "record %d: event for unadmitted case %r"
+                        % (number, event.case)
+                    )
+                journaled.events.append(event)
+                state.event_stream.append(event)
+            else:
+                raise JournalError(
+                    "record %d: unknown control record %r" % (number, kind)
+                )
+    return state

@@ -1,0 +1,83 @@
+"""Serving metrics for the multi-case runtime.
+
+A :class:`RuntimeMetrics` value is an immutable snapshot of one
+:class:`~repro.runtime.coordinator.Runtime`: admission counters
+(admitted / queued / rejected, peak in-flight, peak queue depth),
+execution cost (lifecycle transitions, constraint checks and the
+checks-per-transition ratio the paper's minimization story is about),
+throughput (completed cases per wall second) and case-latency quantiles
+over the virtual makespans of completed cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.scheduler.montecarlo import quantile
+
+
+@dataclass(frozen=True)
+class RuntimeMetrics:
+    """One snapshot; produced by ``Runtime.metrics()``."""
+
+    shards: int
+    submitted: int
+    admitted: int
+    completed: int
+    failed: int
+    rejected: int
+    recovered: int
+    in_flight: int
+    queue_depth: int
+    peak_in_flight: int
+    peak_queue_depth: int
+    retries: int
+    transitions: int
+    checks: int
+    journal_records: int
+    wall_seconds: float
+    latency_p50: float
+    latency_p95: float
+    shard_assigned: Tuple[int, ...]
+
+    @property
+    def checks_per_transition(self) -> float:
+        return self.checks / self.transitions if self.transitions else 0.0
+
+    @property
+    def cases_per_second(self) -> float:
+        finished = self.completed + self.failed
+        return finished / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        """Multi-line operator-facing snapshot (what ``serve`` prints)."""
+        lines = [
+            "cases: %d submitted, %d admitted, %d completed, %d failed, %d rejected"
+            % (self.submitted, self.admitted, self.completed, self.failed, self.rejected),
+            "throughput: %.1f cases/sec (%.3fs wall) | shards: %d, occupancy %s"
+            % (
+                self.cases_per_second,
+                self.wall_seconds,
+                self.shards,
+                "/".join(str(count) for count in self.shard_assigned),
+            ),
+            "latency (virtual): p50=%.1f p95=%.1f" % (self.latency_p50, self.latency_p95),
+            "constraint checks: %d over %d transitions (%.2f per transition)"
+            % (self.checks, self.transitions, self.checks_per_transition),
+            "backpressure: peak in-flight %d, peak queue depth %d | retries: %d"
+            % (self.peak_in_flight, self.peak_queue_depth, self.retries),
+        ]
+        if self.recovered or self.journal_records:
+            lines.append(
+                "journal: %d record(s) | recovered completed cases: %d"
+                % (self.journal_records, self.recovered)
+            )
+        return "\n".join(lines)
+
+
+def latency_quantiles(makespans: Tuple[float, ...]) -> Tuple[float, float]:
+    """``(p50, p95)`` of completed-case makespans (0.0 when none finished)."""
+    if not makespans:
+        return 0.0, 0.0
+    return quantile(makespans, 0.5), quantile(makespans, 0.95)

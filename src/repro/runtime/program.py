@@ -1,0 +1,173 @@
+"""The compiled per-activity constraint program shared across all cases.
+
+A :class:`ConstraintProgram` is the runtime counterpart of
+:class:`repro.conformance.monitor.MonitorProgram`: one immutable, indexed
+compilation of a constraint set that *every* concurrent case executes
+against.  Compiling once amortizes the indexing cost over thousands of
+process instances, and the per-activity ``incoming`` index means each
+ready-set evaluation touches only the constraints incident to the
+activity under consideration — ``O(degree)`` instead of ``O(|SC|)``.
+
+The unindexed strategy is kept (``indexed=False`` on
+:class:`~repro.runtime.instance.CaseInstance` /
+:class:`~repro.runtime.coordinator.Runtime`) as the baseline that
+``benchmarks/bench_runtime_throughput.py`` compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.dscl.ast import Exclusive, HappenBefore
+from repro.errors import SchedulingError
+from repro.model.activity import ActivityKind, ActivityState
+from repro.model.process import BusinessProcess
+
+
+@dataclass(frozen=True)
+class ActivityInfo:
+    """The static facts one case needs about one activity."""
+
+    name: str
+    duration: float = 0.0
+    is_guard: bool = False
+    #: ``(service, port)`` the activity invokes, for INVOKE activities.
+    invokes: Optional[Tuple[str, str]] = None
+    #: service whose callback the activity awaits, for bound RECEIVEs.
+    awaits: Optional[str] = None
+
+
+@dataclass
+class ConstraintProgram:
+    """One compiled constraint set, shared (read-only) by all cases.
+
+    ``activities`` preserves the constraint set's scheduling order — the
+    order the single-case :class:`~repro.scheduler.engine.ConstraintScheduler`
+    evaluates pending activities in, which keeps multi-case execution
+    bit-for-bit equivalent to single-case simulation.
+    """
+
+    process: BusinessProcess
+    activities: Tuple[str, ...]
+    constraints: Tuple[Constraint, ...]
+    guards: Dict[str, FrozenSet[Cond]]
+    domains: ConditionDomains
+    fine_grained: Tuple[HappenBefore, ...]
+    exclusives: Tuple[Exclusive, ...]
+    #: derived indexes, built in ``__post_init__``
+    info: Dict[str, ActivityInfo] = field(default_factory=dict)
+    incoming: Dict[str, Tuple[Constraint, ...]] = field(default_factory=dict)
+    fine_on_start: Dict[str, Tuple[HappenBefore, ...]] = field(default_factory=dict)
+    fine_on_finish: Dict[str, Tuple[HappenBefore, ...]] = field(default_factory=dict)
+    exclusive_partners: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        incoming: Dict[str, List[Constraint]] = {name: [] for name in self.activities}
+        for constraint in self.constraints:
+            incoming[constraint.target].append(constraint)
+        self.incoming = {name: tuple(found) for name, found in incoming.items()}
+
+        info: Dict[str, ActivityInfo] = {}
+        for name in self.activities:
+            if not self.process.has_activity(name):
+                # Synthetic coordinators (HappenTogether desugaring) take no
+                # time and talk to no service.
+                info[name] = ActivityInfo(name=name)
+                continue
+            activity = self.process.activity(name)
+            invokes = awaits = None
+            if activity.kind is ActivityKind.INVOKE and activity.port is not None:
+                invokes = (activity.port.service, activity.port.port)
+            elif activity.kind is ActivityKind.RECEIVE and activity.port is not None:
+                awaits = activity.port.service
+            info[name] = ActivityInfo(
+                name=name,
+                duration=activity.duration,
+                is_guard=activity.is_guard,
+                invokes=invokes,
+                awaits=awaits,
+            )
+        self.info = info
+
+        on_start: Dict[str, List[HappenBefore]] = {}
+        on_finish: Dict[str, List[HappenBefore]] = {}
+        for hb in self.fine_grained:
+            bucket = on_finish if hb.right.state is ActivityState.FINISH else on_start
+            bucket.setdefault(hb.right.activity, []).append(hb)
+        self.fine_on_start = {k: tuple(v) for k, v in on_start.items()}
+        self.fine_on_finish = {k: tuple(v) for k, v in on_finish.items()}
+
+        partners: Dict[str, List[str]] = {}
+        for exclusive in self.exclusives:
+            left, right = exclusive.left.activity, exclusive.right.activity
+            partners.setdefault(left, []).append(right)
+            partners.setdefault(right, []).append(left)
+        self.exclusive_partners = {k: tuple(v) for k, v in partners.items()}
+
+    @property
+    def size(self) -> int:
+        """Total number of compiled obligations."""
+        return len(self.constraints) + len(self.fine_grained) + len(self.exclusives)
+
+    def guard_names(self) -> Tuple[str, ...]:
+        """Guard activities, in scheduling order (for outcome plans)."""
+        return tuple(
+            name for name in self.activities if self.info[name].is_guard
+        )
+
+    def outcome_domain(self, guard: str) -> List[str]:
+        return sorted(self.domains.domain(guard))
+
+
+def compile_program(
+    process: BusinessProcess,
+    sc: SynchronizationConstraintSet,
+    fine_grained: Iterable[HappenBefore] = (),
+    exclusives: Iterable[Exclusive] = (),
+) -> ConstraintProgram:
+    """Compile ``sc`` (an activity constraint set) for multi-case serving."""
+    if not sc.is_activity_set:
+        raise SchedulingError(
+            "runtime requires an activity constraint set; run service "
+            "dependency translation first"
+        )
+    for name in sc.activities:
+        if not process.has_activity(name) and not name.startswith("__"):
+            raise SchedulingError(
+                "constraint set mentions activity %r unknown to process %r"
+                % (name, process.name)
+            )
+    return ConstraintProgram(
+        process=process,
+        activities=tuple(sc.activities),
+        constraints=tuple(sc),
+        guards=dict(sc.guards),
+        domains=sc.domains,
+        fine_grained=tuple(fine_grained),
+        exclusives=tuple(exclusives),
+    )
+
+
+def program_from_weave(result, which: str = "minimal") -> ConstraintProgram:
+    """Compile a runtime program from a :class:`~repro.core.pipeline.WeaveResult`.
+
+    ``which`` selects ``"minimal"`` (the optimized set, default) or
+    ``"full"`` (the translated pre-minimization ``ASC``); serving the same
+    case load against both must produce identical per-case final states,
+    at fewer constraint checks per transition for the minimal set.
+    """
+    if which == "minimal":
+        sc = result.minimal
+    elif which == "full":
+        sc = result.asc
+    else:
+        raise ValueError("which must be 'minimal' or 'full', got %r" % which)
+    return compile_program(
+        result.process,
+        sc,
+        fine_grained=result.fine_grained,
+        exclusives=result.exclusives,
+    )

@@ -1,0 +1,74 @@
+"""Per-service retry-with-timeout policies for simulated remote services.
+
+The discrete-event world of :mod:`repro.scheduler.services` is lossless;
+a serving runtime cannot assume that.  A :class:`RetryPolicy` models the
+client side of an unreliable channel: each invocation attempt is lost with
+``failure_rate`` probability, a lost attempt times out after ``timeout``
+virtual time units, and the runtime retries up to ``max_attempts`` total
+attempts before declaring the interaction dead (an ``RT001`` diagnostic
+that fails the case).
+
+Loss is **deterministic**: whether attempt ``k`` of a given case/port gets
+through is a pure function of ``(seed, case, service, port, k)``, so crash
+recovery replays the exact same delivery schedule and paired experiments
+(minimal vs. full constraint set) observe identical service behavior.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side delivery policy for one remote service.
+
+    The default policy (``failure_rate=0``) is the lossless channel, under
+    which multi-case execution is bit-for-bit identical to the single-case
+    :class:`~repro.scheduler.engine.ConstraintScheduler`.
+    """
+
+    failure_rate: float = 0.0
+    timeout: float = 2.0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def attempt_delivered(
+        self, seed: int, case: str, service: str, port: str, attempt: int
+    ) -> bool:
+        """Does attempt ``attempt`` (1-based) reach the service?
+
+        Deterministic in its arguments: :class:`random.Random` seeded with
+        a string hashes it stably (unlike built-in ``hash``), so the same
+        draw is reproduced across processes and recoveries.
+        """
+        if self.failure_rate == 0.0:
+            return True
+        draw = random.Random(
+            "%d:%s:%s:%s:%d" % (seed, case, service, port, attempt)
+        ).random()
+        return draw >= self.failure_rate
+
+
+class RetryPolicies:
+    """Per-service policy table with a default."""
+
+    def __init__(
+        self,
+        default: Optional[RetryPolicy] = None,
+        per_service: Optional[Mapping[str, RetryPolicy]] = None,
+    ) -> None:
+        self.default = default or RetryPolicy()
+        self.per_service = dict(per_service or {})
+
+    def for_service(self, service: str) -> RetryPolicy:
+        return self.per_service.get(service, self.default)

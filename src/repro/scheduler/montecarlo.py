@@ -23,6 +23,26 @@ from repro.model.process import BusinessProcess
 from repro.scheduler.engine import ConstraintScheduler, OutcomePolicy
 
 
+def quantile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``samples`` with linear interpolation.
+
+    Uses the standard ``(n - 1) * q`` rank convention, so ``q=0.5``
+    agrees with :func:`statistics.median` for both odd and even sample
+    counts (the upper-median shortcut ``ordered[n // 2]`` is biased high
+    on even counts).
+    """
+    if not samples:
+        raise ValueError("quantile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1], got %r" % q)
+    ordered = sorted(samples)
+    n = len(ordered)
+    rank = (n - 1) * q
+    low = math.floor(rank)
+    high = min(low + 1, n - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
 @dataclass(frozen=True)
 class MakespanSummary:
     """Summary statistics of one scheme's makespan distribution."""
@@ -45,8 +65,8 @@ class MakespanSummary:
             stdev=statistics.pstdev(ordered) if n > 1 else 0.0,
             minimum=ordered[0],
             maximum=ordered[-1],
-            p50=ordered[n // 2],
-            p95=ordered[min(n - 1, math.ceil(0.95 * n) - 1)],
+            p50=quantile(ordered, 0.5),
+            p95=quantile(ordered, 0.95),
         )
 
 

@@ -109,6 +109,67 @@ class TestCsv:
             EventLog.from_csv("case,activity\nc,a\n")
 
 
+class TestEdgeCases:
+    """Round-trip robustness at the awkward corners of each format."""
+
+    UNICODE_LOG = EventLog(
+        [
+            Event("bestellung-42", "prüfe_auftrag", START, 0.0),
+            Event("bestellung-42", "prüfe_auftrag", FINISH, 1.5, outcome="genehmigt"),
+            Event("注文-7", "受注確認", START, 0.0),
+            Event("注文-7", "受注確認", FINISH, 2.0),
+        ]
+    )
+
+    def test_empty_trace_round_trips_everywhere(self):
+        empty = EventLog()
+        assert EventLog.from_jsonl(empty.to_jsonl()) == empty
+        assert EventLog.from_csv(empty.to_csv()) == empty
+
+    def test_unicode_names_survive_jsonl(self):
+        text = self.UNICODE_LOG.to_jsonl()
+        assert EventLog.from_jsonl(text) == self.UNICODE_LOG
+
+    def test_unicode_names_survive_csv(self):
+        assert EventLog.from_csv(self.UNICODE_LOG.to_csv()) == self.UNICODE_LOG
+
+    def test_unicode_names_survive_files(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        self.UNICODE_LOG.save_jsonl(path)
+        assert EventLog.load_jsonl(path) == self.UNICODE_LOG
+
+    def test_csv_quotes_delimiters_in_names(self):
+        tricky = EventLog(
+            [
+                Event("case,with,commas", 'activity "quoted"', START, 0.0),
+                Event("case,with,commas", 'activity "quoted"', FINISH, 1.0),
+            ]
+        )
+        text = tricky.to_csv()
+        assert EventLog.from_csv(text) == tricky
+
+    def test_csv_quotes_newlines_in_names(self):
+        tricky = EventLog(
+            [
+                Event("case", "line\nbreak", START, 0.0),
+                Event("case", "line\nbreak", FINISH, 1.0),
+            ]
+        )
+        assert EventLog.from_csv(tricky.to_csv()) == tricky
+
+    def test_outcome_resembling_delimiter_round_trips(self):
+        tricky = EventLog(
+            [Event("c", "g", FINISH, 1.0, outcome="a,b\nc")]
+        )
+        assert EventLog.from_csv(tricky.to_csv()) == tricky
+        assert EventLog.from_jsonl(tricky.to_jsonl()) == tricky
+
+    def test_fractional_times_are_exact(self):
+        # repr-based CSV serialization must not lose float precision
+        log = EventLog([Event("c", "a", START, 0.1 + 0.2)])
+        assert EventLog.from_csv(log.to_csv()).events[0].time == 0.1 + 0.2
+
+
 class TestXes:
     XES = """
     <log xmlns="http://www.xes-standard.org/">

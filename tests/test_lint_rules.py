@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 import repro.conformance.rules  # noqa: F401  (registers the CONF00x rules)
+import repro.runtime.rules  # noqa: F401  (registers the RT00x rules)
 from repro.analysis.conditions import Cond, ConditionDomains
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
 from repro.dscl.ast import Exclusive, StateRef
@@ -29,6 +30,11 @@ ALL_CODES = (
     "CONF006",
     "CONF007",
     "RED001",
+    "RT001",
+    "RT002",
+    "RT003",
+    "RT004",
+    "RT005",
     "SPEC001",
     "SPEC002",
     "SVC001",

@@ -1,0 +1,206 @@
+"""Tests for the write-ahead journal, fault injection and crash recovery.
+
+The acceptance property: a run that crashes mid-flight and is then
+recovered completes *exactly* the same set of cases, with identical
+per-case final states, as an uninterrupted run of the same load.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance import EventLog, replay
+from repro.conformance import program_from_weave as conformance_program
+from repro.runtime import (
+    COMPLETED,
+    Journal,
+    JournalError,
+    Runtime,
+    SimulatedCrash,
+    program_from_weave,
+    read_journal,
+)
+
+
+@pytest.fixture(scope="module")
+def program(purchasing_weave):
+    return program_from_weave(purchasing_weave, "minimal")
+
+
+def purchasing_plans(count):
+    return {
+        "case-%03d" % index: {"if_au": "T" if index % 2 == 0 else "F"}
+        for index in range(count)
+    }
+
+
+def run_uninterrupted(program, plans, journal_path=None):
+    runtime = Runtime(program, journal_path=journal_path)
+    runtime.submit_batch(plans)
+    report = runtime.run()
+    runtime.close()
+    return report
+
+
+class TestJournalFile:
+    def test_round_trip(self, tmp_path, program):
+        path = str(tmp_path / "wal.jsonl")
+        report = run_uninterrupted(program, purchasing_plans(6), path)
+        state = read_journal(path)
+        assert state.records == report.metrics.journal_records
+        assert sorted(state.cases) == sorted(purchasing_plans(6))
+        assert not state.in_flight()
+        for journaled in state.completed():
+            assert journaled.status == COMPLETED
+            assert journaled.events
+
+    def test_event_stream_preserves_commit_order(self, tmp_path, program):
+        path = str(tmp_path / "wal.jsonl")
+        run_uninterrupted(program, purchasing_plans(4), path)
+        state = read_journal(path)
+        # Reconstructing per-case sequences from the interleaved stream
+        # must give each case's own journaled order.
+        per_case = {}
+        for event in state.event_stream:
+            per_case.setdefault(event.case, []).append(event)
+        for case, journaled in state.cases.items():
+            assert per_case[case] == journaled.events
+
+    def test_journal_is_a_conformance_log(self, tmp_path, purchasing_weave, program):
+        """Stripped of control records, the journal replays cleanly."""
+        path = str(tmp_path / "wal.jsonl")
+        run_uninterrupted(program, purchasing_plans(5), path)
+        state = read_journal(path)
+        monitor = conformance_program(purchasing_weave, which="minimal")
+        report = replay(EventLog(state.event_stream), monitor)
+        assert report.clean
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(JournalError, match="invalid JSON"):
+            read_journal(str(path))
+
+    def test_rejects_event_before_admission(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(
+                {"case": "ghost", "activity": "a", "lifecycle": "start", "time": 0.0}
+            )
+            + "\n"
+        )
+        with pytest.raises(JournalError, match="unadmitted"):
+            read_journal(str(path))
+
+    def test_rejects_double_admission(self, tmp_path):
+        line = json.dumps({"rt": "admit", "case": "c", "time": 0.0, "outcomes": {}})
+        path = tmp_path / "bad.jsonl"
+        path.write_text(line + "\n" + line + "\n")
+        with pytest.raises(JournalError, match="admitted twice"):
+            read_journal(str(path))
+
+
+class TestFaultInjection:
+    def test_crash_after_n_records(self, tmp_path):
+        journal = Journal(str(tmp_path / "wal.jsonl"), crash_after=2)
+        journal.admit("a", 0.0, {})
+        with pytest.raises(SimulatedCrash) as caught:
+            journal.admit("b", 0.0, {})
+        assert caught.value.records_written == 2
+        # the journal was durably flushed before the crash fired
+        assert read_journal(str(tmp_path / "wal.jsonl")).records == 2
+
+    def test_crash_propagates_out_of_run(self, tmp_path, program):
+        runtime = Runtime(
+            program, journal_path=str(tmp_path / "wal.jsonl"), crash_after=30
+        )
+        runtime.submit_batch(purchasing_plans(4))
+        with pytest.raises(SimulatedCrash):
+            runtime.run()
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("crash_after", [10, 45, 120, 200])
+    def test_recovered_run_matches_uninterrupted(
+        self, tmp_path, program, crash_after
+    ):
+        plans = purchasing_plans(10)
+        baseline = run_uninterrupted(program, plans).final_states()
+
+        path = str(tmp_path / "wal.jsonl")
+        crashed = Runtime(program, journal_path=path, crash_after=crash_after)
+        with pytest.raises(SimulatedCrash):
+            crashed.submit_batch(plans)
+            crashed.run()
+
+        recovered = Runtime.recover(path, program)
+        for case, outcomes in plans.items():
+            if case not in recovered.known_cases:
+                recovered.submit(case, outcomes)
+        report = recovered.run()
+        recovered.close()
+
+        assert report.completed_cases() == tuple(sorted(plans))
+        assert report.final_states() == baseline
+        assert not report.diagnostics
+
+    def test_completed_cases_are_not_rerun(self, tmp_path, program):
+        plans = purchasing_plans(8)
+        path = str(tmp_path / "wal.jsonl")
+        crashed = Runtime(program, journal_path=path, crash_after=170)
+        with pytest.raises(SimulatedCrash):
+            crashed.submit_batch(plans)
+            crashed.run()
+        adopted = len(read_journal(path).completed())
+        assert adopted > 0, "pick crash_after so some cases completed"
+
+        recovered = Runtime.recover(path, program)
+        report = recovered.run()
+        recovered.close()
+        assert report.metrics.recovered == adopted
+        # adopted cases carry journal-derived results with real schedules
+        for case in report.completed_cases():
+            assert report.results[case].executed
+
+    def test_recovered_journal_extends_in_place(self, tmp_path, program):
+        plans = purchasing_plans(6)
+        path = str(tmp_path / "wal.jsonl")
+        crashed = Runtime(program, journal_path=path, crash_after=40)
+        with pytest.raises(SimulatedCrash):
+            crashed.submit_batch(plans)
+            crashed.run()
+
+        recovered = Runtime.recover(path, program)
+        recovered.run()
+        recovered.close()
+        state = read_journal(path)
+        assert not state.in_flight()
+        assert sorted(state.cases) == sorted(plans)
+
+    def test_tampered_journal_raises_rt003(self, tmp_path, program):
+        path = str(tmp_path / "wal.jsonl")
+        crashed = Runtime(program, journal_path=path, crash_after=12)
+        with pytest.raises(SimulatedCrash):
+            crashed.submit("case-a")
+            crashed.run()
+
+        lines = open(path, encoding="utf-8").read().splitlines()
+        for index, line in enumerate(lines):
+            record = json.loads(line)
+            if record.get("lifecycle") == "finish":
+                record["time"] += 99.0
+                lines[index] = json.dumps(record)
+                break
+        else:
+            pytest.fail("no finish event journaled before the crash")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+        recovered = Runtime.recover(path, program)
+        report = recovered.run()
+        recovered.close()
+        assert [d.code for d in report.diagnostics] == ["RT003"]
+        assert report.results["case-a"].status == "failed"
+        assert report.exit_code() == 1

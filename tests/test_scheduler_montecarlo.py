@@ -2,11 +2,45 @@
 
 from __future__ import annotations
 
+import random
+import statistics
+
 import pytest
 
 from repro.constructs.rewrite import constructs_to_constraints
-from repro.scheduler.montecarlo import MakespanSummary, compare_schemes
+from repro.scheduler.montecarlo import MakespanSummary, compare_schemes, quantile
 from repro.workloads.purchasing_constructs import build_purchasing_constructs
+
+
+class TestQuantile:
+    def test_even_count_median_interpolates(self):
+        """Regression: the old ``ordered[n // 2]`` shortcut returned the
+        upper median (3.0 here), biasing p50 high on even sample counts."""
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_agrees_with_statistics_median(self):
+        rng = random.Random(5)
+        for n in range(1, 30):
+            samples = [rng.uniform(0, 100) for _ in range(n)]
+            assert quantile(samples, 0.5) == pytest.approx(
+                statistics.median(samples)
+            )
+
+    def test_extremes_and_interpolation(self):
+        samples = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert quantile(samples, 0.0) == 10.0
+        assert quantile(samples, 1.0) == 50.0
+        assert quantile(samples, 0.95) == pytest.approx(48.0)
+        assert quantile(samples, 0.25) == pytest.approx(20.0)
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert quantile([4.0, 1.0, 3.0, 2.0], 0.5) == pytest.approx(2.5)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile([], 0.5)
+        with pytest.raises(ValueError, match="q must be"):
+            quantile([1.0], 1.5)
 
 
 class TestSummary:
@@ -16,12 +50,18 @@ class TestSummary:
         assert summary.mean == pytest.approx(2.5)
         assert summary.minimum == 1.0
         assert summary.maximum == 4.0
-        assert summary.p50 == 3.0
-        assert summary.p95 == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+        assert summary.p95 == pytest.approx(3.85)
+
+    def test_p50_matches_statistics_median(self):
+        samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        summary = MakespanSummary.of(samples)
+        assert summary.p50 == pytest.approx(statistics.median(samples))
 
     def test_single_sample(self):
         summary = MakespanSummary.of([7.0])
         assert summary.stdev == 0.0
+        assert summary.p50 == 7.0
         assert summary.p95 == 7.0
 
 
