@@ -36,9 +36,11 @@ Subsystem map (see DESIGN.md for the full inventory):
 
 from repro.core.closure import Semantics
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.kernel import KernelStats
 from repro.core.minimize import minimize
 from repro.core.pipeline import DSCWeaver, WeaveResult, extract_all_dependencies, weave
 from repro.core.report import ReductionReport
+from repro.core.session import MinimizationSession
 from repro.core.translation import translate_service_dependencies
 from repro.deps.registry import DependencySet
 from repro.deps.types import Dependency, DependencyKind
@@ -54,6 +56,8 @@ __all__ = [
     "Dependency",
     "DependencyKind",
     "DependencySet",
+    "KernelStats",
+    "MinimizationSession",
     "ProcessBuilder",
     "ReductionReport",
     "Semantics",

@@ -5,6 +5,7 @@ Subcommands::
     dscweaver table1   --workload purchasing      # Table 1 dependency listing
     dscweaver weave    --workload purchasing      # Table 2 reduction report
     dscweaver minimal  --workload purchasing      # Figure 9 edge list
+    dscweaver minimize --workload purchasing --stats   # Definition 6 + kernel counters
     dscweaver bpel     --workload purchasing      # emit BPEL to stdout/file
     dscweaver dscl     --workload purchasing      # emit the DSCL program
     dscweaver validate --workload purchasing      # conflicts + Petri soundness
@@ -387,6 +388,47 @@ def _run_serve_command(arguments) -> int:
     return report.exit_code(Severity.from_name(arguments.fail_on))
 
 
+def _run_minimize_command(arguments) -> int:
+    import time
+
+    from repro.core.closure import Semantics
+    from repro.core.pipeline import DSCWeaver
+
+    semantics = Semantics(arguments.semantics)
+    kernel = not arguments.no_kernel
+    process, dependencies = _load_workload(arguments.workload)
+    weaver = DSCWeaver(
+        semantics=semantics, algorithm=arguments.algorithm, kernel=kernel
+    )
+    started = time.perf_counter()
+    result = weaver.weave(process, dependencies)
+    elapsed = time.perf_counter() - started
+    for constraint in sorted(result.minimal.constraints):
+        print(constraint)
+    if arguments.stats:
+        report = result.report
+        print(
+            "minimized %d -> %d constraint(s) (%d removed) | algorithm=%s "
+            "kernel=%s semantics=%s | %.1f ms"
+            % (
+                report.translated,
+                report.minimal,
+                report.removed_by_minimization,
+                arguments.algorithm,
+                "on" if kernel else "off",
+                semantics.value,
+                elapsed * 1000.0,
+            )
+        )
+        if report.kernel_stats is not None:
+            for key, value in report.kernel_stats.items():
+                if isinstance(value, float):
+                    print("  %-24s %.3f" % (key, value))
+                else:
+                    print("  %-24s %s" % (key, value))
+    return 0
+
+
 def _parse_outcomes(pairs: List[str]) -> Dict[str, str]:
     outcomes: Dict[str, str] = {}
     for pair in pairs:
@@ -422,6 +464,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     add("table1", "print the categorized dependency set (Table 1)")
     add("weave", "run the pipeline and print the reduction report (Table 2)")
     add("minimal", "print the minimal constraint set (Figure 9)")
+    minimize_cmd = add(
+        "minimize", "run Definition 6 minimization and print the minimal set"
+    )
+    minimize_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print reduction counts and bitset-kernel counters",
+    )
+    minimize_cmd.add_argument(
+        "--algorithm", default="fast", choices=["fast", "naive"]
+    )
+    minimize_cmd.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help="use the reference frozenset path instead of the bitset kernel",
+    )
+    minimize_cmd.add_argument(
+        "--semantics",
+        default="guard-aware",
+        choices=["strict", "guard-aware", "reachability"],
+    )
     add("dscl", "print the merged DSCL program")
     bpel = add("bpel", "emit BPEL XML for the minimal set")
     bpel.add_argument("--output", default=None, help="file path (default stdout)")
@@ -659,6 +722,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         _process, dependencies = _load_workload(arguments.workload)
         print(dependencies.as_table())
         return 0
+
+    if arguments.command == "minimize":
+        return _run_minimize_command(arguments)
 
     process, result = _weave(arguments.workload)
 

@@ -38,6 +38,7 @@ from repro.analysis.conditions import (
     merge_complementary,
     normalize_facts,
 )
+from repro.analysis.graphs import topological_sort
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
 
 
@@ -88,21 +89,31 @@ def _raw_closure_dag(
     return closures
 
 
+def _outgoing_index(sc: SynchronizationConstraintSet) -> Dict[str, List[Constraint]]:
+    """Adjacency index ``source -> outgoing constraints`` of ``sc``."""
+    outgoing: Dict[str, List[Constraint]] = {}
+    for constraint in sc:
+        outgoing.setdefault(constraint.source, []).append(constraint)
+    return outgoing
+
+
 def _raw_closure_single(
     sc: SynchronizationConstraintSet,
     source: str,
     through_guards: bool,
+    outgoing: Optional[Dict[str, List[Constraint]]] = None,
 ) -> FrozenSet[Fact]:
     """Raw annotated closure of one node via worklist search.
 
     Handles cyclic sets (needed so that validation can *report* cycles
     rather than crash).  A state ``(node, annotations)`` is expanded only if
     no previously expanded state for the node subsumes it.  See
-    :func:`_raw_closure_dag` for ``through_guards``.
+    :func:`_raw_closure_dag` for ``through_guards``.  Callers computing
+    several closures of the *same* set pass a prebuilt ``outgoing`` index
+    (:func:`_outgoing_index`) so the adjacency dict is not rebuilt per node.
     """
-    outgoing: Dict[str, List[Constraint]] = {}
-    for constraint in sc:
-        outgoing.setdefault(constraint.source, []).append(constraint)
+    if outgoing is None:
+        outgoing = _outgoing_index(sc)
 
     expanded: Dict[str, Set[Annotations]] = {}
     facts: Set[Fact] = set()
@@ -137,11 +148,13 @@ def _raw_closures(
     graph = sc.as_graph()
     through = _through_guards(semantics)
     try:
-        from repro.analysis.graphs import topological_sort
-
         order = topological_sort(graph)
     except ValueError:
-        return {node: _raw_closure_single(sc, node, through) for node in sc.nodes}
+        outgoing = _outgoing_index(sc)
+        return {
+            node: _raw_closure_single(sc, node, through, outgoing)
+            for node in sc.nodes
+        }
     return _raw_closure_dag(sc, order, through)
 
 
@@ -206,21 +219,39 @@ def closure_map(
     sc: SynchronizationConstraintSet,
     semantics: Semantics = Semantics.GUARD_AWARE,
     nodes: Optional[Iterable[str]] = None,
+    kernel: bool = True,
 ) -> Dict[str, FrozenSet[Fact]]:
     """Closures of ``nodes`` (default: all nodes) under ``semantics``.
 
-    On acyclic sets this uses a single reverse-topological memoized pass;
-    cyclic sets fall back to per-node worklist search.  When ``nodes``
-    restricts the computation to a small subset (as the fast minimizer's
-    ancestor checks do), per-node searches are used instead of the full
-    pass.
+    With ``kernel`` (the default) closures are computed on the interned
+    bitset kernel (:mod:`repro.core.kernel`): annotation sets become
+    integer masks, closures are cached per node and only the reachable
+    subgraph of the requested nodes is touched.  The result is identical
+    fact-for-fact to the reference path (property tested).
+
+    With ``kernel=False`` — or on cyclic sets, where the kernel cannot
+    build a topological order — the reference frozenset path runs: on
+    acyclic sets a single reverse-topological memoized pass; cyclic sets
+    fall back to per-node worklist search.  When ``nodes`` restricts the
+    computation to a small subset (as the fast minimizer's ancestor checks
+    do), per-node searches are used instead of the full pass.
     """
     wanted = list(nodes) if nodes is not None else sc.nodes
+    if kernel:
+        from repro.core.session import MinimizationSession
+
+        try:
+            session = MinimizationSession(sc, semantics)
+        except ValueError:
+            pass  # cyclic: reference worklist search below
+        else:
+            return {node: session.semantic_facts(node) for node in wanted}
     if nodes is not None and len(wanted) * 3 < len(sc.nodes):
         through = _through_guards(semantics)
+        outgoing = _outgoing_index(sc)
         return {
             node: _apply_semantics(
-                sc, node, _raw_closure_single(sc, node, through), semantics
+                sc, node, _raw_closure_single(sc, node, through, outgoing), semantics
             )
             for node in wanted
         }
@@ -234,6 +265,7 @@ def closure_map(
 def internal_closure_map(
     sc: SynchronizationConstraintSet,
     semantics: Semantics = Semantics.GUARD_AWARE,
+    kernel: bool = True,
 ) -> Dict[str, FrozenSet[Fact]]:
     """Closures restricted to internal activities on both sides.
 
@@ -241,7 +273,7 @@ def internal_closure_map(
     translated ``ASC`` must cover exactly the internal-to-internal ordering
     facts of the original ``SC``.
     """
-    full = closure_map(sc, semantics, nodes=sc.activities)
+    full = closure_map(sc, semantics, nodes=sc.activities, kernel=kernel)
     internal = set(sc.activities)
     return {
         node: frozenset(

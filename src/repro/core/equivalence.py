@@ -41,16 +41,19 @@ def covers(
     covered: SynchronizationConstraintSet,
     semantics: Semantics = Semantics.GUARD_AWARE,
     nodes: Optional[Iterable[str]] = None,
+    kernel: bool = True,
 ) -> bool:
     """Definition 4: ``covering`` covers ``covered``.
 
     ``nodes`` optionally restricts the check to a subset of activities
     (used by the fast minimizer, which knows removal of an edge can only
     perturb the closures of the edge's source and its ancestors).
+    ``kernel`` selects the bitset closure kernel (default) or the
+    reference frozenset path; the verdict is identical either way.
     """
     check_nodes = list(nodes) if nodes is not None else covered.nodes
-    covered_map = closure_map(covered, semantics, nodes=check_nodes)
-    covering_map = closure_map(covering, semantics, nodes=check_nodes)
+    covered_map = closure_map(covered, semantics, nodes=check_nodes, kernel=kernel)
+    covering_map = closure_map(covering, semantics, nodes=check_nodes, kernel=kernel)
     for node in check_nodes:
         if not fact_set_covers(
             covering_map.get(node, frozenset()), covered_map.get(node, frozenset())
@@ -64,8 +67,9 @@ def transitive_equivalent(
     second: SynchronizationConstraintSet,
     semantics: Semantics = Semantics.GUARD_AWARE,
     nodes: Optional[Iterable[str]] = None,
+    kernel: bool = True,
 ) -> bool:
     """Definition 5: mutual cover."""
-    return covers(first, second, semantics, nodes) and covers(
-        second, first, semantics, nodes
+    return covers(first, second, semantics, nodes, kernel=kernel) and covers(
+        second, first, semantics, nodes, kernel=kernel
     )

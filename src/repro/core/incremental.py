@@ -24,7 +24,7 @@ from typing import List, Optional, Set
 
 from repro.analysis.graphs import ancestors as graph_ancestors
 from repro.analysis.graphs import descendants as graph_descendants
-from repro.core.closure import Semantics, annotated_closure
+from repro.core.closure import Semantics, closure_map
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
 from repro.core.equivalence import fact_set_covers, transitive_equivalent
 
@@ -33,6 +33,7 @@ def is_covered(
     sc: SynchronizationConstraintSet,
     constraint: Constraint,
     semantics: Semantics = Semantics.GUARD_AWARE,
+    kernel: bool = True,
 ) -> bool:
     """Is ``constraint``'s ordering already implied by ``sc``?
 
@@ -46,8 +47,11 @@ def is_covered(
         guards=sc.guards,
         domains=sc.domains,
     )
-    reference = annotated_closure(reference_set, constraint.source, semantics)
-    closure = annotated_closure(sc, constraint.source, semantics)
+    source = constraint.source
+    reference = closure_map(
+        reference_set, semantics, nodes=[source], kernel=kernel
+    )[source]
+    closure = closure_map(sc, semantics, nodes=[source], kernel=kernel)[source]
     return fact_set_covers(closure, reference)
 
 
@@ -55,16 +59,18 @@ def add_constraint_incremental(
     minimal: SynchronizationConstraintSet,
     constraint: Constraint,
     semantics: Semantics = Semantics.GUARD_AWARE,
+    kernel: bool = True,
 ) -> SynchronizationConstraintSet:
     """Add one constraint to an already-minimal set, keeping it minimal.
 
     Returns a new set; the input is never mutated.  If the constraint is
     already covered, the input set is returned unchanged (same object), so
-    callers can detect no-ops with ``is``.
+    callers can detect no-ops with ``is``.  ``kernel`` routes the closure
+    and equivalence checks through the bitset kernel (default).
     """
     if constraint in minimal:
         return minimal
-    if is_covered(minimal, constraint, semantics):
+    if is_covered(minimal, constraint, semantics, kernel=kernel):
         return minimal
 
     current = minimal.copy()
@@ -91,7 +97,9 @@ def add_constraint_incremental(
         check_nodes = [candidate.source] + sorted(
             graph_ancestors(current.as_graph(), candidate.source), key=str
         )
-        if transitive_equivalent(without, current, semantics, nodes=check_nodes):
+        if transitive_equivalent(
+            without, current, semantics, nodes=check_nodes, kernel=kernel
+        ):
             current = without
     return current
 

@@ -7,21 +7,31 @@ The paper's algorithm::
         if P* - {ai -> aj} is transitive equivalent to P:
             P* = P* - {ai -> aj}
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :func:`minimize_naive` — the algorithm verbatim: every candidate removal
   re-checks transitive equivalence over *all* activities.  Quadratic in the
   number of constraints times the closure cost; kept as the reference and
   as the baseline of the scaling benchmark (S1).
-* :func:`minimize_fast` — exploits a structural fact: removing the edge
-  ``u -> v`` can only change the closure of ``u`` and of ``u``'s ancestors
-  (any path using the edge passes through ``u``).  Equivalence is therefore
-  checked on that (usually small) node set only.  A cheap pre-test — is the
-  fact ``(v, annotation(e))`` still covered from ``u`` without the edge? —
-  rejects most non-removable edges without touching the ancestors.
+* :func:`minimize_fast` with ``kernel=False`` — exploits a structural
+  fact: removing the edge ``u -> v`` can only change the closure of ``u``
+  and of ``u``'s ancestors (any path using the edge passes through ``u``).
+  Equivalence is therefore checked on that (usually small) node set only.
+  A cheap pre-test — is the fact ``(v, annotation(e))`` still covered from
+  ``u`` without the edge? — rejects most non-removable edges without
+  touching the ancestors.
+* :func:`minimize_fast` with ``kernel=True`` (the default) — the same
+  three-stage check driven through a
+  :class:`~repro.core.session.MinimizationSession`: annotations are packed
+  into integer bitmasks, closures are cached per node and incrementally
+  invalidated on accepted removals, so the per-candidate graph rebuild and
+  from-scratch closure recomputation of the reference path disappear.  The
+  result is constraint-for-constraint identical to the reference (property
+  tested in ``tests/test_core_kernel.py``); cyclic sets fall back to the
+  reference path automatically.
 
-Both are order-dependent (the minimal set is not unique, as the paper
-notes, mirroring minimal covers of functional dependencies); both iterate
+All are order-dependent (the minimal set is not unique, as the paper
+notes, mirroring minimal covers of functional dependencies); all iterate
 constraints in deterministic insertion order so results are reproducible.
 """
 
@@ -33,6 +43,7 @@ from repro.analysis.graphs import ancestors as graph_ancestors
 from repro.core.closure import Semantics, annotated_closure, raw_closure
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
 from repro.core.equivalence import fact_set_covers, transitive_equivalent
+from repro.core.kernel import KernelStats
 
 
 def _candidate_order(
@@ -45,7 +56,8 @@ def _candidate_order(
     unknown = [c for c in ordered if c not in known]
     if unknown:
         raise ValueError("order mentions constraints not in the set: %r" % unknown)
-    missing = [c for c in sc.constraints if c not in set(ordered)]
+    explicit = set(ordered)
+    missing = [c for c in sc.constraints if c not in explicit]
     return ordered + missing
 
 
@@ -53,20 +65,49 @@ def minimize_naive(
     sc: SynchronizationConstraintSet,
     semantics: Semantics = Semantics.GUARD_AWARE,
     order: Optional[Sequence[Constraint]] = None,
+    kernel: bool = False,
 ) -> SynchronizationConstraintSet:
-    """Definition 6, checked globally against the original set each step."""
+    """Definition 6, checked globally against the original set each step.
+
+    ``kernel`` routes the per-candidate equivalence checks through the
+    bitset closure kernel; it defaults off so this function stays the
+    paper-verbatim scaling baseline.
+    """
     current = sc.copy()
     for constraint in _candidate_order(sc, order):
         candidate = current.without(constraint)
-        if transitive_equivalent(candidate, sc, semantics):
+        if transitive_equivalent(candidate, sc, semantics, kernel=kernel):
             current = candidate
     return current
+
+
+def _minimize_fast_kernel(
+    sc: SynchronizationConstraintSet,
+    semantics: Semantics,
+    order: Optional[Sequence[Constraint]],
+    stats: Optional[KernelStats],
+) -> Optional[SynchronizationConstraintSet]:
+    """Session-driven minimization; ``None`` when the set is cyclic."""
+    from repro.core.session import MinimizationSession
+
+    candidates = _candidate_order(sc, order)
+    try:
+        session = MinimizationSession(sc, semantics, stats=stats)
+    except ValueError:
+        # The kernel needs a topological order; cyclic sets fall back to
+        # the reference path, whose worklist closures tolerate cycles.
+        return None
+    for constraint in candidates:
+        session.try_remove(constraint)
+    return session.to_constraint_set()
 
 
 def minimize_fast(
     sc: SynchronizationConstraintSet,
     semantics: Semantics = Semantics.GUARD_AWARE,
     order: Optional[Sequence[Constraint]] = None,
+    kernel: bool = True,
+    stats: Optional[KernelStats] = None,
 ) -> SynchronizationConstraintSet:
     """Ancestor-pruned minimization.
 
@@ -75,7 +116,16 @@ def minimize_fast(
     only closures that can have changed (the edge's source and its
     ancestors) are compared.  Closures of all other nodes are untouched by
     the removal, so candidate = current there trivially.
+
+    With ``kernel`` (the default) the check runs on the interned bitset
+    kernel with memoized, incrementally invalidated closures; pass
+    ``kernel=False`` for the reference frozenset path.  ``stats`` collects
+    :class:`~repro.core.kernel.KernelStats` counters on the kernel path.
     """
+    if kernel:
+        minimized = _minimize_fast_kernel(sc, semantics, order, stats)
+        if minimized is not None:
+            return minimized
     current = sc.copy()
     for constraint in _candidate_order(sc, order):
         candidate = current.without(constraint)
@@ -107,7 +157,9 @@ def minimize_fast(
             graph_ancestors(current.as_graph(), constraint.source),
             key=str,
         )
-        if transitive_equivalent(candidate, current, semantics, nodes=affected):
+        if transitive_equivalent(
+            candidate, current, semantics, nodes=affected, kernel=False
+        ):
             current = candidate
     return current
 
@@ -117,12 +169,14 @@ def minimize(
     semantics: Semantics = Semantics.GUARD_AWARE,
     order: Optional[Sequence[Constraint]] = None,
     algorithm: str = "fast",
+    kernel: bool = True,
+    stats: Optional[KernelStats] = None,
 ) -> SynchronizationConstraintSet:
     """Minimize ``sc`` with the chosen algorithm (``"fast"`` or ``"naive"``)."""
     if algorithm == "fast":
-        return minimize_fast(sc, semantics, order)
+        return minimize_fast(sc, semantics, order, kernel=kernel, stats=stats)
     if algorithm == "naive":
-        return minimize_naive(sc, semantics, order)
+        return minimize_naive(sc, semantics, order, kernel=kernel)
     raise ValueError("unknown minimization algorithm %r" % algorithm)
 
 

@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional
 
 from repro.core.closure import Semantics
 from repro.core.constraints import SynchronizationConstraintSet
+from repro.core.kernel import KernelStats
 from repro.core.minimize import minimize
 from repro.core.report import ReductionReport
 from repro.core.translation import (
@@ -120,6 +121,12 @@ class DSCWeaver:
     algorithm:
         ``"fast"`` (ancestor-pruned) or ``"naive"`` (the paper's Definition
         6 loop verbatim).
+    kernel:
+        When true (default), minimization runs on the interned bitset
+        kernel with a memoized session
+        (:class:`~repro.core.session.MinimizationSession`) and its
+        counters are attached to ``WeaveResult.report.kernel_stats``;
+        ``False`` selects the reference frozenset path.
     check_cycles:
         When true (default), a synchronization cycle in the merged set
         raises :class:`~repro.errors.CycleError` before optimization — the
@@ -135,11 +142,13 @@ class DSCWeaver:
         self,
         semantics: Semantics = Semantics.GUARD_AWARE,
         algorithm: str = "fast",
+        kernel: bool = True,
         check_cycles: bool = True,
         lint: bool = False,
     ) -> None:
         self.semantics = semantics
         self.algorithm = algorithm
+        self.kernel = kernel
         self.check_cycles = check_cycles
         self.lint = lint
 
@@ -170,8 +179,13 @@ class DSCWeaver:
         translation = translate_service_dependencies(
             merged, invoke_bindings_from_process(process)
         )
+        stats = KernelStats() if self.kernel else None
         minimal = minimize(
-            translation.asc, semantics=self.semantics, algorithm=self.algorithm
+            translation.asc,
+            semantics=self.semantics,
+            algorithm=self.algorithm,
+            kernel=self.kernel,
+            stats=stats,
         )
         report = ReductionReport.from_counts(
             dependencies,
@@ -179,6 +193,10 @@ class DSCWeaver:
             translated=len(translation.asc),
             minimal=len(minimal),
         )
+        if stats is not None and stats.candidates:
+            # candidates == 0 means the kernel never ran (naive algorithm,
+            # cyclic fallback, or an empty set) — no counters to report.
+            report = report.with_kernel_stats(stats.as_dict())
         result = WeaveResult(
             process=process,
             dependencies=dependencies,

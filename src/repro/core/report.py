@@ -36,6 +36,10 @@ class ReductionReport:
         Optional static-analysis rollup (``info``/``warning``/``error``
         finding counts from :mod:`repro.lint`), attached when the pipeline
         ran with linting enabled.
+    ``kernel_stats``
+        Optional bitset-kernel counters (closures computed, cache hits,
+        subsumption tests — see :class:`repro.core.kernel.KernelStats`),
+        attached when minimization ran on the kernel path.
     """
 
     raw_by_kind: Dict[str, int]
@@ -44,6 +48,7 @@ class ReductionReport:
     translated: int
     minimal: int
     lint_counts: Optional[Dict[str, int]] = None
+    kernel_stats: Optional[Dict[str, object]] = None
 
     @property
     def removed(self) -> int:
@@ -91,6 +96,10 @@ class ReductionReport:
         """A copy of this report carrying a lint severity rollup."""
         return replace(self, lint_counts=dict(counts))
 
+    def with_kernel_stats(self, stats: Dict[str, object]) -> "ReductionReport":
+        """A copy of this report carrying bitset-kernel counters."""
+        return replace(self, kernel_stats=dict(stats))
+
     def as_table(self) -> str:
         """Text rendering in the spirit of Table 2."""
         lines: List[str] = []
@@ -115,6 +124,18 @@ class ReductionReport:
                     self.lint_counts.get("info", 0),
                 )
             )
+        if self.kernel_stats is not None:
+            hit_rate = self.kernel_stats.get("closure_cache_hit_rate", 0.0)
+            lines.append(
+                "%-25s  %s closures, %s cache hits (%.0f%%), %s subsumption tests"
+                % (
+                    "kernel",
+                    self.kernel_stats.get("closures_computed", 0),
+                    self.kernel_stats.get("closure_cache_hits", 0),
+                    100.0 * float(hit_rate),  # type: ignore[arg-type]
+                    self.kernel_stats.get("subsumption_tests", 0),
+                )
+            )
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
@@ -129,4 +150,6 @@ class ReductionReport:
         }
         if self.lint_counts is not None:
             payload["lint_counts"] = dict(self.lint_counts)
+        if self.kernel_stats is not None:
+            payload["kernel_stats"] = dict(self.kernel_stats)
         return payload

@@ -1,0 +1,357 @@
+"""Memoized minimization sessions over the interned bitset kernel.
+
+The reference :func:`repro.core.minimize.minimize_fast` treats the
+constraint set as immutable: every candidate edge rebuilds
+``current.as_graph()``, recomputes ancestor sets, and re-derives raw
+closures from scratch.  A :class:`MinimizationSession` keeps one mutable
+picture of the evolving set instead:
+
+* adjacency and reverse adjacency are dense ``list[list[_Edge]]`` arrays
+  indexed by interned node id, updated in place on each accepted removal;
+* raw and semantic closures are cached per node as kernel
+  :data:`~repro.core.kernel.MaskClosure` values;
+* removing the edge ``u -> v`` can only change the closures of ``u`` and
+  of ``u``'s ancestors (any path using the edge passes through ``u``), so
+  an accepted removal either installs the freshly computed candidate
+  closures for exactly that node set, or marks it dirty for lazy
+  recomputation — no other cache entry is touched.
+
+Closure composition is *memoized structurally*: the raw closure of a node
+is assembled from the cached closures of its successors (one pass over the
+out-edges), so a cache miss costs one composition rather than a graph
+search.  Dirty nodes are recomputed in reverse topological order on first
+use.
+
+Sessions require an acyclic constraint set (the construction raises
+``ValueError`` otherwise); callers fall back to the reference frozenset
+path, which handles cycles via worklist search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.conditions import Fact
+from repro.analysis.graphs import topological_sort
+from repro.core.closure import Semantics
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.core.kernel import (
+    Interner,
+    KernelStats,
+    MaskClosure,
+    closure_covers,
+    closure_insert,
+    closure_to_facts,
+)
+
+_EdgeKey = Tuple[str, str, Optional[str]]
+
+
+@dataclass
+class _Edge:
+    """One constraint in kernel form (identity is the object itself)."""
+
+    src: int
+    tgt: int
+    mask: int
+    key: _EdgeKey
+
+
+class MinimizationSession:
+    """Incremental closure cache for one constraint set under one semantics.
+
+    The session is the engine behind ``minimize_fast(..., kernel=True)``
+    and the kernel path of ``closure_map``; it can also be driven directly:
+
+    >>> session = MinimizationSession(sc, Semantics.GUARD_AWARE)
+    >>> session.try_remove(constraint)   # doctest: +SKIP
+    >>> session.to_constraint_set()      # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        sc: SynchronizationConstraintSet,
+        semantics: Semantics = Semantics.GUARD_AWARE,
+        stats: Optional[KernelStats] = None,
+    ) -> None:
+        order = topological_sort(sc.as_graph())  # ValueError on cycles
+        self._sc = sc
+        self.semantics = semantics
+        self.through_guards = semantics is Semantics.GUARD_AWARE
+        self.stats = stats
+        self.interner = Interner()
+        interner = self.interner
+
+        for name in sc.nodes:
+            interner.node_id(name)
+        self._pos: List[int] = [0] * len(interner)
+        for position, name in enumerate(order):
+            self._pos[interner.node_id(name)] = position
+
+        self._guard_mask: List[int] = [
+            interner.mask_of(sc.effective_guard(name)) for name in sc.nodes
+        ]
+        self._guard_name_masks: Dict[str, int] = {}
+        self._domains = sc.domains
+
+        size = len(interner)
+        self._out: List[List[_Edge]] = [[] for _ in range(size)]
+        self._rin: List[List[_Edge]] = [[] for _ in range(size)]
+        self._edges: Dict[_EdgeKey, _Edge] = {}
+        for constraint in sc:
+            edge = _Edge(
+                src=interner.node_id(constraint.source),
+                tgt=interner.node_id(constraint.target),
+                mask=interner.mask_of(constraint.annotation),
+                key=(constraint.source, constraint.target, constraint.condition),
+            )
+            self._edges[edge.key] = edge
+            self._out[edge.src].append(edge)
+            self._rin[edge.tgt].append(edge)
+        self._removed: Set[_EdgeKey] = set()
+
+        self._raw: List[Optional[MaskClosure]] = [None] * size
+        self._sem: List[Optional[MaskClosure]] = [None] * size
+
+    # -- closures ------------------------------------------------------------
+
+    def raw(self, node: int) -> MaskClosure:
+        """The raw (pre-semantics) closure of ``node``, cached.
+
+        Dirty dependencies are recomputed deepest-first, so each composes
+        only already-cached successor closures.
+        """
+        cached = self._raw[node]
+        if cached is not None:
+            if self.stats is not None:
+                self.stats.closure_cache_hits += 1
+            return cached
+        pending = [node]
+        seen = {node}
+        dirty = []
+        while pending:
+            current = pending.pop()
+            dirty.append(current)
+            for edge in self._out[current]:
+                if edge.tgt not in seen and self._raw[edge.tgt] is None:
+                    seen.add(edge.tgt)
+                    pending.append(edge.tgt)
+        dirty.sort(key=self._pos.__getitem__, reverse=True)
+        for current in dirty:
+            self._raw[current] = self._compose(current)
+        return self._raw[node]  # type: ignore[return-value]
+
+    def sem(self, node: int) -> MaskClosure:
+        """The semantic closure of ``node`` (raw + strip/merge), cached."""
+        cached = self._sem[node]
+        if cached is not None:
+            if self.stats is not None:
+                self.stats.closure_cache_hits += 1
+            return cached
+        result = self._apply_semantics(node, self.raw(node))
+        self._sem[node] = result
+        return result
+
+    def semantic_facts(self, name: str) -> FrozenSet[Fact]:
+        """The closure of ``name`` as reference facts (``closure_map`` twin)."""
+        node = self.interner.lookup_node(name)
+        if node is None:
+            return frozenset()
+        return closure_to_facts(self.interner, self.sem(node))
+
+    def _compose(
+        self,
+        node: int,
+        exclude: Optional[_Edge] = None,
+        override: Optional[Dict[int, MaskClosure]] = None,
+    ) -> MaskClosure:
+        """Build the raw closure of ``node`` from its successors' closures.
+
+        ``exclude`` drops one out-edge (the removal candidate); ``override``
+        substitutes candidate closures for affected successors while the
+        cache still holds the pre-removal ones.
+        """
+        if self.stats is not None:
+            self.stats.closures_computed += 1
+        interner = self.interner
+        through_guards = self.through_guards
+        guard_mask = self._guard_mask
+        facts: MaskClosure = {}
+        for edge in self._out[node]:
+            if edge is exclude:
+                continue
+            emask = edge.mask
+            closure_insert(facts, edge.tgt, emask)
+            through = emask | guard_mask[edge.tgt] if through_guards else emask
+            if interner.is_contradictory(through):
+                continue
+            child = override.get(edge.tgt) if override is not None else None
+            if child is None:
+                child = self.raw(edge.tgt)
+            conflict = interner.conflict_of(through)
+            for target, masks in child.items():
+                for mask in masks:
+                    if mask & conflict:
+                        continue
+                    closure_insert(facts, target, through | mask)
+        return facts
+
+    # -- semantics -----------------------------------------------------------
+
+    def _guard_mask_of_name(self, guard: str) -> int:
+        mask = self._guard_name_masks.get(guard)
+        if mask is None:
+            mask = self.interner.mask_of(self._sc.effective_guard(guard))
+            self._guard_name_masks[guard] = mask
+        return mask
+
+    def _apply_semantics(self, source: int, raw: MaskClosure) -> MaskClosure:
+        if self.semantics is Semantics.STRICT:
+            return raw
+        if self.semantics is Semantics.REACHABILITY:
+            return {target: [0] for target in raw}
+        source_guard = self._guard_mask[source]
+        guard_mask = self._guard_mask
+        stripped: MaskClosure = {}
+        for target, masks in raw.items():
+            implied = source_guard | guard_mask[target]
+            for mask in masks:
+                closure_insert(stripped, target, mask & ~implied)
+        return self._merge_complementary(source, stripped)
+
+    def _merge_complementary(self, source: int, current: MaskClosure) -> MaskClosure:
+        """Kernel twin of ``merge_complementary`` with the guard-aware veto.
+
+        Facts ``(t, base | {(g, v)})`` over every ``v`` in ``g``'s domain
+        collapse to ``(t, base)`` — provided ``g`` is certain to execute in
+        the fact's context — run to a fixpoint, rescanning after each merge
+        exactly like the reference.
+        """
+        interner = self.interner
+        domains = self._domains
+        source_guard = self._guard_mask[source]
+        changed = True
+        while changed:
+            changed = False
+            by_base: Dict[Tuple[int, int, str], Set[str]] = {}
+            for target, masks in current.items():
+                for mask in masks:
+                    remaining = mask
+                    while remaining:
+                        low = remaining & -remaining
+                        remaining ^= low
+                        cond = interner.cond_of_bit(low.bit_length() - 1)
+                        by_base.setdefault(
+                            (target, mask ^ low, cond.guard), set()
+                        ).add(cond.value)
+            for (target, base, guard), values in by_base.items():
+                if values >= domains.domain(guard):
+                    required = self._guard_mask_of_name(guard)
+                    context = base | source_guard | self._guard_mask[target]
+                    if required & context != required:
+                        continue
+                    if closure_insert(current, target, base):
+                        changed = True
+                        break
+        return current
+
+    # -- graph maintenance -----------------------------------------------------
+
+    def _ancestors(self, node: int) -> List[int]:
+        """Ids of all nodes that reach ``node`` in the current graph."""
+        seen: Set[int] = set()
+        stack = [edge.src for edge in self._rin[node]]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(edge.src for edge in self._rin[current])
+        return list(seen)
+
+    def _remove_edge(self, edge: _Edge) -> None:
+        self._out[edge.src].remove(edge)
+        self._rin[edge.tgt].remove(edge)
+        self._removed.add(edge.key)
+
+    def _invalidate_ancestors(self, node: int) -> None:
+        for ancestor in self._ancestors(node):
+            self._raw[ancestor] = None
+            self._sem[ancestor] = None
+
+    # -- minimization -----------------------------------------------------------
+
+    def try_remove(self, constraint: Constraint) -> bool:
+        """Remove ``constraint`` if the set stays transitively equivalent.
+
+        Runs the same three-stage check as the reference ``minimize_fast``
+        (raw-cover shortcut, single-source semantic pre-test, ancestor-
+        restricted equivalence) on cached kernel closures, and commits the
+        removal — updating adjacency and exactly the affected cache
+        entries — when it succeeds.
+        """
+        stats = self.stats
+        if stats is not None:
+            stats.candidates += 1
+        edge = self._edges[(constraint.source, constraint.target, constraint.condition)]
+        source = edge.src
+
+        raw_before = self.raw(source)
+        raw_after = self._compose(source, exclude=edge)
+        if closure_covers(raw_after, raw_before, stats):
+            # Covered raw closure propagates to every ancestor under any
+            # semantics; install the new source closure, lazily dirty the rest.
+            self._remove_edge(edge)
+            self._raw[source] = raw_after
+            self._sem[source] = None
+            self._invalidate_ancestors(source)
+            if stats is not None:
+                stats.raw_shortcut_accepts += 1
+                stats.removed += 1
+            return True
+
+        sem_after = self._apply_semantics(source, raw_after)
+        single: MaskClosure = {}
+        closure_insert(single, edge.tgt, edge.mask)
+        sem_single = self._apply_semantics(source, single)
+        if not closure_covers(sem_after, sem_single, stats):
+            if stats is not None:
+                stats.cheap_rejects += 1
+            return False
+
+        if stats is not None:
+            stats.full_checks += 1
+        affected = self._ancestors(source)
+        affected.sort(key=self._pos.__getitem__, reverse=True)
+        cand_raw: Dict[int, MaskClosure] = {source: raw_after}
+        for node in affected:
+            cand_raw[node] = self._compose(node, exclude=edge, override=cand_raw)
+        cand_sem: Dict[int, MaskClosure] = {source: sem_after}
+        for node in affected:
+            cand_sem[node] = self._apply_semantics(node, cand_raw[node])
+        for node in cand_sem:
+            current_sem = self.sem(node)
+            candidate_sem = cand_sem[node]
+            if not closure_covers(candidate_sem, current_sem, stats):
+                return False
+            if not closure_covers(current_sem, candidate_sem, stats):
+                return False
+
+        self._remove_edge(edge)
+        for node, closure in cand_raw.items():
+            self._raw[node] = closure
+            self._sem[node] = cand_sem[node]
+        if stats is not None:
+            stats.removed += 1
+        return True
+
+    def to_constraint_set(self) -> SynchronizationConstraintSet:
+        """The current set (original minus accepted removals, order kept)."""
+        remaining = [
+            constraint
+            for constraint in self._sc.constraints
+            if (constraint.source, constraint.target, constraint.condition)
+            not in self._removed
+        ]
+        return self._sc.replace_constraints(remaining)

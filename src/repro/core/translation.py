@@ -210,3 +210,30 @@ def translate_service_dependencies(
         bridged=tuple(bridged + extra_bridged),
         dropped=tuple(dict.fromkeys(dropped)),
     )
+
+
+def verify_translation(
+    original: SynchronizationConstraintSet,
+    result: TranslationResult,
+    kernel: bool = True,
+) -> bool:
+    """Check the Section-4.3 correctness statement of a translation.
+
+    Every internal-to-internal reachability fact of the mixed set must
+    survive translation — the ``ASC`` covers the internal projection of the
+    original closure.  (Port contraction may *strengthen* the set, so the
+    converse need not hold.)  Runs on the bitset closure kernel by default
+    (``kernel=False`` for the reference path); used by the differential
+    tests and the core perf smoke job.
+    """
+    from repro.core.closure import Semantics, internal_closure_map
+    from repro.core.equivalence import fact_set_covers
+
+    before = internal_closure_map(original, Semantics.REACHABILITY, kernel=kernel)
+    after = internal_closure_map(result.asc, Semantics.REACHABILITY, kernel=kernel)
+    for activity in original.activities:
+        original_facts = before.get(activity, frozenset())
+        translated_facts = after.get(activity, frozenset())
+        if not fact_set_covers(translated_facts, original_facts):
+            return False
+    return True
