@@ -1,0 +1,188 @@
+"""Observability overhead: the disabled path must cost (almost) nothing.
+
+Three drivers over the identical case load:
+
+* **reference** — a verbatim copy of the pre-instrumentation scheduling
+  loop, driven externally over the runtime's shards (no ``obs`` branches
+  in the loop body);
+* **disabled** — ``Runtime(obs=None).run()``, the shipped hot path whose
+  only residual cost is the ``if obs is None`` guards;
+* **enabled** — ``Runtime(obs=Observability()).run()`` with spans and
+  metrics collected.
+
+The pinned contract (recorded in ``BENCH_obs.json`` at the repository
+root and asserted by CI's ``obs-smoke`` job): the disabled path stays
+within 5% of the reference loop, and all three modes produce identical
+per-case final states.  ``BENCH_OBS_CASES`` / ``BENCH_OBS_ROUNDS`` scale
+the load (defaults 600 cases, best of 5).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.pipeline import DSCWeaver, extract_all_dependencies
+from repro.obs import Observability, span_forest
+from repro.runtime import Runtime, program_from_weave
+from repro.workloads.purchasing import (
+    build_purchasing_process,
+    purchasing_cooperation_dependencies,
+)
+
+CASES = int(os.environ.get("BENCH_OBS_CASES", "600"))
+ROUNDS = int(os.environ.get("BENCH_OBS_ROUNDS", "5"))
+SHARDS = 4
+OVERHEAD_BUDGET_PCT = 5.0
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _program():
+    process = build_purchasing_process()
+    dependencies = extract_all_dependencies(
+        process, cooperation=purchasing_cooperation_dependencies(process)
+    )
+    result = DSCWeaver().weave(process, dependencies)
+    return program_from_weave(result, "minimal", target="runtime")
+
+
+def _case_plans(program, count):
+    """Outcome plans enumerating guard-domain combinations (mixed radix)."""
+    guards = program.guard_names()
+    domains = {guard: program.outcome_domain(guard) for guard in guards}
+    plans = {}
+    for index in range(count):
+        plan = {}
+        shift = index
+        for guard in guards:
+            domain = domains[guard]
+            plan[guard] = domain[shift % len(domain)]
+            shift //= len(domain)
+        plans["case-%05d" % index] = plan
+    return plans
+
+
+def _drive_reference(runtime):
+    """The scheduling loop exactly as it was before instrumentation."""
+    store = runtime._store
+    batch_size = runtime._batch
+    while store.any_runnable():
+        for shard in store.shards:
+            for instance in shard.take_batch(batch_size):
+                if instance.advance():
+                    shard.requeue(instance)
+                else:
+                    shard.retire(instance)
+                    runtime._on_case_done(instance)
+
+
+def _run(program, plans, mode):
+    """One fresh serving run in ``mode``; ``(wall seconds, report, obs)``."""
+    obs = Observability() if mode == "enabled" else None
+    runtime = Runtime(program, shards=SHARDS, obs=obs)
+    try:
+        runtime.submit_batch(plans)
+        started = time.perf_counter()
+        if mode == "reference":
+            _drive_reference(runtime)
+        else:
+            runtime.run()
+        wall = time.perf_counter() - started
+        report = runtime.report()
+    finally:
+        runtime.close()
+    return wall, report, obs
+
+
+def _measure(program, plans, rounds=ROUNDS):
+    """Interleaved best-of-``rounds`` per mode.
+
+    Interleaving (reference, disabled, enabled, reference, ...) instead of
+    back-to-back blocks keeps allocator/cache drift from biasing one mode;
+    an untimed warm-up run absorbs first-run effects.
+    """
+    _run(program, plans, "disabled")  # warm-up, untimed
+    best = {}
+    reports = {}
+    observed = {}
+    for _ in range(rounds):
+        for mode in ("reference", "disabled", "enabled"):
+            wall, report, obs = _run(program, plans, mode)
+            best[mode] = wall if mode not in best else min(best[mode], wall)
+            reports[mode] = report
+            observed[mode] = obs
+    return best, reports, observed
+
+
+def test_emit_bench_obs_json(artifact_sink):
+    """Measure the three modes, pin the budget, write ``BENCH_obs.json``."""
+    program = _program()
+    plans = _case_plans(program, CASES)
+
+    best, reports, observed = _measure(program, plans)
+    best_reference, best_disabled, best_enabled = (
+        best["reference"],
+        best["disabled"],
+        best["enabled"],
+    )
+    reference_report = reports["reference"]
+    disabled_report = reports["disabled"]
+    enabled_report = reports["enabled"]
+    obs = observed["enabled"]
+
+    # acceptance property: instrumentation never changes outcomes
+    assert reference_report.metrics.completed == CASES
+    assert disabled_report.final_states() == reference_report.final_states()
+    assert enabled_report.final_states() == reference_report.final_states()
+
+    # the enabled run actually observed something
+    forest = span_forest(obs.tracer.finished_spans())
+    assert forest and forest[0][0] == "runtime.run"
+    cases_counter = obs.metrics.get("repro_runtime_cases_total")
+    assert cases_counter.value(status="completed") == CASES
+
+    disabled_overhead_pct = (best_disabled - best_reference) / best_reference * 100
+    enabled_overhead_pct = (best_enabled - best_reference) / best_reference * 100
+
+    payload = {
+        "benchmark": "observability overhead on multi-case serving",
+        "workload": "purchasing, minimal set, %d cases, %d shards"
+        % (CASES, SHARDS),
+        "generated_by": (
+            "benchmarks/bench_obs_overhead.py::test_emit_bench_obs_json"
+        ),
+        "rounds": ROUNDS,
+        "overhead_budget_pct": OVERHEAD_BUDGET_PCT,
+        "reference_seconds": round(best_reference, 6),
+        "disabled_seconds": round(best_disabled, 6),
+        "enabled_seconds": round(best_enabled, 6),
+        "disabled_overhead_pct": round(disabled_overhead_pct, 2),
+        "enabled_overhead_pct": round(enabled_overhead_pct, 2),
+        "identical_final_states": True,
+        "spans_recorded": len(obs.tracer.finished_spans()),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    artifact_sink(
+        "obs_overhead",
+        "observability overhead — purchasing, %d cases, %d shards, best of %d\n"
+        "reference (pre-instrumentation loop): %.3fs\n"
+        "disabled (obs=None guards):           %.3fs (%+.2f%%)\n"
+        "enabled (spans + metrics):            %.3fs (%+.2f%%)\n"
+        "per-case final states identical across all modes: yes"
+        % (
+            CASES,
+            SHARDS,
+            ROUNDS,
+            best_reference,
+            best_disabled,
+            disabled_overhead_pct,
+            best_enabled,
+            enabled_overhead_pct,
+        ),
+    )
+
+    # the tentpole acceptance bar: disabled-path overhead under 5%
+    assert disabled_overhead_pct < OVERHEAD_BUDGET_PCT

@@ -93,8 +93,8 @@ def prepared():
     out = {}
     for workload in WORKLOADS:
         result = _weave(workload)
-        minimal = program_from_weave(result, "minimal")
-        full = program_from_weave(result, "full")
+        minimal = program_from_weave(result, "minimal", target="runtime")
+        full = program_from_weave(result, "full", target="runtime")
         out[workload] = (minimal, full, _case_plans(minimal, CASES))
     return out
 

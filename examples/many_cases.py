@@ -57,8 +57,8 @@ def main() -> None:
         process, cooperation=purchasing_cooperation_dependencies(process)
     )
     result = DSCWeaver().weave(process, dependencies)
-    minimal = program_from_weave(result, "minimal")
-    full = program_from_weave(result, "full")
+    minimal = program_from_weave(result, "minimal", target="runtime")
+    full = program_from_weave(result, "full", target="runtime")
     print(
         "compiled programs: minimal=%d constraints, full=%d constraints"
         % (len(minimal.constraints), len(full.constraints))

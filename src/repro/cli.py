@@ -17,6 +17,13 @@ Subcommands::
     dscweaver serve purchasing --cases 1000 --shards 8   # multi-case runtime
     dscweaver serve purchasing --journal wal.jsonl --crash-after 500
     dscweaver serve purchasing --journal wal.jsonl --recover
+    dscweaver serve purchasing --trace-out t.json --metrics-out m.prom
+    dscweaver trace t.json --top 10               # flame summary of a trace
+
+``minimize``, ``simulate``, ``replay`` and ``serve`` accept ``--trace-out``
+(Chrome ``trace_event`` JSON, loadable in Perfetto) and ``--metrics-out``
+(Prometheus text, or JSON for ``*.json`` paths); ``serve`` and ``replay``
+also take ``--format json`` for a machine-readable run summary.
 
 Workloads: purchasing, deployment, loan, travel, insurance.
 
@@ -178,12 +185,82 @@ def _conformance_program(arguments):
     return result, program_from_weave(result, which=arguments.set)
 
 
+def _make_obs(arguments):
+    """An :class:`repro.obs.Observability` when ``--trace-out`` or
+    ``--metrics-out`` was given, else ``None`` (the zero-cost path)."""
+    if getattr(arguments, "trace_out", None) or getattr(
+        arguments, "metrics_out", None
+    ):
+        from repro.obs import Observability
+
+        return Observability()
+    return None
+
+
+def _flush_obs(obs, arguments) -> None:
+    """Write the collected trace/metrics to the requested files.
+
+    Notices go to stderr so ``--format json`` keeps stdout machine-readable.
+    """
+    if obs is None:
+        return
+    from repro.obs import write_metrics, write_trace
+
+    if getattr(arguments, "trace_out", None):
+        write_trace(obs.tracer, arguments.trace_out)
+        print("wrote trace to %s" % arguments.trace_out, file=sys.stderr)
+    if getattr(arguments, "metrics_out", None):
+        write_metrics(obs.metrics, arguments.metrics_out)
+        print("wrote metrics to %s" % arguments.metrics_out, file=sys.stderr)
+
+
+def _emit_summary(fmt: str, payload, text: str) -> None:
+    """Shared ``--format text|json`` switch for run summaries.
+
+    ``text`` is printed verbatim (no trailing newline added beyond what it
+    carries) so textual output stays byte-identical to the historical form;
+    ``payload`` is the machine-readable equivalent.
+    """
+    import json as json_module
+
+    if fmt == "json":
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text, end="")
+
+
 def _print_replay_report(report, arguments) -> int:
     from repro.lint import Severity, render
 
     lint_report = report.to_lint_report()
     title = "%s (%s set)" % (arguments.workload, arguments.set)
-    if arguments.format == "text":
+    if arguments.format == "json":
+        from repro.lint.formats import report_dict
+
+        payload = {
+            "summary": {
+                "cases": report.cases,
+                "events": report.events,
+                "checks": report.checks,
+                "program_size": report.program_size,
+                "fitness": report.fitness,
+                "checks_per_event": report.checks_per_event,
+                "violated_cases": list(report.violated_cases),
+                "violations_by_code": {
+                    code: count
+                    for code, count in report.counts_by_code().items()
+                    if count
+                },
+                "violations_by_category": dict(report.violations_by_category),
+                "verdicts": {
+                    verdict.value: count
+                    for verdict, count in report.verdict_counts.items()
+                },
+            },
+            "findings": report_dict(lint_report, title=title),
+        }
+        _emit_summary("json", payload, "")
+    elif arguments.format == "text":
         print(render(lint_report, "text", title=title), end="")
         print(report.summary())
     else:
@@ -200,7 +277,9 @@ def _run_replay_command(arguments) -> int:
         print("cannot load log: %s" % error, file=sys.stderr)
         return 2
     result, program = _conformance_program(arguments)
-    report = replay(log, program, indexed=not arguments.naive)
+    obs = _make_obs(arguments)
+    report = replay(log, program, indexed=not arguments.naive, obs=obs)
+    _flush_obs(obs, arguments)
     if arguments.compare:
         other_which = "full" if arguments.set == "minimal" else "minimal"
         other = replay(log, program_from_weave(result, which=other_which))
@@ -324,7 +403,7 @@ def _run_serve_command(arguments) -> int:
         return 2
 
     _process, result = _weave(arguments.workload)
-    program = program_from_weave(result, which=arguments.set)
+    program = program_from_weave(result, which=arguments.set, target="runtime")
     plans = _case_plans(program, arguments.cases)
     policies = RetryPolicies(
         default=RetryPolicy(
@@ -333,6 +412,7 @@ def _run_serve_command(arguments) -> int:
             max_attempts=arguments.max_attempts,
         )
     )
+    obs = _make_obs(arguments)
     options = dict(
         shards=arguments.shards,
         batch=arguments.batch,
@@ -341,7 +421,9 @@ def _run_serve_command(arguments) -> int:
         max_queue=arguments.max_queue,
         policies=policies,
         seed=arguments.seed,
+        obs=obs,
     )
+    recovery = None
     if arguments.recover:
         runtime = Runtime.recover(
             arguments.journal,
@@ -351,10 +433,16 @@ def _run_serve_command(arguments) -> int:
         )
         known = set(runtime.known_cases)
         pending = {c: p for c, p in plans.items() if c not in known}
-        print(
-            "recovered journal %s: %d case(s) adopted or resumed, "
-            "%d resubmitted" % (arguments.journal, len(known), len(pending))
-        )
+        recovery = {
+            "journal": arguments.journal,
+            "adopted_or_resumed": len(known),
+            "resubmitted": len(pending),
+        }
+        if arguments.format == "text":
+            print(
+                "recovered journal %s: %d case(s) adopted or resumed, "
+                "%d resubmitted" % (arguments.journal, len(known), len(pending))
+            )
         plans = pending
     else:
         runtime = Runtime(
@@ -381,10 +469,25 @@ def _run_serve_command(arguments) -> int:
         return 3
     finally:
         runtime.close()
+        _flush_obs(obs, arguments)
 
-    print(report.summary())
+    import dataclasses
+
+    from repro.lint.formats import report_dict
+
+    lint_report = report.to_lint_report()
+    text = report.summary() + "\n"
     if report.diagnostics:
-        print(render(report.to_lint_report(), "text", title=arguments.workload), end="")
+        text += render(lint_report, "text", title=arguments.workload)
+    payload = {
+        "workload": arguments.workload,
+        "set": arguments.set,
+        "metrics": dataclasses.asdict(report.metrics),
+        "findings": report_dict(lint_report, title=arguments.workload),
+    }
+    if recovery is not None:
+        payload["recovery"] = recovery
+    _emit_summary(arguments.format, payload, text)
     return report.exit_code(Severity.from_name(arguments.fail_on))
 
 
@@ -397,12 +500,14 @@ def _run_minimize_command(arguments) -> int:
     semantics = Semantics(arguments.semantics)
     kernel = not arguments.no_kernel
     process, dependencies = _load_workload(arguments.workload)
+    obs = _make_obs(arguments)
     weaver = DSCWeaver(
-        semantics=semantics, algorithm=arguments.algorithm, kernel=kernel
+        semantics=semantics, algorithm=arguments.algorithm, kernel=kernel, obs=obs
     )
     started = time.perf_counter()
     result = weaver.weave(process, dependencies)
     elapsed = time.perf_counter() - started
+    _flush_obs(obs, arguments)
     for constraint in sorted(result.minimal.constraints):
         print(constraint)
     if arguments.stats:
@@ -426,6 +531,24 @@ def _run_minimize_command(arguments) -> int:
                     print("  %-24s %.3f" % (key, value))
                 else:
                     print("  %-24s %s" % (key, value))
+    return 0
+
+
+def _run_trace_command(arguments) -> int:
+    from repro.obs import flame_summary, load_trace, render_flame
+
+    try:
+        payload = load_trace(arguments.file)
+    except (OSError, ValueError) as error:
+        print("cannot load trace: %s" % error, file=sys.stderr)
+        return 2
+    events = [
+        event
+        for event in payload.get("traceEvents", [])
+        if isinstance(event, dict) and event.get("ph") == "X"
+    ]
+    rows = flame_summary(payload, top=arguments.top)
+    print(render_flame(rows, total_events=len(events)))
     return 0
 
 
@@ -461,6 +584,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return sub
 
+    def add_obs_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="write collected spans as Chrome trace_event JSON "
+            "(loadable in Perfetto / chrome://tracing)",
+        )
+        sub.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write metrics to PATH: Prometheus text exposition, "
+            "or JSON when PATH ends in .json",
+        )
+
     add("table1", "print the categorized dependency set (Table 1)")
     add("weave", "run the pipeline and print the reduction report (Table 2)")
     add("minimal", "print the minimal constraint set (Figure 9)")
@@ -485,6 +624,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="guard-aware",
         choices=["strict", "guard-aware", "reachability"],
     )
+    add_obs_flags(minimize_cmd)
     add("dscl", "print the merged DSCL program")
     bpel = add("bpel", "emit BPEL XML for the minimal set")
     bpel.add_argument("--output", default=None, help="file path (default stdout)")
@@ -515,6 +655,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="NAME",
         help="case id used in the recorded log (default: the workload name)",
     )
+    add_obs_flags(simulate)
     dot = add("dot", "export a graph as Graphviz DOT")
     dot.add_argument(
         "--what",
@@ -627,6 +768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also replay against the other set and require identical verdicts",
     )
+    add_obs_flags(replay_cmd)
     monitor_cmd = add_conformance(
         "monitor", "check a live JSONL event stream (stdin or --log) online"
     )
@@ -697,6 +839,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--seed", type=int, default=0,
         help="seed of the deterministic service-loss model (default 0)",
     )
+    serve.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="run summary format (default text)",
+    )
+    add_obs_flags(serve)
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="summarize a Chrome trace JSON file (top spans by self time)",
+    )
+    trace_cmd.add_argument(
+        "file", help="trace file written by --trace-out (Chrome trace_event JSON)"
+    )
+    trace_cmd.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="number of span names to list (default 15)",
+    )
 
     arguments = parser.parse_args(argv)
 
@@ -708,6 +867,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_monitor_command(arguments)
     if arguments.command == "serve":
         return _run_serve_command(arguments)
+    if arguments.command == "trace":
+        return _run_trace_command(arguments)
 
     if arguments.command == "uml":
         from repro.uml.extract import diagram_dependencies
@@ -810,13 +971,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.scheduler.engine import ConstraintScheduler
         from repro.scheduler.metrics import max_concurrency
 
+        obs = _make_obs(arguments)
         scheduler = ConstraintScheduler(
             process,
             result.minimal,
             fine_grained=result.fine_grained,
             exclusives=result.exclusives,
+            obs=obs,
         )
         run = scheduler.run(outcomes=_parse_outcomes(arguments.outcome))
+        _flush_obs(obs, arguments)
         print(
             "makespan=%.1f  constraint checks=%d  peak concurrency=%d"
             % (run.makespan, run.constraint_checks, max_concurrency(run.trace))

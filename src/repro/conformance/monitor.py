@@ -33,6 +33,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
@@ -42,6 +43,9 @@ from typing import (
     Set,
     Tuple,
 )
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 from repro.analysis.conditions import Cond, ConditionDomains
 from repro.core.constraints import SynchronizationConstraintSet
@@ -334,7 +338,12 @@ class ConformanceMonitor:
     ``checks`` counts constraint inspections under either strategy.
     """
 
-    def __init__(self, program: MonitorProgram, indexed: bool = True) -> None:
+    def __init__(
+        self,
+        program: MonitorProgram,
+        indexed: bool = True,
+        obs: Optional["Observability"] = None,
+    ) -> None:
         self._program = program
         self._indexed = indexed
         self._cases: Dict[str, _CaseState] = {}
@@ -345,6 +354,13 @@ class ConformanceMonitor:
         self.violations_by_category: Dict[str, int] = {}
         #: every case ever seen -> count of warning+ diagnostics (violations)
         self.violations_by_case: Dict[str, int] = {}
+        self._obs = obs
+        self._published = False
+        if obs is not None:
+            self._m_activated = obs.metrics.counter(
+                "repro_conformance_obligations_activated_total",
+                "Conditional obligations parked awaiting a guard resolution.",
+            )
 
     # -- lookup helpers (indexed vs full scan) -----------------------------
 
@@ -493,11 +509,49 @@ class ConformanceMonitor:
         return found
 
     def finish(self) -> List[Diagnostic]:
-        """Close every open case."""
+        """Close every open case and publish metrics (if observed)."""
         found: List[Diagnostic] = []
         for case in list(self._cases):
             found.extend(self.end_case(case))
+        self.publish_metrics()
         return found
+
+    def publish_metrics(self) -> None:
+        """Fold the monitor's counters into the observability registry.
+
+        Called by :meth:`finish`; publishing once keeps the counters
+        cumulative-correct (a second call is a no-op).  The obligation
+        lifecycle lands as ``repro_conformance_obligations_total`` labeled
+        per verdict, diagnostics per ``CONF00x`` code.
+        """
+        if self._obs is None or self._published:
+            return
+        self._published = True
+        registry = self._obs.metrics
+        registry.counter(
+            "repro_conformance_events_total", "Events fed to the monitor."
+        ).inc(self.events_fed)
+        registry.counter(
+            "repro_conformance_inspections_total",
+            "Constraint inspections while monitoring.",
+        ).inc(self.checks)
+        registry.counter(
+            "repro_conformance_cases_total", "Cases observed by the monitor."
+        ).inc(len(self.violations_by_case))
+        obligations = registry.counter(
+            "repro_conformance_obligations_total",
+            "Obligations resolved, by final verdict.",
+            ("verdict",),
+        )
+        for verdict in sorted(self.verdict_counts, key=lambda v: v.value):
+            obligations.labels(verdict=verdict.value).inc(self.verdict_counts[verdict])
+        diagnostics = registry.counter(
+            "repro_conformance_diagnostics_total",
+            "Diagnostics emitted, by CONF code.",
+            ("code",),
+        )
+        for diagnostic in self.diagnostics:
+            diagnostics.labels(code=diagnostic.code).inc()
 
     @property
     def open_cases(self) -> List[str]:
@@ -546,6 +600,8 @@ class ConformanceMonitor:
                 state.pending.setdefault(guard, []).append(
                     _Obligation("guard", guard, condition, name, event.time)
                 )
+                if self._obs is not None:
+                    self._m_activated.inc()
 
         # Activity-level happen-before constraints into this activity.
         for constraint in self._incoming_for(name):
@@ -661,6 +717,8 @@ class ConformanceMonitor:
             state.pending.setdefault(source, []).append(
                 _Obligation("hb", source, constraint, event.activity, event.time)
             )
+            if self._obs is not None:
+                self._m_activated.inc()
             return []
         state.verdicts[constraint.key] = Verdict.VIOLATED
         return [self._order_violation(state, event, constraint)]
@@ -682,6 +740,8 @@ class ConformanceMonitor:
             state.pending.setdefault(left, []).append(
                 _Obligation("fine", left, fine, event.activity, event.time)
             )
+            if self._obs is not None:
+                self._m_activated.inc()
             return []
         return [self._state_order_violation(state, event, fine)]
 

@@ -23,8 +23,6 @@ from repro.conformance.monitor import (
     ConformanceMonitor,
     MonitorProgram,
     Verdict,
-    compile_monitor,
-    categorize_constraints,
 )
 from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 
@@ -152,12 +150,25 @@ def replay(
     log: EventLog,
     program: MonitorProgram,
     indexed: bool = True,
+    obs=None,
 ) -> ReplayReport:
-    """Replay ``log`` against ``program`` and aggregate the outcome."""
-    monitor = ConformanceMonitor(program, indexed=indexed)
-    for event in log:
-        monitor.feed(event)
-    monitor.finish()
+    """Replay ``log`` against ``program`` and aggregate the outcome.
+
+    ``obs`` (an :class:`~repro.obs.Observability`) wraps the replay in a
+    ``conformance.replay`` span and publishes the monitor's counters.
+    """
+    monitor = ConformanceMonitor(program, indexed=indexed, obs=obs)
+    if obs is not None:
+        with obs.tracer.span(
+            "conformance.replay", events=len(log), constraints=program.size
+        ):
+            for event in log:
+                monitor.feed(event)
+            monitor.finish()
+    else:
+        for event in log:
+            monitor.feed(event)
+        monitor.finish()
     return ReplayReport(
         cases=len(monitor.violations_by_case),
         events=monitor.events_fed,
@@ -170,35 +181,10 @@ def replay(
     )
 
 
-def program_from_weave(
-    result,
-    which: str = "minimal",
-    dependencies=None,
-) -> MonitorProgram:
-    """Compile a monitor from a :class:`~repro.core.pipeline.WeaveResult`.
-
-    ``which`` selects the constraint set: ``"minimal"`` (the optimized set,
-    default) or ``"full"`` (the translated pre-minimization ``ASC``) —
-    replaying the same log against both must yield identical per-case
-    verdicts, at lower monitoring cost for the minimal set.
-    """
-    if which == "minimal":
-        sc = result.minimal
-    elif which == "full":
-        sc = result.asc
-    else:
-        raise ValueError("which must be 'minimal' or 'full', got %r" % which)
-    categories = categorize_constraints(
-        sc,
-        dependencies=dependencies if dependencies is not None else result.dependencies,
-        bridged=result.translation.bridged,
-    )
-    return compile_monitor(
-        sc,
-        fine_grained=result.fine_grained,
-        exclusives=result.exclusives,
-        categories=categories,
-    )
+# The historical home of the monitor-compiling ``program_from_weave``; the
+# canonical implementation (shared with repro.runtime) lives in
+# :mod:`repro.programs` and defaults to ``target="monitor"``.
+from repro.programs import program_from_weave  # noqa: E402,F401
 
 
 def verdicts_agree(first: ReplayReport, second: ReplayReport) -> bool:

@@ -104,6 +104,29 @@ class KernelStats:
             "removed": self.removed,
         }
 
+    def publish(self, registry) -> None:
+        """Add these counters to a :class:`repro.obs.MetricsRegistry`.
+
+        The dataclass stays the typed view; the registry rows
+        (``repro_core_<counter>_total``) are the shared exchange format.
+        Counters accumulate across repeated minimizations on the same
+        registry.
+        """
+        help_texts = {
+            "closures_computed": "Per-node raw-closure builds.",
+            "closure_cache_hits": "Closure lookups served from the session cache.",
+            "subsumption_tests": "Bitmask subsumption tests in cover checks.",
+            "candidates": "Constraints considered for removal.",
+            "raw_shortcut_accepts": "Removals accepted by the raw-cover shortcut.",
+            "cheap_rejects": "Removals rejected by the semantic pre-test.",
+            "full_checks": "Candidates reaching the full ancestor check.",
+            "removed": "Constraints actually removed.",
+        }
+        for name, text in help_texts.items():
+            registry.counter("repro_core_%s_total" % name, text).inc(
+                getattr(self, name)
+            )
+
 
 @dataclass
 class Interner:

@@ -37,9 +37,12 @@ constraints in deterministic insertion order so results are reproducible.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.analysis.graphs import ancestors as graph_ancestors
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 from repro.core.closure import Semantics, annotated_closure, raw_closure
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
 from repro.core.equivalence import fact_set_covers, transitive_equivalent
@@ -86,19 +89,29 @@ def _minimize_fast_kernel(
     semantics: Semantics,
     order: Optional[Sequence[Constraint]],
     stats: Optional[KernelStats],
+    obs: Optional["Observability"] = None,
 ) -> Optional[SynchronizationConstraintSet]:
     """Session-driven minimization; ``None`` when the set is cyclic."""
     from repro.core.session import MinimizationSession
 
     candidates = _candidate_order(sc, order)
     try:
-        session = MinimizationSession(sc, semantics, stats=stats)
+        session = MinimizationSession(sc, semantics, stats=stats, obs=obs)
     except ValueError:
         # The kernel needs a topological order; cyclic sets fall back to
         # the reference path, whose worklist closures tolerate cycles.
         return None
-    for constraint in candidates:
-        session.try_remove(constraint)
+    if obs is None:
+        for constraint in candidates:
+            session.try_remove(constraint)
+    else:
+        with obs.tracer.span(
+            "core.minimize", constraints=len(sc), semantics=semantics.name
+        ):
+            for constraint in candidates:
+                session.try_remove(constraint)
+        if stats is not None:
+            stats.publish(obs.metrics)
     return session.to_constraint_set()
 
 
@@ -108,6 +121,7 @@ def minimize_fast(
     order: Optional[Sequence[Constraint]] = None,
     kernel: bool = True,
     stats: Optional[KernelStats] = None,
+    obs: Optional["Observability"] = None,
 ) -> SynchronizationConstraintSet:
     """Ancestor-pruned minimization.
 
@@ -123,7 +137,7 @@ def minimize_fast(
     :class:`~repro.core.kernel.KernelStats` counters on the kernel path.
     """
     if kernel:
-        minimized = _minimize_fast_kernel(sc, semantics, order, stats)
+        minimized = _minimize_fast_kernel(sc, semantics, order, stats, obs=obs)
         if minimized is not None:
             return minimized
     current = sc.copy()
@@ -171,10 +185,11 @@ def minimize(
     algorithm: str = "fast",
     kernel: bool = True,
     stats: Optional[KernelStats] = None,
+    obs: Optional["Observability"] = None,
 ) -> SynchronizationConstraintSet:
     """Minimize ``sc`` with the chosen algorithm (``"fast"`` or ``"naive"``)."""
     if algorithm == "fast":
-        return minimize_fast(sc, semantics, order, kernel=kernel, stats=stats)
+        return minimize_fast(sc, semantics, order, kernel=kernel, stats=stats, obs=obs)
     if algorithm == "naive":
         return minimize_naive(sc, semantics, order, kernel=kernel)
     raise ValueError("unknown minimization algorithm %r" % algorithm)

@@ -19,9 +19,13 @@ every intermediate artifact so each paper figure can be inspected:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.core.closure import Semantics
+from repro.obs.trace import NOOP_SPAN as _NOOP
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 from repro.core.constraints import SynchronizationConstraintSet
 from repro.core.kernel import KernelStats
 from repro.core.minimize import minimize
@@ -136,6 +140,11 @@ class DSCWeaver:
         When true, run the :mod:`repro.lint` static analyzer after
         minimization; findings land on ``WeaveResult.lint_report`` and the
         severity rollup on the reduction report.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle: per-phase
+        ``weave.*`` spans, per-candidate ``core.try_remove`` timing and
+        the ``repro_core_*`` kernel counters.  ``None`` (default) keeps
+        the pipeline uninstrumented.
     """
 
     def __init__(
@@ -145,12 +154,14 @@ class DSCWeaver:
         kernel: bool = True,
         check_cycles: bool = True,
         lint: bool = False,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.semantics = semantics
         self.algorithm = algorithm
         self.kernel = kernel
         self.check_cycles = check_cycles
         self.lint = lint
+        self.obs = obs
 
     def weave(
         self,
@@ -164,9 +175,13 @@ class DSCWeaver:
         against the process) or let the weaver extract data/control/service
         dependencies automatically and merge in ``cooperation``.
         """
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
         if dependencies is None:
-            dependencies = extract_all_dependencies(process, cooperation)
-        compiled = compile_dependencies(process, dependencies)
+            with tracer.span("weave.extract") if tracer else _NOOP:
+                dependencies = extract_all_dependencies(process, cooperation)
+        with tracer.span("weave.compile") if tracer else _NOOP:
+            compiled = compile_dependencies(process, dependencies)
         merged = compiled.sc
 
         if self.check_cycles:
@@ -176,17 +191,20 @@ class DSCWeaver:
             if cycle is not None:
                 raise CycleError([str(node) for node in cycle])
 
-        translation = translate_service_dependencies(
-            merged, invoke_bindings_from_process(process)
-        )
+        with tracer.span("weave.translate") if tracer else _NOOP:
+            translation = translate_service_dependencies(
+                merged, invoke_bindings_from_process(process)
+            )
         stats = KernelStats() if self.kernel else None
-        minimal = minimize(
-            translation.asc,
-            semantics=self.semantics,
-            algorithm=self.algorithm,
-            kernel=self.kernel,
-            stats=stats,
-        )
+        with tracer.span("weave.minimize") if tracer else _NOOP:
+            minimal = minimize(
+                translation.asc,
+                semantics=self.semantics,
+                algorithm=self.algorithm,
+                kernel=self.kernel,
+                stats=stats,
+                obs=obs,
+            )
         report = ReductionReport.from_counts(
             dependencies,
             merged=len(merged),
@@ -210,7 +228,8 @@ class DSCWeaver:
             semantics=self.semantics,
         )
         if self.lint:
-            result.run_lint()
+            with tracer.span("weave.lint") if tracer else _NOOP:
+                result.run_lint()
         return result
 
 

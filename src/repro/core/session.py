@@ -29,8 +29,12 @@ path, which handles cycles via worklist search.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 from repro.analysis.conditions import Fact
 from repro.analysis.graphs import topological_sort
@@ -74,12 +78,20 @@ class MinimizationSession:
         sc: SynchronizationConstraintSet,
         semantics: Semantics = Semantics.GUARD_AWARE,
         stats: Optional[KernelStats] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         order = topological_sort(sc.as_graph())  # ValueError on cycles
         self._sc = sc
         self.semantics = semantics
         self.through_guards = semantics is Semantics.GUARD_AWARE
         self.stats = stats
+        self._obs = obs
+        if obs is not None:
+            self._m_try_remove = obs.metrics.histogram(
+                "repro_core_try_remove_seconds",
+                "Wall-clock cost of one try_remove, by deciding stage.",
+                ("stage",),
+            )
         self.interner = Interner()
         interner = self.interner
 
@@ -290,7 +302,29 @@ class MinimizationSession:
         restricted equivalence) on cached kernel closures, and commits the
         removal — updating adjacency and exactly the affected cache
         entries — when it succeeds.
+
+        With observability attached, each call is timed and recorded on
+        the ``repro_core_try_remove_seconds`` histogram labeled by the
+        stage that decided it, plus a ``core.try_remove`` span.
         """
+        if self._obs is None:
+            return self._try_remove_staged(constraint)[0]
+        tracer = self._obs.tracer
+        with tracer.span(
+            "core.try_remove",
+            source=constraint.source,
+            target=constraint.target,
+        ) as span:
+            started = _time.perf_counter()
+            accepted, stage = self._try_remove_staged(constraint)
+            self._m_try_remove.labels(stage=stage).observe(
+                _time.perf_counter() - started
+            )
+            span.set(stage=stage, accepted=accepted)
+        return accepted
+
+    def _try_remove_staged(self, constraint: Constraint) -> Tuple[bool, str]:
+        """The three-stage check; returns ``(accepted, deciding_stage)``."""
         stats = self.stats
         if stats is not None:
             stats.candidates += 1
@@ -309,7 +343,7 @@ class MinimizationSession:
             if stats is not None:
                 stats.raw_shortcut_accepts += 1
                 stats.removed += 1
-            return True
+            return True, "raw_shortcut"
 
         sem_after = self._apply_semantics(source, raw_after)
         single: MaskClosure = {}
@@ -318,7 +352,7 @@ class MinimizationSession:
         if not closure_covers(sem_after, sem_single, stats):
             if stats is not None:
                 stats.cheap_rejects += 1
-            return False
+            return False, "cheap_reject"
 
         if stats is not None:
             stats.full_checks += 1
@@ -334,9 +368,9 @@ class MinimizationSession:
             current_sem = self.sem(node)
             candidate_sem = cand_sem[node]
             if not closure_covers(candidate_sem, current_sem, stats):
-                return False
+                return False, "full_check"
             if not closure_covers(current_sem, candidate_sem, stats):
-                return False
+                return False, "full_check"
 
         self._remove_edge(edge)
         for node, closure in cand_raw.items():
@@ -344,7 +378,7 @@ class MinimizationSession:
             self._sem[node] = cand_sem[node]
         if stats is not None:
             stats.removed += 1
-        return True
+        return True, "full_check"
 
     def to_constraint_set(self) -> SynchronizationConstraintSet:
         """The current set (original minus accepted removals, order kept)."""

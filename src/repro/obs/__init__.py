@@ -1,0 +1,81 @@
+"""Unified observability: structured tracing, metrics, and trace export.
+
+The package is one cross-cutting layer over the four subsystems (bitset
+kernel, sharded runtime, conformance monitor, scheduler):
+
+* :mod:`repro.obs.trace` — lightweight spans with monotonic durations,
+  parent/child nesting and a bounded ring buffer, bundled with a metrics
+  registry into :class:`Observability`;
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with labels (no per-sample storage);
+* :mod:`repro.obs.export` — Prometheus text exposition, JSON metrics and
+  Chrome ``trace_event`` JSON (Perfetto-loadable), each with a validator;
+* :mod:`repro.obs.flame` — the ``dscweaver trace`` flame summary
+  (top-N spans by self time).
+
+Instrumented components accept ``obs: Optional[Observability] = None``
+and must stay disabled-cheap when it is ``None``: the contract, pinned by
+``benchmarks/bench_obs_overhead.py`` and ``BENCH_obs.json``, is <5%
+overhead on the runtime throughput bench with observability off.
+
+Metric names follow ``repro_<subsystem>_<name>_<unit>``::
+
+    obs = Observability()
+    runtime = Runtime(program, obs=obs)
+    runtime.submit_batch(plans)
+    runtime.run()
+    print(obs.metrics.to_prometheus())
+    write_trace(obs.tracer, "spans.json")   # open in ui.perfetto.dev
+"""
+
+from repro.obs.export import (
+    CHROME_TRACE_SCHEMA,
+    chrome_trace,
+    load_trace,
+    metrics_to_json,
+    render_prometheus,
+    validate_chrome_trace,
+    validate_prometheus_text,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.flame import FlameRow, flame_summary, render_flame
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Observability,
+    Span,
+    Tracer,
+    span_forest,
+)
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "FlameRow",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "flame_summary",
+    "load_trace",
+    "metrics_to_json",
+    "render_flame",
+    "render_prometheus",
+    "span_forest",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+    "write_metrics",
+    "write_trace",
+]

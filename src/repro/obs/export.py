@@ -1,0 +1,402 @@
+"""Exporters: Prometheus text exposition, JSON metrics, Chrome trace JSON.
+
+The Prometheus renderer follows the text exposition format (version
+0.0.4): one ``# HELP`` / ``# TYPE`` header per metric family, samples as
+``name{label="value"} number``, histograms expanded into cumulative
+``_bucket`` samples (inclusive ``le`` bounds plus ``+Inf``), ``_sum`` and
+``_count``.  Label values escape ``\\``, ``"`` and newlines.
+
+The Chrome trace exporter emits the ``trace_event`` JSON-object format —
+complete (``ph: "X"``) events with microsecond timestamps — which loads
+directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+Span ids and parent ids ride along in ``args`` so the flame summary
+(:mod:`repro.obs.flame`) can rebuild exact nesting.
+
+Both formats ship a validator (:func:`validate_prometheus_text`,
+:func:`validate_chrome_trace`) used by the test suite and the CI
+``obs-smoke`` job; each returns a list of problems, empty when valid.
+``CHROME_TRACE_SCHEMA`` is the same contract as a JSON Schema document
+for external validators.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry, _HistogramChild
+from repro.obs.trace import Span, Tracer
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labelnames: Sequence[str], values: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (name, _escape_label(value))
+        for name, value in zip(labelnames, values)
+    )
+    return "{%s}" % inner
+
+
+def _bucket_labels(labelnames: Sequence[str], values: Sequence[str], le: str) -> str:
+    pairs = ['%s="%s"' % (n, _escape_label(v)) for n, v in zip(labelnames, values)]
+    pairs.append('le="%s"' % le)
+    return "{%s}" % ",".join(pairs)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in the registry as text exposition format."""
+    lines: List[str] = []
+    for metric in registry:
+        lines.append("# HELP %s %s" % (metric.name, _escape_help(metric.help)))
+        lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+        if isinstance(metric, Histogram):
+            for values, child in metric.children():
+                assert isinstance(child, _HistogramChild)
+                cumulative = child.cumulative()
+                for bound, count in zip(metric.buckets, cumulative):
+                    lines.append(
+                        "%s_bucket%s %d"
+                        % (
+                            metric.name,
+                            _bucket_labels(
+                                metric.labelnames, values, _format_value(bound)
+                            ),
+                            count,
+                        )
+                    )
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (
+                        metric.name,
+                        _bucket_labels(metric.labelnames, values, "+Inf"),
+                        child.count,
+                    )
+                )
+                label_text = _format_labels(metric.labelnames, values)
+                lines.append(
+                    "%s_sum%s %s"
+                    % (metric.name, label_text, _format_value(child.sum))
+                )
+                lines.append("%s_count%s %d" % (metric.name, label_text, child.count))
+        else:
+            for values, child in metric.children():
+                lines.append(
+                    "%s%s %s"
+                    % (
+                        metric.name,
+                        _format_labels(metric.labelnames, values),
+                        _format_value(child.value),  # type: ignore[attr-defined]
+                    )
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_json(registry: MetricsRegistry) -> Dict[str, Any]:
+    """A JSON-friendly dump of the registry (stable key order)."""
+    families: List[Dict[str, Any]] = []
+    for metric in registry:
+        family: Dict[str, Any] = {
+            "name": metric.name,
+            "kind": metric.kind,
+            "help": metric.help,
+            "samples": [],
+        }
+        for values, child in metric.children():
+            labels = dict(zip(metric.labelnames, values))
+            if isinstance(metric, Histogram):
+                assert isinstance(child, _HistogramChild)
+                family["samples"].append(
+                    {
+                        "labels": labels,
+                        "buckets": [
+                            {"le": bound, "count": count}
+                            for bound, count in zip(
+                                metric.buckets, child.cumulative()
+                            )
+                        ]
+                        + [{"le": "+Inf", "count": child.count}],
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                )
+            else:
+                family["samples"].append(
+                    {"labels": labels, "value": child.value}  # type: ignore[attr-defined]
+                )
+        families.append(family)
+    return {"metrics": families}
+
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_HELP_RE = re.compile(r"^# HELP (%s) .*$" % _PROM_NAME)
+_TYPE_RE = re.compile(r"^# TYPE (%s) (counter|gauge|histogram|summary|untyped)$" % _PROM_NAME)
+_SAMPLE_RE = re.compile(
+    r"^(%s)(\{(%s=\"(?:[^\"\\]|\\.)*\")(,%s=\"(?:[^\"\\]|\\.)*\")*\})? "
+    r"([-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf)|NaN)$"
+    % (_PROM_NAME, _PROM_LABEL, _PROM_LABEL)
+)
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Check ``text`` against the exposition-format grammar.
+
+    Returns a list of problems (empty = valid).  Validated: line grammar
+    (HELP/TYPE/sample shapes), TYPE before samples of its family, one
+    TYPE per family, histogram completeness (``+Inf`` bucket present and
+    equal to ``_count``, cumulative bucket counts non-decreasing).
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    # histogram series are keyed per (family, labels-without-le): a labeled
+    # histogram renders one cumulative bucket run per child
+    bucket_counts: Dict[tuple, List[float]] = {}
+    histogram_counts: Dict[tuple, float] = {}
+    histogram_inf: Dict[tuple, float] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if typed.get(base) == "histogram":
+                    return base
+        return sample_name
+
+    def series_key(family: str, label_text: str) -> tuple:
+        pairs = re.findall(
+            r'(%s)="((?:[^"\\]|\\.)*)"' % _PROM_LABEL, label_text or ""
+        )
+        return (family, tuple((k, v) for k, v in pairs if k != "le"))
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP"):
+            if not _HELP_RE.match(line):
+                problems.append("line %d: malformed HELP: %r" % (number, line))
+            continue
+        if line.startswith("# TYPE"):
+            match = _TYPE_RE.match(line)
+            if not match:
+                problems.append("line %d: malformed TYPE: %r" % (number, line))
+                continue
+            name, kind = match.group(1), match.group(2)
+            if name in typed:
+                problems.append("line %d: duplicate TYPE for %s" % (number, name))
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append("line %d: malformed sample: %r" % (number, line))
+            continue
+        sample_name = match.group(1)
+        family = family_of(sample_name)
+        if family not in typed:
+            problems.append(
+                "line %d: sample %s before its TYPE line" % (number, sample_name)
+            )
+            continue
+        value = float(match.group(5).replace("Inf", "inf"))
+        if typed[family] == "histogram" and sample_name == family + "_bucket":
+            label_text = match.group(2) or ""
+            le_match = re.search(r'le="([^"]+)"', label_text)
+            if le_match is None:
+                problems.append("line %d: histogram bucket without le" % number)
+                continue
+            key = series_key(family, label_text)
+            if le_match.group(1) == "+Inf":
+                histogram_inf[key] = value
+            series = bucket_counts.setdefault(key, [])
+            if series and value < series[-1]:
+                problems.append(
+                    "line %d: bucket counts of %s not cumulative" % (number, family)
+                )
+            series.append(value)
+        elif typed[family] == "histogram" and sample_name == family + "_count":
+            histogram_counts[series_key(family, match.group(2) or "")] = value
+
+    # every bucket series must end in a +Inf bucket that equals its _count
+    for key in sorted(set(bucket_counts) | set(histogram_counts)):
+        family = key[0]
+        if key not in histogram_inf:
+            problems.append("histogram %s: missing +Inf bucket" % family)
+        elif key in histogram_counts and histogram_inf[key] != histogram_counts[key]:
+            problems.append(
+                "histogram %s: +Inf bucket (%s) != _count (%s)"
+                % (family, histogram_inf[key], histogram_counts[key])
+            )
+    return problems
+
+
+# -- Chrome trace_event --------------------------------------------------------
+
+#: JSON Schema for the exported Chrome trace (trace_event JSON-object format).
+CHROME_TRACE_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "ts", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string", "minLength": 1},
+                    "ph": {"type": "string", "enum": ["X", "M"]},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "cat": {"type": "string"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+    },
+}
+
+
+def chrome_trace(
+    spans_or_tracer: Union[Tracer, Sequence[Span]],
+    process_name: str = "dscweaver",
+) -> Dict[str, Any]:
+    """Convert finished spans to the Chrome ``trace_event`` JSON object."""
+    if isinstance(spans_or_tracer, Tracer):
+        spans: Sequence[Span] = spans_or_tracer.finished_spans()
+    else:
+        spans = spans_or_tracer
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        args: Dict[str, Any] = {"id": span.span_id}
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        for key, value in span.attrs.items():
+            args[key] = value
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Self-contained structural validation of a Chrome trace document."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append("%s: missing %r" % (where, key))
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append("%s: name must be a non-empty string" % where)
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append("%s: unsupported phase %r" % (where, ph))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append("%s: ts must be a non-negative number" % where)
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                problems.append("%s: dur must be a non-negative number" % where)
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append("%s: args must be an object" % where)
+    return problems
+
+
+# -- file helpers --------------------------------------------------------------
+
+
+def write_trace(
+    tracer: Tracer, path: str, process_name: str = "dscweaver"
+) -> Dict[str, Any]:
+    """Write the tracer's finished spans as Chrome trace JSON; returns it."""
+    payload = chrome_trace(tracer, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry to ``path``: JSON for ``*.json``, else Prometheus."""
+    if path.endswith(".json"):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(metrics_to_json(registry), handle, indent=1, sort_keys=False)
+            handle.write("\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(registry))
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Read a Chrome trace JSON file (as written by :func:`write_trace`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, list):  # the bare JSON-array flavour is also legal
+        payload = {"traceEvents": payload}
+    return payload
+
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "chrome_trace",
+    "load_trace",
+    "metrics_to_json",
+    "render_prometheus",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+    "write_metrics",
+    "write_trace",
+]

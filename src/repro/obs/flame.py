@@ -1,0 +1,125 @@
+"""Flame summary over an exported Chrome trace: top-N spans by self time.
+
+``dscweaver trace spans.json`` aggregates the complete (``ph: "X"``)
+events of a trace file by span name and ranks them by *self* time — the
+span's duration minus the time spent in its direct children.  Nesting
+comes from the exported ``args.parent`` ids when present (our exporter
+always writes them); events from other producers fall back to interval
+containment per thread, the same reconstruction Perfetto performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass
+class FlameRow:
+    """Aggregated cost of one span name."""
+
+    name: str
+    count: int
+    total_us: float
+    self_us: float
+
+    @property
+    def avg_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+def _child_time_by_parent(events: List[Dict[str, Any]]) -> Dict[int, float]:
+    """``event index -> total duration of direct children`` (µs)."""
+    child_time: Dict[int, float] = {}
+    by_id: Dict[Tuple[Any, Any], int] = {}
+    explicit = True
+    for index, event in enumerate(events):
+        args = event.get("args") or {}
+        if "id" not in args:
+            explicit = False
+            break
+        by_id[(event.get("tid"), args["id"])] = index
+
+    if explicit:
+        for event in events:
+            args = event.get("args") or {}
+            parent = args.get("parent")
+            if parent is None:
+                continue
+            parent_index = by_id.get((event.get("tid"), parent))
+            if parent_index is not None:
+                child_time[parent_index] = child_time.get(parent_index, 0.0) + float(
+                    event.get("dur", 0.0)
+                )
+        return child_time
+
+    # Fallback: interval containment per thread (stack discipline).
+    by_tid: Dict[Any, List[int]] = {}
+    for index, event in enumerate(events):
+        by_tid.setdefault(event.get("tid"), []).append(index)
+    for indices in by_tid.values():
+        indices.sort(
+            key=lambda i: (float(events[i]["ts"]), -float(events[i].get("dur", 0.0)))
+        )
+        stack: List[int] = []
+        for index in indices:
+            start = float(events[index]["ts"])
+            end = start + float(events[index].get("dur", 0.0))
+            while stack:
+                top = events[stack[-1]]
+                top_end = float(top["ts"]) + float(top.get("dur", 0.0))
+                if start >= top_end:
+                    stack.pop()
+                else:
+                    break
+            if stack:
+                parent_index = stack[-1]
+                child_time[parent_index] = child_time.get(parent_index, 0.0) + (
+                    end - start
+                )
+            stack.append(index)
+    return child_time
+
+
+def flame_summary(payload: Dict[str, Any], top: int = 15) -> List[FlameRow]:
+    """Top ``top`` span names by self time from a Chrome trace document."""
+    events = [
+        event
+        for event in payload.get("traceEvents", [])
+        if isinstance(event, dict) and event.get("ph") == "X"
+    ]
+    child_time = _child_time_by_parent(events)
+    rows: Dict[str, FlameRow] = {}
+    for index, event in enumerate(events):
+        name = str(event.get("name", "?"))
+        duration = float(event.get("dur", 0.0))
+        self_us = max(0.0, duration - child_time.get(index, 0.0))
+        row = rows.get(name)
+        if row is None:
+            rows[name] = FlameRow(name=name, count=1, total_us=duration, self_us=self_us)
+        else:
+            row.count += 1
+            row.total_us += duration
+            row.self_us += self_us
+    ranked = sorted(rows.values(), key=lambda r: (-r.self_us, r.name))
+    return ranked[: top if top > 0 else len(ranked)]
+
+
+def render_flame(rows: List[FlameRow], total_events: int = 0) -> str:
+    """Human-readable table for ``dscweaver trace``."""
+    if not rows:
+        return "no complete (ph=X) events in trace"
+    name_width = max(len(row.name) for row in rows)
+    name_width = max(name_width, len("span"))
+    lines = [
+        "%-*s %8s %12s %12s %10s"
+        % (name_width, "span", "count", "self(us)", "total(us)", "avg(us)")
+    ]
+    for row in rows:
+        lines.append(
+            "%-*s %8d %12.1f %12.1f %10.1f"
+            % (name_width, row.name, row.count, row.self_us, row.total_us, row.avg_us)
+        )
+    if total_events:
+        lines.append("%d complete event(s) in trace" % total_events)
+    return "\n".join(lines)

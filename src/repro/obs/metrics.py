@@ -1,0 +1,375 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per :class:`~repro.obs.trace.Observability`
+bundle.  Registration is get-or-create (two subsystems asking for the
+same counter share it); re-registering with a different kind, help text
+or label set raises.  Names follow the repo convention
+``repro_<subsystem>_<name>_<unit>`` and the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing float;
+* :class:`Gauge` — set/inc/dec snapshot value;
+* :class:`Histogram` — fixed cumulative ``le`` buckets (inclusive upper
+  bounds, implicit ``+Inf``), running sum and count — **no per-sample
+  storage**, so observing is O(log buckets) and memory is constant.
+
+Labeled metrics hand out children via ``.labels(status="completed")``;
+unlabeled ones are used directly.  Everything is deterministic: children
+and metrics iterate in insertion order, so two identical runs render
+byte-identical expositions (modulo wall-clock valued samples).
+
+Exporters live in :mod:`repro.obs.export` (Prometheus text exposition and
+JSON); :meth:`MetricsRegistry.to_prometheus` / :meth:`to_json` are thin
+conveniences over them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[str, ...]
+
+#: Default histogram buckets (seconds-flavoured, like the Prometheus client).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _check_name(name: str) -> None:
+    if not _NAME_RE.match(name):
+        raise ValueError("invalid metric name %r" % name)
+
+
+def _check_labels(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ValueError("invalid label name %r" % label)
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate label names in %r" % (names,))
+    return names
+
+
+class _Metric:
+    """Common child bookkeeping for all three kinds."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        _check_name(name)
+        self.name = name
+        self.help = help
+        self.labelnames = _check_labels(labelnames)
+        self._children: Dict[LabelKey, object] = {}
+
+    def _child_key(self, labels: Mapping[str, str]) -> LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                "%s expects labels %r, got %r"
+                % (self.name, self.labelnames, tuple(sorted(labels)))
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _unlabeled_key(self) -> LabelKey:
+        if self.labelnames:
+            raise ValueError(
+                "%s is labeled (%r); use .labels(...)" % (self.name, self.labelnames)
+            )
+        return ()
+
+    def children(self) -> Iterator[Tuple[LabelKey, object]]:
+        """``(label_values, child)`` pairs in insertion order."""
+        return iter(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase (got %r)" % amount)
+        self.value += amount
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def labels(self, **labels: str) -> _CounterChild:
+        key = self._child_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = _CounterChild()
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def _default(self) -> _CounterChild:
+        key = self._unlabeled_key()
+        child = self._children.get(key)
+        if child is None:
+            child = _CounterChild()
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._default().inc(amount)
+
+    def value(self, **labels: str) -> float:
+        if labels:
+            child = self._children.get(self._child_key(labels))
+        else:
+            child = self._children.get(())
+        return child.value if child is not None else 0.0  # type: ignore[union-attr]
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def labels(self, **labels: str) -> _GaugeChild:
+        key = self._child_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = _GaugeChild()
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def _default(self) -> _GaugeChild:
+        key = self._unlabeled_key()
+        child = self._children.get(key)
+        if child is None:
+            child = _GaugeChild()
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def set(self, value: Union[int, float]) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self._default().dec(amount)
+
+    def value(self, **labels: str) -> float:
+        if labels:
+            child = self._children.get(self._child_key(labels))
+        else:
+            child = self._children.get(())
+        return child.value if child is not None else 0.0  # type: ignore[union-attr]
+
+
+class _HistogramChild:
+    """Per-bucket counts (non-cumulative), running sum and total count."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        # ``le`` bounds are inclusive: a value exactly on a bucket edge
+        # lands in that bucket, matching Prometheus semantics.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts (Prometheus ``_bucket`` samples)."""
+        running = 0
+        out = []
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from the fixed buckets.
+
+        Linear interpolation inside the bucket the target rank falls in;
+        an empty histogram estimates 0.0; a rank landing in the ``+Inf``
+        bucket is clamped to the largest finite bound (the histogram
+        cannot see past its buckets).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % q)
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0.0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if running + count >= target:
+                if index == len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1] if self.bounds else 0.0
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else min(0.0, upper)
+                fraction = (target - running) / count
+                return lower + (upper - lower) * fraction
+            running += count
+        return self.bounds[-1] if self.bounds else 0.0  # pragma: no cover
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in (buckets if buckets is not None else DEFAULT_BUCKETS))
+        if any(math.isinf(b) or math.isnan(b) for b in bounds):
+            raise ValueError("buckets must be finite (+Inf is implicit)")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("buckets must be strictly increasing: %r" % (bounds,))
+        self.buckets = bounds
+
+    def labels(self, **labels: str) -> _HistogramChild:
+        key = self._child_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = _HistogramChild(self.buckets)
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def _default(self) -> _HistogramChild:
+        key = self._unlabeled_key()
+        child = self._children.get(key)
+        if child is None:
+            child = _HistogramChild(self.buckets)
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: Union[int, float]) -> None:
+        self._default().observe(value)
+
+    def quantile(self, q: float, **labels: str) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % q)
+        if labels:
+            child = self._children.get(self._child_key(labels))
+        else:
+            child = self._children.get(())
+        if child is None:
+            return 0.0
+        return child.quantile(q)  # type: ignore[union-attr]
+
+
+AnyMetric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Deterministic, insertion-ordered collection of metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, AnyMetric] = {}
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs: object,
+    ) -> AnyMetric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    "%s already registered as a %s" % (name, existing.kind)
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    "%s already registered with labels %r"
+                    % (name, existing.labelnames)
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[AnyMetric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[AnyMetric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def to_prometheus(self) -> str:
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self)
+
+    def to_json(self) -> Dict[str, object]:
+        from repro.obs.export import metrics_to_json
+
+        return metrics_to_json(self)

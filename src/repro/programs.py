@@ -1,0 +1,76 @@
+"""Canonical ``program_from_weave``: one weave result, two program targets.
+
+PR 2 (:mod:`repro.conformance`) and PR 3 (:mod:`repro.runtime`) each grew
+a ``program_from_weave`` helper with identical constraint-set selection
+but different compilation targets — a :class:`~repro.conformance.monitor.
+MonitorProgram` for replay/monitoring and a :class:`~repro.runtime.
+program.ConstraintProgram` for multi-case serving.  This module is their
+single home; both packages re-export the *same function object*, so
+``repro.conformance.program_from_weave is repro.runtime.program_from_weave``
+(pinned by a test).
+
+``target`` picks the compilation: ``"monitor"`` (the historical default
+of both import paths that kept working unchanged) or ``"runtime"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def select_constraint_set(result: Any, which: str) -> Any:
+    """``"minimal"`` (the optimized set) or ``"full"`` (the translated ASC)."""
+    if which == "minimal":
+        return result.minimal
+    if which == "full":
+        return result.asc
+    raise ValueError("which must be 'minimal' or 'full', got %r" % which)
+
+
+def program_from_weave(
+    result: Any,
+    which: str = "minimal",
+    dependencies: Optional[Any] = None,
+    target: str = "monitor",
+) -> Any:
+    """Compile a program from a :class:`~repro.core.pipeline.WeaveResult`.
+
+    ``which`` selects the constraint set: ``"minimal"`` (the optimized
+    set, default) or ``"full"`` (the translated pre-minimization ``ASC``).
+    The paper's equivalence claim holds for both targets: replaying a log
+    yields identical per-case verdicts, and serving a case load yields
+    identical per-case final states — at lower cost for the minimal set.
+
+    ``target="monitor"`` compiles a
+    :class:`~repro.conformance.monitor.MonitorProgram` (``dependencies``
+    optionally overrides the weave's dependency set for categorization);
+    ``target="runtime"`` compiles a
+    :class:`~repro.runtime.program.ConstraintProgram` for serving.
+    """
+    sc = select_constraint_set(result, which)
+    if target == "monitor":
+        from repro.conformance.monitor import categorize_constraints, compile_monitor
+
+        categories = categorize_constraints(
+            sc,
+            dependencies=(
+                dependencies if dependencies is not None else result.dependencies
+            ),
+            bridged=result.translation.bridged,
+        )
+        return compile_monitor(
+            sc,
+            fine_grained=result.fine_grained,
+            exclusives=result.exclusives,
+            categories=categories,
+        )
+    if target == "runtime":
+        from repro.runtime.program import compile_program
+
+        return compile_program(
+            result.process,
+            sc,
+            fine_grained=result.fine_grained,
+            exclusives=result.exclusives,
+        )
+    raise ValueError("target must be 'monitor' or 'runtime', got %r" % target)

@@ -33,6 +33,7 @@ from repro.lint.diagnostics import (
     Severity,
     SourceLocation,
 )
+from repro.obs import Observability
 from repro.runtime import rules as _rules  # noqa: F401  (registers RT00x rules)
 from repro.runtime.admission import ADMIT, QUEUE, AdmissionController
 from repro.runtime.instance import CaseInstance, CaseResult
@@ -137,6 +138,11 @@ class Runtime:
         Per-service retry-with-timeout policies.
     seed:
         Seed for the deterministic service-loss model.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  ``None``
+        (the default) disables all instrumentation; the only residual
+        cost on the scheduling loop is a ``None`` check, pinned at <5%
+        by ``benchmarks/bench_obs_overhead.py``.
     """
 
     def __init__(
@@ -151,6 +157,7 @@ class Runtime:
         crash_after: Optional[int] = None,
         policies: Optional[RetryPolicies] = None,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be at least 1")
@@ -161,8 +168,15 @@ class Runtime:
         self._policies = policies or RetryPolicies()
         self._store = ShardedStore(shards)
         self._admission = AdmissionController(max_in_flight, max_queue)
+        self._obs = obs
+        if obs is not None:
+            self._bind_instruments(obs)
         self._journal: Optional[Journal] = (
-            Journal(journal_path, crash_after=crash_after)
+            Journal(
+                journal_path,
+                crash_after=crash_after,
+                observe_flush=self._m_flush.observe if obs is not None else None,
+            )
             if journal_path is not None
             else None
         )
@@ -173,6 +187,46 @@ class Runtime:
         self._submitted = 0
         self._admitted = 0
         self._wall_seconds = 0.0
+
+    def _bind_instruments(self, obs: Observability) -> None:
+        """Register runtime metrics once and cache the hot-path handles."""
+        registry = obs.metrics
+        self._m_cases = registry.counter(
+            "repro_runtime_cases_total", "Cases finished, by final status.", ("status",)
+        )
+        self._m_admission = registry.counter(
+            "repro_runtime_admission_total",
+            "Admission verdicts for offered cases.",
+            ("verdict",),
+        )
+        self._m_recovery = registry.counter(
+            "repro_runtime_recovery_cases_total",
+            "Cases rebuilt from the journal, by recovery kind.",
+            ("kind",),
+        )
+        self._m_transitions = registry.counter(
+            "repro_runtime_transitions_total", "Case lifecycle transitions executed."
+        )
+        self._m_checks = registry.counter(
+            "repro_runtime_checks_total", "Constraint evaluations during serving."
+        )
+        self._m_retries = registry.counter(
+            "repro_runtime_retries_total", "Service retry attempts."
+        )
+        self._m_batch = registry.histogram(
+            "repro_runtime_batch_cases",
+            "Cases advanced per shard scheduling batch.",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self._m_makespan = registry.histogram(
+            "repro_runtime_case_makespan_virtual",
+            "Virtual (simulated-clock) makespan of finished cases.",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200),
+        )
+        self._m_flush = registry.histogram(
+            "repro_runtime_journal_flush_seconds",
+            "Wall-clock latency of one write-ahead journal record flush.",
+        )
 
     # -- recovery ------------------------------------------------------------
 
@@ -193,14 +247,25 @@ class Runtime:
         """
         state = read_journal(journal_path)
         runtime = cls(program, **kwargs)
+        obs = runtime._obs
+        span = (
+            obs.tracer.span("runtime.recover", journal=journal_path)
+            if obs is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         runtime._journal = Journal(
             journal_path,
             resume=True,
             crash_after=crash_after,
             already_written=state.records,
+            observe_flush=runtime._m_flush.observe if obs is not None else None,
         )
         for journaled in state.completed():
             runtime._recovered[journaled.case] = result_from_journal(journaled)
+            if obs is not None:
+                runtime._m_recovery.labels(kind="adopted").inc()
         for journaled in state.in_flight():
             runtime._submitted += 1
             runtime._admission.force_admit()
@@ -210,6 +275,15 @@ class Runtime:
                 prefix=tuple(journaled.events),
                 journal_admission=False,
             )
+            if obs is not None:
+                runtime._m_recovery.labels(kind="resumed").inc()
+        if span is not None:
+            span.set(
+                adopted=len(state.completed()),
+                resumed=len(state.in_flight()),
+                records=state.records,
+            )
+            span.__exit__(None, None, None)
         return runtime
 
     # -- admission -----------------------------------------------------------
@@ -228,6 +302,8 @@ class Runtime:
         plan = dict(outcomes or {})
         self._submitted += 1
         verdict = self._admission.offer(case, plan)
+        if self._obs is not None:
+            self._m_admission.labels(verdict=verdict).inc()
         if verdict == ADMIT:
             self._activate(case, plan)
             return True
@@ -290,22 +366,50 @@ class Runtime:
         still accounted, so a recovered run reports only its own time.
         """
         started = _time.perf_counter()
+        obs = self._obs
         try:
-            while self._store.any_runnable():
-                for shard in self._store.shards:
-                    for instance in shard.take_batch(self._batch):
-                        if instance.advance():
-                            shard.requeue(instance)
-                        else:
-                            shard.retire(instance)
-                            self._on_case_done(instance)
+            if obs is None:
+                while self._store.any_runnable():
+                    for shard in self._store.shards:
+                        self._advance_batch(shard, shard.take_batch(self._batch))
+            else:
+                with obs.tracer.span("runtime.run", admitted=self._admitted):
+                    while self._store.any_runnable():
+                        for shard in self._store.shards:
+                            batch = shard.take_batch(self._batch)
+                            if not batch:
+                                continue
+                            self._m_batch.observe(len(batch))
+                            with obs.tracer.span(
+                                "runtime.batch",
+                                shard=shard.index,
+                                cases=len(batch),
+                            ):
+                                self._advance_batch(shard, batch)
         finally:
             self._wall_seconds += _time.perf_counter() - started
         return self.report()
 
+    def _advance_batch(self, shard, batch) -> None:
+        """Advance each case in ``batch`` by one event; retire finished ones."""
+        for instance in batch:
+            if instance.advance():
+                shard.requeue(instance)
+            else:
+                shard.retire(instance)
+                self._on_case_done(instance)
+
     def _on_case_done(self, instance: CaseInstance) -> None:
-        self._results[instance.case] = instance.result()
+        result = instance.result()
+        self._results[instance.case] = result
         self.diagnostics.extend(instance.diagnostics)
+        if self._obs is not None:
+            self._m_cases.labels(status=result.status).inc()
+            self._m_transitions.inc(result.transitions)
+            self._m_checks.inc(result.checks)
+            if result.retries:
+                self._m_retries.inc(result.retries)
+            self._m_makespan.observe(result.makespan)
         promoted = self._admission.complete()
         if promoted is not None:
             case, outcomes = promoted
@@ -317,7 +421,7 @@ class Runtime:
         completed = [r for r in self._results.values() if r.status == COMPLETED]
         failed = len(self._results) - len(completed)
         p50, p95 = latency_quantiles(tuple(r.makespan for r in completed))
-        return RuntimeMetrics(
+        snapshot = RuntimeMetrics(
             shards=len(self._store.shards),
             submitted=self._submitted,
             admitted=self._admitted,
@@ -340,6 +444,9 @@ class Runtime:
             latency_p95=p95,
             shard_assigned=self._store.assigned_counts(),
         )
+        if self._obs is not None:
+            snapshot.publish(self._obs.metrics)
+        return snapshot
 
     def report(self) -> RuntimeReport:
         results = dict(self._recovered)

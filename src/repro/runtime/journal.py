@@ -29,8 +29,9 @@ completes exactly the same set of cases as an uninterrupted one.
 from __future__ import annotations
 
 import json
+import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.conformance.events import Event
 from repro.errors import ReproError
@@ -59,6 +60,10 @@ class Journal:
 
     ``resume=True`` appends to an existing journal (recovery); the default
     truncates.  ``crash_after`` arms the fault-injection hook.
+    ``observe_flush`` is the observability hook: when set, it is called
+    with the wall-clock seconds each record took to serialize and flush
+    (the coordinator feeds it a ``repro_runtime_journal_flush_seconds``
+    histogram); ``None`` keeps the write path clock-free.
     """
 
     def __init__(
@@ -67,15 +72,23 @@ class Journal:
         resume: bool = False,
         crash_after: Optional[int] = None,
         already_written: int = 0,
+        observe_flush: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.path = path
         self.records_written = already_written
         self._crash_after = crash_after
+        self._observe_flush = observe_flush
         self._handle = open(path, "a" if resume else "w", encoding="utf-8")
 
     def _write(self, payload: Dict[str, Any]) -> None:
-        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
-        self._handle.flush()
+        if self._observe_flush is not None:
+            started = _time.perf_counter()
+            self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._handle.flush()
+            self._observe_flush(_time.perf_counter() - started)
+        else:
+            self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._handle.flush()
         self.records_written += 1
         if self._crash_after is not None and self.records_written >= self._crash_after:
             self.close()

@@ -7,14 +7,27 @@ execution cost (lifecycle transitions, constraint checks and the
 checks-per-transition ratio the paper's minimization story is about),
 throughput (completed cases per wall second) and case-latency quantiles
 over the virtual makespans of completed cases.
+
+Since the :mod:`repro.obs` registry became the shared exchange format,
+the dataclass doubles as a *typed view* over it: :meth:`publish` writes
+the snapshot's gauge-like fields into a
+:class:`~repro.obs.MetricsRegistry` (the live counters —
+``repro_runtime_cases_total`` and friends — are incremented by the
+coordinator as cases finish), and :meth:`from_registry` reconstructs a
+snapshot from a published registry.  Counter-backed fields round-trip
+exactly; the latency quantiles come back as fixed-bucket estimates from
+``repro_runtime_case_makespan_virtual``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 from repro.scheduler.montecarlo import quantile
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -74,6 +87,110 @@ class RuntimeMetrics:
                 % (self.journal_records, self.recovered)
             )
         return "\n".join(lines)
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Write the snapshot's gauge-valued fields into ``registry``.
+
+        Cumulative facts (finished cases, transitions, checks, retries,
+        admission verdicts, makespans) are *not* re-emitted here — the
+        coordinator increments those counters live; publishing again
+        would double-count.  This method covers the point-in-time rest.
+        """
+        gauges = {
+            "repro_runtime_shards": self.shards,
+            "repro_runtime_submitted_cases": self.submitted,
+            "repro_runtime_admitted_cases": self.admitted,
+            "repro_runtime_recovered_cases": self.recovered,
+            "repro_runtime_in_flight_cases": self.in_flight,
+            "repro_runtime_queue_depth_cases": self.queue_depth,
+            "repro_runtime_peak_in_flight_cases": self.peak_in_flight,
+            "repro_runtime_peak_queue_depth_cases": self.peak_queue_depth,
+            "repro_runtime_journal_records": self.journal_records,
+            "repro_runtime_wall_seconds": self.wall_seconds,
+        }
+        for name, value in gauges.items():
+            registry.gauge(name, _GAUGE_HELP[name]).set(value)
+        shard_gauge = registry.gauge(
+            "repro_runtime_shard_assigned_cases",
+            _GAUGE_HELP["repro_runtime_shard_assigned_cases"],
+            ("shard",),
+        )
+        for shard, assigned in enumerate(self.shard_assigned):
+            shard_gauge.labels(shard=str(shard)).set(assigned)
+
+    @classmethod
+    def from_registry(cls, registry: "MetricsRegistry") -> "RuntimeMetrics":
+        """Rebuild a snapshot from a registry populated by one serve run.
+
+        The inverse of the coordinator's live counters plus
+        :meth:`publish`.  Integer fields round-trip exactly; latency
+        quantiles are bucket estimates (see module docstring).
+        """
+        from repro.runtime.journal import COMPLETED
+
+        def gauge(name: str) -> float:
+            metric = registry.get(name)
+            return metric.value() if metric is not None else 0.0  # type: ignore[union-attr]
+
+        def counter(name: str, **labels: str) -> float:
+            metric = registry.get(name)
+            return metric.value(**labels) if metric is not None else 0.0  # type: ignore[union-attr]
+
+        cases = registry.get("repro_runtime_cases_total")
+        completed = failed = 0
+        if cases is not None:
+            for (status,), child in cases.children():
+                if status == COMPLETED:
+                    completed += int(child.value)  # type: ignore[attr-defined]
+                else:
+                    failed += int(child.value)  # type: ignore[attr-defined]
+        makespan = registry.get("repro_runtime_case_makespan_virtual")
+        p50 = makespan.quantile(0.5) if makespan is not None else 0.0  # type: ignore[union-attr]
+        p95 = makespan.quantile(0.95) if makespan is not None else 0.0  # type: ignore[union-attr]
+        shard_gauge = registry.get("repro_runtime_shard_assigned_cases")
+        assigned: Tuple[int, ...] = ()
+        if shard_gauge is not None:
+            pairs = sorted(
+                (int(values[0]), int(child.value))  # type: ignore[attr-defined]
+                for values, child in shard_gauge.children()
+            )
+            assigned = tuple(count for _shard, count in pairs)
+        return cls(
+            shards=int(gauge("repro_runtime_shards")),
+            submitted=int(gauge("repro_runtime_submitted_cases")),
+            admitted=int(gauge("repro_runtime_admitted_cases")),
+            completed=completed,
+            failed=failed,
+            rejected=int(counter("repro_runtime_admission_total", verdict="reject")),
+            recovered=int(gauge("repro_runtime_recovered_cases")),
+            in_flight=int(gauge("repro_runtime_in_flight_cases")),
+            queue_depth=int(gauge("repro_runtime_queue_depth_cases")),
+            peak_in_flight=int(gauge("repro_runtime_peak_in_flight_cases")),
+            peak_queue_depth=int(gauge("repro_runtime_peak_queue_depth_cases")),
+            retries=int(counter("repro_runtime_retries_total")),
+            transitions=int(counter("repro_runtime_transitions_total")),
+            checks=int(counter("repro_runtime_checks_total")),
+            journal_records=int(gauge("repro_runtime_journal_records")),
+            wall_seconds=gauge("repro_runtime_wall_seconds"),
+            latency_p50=p50,
+            latency_p95=p95,
+            shard_assigned=assigned,
+        )
+
+
+_GAUGE_HELP = {
+    "repro_runtime_shards": "Number of instance-store shards.",
+    "repro_runtime_submitted_cases": "Cases offered to admission.",
+    "repro_runtime_admitted_cases": "Cases admitted (including promotions).",
+    "repro_runtime_recovered_cases": "Completed cases adopted from the journal.",
+    "repro_runtime_in_flight_cases": "Cases currently in flight.",
+    "repro_runtime_queue_depth_cases": "Cases waiting in the admission queue.",
+    "repro_runtime_peak_in_flight_cases": "Peak concurrent in-flight cases.",
+    "repro_runtime_peak_queue_depth_cases": "Peak admission queue depth.",
+    "repro_runtime_journal_records": "Write-ahead journal records written.",
+    "repro_runtime_wall_seconds": "Wall-clock seconds spent in the run loop.",
+    "repro_runtime_shard_assigned_cases": "Cases ever assigned, per shard.",
+}
 
 
 def latency_quantiles(makespans: Tuple[float, ...]) -> Tuple[float, float]:

@@ -151,23 +151,7 @@ def compile_program(
     )
 
 
-def program_from_weave(result, which: str = "minimal") -> ConstraintProgram:
-    """Compile a runtime program from a :class:`~repro.core.pipeline.WeaveResult`.
-
-    ``which`` selects ``"minimal"`` (the optimized set, default) or
-    ``"full"`` (the translated pre-minimization ``ASC``); serving the same
-    case load against both must produce identical per-case final states,
-    at fewer constraint checks per transition for the minimal set.
-    """
-    if which == "minimal":
-        sc = result.minimal
-    elif which == "full":
-        sc = result.asc
-    else:
-        raise ValueError("which must be 'minimal' or 'full', got %r" % which)
-    return compile_program(
-        result.process,
-        sc,
-        fine_grained=result.fine_grained,
-        exclusives=result.exclusives,
-    )
+# The historical home of the runtime-compiling ``program_from_weave``; the
+# canonical implementation (shared with repro.conformance) lives in
+# :mod:`repro.programs`.  Runtime callers pass ``target="runtime"``.
+from repro.programs import program_from_weave  # noqa: E402,F401

@@ -102,10 +102,12 @@ class ConstraintScheduler:
         exclusives: Iterable[Exclusive] = (),
         strict_services: bool = True,
         max_workers: Optional[int] = None,
+        obs=None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise SchedulingError("max_workers must be at least 1")
         self._max_workers = max_workers
+        self._obs = obs
         if not sc.is_activity_set:
             raise SchedulingError(
                 "scheduler requires an activity constraint set; run service "
@@ -144,7 +146,27 @@ class ConstraintScheduler:
         last outcome, which is ``T`` for boolean guards).
         """
         state = _RunState(self, outcomes)
-        return state.execute(raise_on_deadlock)
+        obs = self._obs
+        if obs is None:
+            return state.execute(raise_on_deadlock)
+        with obs.tracer.span(
+            "scheduler.run", process=self._process.name, constraints=len(self._sc)
+        ):
+            result = state.execute(raise_on_deadlock)
+        registry = obs.metrics
+        registry.counter(
+            "repro_scheduler_runs_total", "Single-case scheduler executions."
+        ).inc()
+        registry.counter(
+            "repro_scheduler_checks_total",
+            "Constraint evaluations during scheduling.",
+        ).inc(result.constraint_checks)
+        registry.histogram(
+            "repro_scheduler_makespan_virtual",
+            "Virtual makespan of scheduler runs.",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200),
+        ).observe(result.makespan)
+        return result
 
     # -- helpers used by _RunState ------------------------------------------------
 

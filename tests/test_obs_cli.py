@@ -1,0 +1,259 @@
+"""CLI tests for the observability flags and the ``trace`` subcommand.
+
+``--trace-out`` must emit schema-valid Chrome ``trace_event`` JSON and
+``--metrics-out`` valid Prometheus exposition (or JSON for ``*.json``
+paths) — validated here with the in-repo validators, the same contract CI's
+``obs-smoke`` job enforces on real artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    CHROME_TRACE_SCHEMA,
+    load_trace,
+    validate_chrome_trace,
+    validate_prometheus_text,
+)
+
+
+class TestServeObsFlags:
+    def test_trace_and_metrics_files_are_written_and_valid(self, tmp_path, capsys):
+        trace_path = tmp_path / "spans.json"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "serve",
+                "purchasing",
+                "--cases",
+                "20",
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "20 completed" in captured.out
+        assert "wrote trace to" in captured.err
+        assert "wrote metrics to" in captured.err
+
+        payload = load_trace(str(trace_path))
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert "runtime.run" in names
+        assert "runtime.batch" in names
+
+        text = metrics_path.read_text()
+        assert validate_prometheus_text(text) == []
+        assert 'repro_runtime_cases_total{status="completed"} 20' in text
+
+    def test_trace_file_matches_json_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        trace_path = tmp_path / "spans.json"
+        assert main(
+            ["serve", "purchasing", "--cases", "8", "--trace-out", str(trace_path)]
+        ) == 0
+        jsonschema.validate(load_trace(str(trace_path)), CHROME_TRACE_SCHEMA)
+
+    def test_metrics_json_flavour(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["serve", "purchasing", "--cases", "8", "--metrics-out", str(metrics_path)]
+        ) == 0
+        payload = json.loads(metrics_path.read_text())
+        names = [family["name"] for family in payload["metrics"]]
+        assert "repro_runtime_cases_total" in names
+
+    def test_without_flags_no_files_and_same_output(self, tmp_path, capsys):
+        assert main(["serve", "purchasing", "--cases", "8"]) == 0
+        captured = capsys.readouterr()
+        assert "8 completed" in captured.out
+        assert "wrote" not in captured.err
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestServeJsonFormat:
+    def test_json_summary_parses_and_matches(self, capsys):
+        assert main(
+            ["serve", "purchasing", "--cases", "12", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "purchasing"
+        assert payload["set"] == "minimal"
+        assert payload["metrics"]["completed"] == 12
+        assert payload["metrics"]["submitted"] == 12
+        assert payload["findings"]["findings"] == []
+
+    def test_json_summary_with_recover(self, tmp_path, capsys):
+        journal = tmp_path / "wal.jsonl"
+        assert main(
+            [
+                "serve",
+                "purchasing",
+                "--cases",
+                "6",
+                "--journal",
+                str(journal),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "serve",
+                "purchasing",
+                "--cases",
+                "6",
+                "--journal",
+                str(journal),
+                "--recover",
+                "--format",
+                "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recovery"]["adopted_or_resumed"] == 6
+        assert payload["recovery"]["resubmitted"] == 0
+
+    def test_text_recover_message_unchanged(self, tmp_path, capsys):
+        journal = tmp_path / "wal.jsonl"
+        assert main(
+            ["serve", "purchasing", "--cases", "4", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "serve",
+                "purchasing",
+                "--cases",
+                "4",
+                "--journal",
+                str(journal),
+                "--recover",
+            ]
+        ) == 0
+        assert "recovered journal" in capsys.readouterr().out
+
+
+class TestReplayObsFlags:
+    def _record(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(
+            ["simulate", "--workload", "purchasing", "--record", str(log)]
+        ) == 0
+        capsys.readouterr()
+        return log
+
+    def test_replay_json_combines_summary_and_findings(self, tmp_path, capsys):
+        log = self._record(tmp_path, capsys)
+        assert main(
+            ["replay", "purchasing", "--log", str(log), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["fitness"] == 1.0
+        assert payload["summary"]["cases"] == 1
+        assert payload["summary"]["events"] > 0
+        assert payload["findings"]["counts"]["error"] == 0
+
+    def test_replay_trace_out(self, tmp_path, capsys):
+        log = self._record(tmp_path, capsys)
+        trace_path = tmp_path / "replay.json"
+        assert main(
+            ["replay", "purchasing", "--log", str(log), "--trace-out", str(trace_path)]
+        ) == 0
+        payload = load_trace(str(trace_path))
+        assert validate_chrome_trace(payload) == []
+        names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert names == ["conformance.replay"]
+
+    def test_replay_metrics_out(self, tmp_path, capsys):
+        log = self._record(tmp_path, capsys)
+        metrics_path = tmp_path / "replay.prom"
+        assert main(
+            [
+                "replay",
+                "purchasing",
+                "--log",
+                str(log),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        ) == 0
+        text = metrics_path.read_text()
+        assert validate_prometheus_text(text) == []
+        assert "repro_conformance_events_total" in text
+
+
+class TestMinimizeSimulateObsFlags:
+    def test_minimize_metrics_out_has_kernel_counters(self, tmp_path, capsys):
+        metrics_path = tmp_path / "kernel.prom"
+        assert main(
+            [
+                "minimize",
+                "--workload",
+                "purchasing",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        ) == 0
+        text = metrics_path.read_text()
+        assert validate_prometheus_text(text) == []
+        assert "repro_core_candidates_total" in text
+        assert "repro_core_try_remove_seconds_bucket" in text
+
+    def test_simulate_trace_out_has_scheduler_span(self, tmp_path, capsys):
+        trace_path = tmp_path / "sim.json"
+        assert main(
+            ["simulate", "--workload", "purchasing", "--trace-out", str(trace_path)]
+        ) == 0
+        payload = load_trace(str(trace_path))
+        names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert "scheduler.run" in names
+
+
+class TestTraceSubcommand:
+    def test_flame_summary_of_a_serve_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "spans.json"
+        assert main(
+            ["serve", "purchasing", "--cases", "10", "--trace-out", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.run" in out
+        assert "runtime.batch" in out
+        assert "self(us)" in out
+        assert "complete event(s) in trace" in out
+
+    def test_top_limits_rows(self, tmp_path, capsys):
+        trace_path = tmp_path / "spans.json"
+        assert main(
+            ["serve", "purchasing", "--cases", "10", "--trace-out", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # header + single row + footer
+        rows = [line for line in out.splitlines() if line.startswith("runtime.")]
+        assert len(rows) == 1
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.json")]) == 2
+        assert "cannot load trace" in capsys.readouterr().err
+
+    def test_malformed_json_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["trace", str(bad)]) == 2
+        assert "cannot load trace" in capsys.readouterr().err
+
+    def test_empty_trace_renders_notice(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"traceEvents": []}')
+        assert main(["trace", str(empty)]) == 0
+        assert "no complete (ph=X) events" in capsys.readouterr().out

@@ -1,0 +1,332 @@
+"""Cross-subsystem observability tests.
+
+Covers the contracts the instrumentation wiring promises:
+
+* two identical ``serve`` runs with tracing on produce identical metric
+  values and identical span trees (names + nesting, durations ignored);
+* the legacy metric dataclasses (:class:`RuntimeMetrics`,
+  :class:`KernelStats`) round-trip through the shared registry;
+* the conformance monitor and scheduler publish counters that agree with
+  their own reports;
+* ``program_from_weave`` is one function object re-exported everywhere.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.cli import _case_plans
+from repro.obs import Observability, span_forest
+from repro.runtime import Runtime, program_from_weave
+
+
+def _weave(workload="purchasing"):
+    from repro.cli import _weave as cli_weave
+
+    return cli_weave(workload)
+
+
+def _serve(obs, cases=24):
+    _process, result = _weave()
+    program = program_from_weave(result, target="runtime")
+    runtime = Runtime(program, obs=obs)
+    try:
+        runtime.submit_batch(_case_plans(program, cases))
+        report = runtime.run()
+    finally:
+        runtime.close()
+    return report
+
+
+def _comparable_metrics(registry):
+    """Deterministic metric state: counters and histogram bucket counts.
+
+    Gauges are excluded — ``repro_runtime_wall_seconds`` is wall-clock —
+    and so are histogram sums for time-valued histograms; the bucket
+    *counts* of the virtual-time histograms are fully deterministic.
+    """
+    snapshot = {}
+    for metric in registry:
+        if metric.kind == "counter":
+            for values, child in metric.children():
+                snapshot[(metric.name, values)] = child.value
+        elif metric.kind == "histogram":
+            for values, child in metric.children():
+                if metric.name.endswith("_seconds"):
+                    continue  # wall-clock valued: only its existence is stable
+                snapshot[(metric.name, values)] = (tuple(child.counts), child.count)
+    return snapshot
+
+
+class TestServeDeterminism:
+    def test_two_identical_runs_agree(self):
+        first, second = Observability(), Observability()
+        report_a = _serve(first)
+        report_b = _serve(second)
+        assert report_a.metrics.completed == report_b.metrics.completed == 24
+        assert _comparable_metrics(first.metrics) == _comparable_metrics(
+            second.metrics
+        )
+        forest_a = span_forest(first.tracer.finished_spans())
+        forest_b = span_forest(second.tracer.finished_spans())
+        assert forest_a == forest_b
+        assert len(forest_a) == 1 and forest_a[0][0] == "runtime.run"
+        assert all(name == "runtime.batch" for name, _kids in forest_a[0][1])
+
+    def test_batch_spans_carry_shard_attributes(self):
+        obs = Observability()
+        _serve(obs, cases=8)
+        batches = [
+            s for s in obs.tracer.finished_spans() if s.name == "runtime.batch"
+        ]
+        assert batches
+        assert all("shard" in s.attrs and "cases" in s.attrs for s in batches)
+
+    def test_disabled_run_matches_enabled_outcomes(self):
+        enabled = _serve(Observability())
+        disabled = _serve(None)
+        assert {c: r.status for c, r in enabled.results.items()} == {
+            c: r.status for c, r in disabled.results.items()
+        }
+
+
+class TestRuntimeMetricsBridge:
+    def test_snapshot_round_trips_through_registry(self):
+        from repro.runtime.metrics import RuntimeMetrics
+
+        obs = Observability()
+        _process, result = _weave()
+        program = program_from_weave(result, target="runtime")
+        runtime = Runtime(program, obs=obs)
+        try:
+            runtime.submit_batch(_case_plans(program, 16))
+            runtime.run()
+            snapshot = runtime.metrics()
+        finally:
+            runtime.close()
+        rebuilt = RuntimeMetrics.from_registry(obs.metrics)
+        for field in (
+            "shards",
+            "submitted",
+            "admitted",
+            "completed",
+            "failed",
+            "rejected",
+            "recovered",
+            "in_flight",
+            "queue_depth",
+            "peak_in_flight",
+            "peak_queue_depth",
+            "retries",
+            "transitions",
+            "checks",
+            "journal_records",
+            "shard_assigned",
+        ):
+            assert getattr(rebuilt, field) == getattr(snapshot, field), field
+
+    def test_admission_counter_tracks_verdicts(self):
+        obs = Observability()
+        _process, result = _weave()
+        program = program_from_weave(result, target="runtime")
+        runtime = Runtime(program, max_in_flight=4, max_queue=2, obs=obs)
+        try:
+            runtime.submit_batch(_case_plans(program, 12))
+            runtime.run()
+            snapshot = runtime.metrics()
+        finally:
+            runtime.close()
+        admission = obs.metrics.get("repro_runtime_admission_total")
+        assert admission.value(verdict="admit") == 4
+        assert admission.value(verdict="queue") == 2
+        assert admission.value(verdict="reject") == snapshot.rejected == 6
+
+
+class TestKernelCounters:
+    def test_minimize_publishes_kernel_stats(self):
+        from repro.core.pipeline import DSCWeaver
+        from repro.cli import _load_workload
+
+        obs = Observability()
+        process, dependencies = _load_workload("purchasing")
+        result = DSCWeaver(obs=obs).weave(process, dependencies)
+        stats = result.report.kernel_stats
+        assert stats is not None
+        for name in (
+            "closures_computed",
+            "closure_cache_hits",
+            "subsumption_tests",
+            "candidates",
+            "raw_shortcut_accepts",
+            "cheap_rejects",
+            "full_checks",
+            "removed",
+        ):
+            counter = obs.metrics.get("repro_core_%s_total" % name)
+            assert counter is not None, name
+            assert counter.value() == stats[name], name
+
+    def test_weave_emits_phase_spans_and_staged_timings(self):
+        from repro.core.pipeline import DSCWeaver
+        from repro.cli import _load_workload
+
+        obs = Observability()
+        process, dependencies = _load_workload("purchasing")
+        DSCWeaver(obs=obs).weave(process, dependencies)
+        names = [span.name for span in obs.tracer.finished_spans()]
+        for phase in ("weave.compile", "weave.translate", "weave.minimize"):
+            assert phase in names
+        assert "core.minimize" in names
+        assert names.count("core.try_remove") > 0
+        staged = obs.metrics.get("repro_core_try_remove_seconds")
+        observed = sum(child.count for _values, child in staged.children())
+        assert observed == names.count("core.try_remove")
+
+
+class TestConformanceCounters:
+    def _recorded_log(self):
+        from repro.conformance import EventLog, events_from_trace
+        from repro.scheduler.engine import ConstraintScheduler
+
+        process, result = _weave()
+        scheduler = ConstraintScheduler(
+            process,
+            result.minimal,
+            fine_grained=result.fine_grained,
+            exclusives=result.exclusives,
+        )
+        run = scheduler.run()
+        return result, EventLog(events_from_trace(run.trace, "case-1"))
+
+    def test_replay_counters_match_report(self):
+        from repro.conformance import replay
+
+        result, log = self._recorded_log()
+        from repro.conformance import program_from_weave as conf_pfw
+
+        program = conf_pfw(result)
+        obs = Observability()
+        report = replay(log, program, obs=obs)
+        assert obs.metrics.get("repro_conformance_events_total").value() == (
+            report.events
+        )
+        assert obs.metrics.get("repro_conformance_inspections_total").value() == (
+            report.checks
+        )
+        obligations = obs.metrics.get("repro_conformance_obligations_total")
+        for verdict, count in report.verdict_counts.items():
+            assert obligations.value(verdict=verdict.value) == count
+        names = [span.name for span in obs.tracer.finished_spans()]
+        assert names == ["conformance.replay"]
+
+    def test_activated_counter_counts_parked_obligations(self):
+        from repro.analysis.conditions import Cond, ConditionDomains
+        from repro.conformance import (
+            START,
+            ConformanceMonitor,
+            Event,
+            compile_monitor,
+        )
+        from repro.core.constraints import Constraint, SynchronizationConstraintSet
+
+        sc = SynchronizationConstraintSet(
+            activities=["a", "b", "g", "c"],
+            constraints=[Constraint("a", "b"), Constraint("g", "c", "T")],
+            guards={"c": frozenset({Cond("g", "T")})},
+            domains=ConditionDomains(),
+        )
+        obs = Observability()
+        monitor = ConformanceMonitor(compile_monitor(sc), obs=obs)
+        # c starts before g resolves: both the guard obligation and the
+        # conditional happen-before are parked on g
+        monitor.feed(Event("c1", "c", START, 0.0))
+        monitor.finish()
+        activated = obs.metrics.get(
+            "repro_conformance_obligations_activated_total"
+        )
+        assert activated.value() == 2
+
+    def test_monitor_publishes_once(self):
+        from repro.conformance import ConformanceMonitor, program_from_weave as pfw
+
+        result, log = self._recorded_log()
+        obs = Observability()
+        monitor = ConformanceMonitor(pfw(result), obs=obs)
+        for event in log:
+            monitor.feed(event)
+        monitor.finish()
+        monitor.publish_metrics()  # idempotent: finish() already published
+        events_total = obs.metrics.get("repro_conformance_events_total")
+        assert events_total.value() == monitor.events_fed == len(log)
+
+
+class TestSchedulerCounters:
+    def test_run_publishes_checks_and_makespan(self):
+        from repro.scheduler.engine import ConstraintScheduler
+
+        process, result = _weave()
+        obs = Observability()
+        scheduler = ConstraintScheduler(
+            process,
+            result.minimal,
+            fine_grained=result.fine_grained,
+            exclusives=result.exclusives,
+            obs=obs,
+        )
+        run = scheduler.run()
+        assert obs.metrics.get("repro_scheduler_runs_total").value() == 1
+        assert obs.metrics.get("repro_scheduler_checks_total").value() == (
+            run.constraint_checks
+        )
+        makespan = obs.metrics.get("repro_scheduler_makespan_virtual")
+        assert makespan._default().count == 1
+        names = [span.name for span in obs.tracer.finished_spans()]
+        assert "scheduler.run" in names
+
+
+class TestProgramFromWeaveIdentity:
+    def test_one_function_object_everywhere(self):
+        import repro.conformance
+        import repro.programs
+        import repro.runtime
+
+        canonical = repro.programs.program_from_weave
+        # ``repro.conformance.replay`` the *attribute* is the replay
+        # function (it shadows the submodule), so go through importlib
+        replay_module = importlib.import_module("repro.conformance.replay")
+        runtime_module = importlib.import_module("repro.runtime.program")
+        assert repro.runtime.program_from_weave is canonical
+        assert runtime_module.program_from_weave is canonical
+        assert repro.conformance.program_from_weave is canonical
+        assert replay_module.program_from_weave is canonical
+
+    def test_dispatches_by_target(self):
+        from repro.conformance.monitor import MonitorProgram
+        from repro.programs import program_from_weave as pfw
+        from repro.runtime.program import ConstraintProgram
+
+        _process, result = _weave()
+        assert isinstance(pfw(result), MonitorProgram)
+        assert isinstance(pfw(result, target="monitor"), MonitorProgram)
+        assert isinstance(pfw(result, target="runtime"), ConstraintProgram)
+
+    def test_selects_minimal_or_full_set(self):
+        from repro.programs import program_from_weave as pfw
+
+        _process, result = _weave()
+        minimal = pfw(result, which="minimal", target="runtime")
+        full = pfw(result, which="full", target="runtime")
+        assert minimal.size == len(result.minimal)
+        assert full.size == len(result.asc)
+        assert minimal.size <= full.size
+
+    def test_bad_arguments_raise(self):
+        from repro.programs import program_from_weave as pfw
+
+        _process, result = _weave()
+        with pytest.raises(ValueError):
+            pfw(result, which="bogus")
+        with pytest.raises(ValueError):
+            pfw(result, target="bogus")

@@ -1,0 +1,333 @@
+"""Tests for the metrics registry and its exporters.
+
+The Prometheus exposition is pinned two ways: a golden exact-text test
+(so any formatting drift is a visible diff) and the grammar validator
+(so the golden text itself is provably well-formed exposition format).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    metrics_to_json,
+    render_prometheus,
+    validate_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_ops_total", "Ops.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_negative_increment_raises(self):
+        counter = MetricsRegistry().counter("repro_test_ops_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        labeled = MetricsRegistry().counter("repro_test_x_total", labelnames=("k",))
+        with pytest.raises(ValueError):
+            labeled.labels(k="a").inc(-0.5)
+
+    def test_labeled_children_are_independent(self):
+        counter = MetricsRegistry().counter(
+            "repro_test_cases_total", "Cases.", labelnames=("status",)
+        )
+        counter.labels(status="completed").inc(3)
+        counter.labels(status="failed").inc()
+        assert counter.value(status="completed") == 3
+        assert counter.value(status="failed") == 1
+        assert counter.value(status="rejected") == 0.0
+
+    def test_unlabeled_use_of_labeled_metric_raises(self):
+        counter = MetricsRegistry().counter("repro_test_total", labelnames=("k",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_wrong_label_set_raises(self):
+        counter = MetricsRegistry().counter("repro_test_total", labelnames=("k",))
+        with pytest.raises(ValueError):
+            counter.labels(other="x")
+        with pytest.raises(ValueError):
+            counter.labels(k="x", extra="y")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_test_depth", "Depth.")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 13.0
+
+    def test_gauges_may_go_negative(self):
+        gauge = MetricsRegistry().gauge("repro_test_delta")
+        gauge.dec(4)
+        assert gauge.value() == -4.0
+
+
+class TestHistogramBuckets:
+    def test_value_on_bucket_boundary_is_inclusive(self):
+        # Prometheus ``le`` is an inclusive upper bound: an observation of
+        # exactly 2.0 belongs to the le="2" bucket, not the next one.
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(1.0, 2.0, 5.0)
+        )
+        histogram.observe(2.0)
+        child = histogram._default()
+        assert child.counts == [0, 1, 0, 0]
+
+    def test_value_just_over_boundary_spills_to_next_bucket(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(1.0, 2.0, 5.0)
+        )
+        histogram.observe(2.0000001)
+        assert histogram._default().counts == [0, 0, 1, 0]
+
+    def test_overflow_lands_in_implicit_inf_bucket(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(1.0, 2.0)
+        )
+        histogram.observe(99.0)
+        child = histogram._default()
+        assert child.counts == [0, 0, 1]
+        assert child.cumulative() == [0, 0, 1]
+        assert child.count == 1
+
+    def test_cumulative_counts_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(0.1, 0.5, 1.0)
+        )
+        for value in (0.05, 0.1, 0.3, 0.7, 3.0):
+            histogram.observe(value)
+        child = histogram._default()
+        assert child.counts == [2, 1, 1, 1]
+        assert child.cumulative() == [2, 3, 4, 5]
+        assert child.count == 5
+        assert child.sum == pytest.approx(4.15)
+
+    def test_smallest_bucket_boundary(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(0.5, 1.0)
+        )
+        histogram.observe(0.0)
+        histogram.observe(0.5)
+        assert histogram._default().counts == [2, 0, 0]
+
+    def test_buckets_must_be_strictly_increasing_and_finite(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("repro_bad_a", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("repro_bad_b", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("repro_bad_c", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_are_used(self):
+        histogram = MetricsRegistry().histogram("repro_test_seconds")
+        assert histogram.buckets == DEFAULT_BUCKETS
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_estimates_zero(self):
+        histogram = MetricsRegistry().histogram("repro_q", buckets=(1.0, 2.0))
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_interpolation_inside_a_bucket(self):
+        histogram = MetricsRegistry().histogram("repro_q", buckets=(10.0, 20.0))
+        for _ in range(10):
+            histogram.observe(15.0)  # all land in (10, 20]
+        # median rank is halfway into the second bucket: 10 + 0.5 * 10
+        assert histogram.quantile(0.5) == pytest.approx(15.0)
+
+    def test_rank_in_inf_bucket_clamps_to_last_bound(self):
+        histogram = MetricsRegistry().histogram("repro_q", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_out_of_range_quantile_raises(self):
+        histogram = MetricsRegistry().histogram("repro_q", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_missing_labeled_child_estimates_zero(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_q", labelnames=("stage",), buckets=(1.0,)
+        )
+        assert histogram.quantile(0.5, stage="absent") == 0.0
+
+
+class TestRegistry:
+    def test_registration_is_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total", "Help.")
+        second = registry.counter("repro_test_total", "Help.")
+        assert first is second
+        assert len(registry) == 1
+        assert "repro_test_total" in registry
+        assert registry.get("repro_test_total") is first
+        assert registry.get("absent") is None
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_test_total")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_test_total", labelnames=("b",))
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", labelnames=("le-bad",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", labelnames=("__reserved",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", labelnames=("a", "a"))
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_test_events_total", "Events fed.").inc(3)
+    depth = registry.gauge("repro_test_queue_depth", "Queue depth.", ("shard",))
+    depth.labels(shard="0").set(2)
+    depth.labels(shard="1").set(0)
+    latency = registry.histogram(
+        "repro_test_latency_seconds", "Latency.", buckets=(0.1, 0.5)
+    )
+    for value in (0.1, 0.3, 2.0):
+        latency.observe(value)
+    return registry
+
+
+GOLDEN_EXPOSITION = """\
+# HELP repro_test_events_total Events fed.
+# TYPE repro_test_events_total counter
+repro_test_events_total 3
+# HELP repro_test_queue_depth Queue depth.
+# TYPE repro_test_queue_depth gauge
+repro_test_queue_depth{shard="0"} 2
+repro_test_queue_depth{shard="1"} 0
+# HELP repro_test_latency_seconds Latency.
+# TYPE repro_test_latency_seconds histogram
+repro_test_latency_seconds_bucket{le="0.1"} 1
+repro_test_latency_seconds_bucket{le="0.5"} 2
+repro_test_latency_seconds_bucket{le="+Inf"} 3
+repro_test_latency_seconds_sum 2.4
+repro_test_latency_seconds_count 3
+"""
+
+
+class TestPrometheusExposition:
+    def test_golden_text(self):
+        assert render_prometheus(_golden_registry()) == GOLDEN_EXPOSITION
+
+    def test_golden_text_passes_the_grammar(self):
+        assert validate_prometheus_text(GOLDEN_EXPOSITION) == []
+
+    def test_rendering_is_deterministic(self):
+        assert render_prometheus(_golden_registry()) == render_prometheus(
+            _golden_registry()
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "Help.", ("path",))
+        counter.labels(path='a\\b"c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        assert validate_prometheus_text(text) == []
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert validate_prometheus_text("") == []
+
+    def test_to_prometheus_convenience(self):
+        registry = _golden_registry()
+        assert registry.to_prometheus() == GOLDEN_EXPOSITION
+
+
+class TestPrometheusValidator:
+    def test_rejects_malformed_sample(self):
+        problems = validate_prometheus_text("this is { not a sample\n")
+        assert problems and "malformed sample" in problems[0]
+
+    def test_rejects_sample_before_type(self):
+        problems = validate_prometheus_text("repro_x_total 1\n")
+        assert any("before its TYPE" in p for p in problems)
+
+    def test_rejects_histogram_inf_count_mismatch(self):
+        text = (
+            "# HELP repro_h H\n"
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("!= _count" in p for p in problems)
+
+    def test_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_count 5\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("not cumulative" in p for p in problems)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            "repro_h_count 1\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("missing +Inf" in p for p in problems)
+
+    def test_histogram_family_with_no_samples_is_legal(self):
+        text = "# HELP repro_h H\n# TYPE repro_h histogram\n"
+        assert validate_prometheus_text(text) == []
+
+
+class TestJsonExport:
+    def test_structure(self):
+        payload = metrics_to_json(_golden_registry())
+        by_name = {family["name"]: family for family in payload["metrics"]}
+        events = by_name["repro_test_events_total"]
+        assert events["kind"] == "counter"
+        assert events["samples"] == [{"labels": {}, "value": 3.0}]
+        depth = by_name["repro_test_queue_depth"]
+        assert depth["samples"][0] == {"labels": {"shard": "0"}, "value": 2.0}
+        latency = by_name["repro_test_latency_seconds"]
+        (sample,) = latency["samples"]
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(2.4)
+        assert sample["buckets"][-1] == {"le": "+Inf", "count": 3}
+        assert sample["buckets"][0] == {"le": 0.1, "count": 1}
+
+    def test_round_trips_through_json(self):
+        import json
+
+        payload = metrics_to_json(_golden_registry())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_to_json_convenience(self):
+        registry = _golden_registry()
+        assert registry.to_json() == metrics_to_json(registry)

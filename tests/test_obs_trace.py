@@ -1,0 +1,226 @@
+"""Tests for the tracing core: spans, nesting, the ring buffer, export.
+
+The Chrome trace export is checked twice — once with the in-repo
+structural validator and once against ``CHROME_TRACE_SCHEMA`` with the
+``jsonschema`` package — so the schema document and the validator cannot
+drift apart silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    CHROME_TRACE_SCHEMA,
+    NOOP_SPAN,
+    Observability,
+    Tracer,
+    chrome_trace,
+    flame_summary,
+    span_forest,
+    validate_chrome_trace,
+)
+
+
+class FakeClock:
+    """A controllable monotonic clock for exact-duration assertions."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta: float) -> None:
+        self.now += delta
+
+
+class TestSpans:
+    def test_single_span_records_name_and_duration(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("core.minimize", constraints=17):
+            clock.advance(0.25)
+        (span,) = tracer.finished_spans()
+        assert span.name == "core.minimize"
+        assert span.duration == pytest.approx(0.25)
+        assert span.start == pytest.approx(0.0)
+        assert span.attrs == {"constraints": 17}
+        assert span.parent_id is None
+
+    def test_nesting_assigns_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        spans = {span.name: span for span in tracer.finished_spans()}
+        outer = spans["outer"]
+        assert spans["inner.a"].parent_id == outer.span_id
+        assert spans["inner.b"].parent_id == outer.span_id
+        assert spans["leaf"].parent_id == spans["inner.b"].span_id
+        assert outer.parent_id is None
+
+    def test_span_forest_shape(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        with tracer.span("root2"):
+            pass
+        forest = span_forest(tracer.finished_spans())
+        assert forest == [("root", (("a", ()), ("b", ()))), ("root2", ())]
+
+    def test_set_attaches_attributes_late(self):
+        tracer = Tracer()
+        with tracer.span("runtime.recover") as span:
+            span.set(adopted=3).set(resumed=1)
+        (span,) = tracer.finished_spans()
+        assert span.attrs == {"adopted": 3, "resumed": 1}
+
+    def test_decorator_form_records_per_call(self):
+        tracer = Tracer()
+
+        @tracer.span("work")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert work(1) == 2
+        assert [s.name for s in tracer.finished_spans()] == ["work", "work"]
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for index in range(7):
+            with tracer.span("s%d" % index):
+                pass
+        spans = tracer.finished_spans()
+        assert [s.name for s in spans] == ["s3", "s4", "s5", "s6"]
+        assert tracer.dropped == 3
+
+    def test_missing_parent_surfaces_children_as_roots(self):
+        from repro.obs import Span
+
+        # a span whose parent is absent from the list (evicted, or the
+        # buffer was truncated) must surface as a root, not vanish
+        orphan = Span(5, 2, "kid.b", 0.0, 0.1, {})
+        root = Span(7, None, "other", 0.2, 0.1, {})
+        forest = span_forest([orphan, root])
+        assert forest == [("kid.b", ()), ("other", ())]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear_resets_buffer_and_drop_count(self):
+        tracer = Tracer(capacity=1)
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        tracer.clear()
+        assert tracer.finished_spans() == []
+        assert tracer.dropped == 0
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_hands_out_the_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything", k=1) is NOOP_SPAN
+        assert tracer.span("other") is NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        with NOOP_SPAN as span:
+            assert span.set(a=1) is NOOP_SPAN
+
+    def test_noop_decorator_returns_function_unchanged(self):
+        def f():
+            return 7
+
+        assert NOOP_SPAN(f) is f
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            pass
+        assert tracer.finished_spans() == []
+
+    def test_observability_bundle_defaults(self):
+        obs = Observability()
+        assert obs.tracer.enabled
+        assert len(obs.metrics) == 0
+        quiet = Observability(tracing=False)
+        assert quiet.tracer.span("x") is NOOP_SPAN
+
+
+class TestChromeExport:
+    def _payload(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("runtime.run", cases=2):
+            clock.advance(0.001)
+            with tracer.span("runtime.batch", shard=0):
+                clock.advance(0.002)
+            clock.advance(0.0005)
+        return chrome_trace(tracer, process_name="test")
+
+    def test_structure_and_values(self):
+        payload = self._payload()
+        assert payload["displayTimeUnit"] == "ms"
+        meta, outer, inner = (
+            payload["traceEvents"][0],
+            payload["traceEvents"][2],
+            payload["traceEvents"][1],
+        )
+        assert meta["ph"] == "M" and meta["args"]["name"] == "test"
+        # spans land oldest-completed first: the inner batch finishes first
+        assert inner["name"] == "runtime.batch"
+        assert inner["ph"] == "X"
+        assert inner["dur"] == pytest.approx(2000.0)  # microseconds
+        assert inner["args"]["parent"] == outer["args"]["id"]
+        assert inner["cat"] == "runtime"
+        assert outer["name"] == "runtime.run"
+        assert outer["dur"] == pytest.approx(3500.0)
+        assert outer["args"]["cases"] == 2
+
+    def test_self_validator_accepts_export(self):
+        assert validate_chrome_trace(self._payload()) == []
+
+    def test_jsonschema_accepts_export(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(self._payload(), CHROME_TRACE_SCHEMA)
+
+    def test_validator_rejects_malformed_events(self):
+        assert validate_chrome_trace([]) == ["top level must be a JSON object"]
+        assert validate_chrome_trace({}) == ["traceEvents must be an array"]
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"name": "", "ph": "Q", "ts": -1, "pid": 1, "tid": 1}]}
+        )
+        assert any("name" in p for p in problems)
+        assert any("phase" in p for p in problems)
+        assert any("ts" in p for p in problems)
+
+    def test_flame_summary_computes_self_time(self):
+        rows = flame_summary(self._payload())
+        by_name = {row.name: row for row in rows}
+        # runtime.run total 3500us, child 2000us -> self 1500us
+        assert by_name["runtime.run"].total_us == pytest.approx(3500.0)
+        assert by_name["runtime.run"].self_us == pytest.approx(1500.0)
+        assert by_name["runtime.batch"].self_us == pytest.approx(2000.0)
+        assert by_name["runtime.batch"].count == 1
+
+    def test_flame_summary_top_limits_rows(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        for index in range(6):
+            with tracer.span("s%d" % index):
+                clock.advance(0.001 * (index + 1))
+        rows = flame_summary(chrome_trace(tracer), top=3)
+        assert len(rows) == 3
+        # ranked by self time, descending
+        assert [row.name for row in rows] == ["s5", "s4", "s3"]

@@ -25,7 +25,7 @@ from repro.runtime import (
 
 @pytest.fixture(scope="module")
 def program(purchasing_weave):
-    return program_from_weave(purchasing_weave, "minimal")
+    return program_from_weave(purchasing_weave, "minimal", target="runtime")
 
 
 def plans(count):
@@ -72,7 +72,7 @@ class TestInterleavedScheduling:
         load = plans(32)
         by_set = {}
         for which in ("minimal", "full"):
-            runtime = Runtime(program_from_weave(purchasing_weave, which), shards=4)
+            runtime = Runtime(program_from_weave(purchasing_weave, which, target="runtime"), shards=4)
             runtime.submit_batch(load)
             by_set[which] = runtime.run()
         assert (

@@ -49,32 +49,32 @@ def reference_schedule(process, result, sc, outcomes):
 class TestConstraintProgram:
     def test_compiles_all_workloads(self, all_weaves):
         for name, (_process, result) in all_weaves.items():
-            program = program_from_weave(result, "minimal")
+            program = program_from_weave(result, "minimal", target="runtime")
             assert program.activities, name
             assert program.size >= len(program.constraints)
 
     def test_incoming_index_partitions_constraints(self, purchasing_weave):
-        program = program_from_weave(purchasing_weave, "minimal")
+        program = program_from_weave(purchasing_weave, "minimal", target="runtime")
         indexed = sum(len(found) for found in program.incoming.values())
         assert indexed == len(program.constraints)
         for name, found in program.incoming.items():
             assert all(constraint.target == name for constraint in found)
 
     def test_minimal_program_is_smaller(self, purchasing_weave):
-        minimal = program_from_weave(purchasing_weave, "minimal")
-        full = program_from_weave(purchasing_weave, "full")
+        minimal = program_from_weave(purchasing_weave, "minimal", target="runtime")
+        full = program_from_weave(purchasing_weave, "full", target="runtime")
         assert len(minimal.constraints) < len(full.constraints)
 
     def test_rejects_unknown_which(self, purchasing_weave):
         with pytest.raises(ValueError, match="minimal.*full"):
-            program_from_weave(purchasing_weave, "bogus")
+            program_from_weave(purchasing_weave, "bogus", target="runtime")
 
     def test_rejects_service_set(self, purchasing_process, purchasing_weave):
         with pytest.raises(SchedulingError, match="activity constraint set"):
             compile_program(purchasing_process, purchasing_weave.merged)
 
     def test_guard_names_in_scheduling_order(self, purchasing_weave):
-        program = program_from_weave(purchasing_weave, "minimal")
+        program = program_from_weave(purchasing_weave, "minimal", target="runtime")
         guards = program.guard_names()
         assert "if_au" in guards
         positions = [program.activities.index(guard) for guard in guards]
@@ -84,7 +84,7 @@ class TestConstraintProgram:
 class TestSchedulerEquivalence:
     def test_every_workload_every_outcome(self, all_weaves):
         for name, (process, result) in all_weaves.items():
-            program = program_from_weave(result, "minimal")
+            program = program_from_weave(result, "minimal", target="runtime")
             for outcomes in outcome_combos(program):
                 executed, skipped, makespan = reference_schedule(
                     process, result, result.minimal, outcomes
@@ -99,15 +99,15 @@ class TestSchedulerEquivalence:
 
     def test_minimal_and_full_agree_per_case(self, all_weaves):
         for name, (_process, result) in all_weaves.items():
-            minimal = program_from_weave(result, "minimal")
-            full = program_from_weave(result, "full")
+            minimal = program_from_weave(result, "minimal", target="runtime")
+            full = program_from_weave(result, "full", target="runtime")
             for outcomes in outcome_combos(minimal):
                 a = CaseInstance("c", minimal, outcomes=outcomes).run_to_completion()
                 b = CaseInstance("c", full, outcomes=outcomes).run_to_completion()
                 assert a.final_state() == b.final_state(), name
 
     def test_outcome_plan_changes_path(self, purchasing_weave):
-        program = program_from_weave(purchasing_weave, "minimal")
+        program = program_from_weave(purchasing_weave, "minimal", target="runtime")
         taken = CaseInstance("c", program, outcomes={"if_au": "T"}).run_to_completion()
         declined = CaseInstance(
             "c", program, outcomes={"if_au": "F"}
@@ -118,21 +118,21 @@ class TestSchedulerEquivalence:
 
 class TestEvaluationCost:
     def test_minimal_costs_fewer_checks_than_full(self, purchasing_weave):
-        minimal = program_from_weave(purchasing_weave, "minimal")
-        full = program_from_weave(purchasing_weave, "full")
+        minimal = program_from_weave(purchasing_weave, "minimal", target="runtime")
+        full = program_from_weave(purchasing_weave, "full", target="runtime")
         a = CaseInstance("c", minimal).run_to_completion()
         b = CaseInstance("c", full).run_to_completion()
         assert a.checks < b.checks
 
     def test_indexed_costs_fewer_checks_than_naive(self, purchasing_weave):
-        program = program_from_weave(purchasing_weave, "minimal")
+        program = program_from_weave(purchasing_weave, "minimal", target="runtime")
         indexed = CaseInstance("c", program, indexed=True).run_to_completion()
         naive = CaseInstance("c", program, indexed=False).run_to_completion()
         assert indexed.final_state() == naive.final_state()
         assert indexed.checks < naive.checks
 
     def test_checks_and_transitions_are_recorded(self, purchasing_weave):
-        program = program_from_weave(purchasing_weave, "minimal")
+        program = program_from_weave(purchasing_weave, "minimal", target="runtime")
         run = CaseInstance("c", program).run_to_completion()
         assert run.transitions == len(run.executed) * 2 + len(run.skipped)
         assert run.checks > 0
@@ -140,7 +140,7 @@ class TestEvaluationCost:
 
 class TestStepwiseExecution:
     def test_advance_matches_run_to_completion(self, purchasing_weave):
-        program = program_from_weave(purchasing_weave, "minimal")
+        program = program_from_weave(purchasing_weave, "minimal", target="runtime")
         stepped = CaseInstance("c", program)
         while stepped.advance():
             pass
@@ -148,7 +148,7 @@ class TestStepwiseExecution:
         assert stepped.result() == whole
 
     def test_step_after_completion_is_inert(self, purchasing_weave):
-        program = program_from_weave(purchasing_weave, "minimal")
+        program = program_from_weave(purchasing_weave, "minimal", target="runtime")
         instance = CaseInstance("c", program)
         instance.run_to_completion()
         assert instance.status is CaseStatus.COMPLETED

@@ -26,7 +26,7 @@ from repro.runtime import (
 
 @pytest.fixture(scope="module")
 def program(purchasing_weave):
-    return program_from_weave(purchasing_weave, "minimal")
+    return program_from_weave(purchasing_weave, "minimal", target="runtime")
 
 
 def purchasing_plans(count):
