@@ -385,6 +385,145 @@ def _case_plans(program, count: int) -> Dict[str, Dict[str, str]]:
     return plans
 
 
+def _run_verify_command(arguments) -> int:
+    from repro.errors import CycleError
+    from repro.lint import Baseline, LintConfig, LintContext, render, run_lint
+    from repro.programs import program_from_weave
+    from repro.verify import verify_program
+
+    try:
+        _process, result = _weave(arguments.workload)
+    except CycleError as error:
+        print(
+            "error SYNC003 [process:%s] %s" % (arguments.workload, error),
+            file=sys.stderr,
+        )
+        return 1
+
+    baseline = None
+    if arguments.baseline:
+        try:
+            baseline = Baseline.load(arguments.baseline)
+        except (OSError, ValueError) as error:
+            print("cannot load baseline: %s" % error, file=sys.stderr)
+            return 2
+
+    program = program_from_weave(result, which=arguments.set, target="runtime")
+    obs = _make_obs(arguments)
+    report = verify_program(
+        program, state_limit=arguments.state_limit, obs=obs
+    )
+    _flush_obs(obs, arguments)
+
+    config = LintConfig.from_codes(
+        select=_split_codes(arguments.select) or ["VER"],
+        ignore=_split_codes(arguments.ignore),
+        fail_on=arguments.fail_on,
+        baseline=baseline,
+    )
+    context = LintContext.from_weave(result)
+    context.verification = report
+    lint_report = run_lint(context, config)
+    if arguments.format == "text":
+        for line in report.summary_lines():
+            print(line)
+        print()
+    print(
+        render(lint_report, arguments.format, title=arguments.workload), end=""
+    )
+    return lint_report.exit_code(config.fail_on)
+
+
+def _run_petri_command(arguments) -> int:
+    import json as json_module
+
+    from repro.errors import PetriNetError
+    from repro.petri.from_constraints import constraint_set_to_petri_net
+    from repro.petri.reachability import build_reachability_graph
+    from repro.petri.soundness import check_soundness, workflow_places
+    from repro.programs import select_constraint_set
+    from repro.verify import petri_cross_check
+
+    _process, result = _weave(arguments.workload)
+    sc = select_constraint_set(result, arguments.set)
+    try:
+        net, initial = constraint_set_to_petri_net(sc)
+    except PetriNetError as error:
+        print("petri translation failed: %s" % error, file=sys.stderr)
+        return 2
+
+    graph = build_reachability_graph(
+        net, initial, state_limit=arguments.state_limit
+    )
+    soundness = check_soundness(net, state_limit=arguments.state_limit)
+    cross = petri_cross_check(sc, state_limit=arguments.state_limit)
+
+    _source, sink = workflow_places(net)
+    terminals = []
+    for index, marking in enumerate(graph.markings):
+        if net.enabled_transitions(marking):
+            continue
+        kind = (
+            "final"
+            if sink is not None and marking.count(sink) >= 1
+            else "deadlock"
+        )
+        terminals.append(
+            {
+                "kind": kind,
+                "marking": str(marking),
+                "witness": graph.witness_path(index),
+            }
+        )
+
+    payload = {
+        "workload": arguments.workload,
+        "set": arguments.set,
+        "places": len(net.places),
+        "transitions": len(net.transitions),
+        "reachable_markings": len(graph),
+        "truncated": graph.truncated,
+        "sound": soundness.is_sound,
+        "problems": list(soundness.problems),
+        "dead_transitions": list(soundness.dead_transitions),
+        "stuck_witness": list(soundness.stuck_witness),
+        "terminal_markings": terminals,
+        "verifier_predicts_sound": cross.predicted_sound,
+        "verifier_agrees": cross.agrees,
+    }
+    if arguments.format == "json":
+        print(json_module.dumps(payload, indent=2))
+    else:
+        print(
+            "petri net for %s (%s set): %d places, %d transitions"
+            % (arguments.workload, arguments.set, payload["places"],
+               payload["transitions"])
+        )
+        print(
+            "reachable markings: %d%s"
+            % (len(graph), " (truncated)" if graph.truncated else "")
+        )
+        print("sound: %s" % ("yes" if soundness.is_sound else "no"))
+        for problem in soundness.problems:
+            print("  problem: %s" % problem)
+        for terminal in terminals:
+            print(
+                "  %s marking %s via: %s"
+                % (
+                    terminal["kind"],
+                    terminal["marking"],
+                    " -> ".join(terminal["witness"]) or "<initial>",
+                )
+            )
+        print(
+            "verifier cross-check: predicts sound=%s, agrees=%s"
+            % (cross.predicted_sound, cross.agrees)
+        )
+    if cross.agrees is False:
+        return 1
+    return 0 if soundness.is_sound else 1
+
+
 def _run_serve_command(arguments) -> int:
     from repro.lint import Severity, render
     from repro.runtime import (
@@ -404,6 +543,31 @@ def _run_serve_command(arguments) -> int:
 
     _process, result = _weave(arguments.workload)
     program = program_from_weave(result, which=arguments.set, target="runtime")
+
+    if arguments.verify:
+        from repro.verify import verify_program
+
+        preflight = verify_program(program)
+        if preflight.deadlock_free is False:
+            print(
+                "verify: REFUTED — the %s constraint set can deadlock; "
+                "refusing to serve" % arguments.set,
+                file=sys.stderr,
+            )
+            for line in preflight.summary_lines():
+                print("  " + line, file=sys.stderr)
+            return 2
+        if arguments.format == "text":
+            verdict = (
+                "PROVEN deadlock-free"
+                if preflight.deadlock_free
+                else "UNKNOWN (state limit)"
+            )
+            print(
+                "verify: %s (%d states, %.3fs)"
+                % (verdict, preflight.stats.states, preflight.elapsed_seconds)
+            )
+
     plans = _case_plans(program, arguments.cases)
     policies = RetryPolicies(
         default=RetryPolicy(
@@ -843,7 +1007,96 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--format", default="text", choices=["text", "json"],
         help="run summary format (default text)",
     )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="pre-flight gate: symbolically verify deadlock-freedom before "
+        "admitting any case (exit 2 when refuted)",
+    )
     add_obs_flags(serve)
+
+    verify_cmd = subparsers.add_parser(
+        "verify",
+        help="symbolically verify the constraint program (deadlock-freedom, "
+        "dead activities, unreachable branches, inert constraints)",
+    )
+    verify_cmd.add_argument(
+        "workload",
+        nargs="?",
+        default="purchasing",
+        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+    )
+    verify_cmd.add_argument(
+        "--set",
+        default="minimal",
+        choices=["minimal", "full"],
+        help="constraint set to verify (default: the minimized set)",
+    )
+    verify_cmd.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"]
+    )
+    verify_cmd.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="rule codes or prefixes to report (default VER)",
+    )
+    verify_cmd.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="rule codes or prefixes to skip (repeatable)",
+    )
+    verify_cmd.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error"],
+        help="exit 1 when any finding is at or above this severity",
+    )
+    verify_cmd.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file",
+    )
+    verify_cmd.add_argument(
+        "--state-limit",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="abort exploration past N states (default 200000)",
+    )
+    add_obs_flags(verify_cmd)
+
+    petri_cmd = subparsers.add_parser(
+        "petri",
+        help="translate the constraint set to a Petri net and report "
+        "soundness, terminal markings and witness paths",
+    )
+    petri_cmd.add_argument(
+        "workload",
+        nargs="?",
+        default="purchasing",
+        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+    )
+    petri_cmd.add_argument(
+        "--set",
+        default="minimal",
+        choices=["minimal", "full"],
+        help="constraint set to translate (default: the minimized set)",
+    )
+    petri_cmd.add_argument(
+        "--format", default="text", choices=["text", "json"]
+    )
+    petri_cmd.add_argument(
+        "--state-limit",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="abort reachability past N markings (default 200000)",
+    )
 
     trace_cmd = subparsers.add_parser(
         "trace",
@@ -867,6 +1120,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_monitor_command(arguments)
     if arguments.command == "serve":
         return _run_serve_command(arguments)
+    if arguments.command == "verify":
+        return _run_verify_command(arguments)
+    if arguments.command == "petri":
+        return _run_petri_command(arguments)
     if arguments.command == "trace":
         return _run_trace_command(arguments)
 

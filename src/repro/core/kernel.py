@@ -255,6 +255,55 @@ def antichain_insert(masks: List[int], mask: int) -> bool:
     return True
 
 
+def antichain_covers(masks: Iterable[int], mask: int) -> bool:
+    """Is ``mask`` subsumed by some member of a minimal antichain?
+
+    ``existing & mask == existing`` is the subset test: an existing
+    (weaker, smaller) mask covers every extension of itself.
+    """
+    for existing in masks:
+        if existing & mask == existing:
+            return True
+    return False
+
+
+class AntichainFrontier:
+    """Memoized antichain frontiers keyed by an opaque context.
+
+    The verifier uses one frontier per (valuation, skipped, running)
+    context: the antichain stores the minimal executed-set masks already
+    proven completable, so symmetric interleavings — and repeated
+    ``would_strand`` queries over monotonically growing prefixes —
+    collapse into a single subset test instead of a re-exploration.
+    ``hits``/``misses`` feed the ``repro_verify_memo_*`` metrics.
+    """
+
+    def __init__(self) -> None:
+        self._chains: Dict[object, List[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return sum(len(masks) for masks in self._chains.values())
+
+    def covers(self, key: object, mask: int) -> bool:
+        masks = self._chains.get(key)
+        if masks is not None and antichain_covers(masks, mask):
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: object, mask: int) -> bool:
+        masks = self._chains.setdefault(key, [])
+        return antichain_insert(masks, mask)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 def closure_insert(closure: MaskClosure, target: int, mask: int) -> bool:
     """Insert the fact ``(target, mask)`` into a kernel closure."""
     masks = closure.get(target)

@@ -94,9 +94,14 @@ def get_rule(code: str) -> Rule:
 
 
 def _ensure_rules_loaded() -> None:
-    # The built-in rules live in repro.lint.rules and self-register on
-    # import; importing lazily here avoids a circular import at load time.
+    # Rule modules self-register on import; importing lazily here avoids a
+    # circular import at load time.  Every rule-bearing subsystem is pulled
+    # in so prefix selection (``--select VER``) and the SARIF rule table
+    # see the complete registry regardless of which command is running.
+    import repro.conformance.rules  # noqa: F401
     import repro.lint.rules  # noqa: F401
+    import repro.runtime.rules  # noqa: F401
+    import repro.verify.rules  # noqa: F401
 
 
 @dataclass(frozen=True)

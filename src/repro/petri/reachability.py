@@ -27,6 +27,9 @@ class ReachabilityGraph:
     edges: List[Tuple[int, str, int]] = field(default_factory=list)
     #: True if exploration hit the state limit before exhausting the space.
     truncated: bool = False
+    #: BFS parent pointers: marking index -> (parent index, transition).
+    #: The initial marking has no entry.
+    parents: Dict[int, Tuple[int, str]] = field(default_factory=dict)
 
     _index: Dict[Marking, int] = field(default_factory=dict, repr=False)
 
@@ -38,6 +41,29 @@ class ReachabilityGraph:
 
     def fired_transitions(self) -> Set[str]:
         return {transition for _, transition, _ in self.edges}
+
+    def witness_path(self, index: int) -> List[str]:
+        """The transition firing sequence from the initial marking to
+        ``markings[index]`` (shortest in BFS layers).
+
+        Lets a deadlocked marking be reported *with the run that reaches
+        it*, comparable against the symbolic verifier's VER001
+        counterexample traces.
+        """
+        steps: List[str] = []
+        cursor = index
+        while cursor in self.parents:
+            cursor, transition = self.parents[cursor]
+            steps.append(transition)
+        steps.reverse()
+        return steps
+
+    def witness_for(self, marking: Marking) -> Optional[List[str]]:
+        """Witness path to ``marking``, or None if it was never explored."""
+        index = self.index_of(marking)
+        if index is None:
+            return None
+        return self.witness_path(index)
 
     def __len__(self) -> int:
         return len(self.markings)
@@ -71,6 +97,7 @@ def build_reachability_graph(
                     successor_index = len(graph.markings)
                     graph.markings.append(successor)
                     graph._index[successor] = successor_index
+                    graph.parents[successor_index] = (index, transition)
                     next_frontier.append(successor_index)
                 graph.edges.append((index, transition, successor_index))
         frontier = next_frontier

@@ -35,6 +35,10 @@ class SoundnessReport:
     truncated: bool
     reachable_markings: int
     problems: Tuple[str, ...] = ()
+    #: transition firing sequence witnessing the first marking that cannot
+    #: complete (option-to-complete violations only) — comparable against
+    #: the symbolic verifier's VER001 counterexample traces.
+    stuck_witness: Tuple[str, ...] = ()
 
     @property
     def is_sound(self) -> bool:
@@ -133,8 +137,24 @@ def check_soundness(
         and graph.index_of(final) is not None
         and all(i in indices_reaching_final for i in range(len(graph.markings)))
     )
+    stuck_witness: Tuple[str, ...] = ()
     if not option_to_complete:
-        problems.append("some reachable marking cannot complete")
+        stuck = next(
+            (
+                i
+                for i in range(len(graph.markings))
+                if i not in indices_reaching_final
+            ),
+            None,
+        )
+        if stuck is not None:
+            stuck_witness = tuple(graph.witness_path(stuck))
+            problems.append(
+                "some reachable marking cannot complete (witness: %s)"
+                % (" -> ".join(stuck_witness) or "<initial marking>")
+            )
+        else:
+            problems.append("some reachable marking cannot complete")
 
     proper_completion = True
     for marking in graph.markings:
@@ -158,4 +178,5 @@ def check_soundness(
         truncated=graph.truncated,
         reachable_markings=len(graph),
         problems=tuple(problems),
+        stuck_witness=stuck_witness,
     )

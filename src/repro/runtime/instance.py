@@ -247,16 +247,74 @@ class CaseInstance:
         )
         if unfinished or self._held_finishes:
             stuck = unfinished or sorted(self._held_finishes)
+            message = "case stalled with unfinished activities: %s" % ", ".join(stuck)
             self._fail(
                 self.now,
                 DEADLOCK,
-                "case stalled with unfinished activities: %s" % ", ".join(stuck),
+                message,
+                diagnostic=Diagnostic(
+                    code=DEADLOCK,
+                    severity=Severity.ERROR,
+                    message="[%s] %s" % (self.case, message),
+                    location=SourceLocation("case", self.case),
+                    evidence=(
+                        "case: %s" % self.case,
+                        "time: %.1f" % self.now,
+                    )
+                    + self._deadlock_evidence(stuck),
+                ),
             )
             return False
         self.status = CaseStatus.COMPLETED
         if self._journal is not None:
             self._journal.complete(self.case, self.makespan, COMPLETED)
         return False
+
+    def _deadlock_evidence(self, stuck: List[str]) -> Tuple[str, ...]:
+        """Per-activity blocking detail for RT004: the unsatisfied mask
+        unpacked back into constraint ids via the program's interner, using
+        the same phrasing as the verifier's VER001 counterexamples so the
+        two reports cross-reference.  Cold path — only runs on failure."""
+        masks = self._program.masks()
+        resolved = 0
+        for name, status in self._status.items():
+            if status in (_ActivityStatus.DONE, _ActivityStatus.SKIPPED):
+                index = masks.index.get(name)
+                if index is not None:
+                    resolved |= 1 << index
+        evidence: List[str] = []
+        for name in stuck:
+            if name not in masks.index:
+                continue
+            if self._status.get(name) is _ActivityStatus.RUNNING:
+                evidence.append("%s is RUNNING but its finish is gated" % name)
+                continue
+            if self._fate(name) is None:
+                waiting = sorted(
+                    cond.guard
+                    for cond in self._program.guards.get(name, frozenset())
+                )
+                evidence.append(
+                    "%s waits on undecided guard(s) %s" % (name, ", ".join(waiting))
+                )
+                continue
+            blockers = masks.blocking_constraints(name, resolved)
+            if blockers:
+                evidence.append(
+                    "%s blocked by unsatisfied constraint(s): %s"
+                    % (name, ", ".join(str(c) for c in blockers))
+                )
+            elif not self._message_ready(name, self.now):
+                evidence.append(
+                    "%s awaits a service callback that never arrived" % name
+                )
+            elif self._exclusive_blocked(name):
+                evidence.append("%s blocked by a RUNNING exclusive partner" % name)
+            elif self._fine_grained_start_blocked(name):
+                evidence.append("%s start-gated by a fine-grained dependency" % name)
+            else:
+                evidence.append("%s is blocked" % name)
+        return tuple(evidence)
 
     def _fail(
         self,

@@ -121,6 +121,14 @@ class ConstraintProgram:
     def outcome_domain(self, guard: str) -> List[str]:
         return sorted(self.domains.domain(guard))
 
+    def masks(self) -> "MaskProgram":
+        """The interned bitmask view of this program (built once, cached)."""
+        view = getattr(self, "_mask_view", None)
+        if view is None:
+            view = MaskProgram(self)
+            self._mask_view = view
+        return view
+
 
 def compile_program(
     process: BusinessProcess,
@@ -149,6 +157,289 @@ def compile_program(
         fine_grained=tuple(fine_grained),
         exclusives=tuple(exclusives),
     )
+
+
+@dataclass(frozen=True)
+class MaskActivity:
+    """Compiled bitmask facts for one activity.
+
+    All masks live in the program's shared :class:`~repro.core.kernel.Interner`
+    universe: activity bits are dense node ids, condition bits are interned
+    ``Cond`` positions.  The runtime's readiness predicate for activity ``a``
+    becomes ``pred_mask & ~resolved == 0`` and its fate test a pair of mask
+    intersections — the exact tests :mod:`repro.verify` explores symbolically.
+    """
+
+    name: str
+    index: int
+    bit: int
+    is_guard: bool
+    #: sources of incoming constraints (activity bits); conditionality is
+    #: deliberately ignored here — it only matters through guard maps, the
+    #: same asymmetry ``CaseInstance._constraints_satisfied`` implements.
+    pred_mask: int
+    #: condition bits that must all be present in the valuation to run.
+    req_cond_mask: int
+    #: valuation bits contradicting a required condition (sibling values).
+    conflict_mask: int
+    #: activity bits of the guards this activity's fate reads.
+    guard_dep_mask: int
+    #: for branching guards: ``(outcome, valuation bit mask)`` per domain value.
+    outcome_bits: Tuple[Tuple[str, int], ...]
+    #: mentioned by fine-grained / exclusive obligations: start and finish
+    #: are distinct transitions (a ``running`` phase is observable).
+    two_phase: bool
+    #: activity bits whose RUNNING status blocks this activity's start.
+    exclusive_mask: int
+    #: fine-grained gates: (left bit, left-must-be-finished?, vacuous-if-skipped)
+    start_gates: Tuple[Tuple[int, bool], ...]
+    finish_gates: Tuple[Tuple[int, bool], ...]
+    #: for bound RECEIVEs: one mask of invoker activities per request port.
+    await_ports: Optional[Tuple[int, ...]]
+    #: False when the awaited service can never call back (synchronous, or
+    #: some request port has no invoking activity in the program).
+    await_possible: bool
+
+
+class MaskProgram:
+    """Dense bitmask compilation of a :class:`ConstraintProgram`.
+
+    This is the *shared ready-set test*: the verifier's successor relation
+    and the runtime's deadlock diagnostics both evaluate these masks, so a
+    ``VER001`` counterexample and an ``RT004`` failure name the same
+    blocking constraints.
+    """
+
+    def __init__(self, program: ConstraintProgram) -> None:
+        # Imported here (not at module top) to keep the runtime importable
+        # without pulling the kernel into every case-serving process.
+        from repro.core.kernel import Interner
+
+        self.program = program
+        self.interner = Interner()
+        order = program.activities
+        self.index: Dict[str, int] = {}
+        for name in order:
+            self.index[name] = self.interner.node_id(name)
+        self.all_mask = (1 << len(order)) - 1 if order else 0
+
+        # Intern every referenced condition plus the full declared domain of
+        # each referenced guard, so "resolved to another value" is visible
+        # to the fate test through sibling conflict masks.
+        referenced = sorted({c for conds in program.guards.values() for c in conds})
+        referenced_guards = sorted({c.guard for c in referenced})
+        for cond in referenced:
+            self.interner.cond_bit(cond)
+        for guard in referenced_guards:
+            for value in sorted(program.domains.domain(guard)):
+                self.interner.cond_bit(Cond(guard, value))
+
+        invoker_masks: Dict[Tuple[str, str], int] = {}
+        for name in order:
+            invokes = program.info[name].invokes
+            if invokes is not None:
+                invoker_masks[invokes] = invoker_masks.get(invokes, 0) | (
+                    1 << self.index[name]
+                )
+
+        two_phase_names = set()
+        for hb in program.fine_grained:
+            two_phase_names.add(hb.left.activity)
+            two_phase_names.add(hb.right.activity)
+        two_phase_names.update(program.exclusive_partners)
+
+        activities: List[MaskActivity] = []
+        for position, name in enumerate(order):
+            index = self.index[name]
+            bit = 1 << index
+            info = program.info[name]
+            pred_mask = 0
+            for constraint in program.incoming.get(name, ()):
+                source_index = self.index.get(constraint.source)
+                if source_index is not None:
+                    pred_mask |= 1 << source_index
+            req_cond_mask = 0
+            conflict_mask = 0
+            guard_dep_mask = 0
+            for cond in program.guards.get(name, frozenset()):
+                cond_mask = 1 << self.interner.cond_bit(cond)
+                req_cond_mask |= cond_mask
+                conflict_mask |= self.interner.conflict_of(cond_mask)
+                guard_index = self.index.get(cond.guard)
+                if guard_index is not None:
+                    guard_dep_mask |= 1 << guard_index
+
+            outcome_bits: Tuple[Tuple[str, int], ...] = ()
+            if info.is_guard and name in {c.guard for c in referenced}:
+                outcome_bits = tuple(
+                    (value, 1 << self.interner.cond_bit(Cond(name, value)))
+                    for value in program.outcome_domain(name)
+                )
+
+            exclusive_mask = 0
+            for partner in program.exclusive_partners.get(name, ()):
+                partner_index = self.index.get(partner)
+                if partner_index is not None:
+                    exclusive_mask |= 1 << partner_index
+
+            start_gates = tuple(
+                (1 << self.index[hb.left.activity],
+                 hb.left.state is ActivityState.FINISH)
+                for hb in program.fine_on_start.get(name, ())
+                if hb.left.activity in self.index
+            )
+            finish_gates = tuple(
+                (1 << self.index[hb.left.activity],
+                 hb.left.state is ActivityState.FINISH)
+                for hb in program.fine_on_finish.get(name, ())
+                if hb.left.activity in self.index
+            )
+
+            await_ports: Optional[Tuple[int, ...]] = None
+            await_possible = True
+            if info.awaits is not None:
+                service = program.process.service(info.awaits)
+                await_ports = tuple(
+                    invoker_masks.get((service.name, port.name), 0)
+                    for port in service.request_ports
+                )
+                await_possible = service.asynchronous and all(await_ports)
+
+            activities.append(
+                MaskActivity(
+                    name=name,
+                    index=index,
+                    bit=bit,
+                    is_guard=info.is_guard,
+                    pred_mask=pred_mask,
+                    req_cond_mask=req_cond_mask,
+                    conflict_mask=conflict_mask,
+                    guard_dep_mask=guard_dep_mask,
+                    outcome_bits=outcome_bits,
+                    two_phase=name in two_phase_names,
+                    exclusive_mask=exclusive_mask,
+                    start_gates=start_gates,
+                    finish_gates=finish_gates,
+                    await_ports=await_ports,
+                    await_possible=await_possible,
+                )
+            )
+        self.activities: Tuple[MaskActivity, ...] = tuple(activities)
+
+        # Projection table: a branching guard's valuation bits stop mattering
+        # once every activity whose fate reads them is resolved.
+        branch_guards: List[Tuple[int, int]] = []
+        for act in self.activities:
+            if not act.outcome_bits:
+                continue
+            dependents = 0
+            for other in self.activities:
+                if other.guard_dep_mask & act.bit:
+                    dependents |= other.bit
+            guard_value_bits = 0
+            for _, value_mask in act.outcome_bits:
+                guard_value_bits |= value_mask
+            # Keep only this guard's bits (value_bits may span other guards).
+            branch_guards.append((dependents, guard_value_bits))
+        self.branch_guards: Tuple[Tuple[int, int], ...] = tuple(branch_guards)
+
+    # -- the shared ready-set / fate tests -----------------------------------
+
+    def fate(self, act: MaskActivity, valuation: int, skipped: int) -> Optional[bool]:
+        """True = will run, False = must skip, None = undecided (bitmask twin
+        of ``CaseInstance._fate``)."""
+        if valuation & act.conflict_mask:
+            return False
+        if skipped & act.guard_dep_mask:
+            return False
+        if act.req_cond_mask & ~valuation == 0:
+            return True
+        return None
+
+    def ready(self, act: MaskActivity, resolved: int) -> bool:
+        """The runtime's constraint readiness test: every incoming source
+        DONE or SKIPPED."""
+        return act.pred_mask & ~resolved == 0
+
+    def unsatisfied(self, act: MaskActivity, resolved: int) -> int:
+        """The blocking sources as a mask (for RT004/VER001 diagnostics)."""
+        return act.pred_mask & ~resolved
+
+    def blocking_constraints(self, name: str, resolved: int) -> List[Constraint]:
+        """Unpack the unsatisfied mask back into the constraint objects."""
+        act = self.activities[self._position(name)]
+        blocked_bits = self.unsatisfied(act, resolved)
+        blockers: List[Constraint] = []
+        for constraint in self.program.incoming.get(name, ()):
+            source_index = self.index.get(constraint.source)
+            if source_index is not None and blocked_bits & (1 << source_index):
+                blockers.append(constraint)
+        return blockers
+
+    def message_ready(self, act: MaskActivity, done: int) -> bool:
+        if act.await_ports is None:
+            return True
+        if not act.await_possible:
+            return False
+        return all(mask & done for mask in act.await_ports)
+
+    def start_blocked(self, act: MaskActivity, done: int, running: int,
+                      skipped: int) -> bool:
+        started = done | running
+        for left_bit, needs_finish in act.start_gates:
+            if skipped & left_bit:
+                continue  # vacuous: the left side was skipped
+            if needs_finish:
+                if not done & left_bit:
+                    return True
+            elif not started & left_bit:
+                return True
+        return False
+
+    def finish_blocked(self, act: MaskActivity, done: int, running: int,
+                       skipped: int) -> bool:
+        started = done | running
+        for left_bit, needs_finish in act.finish_gates:
+            if skipped & left_bit:
+                continue
+            if needs_finish:
+                if not done & left_bit:
+                    return True
+            elif not started & left_bit:
+                return True
+        return False
+
+    def project_valuation(self, valuation: int, pending: int) -> int:
+        """Drop valuation bits no pending activity's fate can still read."""
+        for dependents, value_bits in self.branch_guards:
+            if dependents & pending == 0:
+                valuation &= ~value_bits
+        return valuation
+
+    # -- convenience ---------------------------------------------------------
+
+    def _position(self, name: str) -> int:
+        position = self.index.get(name)
+        if position is None:
+            raise SchedulingError("unknown activity %r" % name)
+        return position
+
+    def index_bit(self, name: str) -> int:
+        return 1 << self._position(name)
+
+    def mask_of(self, names: Iterable[str]) -> int:
+        mask = 0
+        for name in names:
+            mask |= 1 << self._position(name)
+        return mask
+
+    def names_of(self, mask: int) -> List[str]:
+        found = []
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            found.append(self.interner.node_name(low.bit_length() - 1))
+        return found
 
 
 # The historical home of the runtime-compiling ``program_from_weave``; the

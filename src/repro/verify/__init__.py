@@ -1,0 +1,53 @@
+"""Symbolic verification of compiled constraint programs.
+
+``repro.verify`` exhaustively explores the guard-outcome state space of a
+:class:`~repro.runtime.program.ConstraintProgram` over the kernel's dense
+bitmask representation and proves or refutes, with counterexample traces:
+
+* **VER001** — deadlock-freedom under every guard valuation;
+* **VER002** — dead activities no execution can ever fire;
+* **VER003** — guard branches no execution can ever take;
+* **VER004** — constraints that never influence a ready-set decision;
+* **VER005** — constraint swaps that would strand an in-flight case
+  (:func:`would_strand` / :func:`migration_strands`).
+
+The successor relation is the *runtime's own* ready-set test (shared via
+:meth:`ConstraintProgram.masks`), so the verifier analyzes exactly what
+serving executes; :func:`petri_cross_check` differentially validates the
+verdicts against the independent :mod:`repro.petri` soundness checker.
+"""
+
+from repro.verify.crosscheck import CrossCheck, petri_cross_check
+from repro.verify.engine import (
+    VerificationReport,
+    synthesize_process,
+    verify_constraints,
+    verify_program,
+)
+from repro.verify.rules import VER_CODES
+from repro.verify.space import (
+    DEFAULT_STATE_LIMIT,
+    Exploration,
+    SpaceStats,
+    StateSpace,
+    Terminal,
+)
+from repro.verify.strand import StrandReport, migration_strands, would_strand
+
+__all__ = [
+    "CrossCheck",
+    "DEFAULT_STATE_LIMIT",
+    "Exploration",
+    "SpaceStats",
+    "StateSpace",
+    "StrandReport",
+    "Terminal",
+    "VER_CODES",
+    "VerificationReport",
+    "migration_strands",
+    "petri_cross_check",
+    "synthesize_process",
+    "verify_constraints",
+    "verify_program",
+    "would_strand",
+]

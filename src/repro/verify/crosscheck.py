@@ -1,0 +1,71 @@
+"""Differential cross-check: symbolic verifier vs the petri soundness checker.
+
+:func:`repro.petri.from_constraints.constraint_set_to_petri_net` translates
+a constraint set into a workflow net whose classical soundness notion
+decomposes into exactly the verifier's first three verdicts:
+
+* *option to complete* fails  ⇔  a reachable deadlock exists (VER001);
+* *dead transitions* exist    ⇔  a dead activity (VER002) or an
+  unreachable guard branch (VER003) exists — every ``exec__a__v``
+  transition is one (activity, outcome) pair.
+
+So on the service-free abstraction (:func:`repro.verify.engine
+.verify_constraints` — the same information the translation consumes) the
+two engines must agree.  The cross-check runs both and compares; any
+disagreement is a bug in one of them, which is precisely what the
+bundled-workload differential test pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.petri.from_constraints import constraint_set_to_petri_net
+from repro.petri.reachability import DEFAULT_STATE_LIMIT as PETRI_STATE_LIMIT
+from repro.petri.soundness import SoundnessReport, check_soundness
+from repro.verify.engine import VerificationReport, verify_constraints
+from repro.verify.space import DEFAULT_STATE_LIMIT
+
+
+@dataclass
+class CrossCheck:
+    """Both verdicts on one constraint set, plus the agreement bit."""
+
+    verification: VerificationReport
+    soundness: SoundnessReport
+    #: the verifier's prediction of the net-level soundness verdict.
+    predicted_sound: Optional[bool]
+    #: None when either side was truncated (no claim either way).
+    agrees: Optional[bool]
+
+
+def petri_cross_check(
+    sc: SynchronizationConstraintSet,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+    petri_state_limit: int = PETRI_STATE_LIMIT,
+) -> CrossCheck:
+    """Run both engines on ``sc`` and compare their verdicts."""
+    verification = verify_constraints(sc, state_limit=state_limit)
+    net, initial = constraint_set_to_petri_net(sc)
+    soundness = check_soundness(net, state_limit=petri_state_limit)
+
+    if verification.deadlock_free is None:
+        predicted: Optional[bool] = None
+    else:
+        predicted = (
+            verification.deadlock_free
+            and not verification.dead_activities
+            and not verification.unreachable_branches
+        )
+    if predicted is None or soundness.truncated:
+        agrees: Optional[bool] = None
+    else:
+        agrees = predicted == soundness.is_sound
+    return CrossCheck(
+        verification=verification,
+        soundness=soundness,
+        predicted_sound=predicted,
+        agrees=agrees,
+    )

@@ -1,0 +1,363 @@
+"""The ``repro.verify`` entry points: prove or refute whole-process properties.
+
+:func:`verify_program` exhaustively explores the reduced state space of a
+compiled :class:`~repro.runtime.program.ConstraintProgram` and returns a
+:class:`VerificationReport` answering, with counterexamples where refuted:
+
+========  =============================================================
+VER001    deadlock-freedom under every guard valuation
+VER002    dead activities no execution can ever fire
+VER003    guard branches no execution can ever take
+VER004    constraints that never influence a ready-set decision
+========  =============================================================
+
+(`VER005`, the two-program strand analysis, lives in
+:mod:`repro.verify.strand`.)
+
+:func:`verify_constraints` is the service-free abstraction used by the
+petri cross-check: it synthesizes a minimal process around a bare
+constraint set, so the verdict depends only on the constraint structure —
+the same information :func:`repro.petri.from_constraints
+.constraint_set_to_petri_net` translates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.constraints import SynchronizationConstraintSet
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+from repro.runtime.program import ConstraintProgram, compile_program
+from repro.verify.influence import influential_constraints
+from repro.verify.rules import (
+    DEADLOCK_REACHABLE,
+    DEAD_ACTIVITY,
+    INERT_CONSTRAINT,
+    UNREACHABLE_BRANCH,
+)
+from repro.verify.space import (
+    DEFAULT_STATE_LIMIT,
+    Exploration,
+    SpaceStats,
+    StateSpace,
+    format_transition,
+)
+
+
+@dataclass
+class VerificationReport:
+    """Everything one exhaustive verification run established."""
+
+    process: str
+    activities: int
+    constraints: int
+    stats: SpaceStats
+    elapsed_seconds: float
+    #: ``True`` proven, ``False`` refuted, ``None`` unknown (truncated).
+    deadlock_free: Optional[bool]
+    #: formatted transition trace to the first deadlock (refutations only).
+    counterexample: Tuple[str, ...]
+    dead_activities: Tuple[str, ...]
+    #: ``(guard, value, dependents)`` per unreachable branch.
+    unreachable_branches: Tuple[Tuple[str, str, Tuple[str, ...]], ...]
+    #: constraint ids that never influence any ready-set decision.
+    inert_constraints: Tuple[str, ...]
+    #: whether the VER004 post-pass ran (it stays silent when unsound).
+    influence_analyzed: bool
+    #: distinct completed ``(executed, skipped)`` final sets.
+    distinct_finals: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.deadlock_free is True and not self.dead_activities and not (
+            self.unreachable_branches
+        )
+
+    @property
+    def states_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.stats.states / self.elapsed_seconds
+
+    def summary_lines(self) -> List[str]:
+        verdict = {
+            True: "PROVEN deadlock-free under every guard valuation",
+            False: "REFUTED: a reachable deadlock exists",
+            None: "UNKNOWN: exploration truncated at the state limit",
+        }[self.deadlock_free]
+        lines = [
+            "process %s: %d activities, %d constraints"
+            % (self.process, self.activities, self.constraints),
+            "explored %d states / %d transitions in %.3fs (%d terminals, "
+            "%d distinct final sets)"
+            % (
+                self.stats.states,
+                self.stats.transitions,
+                self.elapsed_seconds,
+                self.stats.terminals,
+                self.distinct_finals,
+            ),
+            "deadlock-freedom: %s" % verdict,
+        ]
+        if self.counterexample:
+            lines.append("counterexample: " + " -> ".join(self.counterexample))
+        lines.append(
+            "dead activities: %s"
+            % (", ".join(self.dead_activities) if self.dead_activities else "none")
+        )
+        lines.append(
+            "unreachable branches: %s"
+            % (
+                ", ".join(
+                    "%s=%s" % (guard, value)
+                    for guard, value, _ in self.unreachable_branches
+                )
+                if self.unreachable_branches
+                else "none"
+            )
+        )
+        if self.influence_analyzed:
+            lines.append(
+                "inert constraints: %s"
+                % (", ".join(self.inert_constraints) if self.inert_constraints else "none")
+            )
+        return lines
+
+
+def synthesize_process(sc: SynchronizationConstraintSet) -> BusinessProcess:
+    """A minimal service-free process hosting ``sc``'s activities.
+
+    Activities referenced as guards (by the guard maps or by conditional
+    constraints) become guard activities whose outcome domain is taken
+    from ``sc.domains``; everything else is a unit-duration compute step.
+    Used by :func:`verify_constraints` and the brute-force differential.
+    """
+    guard_names = {cond.guard for conds in sc.guards.values() for cond in conds}
+    guard_names.update(
+        constraint.source
+        for constraint in sc.constraints
+        if constraint.condition is not None
+    )
+    builder = ProcessBuilder("constraint-set")
+    for name in sc.activities:
+        if name in guard_names:
+            builder.guard(
+                name, outcomes=sorted(sc.domains.domain(name)), duration=1.0
+            )
+        else:
+            builder.compute(name, duration=1.0)
+    return builder.build()
+
+
+def verify_constraints(
+    sc: SynchronizationConstraintSet,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+    obs=None,
+) -> VerificationReport:
+    """Verify the service-free abstraction of a bare constraint set."""
+    program = compile_program(synthesize_process(sc), sc)
+    return verify_program(program, state_limit=state_limit, obs=obs)
+
+
+def verify_program(
+    program: ConstraintProgram,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+    obs=None,
+    space: Optional[StateSpace] = None,
+) -> VerificationReport:
+    """Exhaustively verify one compiled program (VER001-VER004)."""
+    if space is None:
+        space = StateSpace(program, state_limit=state_limit)
+    masks = space.masks
+    started = time.perf_counter()
+    if obs is not None:
+        with obs.tracer.span(
+            "verify.explore",
+            process=program.process.name,
+            activities=len(program.activities),
+        ):
+            exploration = space.explore(mode="full")
+    else:
+        exploration = space.explore(mode="full")
+    elapsed = time.perf_counter() - started
+
+    report = _build_report(program, masks, exploration, elapsed)
+    if obs is not None:
+        _publish_metrics(obs, report.stats, elapsed)
+    return report
+
+
+def _build_report(
+    program: ConstraintProgram,
+    masks,
+    exploration: Exploration,
+    elapsed: float,
+) -> VerificationReport:
+    stats = exploration.stats
+    diagnostics: List[Diagnostic] = []
+    location = SourceLocation("process", program.process.name)
+
+    # -- VER001 --------------------------------------------------------------
+    counterexample: Tuple[str, ...] = ()
+    if exploration.deadlock is not None:
+        deadlock_free: Optional[bool] = False
+        terminal = exploration.deadlock
+        counterexample = tuple(
+            format_transition(step) for step in exploration.trace(terminal.state)
+        )
+        diagnostics.append(
+            Diagnostic(
+                code=DEADLOCK_REACHABLE,
+                severity=Severity.ERROR,
+                message=(
+                    "a reachable deadlock strands activities %s"
+                    % ", ".join(terminal.stuck)
+                ),
+                location=location,
+                evidence=(
+                    "trace: " + (" -> ".join(counterexample) or "<initial state>"),
+                )
+                + terminal.blockers,
+            )
+        )
+    elif stats.truncated:
+        deadlock_free = None
+        diagnostics.append(
+            Diagnostic(
+                code=DEADLOCK_REACHABLE,
+                severity=Severity.WARNING,
+                message=(
+                    "verification truncated after %d states; deadlock-freedom "
+                    "is unknown" % stats.states
+                ),
+                location=location,
+                evidence=("raise --state-limit to complete the proof",),
+            )
+        )
+    else:
+        deadlock_free = True
+
+    # -- VER002 --------------------------------------------------------------
+    dead_activities: Tuple[str, ...] = ()
+    if not stats.truncated:
+        dead_mask = masks.all_mask & ~exploration.executed_ever
+        dead_activities = tuple(sorted(masks.names_of(dead_mask)))
+        for name in dead_activities:
+            diagnostics.append(
+                Diagnostic(
+                    code=DEAD_ACTIVITY,
+                    severity=Severity.ERROR,
+                    message="activity %r can never execute" % name,
+                    location=SourceLocation("activity", name),
+                    evidence=(
+                        "no run among %d explored states fires it" % stats.states,
+                    ),
+                )
+            )
+
+    # -- VER003 --------------------------------------------------------------
+    unreachable: List[Tuple[str, str, Tuple[str, ...]]] = []
+    if not stats.truncated:
+        dependents_of: Dict[Tuple[str, str], List[str]] = {}
+        for activity, conds in sorted(program.guards.items()):
+            for cond in sorted(conds):
+                dependents_of.setdefault((cond.guard, cond.value), []).append(
+                    activity
+                )
+        for (guard, value), dependents in sorted(dependents_of.items()):
+            act_index = masks.index.get(guard)
+            if act_index is None:
+                continue
+            act = masks.activities[act_index]
+            value_bit = dict(act.outcome_bits).get(value)
+            produced = (
+                value_bit is not None
+                and exploration.branch_bits_ever & value_bit != 0
+            )
+            if not produced:
+                unreachable.append((guard, value, tuple(dependents)))
+                reason = (
+                    "guard %r never resolves to %r in any execution"
+                    % (guard, value)
+                    if value_bit is not None
+                    else "%r is not an outcome of guard %r" % (value, guard)
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        code=UNREACHABLE_BRANCH,
+                        severity=Severity.WARNING,
+                        message=(
+                            "branch %s=%s is unreachable; it guards %s"
+                            % (guard, value, ", ".join(dependents))
+                        ),
+                        location=SourceLocation("activity", guard),
+                        evidence=(reason,),
+                    )
+                )
+
+    # -- VER004 --------------------------------------------------------------
+    inert, analyzed = influential_constraints(masks, exploration)
+    inert_ids = tuple(str(constraint) for constraint in inert)
+    for constraint in inert:
+        diagnostics.append(
+            Diagnostic(
+                code=INERT_CONSTRAINT,
+                severity=Severity.INFO,
+                message=(
+                    "constraint %s never influences a ready-set decision"
+                    % constraint
+                ),
+                location=SourceLocation("constraint", str(constraint)),
+                evidence=(
+                    "its source is never the sole unresolved blocker of its "
+                    "target in any reachable state",
+                ),
+            )
+        )
+
+    distinct_finals = len(
+        {
+            (terminal.done, terminal.skipped)
+            for terminal in exploration.terminals
+            if not terminal.deadlocked
+        }
+    )
+    return VerificationReport(
+        process=program.process.name,
+        activities=len(program.activities),
+        constraints=len(program.constraints),
+        stats=stats,
+        elapsed_seconds=elapsed,
+        deadlock_free=deadlock_free,
+        counterexample=counterexample,
+        dead_activities=dead_activities,
+        unreachable_branches=tuple(unreachable),
+        inert_constraints=inert_ids,
+        influence_analyzed=analyzed,
+        distinct_finals=distinct_finals,
+        diagnostics=diagnostics,
+    )
+
+
+def _publish_metrics(obs, stats: SpaceStats, elapsed: float) -> None:
+    registry = obs.metrics
+    registry.counter(
+        "repro_verify_states_total", "States explored by the verifier."
+    ).inc(stats.states)
+    registry.counter(
+        "repro_verify_transitions_total", "Transitions evaluated by the verifier."
+    ).inc(stats.transitions)
+    registry.counter(
+        "repro_verify_deadlocks_total", "Deadlocked terminal states found."
+    ).inc(stats.deadlocks)
+    registry.counter(
+        "repro_verify_memo_hits_total", "Antichain frontier subsumption hits."
+    ).inc(stats.memo_hits)
+    registry.gauge(
+        "repro_verify_last_run_seconds", "Wall time of the last verification."
+    ).set(elapsed)

@@ -1,0 +1,193 @@
+"""Which constraints ever influence a ready-set decision? (VER004)
+
+A constraint ``c = source -> target`` *influences* a ready-set decision
+when some reachable state has ``target`` pending with fate True while
+``source`` is the sole unresolved incoming source — i.e. removing ``c``
+would flip the runtime's ``_constraints_satisfied`` verdict there.  A
+constraint that never reaches such a state is semantically inert: it is
+either transitively implied (``a -> b -> c`` makes ``a -> c`` inert) or
+attached to activities whose guards make the combination unrealizable.
+
+The test runs as a post-pass over the exploration's *terminal* states
+(the persistent-set reduction preserves exactly the terminal set, so this
+is exact even though intermediate interleavings were pruned).  For each
+terminal we ask: can a prefix of this run resolve every other dependency
+of ``target`` while leaving ``source`` untouched?  Resolution is an
+AND/OR reachability problem —
+
+* an *executed* activity resolves only after **all** of its constraint
+  sources and guard dependencies resolve (AND), and, for receives, after
+  **some** executed invoker of every request port (AND of ORs);
+* a *skipped* activity resolves as soon as **any** of its failing guards
+  resolves (OR) — whichever guard decided against it first.
+
+``resolvable_without`` computes the maximal resolvable set avoiding two
+excluded nodes as a fixpoint; ``c`` influences under a terminal iff the
+other dependencies of ``target`` all land in that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.constraints import Constraint
+from repro.runtime.program import MaskProgram
+
+from repro.verify.space import Exploration, Terminal
+
+#: Beyond this many distinct terminals the post-pass is skipped (VER004
+#: degrades to "no findings" rather than slow or unsound ones).
+TERMINAL_CAP = 512
+
+
+@dataclass(frozen=True)
+class TerminalView:
+    """One deduplicated terminal plus the facts the fixpoint needs."""
+
+    done: int
+    skipped: int
+    #: for each skipped activity bit index: mask of its failing guards.
+    failing: Dict[int, int]
+    #: activity bits consultable as a pending fate-True target (deadlocks).
+    stuck_candidates: int
+
+
+def _terminal_views(
+    masks: MaskProgram, exploration: Exploration
+) -> List[TerminalView]:
+    views: Dict[Tuple[int, int, Tuple[Tuple[int, int], ...]], TerminalView] = {}
+    for terminal in exploration.terminals:
+        outcomes = exploration.outcomes_along(terminal.state)
+        valuation = _valuation_of(masks, outcomes)
+        failing: Dict[int, int] = {}
+        probe = terminal.skipped
+        while probe:
+            low = probe & -probe
+            probe ^= low
+            act = masks.activities[low.bit_length() - 1]
+            failing_mask = 0
+            for cond in masks.program.guards.get(act.name, frozenset()):
+                guard_index = masks.index.get(cond.guard)
+                if guard_index is None:
+                    continue
+                guard_bit = 1 << guard_index
+                if terminal.skipped & guard_bit:
+                    failing_mask |= guard_bit
+                elif (
+                    terminal.done & guard_bit
+                    and outcomes.get(cond.guard) not in (None, cond.value)
+                ):
+                    failing_mask |= guard_bit
+            failing[low.bit_length() - 1] = failing_mask
+        stuck_candidates = 0
+        for name in terminal.stuck:
+            act = masks.activities[masks.index[name]]
+            if (
+                not terminal.running & act.bit
+                and masks.fate(act, valuation, terminal.skipped) is True
+            ):
+                stuck_candidates |= act.bit
+        key = (terminal.done, terminal.skipped, tuple(sorted(failing.items())))
+        existing = views.get(key)
+        if existing is None:
+            views[key] = TerminalView(
+                terminal.done, terminal.skipped, failing, stuck_candidates
+            )
+        elif stuck_candidates & ~existing.stuck_candidates:
+            views[key] = TerminalView(
+                terminal.done,
+                terminal.skipped,
+                failing,
+                existing.stuck_candidates | stuck_candidates,
+            )
+    return list(views.values())
+
+
+def _valuation_of(masks: MaskProgram, outcomes: Dict[str, str]) -> int:
+    valuation = 0
+    for guard, value in outcomes.items():
+        act = masks.activities[masks.index[guard]]
+        for outcome, value_bit in act.outcome_bits:
+            if outcome == value:
+                valuation |= value_bit
+    return valuation
+
+
+def resolvable_without(
+    masks: MaskProgram, view: TerminalView, avoid: int
+) -> int:
+    """Maximal set of the terminal's resolved nodes reachable while every
+    bit in ``avoid`` stays unresolved (monotone AND/OR fixpoint)."""
+    resolved_universe = (view.done | view.skipped) & ~avoid
+    reach = 0
+    changed = True
+    while changed:
+        changed = False
+        probe = resolved_universe & ~reach
+        while probe:
+            low = probe & -probe
+            probe ^= low
+            position = low.bit_length() - 1
+            act = masks.activities[position]
+            if view.done & low:
+                need = act.pred_mask | act.guard_dep_mask
+                if need & ~reach:
+                    continue
+                if act.await_ports is not None:
+                    executed_ports = [
+                        port_mask & view.done for port_mask in act.await_ports
+                    ]
+                    if not all(port & reach for port in executed_ports if port):
+                        continue
+                    if any(not port for port in executed_ports):
+                        continue
+            else:
+                failing = view.failing.get(position, 0)
+                if failing and not failing & reach:
+                    continue
+            reach |= low
+            changed = True
+    return reach
+
+
+def influential_constraints(
+    masks: MaskProgram, exploration: Exploration
+) -> Tuple[List[Constraint], bool]:
+    """``(inert constraints, analysis ran)`` for VER004.
+
+    Returns ``([], False)`` when the analysis must stay silent: truncated
+    exploration, two-phase programs (where the reduction's terminal-set
+    argument does not cover gate/exclusive interleavings), or terminal
+    blow-up past :data:`TERMINAL_CAP`.
+    """
+    if exploration.stats.truncated:
+        return [], False
+    if any(act.two_phase for act in masks.activities):
+        return [], False
+    views = _terminal_views(masks, exploration)
+    if not views or len(views) > TERMINAL_CAP:
+        return [], False
+
+    inert: List[Constraint] = []
+    for constraint in masks.program.constraints:
+        source_index = masks.index.get(constraint.source)
+        target_index = masks.index.get(constraint.target)
+        if source_index is None or target_index is None:
+            continue
+        source_bit = 1 << source_index
+        target_bit = 1 << target_index
+        target_act = masks.activities[target_index]
+        others = (target_act.pred_mask | target_act.guard_dep_mask) & ~source_bit
+        influences = False
+        for view in views:
+            consultable = (view.done | view.stuck_candidates) & target_bit
+            if not consultable:
+                continue
+            reach = resolvable_without(masks, view, source_bit | target_bit)
+            if others & ~reach == 0:
+                influences = True
+                break
+        if not influences:
+            inert.append(constraint)
+    return inert, True

@@ -1,0 +1,98 @@
+"""VER00x verification codes, registered with the :mod:`repro.lint` engine.
+
+Like the runtime's ``RT00x`` codes, VER diagnostics are produced by a
+subsystem (the symbolic verifier) rather than a syntactic check, but
+registering them gives them the full lint treatment for free: SARIF rule
+tables, ``--select``/``--ignore`` prefixes (``VER`` selects the group),
+``--fail-on`` gating, text/JSON rendering and baselines.  The rules fire
+when a :class:`~repro.verify.engine.VerificationReport` (and, for VER005,
+a :class:`~repro.verify.strand.StrandReport`) is attached to the lint
+context as ``context.verification`` / ``context.strand``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import LintContext, rule
+
+#: Stable verification codes.
+DEADLOCK_REACHABLE = "VER001"
+DEAD_ACTIVITY = "VER002"
+UNREACHABLE_BRANCH = "VER003"
+INERT_CONSTRAINT = "VER004"
+WOULD_STRAND = "VER005"
+
+#: The verification rule codes, in reporting order.
+VER_CODES = (
+    DEADLOCK_REACHABLE,
+    DEAD_ACTIVITY,
+    UNREACHABLE_BRANCH,
+    INERT_CONSTRAINT,
+    WOULD_STRAND,
+)
+
+
+def _verification(context: LintContext, code: str) -> Iterable[Diagnostic]:
+    report = getattr(context, "verification", None)
+    if report is None:
+        return ()
+    return tuple(d for d in report.diagnostics if d.code == code)
+
+
+def _strand(context: LintContext, code: str) -> Iterable[Diagnostic]:
+    report = getattr(context, "strand", None)
+    if report is None:
+        return ()
+    return tuple(d for d in report.diagnostics if d.code == code)
+
+
+@rule(
+    DEADLOCK_REACHABLE,
+    "deadlock-reachable",
+    "some guard valuation and interleaving strands the case in a deadlock",
+    Severity.ERROR,
+)
+def check_deadlock_reachable(context: LintContext) -> Iterable[Diagnostic]:
+    return _verification(context, DEADLOCK_REACHABLE)
+
+
+@rule(
+    DEAD_ACTIVITY,
+    "dead-activity",
+    "no execution of the constraint program can ever fire the activity",
+    Severity.ERROR,
+)
+def check_dead_activity(context: LintContext) -> Iterable[Diagnostic]:
+    return _verification(context, DEAD_ACTIVITY)
+
+
+@rule(
+    UNREACHABLE_BRANCH,
+    "unreachable-guard-branch",
+    "a guarded branch can never be taken in any execution",
+    Severity.WARNING,
+)
+def check_unreachable_branch(context: LintContext) -> Iterable[Diagnostic]:
+    return _verification(context, UNREACHABLE_BRANCH)
+
+
+@rule(
+    INERT_CONSTRAINT,
+    "inert-constraint",
+    "a constraint never influences any ready-set decision",
+    Severity.INFO,
+)
+def check_inert_constraint(context: LintContext) -> Iterable[Diagnostic]:
+    return _verification(context, INERT_CONSTRAINT)
+
+
+@rule(
+    WOULD_STRAND,
+    "migration-would-strand",
+    "migrating an in-flight case to the new constraint version can deadlock it",
+    Severity.ERROR,
+)
+def check_would_strand(context: LintContext) -> Iterable[Diagnostic]:
+    return _strand(context, WOULD_STRAND)

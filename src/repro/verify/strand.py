@@ -1,0 +1,190 @@
+"""VER005: would migrating an in-flight case strand it? (ROADMAP item 2)
+
+A *constraint swap* replaces the program a running case executes against.
+The case's history — executed, skipped, guard outcomes — was produced
+under the *old* program; :func:`would_strand` re-anchors that history in
+the *new* program's universe and asks the state space whether every
+continuation can still complete.  Queries run in ``mode="deadlock"``
+against a shared :class:`~repro.verify.space.StateSpace`, so the
+antichain frontier amortizes across the many prefixes of a sweep: once a
+small executed-set is proven completable, every superset query collapses
+into one subset test.
+
+:func:`migration_strands` sweeps every reachable prefix of the old
+program (its reduced state space is exactly the set of reachable
+histories) and reports the strandable ones — the static counterpart of
+the runtime's RT004 after-the-fact diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.runtime.program import ConstraintProgram
+from repro.verify.rules import WOULD_STRAND
+from repro.verify.space import (
+    DEFAULT_STATE_LIMIT,
+    StateSpace,
+    format_transition,
+)
+
+
+@dataclass
+class StrandReport:
+    """The verdict for one (or a sweep of) migration prefix queries."""
+
+    old_process: str
+    new_process: str
+    #: prefixes that can strand: (executed names, outcomes, counterexample).
+    stranded: List[Tuple[Tuple[str, ...], Tuple[Tuple[str, str], ...], Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    prefixes_checked: int = 0
+    memo_hit_rate: float = 0.0
+    truncated: bool = False
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return not self.stranded and not self.truncated
+
+
+def _prefix_state(
+    space: StateSpace,
+    executed: Tuple[str, ...],
+    skipped: Tuple[str, ...],
+    outcomes: Dict[str, str],
+):
+    """Anchor an old-program history in the new program's mask universe.
+
+    Activities unknown to the new program are dropped (the new version
+    removed them); guard outcomes are re-interned where the guard still
+    branches.  The skip cascade then re-derives any fates the new guard
+    maps decide differently.
+    """
+    masks = space.masks
+    done = 0
+    skipped_mask = 0
+    valuation = 0
+    for name in executed:
+        index = masks.index.get(name)
+        if index is None:
+            continue
+        done |= 1 << index
+        act = masks.activities[index]
+        outcome = outcomes.get(name)
+        if act.outcome_bits:
+            chosen = dict(act.outcome_bits).get(outcome if outcome is not None else "")
+            if chosen is None:
+                # The old run never recorded an outcome (or it fell out of
+                # the new domain): take the first declared branch so the
+                # query stays answerable rather than wedging on a missing
+                # valuation bit.
+                chosen = act.outcome_bits[0][1]
+            valuation |= chosen
+    for name in skipped:
+        index = masks.index.get(name)
+        if index is not None:
+            skipped_mask |= 1 << index
+    return space.initial_state(done, 0, skipped_mask, valuation)
+
+
+def would_strand(
+    old_program: ConstraintProgram,
+    new_program: ConstraintProgram,
+    executed: Tuple[str, ...],
+    skipped: Tuple[str, ...] = (),
+    outcomes: Optional[Dict[str, str]] = None,
+    space: Optional[StateSpace] = None,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+) -> StrandReport:
+    """Can a case with this old-program history deadlock under the new one?
+
+    ``old_program`` documents the provenance of the history (its name is
+    reported); the decision itself explores only ``new_program``.
+    """
+    if space is None:
+        space = StateSpace(new_program, state_limit=state_limit)
+    report = StrandReport(
+        old_process=old_program.process.name,
+        new_process=new_program.process.name,
+    )
+    _check_prefix(space, report, tuple(executed), tuple(skipped), outcomes or {})
+    report.memo_hit_rate = space.frontier.hit_rate
+    return report
+
+
+def migration_strands(
+    old_program: ConstraintProgram,
+    new_program: ConstraintProgram,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+) -> StrandReport:
+    """Sweep every reachable old-program prefix through :func:`would_strand`."""
+    old_space = StateSpace(old_program, state_limit=state_limit)
+    old_exploration = old_space.explore(mode="full")
+    new_space = StateSpace(new_program, state_limit=state_limit)
+    report = StrandReport(
+        old_process=old_program.process.name,
+        new_process=new_program.process.name,
+        truncated=old_exploration.stats.truncated,
+    )
+    old_masks = old_space.masks
+    for state in old_exploration.parents:
+        done, running, skipped_mask, _ = state
+        if running:
+            continue  # migrate only at quiescent points (no activity mid-run)
+        executed = tuple(sorted(old_masks.names_of(done)))
+        skipped = tuple(sorted(old_masks.names_of(skipped_mask)))
+        outcomes = old_exploration.outcomes_along(state)
+        _check_prefix(new_space, report, executed, skipped, outcomes)
+    report.memo_hit_rate = new_space.frontier.hit_rate
+    return report
+
+
+def _check_prefix(
+    space: StateSpace,
+    report: StrandReport,
+    executed: Tuple[str, ...],
+    skipped: Tuple[str, ...],
+    outcomes: Dict[str, str],
+) -> None:
+    report.prefixes_checked += 1
+    start = _prefix_state(space, executed, skipped, outcomes)
+    exploration = space.explore(start=start, mode="deadlock")
+    if exploration.stats.truncated:
+        report.truncated = True
+        return
+    if exploration.deadlock is None:
+        return
+    terminal = exploration.deadlock
+    counterexample = tuple(
+        format_transition(step) for step in exploration.trace(terminal.state)
+    )
+    frozen_outcomes = tuple(sorted(outcomes.items()))
+    report.stranded.append((executed, frozen_outcomes, counterexample))
+    report.diagnostics.append(
+        Diagnostic(
+            code=WOULD_STRAND,
+            severity=Severity.ERROR,
+            message=(
+                "migrating a case with executed prefix {%s} to %r strands %s"
+                % (
+                    ", ".join(executed) or "",
+                    report.new_process,
+                    ", ".join(terminal.stuck),
+                )
+            ),
+            location=SourceLocation("process", report.new_process),
+            evidence=(
+                "outcomes: %s"
+                % (
+                    ", ".join("%s=%s" % kv for kv in frozen_outcomes) or "<none>"
+                ),
+                "continuation: "
+                + (" -> ".join(counterexample) or "<no step possible>"),
+            )
+            + terminal.blockers,
+        )
+    )

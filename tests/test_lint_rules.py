@@ -45,6 +45,11 @@ ALL_CODES = (
     "SYNC004",
     "SYNC005",
     "SYNC006",
+    "VER001",
+    "VER002",
+    "VER003",
+    "VER004",
+    "VER005",
 )
 
 

@@ -1,0 +1,160 @@
+"""The ``dscweaver verify`` / ``dscweaver petri`` commands and the
+``serve --verify`` pre-flight gate."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_purchasing_is_proven_exit_zero(self, capsys):
+        assert main(["verify", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        assert "PROVEN deadlock-free" in out
+        assert "dead activities: none" in out
+        assert "inert constraints: none" in out
+
+    def test_full_set_surfaces_inert_constraints(self, capsys):
+        code = main(
+            ["verify", "purchasing", "--set", "full", "--fail-on", "info"]
+        )
+        assert code == 1  # VER004 info findings gate at --fail-on info
+        out = capsys.readouterr().out
+        assert "VER004" in out
+        assert "never influences" in out
+
+    def test_minimal_set_is_clean_even_at_fail_on_info(self, capsys):
+        assert main(["verify", "purchasing", "--fail-on", "info"]) == 0
+
+    def test_select_prefix_filters_codes(self, capsys):
+        code = main(
+            [
+                "verify",
+                "purchasing",
+                "--set",
+                "full",
+                "--select",
+                "VER001",
+                "--fail-on",
+                "info",
+            ]
+        )
+        assert code == 0  # the VER004 findings are deselected
+        assert "VER004" not in capsys.readouterr().out
+
+    def test_ignore_silences_inert_findings(self, capsys):
+        code = main(
+            [
+                "verify",
+                "purchasing",
+                "--set",
+                "full",
+                "--ignore",
+                "VER004",
+                "--fail-on",
+                "info",
+            ]
+        )
+        assert code == 0
+
+    def test_json_format(self, capsys):
+        assert main(["verify", "purchasing", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subject"] == "purchasing"
+        assert payload["counts"]["error"] == 0
+
+    def test_sarif_format_lists_the_ver_rules(self, capsys):
+        assert main(["verify", "purchasing", "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        rules = {
+            rule["id"]
+            for rule in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"VER001", "VER002", "VER003", "VER004", "VER005"} <= rules
+
+    def test_state_limit_flag_reports_unknown(self, capsys):
+        code = main(["verify", "purchasing", "--state-limit", "3"])
+        assert code == 0  # truncation is a warning, default gate is error
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out
+
+    def test_all_workloads_verify_green(self, capsys):
+        for workload in ("purchasing", "deployment", "loan", "travel", "insurance"):
+            assert main(["verify", workload]) == 0, workload
+            assert "PROVEN" in capsys.readouterr().out
+
+
+class TestLintSelectPrefixes:
+    # Satellite 2: --select/--ignore accept code prefixes on the CLI.
+    def test_lint_select_prefix_group(self, capsys):
+        assert main(["lint", "purchasing", "--select", "SYNC"]) == 0
+        out = capsys.readouterr().out
+        assert "RED001" not in out
+
+    def test_lint_ignore_prefix_group(self, capsys):
+        assert main(["lint", "purchasing", "--ignore", "RED", "--fail-on", "info"]) == 0
+
+    def test_verify_select_prefix_group(self, capsys):
+        code = main(
+            ["verify", "purchasing", "--set", "full", "--select", "VER", "--fail-on", "info"]
+        )
+        assert code == 1
+        assert "VER004" in capsys.readouterr().out
+
+
+class TestPetriCommand:
+    def test_purchasing_is_sound_with_witnesses(self, capsys):
+        assert main(["petri", "purchasing"]) == 0
+        out = capsys.readouterr().out
+        assert "sound: yes" in out
+        assert "cross-check" in out
+        assert "final" in out
+
+    def test_json_format_carries_the_cross_check(self, capsys):
+        assert main(["petri", "purchasing", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sound"] is True
+        assert payload["verifier_agrees"] is True
+        assert payload["verifier_predicts_sound"] is True
+        finals = [
+            t for t in payload["terminal_markings"] if t["kind"] == "final"
+        ]
+        assert finals and all(t["witness"] for t in finals)
+
+    def test_all_workloads_round_trip(self, capsys):
+        for workload in ("purchasing", "deployment", "loan", "travel", "insurance"):
+            code = main(["petri", workload, "--format", "json"])
+            capsys.readouterr()
+            assert code in (0, 2), workload  # 2 = untranslatable guards
+
+
+class TestServeVerifyGate:
+    def test_gate_passes_and_prints_the_proof(self, capsys):
+        assert main(["serve", "purchasing", "--cases", "2", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: PROVEN deadlock-free" in out
+        assert "completed" in out
+
+    def test_gate_refuses_refuted_programs(self, capsys, monkeypatch):
+        import repro.verify as verify_module
+
+        real = verify_module.verify_program
+
+        def refuted(program, **kwargs):
+            report = real(program, **kwargs)
+            report.deadlock_free = False
+            return report
+
+        monkeypatch.setattr(verify_module, "verify_program", refuted)
+        assert main(["serve", "purchasing", "--cases", "2", "--verify"]) == 2
+        captured = capsys.readouterr()
+        assert "REFUTED" in captured.err
+        assert "refusing to serve" in captured.err
+        assert "completed" not in captured.out
+
+    def test_without_the_flag_no_gate_runs(self, capsys):
+        assert main(["serve", "purchasing", "--cases", "2"]) == 0
+        assert "verify:" not in capsys.readouterr().out

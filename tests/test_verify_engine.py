@@ -1,0 +1,503 @@
+"""Unit tests for the symbolic verifier (`repro.verify`).
+
+Each VER code gets a purpose-built program whose verdict is known by
+construction: proven chains, refuted cycles, valuation-dependent
+deadlocks, dead activities, unreachable branches, inert constraints,
+two-phase (exclusive / fine-grained) interleaving deadlocks, service
+callback deadlocks, and the VER005 migration strand analysis.  The
+runtime RT004 evidence and the petri witness paths are checked against
+the same scenarios so the three reports cross-reference.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.dscl.ast import Exclusive, HappenBefore, StateRef
+from repro.lint import LintConfig, LintContext, Severity, run_lint
+from repro.model.activity import ActivityState
+from repro.model.builder import ProcessBuilder
+from repro.runtime.instance import CaseInstance, CaseStatus
+from repro.runtime.program import compile_program
+from repro.verify import (
+    StateSpace,
+    migration_strands,
+    petri_cross_check,
+    synthesize_process,
+    verify_constraints,
+    verify_program,
+    would_strand,
+)
+
+
+def _sc(constraints, activities, guards=None, domains=None):
+    return SynchronizationConstraintSet(
+        activities=activities,
+        constraints=constraints,
+        guards=guards,
+        domains=domains,
+    )
+
+
+def _program(constraints, activities, guards=None, domains=None):
+    sc = _sc(constraints, activities, guards=guards, domains=domains)
+    return compile_program(synthesize_process(sc), sc)
+
+
+def _codes(report):
+    return sorted(d.code for d in report.diagnostics)
+
+
+class TestDeadlockFreedom:
+    def test_chain_is_proven(self):
+        report = verify_constraints(
+            _sc([Constraint("a", "b"), Constraint("b", "c")], ("a", "b", "c"))
+        )
+        assert report.deadlock_free is True
+        assert report.counterexample == ()
+        assert report.dead_activities == ()
+        assert report.distinct_finals == 1
+        assert report.ok
+        assert "VER001" not in _codes(report)
+
+    def test_cycle_is_refuted_at_the_initial_state(self):
+        report = verify_constraints(
+            _sc([Constraint("a", "b"), Constraint("b", "a")], ("a", "b"))
+        )
+        assert report.deadlock_free is False
+        assert report.counterexample == ()  # stuck before any step
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER001")
+        assert diagnostic.severity is Severity.ERROR
+        assert "a" in diagnostic.message and "b" in diagnostic.message
+        assert any("unsatisfied constraint" in line for line in diagnostic.evidence)
+
+    def test_valuation_dependent_deadlock_names_the_branch(self):
+        # b only exists when g=F; in that world a and b deadlock on each
+        # other.  Under g=T both are skipped/free and the case completes.
+        sc = _sc(
+            [Constraint("a", "b"), Constraint("b", "a")],
+            ("g", "a", "b"),
+            guards={"a": {Cond("g", "F")}, "b": {Cond("g", "F")}},
+        )
+        report = verify_constraints(sc)
+        assert report.deadlock_free is False
+        assert "g=F" in " ".join(report.counterexample)
+        # The deadlock is branch-local: the proof machinery still saw the
+        # completing g=T world.
+        assert report.stats.terminals >= 2
+
+    def test_summary_lines_render_the_verdict(self):
+        report = verify_constraints(_sc([Constraint("a", "b")], ("a", "b")))
+        text = "\n".join(report.summary_lines())
+        assert "PROVEN deadlock-free" in text
+        assert "dead activities: none" in text
+        assert "inert constraints: none" in text
+
+
+class TestDeadActivities:
+    def test_contradictory_guards_make_the_target_dead(self):
+        sc = _sc(
+            [Constraint("g", "b")],
+            ("g", "a", "b"),
+            guards={"b": {Cond("g", "T"), Cond("g", "F")}},
+        )
+        report = verify_constraints(sc)
+        assert report.deadlock_free is True  # b is skipped, never stuck
+        assert report.dead_activities == ("b",)
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER002")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.location.name == "b"
+
+    def test_dead_guard_cascades_to_unreachable_branches(self):
+        # g itself is dead (contradictory guards on it), so neither g=T nor
+        # g=F is ever produced and b (guarded on g=T) dies too.
+        sc = _sc(
+            [Constraint("h", "g")],
+            ("h", "g", "b"),
+            guards={
+                "g": {Cond("h", "T"), Cond("h", "F")},
+                "b": {Cond("g", "T")},
+            },
+        )
+        report = verify_constraints(sc)
+        assert set(report.dead_activities) == {"b", "g"}
+        unreachable = {(g, v) for g, v, _ in report.unreachable_branches}
+        assert ("g", "T") in unreachable
+
+
+class TestUnreachableBranches:
+    def test_out_of_domain_condition_is_flagged(self):
+        domains = ConditionDomains()
+        domains.declare("g", ["T", "F"])
+        sc = _sc(
+            [Constraint("g", "b")],
+            ("g", "b"),
+            guards={"b": {Cond("g", "X")}},
+            domains=domains,
+        )
+        report = verify_constraints(sc)
+        (branch,) = report.unreachable_branches
+        assert branch[:2] == ("g", "X")
+        assert branch[2] == ("b",)
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER003")
+        assert diagnostic.severity is Severity.WARNING
+        assert "not an outcome" in " ".join(diagnostic.evidence)
+        # The dependent can never resolve to True, so it is also dead.
+        assert report.dead_activities == ("b",)
+
+    def test_reachable_branches_stay_silent(self):
+        sc = _sc(
+            [Constraint("g", "b", "T")],
+            ("g", "b"),
+            guards={"b": {Cond("g", "T")}},
+        )
+        report = verify_constraints(sc)
+        assert report.unreachable_branches == ()
+        assert report.dead_activities == ()
+        assert report.distinct_finals == 2  # {g, b} and {g} worlds
+
+
+class TestInertConstraints:
+    def test_transitive_edge_is_inert(self):
+        report = verify_constraints(
+            _sc(
+                [
+                    Constraint("a", "b"),
+                    Constraint("b", "c"),
+                    Constraint("a", "c"),
+                ],
+                ("a", "b", "c"),
+            )
+        )
+        assert report.influence_analyzed
+        assert report.inert_constraints == ("a -> c",)
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER004")
+        assert diagnostic.severity is Severity.INFO
+
+    def test_chain_has_no_inert_constraints(self):
+        report = verify_constraints(
+            _sc([Constraint("a", "b"), Constraint("b", "c")], ("a", "b", "c"))
+        )
+        assert report.influence_analyzed
+        assert report.inert_constraints == ()
+
+    def test_guard_dependency_is_influential(self):
+        # The conditional edge decides b's fate: never inert.
+        sc = _sc(
+            [Constraint("g", "b", "T")],
+            ("g", "b"),
+            guards={"b": {Cond("g", "T")}},
+        )
+        report = verify_constraints(sc)
+        assert report.inert_constraints == ()
+
+
+class TestTwoPhasePrograms:
+    def _exclusive_gate_program(self):
+        # a and b are mutually exclusive, and a may only finish once b has
+        # started.  Starting a first wedges the case: b cannot start while
+        # a RUNs, and a cannot finish until b starts.
+        builder = ProcessBuilder("two-phase")
+        builder.compute("a", duration=1.0)
+        builder.compute("b", duration=1.0)
+        process = builder.build()
+        sc = _sc([], ("a", "b"))
+        fine = HappenBefore(
+            StateRef("b", ActivityState.START),
+            StateRef("a", ActivityState.FINISH),
+        )
+        exclusive = Exclusive(
+            StateRef("a", ActivityState.RUN), StateRef("b", ActivityState.RUN)
+        )
+        return compile_program(
+            process, sc, fine_grained=[fine], exclusives=[exclusive]
+        )
+
+    def test_interleaving_deadlock_is_found(self):
+        program = self._exclusive_gate_program()
+        report = verify_program(program)
+        assert report.deadlock_free is False
+        assert "start a" in report.counterexample
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER001")
+        evidence = " ".join(diagnostic.evidence)
+        assert "RUNNING" in evidence or "exclusive" in evidence
+
+    def test_memoization_disabled_for_two_phase(self):
+        program = self._exclusive_gate_program()
+        space = StateSpace(program)
+        assert not space.memo_ok
+
+    def test_influence_pass_suppressed_for_two_phase(self):
+        builder = ProcessBuilder("two-phase-ok")
+        builder.compute("a", duration=1.0)
+        builder.compute("b", duration=1.0)
+        process = builder.build()
+        sc = _sc([Constraint("a", "b")], ("a", "b"))
+        exclusive = Exclusive(
+            StateRef("a", ActivityState.RUN), StateRef("b", ActivityState.RUN)
+        )
+        report = verify_program(
+            compile_program(process, sc, exclusives=[exclusive])
+        )
+        assert report.deadlock_free is True
+        assert not report.influence_analyzed
+
+
+class TestServicePrograms:
+    def test_skipped_invoker_strands_the_receive(self):
+        builder = ProcessBuilder("svc")
+        builder.service("billing", ports=["p"], asynchronous=True)
+        builder.guard("g", outcomes=["T", "F"], duration=1.0)
+        builder.invoke("inv", service="billing", port="p", duration=1.0)
+        builder.receive("rcv", service="billing", duration=1.0)
+        process = builder.build()
+        sc = _sc(
+            [Constraint("g", "inv", "T")],
+            ("g", "inv", "rcv"),
+            guards={"inv": {Cond("g", "T")}},
+        )
+        report = verify_program(compile_program(process, sc))
+        assert report.deadlock_free is False
+        assert "g=F" in " ".join(report.counterexample)
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER001")
+        assert any("callback" in line for line in diagnostic.evidence)
+
+    def test_always_invoked_receive_is_proven(self):
+        builder = ProcessBuilder("svc-ok")
+        builder.service("billing", ports=["p"], asynchronous=True)
+        builder.invoke("inv", service="billing", port="p", duration=1.0)
+        builder.receive("rcv", service="billing", duration=1.0)
+        process = builder.build()
+        sc = _sc([Constraint("inv", "rcv")], ("inv", "rcv"))
+        report = verify_program(compile_program(process, sc))
+        assert report.deadlock_free is True
+
+
+class TestStrandAnalysis:
+    def _programs(self):
+        old = _program(
+            [Constraint("a", "b"), Constraint("b", "c")], ("a", "b", "c")
+        )
+        new = _program(
+            [Constraint("a", "b"), Constraint("b", "c"), Constraint("c", "b")],
+            ("a", "b", "c"),
+        )
+        return old, new
+
+    def test_completed_prefix_is_safe(self):
+        old, new = self._programs()
+        report = would_strand(old, new, executed=("a", "b"))
+        assert report.safe
+        assert report.prefixes_checked == 1
+        assert report.diagnostics == []
+
+    def test_fresh_case_strands_under_the_cyclic_program(self):
+        old, new = self._programs()
+        report = would_strand(old, new, executed=("a",))
+        assert not report.safe
+        ((executed, _outcomes, _trace),) = report.stranded
+        assert executed == ("a",)
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER005")
+        assert diagnostic.severity is Severity.ERROR
+        assert "strands" in diagnostic.message
+
+    def test_migration_sweep_covers_every_quiescent_prefix(self):
+        old, new = self._programs()
+        report = migration_strands(old, new)
+        # Old prefixes: {}, {a}, {a,b}, {a,b,c}; the first two strand.
+        assert report.prefixes_checked == 4
+        assert len(report.stranded) == 2
+        assert not report.safe
+        stranded_prefixes = {executed for executed, _, _ in report.stranded}
+        assert stranded_prefixes == {(), ("a",)}
+
+    def test_identical_programs_never_strand(self):
+        old, _ = self._programs()
+        report = migration_strands(old, old)
+        assert report.safe
+        assert report.prefixes_checked == 4
+
+    def test_sweep_amortizes_via_the_antichain_frontier(self):
+        old, _ = self._programs()
+        report = migration_strands(old, old)
+        assert report.memo_hit_rate > 0.0
+
+    def test_outcome_dependent_strand(self):
+        # New program only routes b when g=T.  A case that froze g=F under
+        # the old program keeps completing (b is skipped), g=T keeps b.
+        old = _program(
+            [Constraint("g", "b", "T")],
+            ("g", "b"),
+            guards={"b": {Cond("g", "T")}},
+        )
+        report = would_strand(
+            old, old, executed=("g",), outcomes={"g": "F"}
+        )
+        assert report.safe
+        report = would_strand(old, old, executed=("g",), outcomes={"g": "T"})
+        assert report.safe
+
+
+class TestLintIntegration:
+    def test_verification_findings_flow_through_run_lint(self):
+        sc = _sc([Constraint("a", "b"), Constraint("b", "a")], ("a", "b"))
+        report = verify_constraints(sc)
+        context = LintContext.from_constraints(sc)
+        context.verification = report
+        lint = run_lint(context, LintConfig.from_codes(select=["VER"]))
+        assert lint.by_code("VER001")
+        assert lint.has_errors
+
+    def test_ver_prefix_selects_all_five_codes(self):
+        config = LintConfig.from_codes(select=["VER"])
+        for code in ("VER001", "VER002", "VER003", "VER004", "VER005"):
+            assert config.enabled(code)
+        assert not config.enabled("SYNC001")
+
+    def test_strand_findings_flow_through_run_lint(self):
+        old = _program(
+            [Constraint("a", "b"), Constraint("b", "c")], ("a", "b", "c")
+        )
+        new = _program(
+            [Constraint("a", "b"), Constraint("b", "c"), Constraint("c", "b")],
+            ("a", "b", "c"),
+        )
+        strand = migration_strands(old, new)
+        sc = _sc([Constraint("a", "b")], ("a", "b", "c"))
+        context = LintContext.from_constraints(sc)
+        context.strand = strand
+        lint = run_lint(context, LintConfig.from_codes(select=["VER005"]))
+        assert len(lint.by_code("VER005")) == 2
+
+    def test_without_verification_rules_stay_silent(self):
+        sc = _sc([Constraint("a", "b"), Constraint("b", "a")], ("a", "b"))
+        context = LintContext.from_constraints(sc)
+        lint = run_lint(context, LintConfig.from_codes(select=["VER"]))
+        assert lint.findings == ()
+
+
+class TestRuntimeCrossReference:
+    def test_rt004_evidence_names_the_blocking_constraints(self):
+        # Satellite 6: the runtime's deadlock diagnostics unpack the same
+        # unsatisfied masks the verifier reports in VER001.
+        program = _program(
+            [Constraint("a", "b"), Constraint("b", "a")], ("a", "b")
+        )
+        instance = CaseInstance("case-1", program)
+        instance.run_to_completion()
+        assert instance.status is CaseStatus.FAILED
+        rt004 = next(d for d in instance.diagnostics if d.code == "RT004")
+        evidence = " ".join(rt004.evidence)
+        assert "blocked by unsatisfied constraint(s)" in evidence
+        assert "b -> a" in evidence and "a -> b" in evidence
+
+    def test_rt004_and_ver001_agree_on_the_blockers(self):
+        program = _program(
+            [Constraint("a", "b"), Constraint("b", "a")], ("a", "b")
+        )
+        verification = verify_program(program)
+        ver001 = next(
+            d for d in verification.diagnostics if d.code == "VER001"
+        )
+        instance = CaseInstance("case-1", program)
+        instance.run_to_completion()
+        rt004 = next(d for d in instance.diagnostics if d.code == "RT004")
+        ver_lines = {line for line in ver001.evidence if "blocked" in line}
+        rt_lines = {line for line in rt004.evidence if "blocked" in line}
+        assert ver_lines == rt_lines
+
+
+class TestPetriCrossCheck:
+    def test_cycle_agrees_unsound(self):
+        sc = _sc([Constraint("a", "b"), Constraint("b", "a")], ("a", "b"))
+        cross = petri_cross_check(sc)
+        assert cross.predicted_sound is False
+        assert not cross.soundness.is_sound
+        assert cross.agrees is True
+
+    def test_clean_chain_agrees_sound(self):
+        sc = _sc([Constraint("a", "b"), Constraint("b", "c")], ("a", "b", "c"))
+        cross = petri_cross_check(sc)
+        assert cross.predicted_sound is True
+        assert cross.soundness.is_sound
+        assert cross.agrees is True
+
+    def test_guarded_set_agrees(self):
+        sc = _sc(
+            [Constraint("g", "b", "T")],
+            ("g", "b"),
+            guards={"b": {Cond("g", "T")}},
+        )
+        cross = petri_cross_check(sc)
+        assert cross.agrees is True
+
+    def test_unsound_witness_is_reported(self):
+        # Satellite 1: the petri checker now names the marking (with the
+        # firing sequence reaching it) that cannot complete, comparable to
+        # VER001 counterexamples.
+        sc = _sc(
+            [Constraint("a", "b"), Constraint("b", "a")],
+            ("g", "a", "b"),
+            guards={"a": {Cond("g", "F")}, "b": {Cond("g", "F")}},
+        )
+        cross = petri_cross_check(sc)
+        assert cross.predicted_sound is False
+        assert cross.agrees is True
+        assert not cross.soundness.option_to_complete
+        assert any(
+            "witness" in problem for problem in cross.soundness.problems
+        )
+
+    def test_reachability_witness_paths(self):
+        from repro.petri.from_constraints import constraint_set_to_petri_net
+        from repro.petri.net import Marking
+        from repro.petri.reachability import build_reachability_graph
+        from repro.petri.soundness import workflow_places
+
+        sc = _sc([Constraint("a", "b")], ("a", "b"))
+        net, initial = constraint_set_to_petri_net(sc)
+        graph = build_reachability_graph(net, initial)
+        _source, sink = workflow_places(net)
+        final = Marking({sink: 1})
+        witness = graph.witness_for(final)
+        assert witness, "the final marking needs a non-empty firing path"
+        assert set(witness) <= {t.name for t in net.transitions}
+        # The initial marking's witness is the empty path; unexplored
+        # markings have none at all.
+        assert graph.witness_path(0) == []
+        assert graph.witness_for(Marking({"nowhere": 1})) is None
+
+
+class TestStateLimit:
+    def test_truncation_reports_unknown(self):
+        sc = _sc(
+            [Constraint("a", "b")], tuple("abcdefgh")
+        )
+        report = verify_constraints(sc, state_limit=3)
+        assert report.deadlock_free is None
+        assert report.stats.truncated
+        diagnostic = next(d for d in report.diagnostics if d.code == "VER001")
+        assert diagnostic.severity is Severity.WARNING
+        assert not report.influence_analyzed
+        assert report.dead_activities == ()  # liveness facts suppressed
+
+    def test_verify_accepts_prebuilt_space(self):
+        program = _program([Constraint("a", "b")], ("a", "b"))
+        space = StateSpace(program)
+        report = verify_program(program, space=space)
+        assert report.deadlock_free is True
+
+
+class TestObservability:
+    def test_metrics_and_span_published(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        sc = _sc([Constraint("a", "b")], ("a", "b"))
+        report = verify_constraints(sc, obs=obs)
+        states = obs.metrics.get("repro_verify_states_total")
+        assert states is not None
+        assert states.value() == report.stats.states
+        assert obs.metrics.get("repro_verify_last_run_seconds") is not None
+        spans = [s.name for s in obs.tracer.finished_spans()]
+        assert "verify.explore" in spans
