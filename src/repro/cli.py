@@ -11,6 +11,9 @@ Subcommands::
     dscweaver validate --workload purchasing      # conflicts + Petri soundness
     dscweaver simulate --workload purchasing --outcome if_au=F
     dscweaver simulate --record run.jsonl         # write a replayable event log
+    dscweaver simulate --cases 200 --record runs.jsonl   # discovery-grade log
+    dscweaver simulate --cases 200 --record n.jsonl --perturb swap --perturb-rate 0.1
+    dscweaver discover --log runs.jsonl --reference purchasing   # mine + score
     dscweaver lint purchasing --format sarif      # static analysis (repro.lint)
     dscweaver replay purchasing --log run.jsonl   # conformance replay
     dscweaver monitor purchasing < stream.jsonl   # online conformance
@@ -30,10 +33,10 @@ Workloads: purchasing, deployment, loan, travel, insurance.
 Exit codes: ``validate`` returns 1 when the specification has conflicts
 (cycles, unsatisfiable guards) or the Petri net is unsound; ``lint``
 returns 1 when any finding is at or above ``--fail-on`` (default
-``error``); ``replay``/``monitor``/``serve`` return 1 when any finding is
-at or above ``--fail-on`` (default ``warning``); ``serve`` returns 3 on a
-simulated crash (``--crash-after``); all return 2 on usage errors and 0
-on a clean specification/log/run.
+``error``); ``replay``/``monitor``/``serve``/``discover`` return 1 when
+any finding is at or above ``--fail-on`` (default ``warning``); ``serve``
+returns 3 on a simulated crash (``--crash-after``); all return 2 on usage
+errors and 0 on a clean specification/log/run.
 """
 
 from __future__ import annotations
@@ -156,25 +159,30 @@ def _run_lint_command(arguments) -> int:
     return report.exit_code(config.fail_on)
 
 
-def _load_event_log(path: str, log_format: Optional[str] = None):
-    """Read an event log, sniffing the format from the extension."""
-    from repro.conformance import EventLog
+#: Mirror of :data:`repro.conformance.perturb.PERTURBATION_KINDS`, inlined
+#: so building the argument parser never imports the conformance package
+#: (pinned equal by ``tests/test_discover_cli.py``).
+_PERTURBATION_KINDS = (
+    "swap",
+    "drop_finish",
+    "duplicate",
+    "orphan_finish",
+    "alien",
+    "dead_branch",
+    "truncate",
+)
 
-    if log_format is None:
-        lowered = path.lower()
-        if lowered.endswith(".csv"):
-            log_format = "csv"
-        elif lowered.endswith((".xes", ".xml")):
-            log_format = "xes"
-        else:
-            log_format = "jsonl"
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    if log_format == "csv":
-        return EventLog.from_csv(text)
-    if log_format == "xes":
-        return EventLog.from_xes(text)
-    return EventLog.from_jsonl(text)
+
+def _load_event_log(path: str, log_format: Optional[str] = None):
+    """Read an event log, sniffing the format from extension and content.
+
+    Runtime WAL journals are recognized by their ``{"rt": ...}`` control
+    records and ingested duplicate-tolerantly, so ``replay``/``monitor``/
+    ``discover`` consume journals directly.
+    """
+    from repro.discover.ingest import load_log
+
+    return load_log(path, log_format)
 
 
 def _conformance_program(arguments):
@@ -716,6 +724,115 @@ def _run_trace_command(arguments) -> int:
     return 0
 
 
+def _maybe_perturb(log, arguments, result):
+    """Apply ``--perturb KIND --perturb-rate R --seed S`` to a recorded log."""
+    if not getattr(arguments, "perturb", None):
+        return log
+    from repro.discover.evaluate import perturb_log
+
+    perturbed, applied = perturb_log(
+        log,
+        arguments.perturb_rate,
+        seed=arguments.seed,
+        constraints=list(result.minimal),
+        guards=result.minimal.guards,
+        kinds=[arguments.perturb],
+    )
+    for perturbation in applied:
+        print(
+            "perturbed %s (%s): %s"
+            % (perturbation.case, perturbation.kind, perturbation.description)
+        )
+    if not applied:
+        print(
+            "no injection site for --perturb %s in this log" % arguments.perturb,
+            file=sys.stderr,
+        )
+    return perturbed
+
+
+def _run_discover_command(arguments) -> int:
+    """``dscweaver discover``: mine dependencies from an event log.
+
+    Exit contract: 0 clean, 1 findings at/above ``--fail-on`` (including
+    DIS005 divergence from ``--reference``), 2 unreadable/invalid input.
+    """
+    from repro.discover.ingest import load_log
+    from repro.discover.mine import MinerConfig, mine
+    from repro.discover.stats import LogStatistics
+    from repro.lint import Baseline, LintConfig, LintContext, render, run_lint
+
+    obs = _make_obs(arguments)
+    try:
+        log = load_log(arguments.log, arguments.format, obs=obs)
+    except (OSError, ValueError) as error:
+        print("cannot load log: %s" % error, file=sys.stderr)
+        return 2
+    try:
+        config = MinerConfig(
+            min_support=arguments.min_support,
+            min_confidence=arguments.min_confidence,
+            noise=arguments.noise,
+        )
+        config.validate()
+    except ValueError as error:
+        print("invalid thresholds: %s" % error, file=sys.stderr)
+        return 2
+    baseline = None
+    if arguments.baseline:
+        try:
+            baseline = Baseline.load(arguments.baseline)
+        except (OSError, ValueError) as error:
+            print("cannot load baseline: %s" % error, file=sys.stderr)
+            return 2
+
+    stats = LogStatistics.from_log(log, obs=obs)
+    discovery = mine(stats, config=config, obs=obs)
+
+    summary_lines = discovery.summary_lines()
+    process = None
+    if arguments.reference:
+        from repro.discover.evaluate import round_trip
+
+        process, reference = _weave(arguments.reference)
+        trip = round_trip(
+            discovery, process, reference, verify=not arguments.no_verify, obs=obs
+        )
+        summary_lines.extend(trip.summary_lines())
+
+    if arguments.emit_dscl:
+        from repro.dscl.compiler import dependencies_to_program
+        from repro.dscl.printer import to_text
+
+        text = to_text(dependencies_to_program(discovery.dependency_set()))
+        with open(arguments.emit_dscl, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        summary_lines.append("wrote mined DSCL program to %s" % arguments.emit_dscl)
+
+    _flush_obs(obs, arguments)
+
+    lint_config = LintConfig.from_codes(
+        select=_split_codes(arguments.select) or ["DIS"],
+        ignore=_split_codes(arguments.ignore),
+        fail_on=arguments.fail_on,
+        baseline=baseline,
+    )
+    context = LintContext.from_constraints(
+        discovery.constraint_set(), process=process
+    )
+    context.discovery = discovery
+    report = run_lint(context, lint_config)
+    if arguments.report_format == "text":
+        for line in summary_lines:
+            print(line)
+        if arguments.show_candidates:
+            for candidate in discovery.candidates:
+                print("  %s" % candidate)
+        print()
+    print(render(report, arguments.report_format, title=arguments.log), end="")
+    return report.exit_code(lint_config.fail_on)
+
+
 def _parse_outcomes(pairs: List[str]) -> Dict[str, str]:
     outcomes: Dict[str, str] = {}
     for pair in pairs:
@@ -818,6 +935,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="NAME",
         help="case id used in the recorded log (default: the workload name)",
+    )
+    simulate.add_argument(
+        "--cases",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate N cases enumerating every guard-outcome combination; "
+        "with N > 1 durations and latencies are jittered per case "
+        "(straggler profile), producing a log dense enough for "
+        "dependency discovery",
+    )
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="random seed for jitter and perturbation (default 0)",
+    )
+    simulate.add_argument(
+        "--perturb",
+        default=None,
+        metavar="KIND",
+        choices=sorted(_PERTURBATION_KINDS),
+        help="inject one defect of this kind into a --perturb-rate "
+        "fraction of recorded cases (see dscweaver replay)",
+    )
+    simulate.add_argument(
+        "--perturb-rate",
+        type=float,
+        default=0.1,
+        metavar="R",
+        help="fraction of cases to perturb when --perturb is given "
+        "(default 0.1)",
     )
     add_obs_flags(simulate)
     dot = add("dot", "export a graph as Graphviz DOT")
@@ -1070,6 +1220,101 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     add_obs_flags(verify_cmd)
 
+    discover_cmd = subparsers.add_parser(
+        "discover",
+        help="mine synchronization dependencies from an event log "
+        "(JSONL/CSV/XES or a runtime WAL journal)",
+    )
+    discover_cmd.add_argument(
+        "--log",
+        required=True,
+        metavar="PATH",
+        help="event log to mine (e.g. from dscweaver simulate --record "
+        "or a dscweaver serve --journal file)",
+    )
+    discover_cmd.add_argument(
+        "--format",
+        default=None,
+        choices=["jsonl", "csv", "xes", "journal"],
+        help="log format (default: sniffed from extension and content)",
+    )
+    discover_cmd.add_argument(
+        "--min-support",
+        type=int,
+        default=5,
+        metavar="N",
+        help="minimum supporting cases per candidate (default 5)",
+    )
+    discover_cmd.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.95,
+        metavar="C",
+        help="minimum agreeing fraction of the evidence (default 0.95)",
+    )
+    discover_cmd.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="tolerated contradiction rate per guard outcome (default 0.0)",
+    )
+    discover_cmd.add_argument(
+        "--reference",
+        default=None,
+        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+        help="score the mined set against this workload's declared "
+        "dependencies (entailment-level precision/recall, transitive "
+        "equivalence, end-to-end verification; divergences are DIS005)",
+    )
+    discover_cmd.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="with --reference, skip symbolic verification of the "
+        "rediscovered minimal program",
+    )
+    discover_cmd.add_argument(
+        "--emit-dscl",
+        default=None,
+        metavar="PATH",
+        help="write the mined dependency set as a DSCL program",
+    )
+    discover_cmd.add_argument(
+        "--show-candidates",
+        action="store_true",
+        help="list every scored candidate in the text report",
+    )
+    discover_cmd.add_argument(
+        "--report-format", default="text", choices=["text", "json", "sarif"]
+    )
+    discover_cmd.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="rule codes or prefixes to report (default DIS)",
+    )
+    discover_cmd.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="rule codes or prefixes to skip (repeatable)",
+    )
+    discover_cmd.add_argument(
+        "--fail-on",
+        default="warning",
+        choices=["info", "warning", "error"],
+        help="exit 1 when any finding is at or above this severity",
+    )
+    discover_cmd.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file",
+    )
+    add_obs_flags(discover_cmd)
+
     petri_cmd = subparsers.add_parser(
         "petri",
         help="translate the constraint set to a Petri net and report "
@@ -1122,6 +1367,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve_command(arguments)
     if arguments.command == "verify":
         return _run_verify_command(arguments)
+    if arguments.command == "discover":
+        return _run_discover_command(arguments)
     if arguments.command == "petri":
         return _run_petri_command(arguments)
     if arguments.command == "trace":
@@ -1225,6 +1472,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(text, end="")
     elif arguments.command == "simulate":
+        if arguments.cases > 1:
+            from repro.discover.evaluate import simulate_log
+
+            log = simulate_log(
+                process,
+                result,
+                cases=arguments.cases,
+                seed=arguments.seed,
+                case_prefix=arguments.case or "case",
+            )
+            print(
+                "simulated %d case(s) of %r: %d event(s), every "
+                "guard-outcome combination enumerated, straggler jitter on"
+                % (arguments.cases, arguments.workload, len(log))
+            )
+            log = _maybe_perturb(log, arguments, result)
+            if arguments.record:
+                log.save_jsonl(arguments.record)
+                print(
+                    "recorded %d event(s) across %d case(s) to %s"
+                    % (len(log), arguments.cases, arguments.record)
+                )
+            return 0
+
         from repro.scheduler.engine import ConstraintScheduler
         from repro.scheduler.metrics import max_concurrency
 
@@ -1256,6 +1527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             case = arguments.case or arguments.workload
             log = EventLog(events_from_trace(run.trace, case))
+            log = _maybe_perturb(log, arguments, result)
             log.save_jsonl(arguments.record)
             print(
                 "recorded %d event(s) for case %r to %s"

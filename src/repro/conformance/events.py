@@ -215,7 +215,9 @@ class EventLog:
         ``lifecycle:transition`` default to ``complete`` (the common
         single-transition export style, treated as an instantaneous
         start+finish pair).  ``time:timestamp`` is optional — ordinal
-        position is used when absent.
+        position is used when absent.  An ``outcome`` attribute on a
+        completing event is carried onto the finish record (the
+        guard-outcome channel dependency mining reads).
         """
         try:
             root = ElementTree.fromstring(text)
@@ -238,6 +240,7 @@ class EventLog:
                     timestamp = clock
                 else:
                     clock = max(clock, timestamp)
+                outcome = _xes_attribute(event_element, "outcome")
                 if transition == "start":
                     log.append(Event(case, activity, START, timestamp))
                 elif transition == "complete":
@@ -246,7 +249,7 @@ class EventLog:
                         for e in log.events
                     ):
                         log.append(Event(case, activity, START, timestamp))
-                    log.append(Event(case, activity, FINISH, timestamp))
+                    log.append(Event(case, activity, FINISH, timestamp, outcome))
                 # other transitions (suspend/resume/abort...) are out of scope
         return log
 

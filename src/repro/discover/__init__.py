@@ -1,0 +1,43 @@
+"""Dependency discovery: mine synchronization dependencies from event logs.
+
+The paper assumes the dependency set of Table 1 is hand-declared.  This
+package closes the loop from ROADMAP item 3: any conformance event log
+(JSONL/CSV/XES from :mod:`repro.conformance`, or a runtime WAL journal,
+which *is* a conformance log once its control records are stripped) can
+be mined back into a scored →T/→F/→o candidate set and fed through the
+existing merge → translate → minimize → verify → serve pipeline.
+
+* :mod:`repro.discover.stats` — a single streaming pass turning events
+  into per-activity-pair co-occurrence / precedence counters and
+  guard-outcome-conditioned execution statistics;
+* :mod:`repro.discover.mine` — candidate mining with configurable
+  support/confidence thresholds and noise tolerance, plus the DIS001-005
+  diagnostics surfaced through :mod:`repro.lint`;
+* :mod:`repro.discover.ingest` — format sniffing (JSONL/CSV/XES/journal)
+  and duplicate-tolerant journal ingestion;
+* :mod:`repro.discover.evaluate` — the round-trip evaluator: simulate a
+  known workload, rediscover its dependency set, score entailment-level
+  precision/recall against the reference closure and check transitive
+  equivalence of the rediscovered minimal set.
+
+Because a mined unconditional edge onto a guarded target is
+guard-aware-equivalent to the declared conditional edge (the annotation
+is implied by the target's effective guard), precision and recall are
+measured at the *entailment* level: a candidate is correct iff the
+reference closure entails it, and a reference constraint is recovered
+iff the discovered closure entails it.
+"""
+
+from repro.discover.ingest import load_log, sniff_format
+from repro.discover.mine import Candidate, DiscoveryResult, MinerConfig, mine
+from repro.discover.stats import LogStatistics
+
+__all__ = [
+    "Candidate",
+    "DiscoveryResult",
+    "LogStatistics",
+    "MinerConfig",
+    "load_log",
+    "mine",
+    "sniff_format",
+]

@@ -1,0 +1,485 @@
+"""Round-trip evaluation: simulate → mine → re-weave → compare → verify.
+
+The acceptance loop for the miner (ROADMAP item 3): simulate a workload
+whose dependency set is known, rediscover a set from the recorded log,
+and score the rediscovery against the declaration.
+
+**Why the jitter is shaped the way it is.**  A noise-free simulation is
+*too* deterministic: with fixed durations, activities that merely happen
+to be scheduled apart are ordered in every case, and the miner cannot
+tell a timing coincidence from a constraint.  Uniform duration jitter is
+not enough either — a coincidental pair whose per-case violation
+probability is a few percent survives 200 cases intact often enough to
+show up as a spurious edge.  The harness therefore uses a heavy-tailed
+mixture: every activity's duration is scaled by ``25x`` with probability
+``0.1`` (else uniformly in ``[0.5, 2.0]``), one designated *straggler*
+activity per case is always scaled ``25x``-plus, and service latencies
+are jittered the same way.  Under that load profile every
+timing-coincidental ordering is violated in some case, while true
+constraint edges — enforced by the scheduler regardless of timing —
+remain always-ordered, so the always-ordered relation converges exactly
+to the guard-aware closure of the reference set (validated over all five
+bundled workloads across seeds).
+
+Precision/recall are **entailment-level** (see the package docstring):
+a candidate is a true positive iff the reference closure entails it, a
+reference constraint is recovered iff the discovered closure entails it,
+and the headline check is ``transitive_equivalent`` between the
+rediscovered and declared constraint sets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.adapter import events_from_trace
+from repro.conformance.events import Event, EventLog
+from repro.conformance.perturb import Perturbation, PerturbationError, perturb
+from repro.core.closure import Semantics, closure_map
+from repro.core.equivalence import fact_set_covers, transitive_equivalent
+from repro.discover.mine import (
+    REFERENCE_DIVERGENCE,
+    Candidate,
+    DiscoveryResult,
+    MinerConfig,
+    mine,
+)
+from repro.discover.stats import LogStatistics
+from repro.errors import CycleError
+from repro.lint.diagnostics import Diagnostic, Severity, constraint_location
+from repro.scheduler.engine import ConstraintScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import WeaveResult
+    from repro.model.process import BusinessProcess
+    from repro.obs import Observability
+
+#: Heavy-tail duration multiplier and its per-activity probability.
+HEAVY_SCALE = 25.0
+HEAVY_RATE = 0.1
+
+#: Perturbation kinds applied by default at a given noise rate
+#: (``dead_branch`` is excluded: it needs guard knowledge the evaluator
+#: is pretending not to have).
+DEFAULT_PERTURB_KINDS = (
+    "swap",
+    "drop_finish",
+    "duplicate",
+    "orphan_finish",
+    "alien",
+    "truncate",
+)
+
+
+class _StragglerScheduler(ConstraintScheduler):
+    """A scheduler whose activity durations stretch per case.
+
+    ``scales`` maps activity name → duration multiplier for the current
+    case; unlisted activities (including synthetic ``__`` nodes) keep
+    their declared duration.
+    """
+
+    scales: Dict[str, float] = {}
+
+    def _duration(self, name: str) -> float:
+        return super()._duration(name) * self.scales.get(name, 1.0)
+
+
+def guard_outcome_plans(
+    process: "BusinessProcess", count: int
+) -> List[Dict[str, str]]:
+    """``count`` outcome plans enumerating every guard-domain combination.
+
+    The case index is read as a mixed-radix number over the guards'
+    outcome domains (the ``dscweaver serve`` pattern), so any run of
+    ``product(|domains|)`` consecutive cases exercises every branch
+    combination.
+    """
+    guards = [a for a in process.activities if a.is_guard]
+    names = [g.name for g in guards]
+    domains = [sorted(g.outcomes) for g in guards]
+    plans: List[Dict[str, str]] = []
+    for index in range(count):
+        plan: Dict[str, str] = {}
+        shift = index
+        for name, domain in zip(names, domains):
+            plan[name] = domain[shift % len(domain)]
+            shift //= len(domain)
+        plans.append(plan)
+    return plans
+
+
+def simulate_log(
+    process: "BusinessProcess",
+    result: "WeaveResult",
+    cases: int = 200,
+    seed: int = 0,
+    jitter: bool = True,
+    case_prefix: str = "case",
+) -> EventLog:
+    """Simulate ``cases`` runs of the woven process into one event log.
+
+    Guard outcomes are enumerated mixed-radix; with ``jitter`` (the
+    default) durations and latencies follow the heavy-tailed straggler
+    profile described in the module docstring.  Service latencies are
+    restored to their declared values afterwards.
+    """
+    scheduler = _StragglerScheduler(
+        process,
+        result.minimal,
+        fine_grained=result.fine_grained,
+        exclusives=result.exclusives,
+        strict_services=False,
+    )
+    rng = random.Random(seed)
+    names = [activity.name for activity in process.activities]
+    base_latency = {service.name: service.latency for service in process.services}
+    events: List[Event] = []
+    try:
+        for index, plan in enumerate(guard_outcome_plans(process, cases)):
+            if jitter:
+                scales = {
+                    name: (
+                        HEAVY_SCALE
+                        if rng.random() < HEAVY_RATE
+                        else rng.uniform(0.5, 2.0)
+                    )
+                    for name in names
+                }
+                straggler = rng.choice(names)
+                scales[straggler] = HEAVY_SCALE * rng.uniform(1.0, 2.0)
+                scheduler.scales = scales
+                for service in process.services:
+                    service.latency = base_latency[service.name] * (
+                        HEAVY_SCALE
+                        if rng.random() < HEAVY_RATE
+                        else rng.uniform(0.5, 2.0)
+                    )
+            run = scheduler.run(plan)
+            events.extend(
+                events_from_trace(run.trace, "%s-%05d" % (case_prefix, index))
+            )
+    finally:
+        for service in process.services:
+            service.latency = base_latency[service.name]
+        scheduler.scales = {}
+    return EventLog(events)
+
+
+def perturb_log(
+    log: EventLog,
+    rate: float,
+    seed: int = 0,
+    constraints: Sequence = (),
+    guards: Optional[Dict] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> Tuple[EventLog, List[Perturbation]]:
+    """Perturb a ``rate`` fraction of the log's cases, one defect each.
+
+    Each selected case gets one random perturbation kind (falling back
+    through the kinds without an injection site in that case); cases are
+    re-assembled in their original order.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("perturbation rate must be in [0.0, 1.0]")
+    kind_pool = tuple(kinds) if kinds else DEFAULT_PERTURB_KINDS
+    rng = random.Random(seed)
+    case_order = list(dict.fromkeys(event.case for event in log.events))
+    by_case: Dict[str, List[Event]] = {case: [] for case in case_order}
+    for event in log.events:
+        by_case[event.case].append(event)
+    count = round(rate * len(case_order)) if rate else 0
+    if rate and not count:
+        count = 1  # a nonzero rate perturbs at least one case
+    chosen = rng.sample(case_order, min(count, len(case_order)))
+    applied: List[Perturbation] = []
+    for case in chosen:
+        shuffled = list(kind_pool)
+        rng.shuffle(shuffled)
+        for kind in shuffled:
+            try:
+                broken, perturbation = perturb(
+                    EventLog(by_case[case]),
+                    kind,
+                    constraints=constraints,
+                    guards=guards,
+                    seed=rng.randrange(2**31),
+                )
+            except PerturbationError:
+                continue
+            by_case[case] = list(broken.events)
+            applied.append(perturbation)
+            break
+    return (
+        EventLog([event for case in case_order for event in by_case[case]]),
+        applied,
+    )
+
+
+@dataclass
+class RoundTripReport:
+    """The scored outcome of one rediscovery round trip."""
+
+    workload: Optional[str]
+    cases: int
+    events: int
+    candidates: int
+    #: entailment-level: candidates the reference closure entails.
+    precision: float
+    #: entailment-level: reference minimal constraints the discovered
+    #: closure entails.
+    recall: float
+    #: ``transitive_equivalent(mined asc, reference asc)`` (guard-aware).
+    equivalent: bool
+    #: the rediscovered minimal program verified deadlock-free with no
+    #: dead activities (``None`` when verification was skipped or the
+    #: mined set did not weave).
+    verify_ok: Optional[bool]
+    minimal_mined: int
+    minimal_reference: int
+    spurious: Tuple[str, ...]
+    missed: Tuple[str, ...]
+    discovery: DiscoveryResult
+    notes: Tuple[str, ...] = ()
+    perturbations: Tuple[Perturbation, ...] = field(default=())
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            "round trip%s: %d case(s), %d event(s), %d candidate(s)"
+            % (
+                " [%s]" % self.workload if self.workload else "",
+                self.cases,
+                self.events,
+                self.candidates,
+            ),
+            "precision=%.3f recall=%.3f (entailment-level)"
+            % (self.precision, self.recall),
+            "transitively equivalent to reference: %s"
+            % ("yes" if self.equivalent else "NO"),
+            "minimal sets: mined=%d reference=%d"
+            % (self.minimal_mined, self.minimal_reference),
+        ]
+        if self.verify_ok is not None:
+            lines.append(
+                "rediscovered program verification: %s"
+                % ("proven" if self.verify_ok else "REFUTED")
+            )
+        lines.extend(self.notes)
+        return lines
+
+
+def round_trip(
+    discovery: DiscoveryResult,
+    process: "BusinessProcess",
+    reference: "WeaveResult",
+    verify: bool = True,
+    obs: Optional["Observability"] = None,
+) -> RoundTripReport:
+    """Score a mined result against a reference weave of ``process``.
+
+    Feeds the weavable candidates through merge → translate → minimize,
+    compares closures in both directions, checks transitive equivalence
+    and (optionally) verifies the rediscovered minimal program.  DIS005
+    reference-divergence diagnostics are appended to
+    ``discovery.diagnostics`` for every spurious candidate and missed
+    reference constraint.
+    """
+    tracer = obs.tracer if obs is not None else None
+    if tracer is not None:
+        with tracer.span("discover.roundtrip"):
+            report = _round_trip(discovery, process, reference, verify, obs)
+    else:
+        report = _round_trip(discovery, process, reference, verify, obs)
+    if obs is not None:
+        obs.metrics.gauge(
+            "repro_discover_precision_ratio", "entailment-level precision"
+        ).set(report.precision)
+        obs.metrics.gauge(
+            "repro_discover_recall_ratio", "entailment-level recall"
+        ).set(report.recall)
+    return report
+
+
+def _round_trip(
+    discovery: DiscoveryResult,
+    process: "BusinessProcess",
+    reference: "WeaveResult",
+    verify: bool,
+    obs: Optional["Observability"],
+) -> RoundTripReport:
+    from repro.core.pipeline import DSCWeaver
+
+    reference_closure = closure_map(reference.asc, Semantics.GUARD_AWARE)
+    notes: List[str] = []
+
+    # Precision: is each candidate entailed by the reference closure?
+    spurious: List[str] = []
+    for candidate in discovery.candidates:
+        entailed = fact_set_covers(
+            reference_closure.get(candidate.source, frozenset()),
+            {(candidate.target, candidate.annotation)},
+        )
+        if not entailed:
+            spurious.append(str(candidate))
+    total = len(discovery.candidates)
+    precision = (total - len(spurious)) / total if total else 1.0
+
+    # Re-weave the mined set (dropping candidates the process model
+    # cannot express, e.g. pairs involving perturbation-injected alien
+    # activities — they already count against precision above).
+    weavable = [c for c in discovery.candidates if _weavable(process, c)]
+    dropped = total - len(weavable)
+    if dropped:
+        notes.append(
+            "%d candidate(s) not expressible against the process model "
+            "were excluded from the re-weave" % dropped
+        )
+    mined_result = None
+    try:
+        mined_result = DSCWeaver().weave(
+            process,
+            DiscoveryResult(
+                config=discovery.config,
+                stats=discovery.stats,
+                candidates=tuple(weavable),
+                guards=discovery.guards,
+            ).dependency_set(),
+        )
+    except CycleError as error:
+        notes.append("mined set is cyclic and did not weave: %s" % error)
+
+    # Recall: is each reference minimal constraint entailed by the
+    # discovered closure?
+    missed: List[str] = []
+    reference_minimal = sorted(reference.minimal)
+    if mined_result is not None:
+        discovered_closure = closure_map(mined_result.asc, Semantics.GUARD_AWARE)
+        for constraint in reference_minimal:
+            recovered = fact_set_covers(
+                discovered_closure.get(constraint.source, frozenset()),
+                {(constraint.target, constraint.annotation)},
+            )
+            if not recovered:
+                missed.append(str(constraint))
+        recall = (
+            (len(reference_minimal) - len(missed)) / len(reference_minimal)
+            if reference_minimal
+            else 1.0
+        )
+        equivalent = transitive_equivalent(
+            mined_result.asc, reference.asc, Semantics.GUARD_AWARE
+        )
+        minimal_mined = len(mined_result.minimal)
+    else:
+        missed = [str(constraint) for constraint in reference_minimal]
+        recall = 0.0
+        equivalent = False
+        minimal_mined = 0
+
+    verify_ok: Optional[bool] = None
+    if verify and mined_result is not None:
+        from repro.programs import program_from_weave
+        from repro.verify import verify_program
+
+        program = program_from_weave(mined_result, which="minimal", target="runtime")
+        verification = verify_program(program, obs=obs)
+        verify_ok = verification.ok
+        if not verify_ok:
+            notes.extend(verification.summary_lines())
+
+    for description in spurious:
+        discovery.diagnostics.append(
+            Diagnostic(
+                code=REFERENCE_DIVERGENCE,
+                severity=Severity.WARNING,
+                message="spurious candidate not entailed by the reference "
+                "set: %s" % description,
+                location=constraint_location("discover", "reference"),
+            )
+        )
+    for description in missed:
+        discovery.diagnostics.append(
+            Diagnostic(
+                code=REFERENCE_DIVERGENCE,
+                severity=Severity.WARNING,
+                message="reference constraint not recovered from the log: %s"
+                % description,
+                location=constraint_location("reference", "discover"),
+            )
+        )
+
+    return RoundTripReport(
+        workload=getattr(process, "name", None),
+        cases=discovery.stats.case_count,
+        events=discovery.stats.event_count,
+        candidates=total,
+        precision=precision,
+        recall=recall,
+        equivalent=equivalent,
+        verify_ok=verify_ok,
+        minimal_mined=minimal_mined,
+        minimal_reference=len(reference_minimal),
+        spurious=tuple(spurious),
+        missed=tuple(missed),
+        discovery=discovery,
+        notes=tuple(notes),
+    )
+
+
+def _weavable(process: "BusinessProcess", candidate: Candidate) -> bool:
+    """Can the process model express this candidate as a dependency?"""
+    if not (
+        process.has_activity(candidate.source)
+        and process.has_activity(candidate.target)
+    ):
+        return False
+    if candidate.condition is not None:
+        source = process.activity(candidate.source)
+        return source.is_guard and candidate.condition in source.outcomes
+    return True
+
+
+def evaluate_workload(
+    workload: str,
+    cases: int = 200,
+    seed: int = 0,
+    perturb_rate: float = 0.0,
+    perturb_kinds: Optional[Sequence[str]] = None,
+    config: Optional[MinerConfig] = None,
+    jitter: bool = True,
+    verify: bool = True,
+    obs: Optional["Observability"] = None,
+) -> RoundTripReport:
+    """The full harness for one bundled workload.
+
+    Simulate ``cases`` runs (straggler jitter on by default), optionally
+    perturb a fraction of them with PR 2 defect generators, mine the log
+    and round-trip the result against the workload's declared set.
+    """
+    from repro.cli import _weave  # the canonical workload registry
+
+    process, reference = _weave(workload)
+    log = simulate_log(process, reference, cases=cases, seed=seed, jitter=jitter)
+    perturbations: List[Perturbation] = []
+    if perturb_rate:
+        log, perturbations = perturb_log(
+            log,
+            perturb_rate,
+            seed=seed,
+            constraints=list(reference.minimal),
+            guards=reference.minimal.guards,
+            kinds=perturb_kinds,
+        )
+    stats = LogStatistics.from_log(log, obs=obs)
+    discovery = mine(stats, config=config, obs=obs)
+    report = round_trip(discovery, process, reference, verify=verify, obs=obs)
+    report.workload = workload
+    report.perturbations = tuple(perturbations)
+    if perturbations:
+        report.notes = report.notes + (
+            "perturbed %d/%d case(s) (rate %.2f)"
+            % (len(perturbations), cases, perturb_rate),
+        )
+    return report

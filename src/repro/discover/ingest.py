@@ -1,0 +1,122 @@
+"""Log ingestion for mining: format sniffing and journal tolerance.
+
+The miner accepts every trace format the repository produces:
+
+* JSONL / CSV / XES conformance logs (:mod:`repro.conformance.events`);
+* runtime WAL journals (:mod:`repro.runtime.journal`) — a journal
+  stripped of its ``{"rt": ...}`` control records *is* a conformance
+  log, so ``dscweaver discover --log wal.jsonl`` mines a production run
+  directly.
+
+Journals are read in non-strict mode: a journal that survived a crash
+and recovery may (by the write-ahead contract: record first, state
+transition second) contain a re-journaled duplicate of the record that
+was in flight when the process died.  Such duplicates are deduplicated
+by ``(case, activity, lifecycle)`` on read — first occurrence wins —
+so crash/recover journals replay and mine cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.conformance.events import Event, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+
+#: Formats :func:`load_log` understands.
+LOG_FORMATS = ("jsonl", "csv", "xes", "journal")
+
+
+def sniff_format(path: str, sample: Optional[str] = None) -> str:
+    """Guess a log's on-disk format from its extension and first record.
+
+    ``.csv`` / ``.xes`` / ``.xml`` are decided by extension; anything
+    else is JSON Lines, further classified as a runtime journal when the
+    file contains an ``{"rt": ...}`` control record in its head — the
+    marker no conformance event carries.
+    """
+    lowered = path.lower()
+    if lowered.endswith(".csv"):
+        return "csv"
+    if lowered.endswith((".xes", ".xml")):
+        return "xes"
+    if sample is None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sample = handle.read(8192)
+        except OSError:
+            return "jsonl"
+    for line in sample.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            return "jsonl"
+        if isinstance(payload, dict) and "rt" in payload:
+            return "journal"
+        return "jsonl"
+    return "jsonl"
+
+
+def dedupe_events(events: Iterable[Event]) -> List[Event]:
+    """Drop repeated ``(case, activity, lifecycle)`` records, keeping the
+    first occurrence — the write-ahead copy — of each."""
+    seen = set()
+    unique: List[Event] = []
+    for event in events:
+        key = (event.case, event.activity, event.lifecycle)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(event)
+    return unique
+
+
+def log_from_journal(path: str) -> EventLog:
+    """A runtime WAL journal as a deduplicated conformance event log."""
+    from repro.runtime.journal import read_journal
+
+    state = read_journal(path, strict=False)
+    return EventLog(dedupe_events(state.event_stream))
+
+
+def load_log(
+    path: str,
+    log_format: Optional[str] = None,
+    obs: Optional["Observability"] = None,
+) -> EventLog:
+    """Read an event log of any supported format.
+
+    ``log_format`` forces a parser; ``None`` sniffs via
+    :func:`sniff_format`.  Raises ``ValueError`` for unknown formats and
+    propagates ``OSError`` for unreadable paths.
+    """
+    if log_format is None:
+        log_format = sniff_format(path)
+    if log_format not in LOG_FORMATS:
+        raise ValueError(
+            "unknown log format %r (expected one of %s)"
+            % (log_format, ", ".join(LOG_FORMATS))
+        )
+    tracer = obs.tracer if obs is not None else None
+    if tracer is not None:
+        with tracer.span("discover.ingest").set(format=log_format, path=path):
+            return _load(path, log_format)
+    return _load(path, log_format)
+
+
+def _load(path: str, log_format: str) -> EventLog:
+    if log_format == "journal":
+        return log_from_journal(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if log_format == "csv":
+        return EventLog.from_csv(text)
+    if log_format == "xes":
+        return EventLog.from_xes(text)
+    return EventLog.from_jsonl(text)

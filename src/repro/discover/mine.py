@@ -1,0 +1,533 @@
+"""Candidate mining: log statistics → scored dependency candidates.
+
+Two mining passes over one :class:`~repro.discover.stats.LogStatistics`:
+
+**Conditioning pass** (→T/→F control dependencies).  An activity ``x``
+is conditioned on guard outcome ``(g, v)`` when, across every case where
+``g`` produced an outcome, ``x`` executed (essentially) only under ``v``
+and at least one alternative outcome was observed to discriminate
+against.  Nested guards fall out naturally: an activity two branches
+deep executes only under *both* ancestors' outcomes, so it is mined as
+conditioned on each — exactly its transitive effective guard.
+
+**Precedence pass** (→o cooperation dependencies).  A pair ``(a, b)``
+with enough co-occurring cases becomes a candidate when ``a`` finished
+before ``b`` started in at least ``min_confidence`` of them.  Pairs whose
+target is conditioned on the source are emitted as control candidates by
+the first pass instead.  Data/service/cooperation dependencies are
+indistinguishable in a log projection — they all compile to the same
+precedence constraint — so unconditional candidates are uniformly
+categorized →o; the round-trip equivalence is on the compiled constraint
+sets, where the distinction has already been erased.
+
+Mining quality findings are emitted as DIS001-005 diagnostics (see
+:mod:`repro.discover.rules`) rather than raised: a noisy log is data,
+not an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.conditions import Cond, ConditionDomains
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.deps.registry import DependencySet
+from repro.deps.types import Dependency, control, cooperation
+from repro.discover.stats import LogStatistics
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    activity_location,
+    constraint_location,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+
+AMBIGUOUS_DIRECTION = "DIS001"
+SUBTHRESHOLD_EVIDENCE = "DIS002"
+CONTRADICTORY_CONDITIONING = "DIS003"
+INEXPRESSIBLE_DEPENDENCY = "DIS004"
+REFERENCE_DIVERGENCE = "DIS005"
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """Thresholds governing when statistics become candidates.
+
+    ``min_support``
+        Minimum number of supporting cases for a candidate (co-occurring
+        cases for precedence, conditioned executions for control).
+    ``min_confidence``
+        Minimum fraction of supporting evidence that must agree with the
+        candidate (ordered share of co-occurrences; dominant-outcome
+        share of conditioned executions).
+    ``noise``
+        Tolerated contradiction rate, the primary robustness knob.  A
+        precedence candidate may be violated in at most ``noise`` of its
+        co-occurrences (``0.0``, the default, demands *always* ordered —
+        the criterion that provably separates constraint edges from
+        timing coincidences under the straggler-jitter harness), and an
+        activity still counts as absent under a guard outcome when it
+        executed in at most ``noise`` of that outcome's cases.  Mining a
+        perturbed log, set this a little above the expected corruption
+        share of an individual pair — e.g. ``0.03`` for the PR 2 defect
+        generators at a 0.1 case-perturbation rate (guarded edges
+        co-occur in only a fraction of the cases, so their relative
+        violation share runs higher than the case rate suggests): true
+        edges see only the odd corrupted case, while timing-coincidental
+        pairs are violated far more often and stay excluded.
+    ``ambiguity_floor``
+        A pair whose combined two-direction ordering share reaches this
+        value while neither single direction is confident is flagged
+        DIS001 (sequential but direction-inconsistent).
+    """
+
+    min_support: int = 5
+    min_confidence: float = 0.95
+    noise: float = 0.0
+    ambiguity_floor: float = 0.8
+
+    def validate(self) -> None:
+        if self.min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        if not 0.5 < self.min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in (0.5, 1.0]")
+        if not 0.0 <= self.noise < 0.5:
+            raise ValueError("noise must be in [0.0, 0.5)")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One scored dependency candidate."""
+
+    dependency: Dependency
+    support: int
+    confidence: float
+
+    @property
+    def source(self) -> str:
+        return self.dependency.source
+
+    @property
+    def target(self) -> str:
+        return self.dependency.target
+
+    @property
+    def condition(self) -> Optional[str]:
+        return self.dependency.condition
+
+    @property
+    def annotation(self) -> FrozenSet[Cond]:
+        """The constraint annotation this candidate compiles to."""
+        if self.condition is None:
+            return frozenset()
+        return frozenset({Cond(self.source, self.condition)})
+
+    def constraint(self) -> Constraint:
+        return Constraint(self.source, self.target, self.condition)
+
+    def __str__(self) -> str:
+        return "%s %s %s  (support=%d confidence=%.3f)" % (
+            self.dependency.source,
+            self.dependency.kind.arrow
+            + ("[%s]" % self.condition if self.condition else ""),
+            self.dependency.target,
+            self.support,
+            self.confidence,
+        )
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything one mining run produced.
+
+    ``diagnostics`` is deliberately mutable: the round-trip evaluator
+    appends DIS005 reference-divergence findings after scoring, and the
+    CLI hands the enriched result to the lint engine as
+    ``context.discovery``.
+    """
+
+    config: MinerConfig
+    stats: LogStatistics
+    candidates: Tuple[Candidate, ...]
+    guards: Dict[str, FrozenSet[Cond]]
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def dependency_set(self) -> DependencySet:
+        """The mined candidates as a :class:`DependencySet` for weaving."""
+        return DependencySet(candidate.dependency for candidate in self.candidates)
+
+    def constraint_set(self) -> SynchronizationConstraintSet:
+        """A standalone constraint set over the observed activities.
+
+        Usable without a process model: activities come from the log,
+        guards from the mined conditions and domains from the observed
+        outcomes — enough to minimize and lint a mined set directly.
+        """
+        domains = ConditionDomains()
+        for guard, outcomes in sorted(self.stats.outcomes_seen.items()):
+            domains.declare(guard, sorted(outcomes))
+        return SynchronizationConstraintSet(
+            self.stats.activities,
+            constraints=[candidate.constraint() for candidate in self.candidates],
+            guards=self.guards,
+            domains=domains,
+        )
+
+    def counts(self) -> Dict[str, int]:
+        conditional = sum(1 for c in self.candidates if c.condition is not None)
+        return {
+            "control": conditional,
+            "cooperation": len(self.candidates) - conditional,
+            "total": len(self.candidates),
+        }
+
+    def summary_lines(self) -> List[str]:
+        counts = self.counts()
+        stats = self.stats
+        lines = [
+            "mined %d case(s), %d event(s), %d activit(ies)"
+            % (stats.case_count, stats.event_count, len(stats.activities)),
+            "candidates: %d control (->T/->F), %d cooperation (->o)"
+            % (counts["control"], counts["cooperation"]),
+            "thresholds: support >= %d, confidence >= %.2f, noise <= %.2f"
+            % (
+                self.config.min_support,
+                self.config.min_confidence,
+                self.config.noise,
+            ),
+        ]
+        if stats.anomaly_count:
+            lines.append("tolerated %d malformed record(s)" % stats.anomaly_count)
+        return lines
+
+
+def mine(
+    stats: LogStatistics,
+    config: Optional[MinerConfig] = None,
+    obs: Optional["Observability"] = None,
+) -> DiscoveryResult:
+    """Convert aggregate statistics into scored dependency candidates."""
+    config = config or MinerConfig()
+    config.validate()
+    tracer = obs.tracer if obs is not None else None
+    if tracer is not None:
+        with tracer.span("discover.mine"):
+            result = _mine(stats, config)
+    else:
+        result = _mine(stats, config)
+    if obs is not None:
+        counter = obs.metrics.counter(
+            "repro_discover_candidates_total",
+            "mined dependency candidates",
+            labelnames=("kind",),
+        )
+        counts = result.counts()
+        counter.labels(kind="control").inc(counts["control"])
+        counter.labels(kind="cooperation").inc(counts["cooperation"])
+        if result.diagnostics:
+            findings = obs.metrics.counter(
+                "repro_discover_findings_total",
+                "DIS findings emitted while mining",
+                labelnames=("code",),
+            )
+            for diagnostic in result.diagnostics:
+                findings.labels(code=diagnostic.code).inc()
+    return result
+
+
+def _mine(stats: LogStatistics, config: MinerConfig) -> DiscoveryResult:
+    diagnostics: List[Diagnostic] = []
+    conditions, conditioned_pairs = _mine_conditions(stats, config, diagnostics)
+
+    candidates: List[Candidate] = []
+    for (x, guard, outcome), (support, confidence) in sorted(conditions.items()):
+        candidates.append(
+            Candidate(
+                control(
+                    guard,
+                    x,
+                    outcome,
+                    rationale="executed only under %s=%s in %d case(s)"
+                    % (guard, outcome, support),
+                ),
+                support=support,
+                confidence=confidence,
+            )
+        )
+
+    _mine_precedence(stats, config, conditioned_pairs, candidates, diagnostics)
+
+    guards: Dict[str, FrozenSet[Cond]] = {}
+    for (x, guard, outcome) in conditions:
+        guards.setdefault(x, frozenset())
+        guards[x] = guards[x] | {Cond(guard, outcome)}
+
+    candidates.sort(key=lambda c: (c.source, c.target, c.condition or ""))
+    return DiscoveryResult(
+        config=config,
+        stats=stats,
+        candidates=tuple(candidates),
+        guards=guards,
+        diagnostics=diagnostics,
+    )
+
+
+def _mine_conditions(
+    stats: LogStatistics,
+    config: MinerConfig,
+    diagnostics: List[Diagnostic],
+) -> Tuple[Dict[Tuple[str, str, str], Tuple[int, float]], Set[Tuple[str, str]]]:
+    """Guard-outcome conditioning: which activities execute only under
+    which outcomes.  Returns the mined ``(x, g, v) -> (support,
+    confidence)`` map and the ``(g, x)`` pairs it covers."""
+    conditions: Dict[Tuple[str, str, str], Tuple[int, float]] = {}
+    conditioned_pairs: Set[Tuple[str, str]] = set()
+
+    single_outcome_guards = sorted(
+        guard
+        for guard, outcomes in stats.outcomes_seen.items()
+        if len(outcomes) < 2
+    )
+    for guard in single_outcome_guards:
+        (outcome,) = stats.outcomes_seen[guard]
+        diagnostics.append(
+            Diagnostic(
+                code=SUBTHRESHOLD_EVIDENCE,
+                severity=Severity.INFO,
+                message=(
+                    "guard %r only ever produced outcome %r in this log; "
+                    "conditional dependencies on it cannot be discriminated"
+                    % (guard, outcome)
+                ),
+                location=activity_location(guard),
+                evidence=(
+                    "%d case(s) with this outcome"
+                    % stats.outcome_cases.get((guard, outcome), 0),
+                ),
+            )
+        )
+
+    for x in stats.activities:
+        executed = stats.activity_cases.get(x, 0)
+        if not executed:
+            continue
+        # DIS003 findings are buffered per activity: a skip under a
+        # guard's dominant outcome is no contradiction when another
+        # (nested) guard successfully conditions the activity — the
+        # inner guard explains the skip.
+        contradictions: List[Diagnostic] = []
+        conditioned_on_any = False
+        for guard, outcomes in sorted(stats.outcomes_seen.items()):
+            if guard == x or len(outcomes) < 2:
+                continue
+            exec_by_outcome = {
+                v: stats.exec_given.get((x, guard, v), 0) for v in sorted(outcomes)
+            }
+            total = sum(exec_by_outcome.values())
+            if not total:
+                continue
+            positives = [
+                v
+                for v, count in exec_by_outcome.items()
+                if count
+                > config.noise * max(1, stats.outcome_cases.get((guard, v), 0))
+            ]
+            if not positives or len(positives) == len(outcomes):
+                continue  # unconditional with respect to this guard
+            if len(positives) > 1:
+                diagnostics.append(
+                    Diagnostic(
+                        code=INEXPRESSIBLE_DEPENDENCY,
+                        severity=Severity.WARNING,
+                        message=(
+                            "%r executes under outcomes {%s} of guard %r but "
+                            "not all of {%s}; DSCL conditions are single "
+                            "guard=outcome conjuncts, so this disjunctive "
+                            "dependency is inexpressible"
+                            % (
+                                x,
+                                ", ".join(positives),
+                                guard,
+                                ", ".join(sorted(outcomes)),
+                            )
+                        ),
+                        location=activity_location(x),
+                        related=(activity_location(guard),),
+                        evidence=tuple(
+                            "%s=%s: executed in %d/%d case(s)"
+                            % (
+                                guard,
+                                v,
+                                exec_by_outcome[v],
+                                stats.outcome_cases.get((guard, v), 0),
+                            )
+                            for v in sorted(outcomes)
+                        ),
+                    )
+                )
+                continue
+            (dominant,) = positives
+            skipped_under_dominant = stats.skip_given.get((x, guard, dominant), 0)
+            if skipped_under_dominant > config.noise * max(
+                1, stats.outcome_cases.get((guard, dominant), 0)
+            ):
+                contradictions.append(
+                    Diagnostic(
+                        code=CONTRADICTORY_CONDITIONING,
+                        severity=Severity.WARNING,
+                        message=(
+                            "%r both executed (%d case(s)) and was skipped "
+                            "(%d case(s)) under %s=%s; the outcome does not "
+                            "determine it"
+                            % (
+                                x,
+                                exec_by_outcome[dominant],
+                                skipped_under_dominant,
+                                guard,
+                                dominant,
+                            )
+                        ),
+                        location=activity_location(x),
+                        related=(activity_location(guard),),
+                    )
+                )
+                continue
+            support = exec_by_outcome[dominant]
+            confidence = support / total
+            if confidence < config.min_confidence:
+                continue
+            if support < config.min_support:
+                diagnostics.append(
+                    _subthreshold(
+                        "conditioning of %r on %s=%s" % (x, guard, dominant),
+                        constraint_location(guard, x, dominant),
+                        support,
+                        config.min_support,
+                    )
+                )
+                continue
+            # A conditional constraint also implies the guard finishes
+            # before the dependent starts; demand the log agrees.
+            if not _always_ordered(stats, config, guard, x):
+                continue
+            conditions[(x, guard, dominant)] = (support, confidence)
+            conditioned_pairs.add((guard, x))
+            conditioned_on_any = True
+        if not conditioned_on_any:
+            diagnostics.extend(contradictions)
+    return conditions, conditioned_pairs
+
+
+def _mine_precedence(
+    stats: LogStatistics,
+    config: MinerConfig,
+    conditioned_pairs: Set[Tuple[str, str]],
+    candidates: List[Candidate],
+    diagnostics: List[Diagnostic],
+) -> None:
+    """Always-ordered pairs → unconditional →o candidates, plus the
+    DIS001/DIS002 directional findings."""
+    flagged_ambiguous: Set[Tuple[str, str]] = set()
+    for (a, b), together in sorted(stats.cooccur.items()):
+        ordered = stats.ordered.get((a, b), 0)
+        confidence = ordered / together
+        violations = together - ordered
+        if violations <= config.noise * together and confidence >= config.min_confidence:
+            if (a, b) in conditioned_pairs:
+                continue  # emitted as a control candidate instead
+            if together < config.min_support:
+                diagnostics.append(
+                    _subthreshold(
+                        "precedence %s -> %s" % (a, b),
+                        constraint_location(a, b),
+                        together,
+                        config.min_support,
+                    )
+                )
+                continue
+            candidates.append(
+                Candidate(
+                    cooperation(
+                        a,
+                        b,
+                        rationale="finished before %s started in %d/%d case(s)"
+                        % (b, ordered, together),
+                    ),
+                    support=together,
+                    confidence=confidence,
+                )
+            )
+            continue
+        # Ambiguous direction: the pair is (almost) never concurrent —
+        # the two directed ordering shares cover the co-occurrences —
+        # yet neither direction alone clears the confidence bar.
+        key = (min(a, b), max(a, b))
+        if key in flagged_ambiguous or together < config.min_support:
+            continue
+        reverse = stats.ordered.get((b, a), 0) / max(
+            1, stats.cooccur.get((b, a), 0)
+        )
+        if (
+            reverse < config.min_confidence
+            and confidence + reverse >= config.ambiguity_floor
+            and min(confidence, reverse) >= 1.0 - config.ambiguity_floor
+        ):
+            flagged_ambiguous.add(key)
+            diagnostics.append(
+                Diagnostic(
+                    code=AMBIGUOUS_DIRECTION,
+                    severity=Severity.WARNING,
+                    message=(
+                        "%r and %r are sequentially ordered but the "
+                        "direction is inconsistent (%s first in %.0f%%, "
+                        "%s first in %.0f%% of %d case(s))"
+                        % (
+                            a,
+                            b,
+                            a,
+                            100 * confidence,
+                            b,
+                            100 * reverse,
+                            together,
+                        )
+                    ),
+                    location=constraint_location(a, b),
+                    evidence=(
+                        "overlapping intervals in %d case(s)"
+                        % stats.overlap.get((a, b), 0),
+                    ),
+                )
+            )
+
+
+def _always_ordered(
+    stats: LogStatistics, config: MinerConfig, a: str, b: str
+) -> bool:
+    """Did ``a`` finish before ``b`` started in (noise-tolerantly) every
+    co-occurring case?"""
+    together = stats.cooccur.get((a, b), 0)
+    if not together:
+        return False
+    ordered = stats.ordered.get((a, b), 0)
+    return (
+        together - ordered <= config.noise * together
+        and ordered / together >= config.min_confidence
+    )
+
+
+def _subthreshold(
+    what: str, location, support: int, min_support: int
+) -> Diagnostic:
+    return Diagnostic(
+        code=SUBTHRESHOLD_EVIDENCE,
+        severity=Severity.INFO,
+        message=(
+            "%s is confident but supported by only %d case(s) "
+            "(min_support=%d); not emitted as a candidate"
+            % (what, support, min_support)
+        ),
+        location=location,
+    )

@@ -1,0 +1,93 @@
+"""DIS lint rules: discovery findings surfaced through the rule registry.
+
+Mining findings are produced inline by :mod:`repro.discover.mine` and
+:mod:`repro.discover.evaluate` (which see the statistics); the rules here
+surface them through the shared lint engine so ``dscweaver discover``
+gets code selection, baselines, severity gating and SARIF/JSON rendering
+for free.  The ``dscweaver discover`` command attaches the
+:class:`~repro.discover.mine.DiscoveryResult` to the lint context as
+``context.discovery``.
+
+==========  =========  ====================================================
+Code        Severity   Meaning
+==========  =========  ====================================================
+``DIS001``  warning    ambiguous direction: a pair is sequentially ordered
+                       but the direction is inconsistent across cases
+``DIS002``  info       sub-threshold evidence: a confident candidate (or a
+                       guard's discrimination) lacks supporting cases
+``DIS003``  warning    contradictory conditioning: an activity both
+                       executed and was skipped under one guard outcome
+``DIS004``  warning    observed dependency inexpressible in DSCL (e.g. a
+                       disjunctive guard over several outcomes)
+``DIS005``  warning    reference divergence: a spurious candidate or a
+                       declared constraint the log did not recover
+==========  =========  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import LintContext, rule
+
+
+def _mined(context: LintContext, code: str) -> List[Diagnostic]:
+    result = getattr(context, "discovery", None)
+    if result is None:
+        return []
+    return [
+        diagnostic
+        for diagnostic in result.diagnostics
+        if diagnostic.code == code
+    ]
+
+
+@rule(
+    "DIS001",
+    "ambiguous-direction",
+    "an activity pair is sequential but its direction flips across cases",
+    Severity.WARNING,
+)
+def ambiguous_direction(context: LintContext) -> List[Diagnostic]:
+    return _mined(context, "DIS001")
+
+
+@rule(
+    "DIS002",
+    "sub-threshold-evidence",
+    "a confident mining signal lacks enough supporting cases to emit",
+    Severity.INFO,
+)
+def sub_threshold_evidence(context: LintContext) -> List[Diagnostic]:
+    return _mined(context, "DIS002")
+
+
+@rule(
+    "DIS003",
+    "contradictory-conditioning",
+    "an activity both executed and was skipped under one guard outcome",
+    Severity.WARNING,
+)
+def contradictory_conditioning(context: LintContext) -> List[Diagnostic]:
+    return _mined(context, "DIS003")
+
+
+@rule(
+    "DIS004",
+    "inexpressible-dependency",
+    "an observed dependency cannot be expressed as a DSCL condition",
+    Severity.WARNING,
+)
+def inexpressible_dependency(context: LintContext) -> List[Diagnostic]:
+    return _mined(context, "DIS004")
+
+
+@rule(
+    "DIS005",
+    "reference-divergence",
+    "the mined set diverges from the provided reference dependency set",
+    Severity.WARNING,
+)
+def reference_divergence(context: LintContext) -> List[Diagnostic]:
+    return _mined(context, "DIS005")

@@ -1,0 +1,248 @@
+"""Streaming log statistics: the single pass behind dependency mining.
+
+One :class:`LogStatistics` instance consumes events in arrival order —
+cases may interleave freely, as they do in a multi-case runtime journal —
+and folds each case into aggregate counters the moment it closes:
+
+* **precedence** — for every ordered activity pair ``(a, b)`` that
+  co-occurred in a case, whether ``a`` finished before ``b`` started
+  (interval order, not just event order), whether the two intervals
+  overlapped (concurrency evidence), and whether the hand-off was direct
+  (``finish(a) == start(b)``);
+* **guard conditioning** — for every activity ``x`` and every guard
+  outcome ``(g, v)`` observed in the same case, whether ``x`` executed
+  or was skipped, the raw material for mining →T/→F control dependencies.
+
+Time ties are broken by log position: the scheduler emits finishes before
+the starts they enable at the same instant, so ``finish(a) == start(b)``
+with ``a``'s finish earlier in the log counts as ``a`` before ``b``.
+
+The pass is tolerant of malformed input (orphan finishes, duplicate
+lifecycles, unknown lifecycles); each tolerated defect is recorded in
+``anomalies`` rather than raised, because mining exists precisely to
+consume logs of unknown provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.conformance.events import FINISH, SKIP, START, Event, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+
+#: Cap on stored anomaly descriptions; the count keeps incrementing.
+MAX_ANOMALIES = 64
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class _CaseState:
+    """Per-case accumulator while the case is still open."""
+
+    starts: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    finishes: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    skips: Set[str] = field(default_factory=set)
+    outcomes: Dict[str, str] = field(default_factory=dict)
+
+
+class LogStatistics:
+    """Aggregate counters over a stream of conformance events.
+
+    Feed events with :meth:`observe` (or build directly with
+    :meth:`from_log` / :meth:`from_events`) and call :meth:`finish` once
+    the stream ends; cases are folded into the pairwise counters when
+    they close, so memory is O(activities² + open-case state), never
+    O(events).
+    """
+
+    def __init__(self, obs: Optional["Observability"] = None) -> None:
+        self.case_count = 0
+        self.event_count = 0
+        self.anomaly_count = 0
+        self.anomalies: List[str] = []
+        #: cases where ``a`` finished and ``b`` started.
+        self.cooccur: Dict[Pair, int] = {}
+        #: cases where ``a`` finished strictly before ``b`` started.
+        self.ordered: Dict[Pair, int] = {}
+        #: ordered cases where the hand-off was direct (equal timestamps).
+        self.direct: Dict[Pair, int] = {}
+        #: cases where the two execution intervals overlapped.
+        self.overlap: Dict[Pair, int] = {}
+        #: cases in which the activity started.
+        self.activity_cases: Dict[str, int] = {}
+        #: cases in which the activity was explicitly skipped.
+        self.skip_cases: Dict[str, int] = {}
+        #: cases in which guard ``g`` finished with outcome ``v``.
+        self.outcome_cases: Dict[Pair, int] = {}
+        #: cases in which ``x`` executed while guard ``g`` had outcome ``v``.
+        self.exec_given: Dict[Tuple[str, str, str], int] = {}
+        #: cases in which ``x`` was skipped while ``g`` had outcome ``v``.
+        self.skip_given: Dict[Tuple[str, str, str], int] = {}
+        #: every outcome each guard was observed to produce.
+        self.outcomes_seen: Dict[str, Set[str]] = {}
+        self._open: Dict[str, _CaseState] = {}
+        self._position = 0
+        self._obs = obs
+
+    # -- streaming ---------------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        """Fold one event into the open state of its case."""
+        self.event_count += 1
+        position = self._position
+        self._position += 1
+        state = self._open.get(event.case)
+        if state is None:
+            state = self._open[event.case] = _CaseState()
+        activity = event.activity
+        if event.lifecycle == START:
+            if activity in state.starts:
+                self._anomaly(
+                    "case %r: duplicate start of %r ignored" % (event.case, activity)
+                )
+                return
+            state.starts[activity] = (event.time, position)
+        elif event.lifecycle == FINISH:
+            if activity in state.finishes:
+                self._anomaly(
+                    "case %r: duplicate finish of %r ignored" % (event.case, activity)
+                )
+                return
+            if activity not in state.starts:
+                # Orphan finish: treat as an instantaneous execution so the
+                # activity still participates in precedence counting.
+                self._anomaly(
+                    "case %r: finish of %r without a start (treated as "
+                    "instantaneous)" % (event.case, activity)
+                )
+                state.starts[activity] = (event.time, position)
+            state.finishes[activity] = (event.time, position)
+            if event.outcome is not None:
+                state.outcomes[activity] = event.outcome
+        elif event.lifecycle == SKIP:
+            state.skips.add(activity)
+        else:
+            self._anomaly(
+                "case %r: unknown lifecycle %r on %r ignored"
+                % (event.case, event.lifecycle, activity)
+            )
+
+    def close_case(self, case: str) -> None:
+        """Fold a case's open state into the aggregate counters."""
+        state = self._open.pop(case, None)
+        if state is None:
+            return
+        self.case_count += 1
+        starts = state.starts
+        finishes = state.finishes
+        for activity in starts:
+            self.activity_cases[activity] = self.activity_cases.get(activity, 0) + 1
+        for activity in state.skips:
+            self.skip_cases[activity] = self.skip_cases.get(activity, 0) + 1
+        for guard, outcome in state.outcomes.items():
+            self.outcome_cases[(guard, outcome)] = (
+                self.outcome_cases.get((guard, outcome), 0) + 1
+            )
+            self.outcomes_seen.setdefault(guard, set()).add(outcome)
+        # Precedence: interval order with log-position tie-break.
+        for a, (finish_a, pos_finish_a) in finishes.items():
+            for b, (start_b, pos_start_b) in starts.items():
+                if a == b:
+                    continue
+                pair = (a, b)
+                self.cooccur[pair] = self.cooccur.get(pair, 0) + 1
+                if finish_a < start_b or (
+                    finish_a == start_b and pos_finish_a < pos_start_b
+                ):
+                    self.ordered[pair] = self.ordered.get(pair, 0) + 1
+                    if finish_a == start_b:
+                        self.direct[pair] = self.direct.get(pair, 0) + 1
+                elif b in finishes:
+                    start_a = starts[a][0]
+                    finish_b = finishes[b][0]
+                    if start_a < finish_b and start_b < finish_a:
+                        self.overlap[pair] = self.overlap.get(pair, 0) + 1
+        # Guard conditioning.
+        for guard, outcome in state.outcomes.items():
+            for x in starts:
+                if x != guard:
+                    key = (x, guard, outcome)
+                    self.exec_given[key] = self.exec_given.get(key, 0) + 1
+            for x in state.skips:
+                if x != guard:
+                    key = (x, guard, outcome)
+                    self.skip_given[key] = self.skip_given.get(key, 0) + 1
+
+    def finish(self) -> "LogStatistics":
+        """Close every still-open case and return ``self``."""
+        for case in sorted(self._open):
+            self.close_case(case)
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            metrics.counter(
+                "repro_discover_events_total", "events folded into statistics"
+            ).inc(self.event_count)
+            metrics.counter(
+                "repro_discover_cases_total", "cases folded into statistics"
+            ).inc(self.case_count)
+            if self.anomaly_count:
+                metrics.counter(
+                    "repro_discover_anomalies_total",
+                    "malformed records tolerated during the statistics pass",
+                ).inc(self.anomaly_count)
+        return self
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls, events: Iterable[Event], obs: Optional["Observability"] = None
+    ) -> "LogStatistics":
+        stats = cls(obs=obs)
+        tracer = obs.tracer if obs is not None else None
+        if tracer is not None:
+            with tracer.span("discover.stats"):
+                for event in events:
+                    stats.observe(event)
+                return stats.finish()
+        for event in events:
+            stats.observe(event)
+        return stats.finish()
+
+    @classmethod
+    def from_log(
+        cls, log: EventLog, obs: Optional["Observability"] = None
+    ) -> "LogStatistics":
+        return cls.from_events(log.events, obs=obs)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def activities(self) -> Tuple[str, ...]:
+        """Every activity the log mentions (started or skipped), sorted."""
+        names = set(self.activity_cases)
+        names.update(self.skip_cases)
+        return tuple(sorted(names))
+
+    def confidence(self, a: str, b: str) -> float:
+        """Fraction of ``(a, b)`` co-occurrences where ``a`` preceded ``b``."""
+        together = self.cooccur.get((a, b), 0)
+        if not together:
+            return 0.0
+        return self.ordered.get((a, b), 0) / together
+
+    def _anomaly(self, description: str) -> None:
+        self.anomaly_count += 1
+        if len(self.anomalies) < MAX_ANOMALIES:
+            self.anomalies.append(description)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "LogStatistics(cases=%d, events=%d, activities=%d)" % (
+            self.case_count,
+            self.event_count,
+            len(self.activities),
+        )

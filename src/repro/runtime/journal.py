@@ -159,9 +159,24 @@ class JournalState:
         return [case for case in self.cases.values() if not case.in_flight]
 
 
-def read_journal(path: str) -> JournalState:
-    """Parse a journal file back into a :class:`JournalState`."""
+def read_journal(path: str, strict: bool = True) -> JournalState:
+    """Parse a journal file back into a :class:`JournalState`.
+
+    ``strict=True`` (the recovery path) treats any inconsistency — a
+    case admitted twice, a completion or event for an unadmitted case,
+    a repeated activity-lifecycle record — as a :class:`JournalError`,
+    because the coordinator's write path can never produce one.
+
+    ``strict=False`` is the *ingestion* path (``dscweaver discover`` /
+    ``replay`` on a journal of unknown provenance): re-admissions keep
+    the original case, records for unadmitted cases admit the case
+    implicitly, and a duplicated ``(case, activity, lifecycle)`` event —
+    the write-ahead artifact of a crash between journaling a record and
+    applying it, then re-journaling after recovery — is dropped, first
+    occurrence wins, so crash/recover journals replay and mine cleanly.
+    """
     state = JournalState()
+    seen_events = set()
     with open(path, "r", encoding="utf-8") as handle:
         for number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -176,9 +191,11 @@ def read_journal(path: str) -> JournalState:
             if kind == "admit":
                 case = str(payload["case"])
                 if case in state.cases:
-                    raise JournalError(
-                        "record %d: case %r admitted twice" % (number, case)
-                    )
+                    if strict:
+                        raise JournalError(
+                            "record %d: case %r admitted twice" % (number, case)
+                        )
+                    continue  # re-admission: the original case wins
                 state.cases[case] = JournaledCase(
                     case=case, outcomes=dict(payload.get("outcomes") or {})
                 )
@@ -186,9 +203,12 @@ def read_journal(path: str) -> JournalState:
                 case = str(payload["case"])
                 journaled = state.cases.get(case)
                 if journaled is None:
-                    raise JournalError(
-                        "record %d: completion of unknown case %r" % (number, case)
-                    )
+                    if strict:
+                        raise JournalError(
+                            "record %d: completion of unknown case %r"
+                            % (number, case)
+                        )
+                    journaled = state.cases[case] = JournaledCase(case=case)
                 journaled.status = str(payload["status"])
                 journaled.completed_at = float(payload["time"])
                 journaled.reason = payload.get("reason")
@@ -201,14 +221,28 @@ def read_journal(path: str) -> JournalState:
                     )
                 journaled = state.cases.get(event.case)
                 if journaled is None:
-                    raise JournalError(
-                        "record %d: event for unadmitted case %r"
-                        % (number, event.case)
+                    if strict:
+                        raise JournalError(
+                            "record %d: event for unadmitted case %r"
+                            % (number, event.case)
+                        )
+                    journaled = state.cases[event.case] = JournaledCase(
+                        case=event.case
                     )
+                key = (event.case, event.activity, event.lifecycle)
+                if key in seen_events:
+                    if strict:
+                        raise JournalError(
+                            "record %d: repeated %s of %r in case %r"
+                            % (number, event.lifecycle, event.activity, event.case)
+                        )
+                    continue  # recovery-duplicated record; first wins
+                seen_events.add(key)
                 journaled.events.append(event)
                 state.event_stream.append(event)
             else:
-                raise JournalError(
-                    "record %d: unknown control record %r" % (number, kind)
-                )
+                if strict:
+                    raise JournalError(
+                        "record %d: unknown control record %r" % (number, kind)
+                    )
     return state

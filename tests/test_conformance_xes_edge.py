@@ -1,0 +1,282 @@
+"""XES import edge cases: the messy exports mining must tolerate.
+
+Real-world XES rarely matches the tidy two-transition profile: events
+drop ``concept:name``, timestamps go missing or arrive out of order,
+traces interleave many cases, and guard outcomes ride along as bare
+``outcome`` attributes.  Each case pins the import behaviour and the
+JSONL round trip the rest of the toolchain relies on."""
+
+from __future__ import annotations
+
+from repro.conformance.events import FINISH, START, EventLog
+
+
+def _xes(traces):
+    body = []
+    for case, events in traces:
+        attrs = (
+            '<string key="concept:name" value="%s"/>' % case if case else ""
+        )
+        rendered = []
+        for event in events:
+            fields = []
+            if "name" in event:
+                fields.append(
+                    '<string key="concept:name" value="%s"/>' % event["name"]
+                )
+            if "transition" in event:
+                fields.append(
+                    '<string key="lifecycle:transition" value="%s"/>'
+                    % event["transition"]
+                )
+            if "time" in event:
+                fields.append(
+                    '<date key="time:timestamp" value="%s"/>' % event["time"]
+                )
+            if "outcome" in event:
+                fields.append(
+                    '<string key="outcome" value="%s"/>' % event["outcome"]
+                )
+            rendered.append("<event>%s</event>" % "".join(fields))
+        body.append("<trace>%s%s</trace>" % (attrs, "".join(rendered)))
+    return '<?xml version="1.0"?><log>%s</log>' % "".join(body)
+
+
+class TestMissingAttributes:
+    def test_event_without_concept_name_skipped(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {"transition": "complete", "time": "1.0"},
+                            {"name": "a", "transition": "complete", "time": "2.0"},
+                        ],
+                    )
+                ]
+            )
+        )
+        assert log.activities() == ["a"]
+        assert len(log) == 2  # synthesized start + finish
+
+    def test_trace_without_name_gets_positional_case_id(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (None, [{"name": "a", "transition": "complete", "time": "1.0"}]),
+                    (None, [{"name": "b", "transition": "complete", "time": "1.0"}]),
+                ]
+            )
+        )
+        assert log.case_ids() == ["case-1", "case-2"]
+
+    def test_missing_lifecycle_defaults_to_complete_with_synthesized_start(self):
+        log = EventLog.from_xes(
+            _xes([("c1", [{"name": "a", "time": "3.5"}])])
+        )
+        assert [(e.lifecycle, e.time) for e in log.events] == [
+            (START, 3.5),
+            (FINISH, 3.5),
+        ]
+
+    def test_unsupported_transitions_ignored(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {"name": "a", "transition": "start", "time": "1.0"},
+                            {"name": "a", "transition": "suspend", "time": "2.0"},
+                            {"name": "a", "transition": "resume", "time": "3.0"},
+                            {"name": "a", "transition": "complete", "time": "4.0"},
+                        ],
+                    )
+                ]
+            )
+        )
+        assert [e.lifecycle for e in log.events] == [START, FINISH]
+
+
+class TestTimestamps:
+    def test_missing_timestamps_get_monotonic_ordinals(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {"name": "a", "transition": "complete"},
+                            {"name": "b", "transition": "complete"},
+                        ],
+                    )
+                ]
+            )
+        )
+        times = [e.time for e in log.events if e.lifecycle == FINISH]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_ordinal_clock_continues_after_explicit_timestamp(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {"name": "a", "transition": "complete", "time": "100.0"},
+                            {"name": "b", "transition": "complete"},
+                        ],
+                    )
+                ]
+            )
+        )
+        a, b = (e for e in log.events if e.lifecycle == FINISH)
+        assert a.time == 100.0
+        assert b.time > a.time
+
+    def test_unordered_timestamps_preserved_verbatim(self):
+        # Importers must not silently re-sort: the statistics pass owns
+        # interval semantics and tolerates disorder explicitly.
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {"name": "b", "transition": "complete", "time": "9.0"},
+                            {"name": "a", "transition": "complete", "time": "2.0"},
+                        ],
+                    )
+                ]
+            )
+        )
+        finishes = [(e.activity, e.time) for e in log.events if e.lifecycle == FINISH]
+        assert finishes == [("b", 9.0), ("a", 2.0)]
+
+    def test_iso8601_timestamps_parsed(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {
+                                "name": "a",
+                                "transition": "complete",
+                                "time": "2026-08-08T12:00:00Z",
+                            }
+                        ],
+                    )
+                ]
+            )
+        )
+        assert log.events[0].time > 1e9  # epoch seconds
+
+
+class TestMultiCaseAndOutcomes:
+    def test_interleaved_traces_stay_separate_cases(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {"name": "a", "transition": "start", "time": "0.0"},
+                            {"name": "a", "transition": "complete", "time": "5.0"},
+                        ],
+                    ),
+                    (
+                        "c2",
+                        [
+                            {"name": "a", "transition": "start", "time": "1.0"},
+                            {"name": "a", "transition": "complete", "time": "2.0"},
+                        ],
+                    ),
+                ]
+            )
+        )
+        cases = log.cases()
+        assert set(cases) == {"c1", "c2"}
+        assert all(len(events) == 2 for events in cases.values())
+
+    def test_outcome_attribute_lands_on_finish_event(self):
+        log = EventLog.from_xes(
+            _xes(
+                [
+                    (
+                        "c1",
+                        [
+                            {"name": "g", "transition": "start", "time": "0.0"},
+                            {
+                                "name": "g",
+                                "transition": "complete",
+                                "time": "1.0",
+                                "outcome": "T",
+                            },
+                        ],
+                    )
+                ]
+            )
+        )
+        start, finish = log.events
+        assert start.outcome is None
+        assert finish.outcome == "T"
+
+    def test_jsonl_round_trip_preserves_imported_log(self):
+        xes = _xes(
+            [
+                (
+                    "c1",
+                    [
+                        {"name": "g", "transition": "start", "time": "0.0"},
+                        {
+                            "name": "g",
+                            "transition": "complete",
+                            "time": "1.0",
+                            "outcome": "F",
+                        },
+                        {"name": "b", "transition": "complete"},
+                    ],
+                ),
+                (None, [{"name": "a", "time": "7.0"}]),
+            ]
+        )
+        imported = EventLog.from_xes(xes)
+        assert EventLog.from_jsonl(imported.to_jsonl()) == imported
+
+    def test_invalid_xml_raises_value_error(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EventLog.from_xes("<log><trace>")
+
+    def test_imported_xes_mines_like_jsonl(self, tmp_path):
+        # End to end: the same log mined via the XES path and the JSONL
+        # path produces identical statistics.
+        from repro.discover.ingest import load_log
+        from repro.discover.stats import LogStatistics
+
+        xes = _xes(
+            [
+                (
+                    "c%d" % index,
+                    [
+                        {"name": "a", "transition": "start", "time": "0.0"},
+                        {"name": "a", "transition": "complete", "time": "1.0"},
+                        {"name": "b", "transition": "start", "time": "2.0"},
+                        {"name": "b", "transition": "complete", "time": "3.0"},
+                    ],
+                )
+                for index in range(6)
+            ]
+        )
+        xes_path = tmp_path / "log.xes"
+        xes_path.write_text(xes, encoding="utf-8")
+        imported = load_log(str(xes_path))
+        jsonl_path = tmp_path / "log.jsonl"
+        imported.save_jsonl(str(jsonl_path))
+        via_xes = LogStatistics.from_log(imported)
+        via_jsonl = LogStatistics.from_log(load_log(str(jsonl_path)))
+        assert via_xes.ordered == via_jsonl.ordered == {("a", "b"): 6}

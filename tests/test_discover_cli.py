@@ -1,0 +1,235 @@
+"""The ``dscweaver discover`` command and the ``simulate`` batch/perturb
+flags: exit-code contract (0 clean, 1 gated finding, 2 bad input),
+format handling and artifact emission."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _PERTURBATION_KINDS, main
+from repro.conformance.events import EventLog
+from repro.conformance.perturb import PERTURBATION_KINDS
+
+
+@pytest.fixture(scope="module")
+def recorded_log(tmp_path_factory):
+    """A 200-case jittered purchasing log recorded through the CLI."""
+    path = tmp_path_factory.mktemp("discover") / "runs.jsonl"
+    assert (
+        main(
+            [
+                "simulate",
+                "--workload",
+                "purchasing",
+                "--cases",
+                "200",
+                "--seed",
+                "0",
+                "--record",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestSimulateBatch:
+    def test_cases_flag_records_one_case_per_run(self, recorded_log):
+        log = EventLog.load_jsonl(str(recorded_log))
+        assert len(log.cases()) == 200
+        assert log.case_ids()[0] == "case-00000"
+
+    def test_perturb_flag_injects_defects(self, tmp_path, capsys):
+        path = tmp_path / "noisy.jsonl"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workload",
+                    "purchasing",
+                    "--cases",
+                    "30",
+                    "--record",
+                    str(path),
+                    "--perturb",
+                    "swap",
+                    "--perturb-rate",
+                    "0.1",
+                    "--seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "perturbed" in out
+        assert "swap" in out
+        assert path.exists()
+
+    def test_perturbation_kind_choices_match_conformance_registry(self):
+        # The CLI mirrors the kinds inline so parser construction stays
+        # lazy; this pin keeps the mirror honest.
+        assert set(_PERTURBATION_KINDS) == set(PERTURBATION_KINDS)
+
+
+class TestDiscoverExitCodes:
+    def test_clean_log_with_matching_reference_exits_zero(
+        self, recorded_log, capsys
+    ):
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(recorded_log),
+                    "--reference",
+                    "purchasing",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "precision=1.000 recall=1.000" in out
+        assert "transitively equivalent to reference: yes" in out
+        assert "rediscovered program verification: proven" in out
+
+    def test_wrong_reference_exits_one_with_dis005(self, recorded_log, capsys):
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(recorded_log),
+                    "--reference",
+                    "loan",
+                    "--no-verify",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "DIS005" in out
+
+    def test_fail_on_error_tolerates_warnings(self, recorded_log):
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(recorded_log),
+                    "--reference",
+                    "loan",
+                    "--no-verify",
+                    "--fail-on",
+                    "error",
+                ]
+            )
+            == 0
+        )
+
+    def test_missing_log_exits_two(self, tmp_path, capsys):
+        assert main(["discover", "--log", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot load log" in capsys.readouterr().err
+
+    def test_invalid_thresholds_exit_two(self, recorded_log, capsys):
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(recorded_log),
+                    "--min-confidence",
+                    "0.3",
+                ]
+            )
+            == 2
+        )
+        assert "invalid thresholds" in capsys.readouterr().err
+
+    def test_malformed_log_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.csv"
+        path.write_text("not,a,log\n1,2,3\n", encoding="utf-8")
+        assert main(["discover", "--log", str(path)]) == 2
+        assert "cannot load log" in capsys.readouterr().err
+
+
+class TestDiscoverOutputs:
+    def test_mine_without_reference_prints_summary(self, recorded_log, capsys):
+        assert main(["discover", "--log", str(recorded_log)]) == 0
+        out = capsys.readouterr().out
+        assert "mined 200 case(s)" in out
+        assert "candidates:" in out
+
+    def test_show_candidates_lists_scored_arrows(self, recorded_log, capsys):
+        assert (
+            main(["discover", "--log", str(recorded_log), "--show-candidates"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "->c[T]" in out or "->c[F]" in out
+        assert "->o" in out
+        assert "support=" in out
+
+    def test_emit_dscl_writes_parseable_program(
+        self, recorded_log, tmp_path, capsys
+    ):
+        target = tmp_path / "mined.dscl"
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(recorded_log),
+                    "--emit-dscl",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        from repro.dscl.parser import parse
+
+        program = parse(target.read_text(encoding="utf-8"))
+        assert program.statements
+
+    def test_json_report_format(self, recorded_log, capsys):
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(recorded_log),
+                    "--reference",
+                    "loan",
+                    "--no-verify",
+                    "--report-format",
+                    "json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert any(d["code"] == "DIS005" for d in payload["findings"])
+
+    def test_csv_log_round_trips_through_discover(
+        self, recorded_log, tmp_path, capsys
+    ):
+        csv_path = tmp_path / "runs.csv"
+        log = EventLog.load_jsonl(str(recorded_log))
+        csv_path.write_text(log.to_csv(), encoding="utf-8")
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(csv_path),
+                    "--reference",
+                    "purchasing",
+                    "--no-verify",
+                ]
+            )
+            == 0
+        )
+        assert "precision=1.000 recall=1.000" in capsys.readouterr().out

@@ -1,0 +1,205 @@
+"""Mining runtime journals, including crash/recover artifacts.
+
+The write-ahead contract (record first, state transition second) means a
+journal that survived a crash and recovery may carry a re-journaled
+duplicate of the record that was in flight when the process died.
+Recovery proper (``read_journal(strict=True)``) must still reject such
+inconsistencies — the coordinator's own write path never produces them —
+while the ingestion path (``strict=False``, used by ``dscweaver
+discover`` and ``replay``) dedupes by ``(case, activity, lifecycle)``,
+first occurrence winning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.conformance.events import FINISH, START, Event
+from repro.discover.ingest import (
+    dedupe_events,
+    load_log,
+    log_from_journal,
+    sniff_format,
+)
+from repro.runtime.journal import JournalError, read_journal
+
+
+@pytest.fixture(scope="module")
+def recovered_journal(tmp_path_factory, capsysbinary=None):
+    """A journal produced by a genuine crash-then-recover run."""
+    path = tmp_path_factory.mktemp("journal") / "wal.jsonl"
+    code = main(
+        [
+            "serve",
+            "purchasing",
+            "--cases",
+            "32",
+            "--journal",
+            str(path),
+            "--crash-after",
+            "150",
+        ]
+    )
+    assert code == 3  # simulated crash
+    assert (
+        main(
+            [
+                "serve",
+                "purchasing",
+                "--cases",
+                "32",
+                "--journal",
+                str(path),
+                "--recover",
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+@pytest.fixture()
+def duplicated_journal(recovered_journal, tmp_path):
+    """The recovered journal with one event record duplicated, emulating
+    a crash that hit between journaling a record and applying it."""
+    lines = recovered_journal.read_text(encoding="utf-8").splitlines()
+    event_line = next(
+        line for line in lines if "rt" not in json.loads(line)
+    )
+    duplicated = tmp_path / "wal-dup.jsonl"
+    duplicated.write_text(
+        "\n".join(lines + [event_line]) + "\n", encoding="utf-8"
+    )
+    return duplicated, json.loads(event_line)
+
+
+class TestStrictRecovery:
+    def test_genuine_recovered_journal_parses_strictly(self, recovered_journal):
+        state = read_journal(str(recovered_journal))
+        assert len(state.completed()) == 32
+        assert state.in_flight() == []
+
+    def test_duplicate_event_rejected(self, duplicated_journal):
+        path, payload = duplicated_journal
+        with pytest.raises(JournalError):
+            read_journal(str(path))
+
+    def test_unknown_control_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"rt": "checkpoint", "case": "c1"}\n', encoding="utf-8")
+        with pytest.raises(JournalError):
+            read_journal(str(path))
+
+    def test_event_for_unadmitted_case_rejected(self, tmp_path):
+        path = tmp_path / "orphan.jsonl"
+        path.write_text(
+            '{"case": "c1", "activity": "a", "lifecycle": "start", "time": 0.0}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(JournalError):
+            read_journal(str(path))
+
+
+class TestTolerantIngestion:
+    def test_duplicate_event_dropped_first_wins(self, duplicated_journal):
+        path, payload = duplicated_journal
+        state = read_journal(str(path), strict=False)
+        key = (payload["case"], payload["activity"], payload["lifecycle"])
+        matches = [
+            e
+            for e in state.event_stream
+            if (e.case, e.activity, e.lifecycle) == key
+        ]
+        assert len(matches) == 1
+
+    def test_readmission_keeps_original_case(self, tmp_path):
+        path = tmp_path / "readmit.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    '{"rt": "admit", "case": "c1", "time": 0.0, "outcomes": {"g": "T"}}',
+                    '{"rt": "admit", "case": "c1", "time": 5.0, "outcomes": {"g": "F"}}',
+                ]
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        state = read_journal(str(path), strict=False)
+        assert state.cases["c1"].outcomes == {"g": "T"}
+
+    def test_unadmitted_case_admitted_implicitly(self, tmp_path):
+        path = tmp_path / "orphan.jsonl"
+        path.write_text(
+            '{"case": "c1", "activity": "a", "lifecycle": "start", "time": 0.0}\n'
+            '{"rt": "checkpoint", "case": "c1"}\n',
+            encoding="utf-8",
+        )
+        state = read_journal(str(path), strict=False)
+        assert "c1" in state.cases
+        assert len(state.event_stream) == 1  # unknown control record skipped
+
+    def test_log_from_journal_equals_dedup_of_stream(self, duplicated_journal):
+        path, _ = duplicated_journal
+        log = log_from_journal(str(path))
+        state = read_journal(str(path), strict=False)
+        assert log.events == dedupe_events(state.event_stream)
+
+
+class TestDedupeEvents:
+    def test_first_occurrence_wins(self):
+        first = Event("c1", "a", START, 0.0)
+        dup = Event("c1", "a", START, 9.0)
+        other = Event("c1", "a", FINISH, 1.0)
+        assert dedupe_events([first, dup, other]) == [first, other]
+
+
+class TestDiscoverOnJournals:
+    def test_sniff_classifies_journal_vs_jsonl(self, recovered_journal, tmp_path):
+        assert sniff_format(str(recovered_journal)) == "journal"
+        plain = tmp_path / "plain.jsonl"
+        plain.write_text(
+            '{"case": "c1", "activity": "a", "lifecycle": "start", "time": 0.0}\n',
+            encoding="utf-8",
+        )
+        assert sniff_format(str(plain)) == "jsonl"
+
+    def test_load_log_sniffs_and_dedupes(self, duplicated_journal):
+        path, payload = duplicated_journal
+        log = load_log(str(path))
+        key = (payload["case"], payload["activity"], payload["lifecycle"])
+        assert (
+            len(
+                [
+                    e
+                    for e in log.events
+                    if (e.case, e.activity, e.lifecycle) == key
+                ]
+            )
+            == 1
+        )
+        assert len(log.cases()) == 32
+
+    def test_discover_mines_crash_recovered_journal(
+        self, duplicated_journal, capsys
+    ):
+        path, _ = duplicated_journal
+        # 32 unjittered serve cases leave timing coincidences, so gate
+        # only on errors: the point is that ingestion works end to end.
+        assert (
+            main(
+                [
+                    "discover",
+                    "--log",
+                    str(path),
+                    "--min-support",
+                    "3",
+                    "--fail-on",
+                    "error",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mined 32 case(s)" in out

@@ -1,0 +1,309 @@
+"""Candidate mining over handcrafted statistics: thresholds, noise
+tolerance, guard conditioning and every DIS001-004 finding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conditions import Cond
+from repro.conformance.events import FINISH, SKIP, START, Event
+from repro.discover.mine import (
+    AMBIGUOUS_DIRECTION,
+    CONTRADICTORY_CONDITIONING,
+    INEXPRESSIBLE_DEPENDENCY,
+    SUBTHRESHOLD_EVIDENCE,
+    Candidate,
+    MinerConfig,
+    mine,
+)
+from repro.discover.stats import LogStatistics
+from repro.lint.diagnostics import Severity
+
+
+def _interval(case, activity, start, finish, outcome=None):
+    return [
+        Event(case, activity, START, start),
+        Event(case, activity, FINISH, finish, outcome),
+    ]
+
+
+def _sequential_cases(count, *activities, reverse_in=(), prefix="c"):
+    """``count`` cases running the activities strictly sequentially,
+    with the order reversed in the case indices listed."""
+    events = []
+    for index in range(count):
+        order = list(activities)
+        if index in reverse_in:
+            order.reverse()
+        clock = 0.0
+        for activity in order:
+            events.extend(
+                _interval("%s%03d" % (prefix, index), activity, clock, clock + 1.0)
+            )
+            clock += 10.0
+    return events
+
+
+def _guarded_cases(count, outcomes=("T", "F"), execute_under=("T",), guard="g"):
+    """Cases alternating guard outcomes; ``x`` executes only under
+    ``execute_under`` and is skipped otherwise."""
+    events = []
+    for index in range(count):
+        case = "g%03d" % index
+        outcome = outcomes[index % len(outcomes)]
+        events.extend(_interval(case, guard, 0.0, 1.0, outcome=outcome))
+        if outcome in execute_under:
+            events.extend(_interval(case, "x", 5.0, 6.0))
+        else:
+            events.append(Event(case, "x", SKIP, 1.0))
+    return events
+
+
+def _nested_guard_cases(count):
+    """g1=T enables g2; g2=T enables x (dead-path skips otherwise)."""
+    events = []
+    for index in range(count):
+        case = "c%03d" % index
+        g1 = "T" if index % 2 == 0 else "F"
+        events.extend(_interval(case, "g1", 0.0, 1.0, outcome=g1))
+        if g1 == "T":
+            g2 = "T" if index % 4 == 0 else "F"
+            events.extend(_interval(case, "g2", 2.0, 3.0, outcome=g2))
+            if g2 == "T":
+                events.extend(_interval(case, "x", 4.0, 5.0))
+            else:
+                events.append(Event(case, "x", SKIP, 3.0))
+        else:
+            events.append(Event(case, "g2", SKIP, 1.0))
+            events.append(Event(case, "x", SKIP, 1.0))
+    return events
+
+
+def _mine(events, **config_kwargs):
+    return mine(LogStatistics.from_events(events), MinerConfig(**config_kwargs))
+
+
+def _codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+class TestMinerConfig:
+    def test_defaults_validate(self):
+        MinerConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_support": 0},
+            {"min_confidence": 0.5},
+            {"min_confidence": 1.1},
+            {"noise": -0.01},
+            {"noise": 0.5},
+        ],
+    )
+    def test_out_of_range_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MinerConfig(**kwargs).validate()
+
+
+class TestPrecedenceMining:
+    def test_always_ordered_pair_becomes_cooperation_candidate(self):
+        result = _mine(_sequential_cases(8, "a", "b"))
+        [candidate] = result.candidates
+        assert (candidate.source, candidate.target) == ("a", "b")
+        assert candidate.condition is None
+        assert candidate.support == 8
+        assert candidate.confidence == 1.0
+        assert candidate.annotation == frozenset()
+        assert result.counts() == {"control": 0, "cooperation": 1, "total": 1}
+
+    def test_single_violation_excludes_pair_at_zero_noise(self):
+        result = _mine(_sequential_cases(100, "a", "b", reverse_in=(37,)))
+        assert result.candidates == ()
+
+    def test_noise_budget_readmits_rarely_violated_pair(self):
+        events = _sequential_cases(100, "a", "b", reverse_in=(37,))
+        result = _mine(events, noise=0.02)
+        [candidate] = result.candidates
+        assert (candidate.source, candidate.target) == ("a", "b")
+        assert candidate.confidence == pytest.approx(0.99)
+
+    def test_confidence_floor_still_applies_under_large_noise(self):
+        # 60/40 split: 4 violations fit a 0.45 noise budget, but the
+        # confidence bar must still reject the pair.
+        result = _mine(
+            _sequential_cases(10, "a", "b", reverse_in=(0, 1, 2, 3)), noise=0.45
+        )
+        assert result.candidates == ()
+
+    def test_dis002_confident_but_undersupported(self):
+        result = _mine(_sequential_cases(3, "a", "b"))
+        assert result.candidates == ()
+        assert _codes(result) == [SUBTHRESHOLD_EVIDENCE]
+        assert result.diagnostics[0].severity is Severity.INFO
+        assert "precedence a -> b" in result.diagnostics[0].message
+
+    def test_dis001_inconsistent_direction(self):
+        # 70/30 ordering split, never concurrent: sequential but ambiguous.
+        result = _mine(_sequential_cases(10, "a", "b", reverse_in=(0, 1, 2)))
+        assert result.candidates == ()
+        findings = [d for d in result.diagnostics if d.code == AMBIGUOUS_DIRECTION]
+        assert len(findings) == 1  # flagged once, not once per direction
+        assert findings[0].severity is Severity.WARNING
+        assert "direction is inconsistent" in findings[0].message
+
+    def test_concurrent_pair_neither_candidate_nor_ambiguous(self):
+        events = []
+        for index in range(10):
+            case = "c%03d" % index
+            events.extend(_interval(case, "a", 0.0, 10.0))
+            events.extend(_interval(case, "b", 5.0, 15.0))
+        result = _mine(events)
+        assert result.candidates == ()
+        assert AMBIGUOUS_DIRECTION not in _codes(result)
+
+
+class TestConditionMining:
+    def test_branch_activity_mined_as_control_candidate(self):
+        result = _mine(_guarded_cases(10))
+        [candidate] = result.candidates
+        assert (candidate.source, candidate.target) == ("g", "x")
+        assert candidate.condition == "T"
+        assert candidate.support == 5
+        assert candidate.confidence == 1.0
+        assert candidate.annotation == frozenset({Cond("g", "T")})
+        assert result.guards == {"x": frozenset({Cond("g", "T")})}
+
+    def test_conditioned_pair_not_doubly_emitted_as_cooperation(self):
+        result = _mine(_guarded_cases(10))
+        assert len(result.candidates) == 1
+        assert result.counts()["control"] == 1
+
+    def test_dis002_single_outcome_guard(self):
+        result = _mine(_guarded_cases(10, outcomes=("T",)))
+        singles = [
+            d
+            for d in result.diagnostics
+            if d.code == SUBTHRESHOLD_EVIDENCE and "only ever produced" in d.message
+        ]
+        assert len(singles) == 1
+        assert singles[0].severity is Severity.INFO
+        # Without a discriminating outcome, g->x is plain precedence.
+        [candidate] = result.candidates
+        assert candidate.condition is None
+
+    def test_dis003_contradictory_conditioning(self):
+        events = _guarded_cases(10)
+        # One case where x is *skipped* under the dominant outcome T.
+        events.extend(_interval("c900", "g", 0.0, 1.0, outcome="T"))
+        events.append(Event("c900", "x", SKIP, 1.0))
+        result = _mine(events)
+        findings = [
+            d for d in result.diagnostics if d.code == CONTRADICTORY_CONDITIONING
+        ]
+        assert len(findings) == 1
+        assert "does not determine" in findings[0].message
+        # The pair degrades to an unconditional precedence candidate:
+        # whenever x did execute, g had finished first.
+        [candidate] = result.candidates
+        assert (candidate.source, candidate.target) == ("g", "x")
+        assert candidate.condition is None
+
+    def test_dis003_suppressed_when_nested_guard_explains_the_skip(self):
+        # x skips under g1=T exactly when the inner guard g2 said F; the
+        # successful (g2, x) conditioning explains it — no contradiction.
+        result = _mine(_nested_guard_cases(12), min_support=3)
+        assert CONTRADICTORY_CONDITIONING not in _codes(result)
+
+    def test_dis004_disjunctive_dependency_inexpressible(self):
+        result = _mine(
+            _guarded_cases(12, outcomes=("a", "b", "c"), execute_under=("a", "b"))
+        )
+        findings = [
+            d for d in result.diagnostics if d.code == INEXPRESSIBLE_DEPENDENCY
+        ]
+        assert len(findings) == 1
+        assert "inexpressible" in findings[0].message
+        assert findings[0].severity is Severity.WARNING
+        # Only the unconditional fallback candidate survives.
+        [candidate] = result.candidates
+        assert candidate.condition is None
+
+    def test_nested_guards_mined_through_the_guard_chain(self):
+        # x is mined as conditioned on the *innermost* guard only — the
+        # skip under g1=T (when g2=F) blocks direct conditioning on g1 —
+        # and g2 on g1, so x's effective guard {g1=T, g2=T} is reachable
+        # through the guard chain, exactly as guard-aware closure reads it.
+        result = _mine(_nested_guard_cases(12), min_support=3)
+        conditions = {
+            (c.source, c.target, c.condition)
+            for c in result.candidates
+            if c.condition is not None
+        }
+        assert conditions == {("g1", "g2", "T"), ("g2", "x", "T")}
+        assert result.guards["x"] == frozenset({Cond("g2", "T")})
+        assert result.guards["g2"] == frozenset({Cond("g1", "T")})
+
+    def test_conditioning_requires_order_agreement(self):
+        # x executes only under g=T but *before* g finishes: no candidate.
+        events = []
+        for index in range(10):
+            case = "c%03d" % index
+            outcome = "T" if index % 2 == 0 else "F"
+            events.extend(_interval(case, "g", 5.0, 6.0, outcome=outcome))
+            if outcome == "T":
+                events.extend(_interval(case, "x", 0.0, 1.0))
+            else:
+                events.append(Event(case, "x", SKIP, 6.0))
+        result = _mine(events)
+        assert not any(c.condition == "T" for c in result.candidates)
+
+
+class TestDiscoveryResult:
+    def test_constraint_set_is_standalone(self):
+        result = _mine(_guarded_cases(10) + _sequential_cases(10, "p", "q"))
+        sc = result.constraint_set()
+        assert set(sc.activities) == {"g", "x", "p", "q"}
+        assert len(sc.constraints) == len(result.candidates) == 2
+        assert sc.guards["x"] == frozenset({Cond("g", "T")})
+        assert sc.domains.domain("g") == frozenset({"F", "T"})
+        # The standalone set minimizes without a process model.
+        from repro.core.minimize import minimize
+
+        minimal = minimize(sc)
+        assert len(minimal.constraints) == 2
+
+    def test_dependency_set_round_trips_candidates(self):
+        result = _mine(_sequential_cases(10, "a", "b"))
+        deps = result.dependency_set()
+        assert [d.source for d in deps] == ["a"]
+
+    def test_summary_lines_mention_thresholds_and_anomalies(self):
+        events = _sequential_cases(10, "a", "b")
+        events.append(Event("c000", "a", FINISH, 99.0))  # duplicate finish
+        result = _mine(events)
+        text = "\n".join(result.summary_lines())
+        assert "support >= 5" in text
+        assert "tolerated 1 malformed record(s)" in text
+
+    def test_candidate_str_shows_arrow_and_score(self):
+        result = _mine(_guarded_cases(10))
+        [candidate] = result.candidates
+        assert isinstance(candidate, Candidate)
+        rendered = str(candidate)
+        assert "[T]" in rendered
+        assert "support=5" in rendered
+
+    def test_obs_counters_by_kind(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        stats = LogStatistics.from_events(
+            _guarded_cases(10) + _sequential_cases(10, "p", "q")
+        )
+        mine(stats, obs=obs)
+        counter = obs.metrics.counter(
+            "repro_discover_candidates_total", "", labelnames=("kind",)
+        )
+        assert counter.value(kind="control") == 1
+        assert counter.value(kind="cooperation") == 1

@@ -1,0 +1,197 @@
+"""The streaming statistics pass behind dependency mining.
+
+Handcrafted miniature logs pin the semantics the miner relies on:
+interval (not event-order) precedence with the log-position tie-break,
+overlap as concurrency evidence, guard-outcome conditioning counters,
+and tolerance of malformed records.
+"""
+
+from __future__ import annotations
+
+from repro.conformance.events import FINISH, SKIP, START, Event, EventLog
+from repro.discover.stats import MAX_ANOMALIES, LogStatistics
+
+
+def _interval(case, activity, start, finish, outcome=None):
+    return [
+        Event(case, activity, START, start),
+        Event(case, activity, FINISH, finish, outcome),
+    ]
+
+
+def _sequence(case, *activities, step=10.0):
+    """Strictly sequential instantaneous-ish executions: a then b then c."""
+    events = []
+    clock = 0.0
+    for activity in activities:
+        events.extend(_interval(case, activity, clock, clock + 1.0))
+        clock += step
+    return events
+
+
+class TestPrecedenceCounting:
+    def test_strict_interval_order(self):
+        stats = LogStatistics.from_events(_sequence("c1", "a", "b"))
+        assert stats.case_count == 1
+        assert stats.cooccur[("a", "b")] == 1
+        assert stats.ordered[("a", "b")] == 1
+        assert stats.ordered.get(("b", "a"), 0) == 0
+        # b finished and a started, so the reverse pair co-occurred too.
+        assert stats.cooccur[("b", "a")] == 1
+        assert stats.confidence("a", "b") == 1.0
+        assert stats.confidence("b", "a") == 0.0
+
+    def test_equal_timestamps_tie_broken_by_log_position(self):
+        # finish(a) and start(b) at the same instant: the scheduler emits
+        # the enabling finish first, so log position decides.
+        events = [
+            Event("c1", "a", START, 0.0),
+            Event("c1", "a", FINISH, 5.0),
+            Event("c1", "b", START, 5.0),
+            Event("c1", "b", FINISH, 9.0),
+        ]
+        stats = LogStatistics.from_events(events)
+        assert stats.ordered[("a", "b")] == 1
+        assert stats.direct[("a", "b")] == 1
+        # Reversed positions at the same instant: no longer ordered.
+        events = [
+            Event("c1", "b", START, 5.0),
+            Event("c1", "a", START, 0.0),
+            Event("c1", "a", FINISH, 5.0),
+            Event("c1", "b", FINISH, 9.0),
+        ]
+        stats = LogStatistics.from_events(events)
+        assert stats.ordered.get(("a", "b"), 0) == 0
+
+    def test_overlapping_intervals_count_as_concurrency(self):
+        events = _interval("c1", "a", 0.0, 10.0) + _interval("c1", "b", 5.0, 15.0)
+        stats = LogStatistics.from_events(events)
+        assert stats.ordered.get(("a", "b"), 0) == 0
+        assert stats.overlap[("a", "b")] == 1
+        assert stats.overlap[("b", "a")] == 1
+
+    def test_confidence_aggregates_across_cases(self):
+        events = []
+        for index in range(4):
+            events.extend(_sequence("c%d" % index, "a", "b"))
+        events.extend(_sequence("c4", "b", "a"))
+        stats = LogStatistics.from_events(events)
+        assert stats.cooccur[("a", "b")] == 5
+        assert stats.ordered[("a", "b")] == 4
+        assert stats.confidence("a", "b") == 0.8
+
+    def test_interleaved_cases_do_not_cross_pollinate(self):
+        # Two cases interleaved in arrival order, with opposite orders.
+        events = (
+            _interval("c1", "a", 0.0, 1.0)
+            + _interval("c2", "b", 0.0, 1.0)
+            + _interval("c1", "b", 2.0, 3.0)
+            + _interval("c2", "a", 2.0, 3.0)
+        )
+        stats = LogStatistics.from_events(events)
+        assert stats.cooccur[("a", "b")] == 2
+        assert stats.ordered[("a", "b")] == 1
+        assert stats.ordered[("b", "a")] == 1
+
+
+class TestGuardConditioning:
+    def test_outcome_and_exec_counters(self):
+        events = []
+        # g=T: x runs.  g=F: x skipped.
+        events.extend(_interval("c1", "g", 0.0, 1.0, outcome="T"))
+        events.extend(_interval("c1", "x", 2.0, 3.0))
+        events.extend(_interval("c2", "g", 0.0, 1.0, outcome="F"))
+        events.append(Event("c2", "x", SKIP, 1.0))
+        stats = LogStatistics.from_events(events)
+        assert stats.outcome_cases[("g", "T")] == 1
+        assert stats.outcome_cases[("g", "F")] == 1
+        assert stats.outcomes_seen["g"] == {"T", "F"}
+        assert stats.exec_given[("x", "g", "T")] == 1
+        assert stats.exec_given.get(("x", "g", "F"), 0) == 0
+        assert stats.skip_given[("x", "g", "F")] == 1
+        assert stats.skip_cases["x"] == 1
+
+    def test_skipped_only_activity_still_listed(self):
+        events = _interval("c1", "g", 0.0, 1.0, outcome="F")
+        events.append(Event("c1", "x", SKIP, 1.0))
+        stats = LogStatistics.from_events(events)
+        assert stats.activities == ("g", "x")
+        assert "x" not in stats.activity_cases
+
+
+class TestAnomalyTolerance:
+    def test_duplicate_start_and_finish_ignored(self):
+        events = [
+            Event("c1", "a", START, 0.0),
+            Event("c1", "a", START, 2.0),
+            Event("c1", "a", FINISH, 4.0),
+            Event("c1", "a", FINISH, 6.0),
+        ]
+        stats = LogStatistics.from_events(events)
+        assert stats.anomaly_count == 2
+        assert stats.activity_cases["a"] == 1
+        assert any("duplicate start" in a for a in stats.anomalies)
+        assert any("duplicate finish" in a for a in stats.anomalies)
+
+    def test_orphan_finish_treated_as_instantaneous(self):
+        events = [Event("c1", "a", FINISH, 5.0)] + _interval("c1", "b", 7.0, 8.0)
+        stats = LogStatistics.from_events(events)
+        assert stats.anomaly_count == 1
+        # The orphan still participates in precedence counting.
+        assert stats.ordered[("a", "b")] == 1
+
+    def test_unknown_lifecycle_tolerated(self):
+        class Alien:
+            case = "c1"
+            activity = "a"
+            lifecycle = "suspend"
+            time = 0.0
+            outcome = None
+
+        stats = LogStatistics()
+        stats.observe(Alien())
+        stats.finish()
+        assert stats.anomaly_count == 1
+        assert "unknown lifecycle" in stats.anomalies[0]
+
+    def test_anomaly_descriptions_capped_but_count_unbounded(self):
+        stats = LogStatistics()
+        for index in range(MAX_ANOMALIES + 10):
+            stats.observe(Event("c1", "a%d" % index, FINISH, float(index)))
+        stats.finish()
+        assert stats.anomaly_count == MAX_ANOMALIES + 10
+        assert len(stats.anomalies) == MAX_ANOMALIES
+
+
+class TestStreamingShape:
+    def test_from_log_equals_from_events(self):
+        events = _sequence("c1", "a", "b") + _sequence("c2", "a", "b")
+        via_log = LogStatistics.from_log(EventLog(events))
+        via_events = LogStatistics.from_events(events)
+        assert via_log.cooccur == via_events.cooccur
+        assert via_log.case_count == via_events.case_count == 2
+
+    def test_open_cases_closed_deterministically_on_finish(self):
+        stats = LogStatistics()
+        for case in ("z", "a", "m"):
+            for event in _sequence(case, "a", "b"):
+                stats.observe(event)
+        assert stats.case_count == 0  # nothing folded yet
+        stats.finish()
+        assert stats.case_count == 3
+        assert stats.ordered[("a", "b")] == 3
+
+    def test_obs_metrics_emitted(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        LogStatistics.from_events(
+            _sequence("c1", "a", "b") + [Event("c1", "a", FINISH, 99.0)], obs=obs
+        )
+        metrics = obs.metrics
+        assert metrics.counter("repro_discover_events_total", "").value() == 5
+        assert metrics.counter("repro_discover_cases_total", "").value() == 1
+        assert metrics.counter("repro_discover_anomalies_total", "").value() == 1
+        assert any(
+            span.name == "discover.stats" for span in obs.tracer.finished_spans()
+        )

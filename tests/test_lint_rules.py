@@ -29,6 +29,11 @@ ALL_CODES = (
     "CONF005",
     "CONF006",
     "CONF007",
+    "DIS001",
+    "DIS002",
+    "DIS003",
+    "DIS004",
+    "DIS005",
     "RED001",
     "RT001",
     "RT002",
