@@ -1,0 +1,253 @@
+"""S8 — object-centric serving: co-sharded vs random-sharded fan-out,
+and recovery time for partially satisfied cross-case barriers.
+
+The orders workload fans each order object out into ``1 + fan_out``
+cases tied together by the ``all:item.pack_item->order.ship_order``
+barrier.  Two placements serve identical loads:
+
+* **co-sharded** — every family (order parent plus its items) lands on
+  one shard via the shared crc32 shard key, so barrier traffic stays
+  shard-local;
+* **random-sharded** — cases hash by case id, splitting families across
+  shards and routing every obligation through the cross-shard wait
+  index.
+
+Both must produce bit-identical final states and per-object obligation
+counters (placement is never allowed to change results); the record
+pins that co-sharding is at least as fast at every fan-out.  The
+recovery rows crash a journaled run at increasing depths and time
+``Runtime.recover`` + re-run back to the baseline states.
+
+``test_emit_bench_objects_json`` writes the machine-readable record to
+``BENCH_objects.json`` at the repository root (uploaded by the CI
+``objects-smoke`` job).  ``BENCH_OBJECTS_FAN_OUTS`` (default
+``10,100,1000``) and ``BENCH_OBJECTS_ORDERS`` (default 4) scale the
+sweep; CI runs a small configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.core.pipeline import DSCWeaver
+from repro.runtime import Runtime, SimulatedCrash, program_from_weave
+from repro.workloads.orders import (
+    build_orders_process,
+    orders_dependency_set,
+    orders_object_spec,
+    orders_plans,
+)
+
+FAN_OUTS = tuple(
+    int(raw)
+    for raw in os.environ.get("BENCH_OBJECTS_FAN_OUTS", "10,100,1000").split(",")
+)
+ORDERS = int(os.environ.get("BENCH_OBJECTS_ORDERS", "4"))
+SHARDS = 4
+ROUNDS = int(os.environ.get("BENCH_OBJECTS_ROUNDS", "7"))
+RECOVERY_FRACTIONS = (0.25, 0.5, 0.75)
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_objects.json"
+
+
+@pytest.fixture(scope="module")
+def program():
+    result = DSCWeaver().weave(build_orders_process(), orders_dependency_set())
+    return program_from_weave(result, "minimal", target="runtime")
+
+
+def _serve(program, fan_out, co_shard, **options):
+    plans, bindings = orders_plans(ORDERS, fan_out)
+    runtime = Runtime(
+        program,
+        objects=orders_object_spec(),
+        co_shard=co_shard,
+        shards=SHARDS,
+        **options,
+    )
+    runtime.submit_batch(plans, bindings=bindings)
+    report = runtime.run()
+    counters = runtime.object_counters()
+    runtime.close()
+    return report, counters
+
+
+def _paired_best(program, fan_out, rounds=ROUNDS):
+    """Interleaved best-of walls for both placements.
+
+    Alternating co-sharded and random-sharded rounds (after one warmup
+    each) keeps cache/allocator drift from biasing either side; the
+    per-placement minimum over ``rounds`` is the stable wall estimate.
+    Returns ``(best_co, co_report, co_counters, best_rand, rand_report,
+    rand_counters)``.
+    """
+    _serve(program, fan_out, co_shard=True)
+    _serve(program, fan_out, co_shard=False)
+    best_co = best_rand = None
+    co_report = co_counters = rand_report = rand_counters = None
+    for _ in range(rounds):
+        co_report, co_counters = _serve(program, fan_out, co_shard=True)
+        rand_report, rand_counters = _serve(program, fan_out, co_shard=False)
+        co_wall = co_report.metrics.wall_seconds
+        rand_wall = rand_report.metrics.wall_seconds
+        best_co = co_wall if best_co is None else min(best_co, co_wall)
+        best_rand = rand_wall if best_rand is None else min(best_rand, rand_wall)
+    return best_co, co_report, co_counters, best_rand, rand_report, rand_counters
+
+
+@pytest.mark.benchmark(min_rounds=3, max_time=2.0)
+def test_co_sharded_serving_throughput(benchmark, program, artifact_sink):
+    fan_out = FAN_OUTS[0]
+
+    def run():
+        return _serve(program, fan_out, co_shard=True)
+
+    report, _counters = benchmark(run)
+    cases = ORDERS * (fan_out + 1)
+    assert report.metrics.completed == cases
+    assert report.metrics.barriers_released == ORDERS
+    artifact_sink(
+        "s8_objects_throughput",
+        "S8 object-centric serving, co-sharded — %d orders x fan-out %d "
+        "-> %d cases on %d shards, %d barriers released"
+        % (ORDERS, fan_out, cases, SHARDS, report.metrics.barriers_released),
+    )
+
+
+def test_emit_bench_objects_json(program, tmp_path, artifact_sink):
+    """Machine-readable S8 placement/recovery record (module docstring)."""
+    rows = []
+    for fan_out in FAN_OUTS:
+        cases = ORDERS * (fan_out + 1)
+        best_co, co_report, co_counters, best_rand, rand_report, rand_counters = (
+            _paired_best(program, fan_out)
+        )
+
+        assert co_report.metrics.completed == cases
+        assert rand_report.metrics.completed == cases
+        # placement must never change results
+        assert co_report.final_states() == rand_report.final_states()
+        assert co_counters == rand_counters
+        # co-sharding keeps every family whole; random splits at least one
+        assert all(
+            assigned % (fan_out + 1) == 0
+            for assigned in co_report.metrics.shard_assigned
+        )
+
+        rows.append(
+            {
+                "fan_out": fan_out,
+                "orders": ORDERS,
+                "cases": cases,
+                "shards": SHARDS,
+                "co_wall_seconds": round(best_co, 6),
+                "random_wall_seconds": round(best_rand, 6),
+                "co_cases_per_second": round(cases / best_co, 1),
+                "random_cases_per_second": round(cases / best_rand, 1),
+                "speedup": round(best_rand / best_co, 3),
+                "latency_p95": co_report.metrics.latency_p95,
+                "barriers_released": co_report.metrics.barriers_released,
+                "identical_final_states": True,
+                "identical_counters": True,
+            }
+        )
+
+    # Recovery-time curve at the smallest fan-out: crash a journaled run
+    # at increasing depths, then time recover + re-run to completion.
+    fan_out = FAN_OUTS[0]
+    baseline_path = str(tmp_path / "baseline.jsonl")
+    baseline, baseline_counters = _serve(
+        program, fan_out, co_shard=True, journal_path=baseline_path
+    )
+    records = baseline.metrics.journal_records
+    admits = ORDERS * (fan_out + 1)
+    recovery = []
+    for fraction in RECOVERY_FRACTIONS:
+        crash_after = max(admits + 1, int(records * fraction))
+        path = str(tmp_path / ("crash-%d.jsonl" % crash_after))
+        crashing = Runtime(
+            program,
+            objects=orders_object_spec(),
+            co_shard=True,
+            shards=SHARDS,
+            journal_path=path,
+            crash_after=crash_after,
+        )
+        plans, bindings = orders_plans(ORDERS, fan_out)
+        crashing.submit_batch(plans, bindings=bindings)
+        with pytest.raises(SimulatedCrash):
+            crashing.run()
+
+        started = time.perf_counter()
+        recovered = Runtime.recover(
+            path, program, objects=orders_object_spec(), shards=SHARDS
+        )
+        report = recovered.run()
+        seconds = time.perf_counter() - started
+        counters = recovered.object_counters()
+        recovered.close()
+
+        assert report.final_states() == baseline.final_states()
+        assert counters == baseline_counters
+        recovery.append(
+            {
+                "crash_after_records": crash_after,
+                "journal_records": records,
+                "crash_fraction": round(crash_after / records, 3),
+                "recovery_seconds": round(seconds, 6),
+                "identical_final_states": True,
+                "identical_counters": True,
+            }
+        )
+
+    payload = {
+        "benchmark": "objects_placement",
+        "description": (
+            "Co-sharded vs random-sharded serving of the orders fan-out "
+            "(identical final states and per-object obligation counters "
+            "under both placements), plus the recovery-time curve for "
+            "journaled runs crashed mid fan-out."
+        ),
+        "orders": ORDERS,
+        "shards": SHARDS,
+        "rounds": ROUNDS,
+        "rows": rows,
+        "recovery": recovery,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    summary = [
+        "fan-out=%-5d cases=%-6d co=%.0f cases/s random=%.0f cases/s "
+        "(%.2fx) p95=%.1f"
+        % (
+            r["fan_out"],
+            r["cases"],
+            r["co_cases_per_second"],
+            r["random_cases_per_second"],
+            r["speedup"],
+            r["latency_p95"],
+        )
+        for r in rows
+    ] + [
+        "recover@%.2f (%d of %d records) -> %.3fs"
+        % (
+            r["crash_fraction"],
+            r["crash_after_records"],
+            r["journal_records"],
+            r["recovery_seconds"],
+        )
+        for r in recovery
+    ]
+    artifact_sink("s8_objects_placement", "\n".join(summary))
+
+    # The acceptance bar: co-sharding is at least as fast at every
+    # fan-out, and every recovery lands on the baseline states/counters.
+    for row in rows:
+        assert row["co_cases_per_second"] >= row["random_cases_per_second"], row
+    for row in recovery:
+        assert row["identical_final_states"] and row["identical_counters"]

@@ -21,6 +21,8 @@ Subcommands::
     dscweaver serve purchasing --journal wal.jsonl --crash-after 500
     dscweaver serve purchasing --journal wal.jsonl --recover
     dscweaver serve purchasing --trace-out t.json --metrics-out m.prom
+    dscweaver serve orders --objects --fan-out 50 --journal wal.jsonl
+    dscweaver monitor orders --objects --log wal.jsonl   # object-aware replay
     dscweaver trace t.json --top 10               # flame summary of a trace
 
 ``minimize``, ``simulate``, ``replay`` and ``serve`` accept ``--trace-out``
@@ -28,7 +30,12 @@ Subcommands::
 (Prometheus text, or JSON for ``*.json`` paths); ``serve`` and ``replay``
 also take ``--format json`` for a machine-readable run summary.
 
-Workloads: purchasing, deployment, loan, travel, insurance.
+Workloads: purchasing, deployment, loan, travel, insurance, orders.  The
+``orders`` workload additionally declares cross-case object constraints
+(``repro.objects``): ``serve orders --objects`` fans each order out into
+line-item cases co-sharded by object key, and ``monitor orders
+--objects`` replays the journal with per-object obligation tracking
+(``OBJ00x`` findings).
 
 Exit codes: ``validate`` returns 1 when the specification has conflicts
 (cycles, unsatisfiable guards) or the Petri net is unsound; ``lint``
@@ -85,6 +92,12 @@ def _load_workload(name: str) -> Tuple[BusinessProcess, DependencySet]:
 
         process = build_insurance_process()
         cooperation = insurance_cooperation(process).dependencies
+    elif name == "orders":
+        from repro.deps.cooperation import CooperationRegistry
+        from repro.workloads.orders import build_orders_process
+
+        process = build_orders_process()
+        cooperation = CooperationRegistry(process).dependencies
     else:
         raise SystemExit("unknown workload %r" % name)
     return process, extract_all_dependencies(process, cooperation=cooperation)
@@ -317,35 +330,80 @@ def _run_monitor_command(arguments) -> int:
 
     _result, program = _conformance_program(arguments)
     monitor = ConformanceMonitor(program)
+    objmon = None
+    if arguments.objects:
+        if arguments.workload != "orders":
+            print("--objects requires the orders workload", file=sys.stderr)
+            return 2
+        from repro.objects import ObjectMonitor
+        from repro.workloads.orders import orders_object_spec
+
+        objmon = ObjectMonitor(orders_object_spec())
     if arguments.log:
         handle = open(arguments.log, "r", encoding="utf-8")
     else:
         handle = sys.stdin
+    printed_obj = 0
     try:
         for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                event = Event.from_dict(json_module.loads(line))
+                payload = json_module.loads(line)
+            except ValueError as error:
+                print("line %d: bad event (%s)" % (number, error), file=sys.stderr)
+                return 2
+            if isinstance(payload, dict) and payload.get("rt") is not None:
+                # Runtime journal control record, not a lifecycle event.
+                # Admit records carry the declared fan-out the object
+                # monitor needs; everything else is skipped so a WAL
+                # journal monitors as-is.
+                if (
+                    objmon is not None
+                    and payload.get("rt") == "admit"
+                    and payload.get("object")
+                ):
+                    from repro.objects import ObjectBinding
+
+                    objmon.bind(
+                        str(payload["case"]),
+                        ObjectBinding.from_dict(payload["object"]),
+                    )
+                continue
+            try:
+                event = Event.from_dict(payload)
             except (KeyError, TypeError, ValueError) as error:
                 print("line %d: bad event (%s)" % (number, error), file=sys.stderr)
                 return 2
             for diagnostic in monitor.feed(event):
                 print(diagnostic.render())
+            if objmon is not None:
+                objmon.feed(event)
+                for diagnostic in objmon.diagnostics[printed_obj:]:
+                    print(diagnostic.render())
+                printed_obj = len(objmon.diagnostics)
     finally:
         if arguments.log:
             handle.close()
     for diagnostic in monitor.finish():
         print(diagnostic.render())
+    obj_report = None
+    if objmon is not None:
+        obj_report = objmon.finish()
+        for diagnostic in obj_report.diagnostics[printed_obj:]:
+            print(diagnostic.render())
     threshold = Severity.from_name(arguments.fail_on)
-    gating = sum(
-        1 for d in monitor.diagnostics if d.severity.at_least(threshold)
-    )
+    diagnostics = list(monitor.diagnostics)
+    if obj_report is not None:
+        diagnostics.extend(obj_report.diagnostics)
+    gating = sum(1 for d in diagnostics if d.severity.at_least(threshold))
     print(
         "monitored %d event(s), %d finding(s), %d gating"
-        % (monitor.events_fed, len(monitor.diagnostics), gating)
+        % (monitor.events_fed, len(diagnostics), gating)
     )
+    if obj_report is not None:
+        print(obj_report.summary())
     return 1 if gating else 0
 
 
@@ -576,7 +634,6 @@ def _run_serve_command(arguments) -> int:
                 % (verdict, preflight.stats.states, preflight.elapsed_seconds)
             )
 
-    plans = _case_plans(program, arguments.cases)
     policies = RetryPolicies(
         default=RetryPolicy(
             failure_rate=arguments.failure_rate,
@@ -595,6 +652,51 @@ def _run_serve_command(arguments) -> int:
         seed=arguments.seed,
         obs=obs,
     )
+
+    bindings = None
+    objects_info = None
+    if arguments.objects:
+        if arguments.workload != "orders":
+            print("--objects requires the orders workload", file=sys.stderr)
+            return 2
+        from repro.workloads.orders import orders_object_spec, orders_plans
+
+        order_count = max(1, arguments.cases // (arguments.fan_out + 1))
+        try:
+            plans, bindings = orders_plans(
+                order_count,
+                arguments.fan_out,
+                cancel_every=arguments.cancel_every,
+                withhold=arguments.withhold,
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        options["objects"] = orders_object_spec()
+        options["co_shard"] = not arguments.random_shard
+        objects_info = {
+            "orders": order_count,
+            "fan_out": arguments.fan_out,
+            "cancel_every": arguments.cancel_every,
+            "withhold": arguments.withhold,
+            "co_shard": not arguments.random_shard,
+        }
+        if arguments.format == "text":
+            print(
+                "objects: %d order(s) x fan-out %d -> %d case(s) "
+                "(%s-sharded%s)"
+                % (
+                    order_count,
+                    arguments.fan_out,
+                    len(plans),
+                    "co" if not arguments.random_shard else "random",
+                    ", withholding %d child(ren) per order" % arguments.withhold
+                    if arguments.withhold
+                    else "",
+                )
+            )
+    else:
+        plans = _case_plans(program, arguments.cases)
     recovery = None
     if arguments.recover:
         runtime = Runtime.recover(
@@ -623,20 +725,28 @@ def _run_serve_command(arguments) -> int:
             crash_after=arguments.crash_after,
             **options,
         )
-    runtime.submit_batch(plans)
     try:
+        # the crash point may land on an admit record, not just mid-run
+        runtime.submit_batch(plans, bindings=bindings)
         report = runtime.run()
     except SimulatedCrash as crash:
+        hint = "dscweaver serve %s --cases %d --set %s --journal %s --recover" % (
+            arguments.workload,
+            arguments.cases,
+            arguments.set,
+            arguments.journal,
+        )
+        if arguments.objects:
+            hint += " --objects --fan-out %d" % arguments.fan_out
+            if arguments.cancel_every:
+                hint += " --cancel-every %d" % arguments.cancel_every
+            if arguments.withhold:
+                hint += " --withhold %d" % arguments.withhold
+            if arguments.random_shard:
+                hint += " --random-shard"
         print(
-            "simulated crash after journal record %d; recover with: "
-            "dscweaver serve %s --cases %d --set %s --journal %s --recover"
-            % (
-                crash.records_written,
-                arguments.workload,
-                arguments.cases,
-                arguments.set,
-                arguments.journal,
-            )
+            "simulated crash after journal record %d; recover with: %s"
+            % (crash.records_written, hint)
         )
         return 3
     finally:
@@ -659,6 +769,8 @@ def _run_serve_command(arguments) -> int:
     }
     if recovery is not None:
         payload["recovery"] = recovery
+    if objects_info is not None:
+        payload["objects"] = objects_info
     _emit_summary(arguments.format, payload, text)
     return report.exit_code(Severity.from_name(arguments.fail_on))
 
@@ -861,7 +973,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sub.add_argument(
             "--workload",
             default="purchasing",
-            choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+            choices=["purchasing", "deployment", "loan", "travel", "insurance", "orders"],
         )
         return sub
 
@@ -989,7 +1101,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload",
         nargs="?",
         default="purchasing",
-        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+        choices=["purchasing", "deployment", "loan", "travel", "insurance", "orders"],
     )
     lint.add_argument(
         "--format", default="text", choices=["text", "json", "sarif"]
@@ -1040,7 +1152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "workload",
             nargs="?",
             default="purchasing",
-            choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+            choices=["purchasing", "deployment", "loan", "travel", "insurance", "orders"],
         )
         sub.add_argument(
             "--set",
@@ -1091,6 +1203,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="PATH",
         help="read events from this JSONL file instead of stdin",
+    )
+    monitor_cmd.add_argument(
+        "--objects",
+        action="store_true",
+        help="additionally track cross-case object obligations (orders "
+        "workload only; OBJ00x findings): bindings come from journal "
+        "admit records or event object/role attributes",
     )
 
     serve = add_conformance(
@@ -1163,6 +1282,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="pre-flight gate: symbolically verify deadlock-freedom before "
         "admitting any case (exit 2 when refuted)",
     )
+    serve.add_argument(
+        "--objects",
+        action="store_true",
+        help="serve the orders workload object-centrically: --cases is a "
+        "total-case budget split into cases // (fan_out + 1) order "
+        "objects, each fanning out into 1 + fan_out cross-case-"
+        "synchronized cases (orders workload only)",
+    )
+    serve.add_argument(
+        "--fan-out", type=int, default=10, metavar="N",
+        help="line items declared per order with --objects (default 10)",
+    )
+    serve.add_argument(
+        "--cancel-every", type=int, default=0, metavar="K",
+        help="with --objects: every K-th item fails its quality check and "
+        "is dropped (still resolves the ship barrier; default 0: none)",
+    )
+    serve.add_argument(
+        "--withhold", type=int, default=0, metavar="W",
+        help="with --objects: submit W fewer items per order than "
+        "declared, stranding the ship barrier (RT006; default 0)",
+    )
+    serve.add_argument(
+        "--random-shard",
+        action="store_true",
+        help="with --objects: place cases by case id instead of "
+        "co-sharding by object key (the baseline the benchmark compares "
+        "against)",
+    )
     add_obs_flags(serve)
 
     verify_cmd = subparsers.add_parser(
@@ -1174,7 +1322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload",
         nargs="?",
         default="purchasing",
-        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+        choices=["purchasing", "deployment", "loan", "travel", "insurance", "orders"],
     )
     verify_cmd.add_argument(
         "--set",
@@ -1262,7 +1410,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     discover_cmd.add_argument(
         "--reference",
         default=None,
-        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+        choices=["purchasing", "deployment", "loan", "travel", "insurance", "orders"],
         help="score the mined set against this workload's declared "
         "dependencies (entailment-level precision/recall, transitive "
         "equivalence, end-to-end verification; divergences are DIS005)",
@@ -1324,7 +1472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload",
         nargs="?",
         default="purchasing",
-        choices=["purchasing", "deployment", "loan", "travel", "insurance"],
+        choices=["purchasing", "deployment", "loan", "travel", "insurance", "orders"],
     )
     petri_cmd.add_argument(
         "--set",

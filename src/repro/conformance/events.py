@@ -11,10 +11,18 @@ Logs read and write three formats:
 
 * **JSON Lines** — one event object per line; the native format, also what
   ``dscweaver simulate --record`` emits and ``dscweaver monitor`` consumes;
-* **CSV** — ``case,activity,lifecycle,time,outcome`` with a header row;
+* **CSV** — ``case,activity,lifecycle,time,outcome`` with a header row
+  (plus a JSON-encoded ``attrs`` column when any event carries extra
+  attributes);
 * **XES** (import only) — the IEEE standard process-mining interchange
   format; ``lifecycle:transition`` values ``start``/``complete`` map onto
   our ``start``/``finish``.
+
+Events round-trip *unknown* attributes through both native formats: any
+key that is not one of the reserved five lands in :attr:`Event.attrs`
+(object-centric logs use this for ``object``/``role`` identities), and is
+re-emitted on write — JSONL flattens them back into the event object, CSV
+carries them in one JSON-encoded column.
 """
 
 from __future__ import annotations
@@ -32,6 +40,9 @@ FINISH = "finish"
 SKIP = "skip"
 LIFECYCLES = (START, FINISH, SKIP)
 
+#: Keys with dedicated :class:`Event` fields; everything else is an attr.
+RESERVED_KEYS = ("case", "activity", "lifecycle", "time", "outcome")
+
 
 @dataclass(frozen=True)
 class Event:
@@ -40,7 +51,10 @@ class Event:
     ``outcome`` is only meaningful on ``finish`` events of guard
     activities; ``time`` is any monotonically non-decreasing clock (the
     simulator's virtual time, a wall-clock epoch, or a plain sequence
-    number when the source log has no timestamps).
+    number when the source log has no timestamps).  ``attrs`` holds every
+    non-reserved attribute of the source record as a canonically sorted
+    ``(key, value)`` tuple — hashable, so events stay usable as dict
+    keys — and survives JSONL and CSV round trips.
     """
 
     case: str
@@ -48,6 +62,7 @@ class Event:
     lifecycle: str
     time: float
     outcome: Optional[str] = None
+    attrs: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.lifecycle not in LIFECYCLES:
@@ -55,6 +70,21 @@ class Event:
                 "unknown lifecycle %r (expected one of %s)"
                 % (self.lifecycle, ", ".join(LIFECYCLES))
             )
+        pairs = (
+            tuple(self.attrs.items())
+            if isinstance(self.attrs, dict)
+            else tuple((str(key), value) for key, value in self.attrs)
+        )
+        for key, _value in pairs:
+            if key in RESERVED_KEYS:
+                raise ValueError("attr key %r shadows a reserved event field" % key)
+        object.__setattr__(self, "attrs", tuple(sorted(pairs)))
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        for name, value in self.attrs:
+            if name == key:
+                return value
+        return default
 
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -65,6 +95,8 @@ class Event:
         }
         if self.outcome is not None:
             payload["outcome"] = self.outcome
+        for key, value in self.attrs:
+            payload[key] = value
         return payload
 
     @classmethod
@@ -75,6 +107,11 @@ class Event:
             lifecycle=str(payload["lifecycle"]),
             time=float(payload["time"]),
             outcome=payload.get("outcome"),
+            attrs=tuple(
+                (str(key), value)
+                for key, value in payload.items()
+                if key not in RESERVED_KEYS
+            ),
         )
 
     def __str__(self) -> str:
@@ -169,21 +206,31 @@ class EventLog:
     # -- CSV ---------------------------------------------------------------
 
     CSV_FIELDS: Tuple[str, ...] = ("case", "activity", "lifecycle", "time", "outcome")
+    #: Extra-attribute column, emitted only when some event carries attrs so
+    #: attr-free logs stay byte-identical to the historical format.
+    CSV_ATTRS_FIELD = "attrs"
 
     def to_csv(self) -> str:
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
-        writer.writerow(self.CSV_FIELDS)
+        with_attrs = any(event.attrs for event in self.events)
+        header = self.CSV_FIELDS + ((self.CSV_ATTRS_FIELD,) if with_attrs else ())
+        writer.writerow(header)
         for event in self.events:
-            writer.writerow(
-                (
-                    event.case,
-                    event.activity,
-                    event.lifecycle,
-                    repr(event.time),
-                    event.outcome or "",
+            row = [
+                event.case,
+                event.activity,
+                event.lifecycle,
+                repr(event.time),
+                event.outcome or "",
+            ]
+            if with_attrs:
+                row.append(
+                    json.dumps(dict(event.attrs), sort_keys=True, ensure_ascii=False)
+                    if event.attrs
+                    else ""
                 )
-            )
+            writer.writerow(row)
         return buffer.getvalue()
 
     @classmethod
@@ -193,7 +240,18 @@ class EventLog:
         if missing:
             raise ValueError("CSV log missing column(s): %s" % ", ".join(sorted(missing)))
         log = cls()
-        for row in reader:
+        for number, row in enumerate(reader, start=2):
+            raw_attrs = row.get(cls.CSV_ATTRS_FIELD)
+            if raw_attrs:
+                try:
+                    decoded = json.loads(raw_attrs)
+                except ValueError as error:
+                    raise ValueError("row %d: invalid attrs JSON (%s)" % (number, error))
+                if not isinstance(decoded, dict):
+                    raise ValueError("row %d: attrs must decode to an object" % number)
+                attrs = tuple((str(key), value) for key, value in decoded.items())
+            else:
+                attrs = ()
             log.append(
                 Event(
                     case=row["case"],
@@ -201,6 +259,7 @@ class EventLog:
                     lifecycle=row["lifecycle"],
                     time=float(row["time"]),
                     outcome=row.get("outcome") or None,
+                    attrs=attrs,
                 )
             )
         return log

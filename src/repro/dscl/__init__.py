@@ -17,9 +17,13 @@ into synchronization constraint sets.
 """
 
 from repro.dscl.ast import (
+    CrossCaseAll,
+    CrossCaseOnce,
     Exclusive,
     HappenBefore,
     HappenTogether,
+    ObjectRelationDecl,
+    ObjectStatement,
     Program,
     Statement,
 )
@@ -36,9 +40,13 @@ from repro.dscl import patterns
 
 __all__ = [
     "CompiledConstraints",
+    "CrossCaseAll",
+    "CrossCaseOnce",
     "Exclusive",
     "HappenBefore",
     "HappenTogether",
+    "ObjectRelationDecl",
+    "ObjectStatement",
     "Program",
     "Statement",
     "Token",

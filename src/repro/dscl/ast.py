@@ -88,14 +88,132 @@ class Exclusive:
 Statement = Union[HappenBefore, HappenTogether, Exclusive]
 
 
-class Program:
-    """An ordered DSCL program."""
+def _split_qualified(qualified: str, what: str) -> "tuple[str, str]":
+    role, dot, activity = qualified.partition(".")
+    if not dot or not role or not activity or "." in activity:
+        raise DSCLSemanticError(
+            "%s must be a qualified role.activity name, got %r" % (what, qualified)
+        )
+    return role, activity
 
-    def __init__(self, statements: Optional[List[Statement]] = None) -> None:
+
+@dataclass(frozen=True)
+class ObjectRelationDecl:
+    """``object parent 1..* child``: a one-to-many object relation.
+
+    Cases playing the ``child`` role fan out from a case playing the
+    ``parent`` role over a shared object identity (e.g. one order, many
+    line items).
+    """
+
+    parent: str
+    child: str
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.parent or not self.child:
+            raise DSCLSemanticError("object relation roles must be non-empty")
+        if self.parent == self.child:
+            raise DSCLSemanticError(
+                "object relation cannot relate role %r to itself" % self.parent
+            )
+
+    def __str__(self) -> str:
+        return "object %s 1..* %s" % (self.parent, self.child)
+
+
+@dataclass(frozen=True)
+class CrossCaseAll:
+    """``child.act ->A parent.act``: an all-of cross-case barrier.
+
+    The parent-role activity may start only after *every* sibling child
+    case of the same object has finished (or skipped) the child activity.
+    """
+
+    child_role: str
+    child_activity: str
+    parent_role: str
+    parent_activity: str
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.child_role == self.parent_role:
+            raise DSCLSemanticError(
+                "all-of sync must cross roles, got %r on both sides" % self.child_role
+            )
+
+    @classmethod
+    def from_qualified(
+        cls, left: str, right: str, provenance: str = ""
+    ) -> "CrossCaseAll":
+        child_role, child_activity = _split_qualified(left, "all-of sync source")
+        parent_role, parent_activity = _split_qualified(right, "all-of sync target")
+        return cls(child_role, child_activity, parent_role, parent_activity, provenance)
+
+    def __str__(self) -> str:
+        return "%s.%s ->A %s.%s" % (
+            self.child_role,
+            self.child_activity,
+            self.parent_role,
+            self.parent_activity,
+        )
+
+
+@dataclass(frozen=True)
+class CrossCaseOnce:
+    """``role.act ->1 role``: the activity fires exactly once per object.
+
+    Across all cases of ``role`` sharing one object identity, at most one
+    may execute ``activity`` (e.g. one invoice per order); the monitor
+    reports a double-fire when a second case executes it.
+    """
+
+    role: str
+    activity: str
+    provenance: str = ""
+
+    @classmethod
+    def from_qualified(
+        cls, left: str, right: str, provenance: str = ""
+    ) -> "CrossCaseOnce":
+        role, activity = _split_qualified(left, "exactly-once sync source")
+        if right != role:
+            raise DSCLSemanticError(
+                "exactly-once sync %s.%s must scope to its own role, got %r"
+                % (role, activity, right)
+            )
+        return cls(role, activity, provenance)
+
+    def __str__(self) -> str:
+        return "%s.%s ->1 %s" % (self.role, self.activity, self.role)
+
+
+ObjectStatement = Union[ObjectRelationDecl, CrossCaseAll, CrossCaseOnce]
+
+
+class Program:
+    """An ordered DSCL program.
+
+    ``statements`` are the single-case constraints; ``objects`` carries the
+    (usually empty) object-centric declarations — kept in a separate list so
+    every existing consumer of the single-case statement stream is
+    untouched when no object constraints are declared.
+    """
+
+    def __init__(
+        self,
+        statements: Optional[List[Statement]] = None,
+        objects: Optional[List[ObjectStatement]] = None,
+    ) -> None:
         self.statements: List[Statement] = list(statements or [])
+        self.objects: List[ObjectStatement] = list(objects or [])
 
     def add(self, statement: Statement) -> "Program":
         self.statements.append(statement)
+        return self
+
+    def add_object(self, statement: ObjectStatement) -> "Program":
+        self.objects.append(statement)
         return self
 
     @property
@@ -127,9 +245,14 @@ class Program:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Program):
             return NotImplemented
-        return self.statements == other.statements
+        return self.statements == other.statements and self.objects == other.objects
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.objects:
+            return "Program(%d statements, %d object statements)" % (
+                len(self.statements),
+                len(self.objects),
+            )
         return "Program(%d statements)" % len(self.statements)
 
 

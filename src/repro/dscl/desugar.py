@@ -76,4 +76,8 @@ def desugar(program: Program) -> DesugarResult:
             )
         statements = rewritten
 
-    return DesugarResult(Program(statements), coordinators)
+    # Object statements are cross-case and untouched by the single-case
+    # coordinator rewrite; carry them through unchanged.
+    return DesugarResult(
+        Program(statements, objects=list(program.objects)), coordinators
+    )

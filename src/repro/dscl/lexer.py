@@ -9,6 +9,12 @@ The surface syntax, one statement per line (``;``-terminated)::
     F(a) <-> S(b);
     R(a) O R(b);
 
+Object-centric statements (cross-case synchronization) add three tokens::
+
+    object order 1..* item;                 # one-to-many relation
+    item.pack_item ->A order.ship_order;    # all-of barrier
+    order.invoice_order ->1 order;          # exactly-once per object
+
 ``#`` starts a comment running to end of line.
 """
 
@@ -28,6 +34,9 @@ class TokenKind(enum.Enum):
     LBRACKET = "["
     RBRACKET = "]"
     ARROW = "->"
+    ARROW_ALL = "->A"
+    ARROW_ONCE = "->1"
+    CARDINALITY = "1..*"
     TOGETHER = "<->"
     EXCLUSIVE = "O"
     SEMI = ";"
@@ -82,10 +91,27 @@ def tokenize(source: str) -> List[Token]:
             index += 3
             column += 3
             continue
+        # ``->A`` / ``->1`` win over the plain arrow, but only when not a
+        # prefix of a longer identifier (``->Apply`` still lexes as ``->``
+        # followed by IDENT ``Apply``).
+        if (
+            source.startswith("->A", index) or source.startswith("->1", index)
+        ) and (index + 3 >= length or source[index + 3] not in _IDENT_CONT):
+            text = source[index : index + 3]
+            kind = TokenKind.ARROW_ALL if text == "->A" else TokenKind.ARROW_ONCE
+            tokens.append(Token(kind, text, line, column))
+            index += 3
+            column += 3
+            continue
         if source.startswith("->", index):
             tokens.append(Token(TokenKind.ARROW, "->", line, column))
             index += 2
             column += 2
+            continue
+        if source.startswith("1..*", index):
+            tokens.append(Token(TokenKind.CARDINALITY, "1..*", line, column))
+            index += 4
+            column += 4
             continue
         simple = {
             "(": TokenKind.LPAREN,

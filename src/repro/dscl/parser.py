@@ -2,20 +2,37 @@
 
 Grammar::
 
-    program    := statement* EOF
+    program    := (statement | objectstmt)* EOF
     statement  := stateref relation stateref ';'
     relation   := '->' cond? | '<->' cond? | 'O'
     cond       := '[' IDENT ']'
     stateref   := ('S' | 'R' | 'F') '(' IDENT ')'
+    objectstmt := 'object' IDENT '1..*' IDENT ';'
+                | QUALIFIED '->A' QUALIFIED ';'
+                | QUALIFIED '->1' IDENT ';'
+    QUALIFIED  := IDENT containing exactly one '.'   (role.activity)
+
+Object statements land in :attr:`Program.objects`; single-case statements
+land in :attr:`Program.statements` exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from repro.dscl.ast import Exclusive, HappenBefore, HappenTogether, Program, Statement
+from repro.dscl.ast import (
+    CrossCaseAll,
+    CrossCaseOnce,
+    Exclusive,
+    HappenBefore,
+    HappenTogether,
+    ObjectRelationDecl,
+    ObjectStatement,
+    Program,
+    Statement,
+)
 from repro.dscl.lexer import Token, TokenKind, tokenize
-from repro.errors import DSCLSyntaxError
+from repro.errors import DSCLSemanticError, DSCLSyntaxError
 from repro.model.activity import ActivityState, StateRef
 
 _STATE_LETTERS = {"S", "R", "F"}
@@ -93,10 +110,58 @@ class _Parser:
             operator.column,
         )
 
+    def _object_statement(self) -> ObjectStatement:
+        token = self._peek()
+        if token.text == "object":
+            self._advance()
+            parent = self._expect(TokenKind.IDENT)
+            self._expect(TokenKind.CARDINALITY)
+            child = self._expect(TokenKind.IDENT)
+            self._expect(TokenKind.SEMI)
+            return self._semantic(
+                token, lambda: ObjectRelationDecl(parent.text, child.text)
+            )
+        left = self._expect(TokenKind.IDENT)
+        operator = self._peek()
+        if operator.kind is TokenKind.ARROW_ALL:
+            self._advance()
+            right = self._expect(TokenKind.IDENT)
+            self._expect(TokenKind.SEMI)
+            return self._semantic(
+                left, lambda: CrossCaseAll.from_qualified(left.text, right.text)
+            )
+        if operator.kind is TokenKind.ARROW_ONCE:
+            self._advance()
+            right = self._expect(TokenKind.IDENT)
+            self._expect(TokenKind.SEMI)
+            return self._semantic(
+                left, lambda: CrossCaseOnce.from_qualified(left.text, right.text)
+            )
+        raise DSCLSyntaxError(
+            "expected a cross-case relation (->A or ->1) after %r, found %r"
+            % (left.text, operator.text or "end of input"),
+            operator.line,
+            operator.column,
+        )
+
+    @staticmethod
+    def _semantic(token: Token, build: Callable[[], ObjectStatement]) -> ObjectStatement:
+        """Attach source position to semantic errors raised while building."""
+        try:
+            return build()
+        except DSCLSemanticError as error:
+            raise DSCLSyntaxError(str(error), token.line, token.column)
+
     def program(self) -> Program:
         program = Program()
         while self._peek().kind is not TokenKind.EOF:
-            program.add(self._statement())
+            token = self._peek()
+            if token.kind is TokenKind.IDENT and (
+                token.text == "object" or "." in token.text
+            ):
+                program.add_object(self._object_statement())
+            else:
+                program.add(self._statement())
         return program
 
 

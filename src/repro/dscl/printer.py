@@ -20,4 +20,9 @@ def to_text(program: Program, include_provenance: bool = True) -> str:
         if include_provenance and provenance:
             lines.append("# %s" % provenance)
         lines.append("%s;" % statement)
+    for object_statement in program.objects:
+        provenance = getattr(object_statement, "provenance", "")
+        if include_provenance and provenance:
+            lines.append("# %s" % provenance)
+        lines.append("%s;" % object_statement)
     return "\n".join(lines) + ("\n" if lines else "")

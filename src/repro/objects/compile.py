@@ -1,0 +1,113 @@
+"""Lower an :class:`~repro.objects.model.ObjectSpec` into a mask program.
+
+Cross-case syncs are few per model but consulted on every activity finish
+of every case, so — exactly like the single-case constraint algebra in
+:mod:`repro.core.kernel` — the hot representation is dense integers, not
+name tuples:
+
+* every sync (an all-of barrier or a once obligation) is interned through
+  a :class:`~repro.core.kernel.Interner` to a small *sync id* (sid);
+* a parent activity's *gate* is the bitmask of all-of sids that must be
+  open before it may start (``gate_mask & ~open_mask == 0`` is the whole
+  readiness test);
+* a child activity's *contributions* are the sids its resolution feeds.
+
+Sync ids are interned under an ``obj:`` namespace prefix so a sync can
+never collide with an activity name if a caller reuses one interner for
+both universes.  The interner's append-only guarantee keeps sids stable
+for the lifetime of a runtime, which the WAL relies on indirectly: journal
+records carry the *stable name* (``all:item.pack_item->order.ship_order``),
+and :meth:`CrossCaseProgram.sid_of` maps names back to sids on recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.kernel import Interner
+from repro.objects.model import ObjectSpec, SyncAll, SyncOnce
+
+#: Namespace prefix for interned sync names.
+_SYNC_NAMESPACE = "obj:"
+
+
+@dataclass(frozen=True)
+class CompiledSync:
+    """One interned sync: its sid, stable name, and source statement."""
+
+    sid: int
+    name: str
+    statement: object  # SyncAll | SyncOnce
+
+
+@dataclass
+class CrossCaseProgram:
+    """The executable form of an object spec.
+
+    ``gates``
+        ``(parent_role, parent_activity) -> bitmask`` of all-of sids that
+        must all be open before the activity may start.
+    ``contributes``
+        ``(child_role, child_activity) -> (sid, ...)`` — barriers this
+        activity's resolution (finish or skip) feeds.
+    ``onces``
+        ``(role, activity) -> sid`` — exactly-once obligations.
+    """
+
+    spec: ObjectSpec
+    interner: Interner = field(default_factory=Interner)
+    syncs: Dict[int, CompiledSync] = field(default_factory=dict)
+    gates: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    contributes: Dict[Tuple[str, str], Tuple[int, ...]] = field(default_factory=dict)
+    onces: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    _by_name: Dict[str, int] = field(default_factory=dict)
+
+    def sid_of(self, name: str) -> int:
+        """The sid of a stable sync name (for WAL replay)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError("unknown sync name %r; known: %s"
+                           % (name, ", ".join(sorted(self._by_name)) or "(none)"))
+
+    def name_of(self, sid: int) -> str:
+        return self.syncs[sid].name
+
+    def mask_names(self, mask: int) -> Tuple[str, ...]:
+        """The stable names of every sid set in ``mask`` (for evidence)."""
+        names = []
+        for sid, compiled in sorted(self.syncs.items()):
+            if mask & (1 << sid):
+                names.append(compiled.name)
+        return tuple(names)
+
+    def __bool__(self) -> bool:
+        return bool(self.syncs)
+
+
+def compile_objects(spec: ObjectSpec) -> CrossCaseProgram:
+    """Intern every sync of ``spec`` and build the gate / contribution maps."""
+    program = CrossCaseProgram(spec=spec)
+
+    def intern(statement) -> int:
+        sid = program.interner.node_id(_SYNC_NAMESPACE + statement.name)
+        program.syncs[sid] = CompiledSync(sid, statement.name, statement)
+        program._by_name[statement.name] = sid
+        return sid
+
+    for sync in spec.alls:
+        sid = intern(sync)
+        gate_key = (sync.parent_role, sync.parent_activity)
+        program.gates[gate_key] = program.gates.get(gate_key, 0) | (1 << sid)
+        feed_key = (sync.child_role, sync.child_activity)
+        program.contributes[feed_key] = program.contributes.get(feed_key, ()) + (sid,)
+
+    for once in spec.onces:
+        sid = intern(once)
+        program.onces[(once.role, once.activity)] = sid
+
+    return program
+
+
+__all__ = ["CompiledSync", "CrossCaseProgram", "compile_objects"]

@@ -1,0 +1,204 @@
+"""Object-centric model: relations, cross-case syncs, and case bindings.
+
+The paper's dependency model is strictly single-case.  This module holds
+the semantic model for the DSCL extension that breaks that boundary:
+
+* an :class:`ObjectRelation` declares a one-to-many fan-out between two
+  *roles* (``object order 1..* item`` — one order case, many line-item
+  cases, all sharing one object identity);
+* a :class:`SyncAll` is an all-of barrier (``item.pack_item ->A
+  order.ship_order``): the parent-role activity may start only once every
+  sibling child case has resolved — finished *or* cancelled — the child
+  activity;
+* a :class:`SyncOnce` is an exactly-once obligation (``order.invoice_order
+  ->1 order``): across all cases of the role sharing one object, the
+  activity must fire at most once;
+* an :class:`ObjectBinding` attaches one *case* to one object identity in
+  one role; parent-role bindings declare the expected fan-out so barriers
+  are deterministic (the runtime never guesses how many children exist).
+
+An :class:`ObjectSpec` validates the statements against each other and is
+what :func:`repro.objects.compile.compile_objects` lowers into the dense
+mask program the runtime and monitor execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.dscl.ast import (
+    CrossCaseAll,
+    CrossCaseOnce,
+    ObjectRelationDecl,
+    Program,
+)
+from repro.errors import ReproError
+
+
+class ObjectSpecError(ReproError):
+    """The object statements are inconsistent (undeclared role, bad sync)."""
+
+
+@dataclass(frozen=True)
+class ObjectRelation:
+    """One-to-many relation between a parent role and a child role."""
+
+    parent: str
+    child: str
+
+    def __str__(self) -> str:
+        return "object %s 1..* %s" % (self.parent, self.child)
+
+
+@dataclass(frozen=True)
+class SyncAll:
+    """All-of barrier: every child resolves ``child_activity`` before the
+    parent may start ``parent_activity``."""
+
+    child_role: str
+    child_activity: str
+    parent_role: str
+    parent_activity: str
+
+    @property
+    def name(self) -> str:
+        """Stable symbolic name, used in WAL records and findings."""
+        return "all:%s.%s->%s.%s" % (
+            self.child_role,
+            self.child_activity,
+            self.parent_role,
+            self.parent_activity,
+        )
+
+    def __str__(self) -> str:
+        return "%s.%s ->A %s.%s" % (
+            self.child_role,
+            self.child_activity,
+            self.parent_role,
+            self.parent_activity,
+        )
+
+
+@dataclass(frozen=True)
+class SyncOnce:
+    """Exactly-once obligation: ``activity`` fires at most once per object
+    across every case playing ``role``."""
+
+    role: str
+    activity: str
+
+    @property
+    def name(self) -> str:
+        return "once:%s.%s" % (self.role, self.activity)
+
+    def __str__(self) -> str:
+        return "%s.%s ->1 %s" % (self.role, self.activity, self.role)
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """A validated set of object statements."""
+
+    relations: Tuple[ObjectRelation, ...] = ()
+    alls: Tuple[SyncAll, ...] = ()
+    onces: Tuple[SyncOnce, ...] = ()
+
+    def __post_init__(self) -> None:
+        roles = self.roles()
+        children = {relation.child: relation.parent for relation in self.relations}
+        for sync in self.alls:
+            if sync.child_role not in roles or sync.parent_role not in roles:
+                raise ObjectSpecError(
+                    "sync %s references undeclared role(s); declared: %s"
+                    % (sync, ", ".join(sorted(roles)) or "(none)")
+                )
+            if children.get(sync.child_role) != sync.parent_role:
+                raise ObjectSpecError(
+                    "sync %s does not follow a declared relation "
+                    "(need `object %s 1..* %s`)"
+                    % (sync, sync.parent_role, sync.child_role)
+                )
+        for once in self.onces:
+            if once.role not in roles:
+                raise ObjectSpecError(
+                    "sync %s references undeclared role %r" % (once, once.role)
+                )
+
+    def roles(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for relation in self.relations:
+            seen.setdefault(relation.parent, None)
+            seen.setdefault(relation.child, None)
+        return tuple(seen)
+
+    def parent_roles(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(r.parent for r in self.relations))
+
+    def child_roles(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(r.child for r in self.relations))
+
+    def __bool__(self) -> bool:
+        return bool(self.relations or self.alls or self.onces)
+
+
+def spec_from_program(program: Program) -> ObjectSpec:
+    """Build the validated spec from a parsed DSCL program's object
+    statements (:attr:`repro.dscl.ast.Program.objects`)."""
+    relations: List[ObjectRelation] = []
+    alls: List[SyncAll] = []
+    onces: List[SyncOnce] = []
+    for statement in program.objects:
+        if isinstance(statement, ObjectRelationDecl):
+            relations.append(ObjectRelation(statement.parent, statement.child))
+        elif isinstance(statement, CrossCaseAll):
+            alls.append(
+                SyncAll(
+                    statement.child_role,
+                    statement.child_activity,
+                    statement.parent_role,
+                    statement.parent_activity,
+                )
+            )
+        elif isinstance(statement, CrossCaseOnce):
+            onces.append(SyncOnce(statement.role, statement.activity))
+        else:  # pragma: no cover - the AST union is closed
+            raise ObjectSpecError("unknown object statement %r" % (statement,))
+    return ObjectSpec(tuple(relations), tuple(alls), tuple(onces))
+
+
+@dataclass(frozen=True)
+class ObjectBinding:
+    """One case's attachment to one object identity in one role.
+
+    ``children`` is the declared fan-out and is only meaningful on
+    parent-role bindings; the wait index requires it there so that barrier
+    release is a deterministic count, never a guess.
+    """
+
+    object_key: str
+    role: str
+    children: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.object_key or not self.role:
+            raise ObjectSpecError("object binding needs a non-empty key and role")
+        if self.children is not None and self.children < 0:
+            raise ObjectSpecError(
+                "declared fan-out must be non-negative, got %d" % self.children
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"key": self.object_key, "role": self.role}
+        if self.children is not None:
+            payload["children"] = self.children
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ObjectBinding":
+        children = payload.get("children")
+        return cls(
+            object_key=str(payload["key"]),
+            role=str(payload["role"]),
+            children=int(children) if children is not None else None,
+        )

@@ -1,0 +1,274 @@
+"""Object-aware conformance monitoring (OBJ00x findings).
+
+The single-case :class:`~repro.conformance.monitor.ConformanceMonitor`
+checks each case against the intra-case constraint program.  This monitor
+is its cross-case sibling: it reads the ``object``/``role`` attributes
+events carry (or explicit :class:`~repro.objects.model.ObjectBinding`
+declarations, e.g. recovered from journal admit records) and tracks every
+object's obligations through the same :class:`~repro.objects.waitindex.
+WaitIndex` the runtime uses — one obligation semantics, two consumers.
+
+Findings:
+
+``OBJ001`` **under-sync** (error)
+    A barrier-gated parent activity started before every declared child
+    resolved the feeding activity, or the log ended with a declared
+    fan-out still unmet.
+``OBJ002`` **double-fire** (error)
+    An exactly-once activity fired from more than one case of the same
+    object.
+``OBJ003`` **orphaned-child** (warning)
+    Child cases whose object never saw a parent case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.conformance.events import Event
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+)
+from repro.objects.compile import CrossCaseProgram, compile_objects
+from repro.objects.model import ObjectBinding, ObjectSpec
+from repro.objects.waitindex import WaitIndex
+
+#: The object-centric rule codes, in reporting order.
+OBJ_CODES = ("OBJ001", "OBJ002", "OBJ003")
+
+UNDER_SYNC = "OBJ001"
+DOUBLE_FIRE = "OBJ002"
+ORPHANED_CHILD = "OBJ003"
+
+
+def _object_location(key: str) -> SourceLocation:
+    return SourceLocation("object", key)
+
+
+@dataclass
+class ObjectReport:
+    """Everything the monitor observed about cross-case obligations."""
+
+    objects: int
+    events: int
+    bound_cases: int
+    diagnostics: Tuple[Diagnostic, ...]
+    counters: Dict[str, Dict[str, Dict[str, object]]]
+
+    @property
+    def violations(self) -> Tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity.at_least(Severity.WARNING)
+        )
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts = {code: 0 for code in OBJ_CODES}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return counts
+
+    def to_lint_report(self) -> LintReport:
+        import repro.objects.rules  # noqa: F401  (registers OBJ rules)
+
+        return LintReport.from_diagnostics(
+            list(self.diagnostics), rules_run=OBJ_CODES
+        )
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        return self.to_lint_report().exit_code(fail_on)
+
+    def summary(self) -> str:
+        counts = self.counts_by_code()
+        return (
+            "objects tracked: %d (%d bound cases, %d events)\n"
+            "under-sync: %d, double-fire: %d, orphaned-child: %d"
+            % (
+                self.objects,
+                self.bound_cases,
+                self.events,
+                counts[UNDER_SYNC],
+                counts[DOUBLE_FIRE],
+                counts[ORPHANED_CHILD],
+            )
+        )
+
+
+class ObjectMonitor:
+    """Streaming checker for per-object obligations.
+
+    Feed events in log order (:meth:`feed`), then :meth:`finish` to close
+    end-of-log obligations and collect the report.  Bindings are taken
+    from event attributes; :meth:`bind` supplies them up front when the
+    caller knows more than the events do (the declared fan-out travels on
+    journal admit records, not on events).
+    """
+
+    def __init__(self, spec: ObjectSpec) -> None:
+        self.spec = spec
+        self.program: CrossCaseProgram = compile_objects(spec)
+        self.index = WaitIndex(self.program)
+        self._bindings: Dict[str, ObjectBinding] = {}
+        self._parent_roles = frozenset(spec.parent_roles())
+        self._diagnostics: List[Diagnostic] = []
+        self._double_fired: Set[Tuple[str, int, str]] = set()
+        self._under_synced: Set[Tuple[str, str, str]] = set()
+        self._events = 0
+
+    # -- bindings ------------------------------------------------------------
+
+    def bind(self, case: str, binding: ObjectBinding) -> None:
+        self._bindings[case] = binding
+        is_parent = binding.role in self._parent_roles
+        self.index.register(binding.object_key, binding.role, case, parent=is_parent)
+        if is_parent and binding.children is not None:
+            self.index.declare(binding.object_key, binding.children)
+
+    def _binding_for(self, event: Event) -> Optional[ObjectBinding]:
+        binding = self._bindings.get(event.case)
+        if binding is not None:
+            return binding
+        key = event.attr("object")
+        role = event.attr("role")
+        if key is None or role is None:
+            return None
+        binding = ObjectBinding(object_key=str(key), role=str(role))
+        self.bind(event.case, binding)
+        return binding
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """Diagnostics accumulated so far (streaming consumers poll this)."""
+        return tuple(self._diagnostics)
+
+    # -- event stream --------------------------------------------------------
+
+    def feed(self, event: Event) -> None:
+        binding = self._binding_for(event)
+        if binding is None:
+            return
+        self._events += 1
+        key = binding.object_key
+        role = binding.role
+        activity = event.activity
+        lifecycle = event.lifecycle
+
+        if lifecycle == "start":
+            mask = self.program.gates.get((role, activity), 0)
+            if mask and not self.index.is_open(key, mask):
+                self._report_under_sync(key, activity, event.case, event.time)
+            return
+
+        if lifecycle in ("finish", "skip"):
+            kind = "satisfy" if lifecycle == "finish" else "cancel"
+            for sid in self.program.contributes.get((role, activity), ()):
+                self.index.apply(kind, key, sid, event.case, event.time)
+            if lifecycle == "finish":
+                sid_once = self.program.onces.get((role, activity))
+                if sid_once is not None:
+                    newly, winner = self.index.fire_once(
+                        key, sid_once, event.case, event.time
+                    )
+                    if not newly and winner != event.case:
+                        self._report_double_fire(
+                            key, sid_once, activity, winner, event.case
+                        )
+
+    def _report_under_sync(
+        self, key: str, activity: str, case: str, time: float
+    ) -> None:
+        dedup = (key, activity, case)
+        if dedup in self._under_synced:
+            return
+        self._under_synced.add(dedup)
+        pending = [
+            "%s: %d of %s children resolved"
+            % (name, resolved, "?" if expected is None else expected)
+            for barrier_key, name, resolved, expected in self.index.pending()
+            if barrier_key == key
+        ]
+        self._diagnostics.append(
+            Diagnostic(
+                code=UNDER_SYNC,
+                severity=Severity.ERROR,
+                message="case %s started gated activity %s before object %s "
+                "resolved all declared children" % (case, activity, key),
+                location=_object_location(key),
+                related=(SourceLocation("activity", activity),),
+                evidence=tuple(pending) or ("gate state unavailable",),
+            )
+        )
+
+    def _report_double_fire(
+        self, key: str, sid: int, activity: str, winner: str, case: str
+    ) -> None:
+        dedup = (key, sid, case)
+        if dedup in self._double_fired:
+            return
+        self._double_fired.add(dedup)
+        self._diagnostics.append(
+            Diagnostic(
+                code=DOUBLE_FIRE,
+                severity=Severity.ERROR,
+                message="exactly-once activity %s fired for object %s from "
+                "case %s after already firing from case %s"
+                % (activity, key, case, winner),
+                location=_object_location(key),
+                related=(SourceLocation("activity", activity),),
+                evidence=(
+                    "sync %s" % self.program.name_of(sid),
+                    "first fired by %s" % winner,
+                ),
+            )
+        )
+
+    # -- end of log ----------------------------------------------------------
+
+    def finish(self) -> ObjectReport:
+        # Declared fan-outs left unmet are under-sync even if the parent
+        # never reached the gated activity (the obligation is the object's,
+        # not the parent case's).
+        for key, name, resolved, expected in self.index.pending():
+            if expected is None:
+                continue
+            self._diagnostics.append(
+                Diagnostic(
+                    code=UNDER_SYNC,
+                    severity=Severity.ERROR,
+                    message="object %s ended with barrier %s unmet "
+                    "(%d of %d declared children resolved)"
+                    % (key, name, resolved, expected),
+                    location=_object_location(key),
+                    evidence=("barrier %s" % name,),
+                )
+            )
+        for key in sorted(self._object_keys()):
+            children = self.index.child_cases(key)
+            if children and not self.index.parent_cases(key):
+                self._diagnostics.append(
+                    Diagnostic(
+                        code=ORPHANED_CHILD,
+                        severity=Severity.WARNING,
+                        message="object %s has %d child case(s) but no "
+                        "parent case" % (key, len(children)),
+                        location=_object_location(key),
+                        evidence=tuple("case %s" % c for c in children),
+                    )
+                )
+        return ObjectReport(
+            objects=self.index.objects(),
+            events=self._events,
+            bound_cases=len(self._bindings),
+            diagnostics=tuple(self._diagnostics),
+            counters=self.index.counters(),
+        )
+
+    def _object_keys(self) -> Set[str]:
+        return {binding.object_key for binding in self._bindings.values()}

@@ -1,0 +1,53 @@
+"""OBJ00x rule metadata, registered with the :mod:`repro.lint` engine.
+
+Like the CONF and RT groups, object-centric findings are produced at
+runtime (by :class:`~repro.objects.monitor.ObjectMonitor`), not by a
+static pass — registering them here puts the codes in the SARIF rules
+table, makes ``--select OBJ`` work, and lets :func:`run_lint` surface a
+monitor report attached to the lint context as ``context.objects``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import LintContext, rule
+
+
+def _observed(context: LintContext, code: str) -> Iterable[Diagnostic]:
+    report = getattr(context, "objects", None)
+    if report is None:
+        return ()
+    return tuple(d for d in report.diagnostics if d.code == code)
+
+
+@rule(
+    "OBJ001",
+    "under-sync",
+    "a barrier-gated parent activity started before all declared children "
+    "resolved, or a declared fan-out went unmet",
+    Severity.ERROR,
+)
+def check_under_sync(context: LintContext) -> Iterable[Diagnostic]:
+    return _observed(context, "OBJ001")
+
+
+@rule(
+    "OBJ002",
+    "double-fire",
+    "an exactly-once activity fired from more than one case of the same object",
+    Severity.ERROR,
+)
+def check_double_fire(context: LintContext) -> Iterable[Diagnostic]:
+    return _observed(context, "OBJ002")
+
+
+@rule(
+    "OBJ003",
+    "orphaned-child",
+    "child cases whose object never saw a parent case",
+    Severity.WARNING,
+)
+def check_orphaned_children(context: LintContext) -> Iterable[Diagnostic]:
+    return _observed(context, "OBJ003")

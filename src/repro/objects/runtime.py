@@ -1,0 +1,202 @@
+"""Runtime integration: object bindings, case hooks and barrier wakes.
+
+One :class:`ObjectRuntime` sits beside the sharded coordinator and owns
+the compiled cross-case program plus the :class:`~repro.objects.waitindex.
+WaitIndex`.  Each bound case gets a :class:`CaseHook` — the *only* surface
+the per-case engine (:class:`repro.runtime.instance.CaseInstance`) sees:
+
+* ``gate(activity)`` / ``gate_open`` / ``release_time`` — the readiness
+  test for barrier-gated activities;
+* ``contribute(activity, kind, time)`` — called on the child side when an
+  activity finishes (``satisfy``) or is skipped (``cancel``);
+* ``once(activity, time)`` — exactly-once firing.
+
+Write-ahead discipline: a contribution journals its ``obj`` record
+*before* the event record the engine emits next.  Application is
+idempotent per (object, sync, case), so the crash window between the two
+writes is safe — recovery pre-applies the journaled record and the
+re-executed hook call becomes a no-op that journals nothing.
+
+Lost-wakeup race: a case may find its gate closed, park, and meanwhile the
+final child contribution lands (possibly on another shard).  To close the
+race, :meth:`ObjectRuntime.register_wait` re-checks the gate *after*
+recording the waiter and self-wakes if it is already open.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.objects.compile import CrossCaseProgram, compile_objects
+from repro.objects.model import ObjectBinding, ObjectSpec, ObjectSpecError
+from repro.objects.waitindex import WaitIndex
+
+
+class CaseHook:
+    """One case's view of the cross-case machinery."""
+
+    __slots__ = ("_runtime", "case", "binding")
+
+    def __init__(self, runtime: "ObjectRuntime", case: str, binding: ObjectBinding) -> None:
+        self._runtime = runtime
+        self.case = case
+        self.binding = binding
+
+    @property
+    def attrs(self) -> Tuple[Tuple[str, Any], ...]:
+        """Extra event attributes carried by every event of this case."""
+        return (("object", self.binding.object_key), ("role", self.binding.role))
+
+    def gate(self, activity: str) -> int:
+        """Bitmask of barriers gating ``activity`` for this case's role."""
+        return self._runtime.program.gates.get((self.binding.role, activity), 0)
+
+    def gate_open(self, mask: int) -> bool:
+        return self._runtime.index.is_open(self.binding.object_key, mask)
+
+    def release_time(self, mask: int) -> float:
+        return self._runtime.index.release_time(self.binding.object_key, mask)
+
+    def gate_names(self, mask: int) -> Tuple[str, ...]:
+        return self._runtime.program.mask_names(mask)
+
+    def contribute(self, activity: str, kind: str, time: float) -> None:
+        """Feed an activity resolution into every barrier it contributes to."""
+        self._runtime.contribute(self, activity, kind, time)
+
+    def once(self, activity: str, time: float) -> None:
+        self._runtime.fire_once(self, activity, time)
+
+    def register_wait(self, mask: int) -> None:
+        self._runtime.register_wait(self.case, self.binding.object_key, mask)
+
+
+class ObjectRuntime:
+    """Owns the compiled program, wait index, bindings and wake queue."""
+
+    def __init__(self, spec: ObjectSpec) -> None:
+        self.spec = spec
+        self.program: CrossCaseProgram = compile_objects(spec)
+        self.index = WaitIndex(self.program)
+        #: Set by the coordinator once its journal exists; ``None`` disables
+        #: write-ahead records (recovery pre-apply runs in that state).
+        self.journal = None  # type: Optional[Any]
+        self.bindings: Dict[str, ObjectBinding] = {}
+        self._parent_roles = frozenset(spec.parent_roles())
+        self._waiting: Dict[str, Tuple[str, int]] = {}
+        self._wakes: List[str] = []
+
+    def __bool__(self) -> bool:
+        return bool(self.program)
+
+    # -- binding -------------------------------------------------------------
+
+    def bind(self, case: str, binding: ObjectBinding) -> CaseHook:
+        declared = self.spec.roles()
+        if binding.role not in declared:
+            raise ObjectSpecError(
+                "case %r binds undeclared role %r; declared: %s"
+                % (case, binding.role, ", ".join(sorted(declared)) or "(none)")
+            )
+        is_parent = binding.role in self._parent_roles
+        if is_parent and binding.children is None and self.program.gates:
+            raise ObjectSpecError(
+                "parent-role binding for case %r must declare its fan-out "
+                "(children=N) so barriers release deterministically" % case
+            )
+        self.bindings[case] = binding
+        self.index.register(binding.object_key, binding.role, case, parent=is_parent)
+        if is_parent and binding.children is not None:
+            if self.index.declare(binding.object_key, binding.children):
+                self._check_waiters(binding.object_key)
+        return CaseHook(self, case, binding)
+
+    def hook_for(self, case: str) -> Optional[CaseHook]:
+        binding = self.bindings.get(case)
+        if binding is None or not self.program:
+            return None
+        return CaseHook(self, case, binding)
+
+    # -- contributions -------------------------------------------------------
+
+    def contribute(self, hook: CaseHook, activity: str, kind: str, time: float) -> None:
+        key = hook.binding.object_key
+        sids = self.program.contributes.get((hook.binding.role, activity), ())
+        released_any = False
+        for sid in sids:
+            newly, released = self.index.apply(kind, key, sid, hook.case, time)
+            if newly and self.journal is not None:
+                self.journal.object_record(
+                    kind, hook.case, key, self.program.name_of(sid), time
+                )
+            released_any = released_any or released
+        if released_any:
+            self._check_waiters(key)
+
+    def fire_once(self, hook: CaseHook, activity: str, time: float) -> None:
+        sid = self.program.onces.get((hook.binding.role, activity))
+        if sid is None:
+            return
+        key = hook.binding.object_key
+        newly, _winner = self.index.fire_once(key, sid, hook.case, time)
+        if newly and self.journal is not None:
+            self.journal.object_record(
+                "once", hook.case, key, self.program.name_of(sid), time
+            )
+
+    # -- recovery ------------------------------------------------------------
+
+    def preapply(self, record: Dict[str, Any]) -> None:
+        """Re-apply one journaled ``obj`` record without journaling.
+
+        Called during recovery, before any case resumes; the records are
+        idempotent so pre-applied contributions make the re-executed hook
+        calls no-ops.
+        """
+        kind = str(record["kind"])
+        key = str(record["object"])
+        case = str(record["case"])
+        sid = self.program.sid_of(str(record["sync"]))
+        time = float(record["time"])
+        if kind == "once":
+            self.index.fire_once(key, sid, case, time)
+        else:
+            self.index.apply(kind, key, sid, case, time)
+
+    # -- waits and wakes -----------------------------------------------------
+
+    def register_wait(self, case: str, key: str, mask: int) -> None:
+        self._waiting[case] = (key, mask)
+        # Re-check after recording: the releasing contribution may have
+        # landed between the engine's gate check and this registration.
+        if self.index.is_open(key, mask):
+            self._wakes.append(case)
+
+    def _check_waiters(self, key: str) -> None:
+        for case in sorted(self._waiting):
+            waiting_key, mask = self._waiting[case]
+            if waiting_key == key and self.index.is_open(key, mask):
+                self._wakes.append(case)
+
+    def take_wakes(self) -> List[str]:
+        """Drain pending wakes (deduplicated, deterministic order)."""
+        if not self._wakes:
+            return []
+        wakes = sorted(set(self._wakes))
+        self._wakes.clear()
+        for case in wakes:
+            self._waiting.pop(case, None)
+        return wakes
+
+    def waiting_cases(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._waiting))
+
+    def stranded_evidence(self) -> List[str]:
+        """Human-readable evidence lines for unreleased barriers."""
+        lines: List[str] = []
+        for key, name, resolved, expected in self.index.pending():
+            lines.append(
+                "object %s barrier %s resolved %d of %s declared children"
+                % (key, name, resolved, "?" if expected is None else expected)
+            )
+        return lines

@@ -1,0 +1,237 @@
+"""Cross-shard wait index: per-object obligation counters and barriers.
+
+One :class:`WaitIndex` is shared by every shard of a runtime (the
+coordinator serializes shard advancement, so no locking is needed).  Per
+object key it tracks, for every all-of sync id:
+
+* which child cases have *satisfied* (finished) or *cancelled* (skipped)
+  the child activity — distinct case sets, so double application during
+  WAL replay is naturally idempotent;
+* the *resolve time* — the running max of contribution times.  A barrier
+  releases only when every declared child has resolved, so the max over
+  the full child set is independent of arrival order: the release time is
+  deterministic across sharding layouts and crash recovery.
+
+A barrier *releases* when ``len(satisfied | cancelled) >= expected`` where
+``expected`` is the fan-out declared on the parent binding.  Cancelled
+children count toward release (a cancelled line item must not strand the
+order's shipment) but are reported separately in the counters.
+
+Exactly-once obligations are a per-(object, sid) first-writer register:
+the first case to fire wins, later distinct cases are double-fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.objects.compile import CrossCaseProgram
+
+
+@dataclass
+class _SyncState:
+    """One all-of barrier on one object."""
+
+    satisfied: Set[str] = field(default_factory=set)
+    cancelled: Set[str] = field(default_factory=set)
+    resolve_time: float = 0.0
+    open: bool = False
+    release_time: float = 0.0
+
+    def resolved(self) -> int:
+        return len(self.satisfied | self.cancelled)
+
+
+@dataclass
+class _ObjectState:
+    """Everything the index knows about one object key."""
+
+    expected: Optional[int] = None
+    parents: Set[str] = field(default_factory=set)
+    children: Set[str] = field(default_factory=set)
+    syncs: Dict[int, _SyncState] = field(default_factory=dict)
+    once_fired: Dict[int, Tuple[str, float]] = field(default_factory=dict)
+
+    def sync(self, sid: int) -> _SyncState:
+        state = self.syncs.get(sid)
+        if state is None:
+            state = _SyncState()
+            self.syncs[sid] = state
+        return state
+
+
+class WaitIndex:
+    """Obligation counters for every (object, sync) pair in flight."""
+
+    def __init__(self, program: CrossCaseProgram) -> None:
+        self._program = program
+        self._objects: Dict[str, _ObjectState] = {}
+        self.barriers_released = 0
+        self.barriers_stranded = 0
+
+    def _object(self, key: str) -> _ObjectState:
+        state = self._objects.get(key)
+        if state is None:
+            state = _ObjectState()
+            self._objects[key] = state
+        return state
+
+    # -- registration --------------------------------------------------------
+
+    def declare(self, key: str, expected: int) -> List[int]:
+        """Record the declared fan-out for ``key``.
+
+        Returns the sids of barriers that become open *because of* the
+        declaration (an ``expected`` of 0, or a late-arriving parent whose
+        children all resolved first).
+        """
+        state = self._object(key)
+        state.expected = expected
+        # Materialize every all-of barrier up front so gate checks,
+        # ``pending()`` and stranded-barrier evidence see a "0 of N"
+        # barrier even when no child ever contributes (all withheld, or
+        # a declared fan-out of 0 that must open trivially).
+        for sid in sorted(self._program.syncs):
+            if sid in self._program.onces.values():
+                continue
+            state.sync(sid)
+        released: List[int] = []
+        for sid in sorted(state.syncs):
+            if self._maybe_release(state, sid):
+                released.append(sid)
+        return released
+
+    def register(self, key: str, role: str, case: str, parent: bool) -> None:
+        state = self._object(key)
+        (state.parents if parent else state.children).add(case)
+
+    # -- contributions -------------------------------------------------------
+
+    def apply(
+        self, kind: str, key: str, sid: int, case: str, time: float
+    ) -> Tuple[bool, bool]:
+        """Apply one contribution; returns ``(newly_applied, released)``.
+
+        ``kind`` is ``"satisfy"`` (child finished the activity) or
+        ``"cancel"`` (child skipped it).  Reapplying the same (key, sid,
+        case) — as WAL replay does — is a no-op.
+        """
+        state = self._object(key)
+        sync = state.sync(sid)
+        bucket = sync.satisfied if kind == "satisfy" else sync.cancelled
+        if case in sync.satisfied or case in sync.cancelled:
+            return False, False
+        bucket.add(case)
+        if time > sync.resolve_time:
+            sync.resolve_time = time
+        return True, self._maybe_release(state, sid)
+
+    def _maybe_release(self, state: _ObjectState, sid: int) -> bool:
+        sync = state.sync(sid)
+        if sync.open:
+            return False
+        if state.expected is None or sync.resolved() < state.expected:
+            return False
+        sync.open = True
+        sync.release_time = sync.resolve_time
+        self.barriers_released += 1
+        return True
+
+    def fire_once(self, key: str, sid: int, case: str, time: float) -> Tuple[bool, str]:
+        """Record an exactly-once firing; returns ``(first, winner_case)``.
+
+        Refiring by the *same* case (WAL replay) keeps the original
+        winner; a distinct case is a double-fire and the caller reports
+        it.
+        """
+        state = self._object(key)
+        existing = state.once_fired.get(sid)
+        if existing is None:
+            state.once_fired[sid] = (case, time)
+            return True, case
+        return existing[0] == case, existing[0]
+
+    # -- queries -------------------------------------------------------------
+
+    def is_open(self, key: str, mask: int) -> bool:
+        """True iff every barrier in ``mask`` has released for ``key``."""
+        state = self._objects.get(key)
+        if state is None:
+            return mask == 0
+        sid = 0
+        remaining = mask
+        while remaining:
+            if remaining & 1:
+                sync = state.syncs.get(sid)
+                if sync is None or not sync.open:
+                    return False
+            sid += 1
+            remaining >>= 1
+        return True
+
+    def release_time(self, key: str, mask: int) -> float:
+        """Max release time over the barriers in ``mask`` (all must be open)."""
+        state = self._objects[key]
+        latest = 0.0
+        sid = 0
+        remaining = mask
+        while remaining:
+            if remaining & 1:
+                latest = max(latest, state.syncs[sid].release_time)
+            sid += 1
+            remaining >>= 1
+        return latest
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Deterministic snapshot of per-object obligation counters.
+
+        ``{object_key: {sync_name: {"satisfied", "cancelled", "open"}}}``
+        — compared verbatim between crashed and uncrashed runs by the
+        recovery tests.
+        """
+        snapshot: Dict[str, Dict[str, Dict[str, object]]] = {}
+        for key in sorted(self._objects):
+            state = self._objects[key]
+            per_sync: Dict[str, Dict[str, object]] = {}
+            for sid in sorted(state.syncs):
+                sync = state.syncs[sid]
+                per_sync[self._program.name_of(sid)] = {
+                    "satisfied": len(sync.satisfied),
+                    "cancelled": len(sync.cancelled),
+                    "open": sync.open,
+                }
+            for sid in sorted(state.once_fired):
+                case, _time = state.once_fired[sid]
+                per_sync[self._program.name_of(sid)] = {"fired_by": case}
+            snapshot[key] = per_sync
+        return snapshot
+
+    def pending(self) -> List[Tuple[str, str, int, Optional[int]]]:
+        """Unreleased barriers: ``(key, sync_name, resolved, expected)``.
+
+        Evidence for stranded-barrier findings; deterministic order.
+        """
+        rows: List[Tuple[str, str, int, Optional[int]]] = []
+        for key in sorted(self._objects):
+            state = self._objects[key]
+            for sid in sorted(state.syncs):
+                sync = state.syncs[sid]
+                if not sync.open:
+                    rows.append(
+                        (key, self._program.name_of(sid), sync.resolved(), state.expected)
+                    )
+        return rows
+
+    def objects(self) -> int:
+        return len(self._objects)
+
+    def parent_cases(self, key: str) -> Tuple[str, ...]:
+        state = self._objects.get(key)
+        return tuple(sorted(state.parents)) if state else ()
+
+    def child_cases(self, key: str) -> Tuple[str, ...]:
+        state = self._objects.get(key)
+        return tuple(sorted(state.children)) if state else ()

@@ -10,9 +10,20 @@ from that journal — completed cases are never re-run, in-flight cases are
 re-executed deterministically while their journaled prefix is verified
 record-for-record (``RT003`` on divergence).
 
+Object-centric serving (an :class:`~repro.objects.model.ObjectSpec` plus
+per-case :class:`~repro.objects.model.ObjectBinding`\\ s) adds cross-case
+barriers on top: cases co-shard by object key (``co_shard=False`` falls
+back to case-id placement as the comparison baseline), a case whose
+barrier is unresolved parks outside the run queues until a contribution —
+possibly from another shard — releases it, and obligation transitions are
+journaled write-ahead so recovery restores partially satisfied barriers
+exactly.  When no object spec is given, every object code path is skipped
+and the runtime behaves bit-for-bit as before.
+
 The runtime never raises for a sick case: retry exhaustion (``RT001``),
 admission rejection (``RT002``), recovery divergence (``RT003``),
-deadlock (``RT004``) and runtime protocol faults (``RT005``) become
+deadlock (``RT004``), runtime protocol faults (``RT005``) and stranded
+cross-case barriers (``RT006``) become
 :class:`~repro.lint.diagnostics.Diagnostic` records on the
 :class:`RuntimeReport`, so the text/JSON/SARIF renderers and ``--fail-on``
 gating of :mod:`repro.lint` apply unchanged.  The only exception that
@@ -34,6 +45,8 @@ from repro.lint.diagnostics import (
     SourceLocation,
 )
 from repro.obs import Observability
+from repro.objects.model import ObjectBinding, ObjectSpec
+from repro.objects.runtime import ObjectRuntime
 from repro.runtime import rules as _rules  # noqa: F401  (registers RT00x rules)
 from repro.runtime.admission import ADMIT, QUEUE, AdmissionController
 from repro.runtime.instance import CaseInstance, CaseResult
@@ -158,6 +171,8 @@ class Runtime:
         policies: Optional[RetryPolicies] = None,
         seed: int = 0,
         obs: Optional[Observability] = None,
+        objects: Optional[ObjectSpec] = None,
+        co_shard: bool = True,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be at least 1")
@@ -187,6 +202,16 @@ class Runtime:
         self._submitted = 0
         self._admitted = 0
         self._wall_seconds = 0.0
+        self._co_shard = co_shard
+        self._objects: Optional[ObjectRuntime] = (
+            ObjectRuntime(objects) if objects is not None and objects else None
+        )
+        if self._objects is not None:
+            self._objects.journal = self._journal
+        #: declared bindings for cases not yet activated (admission queue).
+        self._case_bindings: Dict[str, ObjectBinding] = {}
+        #: parked cases: frozen on an unresolved cross-case barrier.
+        self._parked: Dict[str, Tuple[CaseInstance, object]] = {}
 
     def _bind_instruments(self, obs: Observability) -> None:
         """Register runtime metrics once and cache the hot-path handles."""
@@ -262,6 +287,24 @@ class Runtime:
             already_written=state.records,
             observe_flush=runtime._m_flush.observe if obs is not None else None,
         )
+        if runtime._objects is not None:
+            runtime._objects.journal = runtime._journal
+            # Rebuild the wait index before any case resumes: bindings come
+            # from admit records, partially satisfied barriers from the
+            # idempotent obj records.  Completed cases are bound here;
+            # in-flight ones re-bind through _activate below.
+            for journaled in state.completed():
+                if journaled.binding is not None:
+                    runtime._objects.bind(
+                        journaled.case, ObjectBinding.from_dict(journaled.binding)
+                    )
+            for journaled in state.in_flight():
+                if journaled.binding is not None:
+                    runtime._case_bindings[journaled.case] = ObjectBinding.from_dict(
+                        journaled.binding
+                    )
+            for record in state.objects:
+                runtime._objects.preapply(record)
         for journaled in state.completed():
             runtime._recovered[journaled.case] = result_from_journal(journaled)
             if obs is not None:
@@ -297,9 +340,20 @@ class Runtime:
         known.update(self._admission.waiting_cases())
         return tuple(sorted(known))
 
-    def submit(self, case: str, outcomes: Optional[Mapping[str, str]] = None) -> bool:
-        """Offer one case.  Returns False when admission rejected it."""
+    def submit(
+        self,
+        case: str,
+        outcomes: Optional[Mapping[str, str]] = None,
+        binding: Optional[ObjectBinding] = None,
+    ) -> bool:
+        """Offer one case.  Returns False when admission rejected it.
+
+        ``binding`` attaches the case to a business object; it is kept
+        through admission queueing and applied when the case activates.
+        """
         plan = dict(outcomes or {})
+        if binding is not None:
+            self._case_bindings[case] = binding
         self._submitted += 1
         verdict = self._admission.offer(case, plan)
         if self._obs is not None:
@@ -325,11 +379,16 @@ class Runtime:
         return False
 
     def submit_batch(
-        self, plans: Mapping[str, Mapping[str, str]]
+        self,
+        plans: Mapping[str, Mapping[str, str]],
+        bindings: Optional[Mapping[str, ObjectBinding]] = None,
     ) -> Tuple[str, ...]:
         """Offer many cases; returns the rejected ones."""
+        bindings = bindings or {}
         rejected = [
-            case for case, outcomes in plans.items() if not self.submit(case, outcomes)
+            case
+            for case, outcomes in plans.items()
+            if not self.submit(case, outcomes, binding=bindings.get(case))
         ]
         return tuple(rejected)
 
@@ -342,8 +401,20 @@ class Runtime:
     ) -> None:
         self._admitted += 1
         self._outcome_plans[case] = dict(outcomes)
+        binding = self._case_bindings.pop(case, None)
+        hook = None
+        if self._objects is not None and binding is not None:
+            # Bind before journaling so a spec violation surfaces before
+            # the admit record exists; the binding itself travels on the
+            # admit record so recovery can rebuild the wait index.
+            hook = self._objects.bind(case, binding)
         if self._journal is not None and journal_admission:
-            self._journal.admit(case, 0.0, outcomes)
+            self._journal.admit(
+                case,
+                0.0,
+                outcomes,
+                binding=binding.to_dict() if binding is not None else None,
+            )
         instance = CaseInstance(
             case,
             self.program,
@@ -353,8 +424,14 @@ class Runtime:
             policies=self._policies,
             journal=self._journal,
             replay_prefix=prefix,
+            objects=hook,
         )
-        self._store.add(instance)
+        placement_key = (
+            binding.object_key
+            if binding is not None and self._co_shard
+            else None
+        )
+        self._store.add(instance, key=placement_key)
 
     # -- the scheduling loop -------------------------------------------------
 
@@ -369,12 +446,24 @@ class Runtime:
         obs = self._obs
         try:
             if obs is None:
-                while self._store.any_runnable():
+                while True:
+                    self._drain_wakes()
+                    if not self._store.any_runnable():
+                        if self._parked:
+                            self._fail_stranded()
+                            continue
+                        break
                     for shard in self._store.shards:
                         self._advance_batch(shard, shard.take_batch(self._batch))
             else:
                 with obs.tracer.span("runtime.run", admitted=self._admitted):
-                    while self._store.any_runnable():
+                    while True:
+                        self._drain_wakes()
+                        if not self._store.any_runnable():
+                            if self._parked:
+                                self._fail_stranded()
+                                continue
+                            break
                         for shard in self._store.shards:
                             batch = shard.take_batch(self._batch)
                             if not batch:
@@ -391,13 +480,50 @@ class Runtime:
         return self.report()
 
     def _advance_batch(self, shard, batch) -> None:
-        """Advance each case in ``batch`` by one event; retire finished ones."""
+        """Advance each case in ``batch`` by one event; retire finished ones.
+
+        A case that parked on a cross-case barrier is neither requeued nor
+        retired: it stays resident on its shard but leaves the run queue
+        until :meth:`_drain_wakes` puts it back.
+        """
         for instance in batch:
             if instance.advance():
                 shard.requeue(instance)
+            elif instance.parked:
+                self._parked[instance.case] = (instance, shard)
             else:
                 shard.retire(instance)
                 self._on_case_done(instance)
+
+    def _drain_wakes(self) -> None:
+        """Requeue parked cases whose barriers have released.
+
+        Wakes are produced by contributions on *any* shard (the wait
+        index is shared); draining at the top of each scheduling round is
+        the cross-shard mailbox.
+        """
+        if self._objects is None:
+            return
+        for case in self._objects.take_wakes():
+            entry = self._parked.pop(case, None)
+            if entry is None:
+                continue  # woke before parking was recorded; nothing to do
+            instance, shard = entry
+            instance.wake()
+            shard.requeue(instance)
+
+    def _fail_stranded(self) -> None:
+        """Fail every parked case: no runnable work and no pending wakes
+        means their barriers can never release (``RT006``)."""
+        evidence: Tuple[str, ...] = ()
+        if self._objects is not None:
+            evidence = tuple(self._objects.stranded_evidence())
+            self._objects.index.barriers_stranded = len(self._objects.index.pending())
+        for case in sorted(self._parked):
+            instance, shard = self._parked.pop(case)
+            instance.fail_stranded(evidence)
+            shard.retire(instance)
+            self._on_case_done(instance)
 
     def _on_case_done(self, instance: CaseInstance) -> None:
         result = instance.result()
@@ -443,10 +569,33 @@ class Runtime:
             latency_p50=p50,
             latency_p95=p95,
             shard_assigned=self._store.assigned_counts(),
+            objects=(
+                self._objects.index.objects() if self._objects is not None else 0
+            ),
+            barriers_released=(
+                self._objects.index.barriers_released
+                if self._objects is not None
+                else 0
+            ),
+            barriers_stranded=(
+                self._objects.index.barriers_stranded
+                if self._objects is not None
+                else 0
+            ),
         )
         if self._obs is not None:
             snapshot.publish(self._obs.metrics)
         return snapshot
+
+    def object_counters(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Per-object obligation counters (empty without an object spec).
+
+        The crash-recovery tests compare this snapshot verbatim between
+        crashed-and-recovered and uninterrupted runs.
+        """
+        if self._objects is None:
+            return {}
+        return self._objects.index.counters()
 
     def report(self) -> RuntimeReport:
         results = dict(self._recovered)

@@ -21,7 +21,18 @@ Extras over the single-case engine:
   (``RT001`` when retries are exhausted);
 * a case whose event queue drains with unfinished activities fails with
   ``RT004`` (deadlock) instead of raising, so one poisoned case cannot
-  take down the runtime.
+  take down the runtime;
+* an optional :class:`~repro.objects.runtime.CaseHook` wires the case
+  into cross-case barriers: activity finishes/skips *contribute* to the
+  shared wait index (journaled write-ahead), and barrier-gated activities
+  start at ``max(first_ready_time, barrier_release_time)``.  A case whose
+  gate is unresolved **parks immediately** — its virtual clock freezes and
+  no queued event is processed until :meth:`wake` — and the wake callback
+  carries a constant ``-1`` sequence number, so the heap tuple stream is
+  bit-for-bit identical whether the barrier resolved before or after the
+  case first looked (the property the co-shard-vs-random and
+  crash-recovery equivalence tests pin).  With no hook attached every
+  object code path is skipped and behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.conformance.events import FINISH, SKIP, START, Event
 from repro.errors import ProtocolViolation
@@ -44,7 +55,11 @@ from repro.runtime.rules import (
     JOURNAL_MISMATCH,
     PROTOCOL_FAULT,
     RETRY_EXHAUSTED,
+    STRANDED_BARRIER,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.objects.runtime import CaseHook
 
 OutcomeMap = Dict[str, str]
 
@@ -108,6 +123,7 @@ class CaseInstance:
         policies: Optional[RetryPolicies] = None,
         journal: Optional[Journal] = None,
         replay_prefix: Tuple[Event, ...] = (),
+        objects: Optional["CaseHook"] = None,
     ) -> None:
         from repro.scheduler.services import ServiceSimulator
 
@@ -141,6 +157,23 @@ class CaseInstance:
         self._services = ServiceSimulator(program.process, strict=True)
         self._started = False
         self.now = 0.0
+
+        self._objects = objects
+        #: activities whose cross-case gate was closed at their ready check.
+        self._gate_waiting: Set[str] = set()
+        #: activities with a pending gate-release alarm in the queue.
+        self._gate_alarms: Set[str] = set()
+        self._parked = False
+
+    @property
+    def parked(self) -> bool:
+        """True when the case froze on an unresolved cross-case barrier.
+
+        A parked case returned False from :meth:`advance` but is *not*
+        done: the coordinator keeps it aside and calls :meth:`wake` when
+        its barrier releases (or :meth:`fail_stranded` when it never can).
+        """
+        return self._parked
 
     # -- public stepping API -------------------------------------------------
 
@@ -208,6 +241,64 @@ class CaseInstance:
             active = self.step()
         return self.result()
 
+    def wake(self) -> None:
+        """Unpark after a barrier release.
+
+        For every activity that was gate-waiting, schedules a re-check
+        callback at ``max(release_time, now)`` — the *virtual* release
+        time journaled with the contributions, never the wall-clock wake
+        moment — with the constant ``-1`` sequence number, so the
+        resulting heap tuples are independent of when (and on which
+        shard) the release physically happened.
+        """
+        if not self._parked:
+            return
+        self._parked = False
+        for name in sorted(self._gate_waiting):
+            if name in self._gate_alarms:
+                continue
+            self._gate_alarms.add(name)
+            mask = self._objects.gate(name) if self._objects is not None else 0
+            release = (
+                self._objects.release_time(mask)
+                if self._objects is not None and mask and self._objects.gate_open(mask)
+                else self.now
+            )
+            self._push_gate_alarm(max(release, self.now))
+        self._gate_waiting.clear()
+
+    def fail_stranded(self, evidence: Tuple[str, ...] = ()) -> None:
+        """Fail a parked case whose barrier can never release (``RT006``)."""
+        names = sorted(self._gate_waiting)
+        self._parked = False
+        message = (
+            "case parked forever on cross-case barrier(s) gating: %s"
+            % ", ".join(names)
+        )
+        gate_names: Tuple[str, ...] = ()
+        if self._objects is not None and names:
+            mask = 0
+            for name in names:
+                mask |= self._objects.gate(name)
+            gate_names = self._objects.gate_names(mask)
+        self._fail(
+            self.now,
+            STRANDED_BARRIER,
+            message,
+            diagnostic=Diagnostic(
+                code=STRANDED_BARRIER,
+                severity=Severity.ERROR,
+                message="[%s] %s" % (self.case, message),
+                location=SourceLocation("case", self.case),
+                evidence=(
+                    "case: %s" % self.case,
+                    "time: %.1f" % self.now,
+                )
+                + tuple("barrier: %s" % name for name in gate_names)
+                + evidence,
+            ),
+        )
+
     @property
     def makespan(self) -> float:
         return max(self._finish_time.values()) if self._finish_time else 0.0
@@ -235,8 +326,24 @@ class CaseInstance:
     # -- completion / failure ------------------------------------------------
 
     def _settle(self) -> bool:
-        """After an event+evaluation round: decide completed/deadlocked."""
+        """After an event+evaluation round: decide completed/deadlocked.
+
+        The gate-waiting check comes *before* the queue check on purpose:
+        a case parks the moment any activity is gated on an unresolved
+        barrier, even with events still queued.  Processing those events
+        first would make the emitted sequence depend on how far the case
+        got before the barrier physically resolved — i.e. on shard
+        placement and crash timing.
+        """
         if self.status is not CaseStatus.ACTIVE:
+            return False
+        if self._gate_waiting:
+            self._parked = True
+            if self._objects is not None:
+                mask = 0
+                for name in self._gate_waiting:
+                    mask |= self._objects.gate(name)
+                self._objects.register_wait(mask)
             return False
         if self._queue:
             return True
@@ -347,7 +454,14 @@ class CaseInstance:
     def _emit(self, activity: str, lifecycle: str, time: float,
               outcome: Optional[str] = None) -> None:
         self.transitions += 1
-        event = Event(self.case, activity, lifecycle, time, outcome=outcome)
+        event = Event(
+            self.case,
+            activity,
+            lifecycle,
+            time,
+            outcome=outcome,
+            attrs=self._objects.attrs if self._objects is not None else (),
+        )
         if self._prefix:
             expected = self._prefix.pop(0)
             if (
@@ -466,6 +580,13 @@ class CaseInstance:
     def _push(self, time: float, kind: str, payload: object) -> None:
         heapq.heappush(self._queue, (time, next(self._sequence), kind, payload))
 
+    def _push_gate_alarm(self, time: float) -> None:
+        # Constant -1 sequence: the alarm neither consumes the sequence
+        # counter nor ties unpredictably with ordinary pushes, so heap
+        # order is identical whether the barrier resolved before or after
+        # this case first checked its gate.
+        heapq.heappush(self._queue, (time, -1, "callback", "__objects__"))
+
     def _start(self, name: str, now: float) -> None:
         self._emit(name, START, now)
         self._status[name] = _ActivityStatus.RUNNING
@@ -477,6 +598,12 @@ class CaseInstance:
         outcome: Optional[str] = None
         if self._program.info[name].is_guard:
             outcome = self._resolve_outcome(name)
+        if self._objects is not None and not self._prefix:
+            # Write-ahead: the obligation record must be durable before
+            # the finish event that implies it.  During prefix replay the
+            # contributions were already pre-applied from the journal.
+            self._objects.contribute(name, "satisfy", now)
+            self._objects.once(name, now)
         self._emit(name, FINISH, now, outcome=outcome)
         self._status[name] = _ActivityStatus.DONE
         self._finish_time[name] = now
@@ -487,6 +614,8 @@ class CaseInstance:
         self._release_held_finishes(now)
 
     def _skip(self, name: str, now: float) -> None:
+        if self._objects is not None and not self._prefix:
+            self._objects.contribute(name, "cancel", now)
         self._emit(name, SKIP, now)
         self._status[name] = _ActivityStatus.SKIPPED
         self._skipped.add(name)
@@ -541,6 +670,8 @@ class CaseInstance:
                     continue
                 fate = self._fate(name)
                 if fate is False:
+                    self._gate_waiting.discard(name)
+                    self._gate_alarms.discard(name)
                     self._skip(name, now)
                     moved = True
                     continue
@@ -554,5 +685,34 @@ class CaseInstance:
                     continue
                 if self._fine_grained_start_blocked(name):
                     continue
+                if self._gate_blocked(name, now):
+                    continue
                 self._start(name, now)
                 moved = True
+
+    def _gate_blocked(self, name: str, now: float) -> bool:
+        """Cross-case barrier check for ``name``; the last readiness gate.
+
+        Unresolved barrier -> record the activity as gate-waiting (the
+        case parks in ``_settle``).  Resolved with a release time in the
+        future -> schedule the start via a ``-1``-sequence alarm, so the
+        activity starts at exactly ``max(first_ready, release)`` with a
+        heap footprint independent of resolution timing.
+        """
+        if self._objects is None:
+            return False
+        mask = self._objects.gate(name)
+        if not mask:
+            return False
+        if not self._objects.gate_open(mask):
+            self._gate_waiting.add(name)
+            return True
+        self._gate_waiting.discard(name)
+        release = self._objects.release_time(mask)
+        if release > now:
+            if name not in self._gate_alarms:
+                self._gate_alarms.add(name)
+                self._push_gate_alarm(release)
+            return True
+        self._gate_alarms.discard(name)
+        return False

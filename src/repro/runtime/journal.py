@@ -11,6 +11,24 @@ it unchanged.  Two control record types frame each case::
     ...
     {"rt": "complete", "case": "case-7", "time": 9.0, "status": "completed"}
 
+Object-centric runs add two extensions (absent entirely when no object
+constraints are declared, keeping plain journals byte-identical):
+
+* admit records may carry an ``"object"`` binding
+  (``{"key": "ord-0001", "role": "order", "children": 3}``);
+* ``obj`` control records journal cross-case obligation transitions
+  *before* the event record that causes them::
+
+    {"rt": "obj", "kind": "satisfy", "case": "ord-0001-item-002",
+     "object": "ord-0001", "sync": "all:item.pack_item->order.ship_order",
+     "time": 4.0}
+
+  ``kind`` is ``satisfy`` (child finished), ``cancel`` (child skipped) or
+  ``once`` (exactly-once firing).  Application is idempotent per
+  ``(object, sync, case)``, so recovery pre-applies every journaled
+  record and re-execution of the surrounding prefix cannot double-count
+  a partially satisfied barrier.
+
 Every record is flushed before the state transition it describes is
 applied (write-ahead), so after a crash the journal is a faithful prefix
 of the run.  :func:`read_journal` rebuilds the durable state: which cases
@@ -94,9 +112,36 @@ class Journal:
             self.close()
             raise SimulatedCrash(self.records_written)
 
-    def admit(self, case: str, time: float, outcomes: Dict[str, str]) -> None:
+    def admit(
+        self,
+        case: str,
+        time: float,
+        outcomes: Dict[str, str],
+        binding: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        payload: Dict[str, Any] = {
+            "rt": "admit",
+            "case": case,
+            "time": time,
+            "outcomes": dict(outcomes),
+        }
+        if binding is not None:
+            payload["object"] = dict(binding)
+        self._write(payload)
+
+    def object_record(
+        self, kind: str, case: str, object_key: str, sync: str, time: float
+    ) -> None:
+        """Journal one cross-case obligation transition (write-ahead)."""
         self._write(
-            {"rt": "admit", "case": case, "time": time, "outcomes": dict(outcomes)}
+            {
+                "rt": "obj",
+                "kind": kind,
+                "case": case,
+                "object": object_key,
+                "sync": sync,
+                "time": time,
+            }
         )
 
     def event(self, event: Event) -> None:
@@ -136,6 +181,8 @@ class JournaledCase:
     status: Optional[str] = None  # None while in flight
     completed_at: Optional[float] = None
     reason: Optional[str] = None
+    #: object binding payload of the admit record, when present.
+    binding: Optional[Dict[str, Any]] = None
 
     @property
     def in_flight(self) -> bool:
@@ -150,6 +197,8 @@ class JournalState:
     #: activity events in journal (commit) order, control records stripped —
     #: exactly the multi-case conformance event log of the run so far.
     event_stream: List[Event] = field(default_factory=list)
+    #: ``obj`` control records in journal order, for obligation pre-apply.
+    objects: List[Dict[str, Any]] = field(default_factory=list)
     records: int = 0
 
     def in_flight(self) -> List[JournaledCase]:
@@ -196,8 +245,11 @@ def read_journal(path: str, strict: bool = True) -> JournalState:
                             "record %d: case %r admitted twice" % (number, case)
                         )
                     continue  # re-admission: the original case wins
+                binding = payload.get("object")
                 state.cases[case] = JournaledCase(
-                    case=case, outcomes=dict(payload.get("outcomes") or {})
+                    case=case,
+                    outcomes=dict(payload.get("outcomes") or {}),
+                    binding=dict(binding) if binding is not None else None,
                 )
             elif kind == "complete":
                 case = str(payload["case"])
@@ -240,6 +292,12 @@ def read_journal(path: str, strict: bool = True) -> JournalState:
                 seen_events.add(key)
                 journaled.events.append(event)
                 state.event_stream.append(event)
+            elif kind == "obj":
+                # Obligation records are pre-applied by object-aware
+                # recovery and harmless to ingestion (application is
+                # idempotent, so duplicates from the crash window are
+                # fine to keep).
+                state.objects.append(dict(payload))
             else:
                 if strict:
                     raise JournalError(

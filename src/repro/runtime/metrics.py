@@ -53,6 +53,10 @@ class RuntimeMetrics:
     latency_p50: float
     latency_p95: float
     shard_assigned: Tuple[int, ...]
+    # Object-centric serving (all zero when no object constraints declared).
+    objects: int = 0
+    barriers_released: int = 0
+    barriers_stranded: int = 0
 
     @property
     def checks_per_transition(self) -> float:
@@ -86,6 +90,11 @@ class RuntimeMetrics:
                 "journal: %d record(s) | recovered completed cases: %d"
                 % (self.journal_records, self.recovered)
             )
+        if self.objects:
+            lines.append(
+                "objects: %d tracked | barriers: %d released, %d stranded"
+                % (self.objects, self.barriers_released, self.barriers_stranded)
+            )
         return "\n".join(lines)
 
     def publish(self, registry: "MetricsRegistry") -> None:
@@ -107,6 +116,9 @@ class RuntimeMetrics:
             "repro_runtime_peak_queue_depth_cases": self.peak_queue_depth,
             "repro_runtime_journal_records": self.journal_records,
             "repro_runtime_wall_seconds": self.wall_seconds,
+            "repro_runtime_objects": self.objects,
+            "repro_runtime_barriers_released": self.barriers_released,
+            "repro_runtime_barriers_stranded": self.barriers_stranded,
         }
         for name, value in gauges.items():
             registry.gauge(name, _GAUGE_HELP[name]).set(value)
@@ -175,6 +187,9 @@ class RuntimeMetrics:
             latency_p50=p50,
             latency_p95=p95,
             shard_assigned=assigned,
+            objects=int(gauge("repro_runtime_objects")),
+            barriers_released=int(gauge("repro_runtime_barriers_released")),
+            barriers_stranded=int(gauge("repro_runtime_barriers_stranded")),
         )
 
 
@@ -190,6 +205,9 @@ _GAUGE_HELP = {
     "repro_runtime_journal_records": "Write-ahead journal records written.",
     "repro_runtime_wall_seconds": "Wall-clock seconds spent in the run loop.",
     "repro_runtime_shard_assigned_cases": "Cases ever assigned, per shard.",
+    "repro_runtime_objects": "Business objects tracked by the wait index.",
+    "repro_runtime_barriers_released": "Cross-case barriers released.",
+    "repro_runtime_barriers_stranded": "Cross-case barriers never released.",
 }
 
 

@@ -24,6 +24,7 @@ ADMISSION_REJECTED = "RT002"
 JOURNAL_MISMATCH = "RT003"
 DEADLOCK = "RT004"
 PROTOCOL_FAULT = "RT005"
+STRANDED_BARRIER = "RT006"
 
 #: The runtime rule codes, in reporting order.
 RT_CODES = (
@@ -32,6 +33,7 @@ RT_CODES = (
     JOURNAL_MISMATCH,
     DEADLOCK,
     PROTOCOL_FAULT,
+    STRANDED_BARRIER,
 )
 
 
@@ -90,3 +92,14 @@ def check_case_deadlock(context: LintContext) -> Iterable[Diagnostic]:
 )
 def check_protocol_fault(context: LintContext) -> Iterable[Diagnostic]:
     return _runtime(context, PROTOCOL_FAULT)
+
+
+@rule(
+    STRANDED_BARRIER,
+    "stranded-cross-case-barrier",
+    "a case waited on a cross-case barrier whose declared children can "
+    "no longer all resolve",
+    Severity.ERROR,
+)
+def check_stranded_barrier(context: LintContext) -> Iterable[Diagnostic]:
+    return _runtime(context, STRANDED_BARRIER)

@@ -1,8 +1,12 @@
 """Sharded instance store with per-shard run queues.
 
-Cases are partitioned over ``K`` shards by a stable hash of the case id
-(CRC-32, so placement survives restarts and recovery).  Each shard owns
-the :class:`~repro.runtime.instance.CaseInstance` objects assigned to it
+Cases are partitioned over ``K`` shards by a stable hash of a *placement
+key* (CRC-32, so placement survives restarts and recovery).  The key
+defaults to the case id; object-centric serving passes the object key
+instead so every case of one order co-shards with its line items.  Both
+paths go through the single :func:`shard_index` helper so they can never
+drift.  Each shard owns the
+:class:`~repro.runtime.instance.CaseInstance` objects assigned to it
 plus a FIFO run queue of cases with work to do; the coordinator drains the
 queues in batches, round-robin across shards, so thousands of cases make
 interleaved progress and no single case can monopolize the loop.
@@ -12,9 +16,21 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.runtime.instance import CaseInstance
+
+
+def shard_index(key: str, count: int) -> int:
+    """The one shard-placement hash: stable CRC-32 of ``key`` mod ``count``.
+
+    Case-id sharding and object-key co-sharding both route through here;
+    the mapping is pinned by regression tests because journaled recovery
+    and co-shard placement both depend on it never changing.
+    """
+    if count < 1:
+        raise ValueError("shard count must be at least 1")
+    return zlib.crc32(key.encode("utf-8")) % count
 
 
 class Shard:
@@ -57,11 +73,12 @@ class ShardedStore:
             raise ValueError("shards must be at least 1")
         self.shards: Tuple[Shard, ...] = tuple(Shard(i) for i in range(shards))
 
-    def shard_of(self, case: str) -> Shard:
-        return self.shards[zlib.crc32(case.encode("utf-8")) % len(self.shards)]
+    def shard_of(self, case: str, key: Optional[str] = None) -> Shard:
+        """The shard owning ``case``; ``key`` overrides the placement key."""
+        return self.shards[shard_index(key if key is not None else case, len(self.shards))]
 
-    def add(self, instance: CaseInstance) -> Shard:
-        shard = self.shard_of(instance.case)
+    def add(self, instance: CaseInstance, key: Optional[str] = None) -> Shard:
+        shard = self.shard_of(instance.case, key=key)
         shard.add(instance)
         return shard
 

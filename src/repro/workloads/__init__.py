@@ -10,6 +10,9 @@
   workload in the style of the BPEL specification examples);
 * :mod:`repro.workloads.travel` — a travel-booking process exercising
   multi-service fan-out with cooperation constraints;
+* :mod:`repro.workloads.orders` — an order-fulfilment workload where one
+  order object fans out into many line-item cases tied together by
+  cross-case synchronization (``repro.objects``);
 * :mod:`repro.workloads.synthetic` — parameterized random process
   generator for scaling benchmarks.
 """
@@ -29,22 +32,34 @@ from repro.workloads.insurance import (
     insurance_dependency_set,
 )
 from repro.workloads.loan import build_loan_process, loan_dependency_set
+from repro.workloads.orders import (
+    ORDERS_OBJECTS_DSCL,
+    build_orders_process,
+    orders_dependency_set,
+    orders_object_spec,
+    orders_plans,
+)
 from repro.workloads.travel import build_travel_process, travel_dependency_set
 from repro.workloads.synthetic import SyntheticSpec, generate_process
 
 __all__ = [
+    "ORDERS_OBJECTS_DSCL",
     "SyntheticSpec",
     "build_deployment_process",
     "build_figure3_cfg",
     "build_figure3_process",
     "build_insurance_process",
     "build_loan_process",
+    "build_orders_process",
     "build_purchasing_process",
     "build_travel_process",
     "deployment_dependency_set",
     "generate_process",
     "insurance_dependency_set",
     "loan_dependency_set",
+    "orders_dependency_set",
+    "orders_object_spec",
+    "orders_plans",
     "purchasing_cooperation_dependencies",
     "purchasing_dependency_set",
     "travel_dependency_set",

@@ -1,0 +1,131 @@
+"""An order-fulfilment workload exercising cross-case synchronization.
+
+One business object (an *order*) fans out into ``1 + N`` cases sharing one
+object key: a parent case playing the ``order`` role and ``N`` line-item
+cases playing the ``item`` role.  All cases execute the **same** process
+model; two guards split the roles:
+
+* ``is_item = T`` — the case is a line item: quality-check it
+  (``item_ok``), then pick and pack it, or drop it when the check fails
+  (a *cancelled* child);
+* ``is_item = F`` — the case is the order itself: approve, then ship,
+  then invoice.
+
+The cross-case constraints (``ORDERS_OBJECTS_DSCL``) tie the roles
+together:
+
+* ``item.pack_item ->A order.ship_order`` — the order ships only after
+  **every** declared line item resolved packing (packed or dropped), and
+  the ship start time is exactly the latest such resolution;
+* ``order.invoice_order ->1 order`` — one invoice per order, ever.
+
+:func:`orders_plans` generates the parent/child case plans plus their
+:class:`~repro.objects.model.ObjectBinding`\\ s, with knobs for
+cancelling a subset of children (``cancel_every``) and for *withholding*
+children (declare ``fan_out`` but submit fewer — the stranded-barrier /
+under-sync scenario).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.pipeline import extract_all_dependencies
+from repro.deps.cooperation import CooperationRegistry
+from repro.deps.registry import DependencySet
+from repro.dscl import parse
+from repro.model.builder import ProcessBuilder
+from repro.model.process import BusinessProcess
+from repro.objects.model import ObjectBinding, ObjectSpec, spec_from_program
+
+#: The cross-case constraint declaration for the orders workload.
+ORDERS_OBJECTS_DSCL = (
+    "object order 1..* item;\n"
+    "item.pack_item ->A order.ship_order;\n"
+    "order.invoice_order ->1 order;\n"
+)
+
+
+def build_orders_process() -> BusinessProcess:
+    """Construct the shared per-case process (roles split by ``is_item``)."""
+    builder = (
+        ProcessBuilder("OrderFulfilment")
+        .receive("rec_case", writes=["order"])
+        .guard("is_item", reads=["order"])
+        # Item role: quality-check, then pick+pack or drop.
+        .guard("item_ok", reads=["order"])
+        .compute("pick_item", reads=["order"], writes=["picked"], duration=2.0)
+        .compute("pack_item", reads=["picked"], writes=["result"], duration=1.0)
+        .assign("drop_item", reads=["order"], writes=["result"])
+        # Order role: approve -> ship -> invoice.
+        .compute("approve_order", reads=["order"], writes=["approved"], duration=1.0)
+        .compute("ship_order", reads=["approved"], writes=["shipped"], duration=2.0)
+        .compute("invoice_order", reads=["shipped"], writes=["result"], duration=1.0)
+        .reply("close_case", reads=["result"])
+    )
+    builder.branch(
+        "item_ok",
+        cases={"T": ["pick_item", "pack_item"], "F": ["drop_item"]},
+        join="close_case",
+    )
+    builder.branch(
+        "is_item",
+        cases={
+            "T": ["item_ok"],
+            "F": ["approve_order", "ship_order", "invoice_order"],
+        },
+        join="close_case",
+    )
+    return builder.build()
+
+
+def orders_dependency_set() -> DependencySet:
+    """All single-case dependencies of the order-fulfilment process."""
+    process = build_orders_process()
+    return extract_all_dependencies(
+        process, cooperation=CooperationRegistry(process).dependencies
+    )
+
+
+def orders_object_spec() -> ObjectSpec:
+    """The validated cross-case spec parsed from :data:`ORDERS_OBJECTS_DSCL`."""
+    return spec_from_program(parse(ORDERS_OBJECTS_DSCL))
+
+
+def orders_plans(
+    orders: int,
+    fan_out: int,
+    cancel_every: int = 0,
+    withhold: int = 0,
+) -> Tuple[Dict[str, Dict[str, str]], Dict[str, ObjectBinding]]:
+    """Case plans and object bindings for ``orders`` objects.
+
+    Each object ``ord-%04d`` gets one parent case (``…-order``, declaring
+    ``fan_out`` children) and ``fan_out - withhold`` child cases
+    (``…-item-%03d``).  ``cancel_every=k`` makes every k-th item fail its
+    quality check (a cancelled child — still resolves the barrier);
+    ``withhold=w`` submits ``w`` fewer children than declared, which
+    strands the order's ship barrier.
+    """
+    if fan_out < 0 or withhold < 0 or withhold > fan_out:
+        raise ValueError("need 0 <= withhold <= fan_out")
+    plans: Dict[str, Dict[str, str]] = {}
+    bindings: Dict[str, ObjectBinding] = {}
+    for index in range(orders):
+        key = "ord-%04d" % index
+        parent = "%s-order" % key
+        plans[parent] = {"is_item": "F", "item_ok": "T"}
+        bindings[parent] = ObjectBinding(
+            object_key=key, role="order", children=fan_out
+        )
+        for item in range(fan_out - withhold):
+            child = "%s-item-%03d" % (key, item)
+            cancelled = bool(cancel_every) and (item + 1) % cancel_every == 0
+            plans[child] = {"is_item": "T", "item_ok": "F" if cancelled else "T"}
+            bindings[child] = ObjectBinding(object_key=key, role="item")
+    return plans, bindings
+
+
+def orders_case_order(plans: Dict[str, Dict[str, str]]) -> List[str]:
+    """Submission order interleaving parents before their items (sorted)."""
+    return sorted(plans)

@@ -13,6 +13,7 @@ from repro.workloads.purchasing import (
 )
 from repro.workloads.purchasing_constructs import build_purchasing_constructs
 from repro.workloads.insurance import build_insurance_process, insurance_cooperation
+from repro.workloads.orders import build_orders_process, orders_dependency_set
 from repro.workloads.travel import build_travel_process, travel_cooperation
 
 
@@ -73,6 +74,20 @@ def insurance_weave():
         process, cooperation=insurance_cooperation(process).dependencies
     )
     return process, DSCWeaver().weave(process, dependencies)
+
+
+@pytest.fixture(scope="session")
+def orders_weave():
+    process = build_orders_process()
+    return process, DSCWeaver().weave(process, orders_dependency_set())
+
+
+@pytest.fixture(scope="session")
+def orders_runtime_program(orders_weave):
+    from repro.runtime import program_from_weave
+
+    _process, result = orders_weave
+    return program_from_weave(result, "minimal", target="runtime")
 
 
 @pytest.fixture(scope="session")

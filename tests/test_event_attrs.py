@@ -1,0 +1,82 @@
+"""Extra event attributes (``Event.attrs``) survive every log format.
+
+Object-centric runs tag each event with its ``object``/``role`` binding;
+the attributes must round-trip through JSONL and CSV — including
+non-ASCII object keys — because the journal doubles as a conformance
+event log and the monitor rebuilds bindings from these attributes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.events import Event, EventLog
+
+UNICODE_KEY = "bestellung-µ42-łódź"
+
+
+def _tagged_log():
+    return EventLog(
+        [
+            Event("c-1", "pack_item", "start", 1.0, attrs=(("object", UNICODE_KEY), ("role", "item"))),
+            Event("c-1", "pack_item", "finish", 2.0, attrs=(("object", UNICODE_KEY), ("role", "item"))),
+            Event("c-2", "approve_order", "start", 0.0),  # untagged event mixes in
+        ]
+    )
+
+
+class TestEventAttrs:
+    def test_attr_lookup_and_default(self):
+        event = _tagged_log().events[0]
+        assert event.attr("object") == UNICODE_KEY
+        assert event.attr("role") == "item"
+        assert event.attr("missing", "fallback") == "fallback"
+
+    def test_attrs_are_sorted_and_hashable(self):
+        event = Event("c", "a", "start", 0.0, attrs=(("z", 1), ("a", 2)))
+        assert event.attrs == (("a", 2), ("z", 1))
+        assert hash(event) == hash(
+            Event("c", "a", "start", 0.0, attrs={"a": 2, "z": 1})
+        )
+
+    def test_dict_round_trip_keeps_extra_keys(self):
+        event = _tagged_log().events[0]
+        payload = event.to_dict()
+        assert payload["object"] == UNICODE_KEY
+        assert Event.from_dict(payload) == event
+
+    def test_reserved_keys_never_collide_into_attrs(self):
+        event = Event.from_dict(
+            {"case": "c", "activity": "a", "lifecycle": "start", "time": 0.0}
+        )
+        assert event.attrs == ()
+
+
+class TestLogRoundTrips:
+    def test_jsonl(self):
+        log = _tagged_log()
+        assert EventLog.from_jsonl(log.to_jsonl()) == log
+
+    def test_csv(self):
+        log = _tagged_log()
+        text = log.to_csv()
+        assert UNICODE_KEY in text
+        assert EventLog.from_csv(text) == log
+
+    def test_csv_without_attrs_keeps_legacy_header(self):
+        log = EventLog([Event("c", "a", "start", 0.0)])
+        header = log.to_csv().splitlines()[0]
+        assert "attrs" not in header
+        assert EventLog.from_csv(log.to_csv()) == log
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        log = _tagged_log()
+        path = tmp_path / "tagged.jsonl"
+        log.save_jsonl(str(path))
+        assert EventLog.load_jsonl(str(path)) == log
+
+    @pytest.mark.parametrize("value", [3, 2.5, True, None, "text"])
+    def test_non_string_attr_values_round_trip(self, value):
+        log = EventLog([Event("c", "a", "start", 0.0, attrs=(("extra", value),))])
+        assert EventLog.from_jsonl(log.to_jsonl()) == log
+        assert EventLog.from_csv(log.to_csv()) == log

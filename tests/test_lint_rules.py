@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 import repro.conformance.rules  # noqa: F401  (registers the CONF00x rules)
+import repro.objects.rules  # noqa: F401  (registers the OBJ00x rules)
 import repro.runtime.rules  # noqa: F401  (registers the RT00x rules)
 from repro.analysis.conditions import Cond, ConditionDomains
 from repro.core.constraints import Constraint, SynchronizationConstraintSet
@@ -34,12 +35,16 @@ ALL_CODES = (
     "DIS003",
     "DIS004",
     "DIS005",
+    "OBJ001",
+    "OBJ002",
+    "OBJ003",
     "RED001",
     "RT001",
     "RT002",
     "RT003",
     "RT004",
     "RT005",
+    "RT006",
     "SPEC001",
     "SPEC002",
     "SVC001",

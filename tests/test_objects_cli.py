@@ -1,0 +1,149 @@
+"""``dscweaver serve --objects`` and ``dscweaver monitor --objects``.
+
+End-to-end through the CLI: object-centric serving, crash/recover,
+journal replay through the object-aware monitor, and the usage-error
+paths.  A WAL journal fed to the *plain* monitor must also work — the
+control records are skipped, not mistaken for malformed events.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _serve(path, *extra):
+    return main(
+        [
+            "serve",
+            "orders",
+            "--objects",
+            "--cases",
+            "33",
+            "--fan-out",
+            "10",
+            "--shards",
+            "4",
+            "--journal",
+            str(path),
+            *extra,
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_journal(tmp_path_factory):
+    path = tmp_path_factory.mktemp("objects") / "wal.jsonl"
+    assert _serve(path) == 0
+    return path
+
+
+class TestServeObjects:
+    def test_clean_run(self, clean_journal, capsys):
+        # re-serve to capture output (the fixture consumed its own)
+        assert _serve(clean_journal) == 0
+        out = capsys.readouterr().out
+        assert "3 order(s) x fan-out 10 -> 33 case(s) (co-sharded)" in out
+        assert "33 completed" in out
+        assert "barriers: 3 released, 0 stranded" in out
+
+    def test_requires_orders_workload(self, capsys):
+        assert main(["serve", "purchasing", "--objects"]) == 2
+        assert "orders workload" in capsys.readouterr().err
+
+    def test_json_summary_carries_object_block(self, tmp_path, capsys):
+        assert _serve(tmp_path / "json.jsonl", "--format", "json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["objects"] == {
+            "orders": 3,
+            "fan_out": 10,
+            "cancel_every": 0,
+            "withhold": 0,
+            "co_shard": True,
+        }
+        assert payload["metrics"]["barriers_released"] == 3
+
+    def test_withheld_children_gate_exit_code(self, tmp_path, capsys):
+        code = _serve(tmp_path / "strand.jsonl", "--withhold", "1")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RT006" in out
+        assert "barriers: 0 released, 3 stranded" in out
+
+    def test_random_shard_matches_co_shard(self, tmp_path, capsys):
+        assert _serve(tmp_path / "rand.jsonl", "--random-shard") == 0
+        out = capsys.readouterr().out
+        assert "(random-sharded)" in out
+        assert "33 completed" in out
+
+    def test_crash_then_recover(self, tmp_path, capsys):
+        path = tmp_path / "crash.jsonl"
+        assert _serve(path, "--crash-after", "150") == 3
+        hint = capsys.readouterr().out
+        assert "--recover --objects --fan-out 10" in hint
+        assert _serve(path, "--recover") == 0
+        assert "33 completed" in capsys.readouterr().out
+
+    def test_crash_during_admission_still_recovers(self, tmp_path, capsys):
+        # 33 cases journal 33 admit records, so the crash point lands in
+        # submit_batch, not run() — still exit 3 with the recover hint
+        path = tmp_path / "admit-crash.jsonl"
+        assert _serve(path, "--crash-after", "20") == 3
+        assert "--recover" in capsys.readouterr().out
+        assert _serve(path, "--recover") == 0
+        assert "33 completed" in capsys.readouterr().out
+
+
+class TestMonitorObjects:
+    def test_clean_journal_zero_violations(self, clean_journal, capsys):
+        assert (
+            main(["monitor", "orders", "--objects", "--log", str(clean_journal)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 finding(s), 0 gating" in out
+        assert "objects tracked: 3 (33 bound cases" in out
+        assert "under-sync: 0, double-fire: 0, orphaned-child: 0" in out
+
+    def test_requires_orders_workload(self, clean_journal, capsys):
+        code = main(
+            ["monitor", "purchasing", "--objects", "--log", str(clean_journal)]
+        )
+        assert code == 2
+        assert "orders workload" in capsys.readouterr().err
+
+    def test_withheld_journal_reports_under_sync(self, tmp_path, capsys):
+        path = tmp_path / "strand.jsonl"
+        assert _serve(path, "--withhold", "2") == 1
+        capsys.readouterr()
+        assert main(["monitor", "orders", "--objects", "--log", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "OBJ001" in out
+        assert "8 of 10 declared children resolved" in out
+
+    def test_plain_monitor_skips_control_records(self, clean_journal, capsys):
+        assert main(["monitor", "orders", "--log", str(clean_journal)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s), 0 gating" in out
+        assert "objects tracked" not in out  # no --objects, no object block
+
+    def test_garbage_line_is_still_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        assert main(["monitor", "orders", "--log", str(path)]) == 2
+        assert "bad event" in capsys.readouterr().err
+
+
+class TestOrdersWorkloadPlumbing:
+    def test_orders_reaches_the_static_commands(self, capsys):
+        assert main(["table1", "--workload", "orders"]) == 0
+        assert "pack_item" in capsys.readouterr().out
+        assert main(["lint", "orders"]) == 0
+
+    def test_orders_serves_without_objects_flag(self, capsys):
+        # plain single-case serving of the same process model still works
+        assert main(["serve", "orders", "--cases", "12"]) == 0
+        assert "12 completed" in capsys.readouterr().out

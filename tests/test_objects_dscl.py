@@ -1,0 +1,91 @@
+"""DSCL object statements: parse, print round-trip, desugar neutrality.
+
+``object parent 1..* child``, ``child.a ->A parent.b`` and
+``role.a ->1 role`` land in :attr:`Program.objects`, leaving the
+single-case statement stream untouched — existing consumers must not
+notice them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dscl import (
+    CrossCaseAll,
+    CrossCaseOnce,
+    ObjectRelationDecl,
+    desugar,
+    parse,
+    to_text,
+)
+from repro.errors import DSCLSemanticError, DSCLSyntaxError
+
+ORDERS = (
+    "object order 1..* item;\n"
+    "item.pack_item ->A order.ship_order;\n"
+    "order.invoice_order ->1 order;\n"
+)
+
+
+class TestParsing:
+    def test_orders_declaration(self):
+        program = parse(ORDERS)
+        assert program.statements == []
+        relation, all_of, once = program.objects
+        assert relation == ObjectRelationDecl("order", "item")
+        assert all_of == CrossCaseAll("item", "pack_item", "order", "ship_order")
+        assert once == CrossCaseOnce("order", "invoice_order")
+
+    def test_mixes_with_single_case_statements(self):
+        program = parse("F(a) -> S(b);\nobject order 1..* item;\n")
+        assert len(program.statements) == 1
+        assert len(program.objects) == 1
+
+    def test_missing_semicolon(self):
+        with pytest.raises(DSCLSyntaxError):
+            parse("object order 1..* item")
+
+    def test_self_relation_rejected(self):
+        with pytest.raises(DSCLSyntaxError, match="itself"):
+            parse("object order 1..* order;")
+
+    def test_all_of_requires_qualified_names(self):
+        with pytest.raises((DSCLSyntaxError, DSCLSemanticError)):
+            parse("pack_item ->A order.ship_order;")
+
+    def test_once_must_scope_to_its_own_role(self):
+        with pytest.raises(DSCLSyntaxError, match="own role"):
+            parse("order.invoice_order ->1 item;")
+
+
+class TestPrinting:
+    def test_round_trip(self):
+        program = parse(ORDERS)
+        printed = to_text(program)
+        assert parse(printed) == program
+
+    def test_statement_rendering(self):
+        printed = to_text(parse(ORDERS))
+        assert "object order 1..* item;" in printed
+        assert "item.pack_item ->A order.ship_order;" in printed
+        assert "order.invoice_order ->1 order;" in printed
+
+    def test_mixed_program_round_trips(self):
+        source = "F(a) -> S(b);\n" + ORDERS
+        program = parse(source)
+        assert parse(to_text(program)) == program
+
+
+class TestDesugar:
+    def test_desugar_passes_objects_through(self):
+        program = parse("S(a) <-> S(b);\n" + ORDERS)
+        result = desugar(program)
+        assert result.program.objects == program.objects
+        # the barrier itself still desugars into single-case statements
+        assert len(result.program.statements) > 1
+
+    def test_desugar_of_pure_object_program_is_identity(self):
+        program = parse(ORDERS)
+        result = desugar(program)
+        assert result.program.statements == []
+        assert result.program.objects == program.objects

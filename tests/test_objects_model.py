@@ -1,0 +1,127 @@
+"""The object-centric model layer: spec validation, bindings, compilation.
+
+``ObjectSpec`` is the validated form of the DSCL object statements and
+``compile_objects`` lowers it through the interned-bitset kernel; both
+must reject malformed declarations *before* the runtime sees them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dscl import parse
+from repro.objects import (
+    ObjectBinding,
+    ObjectRelation,
+    ObjectSpec,
+    ObjectSpecError,
+    SyncAll,
+    SyncOnce,
+    compile_objects,
+    spec_from_program,
+)
+
+PACK_SHIP = SyncAll("item", "pack_item", "order", "ship_order")
+INVOICE_ONCE = SyncOnce("order", "invoice_order")
+
+
+def _spec():
+    return ObjectSpec(
+        relations=(ObjectRelation("order", "item"),),
+        alls=(PACK_SHIP,),
+        onces=(INVOICE_ONCE,),
+    )
+
+
+class TestObjectSpec:
+    def test_roles(self):
+        spec = _spec()
+        assert spec.roles() == ("order", "item")
+        assert spec.parent_roles() == ("order",)
+        assert spec.child_roles() == ("item",)
+        assert bool(spec)
+
+    def test_empty_spec_is_falsy(self):
+        assert not ObjectSpec(relations=(), alls=(), onces=())
+
+    def test_sync_roles_must_be_declared(self):
+        with pytest.raises(ObjectSpecError, match="undeclared"):
+            ObjectSpec(relations=(), alls=(PACK_SHIP,), onces=())
+
+    def test_all_of_must_follow_a_declared_relation(self):
+        backwards = SyncAll("order", "ship_order", "item", "pack_item")
+        with pytest.raises(ObjectSpecError):
+            ObjectSpec(
+                relations=(ObjectRelation("order", "item"),),
+                alls=(backwards,),
+                onces=(),
+            )
+
+    def test_stable_sync_names(self):
+        assert PACK_SHIP.name == "all:item.pack_item->order.ship_order"
+        assert INVOICE_ONCE.name == "once:order.invoice_order"
+
+
+class TestSpecFromProgram:
+    def test_round_trips_the_orders_declaration(self):
+        program = parse(
+            "object order 1..* item;\n"
+            "item.pack_item ->A order.ship_order;\n"
+            "order.invoice_order ->1 order;\n"
+        )
+        spec = spec_from_program(program)
+        assert spec == _spec()
+
+    def test_program_without_objects_yields_empty_spec(self):
+        spec = spec_from_program(parse("F(a) -> S(b);"))
+        assert not spec
+
+    def test_sync_without_relation_is_rejected(self):
+        program = parse("item.pack_item ->A order.ship_order;")
+        with pytest.raises(ObjectSpecError):
+            spec_from_program(program)
+
+
+class TestObjectBinding:
+    def test_dict_round_trip(self):
+        binding = ObjectBinding(object_key="ord-0001", role="order", children=7)
+        assert ObjectBinding.from_dict(binding.to_dict()) == binding
+
+    def test_children_omitted_for_child_roles(self):
+        binding = ObjectBinding(object_key="ord-0001", role="item")
+        payload = binding.to_dict()
+        assert "children" not in payload
+        assert ObjectBinding.from_dict(payload) == binding
+
+
+class TestCompile:
+    def test_programs_shape(self):
+        program = compile_objects(_spec())
+        assert bool(program)
+        assert set(program.gates) == {("order", "ship_order")}
+        assert set(program.contributes) == {("item", "pack_item")}
+        assert set(program.onces) == {("order", "invoice_order")}
+        (gate_mask,) = program.gates.values()
+        (contributed,) = program.contributes.values()
+        assert gate_mask == sum(1 << sid for sid in contributed)
+
+    def test_sid_lookup_is_bidirectional(self):
+        program = compile_objects(_spec())
+        sid = program.sid_of(PACK_SHIP.name)
+        assert program.name_of(sid) == PACK_SHIP.name
+        with pytest.raises(KeyError, match="known"):
+            program.sid_of("all:no.such->sync.here")
+
+    def test_mask_names(self):
+        program = compile_objects(_spec())
+        sid = program.sid_of(PACK_SHIP.name)
+        assert program.mask_names(1 << sid) == (PACK_SHIP.name,)
+
+    def test_compilation_is_deterministic(self):
+        first = compile_objects(_spec())
+        second = compile_objects(_spec())
+        assert {s.name for s in first.syncs.values()} == {
+            s.name for s in second.syncs.values()
+        }
+        assert first.gates == second.gates
+        assert first.contributes == second.contributes

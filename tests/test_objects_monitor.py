@@ -1,0 +1,177 @@
+"""The object-aware monitor: OBJ001 under-sync, OBJ002 double-fire,
+OBJ003 orphaned-child — plus the clean path on a real runtime journal.
+"""
+
+from __future__ import annotations
+
+from repro.conformance.events import Event
+from repro.lint.diagnostics import Severity
+from repro.objects import ObjectBinding, ObjectMonitor
+from repro.workloads.orders import orders_object_spec
+
+
+def _monitor(fan_out=2, key="ord-0000"):
+    monitor = ObjectMonitor(orders_object_spec())
+    monitor.bind(
+        "%s-order" % key,
+        ObjectBinding(object_key=key, role="order", children=fan_out),
+    )
+    for item in range(fan_out):
+        monitor.bind(
+            "%s-item-%03d" % (key, item),
+            ObjectBinding(object_key=key, role="item"),
+        )
+    return monitor
+
+
+def _pack(monitor, key, item, time, lifecycle="finish"):
+    monitor.feed(
+        Event("%s-item-%03d" % (key, item), "pack_item", lifecycle, time)
+    )
+
+
+class TestUnderSync:
+    def test_premature_ship_start(self):
+        monitor = _monitor(fan_out=2)
+        _pack(monitor, "ord-0000", 0, 3.0)
+        monitor.feed(Event("ord-0000-order", "ship_order", "start", 4.0))
+        (finding,) = monitor.diagnostics
+        assert finding.code == "OBJ001"
+        assert finding.severity is Severity.ERROR
+        assert "ship_order" in finding.message
+        assert any("1 of 2" in line for line in finding.evidence)
+
+    def test_ship_after_all_children_is_clean(self):
+        monitor = _monitor(fan_out=2)
+        _pack(monitor, "ord-0000", 0, 3.0)
+        _pack(monitor, "ord-0000", 1, 5.0, lifecycle="skip")  # cancelled child
+        monitor.feed(Event("ord-0000-order", "ship_order", "start", 5.0))
+        monitor.feed(Event("ord-0000-order", "invoice_order", "finish", 8.0))
+        report = monitor.finish()
+        assert report.clean
+        barrier = report.counters["ord-0000"][
+            "all:item.pack_item->order.ship_order"
+        ]
+        assert barrier == {"satisfied": 1, "cancelled": 1, "open": True}
+
+    def test_unmet_fan_out_at_end_of_log(self):
+        monitor = _monitor(fan_out=3)
+        _pack(monitor, "ord-0000", 0, 3.0)
+        report = monitor.finish()
+        codes = [d.code for d in report.violations]
+        assert codes == ["OBJ001"]
+        assert "1 of 3" in report.violations[0].message
+
+    def test_premature_start_reported_once_per_case(self):
+        monitor = _monitor(fan_out=2)
+        monitor.feed(Event("ord-0000-order", "ship_order", "start", 1.0))
+        monitor.feed(Event("ord-0000-order", "ship_order", "start", 2.0))
+        assert len(monitor.diagnostics) == 1
+
+
+class TestDoubleFire:
+    def test_second_case_firing_invoice(self):
+        monitor = ObjectMonitor(orders_object_spec())
+        for case in ("dup-a", "dup-b"):
+            monitor.bind(
+                case, ObjectBinding(object_key="ord-9", role="order", children=0)
+            )
+        monitor.feed(Event("dup-a", "invoice_order", "finish", 1.0))
+        monitor.feed(Event("dup-b", "invoice_order", "finish", 2.0))
+        (finding,) = [d for d in monitor.diagnostics if d.code == "OBJ002"]
+        assert finding.severity is Severity.ERROR
+        assert "dup-a" in finding.message and "dup-b" in finding.message
+
+    def test_replayed_firing_by_same_case_is_clean(self):
+        monitor = ObjectMonitor(orders_object_spec())
+        monitor.bind(
+            "solo", ObjectBinding(object_key="ord-9", role="order", children=0)
+        )
+        monitor.feed(Event("solo", "invoice_order", "finish", 1.0))
+        monitor.feed(Event("solo", "invoice_order", "finish", 1.0))
+        assert not [d for d in monitor.diagnostics if d.code == "OBJ002"]
+
+
+class TestOrphanedChild:
+    def test_children_without_parent(self):
+        monitor = ObjectMonitor(orders_object_spec())
+        monitor.bind("lost-1", ObjectBinding(object_key="ord-7", role="item"))
+        monitor.bind("lost-2", ObjectBinding(object_key="ord-7", role="item"))
+        _pack(monitor, "ord-7", 0, 1.0)
+        report = monitor.finish()
+        orphans = [d for d in report.diagnostics if d.code == "OBJ003"]
+        (finding,) = orphans
+        assert finding.severity is Severity.WARNING
+        assert "2 child case(s)" in finding.message
+        # warnings gate the default exit code but not an error-only one
+        assert report.exit_code() == 1
+        assert report.exit_code(Severity.ERROR) == 0
+
+
+class TestBindingsFromAttrs:
+    def test_events_carry_their_own_binding(self):
+        monitor = ObjectMonitor(orders_object_spec())
+        monitor.feed(
+            Event(
+                "c-1",
+                "pack_item",
+                "finish",
+                1.0,
+                attrs=(("object", "ord-3"), ("role", "item")),
+            )
+        )
+        report = monitor.finish()
+        assert report.objects == 1
+        assert report.bound_cases == 1
+
+    def test_unbound_events_are_ignored(self):
+        monitor = ObjectMonitor(orders_object_spec())
+        monitor.feed(Event("c-1", "pack_item", "finish", 1.0))
+        report = monitor.finish()
+        assert report.objects == 0
+        assert report.events == 0
+        assert report.clean
+
+
+class TestJournalReplay:
+    def test_clean_runtime_journal_has_zero_violations(
+        self, orders_runtime_program, tmp_path
+    ):
+        from repro.runtime import Runtime
+        from repro.runtime.journal import read_journal
+        from repro.workloads.orders import orders_plans
+
+        path = str(tmp_path / "clean.jsonl")
+        plans, bindings = orders_plans(3, 4, cancel_every=2)
+        runtime = Runtime(
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=4,
+            journal_path=path,
+        )
+        runtime.submit_batch(plans, bindings=bindings)
+        runtime.run()
+        runtime.close()
+
+        state = read_journal(path)
+        monitor = ObjectMonitor(orders_object_spec())
+        for journaled in state.cases.values():
+            if journaled.binding:
+                monitor.bind(
+                    journaled.case, ObjectBinding.from_dict(journaled.binding)
+                )
+        for event in state.event_stream:
+            monitor.feed(event)
+        report = monitor.finish()
+        assert report.clean
+        assert report.objects == 3
+        assert report.counts_by_code() == {"OBJ001": 0, "OBJ002": 0, "OBJ003": 0}
+        assert "under-sync: 0" in report.summary()
+
+    def test_report_converts_to_lint_report(self):
+        monitor = _monitor(fan_out=1)
+        report = monitor.finish()  # one unmet barrier -> OBJ001
+        lint = report.to_lint_report()
+        assert lint.rules_run == ("OBJ001", "OBJ002", "OBJ003")
+        assert [f.code for f in lint.findings] == ["OBJ001"]
+        assert report.exit_code() == 1

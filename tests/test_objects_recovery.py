@@ -1,0 +1,186 @@
+"""Crash recovery of partially satisfied cross-case barriers.
+
+The WAL journals every obligation transition *before* the event record
+that causes it (write-ahead), and application is idempotent per
+``(object, sync, case)``.  A run killed mid fan-out and recovered must
+therefore finish with final states **and** per-object obligation
+counters identical to the uninterrupted run, at any crash point.
+
+The journal also stays consumable by the rest of the toolchain: the
+object-annotated records must not confuse ``repro.discover`` ingestion.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import Runtime, SimulatedCrash
+from repro.workloads.orders import orders_object_spec, orders_plans
+
+ORDERS, FAN_OUT, CANCEL_EVERY = 4, 6, 3
+
+
+def _submit(runtime):
+    plans, bindings = orders_plans(ORDERS, FAN_OUT, cancel_every=CANCEL_EVERY)
+    runtime.submit_batch(plans, bindings=bindings)
+
+
+def _baseline(program, tmp_path):
+    path = str(tmp_path / "baseline.jsonl")
+    runtime = Runtime(
+        program, objects=orders_object_spec(), shards=4, journal_path=path
+    )
+    _submit(runtime)
+    report = runtime.run()
+    runtime.close()
+    return report.final_states(), runtime.object_counters()
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("crash_after", [30, 120, 300, 480])
+    def test_resumes_to_identical_states_and_counters(
+        self, orders_runtime_program, tmp_path, crash_after
+    ):
+        expected_states, expected_counters = _baseline(
+            orders_runtime_program, tmp_path
+        )
+        path = str(tmp_path / ("crash-%d.jsonl" % crash_after))
+        crashing = Runtime(
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=4,
+            journal_path=path,
+            crash_after=crash_after,
+        )
+        _submit(crashing)
+        with pytest.raises(SimulatedCrash):
+            crashing.run()
+
+        recovered = Runtime.recover(
+            path,
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=4,
+        )
+        report = recovered.run()
+        recovered.close()
+        assert report.final_states() == expected_states
+        assert recovered.object_counters() == expected_counters
+        # deterministic replay: no prefix-divergence findings
+        assert not [d for d in report.diagnostics if d.code == "RT003"]
+
+    def test_crash_journal_holds_partial_obligations(
+        self, orders_runtime_program, tmp_path
+    ):
+        from repro.runtime.journal import read_journal
+
+        path = str(tmp_path / "partial.jsonl")  # crash lands mid fan-out: obj records start ~#256 of ~524
+        crashing = Runtime(
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=4,
+            journal_path=path,
+            crash_after=320,
+        )
+        _submit(crashing)
+        with pytest.raises(SimulatedCrash):
+            crashing.run()
+        state = read_journal(path)
+        assert state.objects, "crash point must land mid fan-out"
+        kinds = {record["kind"] for record in state.objects}
+        assert kinds <= {"satisfy", "cancel", "once"}
+        # at least one barrier is only partially satisfied at the crash
+        per_object = {}
+        for record in state.objects:
+            if record["kind"] in ("satisfy", "cancel"):
+                per_object.setdefault(record["object"], set()).add(record["case"])
+        assert any(len(cases) < FAN_OUT for cases in per_object.values())
+
+    def test_recovered_journal_monitors_cleanly(
+        self, orders_runtime_program, tmp_path
+    ):
+        from repro.objects import ObjectBinding, ObjectMonitor
+        from repro.runtime.journal import read_journal
+
+        path = str(tmp_path / "monitored.jsonl")
+        crashing = Runtime(
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=4,
+            journal_path=path,
+            crash_after=120,
+        )
+        _submit(crashing)
+        with pytest.raises(SimulatedCrash):
+            crashing.run()
+        recovered = Runtime.recover(
+            path, orders_runtime_program, objects=orders_object_spec(), shards=4
+        )
+        recovered.run()
+        recovered.close()
+
+        state = read_journal(path)
+        monitor = ObjectMonitor(orders_object_spec())
+        for journaled in state.cases.values():
+            if journaled.binding:
+                monitor.bind(
+                    journaled.case, ObjectBinding.from_dict(journaled.binding)
+                )
+        for event in state.event_stream:
+            monitor.feed(event)
+        report = monitor.finish()
+        assert report.clean
+        assert report.objects == ORDERS
+
+
+class TestDiscoverIngestion:
+    def test_object_annotated_journal_still_mines(
+        self, orders_runtime_program, tmp_path
+    ):
+        from repro.discover.ingest import log_from_journal
+        from repro.discover.mine import mine
+        from repro.discover.stats import LogStatistics
+
+        path = str(tmp_path / "mined.jsonl")
+        runtime = Runtime(
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=4,
+            journal_path=path,
+        )
+        _submit(runtime)
+        runtime.run()
+        runtime.close()
+
+        log = log_from_journal(path)
+        assert len(log) > 0
+        # obligation control records never leak into the event stream
+        assert {event.lifecycle for event in log} <= {"start", "finish", "skip"}
+        result = mine(LogStatistics.from_log(log))
+        mined = {
+            (c.dependency.source, c.dependency.target)
+            for c in result.candidates
+        }
+        assert ("pick_item", "pack_item") in mined
+
+    def test_object_records_survive_raw_round_trip(
+        self, orders_runtime_program, tmp_path
+    ):
+        path = str(tmp_path / "raw.jsonl")
+        runtime = Runtime(
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=2,
+            journal_path=path,
+        )
+        _submit(runtime)
+        runtime.run()
+        runtime.close()
+        with open(path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        obj_records = [r for r in records if r.get("rt") == "obj"]
+        assert obj_records
+        for record in obj_records:
+            assert set(record) == {"rt", "kind", "case", "object", "sync", "time"}

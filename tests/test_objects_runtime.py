@@ -1,0 +1,185 @@
+"""Object-centric serving: exact sync, cancellation, stranding, sharding.
+
+The orders workload fans each order object out into ``1 + fan_out``
+cases.  The cross-case contract under test:
+
+* ``ship_order`` starts at **exactly** the latest ``pack_item``
+  resolution over the declared child set (all-of sync, paper-exact — no
+  polling slack);
+* cancelled children (failed quality check → ``drop_item`` path, pack
+  skipped) still resolve the barrier;
+* withheld children strand the barrier: the parent fails with ``RT006``
+  instead of hanging;
+* co-sharding by object key keeps each family on one shard but never
+  changes results vs. random placement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects import ObjectBinding, ObjectSpecError
+from repro.runtime import Runtime
+from repro.workloads.orders import orders_object_spec, orders_plans
+
+
+def _serve(program, orders=3, fan_out=4, co_shard=True, **kwargs):
+    plans, bindings = orders_plans(
+        orders,
+        fan_out,
+        cancel_every=kwargs.pop("cancel_every", 0),
+        withhold=kwargs.pop("withhold", 0),
+    )
+    runtime = Runtime(
+        program,
+        objects=orders_object_spec(),
+        co_shard=co_shard,
+        **kwargs,
+    )
+    runtime.submit_batch(plans, bindings=bindings)
+    return runtime, runtime.run()
+
+
+def _executed(report, case):
+    return {name: (start, finish) for name, start, finish in report.results[case].executed}
+
+
+class TestExactSync:
+    def test_ship_starts_at_latest_pack_resolution(self, orders_runtime_program):
+        _runtime, report = _serve(orders_runtime_program, orders=2, fan_out=5, shards=4)
+        assert report.metrics.completed == 2 * 6
+        for index in range(2):
+            key = "ord-%04d" % index
+            packs = [
+                _executed(report, "%s-item-%03d" % (key, item))["pack_item"][1]
+                for item in range(5)
+            ]
+            ship_start = _executed(report, "%s-order" % key)["ship_order"][0]
+            assert ship_start == max(packs)
+
+    def test_cancelled_children_still_release_the_barrier(
+        self, orders_runtime_program
+    ):
+        runtime, report = _serve(
+            orders_runtime_program, orders=1, fan_out=4, cancel_every=2, shards=2
+        )
+        assert report.metrics.completed == 5
+        assert runtime.metrics().barriers_released == 1
+        counters = runtime.object_counters()["ord-0000"]
+        barrier = counters["all:item.pack_item->order.ship_order"]
+        assert barrier["satisfied"] == 2
+        assert barrier["cancelled"] == 2
+        assert barrier["open"] is True
+
+    def test_invoice_fires_once_per_object(self, orders_runtime_program):
+        runtime, _report = _serve(orders_runtime_program, orders=3, fan_out=2)
+        for index in range(3):
+            key = "ord-%04d" % index
+            once = runtime.object_counters()[key]["once:order.invoice_order"]
+            assert once["fired_by"] == "%s-order" % key
+
+    def test_zero_fan_out_ships_immediately(self, orders_runtime_program):
+        _runtime, report = _serve(orders_runtime_program, orders=1, fan_out=0)
+        assert report.metrics.completed == 1
+        assert report.results["ord-0000-order"].status == "completed"
+
+
+class TestStranding:
+    def test_withheld_child_fails_parent_with_rt006(self, orders_runtime_program):
+        runtime, report = _serve(
+            orders_runtime_program, orders=2, fan_out=3, withhold=1, shards=2
+        )
+        # items complete; the two parents park forever and are failed
+        assert report.metrics.completed == 2 * 2
+        assert report.metrics.failed == 2
+        stranded = [d for d in report.diagnostics if d.code == "RT006"]
+        assert len(stranded) == 2
+        assert all(d.severity.name == "ERROR" for d in stranded)
+        assert runtime.metrics().barriers_stranded == 2
+        for index in range(2):
+            result = report.results["ord-%04d-order" % index]
+            assert result.status == "failed"
+            assert "ship_order" in (result.reason or "")
+        assert report.exit_code() == 1
+
+    def test_stranded_evidence_names_the_barrier(self, orders_runtime_program):
+        _runtime, report = _serve(
+            orders_runtime_program, orders=1, fan_out=2, withhold=2
+        )
+        (diagnostic,) = [d for d in report.diagnostics if d.code == "RT006"]
+        assert any(
+            "all:item.pack_item->order.ship_order" in line
+            for line in diagnostic.evidence
+        )
+        assert any("0 of 2" in line for line in diagnostic.evidence)
+
+
+class TestSharding:
+    def test_co_sharding_keeps_families_whole(self, orders_runtime_program):
+        fan_out = 4
+        runtime, report = _serve(
+            orders_runtime_program, orders=6, fan_out=fan_out, shards=4
+        )
+        assert report.metrics.completed == 6 * (fan_out + 1)
+        assert all(
+            assigned % (fan_out + 1) == 0
+            for assigned in report.metrics.shard_assigned
+        )
+
+    def test_random_sharding_gives_identical_results(self, orders_runtime_program):
+        _rt_co, co = _serve(
+            orders_runtime_program, orders=4, fan_out=5, shards=4, co_shard=True
+        )
+        rt_rand, rand = _serve(
+            orders_runtime_program, orders=4, fan_out=5, shards=4, co_shard=False
+        )
+        assert co.final_states() == rand.final_states()
+        assert rt_rand.object_counters() == _rt_co.object_counters()
+        # random placement actually splits at least one family
+        assert any(
+            assigned % 6 != 0 for assigned in rand.metrics.shard_assigned
+        )
+
+
+class TestBindings:
+    def test_unknown_role_is_rejected_at_activation(self, orders_runtime_program):
+        runtime = Runtime(orders_runtime_program, objects=orders_object_spec())
+        with pytest.raises(ObjectSpecError, match="warehouse"):
+            runtime.submit(
+                "c-1",
+                {"is_item": "F", "item_ok": "T"},
+                binding=ObjectBinding(object_key="k", role="warehouse"),
+            )
+            runtime.run()
+
+    def test_parent_without_declared_fan_out_is_rejected(
+        self, orders_runtime_program
+    ):
+        runtime = Runtime(orders_runtime_program, objects=orders_object_spec())
+        with pytest.raises(ObjectSpecError, match="children"):
+            runtime.submit(
+                "c-1",
+                {"is_item": "F", "item_ok": "T"},
+                binding=ObjectBinding(object_key="k", role="order"),
+            )
+            runtime.run()
+
+    def test_no_objects_means_no_object_records(
+        self, orders_runtime_program, tmp_path
+    ):
+        path = tmp_path / "plain.jsonl"
+        runtime = Runtime(orders_runtime_program, journal_path=str(path))
+        runtime.submit("c-1", {"is_item": "T", "item_ok": "T"})
+        runtime.run()
+        runtime.close()
+        text = path.read_text(encoding="utf-8")
+        assert '"rt": "obj"' not in text
+        assert '"object"' not in text
+
+    def test_metrics_track_objects(self, orders_runtime_program):
+        runtime, _report = _serve(orders_runtime_program, orders=3, fan_out=2)
+        metrics = runtime.metrics()
+        assert metrics.objects == 3
+        assert metrics.barriers_released == 3
+        assert metrics.barriers_stranded == 0
+        assert "objects: 3 tracked" in metrics.summary()

@@ -232,5 +232,12 @@ class TestMetrics:
         runtime.submit_batch(plans(3))
         report = runtime.run()
         lint = report.to_lint_report()
-        assert lint.rules_run == ("RT001", "RT002", "RT003", "RT004", "RT005")
+        assert lint.rules_run == (
+            "RT001",
+            "RT002",
+            "RT003",
+            "RT004",
+            "RT005",
+            "RT006",
+        )
         assert report.exit_code() == 0
