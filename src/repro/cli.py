@@ -606,6 +606,18 @@ def _run_serve_command(arguments) -> int:
     if arguments.crash_after is not None and not arguments.journal:
         print("--crash-after requires --journal", file=sys.stderr)
         return 2
+    if arguments.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    if arguments.workers > 1 and (
+        arguments.max_in_flight is not None or arguments.max_queue is not None
+    ):
+        print(
+            "--max-in-flight/--max-queue are per-runtime admission bounds "
+            "and are not supported with --workers",
+            file=sys.stderr,
+        )
+        return 2
 
     _process, result = _weave(arguments.workload)
     program = program_from_weave(result, which=arguments.set, target="runtime")
@@ -642,10 +654,19 @@ def _run_serve_command(arguments) -> int:
         )
     )
     obs = _make_obs(arguments)
+    if obs is not None and arguments.workers > 1:
+        print(
+            "note: --trace-out/--metrics-out instrument the in-process "
+            "runtime; ignored with --workers",
+            file=sys.stderr,
+        )
+        obs = None
     options = dict(
         shards=arguments.shards,
         batch=arguments.batch,
         indexed=not arguments.naive,
+        fast=not arguments.no_fast,
+        flush_every=arguments.flush_every,
         max_in_flight=arguments.max_in_flight,
         max_queue=arguments.max_queue,
         policies=policies,
@@ -697,61 +718,119 @@ def _run_serve_command(arguments) -> int:
             )
     else:
         plans = _case_plans(program, arguments.cases)
+    hint = "dscweaver serve %s --cases %d --set %s --journal %s --recover" % (
+        arguments.workload,
+        arguments.cases,
+        arguments.set,
+        arguments.journal,
+    )
+    if arguments.workers > 1:
+        hint += " --workers %d" % arguments.workers
+    if arguments.objects:
+        hint += " --objects --fan-out %d" % arguments.fan_out
+        if arguments.cancel_every:
+            hint += " --cancel-every %d" % arguments.cancel_every
+        if arguments.withhold:
+            hint += " --withhold %d" % arguments.withhold
+        if arguments.random_shard:
+            hint += " --random-shard"
+
     recovery = None
-    if arguments.recover:
-        runtime = Runtime.recover(
-            arguments.journal,
-            program,
-            crash_after=arguments.crash_after,
-            **options,
+    if arguments.workers > 1:
+        from repro.runtime.workers import WorkerPool, read_manifest
+
+        pool_options = dict(
+            objects=options.get("objects"),
+            indexed=not arguments.naive,
+            fast=not arguments.no_fast,
+            shards_per_worker=max(1, arguments.shards // arguments.workers),
+            batch=arguments.batch,
+            seed=arguments.seed,
+            policies=policies,
         )
-        known = set(runtime.known_cases)
-        pending = {c: p for c, p in plans.items() if c not in known}
-        recovery = {
-            "journal": arguments.journal,
-            "adopted_or_resumed": len(known),
-            "resubmitted": len(pending),
-        }
-        if arguments.format == "text":
+        try:
+            if arguments.recover:
+                manifest = read_manifest(arguments.journal)
+                report = WorkerPool.recover(
+                    arguments.journal,
+                    program,
+                    plans=plans,
+                    bindings=bindings,
+                    **pool_options,
+                )
+                recovery = {
+                    "journal": arguments.journal,
+                    "workers": int(manifest["workers"]),
+                    "adopted": report.metrics.recovered,
+                }
+                if arguments.format == "text":
+                    print(
+                        "recovered %d-worker journal %s: %d completed "
+                        "case(s) adopted"
+                        % (
+                            recovery["workers"],
+                            arguments.journal,
+                            report.metrics.recovered,
+                        )
+                    )
+            else:
+                pool = WorkerPool(
+                    program,
+                    workers=arguments.workers,
+                    journal_dir=arguments.journal,
+                    co_shard=options.get("co_shard", True),
+                    flush_every=arguments.flush_every,
+                    crash_after=arguments.crash_after,
+                    **pool_options,
+                )
+                report = pool.serve(plans, bindings)
+        except SimulatedCrash as crash:
             print(
-                "recovered journal %s: %d case(s) adopted or resumed, "
-                "%d resubmitted" % (arguments.journal, len(known), len(pending))
+                "simulated crash after journal record %d; recover with: %s"
+                % (crash.records_written, hint)
             )
-        plans = pending
+            return 3
     else:
-        runtime = Runtime(
-            program,
-            journal_path=arguments.journal,
-            crash_after=arguments.crash_after,
-            **options,
-        )
-    try:
-        # the crash point may land on an admit record, not just mid-run
-        runtime.submit_batch(plans, bindings=bindings)
-        report = runtime.run()
-    except SimulatedCrash as crash:
-        hint = "dscweaver serve %s --cases %d --set %s --journal %s --recover" % (
-            arguments.workload,
-            arguments.cases,
-            arguments.set,
-            arguments.journal,
-        )
-        if arguments.objects:
-            hint += " --objects --fan-out %d" % arguments.fan_out
-            if arguments.cancel_every:
-                hint += " --cancel-every %d" % arguments.cancel_every
-            if arguments.withhold:
-                hint += " --withhold %d" % arguments.withhold
-            if arguments.random_shard:
-                hint += " --random-shard"
-        print(
-            "simulated crash after journal record %d; recover with: %s"
-            % (crash.records_written, hint)
-        )
-        return 3
-    finally:
-        runtime.close()
-        _flush_obs(obs, arguments)
+        if arguments.recover:
+            runtime = Runtime.recover(
+                arguments.journal,
+                program,
+                crash_after=arguments.crash_after,
+                **options,
+            )
+            known = set(runtime.known_cases)
+            pending = {c: p for c, p in plans.items() if c not in known}
+            recovery = {
+                "journal": arguments.journal,
+                "adopted_or_resumed": len(known),
+                "resubmitted": len(pending),
+            }
+            if arguments.format == "text":
+                print(
+                    "recovered journal %s: %d case(s) adopted or resumed, "
+                    "%d resubmitted" % (arguments.journal, len(known), len(pending))
+                )
+            plans = pending
+        else:
+            runtime = Runtime(
+                program,
+                journal_path=arguments.journal,
+                crash_after=arguments.crash_after,
+                **options,
+            )
+        try:
+            # the crash point may land on an admit record, not just mid-run
+            runtime.submit_batch(plans, bindings=bindings)
+            report = runtime.run()
+        except SimulatedCrash as crash:
+            print(
+                "simulated crash after journal record %d; recover with: %s"
+                % (crash.records_written, hint)
+            )
+            return 3
+        finally:
+            runtime.close()
+            _flush_obs(obs, arguments)
 
     import dataclasses
 
@@ -1228,8 +1307,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cases advanced per shard per scheduling round (default 8)",
     )
     serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard worker processes; above 1 the case load is partitioned "
+        "over N processes and --journal names a directory of per-worker "
+        "journal segments (default 1: in-process runtime)",
+    )
+    serve.add_argument(
         "--journal", default=None, metavar="PATH",
-        help="write-ahead JSONL journal (doubles as a conformance event log)",
+        help="write-ahead JSONL journal (doubles as a conformance event "
+        "log); a segmented journal directory with --workers",
+    )
+    serve.add_argument(
+        "--flush-every", type=int, default=1, metavar="N",
+        help="journal group commit: flush every N records instead of "
+        "per record (default 1)",
+    )
+    serve.add_argument(
+        "--no-fast",
+        action="store_true",
+        help="serve on the object-walking reference evaluator instead of "
+        "the mask-compiled fast path (bit-for-bit identical results)",
     )
     serve.add_argument(
         "--crash-after", type=int, default=None, metavar="N",

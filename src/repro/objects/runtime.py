@@ -32,6 +32,20 @@ from repro.objects.model import ObjectBinding, ObjectSpec, ObjectSpecError
 from repro.objects.waitindex import WaitIndex
 
 
+def _record(
+    kind: str, case: str, object_key: str, sync: str, time: float
+) -> Dict[str, Any]:
+    """The wire/journal form of one obligation record (fixed key order)."""
+    return {
+        "rt": "obj",
+        "kind": kind,
+        "case": case,
+        "object": object_key,
+        "sync": sync,
+        "time": time,
+    }
+
+
 class CaseHook:
     """One case's view of the cross-case machinery."""
 
@@ -85,6 +99,10 @@ class ObjectRuntime:
         self._parent_roles = frozenset(spec.parent_roles())
         self._waiting: Dict[str, Tuple[str, int]] = {}
         self._wakes: List[str] = []
+        #: when True, every newly journaled ``obj`` record is also queued
+        #: for cross-process shipping (multi-worker serving).
+        self.outbox_enabled = False
+        self._outbox: List[Dict[str, Any]] = []
 
     def __bool__(self) -> bool:
         return bool(self.program)
@@ -125,10 +143,15 @@ class ObjectRuntime:
         released_any = False
         for sid in sids:
             newly, released = self.index.apply(kind, key, sid, hook.case, time)
-            if newly and self.journal is not None:
-                self.journal.object_record(
-                    kind, hook.case, key, self.program.name_of(sid), time
-                )
+            if newly:
+                if self.journal is not None:
+                    self.journal.object_record(
+                        kind, hook.case, key, self.program.name_of(sid), time
+                    )
+                if self.outbox_enabled:
+                    self._outbox.append(
+                        _record(kind, hook.case, key, self.program.name_of(sid), time)
+                    )
             released_any = released_any or released
         if released_any:
             self._check_waiters(key)
@@ -139,10 +162,20 @@ class ObjectRuntime:
             return
         key = hook.binding.object_key
         newly, _winner = self.index.fire_once(key, sid, hook.case, time)
-        if newly and self.journal is not None:
-            self.journal.object_record(
-                "once", hook.case, key, self.program.name_of(sid), time
-            )
+        if newly:
+            if self.journal is not None:
+                self.journal.object_record(
+                    "once", hook.case, key, self.program.name_of(sid), time
+                )
+            if self.outbox_enabled:
+                self._outbox.append(
+                    _record("once", hook.case, key, self.program.name_of(sid), time)
+                )
+
+    def take_outbox(self) -> List[Dict[str, Any]]:
+        """Drain obligation records queued for other shard workers."""
+        outbox, self._outbox = self._outbox, []
+        return outbox
 
     # -- recovery ------------------------------------------------------------
 
@@ -162,6 +195,35 @@ class ObjectRuntime:
             self.index.fire_once(key, sid, case, time)
         else:
             self.index.apply(kind, key, sid, case, time)
+
+    # -- cross-process gate traffic ------------------------------------------
+
+    def seed_binding(self, case: str, binding: ObjectBinding) -> None:
+        """Register a *foreign* case's binding (owned by another worker).
+
+        Multi-worker serving seeds every worker's index with every
+        binding, so fan-out declarations and parent/child registrations
+        are globally visible even when an object's cases scatter across
+        workers (``co_shard=False``).  No hook is created and nothing is
+        journaled — the owning worker does both.
+        """
+        is_parent = binding.role in self._parent_roles
+        self.index.register(binding.object_key, binding.role, case, parent=is_parent)
+        if is_parent and binding.children is not None:
+            if self.index.declare(binding.object_key, binding.children):
+                self._check_waiters(binding.object_key)
+
+    def apply_foreign(self, record: Dict[str, Any]) -> None:
+        """Apply an ``obj`` record shipped from another shard worker.
+
+        Same idempotent application as recovery pre-apply, plus the
+        waiter re-check: a foreign contribution may be the one that
+        releases a barrier a local case parked on.  Barrier release
+        times are running maxima over the full child set, so the result
+        is independent of which worker applied a record first.
+        """
+        self.preapply(record)
+        self._check_waiters(str(record["object"]))
 
     # -- waits and wakes -----------------------------------------------------
 

@@ -52,6 +52,9 @@ class _ObjectState:
     children: Set[str] = field(default_factory=set)
     syncs: Dict[int, _SyncState] = field(default_factory=dict)
     once_fired: Dict[int, Tuple[str, float]] = field(default_factory=dict)
+    #: bit ``sid`` set iff that barrier has released — the gate check is
+    #: a single mask test instead of a walk over the sync states.
+    open_mask: int = 0
 
     def sync(self, sid: int) -> _SyncState:
         state = self.syncs.get(sid)
@@ -135,6 +138,7 @@ class WaitIndex:
             return False
         sync.open = True
         sync.release_time = sync.resolve_time
+        state.open_mask |= 1 << sid
         self.barriers_released += 1
         return True
 
@@ -159,28 +163,19 @@ class WaitIndex:
         state = self._objects.get(key)
         if state is None:
             return mask == 0
-        sid = 0
-        remaining = mask
-        while remaining:
-            if remaining & 1:
-                sync = state.syncs.get(sid)
-                if sync is None or not sync.open:
-                    return False
-            sid += 1
-            remaining >>= 1
-        return True
+        return not (mask & ~state.open_mask)
 
     def release_time(self, key: str, mask: int) -> float:
         """Max release time over the barriers in ``mask`` (all must be open)."""
         state = self._objects[key]
         latest = 0.0
-        sid = 0
         remaining = mask
         while remaining:
-            if remaining & 1:
-                latest = max(latest, state.syncs[sid].release_time)
-            sid += 1
-            remaining >>= 1
+            low = remaining & -remaining
+            remaining ^= low
+            released = state.syncs[low.bit_length() - 1].release_time
+            if released > latest:
+                latest = released
         return latest
 
     # -- introspection -------------------------------------------------------

@@ -18,7 +18,10 @@ compiled constraint program:
   retry-with-timeout policies;
 * :mod:`repro.runtime.metrics` — the :class:`RuntimeMetrics` snapshot;
 * :mod:`repro.runtime.coordinator` — the :class:`Runtime` tying it all
-  together, surfaced on the CLI as ``dscweaver serve``.
+  together, surfaced on the CLI as ``dscweaver serve``;
+* :mod:`repro.runtime.workers` — the multi-process :class:`WorkerPool`
+  partitioning one case load over N shard worker processes with
+  segmented journals (``dscweaver serve --workers N``).
 
 Importing the package registers the ``RT001``–``RT005`` runtime rules
 with the lint registry (see :mod:`repro.runtime.rules`).
@@ -46,7 +49,14 @@ from repro.runtime.program import (
     program_from_weave,
 )
 from repro.runtime.retry import RetryPolicies, RetryPolicy
-from repro.runtime.store import Shard, ShardedStore
+from repro.runtime.store import Shard, ShardedStore, shard_index
+from repro.runtime.workers import (
+    WorkerPool,
+    WorkerPoolError,
+    read_manifest,
+    worker_of,
+    write_manifest,
+)
 
 __all__ = [
     "ADMIT",
@@ -72,10 +82,16 @@ __all__ = [
     "Shard",
     "ShardedStore",
     "SimulatedCrash",
+    "WorkerPool",
+    "WorkerPoolError",
     "compile_program",
     "latency_quantiles",
     "program_from_weave",
     "read_journal",
+    "read_manifest",
     "result_from_journal",
     "rules",
+    "shard_index",
+    "worker_of",
+    "write_manifest",
 ]

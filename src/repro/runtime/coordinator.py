@@ -54,6 +54,7 @@ from repro.runtime.journal import (
     COMPLETED,
     Journal,
     JournaledCase,
+    JournalState,
     read_journal,
 )
 from repro.runtime.metrics import RuntimeMetrics, latency_quantiles
@@ -141,6 +142,20 @@ class Runtime:
     indexed:
         Use the per-activity constraint index (default); ``False`` swaps in
         the naive full-scan evaluation as a cost baseline.
+    fast:
+        Serve cases on the mask-compiled dirty-set fast path (default);
+        ``False`` keeps the object-walking evaluation as the bit-for-bit
+        reference.  Ignored (off) when ``indexed=False``.
+    flush_every:
+        Journal group-commit size: flush the write-ahead journal every N
+        records instead of per record (see
+        :class:`~repro.runtime.journal.Journal`).
+    external_gates:
+        This runtime is one shard worker of a multi-process pool (see
+        :mod:`repro.runtime.workers`): cross-case obligation records are
+        queued for shipping to sibling workers, and the driver uses
+        :meth:`run_until_blocked` / :meth:`apply_foreign_gates` /
+        :meth:`finalize_stranded` instead of :meth:`run`.
     max_in_flight / max_queue:
         Admission bounds (see :mod:`repro.runtime.admission`).
     journal_path:
@@ -173,12 +188,17 @@ class Runtime:
         obs: Optional[Observability] = None,
         objects: Optional[ObjectSpec] = None,
         co_shard: bool = True,
+        fast: bool = True,
+        flush_every: int = 1,
+        external_gates: bool = False,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be at least 1")
         self.program = program
         self._batch = batch
         self._indexed = indexed
+        self._fast = fast
+        self._flush_every = flush_every
         self._seed = seed
         self._policies = policies or RetryPolicies()
         self._store = ShardedStore(shards)
@@ -191,6 +211,7 @@ class Runtime:
                 journal_path,
                 crash_after=crash_after,
                 observe_flush=self._m_flush.observe if obs is not None else None,
+                flush_every=flush_every,
             )
             if journal_path is not None
             else None
@@ -208,6 +229,8 @@ class Runtime:
         )
         if self._objects is not None:
             self._objects.journal = self._journal
+            self._objects.outbox_enabled = external_gates
+        self._external_gates = external_gates
         #: declared bindings for cases not yet activated (admission queue).
         self._case_bindings: Dict[str, ObjectBinding] = {}
         #: parked cases: frozen on an unresolved cross-case barrier.
@@ -261,6 +284,7 @@ class Runtime:
         journal_path: str,
         program: ConstraintProgram,
         crash_after: Optional[int] = None,
+        state: Optional[JournalState] = None,
         **kwargs,
     ) -> "Runtime":
         """Rebuild a runtime from a (possibly crashed) journal.
@@ -268,9 +292,12 @@ class Runtime:
         Completed cases are adopted as-is; in-flight cases are re-admitted
         with their journaled event prefix armed for verification.  The
         journal is reopened in append mode, so the recovered run extends
-        the same file.
+        the same file.  ``state`` passes an already-parsed journal (the
+        multi-worker pool parses each shard journal once to gather
+        cross-shard records); ``None`` reads ``journal_path``.
         """
-        state = read_journal(journal_path)
+        if state is None:
+            state = read_journal(journal_path)
         runtime = cls(program, **kwargs)
         obs = runtime._obs
         span = (
@@ -286,6 +313,7 @@ class Runtime:
             crash_after=crash_after,
             already_written=state.records,
             observe_flush=runtime._m_flush.observe if obs is not None else None,
+            flush_every=runtime._flush_every,
         )
         if runtime._objects is not None:
             runtime._objects.journal = runtime._journal
@@ -425,6 +453,7 @@ class Runtime:
             journal=self._journal,
             replay_prefix=prefix,
             objects=hook,
+            fast=self._fast,
         )
         placement_key = (
             binding.object_key
@@ -478,6 +507,60 @@ class Runtime:
         finally:
             self._wall_seconds += _time.perf_counter() - started
         return self.report()
+
+    def run_until_blocked(self) -> bool:
+        """Drive until no runnable work remains, leaving parked cases parked.
+
+        The multi-worker scheduling round: where :meth:`run` fails parked
+        cases as stranded once the store drains, a shard worker instead
+        reports back to the pool — a contribution from *another worker*
+        may still release the barrier.  Returns True while cases are
+        parked (the worker is blocked on foreign gate traffic).
+        """
+        started = _time.perf_counter()
+        try:
+            while True:
+                self._drain_wakes()
+                if not self._store.any_runnable():
+                    break
+                for shard in self._store.shards:
+                    self._advance_batch(shard, shard.take_batch(self._batch))
+        finally:
+            self._wall_seconds += _time.perf_counter() - started
+        return bool(self._parked)
+
+    def take_gate_outbox(self) -> List[Dict[str, object]]:
+        """Drain obligation records destined for sibling workers.
+
+        Flushes the journal first: a record must be durable on the shard
+        that owns it *before* any other shard acts on it, otherwise a
+        crash could strand effects recovery cannot re-derive.
+        """
+        if self._objects is None:
+            return []
+        if self._journal is not None:
+            self._journal.flush()
+        return self._objects.take_outbox()  # type: ignore[return-value]
+
+    def apply_foreign_gates(self, records) -> None:
+        """Apply obligation records shipped from sibling workers."""
+        if self._objects is None:
+            return
+        for record in records:
+            self._objects.apply_foreign(record)
+
+    def seed_foreign_bindings(self, bindings: Mapping[str, ObjectBinding]) -> None:
+        """Seed registrations/declarations for cases owned by other workers."""
+        if self._objects is None:
+            return
+        for case in sorted(bindings):
+            self._objects.seed_binding(case, bindings[case])
+
+    def finalize_stranded(self) -> None:
+        """Fail every parked case (``RT006``) — pool consensus says no
+        worker can produce further gate traffic."""
+        if self._parked:
+            self._fail_stranded()
 
     def _advance_batch(self, shard, batch) -> None:
         """Advance each case in ``batch`` by one event; retire finished ones.

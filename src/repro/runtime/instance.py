@@ -111,7 +111,29 @@ class CaseResult:
 
 
 class CaseInstance:
-    """All mutable state of one case; shares the read-only program."""
+    """All mutable state of one case; shares the read-only program.
+
+    ``fast=True`` (the default, requires ``indexed=True``) serves the case
+    on the mask-compiled hot path: per-case state lives in five dense
+    integers (pending/running/done/skipped activity masks plus a guard
+    valuation mask over the program's interner) and the ready-set fixpoint
+    becomes a dirty-set worklist over ``MaskProgram.dependents`` — only
+    activities incident to a state change get re-checked, in the same
+    scheduling order and pass structure as the reference full scan, so the
+    emitted event sequence is bit-for-bit identical.  ``fast=False`` keeps
+    the original object-walking evaluation as the differential reference.
+    """
+
+    __slots__ = (
+        "case", "status", "reason", "retries", "checks", "transitions",
+        "diagnostics", "_program", "_outcome_map", "_indexed", "_seed",
+        "_policies", "_journal", "_prefix", "_status", "_start_time",
+        "_finish_time", "_outcomes", "_skipped", "_running", "_queue",
+        "_sequence", "_held_finishes", "_services", "_started", "now",
+        "_objects", "_gate_waiting", "_gate_alarms", "_parked", "_fast",
+        "_masks", "_pending_m", "_running_m", "_done_m", "_skipped_m",
+        "_val_m", "_dirty", "_callback_due", "_gate_check_mask",
+    )
 
     def __init__(
         self,
@@ -124,6 +146,7 @@ class CaseInstance:
         journal: Optional[Journal] = None,
         replay_prefix: Tuple[Event, ...] = (),
         objects: Optional["CaseHook"] = None,
+        fast: bool = True,
     ) -> None:
         from repro.scheduler.services import ServiceSimulator
 
@@ -164,6 +187,27 @@ class CaseInstance:
         #: activities with a pending gate-release alarm in the queue.
         self._gate_alarms: Set[str] = set()
         self._parked = False
+
+        # The naive (indexed=False) baseline deliberately measures the
+        # full-scan object path, so fast only applies on top of the index.
+        self._fast = fast and indexed
+        self._masks = program.masks()
+        self._pending_m = self._masks.all_mask
+        self._running_m = 0
+        self._done_m = 0
+        self._skipped_m = 0
+        self._val_m = 0
+        #: activities to re-check at the next evaluation round.
+        self._dirty = self._masks.all_mask
+        #: min-heap of ``(callback time, service)`` — drained into the
+        #: dirty set as virtual time passes each pending callback.
+        self._callback_due: List[Tuple[float, str]] = []
+        gate_mask = 0
+        if self._fast and objects is not None:
+            for act in self._masks.activities:
+                if objects.gate(act.name):
+                    gate_mask |= act.bit
+        self._gate_check_mask = gate_mask
 
     @property
     def parked(self) -> bool:
@@ -213,7 +257,9 @@ class CaseInstance:
                 else:
                     self._finish(name, time)
             elif kind == "callback":
-                pass  # the message is now available; re-evaluation below
+                # The message/barrier is now available; re-evaluation below.
+                if self._fast and payload == "__objects__":
+                    self._dirty |= self._gate_check_mask
             elif kind == "attempt":
                 service, port, attempt = payload  # type: ignore[misc]
                 self._attempt_invocation(service, port, attempt, time)
@@ -347,11 +393,15 @@ class CaseInstance:
             return False
         if self._queue:
             return True
-        unfinished = sorted(
-            name
-            for name, status in self._status.items()
-            if status in (_ActivityStatus.PENDING, _ActivityStatus.RUNNING)
-        )
+        if self._fast:
+            live = self._pending_m | self._running_m
+            unfinished = sorted(self._masks.names_of(live)) if live else []
+        else:
+            unfinished = sorted(
+                name
+                for name, status in self._status.items()
+                if status in (_ActivityStatus.PENDING, _ActivityStatus.RUNNING)
+            )
         if unfinished or self._held_finishes:
             stuck = unfinished or sorted(self._held_finishes)
             message = "case stalled with unfinished activities: %s" % ", ".join(stuck)
@@ -592,6 +642,13 @@ class CaseInstance:
         self._status[name] = _ActivityStatus.RUNNING
         self._start_time[name] = now
         self._running.add(name)
+        if self._fast:
+            masks = self._masks
+            position = masks.index[name]
+            bit = 1 << position
+            self._pending_m &= ~bit
+            self._running_m |= bit
+            self._dirty |= masks.dependents[position]
         self._push(now + self._program.info[name].duration, "finish", name)
 
     def _finish(self, name: str, now: float) -> None:
@@ -610,6 +667,19 @@ class CaseInstance:
         self._running.discard(name)
         if outcome is not None:
             self._outcomes[name] = outcome
+        if self._fast:
+            masks = self._masks
+            position = masks.index[name]
+            bit = 1 << position
+            self._pending_m &= ~bit
+            self._running_m &= ~bit
+            self._done_m |= bit
+            if outcome is not None:
+                for value, value_mask in masks.activities[position].outcome_bits:
+                    if value == outcome:
+                        self._val_m |= value_mask
+                        break
+            self._dirty |= masks.dependents[position]
         self._register_invocation(name, now)
         self._release_held_finishes(now)
 
@@ -619,6 +689,12 @@ class CaseInstance:
         self._emit(name, SKIP, now)
         self._status[name] = _ActivityStatus.SKIPPED
         self._skipped.add(name)
+        if self._fast:
+            masks = self._masks
+            position = masks.index[name]
+            self._pending_m &= ~(1 << position)
+            self._skipped_m |= 1 << position
+            self._dirty |= masks.dependents[position]
         self._release_held_finishes(now)
 
     def _release_held_finishes(self, now: float) -> None:
@@ -648,6 +724,13 @@ class CaseInstance:
                 return
             if callback is not None:
                 self._push(callback, "callback", service)
+                if self._fast:
+                    if callback <= now:
+                        # Zero-latency callback: the reference full scan
+                        # would see the message this very round.
+                        self._dirty |= self._masks.awaiters.get(service, 0)
+                    else:
+                        heapq.heappush(self._callback_due, (callback, service))
             return
         if attempt < policy.max_attempts:
             self.retries += 1
@@ -662,6 +745,9 @@ class CaseInstance:
     def _evaluate(self, now: float) -> None:
         """Start or skip every pending activity that can move; repeats to a
         fixpoint because skips cascade instantly."""
+        if self._fast:
+            self._evaluate_fast(now)
+            return
         moved = True
         while moved and self.status is CaseStatus.ACTIVE:
             moved = False
@@ -689,6 +775,89 @@ class CaseInstance:
                     continue
                 self._start(name, now)
                 moved = True
+
+    def _evaluate_fast(self, now: float) -> None:
+        """Dirty-set worklist twin of the full-scan fixpoint above.
+
+        A reference pass is an ascending scan over *all* pending activities;
+        here a pass is an ascending drain of the dirty set.  Equality of the
+        emitted sequence follows from two invariants: every readiness/fate
+        test is a pure function of state the ``dependents`` table tracks (so
+        an activity that was checked and did not move cannot move until one
+        of its inputs transitions), and a transition at position ``p`` routes
+        the freshly dirtied bits above ``p`` into the *current* pass (the
+        full scan would still reach them this pass) while bits at or below
+        ``p`` wait for the next pass — exactly the visibility the reference
+        scan gives them.  Message readiness is the one time-dependent test;
+        the ``_callback_due`` heap re-dirties awaiting activities as virtual
+        time passes each pending callback.
+        """
+        masks = self._masks
+        due = self._callback_due
+        while due and due[0][0] <= now:
+            self._dirty |= masks.awaiters.get(heapq.heappop(due)[1], 0)
+        activities = masks.activities
+        services = self._services
+        gate_mask = self._gate_check_mask
+        foreign = masks.foreign_start_gate_mask
+        while self.status is CaseStatus.ACTIVE:
+            current = self._dirty & self._pending_m
+            self._dirty = 0
+            if not current:
+                break
+            while current and self.status is CaseStatus.ACTIVE:
+                low = current & -current
+                current ^= low
+                if not (low & self._pending_m):
+                    continue  # resolved by an earlier cascade this pass
+                act = activities[low.bit_length() - 1]
+                fate: Optional[bool] = True
+                for guard_bit, value_bit in act.fate_checks:
+                    if guard_bit & self._skipped_m:
+                        fate = False
+                        break
+                    if guard_bit & self._done_m:
+                        if not (self._val_m & value_bit):
+                            fate = False
+                            break
+                    else:
+                        fate = None
+                        break
+                if fate is None:
+                    continue
+                if fate is False:
+                    name = act.name
+                    self._gate_waiting.discard(name)
+                    self._gate_alarms.discard(name)
+                    self._skip(name, now)
+                else:
+                    self.checks += 1
+                    if act.pred_mask & ~(self._done_m | self._skipped_m):
+                        continue
+                    service = act.awaits_service
+                    if service is not None and not services.message_available(
+                        service, now
+                    ):
+                        continue
+                    if act.exclusive_mask & self._running_m:
+                        continue
+                    if (act.bit & foreign) or (
+                        act.start_gates
+                        and masks.start_blocked(
+                            act, self._done_m, self._running_m, self._skipped_m
+                        )
+                    ):
+                        continue
+                    if (act.bit & gate_mask) and self._gate_blocked(act.name, now):
+                        continue
+                    self._start(act.name, now)
+                # A transition happened (and may have cascaded through held
+                # finishes): route the dirt it produced.
+                changed = self._dirty
+                if changed:
+                    below_eq = (low << 1) - 1
+                    current |= changed & ~below_eq & self._pending_m
+                    self._dirty = changed & below_eq
 
     def _gate_blocked(self, name: str, now: float) -> bool:
         """Cross-case barrier check for ``name``; the last readiness gate.

@@ -57,6 +57,8 @@ class RuntimeMetrics:
     objects: int = 0
     barriers_released: int = 0
     barriers_stranded: int = 0
+    #: shard worker processes that served the load (1 = in-process runtime).
+    workers: int = 1
 
     @property
     def checks_per_transition(self) -> float:
@@ -72,10 +74,12 @@ class RuntimeMetrics:
         lines = [
             "cases: %d submitted, %d admitted, %d completed, %d failed, %d rejected"
             % (self.submitted, self.admitted, self.completed, self.failed, self.rejected),
-            "throughput: %.1f cases/sec (%.3fs wall) | shards: %d, occupancy %s"
+            "throughput: %.1f cases/sec (%.3fs wall) | workers: %d | "
+            "shards: %d, occupancy %s"
             % (
                 self.cases_per_second,
                 self.wall_seconds,
+                self.workers,
                 self.shards,
                 "/".join(str(count) for count in self.shard_assigned),
             ),
@@ -119,6 +123,7 @@ class RuntimeMetrics:
             "repro_runtime_objects": self.objects,
             "repro_runtime_barriers_released": self.barriers_released,
             "repro_runtime_barriers_stranded": self.barriers_stranded,
+            "repro_runtime_workers": self.workers,
         }
         for name, value in gauges.items():
             registry.gauge(name, _GAUGE_HELP[name]).set(value)
@@ -190,6 +195,7 @@ class RuntimeMetrics:
             objects=int(gauge("repro_runtime_objects")),
             barriers_released=int(gauge("repro_runtime_barriers_released")),
             barriers_stranded=int(gauge("repro_runtime_barriers_stranded")),
+            workers=int(gauge("repro_runtime_workers")) or 1,
         )
 
 
@@ -208,6 +214,7 @@ _GAUGE_HELP = {
     "repro_runtime_objects": "Business objects tracked by the wait index.",
     "repro_runtime_barriers_released": "Cross-case barriers released.",
     "repro_runtime_barriers_stranded": "Cross-case barriers never released.",
+    "repro_runtime_workers": "Shard worker processes that served the load.",
 }
 
 

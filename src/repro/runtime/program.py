@@ -199,6 +199,15 @@ class MaskActivity:
     #: False when the awaited service can never call back (synchronous, or
     #: some request port has no invoking activity in the program).
     await_possible: bool
+    #: name of the awaited service (``None`` when not a bound RECEIVE) —
+    #: the serving fast path consults the live :class:`ServiceSimulator`
+    #: clock through this, where the verifier abstracts time away.
+    awaits_service: Optional[str] = None
+    #: fate conditions as ``(guard bit, required valuation bit)`` pairs in
+    #: the *exact* iteration order of ``program.guards[name]`` — the order
+    #: ``CaseInstance._fate`` walks them — so the mask-compiled engine
+    #: resolves skip-vs-undecided ties identically to the object path.
+    fate_checks: Tuple[Tuple[int, int], ...] = ()
 
 
 class MaskProgram:
@@ -261,6 +270,7 @@ class MaskProgram:
             req_cond_mask = 0
             conflict_mask = 0
             guard_dep_mask = 0
+            fate_checks: List[Tuple[int, int]] = []
             for cond in program.guards.get(name, frozenset()):
                 cond_mask = 1 << self.interner.cond_bit(cond)
                 req_cond_mask |= cond_mask
@@ -268,6 +278,12 @@ class MaskProgram:
                 guard_index = self.index.get(cond.guard)
                 if guard_index is not None:
                     guard_dep_mask |= 1 << guard_index
+                    fate_checks.append((1 << guard_index, cond_mask))
+                else:
+                    # A guard outside the program can never resolve; the
+                    # zero-bit pair makes the fast fate report "undecided"
+                    # exactly where the object path does.
+                    fate_checks.append((0, cond_mask))
 
             outcome_bits: Tuple[Tuple[str, int], ...] = ()
             if info.is_guard and name in {c.guard for c in referenced}:
@@ -307,6 +323,8 @@ class MaskProgram:
 
             activities.append(
                 MaskActivity(
+                    awaits_service=info.awaits,
+                    fate_checks=tuple(fate_checks),
                     name=name,
                     index=index,
                     bit=bit,
@@ -325,6 +343,43 @@ class MaskProgram:
                 )
             )
         self.activities: Tuple[MaskActivity, ...] = tuple(activities)
+
+        # Reverse adjacency for the serving fast path: ``dependents[i]`` is
+        # the mask of activities whose readiness or fate tests read activity
+        # ``i``'s status — the only ones worth re-checking after ``i``
+        # transitions.  Over-approximating (re-checking a blocked activity)
+        # is harmless; the dirty-set worklist only needs a superset of the
+        # activities the reference full scan would actually move.
+        dependents = [0] * len(self.activities)
+        awaiters: Dict[str, int] = {}
+        for act in self.activities:
+            reads = act.pred_mask | act.guard_dep_mask | act.exclusive_mask
+            for left_bit, _needs_finish in act.start_gates:
+                reads |= left_bit
+            remaining = reads
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                dependents[low.bit_length() - 1] |= act.bit
+            if act.awaits_service is not None:
+                awaiters[act.awaits_service] = (
+                    awaiters.get(act.awaits_service, 0) | act.bit
+                )
+        self.dependents: Tuple[int, ...] = tuple(dependents)
+        #: service name -> mask of activities awaiting its callback.
+        self.awaiters: Dict[str, int] = awaiters
+
+        # ``start_gates`` drops fine-grained lefts outside the program, but
+        # the object path blocks on them forever (never skipped, so never
+        # vacuous; never started, so never satisfied).  The fast path must
+        # treat these activities as permanently start-blocked too.
+        foreign = 0
+        for act in self.activities:
+            for hb in program.fine_on_start.get(act.name, ()):
+                if hb.left.activity not in self.index:
+                    foreign |= act.bit
+        #: activities start-gated on a left side outside the program.
+        self.foreign_start_gate_mask: int = foreign
 
         # Projection table: a branching guard's valuation bits stop mattering
         # once every activity whose fate reads them is resolved.

@@ -1,0 +1,361 @@
+"""Multi-process shard workers: equivalence with the single-process runtime.
+
+The :class:`WorkerPool` splits a case load across N workers, each running
+a full :class:`Runtime` over its own journal segment, with cross-shard
+object barriers converging through the bulk-synchronous gate exchange.
+The contract pinned here: for every worker count, co-sharding mode and
+transport (in-process or forked), the pool's final states, per-object
+obligation counters, diagnostics and latency quantiles are identical to
+one single-process runtime serving the same load — including after a
+mid-flight crash and a parallel segmented recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import (
+    Runtime,
+    SimulatedCrash,
+    WorkerPool,
+    WorkerPoolError,
+    read_journal,
+    read_manifest,
+    shard_index,
+    worker_of,
+    write_manifest,
+)
+from repro.runtime.workers import MANIFEST_FORMAT, MANIFEST_NAME, segment_name
+from repro.workloads.orders import orders_object_spec, orders_plans
+
+ORDERS, FAN_OUT, CANCEL_EVERY = 6, 5, 3
+
+
+def _load(withhold: int = 0):
+    return orders_plans(
+        ORDERS, FAN_OUT, cancel_every=CANCEL_EVERY, withhold=withhold
+    )
+
+
+def _single(program, tmp_path, withhold: int = 0, name: str = "single.jsonl"):
+    """Uninterrupted single-process reference run over the same load."""
+    plans, bindings = _load(withhold)
+    runtime = Runtime(
+        program,
+        objects=orders_object_spec(),
+        shards=4,
+        journal_path=str(tmp_path / name),
+    )
+    runtime.submit_batch(plans, bindings=bindings)
+    report = runtime.run()
+    runtime.close()
+    return report, runtime.object_counters()
+
+
+def _diag_keys(report):
+    return sorted((d.code, d.message) for d in report.diagnostics)
+
+
+class TestPlacement:
+    def test_worker_of_is_the_store_hash(self):
+        binding = _load()[1]["ord-0000-item-000"]
+        assert worker_of("ord-0000-item-000", binding, 4) == shard_index(
+            binding.object_key, 4
+        )
+        assert worker_of("ord-0000-item-000", binding, 4, co_shard=False) == (
+            shard_index("ord-0000-item-000", 4)
+        )
+        assert worker_of("case-1", None, 4) == shard_index("case-1", 4)
+
+    def test_co_sharding_keeps_an_object_together(self):
+        plans, bindings = _load()
+        for workers in (2, 3, 5):
+            placed = {
+                case: worker_of(case, bindings.get(case), workers)
+                for case in plans
+            }
+            per_object = {}
+            for case, index in placed.items():
+                per_object.setdefault(bindings[case].object_key, set()).add(index)
+            assert all(len(spread) == 1 for spread in per_object.values())
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        path = write_manifest(str(tmp_path), workers=3, co_shard=False, flush_every=8)
+        assert os.path.basename(path) == MANIFEST_NAME
+        manifest = read_manifest(str(tmp_path))
+        assert manifest["format"] == MANIFEST_FORMAT
+        assert manifest["workers"] == 3
+        assert manifest["co_shard"] is False
+        assert manifest["flush_every"] == 8
+        assert manifest["journals"] == [segment_name(i) for i in range(3)]
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(WorkerPoolError, match="no manifest.json"):
+            read_manifest(str(tmp_path))
+
+    def test_malformed_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{nope", encoding="utf-8")
+        with pytest.raises(WorkerPoolError, match="malformed"):
+            read_manifest(str(tmp_path))
+
+    def test_unsupported_format(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format": "something-else/9"}), encoding="utf-8"
+        )
+        with pytest.raises(WorkerPoolError, match="unsupported"):
+            read_manifest(str(tmp_path))
+
+    def test_pool_validation(self, orders_runtime_program):
+        with pytest.raises(WorkerPoolError, match="at least 1"):
+            WorkerPool(orders_runtime_program, workers=0)
+        with pytest.raises(WorkerPoolError, match="journal_dir"):
+            WorkerPool(orders_runtime_program, workers=2, crash_after=10)
+
+
+class TestPoolEquivalence:
+    @pytest.mark.parametrize("processes", [False, True])
+    @pytest.mark.parametrize("co_shard", [True, False])
+    def test_matches_single_process(
+        self, orders_runtime_program, tmp_path, processes, co_shard
+    ):
+        expected, expected_counters = _single(orders_runtime_program, tmp_path)
+        plans, bindings = _load()
+        pool = WorkerPool(
+            orders_runtime_program,
+            workers=2,
+            journal_dir=str(tmp_path / ("pool-%s-%s" % (processes, co_shard))),
+            objects=orders_object_spec(),
+            co_shard=co_shard,
+            processes=processes,
+        )
+        report = pool.serve(plans, bindings)
+        assert report.final_states() == expected.final_states()
+        assert report.completed_cases() == expected.completed_cases()
+        assert pool.object_counters() == expected_counters
+        assert _diag_keys(report) == _diag_keys(expected)
+        assert report.metrics.completed == expected.metrics.completed
+        assert report.metrics.failed == expected.metrics.failed
+        assert report.metrics.workers == 2
+        # merged quantiles are recomputed from the union of makespans, so
+        # they agree with the single-process values exactly
+        assert report.metrics.latency_p50 == expected.metrics.latency_p50
+        assert report.metrics.latency_p95 == expected.metrics.latency_p95
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5])
+    def test_worker_count_invariance(
+        self, orders_runtime_program, tmp_path, workers
+    ):
+        expected, expected_counters = _single(orders_runtime_program, tmp_path)
+        plans, bindings = _load()
+        pool = WorkerPool(
+            orders_runtime_program,
+            workers=workers,
+            objects=orders_object_spec(),
+            processes=False,
+        )
+        report = pool.serve(plans, bindings)
+        assert report.final_states() == expected.final_states()
+        assert pool.object_counters() == expected_counters
+
+    @pytest.mark.parametrize("processes", [False, True])
+    def test_withheld_children_strand_identically(
+        self, orders_runtime_program, tmp_path, processes
+    ):
+        """Parked cases fail (RT006) against the converged index, exactly
+        as the single-process runtime fails them."""
+        expected, expected_counters = _single(
+            orders_runtime_program, tmp_path, withhold=2
+        )
+        plans, bindings = _load(withhold=2)
+        pool = WorkerPool(
+            orders_runtime_program,
+            workers=3,
+            objects=orders_object_spec(),
+            processes=processes,
+        )
+        report = pool.serve(plans, bindings)
+        assert report.final_states() == expected.final_states()
+        assert pool.object_counters() == expected_counters
+        assert _diag_keys(report) == _diag_keys(expected)
+        assert any(d.code == "RT006" for d in report.diagnostics)
+        assert report.metrics.failed == expected.metrics.failed > 0
+        assert (
+            report.metrics.barriers_stranded
+            == expected.metrics.barriers_stranded
+            > 0
+        )
+
+    def test_segments_are_deterministic(self, orders_runtime_program, tmp_path):
+        """Same load, same config: byte-identical journal segments."""
+        plans, bindings = _load()
+        segments = []
+        for attempt in range(2):
+            directory = tmp_path / ("det-%d" % attempt)
+            WorkerPool(
+                orders_runtime_program,
+                workers=2,
+                journal_dir=str(directory),
+                objects=orders_object_spec(),
+                processes=False,
+            ).serve(plans, bindings)
+            segments.append(
+                [
+                    (directory / segment_name(i)).read_bytes()
+                    for i in range(2)
+                ]
+            )
+        assert segments[0] == segments[1]
+
+    def test_single_worker_segment_matches_single_process_journal(
+        self, orders_runtime_program, tmp_path
+    ):
+        """A one-worker pool is the single-process runtime, byte for byte."""
+        plans, bindings = _load()
+        single = Runtime(
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            shards=2,
+            journal_path=str(tmp_path / "single.jsonl"),
+        )
+        single.submit_batch(plans, bindings=bindings)
+        single.run()
+        single.close()
+        WorkerPool(
+            orders_runtime_program,
+            workers=1,
+            journal_dir=str(tmp_path / "pool"),
+            objects=orders_object_spec(),
+            processes=False,
+        ).serve(plans, bindings)
+        assert (tmp_path / "pool" / segment_name(0)).read_bytes() == (
+            tmp_path / "single.jsonl"
+        ).read_bytes()
+
+
+class TestPoolCrashRecovery:
+    # all 36 admits land before any run record in every segment, so these
+    # depths always interrupt execution proper, never admission (a case
+    # lost before its admit record is lost from the WAL by design)
+    DEPTHS = [40, 90, 150]
+
+    def _crash(self, program, directory, crash_after, processes):
+        plans, bindings = _load()
+        pool = WorkerPool(
+            program,
+            workers=2,
+            journal_dir=str(directory),
+            objects=orders_object_spec(),
+            crash_after=crash_after,
+            processes=processes,
+        )
+        with pytest.raises(SimulatedCrash):
+            pool.serve(plans, bindings)
+
+    @pytest.mark.parametrize("processes", [False, True])
+    @pytest.mark.parametrize("crash_after", DEPTHS)
+    def test_recovers_to_identical_states(
+        self, orders_runtime_program, tmp_path, crash_after, processes
+    ):
+        expected, expected_counters = _single(orders_runtime_program, tmp_path)
+        directory = tmp_path / ("crash-%d-%s" % (crash_after, processes))
+        self._crash(orders_runtime_program, directory, crash_after, processes)
+        # completed cases in the crash-time segments must be adopted,
+        # never re-executed (the segments grow again during recovery,
+        # so count them before recovering)
+        adopted = sum(
+            len(read_journal(str(directory / segment_name(i))).completed())
+            for i in range(2)
+        )
+        report = WorkerPool.recover(
+            str(directory),
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            processes=processes,
+        )
+        assert report.final_states() == expected.final_states()
+        assert report.completed_cases() == expected.completed_cases()
+        assert report.metrics.recovered == adopted
+        # deterministic replay: no prefix-divergence findings anywhere
+        assert not [d for d in report.diagnostics if d.code == "RT003"]
+
+    def test_per_worker_crash_mapping(self, orders_runtime_program, tmp_path):
+        """A mapping crashes only the named workers; survivors' segments
+        end at a clean group-commit boundary and recovery still converges."""
+        expected, _counters = _single(orders_runtime_program, tmp_path)
+        directory = tmp_path / "crash-map"
+        plans, bindings = _load()
+        pool = WorkerPool(
+            orders_runtime_program,
+            workers=2,
+            journal_dir=str(directory),
+            objects=orders_object_spec(),
+            crash_after={1: 60},
+            processes=False,
+        )
+        with pytest.raises(SimulatedCrash):
+            pool.serve(plans, bindings)
+        # the survivor's segment is a readable, consistent prefix
+        for index in range(2):
+            state = read_journal(str(directory / segment_name(index)))
+            assert state.cases
+        report = WorkerPool.recover(
+            str(directory),
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            processes=False,
+        )
+        assert report.final_states() == expected.final_states()
+
+    def test_recovery_with_resubmission(self, orders_runtime_program, tmp_path):
+        """``recover(plans=...)`` adopts journaled cases and hash-places
+        only the cases no segment has seen."""
+        expected, expected_counters = _single(orders_runtime_program, tmp_path)
+        # crash mid-admission (one worker owns 24 of the 36 cases, so a
+        # depth of 15 leaves some of its cases entirely unjournaled)
+        directory = tmp_path / "crash-resubmit"
+        self._crash(orders_runtime_program, directory, 15, processes=False)
+        journaled = set()
+        for index in range(2):
+            journaled.update(
+                read_journal(str(directory / segment_name(index))).cases
+            )
+        plans, bindings = _load()
+        assert journaled < set(plans), "crash must leave unseen cases"
+        report = WorkerPool.recover(
+            str(directory),
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            processes=False,
+            plans=plans,
+            bindings=bindings,
+        )
+        assert report.final_states() == expected.final_states()
+        assert report.completed_cases() == expected.completed_cases()
+
+    def test_recovered_segments_mine_cleanly(
+        self, orders_runtime_program, tmp_path
+    ):
+        """Every recovered segment stays consumable by the discover
+        ingestion path (compact serialization round-trip)."""
+        from repro.discover.ingest import log_from_journal
+
+        directory = tmp_path / "crash-mine"
+        self._crash(orders_runtime_program, directory, 90, processes=False)
+        WorkerPool.recover(
+            str(directory),
+            orders_runtime_program,
+            objects=orders_object_spec(),
+            processes=False,
+        )
+        cases = set()
+        for index in range(2):
+            log = log_from_journal(str(directory / segment_name(index)))
+            assert len(log)
+            cases.update(event.case for event in log)
+        plans, _bindings = _load()
+        assert cases <= set(plans)
