@@ -1,0 +1,258 @@
+"""Hot-redeploy benchmarks: incremental re-minimization, swap latency,
+and crash-during-swap recovery.
+
+Three fronts, all written to ``BENCH_deploy.json`` at the repository
+root (uploaded by the CI ``deploy-smoke`` job):
+
+* **rebase vs cold** — ``ProgramRegistry.redeploy`` on synthetic weaves
+  at n ∈ {40, 120, 300}, three edit shapes.  Removing a redundant
+  declared edge (the behavior-preserving edit of a zero-downtime
+  redeploy) hits the session's replay fast path: the recorded pass
+  already proved the edge redundant, so the minimal set and every other
+  decision carry over with no closure work.  Additions and minimal-edge
+  removals run the general two-tier region replay.
+* **swap latency** — classify-and-apply cost of one v1 -> v2 hot swap
+  with 10k in-flight purchasing cases, plus the migration counters.
+* **recovery curve** — crash injection at increasing depths inside the
+  swap window (after ``dep:begin``), each recovered via ``resume_swap``
+  and driven to completion; every point must land on the uncrashed
+  run's exact final states and version map.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.pipeline import DSCWeaver
+from repro.deploy import MigrationEngine, ProgramRegistry, execute_swap, resume_swap
+from repro.runtime.coordinator import Runtime
+from repro.runtime.journal import SimulatedCrash, read_journal
+from repro.workloads.synthetic import SyntheticSpec, generate_dependency_set
+
+SIZES = [40, 120, 300]
+IN_FLIGHT = 10_000
+#: how deep into the swap window (records past dep:begin) each crash lands.
+CRASH_DEPTHS = [1, 3, 6, 10]
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_deploy.json"
+
+REDUNDANT_EDGE = Constraint("recClient_po", "invPurchase_po")
+
+
+def _best_of(repeats, fn, *args, **kwargs):
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def synthetic_weaves():
+    weaves = {}
+    for n_activities in SIZES:
+        process, dependencies = generate_dependency_set(
+            SyntheticSpec(
+                n_activities=n_activities,
+                n_services=4,
+                n_branches=2,
+                coop_density=0.8,
+                seed=11,
+            )
+        )
+        weaves[n_activities] = DSCWeaver().weave(process, dependencies)
+    return weaves
+
+
+def _edit_shapes(weave):
+    """``label -> (added, removed)`` for one weave: the three edit kinds."""
+    registry = ProgramRegistry.from_weave(weave)
+    declared = registry.current.declared
+    minimal_keys = {
+        (c.source, c.target, c.condition) for c in registry.current.minimal.constraints
+    }
+    redundant = [
+        c for c in declared.constraints
+        if (c.source, c.target, c.condition) not in minimal_keys
+    ]
+    kept = [
+        c for c in declared.constraints
+        if (c.source, c.target, c.condition) in minimal_keys
+    ]
+    declared_keys = {(c.source, c.target, c.condition) for c in declared.constraints}
+    names = list(declared.activities)
+    addition = None
+    for i, source in enumerate(names):
+        for target in names[i + 1:]:
+            if (source, target, None) not in declared_keys:
+                addition = Constraint(source, target)
+                break
+        if addition is not None:
+            break
+    return {
+        "remove_redundant": ((), (redundant[0],)),
+        "remove_minimal": ((), (kept[len(kept) // 2],)),
+        "add_edge": ((addition,), ()),
+    }
+
+
+def _redeploy_seconds(weave, added, removed, cold):
+    best = None
+    for _ in range(3):
+        registry = ProgramRegistry.from_weave(weave)
+        result = registry.redeploy(added=added, removed=removed, cold=cold)
+        best = (
+            result.minimize_seconds
+            if best is None
+            else min(best, result.minimize_seconds)
+        )
+    return best
+
+
+def _rebase_rows(synthetic_weaves):
+    rows = []
+    for n_activities in SIZES:
+        weave = synthetic_weaves[n_activities]
+        for label, (added, removed) in _edit_shapes(weave).items():
+            incremental = _redeploy_seconds(weave, added, removed, cold=False)
+            cold = _redeploy_seconds(weave, added, removed, cold=True)
+            rows.append(
+                {
+                    "n_activities": n_activities,
+                    "edit": label,
+                    "incremental_seconds": round(incremental, 6),
+                    "cold_seconds": round(cold, 6),
+                    "speedup": round(cold / incremental, 1),
+                }
+            )
+    return rows
+
+
+def _plans(count):
+    return {
+        "case-%05d" % i: {"if_au": "T" if i % 2 == 0 else "F"}
+        for i in range(count)
+    }
+
+
+def _purchasing_versions(purchasing_result):
+    registry = ProgramRegistry.from_weave(purchasing_result)
+    result = registry.redeploy(removed=(REDUNDANT_EDGE,))
+    return registry.version(1), result.version
+
+
+def _swap_latency(purchasing_result, tmp_path):
+    old, new = _purchasing_versions(purchasing_result)
+    runtime = Runtime(old.program, journal_path=str(tmp_path / "latency.jsonl"))
+    runtime.submit_batch(_plans(IN_FLIGHT))
+    runtime.run_until_completed(1)
+    in_flight = len(runtime.resident_cases())
+    engine = MigrationEngine(old, new)
+    started = time.perf_counter()
+    plan = execute_swap(runtime, engine)
+    swap_seconds = time.perf_counter() - started
+    report = runtime.run()
+    assert report.metrics.completed == IN_FLIGHT
+    return {
+        "in_flight_cases": in_flight,
+        "swap_seconds": round(swap_seconds, 4),
+        "cases_per_second": round(in_flight / swap_seconds, 1),
+        "upgraded": plan.upgraded,
+        "drained": plan.drained,
+        "rejected": plan.rejected,
+    }
+
+
+def _recovery_curve(purchasing_result, tmp_path):
+    old, new = _purchasing_versions(purchasing_result)
+    cases = 200
+
+    def serve(path, crash_after=None):
+        runtime = Runtime(
+            old.program, journal_path=path, crash_after=crash_after
+        )
+        runtime.submit_batch(_plans(cases))
+        runtime.run_until_completed(cases // 3)
+        plan = execute_swap(runtime, MigrationEngine(old, new))
+        report = runtime.run()
+        return plan, report
+
+    clean_path = str(tmp_path / "clean.jsonl")
+    _, clean = serve(clean_path)
+    clean_states = {c: r.status for c, r in clean.results.items()}
+    lines = pathlib.Path(clean_path).read_text().splitlines()
+    begin_at = next(i for i, line in enumerate(lines) if '"rt":"dep"' in line)
+
+    points = []
+    for depth in CRASH_DEPTHS:
+        path = str(tmp_path / ("crash-%d.jsonl" % depth))
+        try:
+            serve(path, crash_after=begin_at + depth)
+        except SimulatedCrash:
+            pass
+        else:  # pragma: no cover - crash point must be inside the run
+            raise AssertionError("crash at depth %d never fired" % depth)
+        started = time.perf_counter()
+        state = read_journal(path, strict=False)
+        assert state.pending_deploy() is not None
+        runtime = Runtime.recover(
+            path,
+            old.program,
+            programs={old.version: old.program, new.version: new.program},
+            state=state,
+        )
+        plan = resume_swap(runtime, MigrationEngine(old, new), state)
+        report = runtime.run()
+        recovery_seconds = time.perf_counter() - started
+        assert {c: r.status for c, r in report.results.items()} == clean_states
+        assert dict(report.versions) == dict(clean.versions)
+        points.append(
+            {
+                "records_past_begin": depth,
+                "journaled_decisions": sum(
+                    1 for d in state.deploys if d.get("kind") == "assign"
+                ),
+                "recovered_decisions": len(plan.decisions) if plan else 0,
+                "recovery_seconds": round(recovery_seconds, 4),
+            }
+        )
+    return points
+
+
+def test_emit_bench_deploy_json(synthetic_weaves, purchasing_result, tmp_path):
+    """Machine-readable redeploy record (see module docstring)."""
+    rows = _rebase_rows(synthetic_weaves)
+    latency = _swap_latency(purchasing_result, tmp_path)
+    curve = _recovery_curve(purchasing_result, tmp_path)
+    payload = {
+        "benchmark": "deploy_hot_swap",
+        "description": (
+            "Incremental redeploy re-minimization vs cold, one-swap latency "
+            "at 10k in-flight purchasing cases, and crash-during-swap "
+            "recovery depth curve."
+        ),
+        "rebase_vs_cold": rows,
+        "swap_latency": latency,
+        "recovery_curve": curve,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # Acceptance bar: the behavior-preserving edit is >= 3x faster
+    # incrementally than cold at n=120 (it rides the replay fast path).
+    headline = next(
+        r for r in rows
+        if r["n_activities"] == 120 and r["edit"] == "remove_redundant"
+    )
+    assert headline["speedup"] >= 3.0, headline
+    # Every crash depth recovered to the clean outcome (asserted above)
+    # and every in-flight case was migrated or drained, none lost.
+    assert latency["upgraded"] + latency["drained"] == latency["in_flight_cases"]
+    assert latency["rejected"] == 0

@@ -618,9 +618,68 @@ def _run_serve_command(arguments) -> int:
             file=sys.stderr,
         )
         return 2
+    if arguments.redeploy_after is not None:
+        if not arguments.to:
+            print("--redeploy-after requires --to EDITS.json", file=sys.stderr)
+            return 2
+        if not arguments.journal:
+            print("--redeploy-after requires --journal", file=sys.stderr)
+            return 2
+        if arguments.objects:
+            print(
+                "--redeploy-after is not supported with --objects: cross-case "
+                "barriers couple case states across versions",
+                file=sys.stderr,
+            )
+            return 2
+        if arguments.set != "minimal":
+            print(
+                "--redeploy-after serves the registry's minimized programs; "
+                "drop --set full",
+                file=sys.stderr,
+            )
+            return 2
+    elif arguments.to:
+        print("--to requires --redeploy-after", file=sys.stderr)
+        return 2
 
     _process, result = _weave(arguments.workload)
     program = program_from_weave(result, which=arguments.set, target="runtime")
+
+    deploy_spec = None
+    registry = None
+    redeploy_result = None
+    if arguments.redeploy_after is not None:
+        from repro.deploy import PoolSwap, ProgramRegistry, load_edits
+
+        registry = ProgramRegistry.from_weave(result)
+        try:
+            added, removed = load_edits(arguments.to)
+            redeploy_result = registry.redeploy(added=added, removed=removed)
+        except (OSError, ValueError) as error:
+            print("cannot redeploy: %s" % error, file=sys.stderr)
+            return 2
+        deploy_spec = PoolSwap(
+            old=registry.version(registry.current_version - 1),
+            new=registry.current,
+            strategy=arguments.strategy,
+            after=arguments.redeploy_after,
+        )
+        # Serve v1 from the registry so old/new share one compiled surface.
+        program = deploy_spec.old.program
+        if arguments.format == "text":
+            print(
+                "redeploy armed: v%d -> v%d after %d completion(s)%s "
+                "(%s re-minimize, %.4fs)"
+                % (
+                    deploy_spec.old.version,
+                    deploy_spec.new.version,
+                    deploy_spec.after,
+                    " per worker" if arguments.workers > 1 else "",
+                    "incremental" if redeploy_result.incremental else "cold",
+                    redeploy_result.minimize_seconds,
+                )
+            )
 
     if arguments.verify:
         from repro.verify import verify_program
@@ -734,6 +793,12 @@ def _run_serve_command(arguments) -> int:
             hint += " --withhold %d" % arguments.withhold
         if arguments.random_shard:
             hint += " --random-shard"
+    if deploy_spec is not None:
+        hint += " --redeploy-after %d --to %s --strategy %s" % (
+            arguments.redeploy_after,
+            arguments.to,
+            arguments.strategy,
+        )
 
     recovery = None
     if arguments.workers > 1:
@@ -747,6 +812,7 @@ def _run_serve_command(arguments) -> int:
             batch=arguments.batch,
             seed=arguments.seed,
             policies=policies,
+            deploy=deploy_spec,
         )
         try:
             if arguments.recover:
@@ -791,11 +857,27 @@ def _run_serve_command(arguments) -> int:
             )
             return 3
     else:
+        swap_engine = None
+        swap_armed = False
+        journal_state = None
+        if deploy_spec is not None:
+            from repro.deploy import MigrationEngine
+
+            swap_engine = MigrationEngine(
+                deploy_spec.old, deploy_spec.new, state_limit=deploy_spec.state_limit
+            )
         if arguments.recover:
+            if deploy_spec is not None:
+                from repro.runtime import read_journal
+
+                journal_state = read_journal(arguments.journal)
+                options = dict(options)
+                options["programs"] = registry.programs()
             runtime = Runtime.recover(
                 arguments.journal,
                 program,
                 crash_after=arguments.crash_after,
+                state=journal_state,
                 **options,
             )
             known = set(runtime.known_cases)
@@ -811,6 +893,16 @@ def _run_serve_command(arguments) -> int:
                     "%d resubmitted" % (arguments.journal, len(known), len(pending))
                 )
             plans = pending
+            if deploy_spec is not None:
+                from repro.deploy import resume_swap
+
+                if journal_state.pending_deploy() is not None:
+                    resume_swap(
+                        runtime, swap_engine, journal_state, deploy_spec.strategy
+                    )
+                elif journal_state.current_version() < deploy_spec.new.version:
+                    # The crash hit before the swap began: re-arm it.
+                    swap_armed = True
         else:
             runtime = Runtime(
                 program,
@@ -818,9 +910,15 @@ def _run_serve_command(arguments) -> int:
                 crash_after=arguments.crash_after,
                 **options,
             )
+            swap_armed = deploy_spec is not None
         try:
             # the crash point may land on an admit record, not just mid-run
             runtime.submit_batch(plans, bindings=bindings)
+            if swap_armed:
+                from repro.deploy import execute_swap
+
+                runtime.run_until_completed(deploy_spec.after)
+                execute_swap(runtime, swap_engine, deploy_spec.strategy)
             report = runtime.run()
         except SimulatedCrash as crash:
             print(
@@ -850,8 +948,154 @@ def _run_serve_command(arguments) -> int:
         payload["recovery"] = recovery
     if objects_info is not None:
         payload["objects"] = objects_info
+    if deploy_spec is not None:
+        payload["deploy"] = {
+            "from_version": deploy_spec.old.version,
+            "to_version": deploy_spec.new.version,
+            "strategy": deploy_spec.strategy,
+            "after": deploy_spec.after,
+            "incremental": redeploy_result.incremental,
+            "minimize_seconds": redeploy_result.minimize_seconds,
+            "upgraded": report.metrics.upgraded,
+            "drained": report.metrics.drained,
+            "rejected": report.metrics.swap_rejected,
+            "versions": dict(report.versions),
+        }
     _emit_summary(arguments.format, payload, text)
     return report.exit_code(Severity.from_name(arguments.fail_on))
+
+
+def _run_deploy_command(arguments) -> int:
+    """Plan (and optionally apply) a constraint hot swap.
+
+    Without ``--from`` this is a pure pre-flight: re-minimize the edited
+    set incrementally, sweep the strand gate (DEP005) and report.  With
+    ``--from JOURNAL`` the journal's in-flight cases are additionally
+    classified into a migration plan; unless ``--dry-run``, the swap is
+    applied and the run is driven to completion on the new version.
+    """
+    from repro.deploy import (
+        MigrationEngine,
+        ProgramRegistry,
+        execute_swap,
+        load_edits,
+        preflight,
+        resume_swap,
+    )
+    from repro.lint import Severity, render
+    from repro.lint.diagnostics import LintReport
+    from repro.lint.formats import report_dict
+
+    _process, result = _weave(arguments.workload)
+    obs = _make_obs(arguments)
+    registry = ProgramRegistry.from_weave(result, obs=obs)
+    old = registry.current
+    try:
+        added, removed = load_edits(arguments.to)
+    except (OSError, ValueError) as error:
+        print("cannot load edits: %s" % error, file=sys.stderr)
+        return 2
+    try:
+        redeploy = registry.redeploy(added=added, removed=removed, cold=arguments.cold)
+    except ValueError as error:
+        print("invalid edit batch: %s" % error, file=sys.stderr)
+        return 2
+    new = redeploy.version
+    strand_report, gate_findings = preflight(
+        old, new, state_limit=arguments.state_limit
+    )
+    diagnostics = list(gate_findings)
+    payload = {
+        "workload": arguments.workload,
+        "from_version": old.version,
+        "to_version": new.version,
+        "strategy": arguments.strategy,
+        "added": len(redeploy.added),
+        "removed": len(redeploy.removed),
+        "minimal_size": len(new.minimal.constraints),
+        "incremental": redeploy.incremental,
+        "minimize_seconds": redeploy.minimize_seconds,
+        "preflight": {
+            "prefixes_checked": strand_report.prefixes_checked,
+            "stranded": len(strand_report.stranded),
+            "truncated": strand_report.truncated,
+            "safe": strand_report.safe,
+        },
+    }
+    lines = [
+        "deploy %s: v%d -> v%d (%+d/-%d edit(s), minimal %d -> %d, "
+        "%s re-minimize in %.4fs)"
+        % (
+            arguments.workload,
+            old.version,
+            new.version,
+            len(redeploy.added),
+            len(redeploy.removed),
+            len(old.minimal.constraints),
+            len(new.minimal.constraints),
+            "incremental" if redeploy.incremental else "cold",
+            redeploy.minimize_seconds,
+        ),
+        "preflight strand gate: %d prefix(es) checked, %d stranded%s"
+        % (
+            strand_report.prefixes_checked,
+            len(strand_report.stranded),
+            " (truncated)" if strand_report.truncated else "",
+        ),
+    ]
+
+    plan = None
+    if arguments.journal is not None:
+        from repro.runtime import Runtime, read_journal
+
+        try:
+            state = read_journal(arguments.journal)
+        except (OSError, ValueError) as error:
+            print("cannot read journal: %s" % error, file=sys.stderr)
+            return 2
+        engine = MigrationEngine(old, new, state_limit=arguments.state_limit)
+        runtime = Runtime.recover(
+            arguments.journal,
+            old.program,
+            programs=registry.programs(),
+            state=state,
+        )
+        try:
+            if state.pending_deploy() is not None:
+                plan = resume_swap(runtime, engine, state, arguments.strategy)
+            else:
+                plan = execute_swap(
+                    runtime, engine, arguments.strategy, dry_run=arguments.dry_run
+                )
+            if plan is not None and plan.applied and not arguments.dry_run:
+                runtime.run()
+        finally:
+            runtime.close()
+        if plan is not None:
+            diagnostics.extend(plan.diagnostics)
+            payload["plan"] = plan.to_dict()
+            lines.append(
+                "migration plan (%s%s): %d upgrade, %d drain, %d reject "
+                "across %d in-flight case(s)"
+                % (
+                    plan.strategy,
+                    ", dry-run" if not plan.applied else
+                    (", recovered" if plan.recovered else ""),
+                    plan.upgraded,
+                    plan.drained,
+                    plan.rejected,
+                    len(plan.decisions),
+                )
+            )
+
+    lint_report = LintReport.from_diagnostics(diagnostics, [])
+    payload["findings"] = report_dict(lint_report, title=arguments.workload)
+    text = "\n".join(lines) + "\n"
+    if lint_report.findings:
+        text += render(lint_report, "text", title=arguments.workload)
+    _emit_summary(arguments.format, payload, text)
+    _flush_obs(obs, arguments)
+    return lint_report.exit_code(Severity.from_name(arguments.fail_on))
 
 
 def _run_minimize_command(arguments) -> int:
@@ -1408,7 +1652,74 @@ def main(argv: Optional[List[str]] = None) -> int:
         "co-sharding by object key (the baseline the benchmark compares "
         "against)",
     )
+    serve.add_argument(
+        "--redeploy-after", type=int, default=None, metavar="N",
+        help="hot-swap to the edited constraint set (--to) once N cases "
+        "have completed (per worker with --workers); requires --journal",
+    )
+    serve.add_argument(
+        "--to", default=None, metavar="EDITS.json",
+        help="constraint edit batch for --redeploy-after: "
+        '{"add": [{"source", "target", "condition"?}], "remove": [...]}',
+    )
+    serve.add_argument(
+        "--strategy", default="upgrade", choices=["drain", "upgrade", "reject"],
+        help="migration strategy at the swap barrier: drain everything on "
+        "the old version, upgrade what replays cleanly (default), or "
+        "reject whatever cannot upgrade",
+    )
     add_obs_flags(serve)
+
+    deploy_cmd = subparsers.add_parser(
+        "deploy",
+        help="plan/apply a zero-downtime constraint hot swap: incremental "
+        "re-minimization, strand-gate pre-flight, live case migration",
+    )
+    deploy_cmd.add_argument(
+        "workload",
+        nargs="?",
+        default="purchasing",
+        choices=["purchasing", "deployment", "loan", "travel", "insurance", "orders"],
+    )
+    deploy_cmd.add_argument(
+        "--to", required=True, metavar="EDITS.json",
+        help="constraint edit batch to deploy: "
+        '{"add": [{"source", "target", "condition"?}], "remove": [...]}',
+    )
+    deploy_cmd.add_argument(
+        "--from", dest="journal", default=None, metavar="JOURNAL",
+        help="classify and migrate the in-flight cases of this WAL journal "
+        "(omit for a pure pre-flight of the edit batch)",
+    )
+    deploy_cmd.add_argument(
+        "--strategy", default="upgrade", choices=["drain", "upgrade", "reject"],
+        help="migration strategy (default upgrade)",
+    )
+    deploy_cmd.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="plan the migration but apply nothing (no journal writes)",
+    )
+    deploy_cmd.add_argument(
+        "--cold",
+        action="store_true",
+        help="re-minimize from scratch instead of the incremental rebase "
+        "(the timing baseline; identical result)",
+    )
+    deploy_cmd.add_argument(
+        "--state-limit", type=int, default=200_000, metavar="N",
+        help="strand-gate exploration bound (default 200000)",
+    )
+    deploy_cmd.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error"],
+        help="exit 1 when any DEP finding is at or above this severity",
+    )
+    deploy_cmd.add_argument(
+        "--format", default="text", choices=["text", "json"],
+    )
+    add_obs_flags(deploy_cmd)
 
     verify_cmd = subparsers.add_parser(
         "verify",
@@ -1610,6 +1921,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_monitor_command(arguments)
     if arguments.command == "serve":
         return _run_serve_command(arguments)
+    if arguments.command == "deploy":
+        return _run_deploy_command(arguments)
     if arguments.command == "verify":
         return _run_verify_command(arguments)
     if arguments.command == "discover":

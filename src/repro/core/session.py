@@ -25,6 +25,15 @@ use.
 Sessions require an acyclic constraint set (the construction raises
 ``ValueError`` otherwise); callers fall back to the reference frozenset
 path, which handles cycles via worklist search.
+
+Beyond single-shot minimization, a session supports :meth:`~MinimizationSession.rebase`:
+after the declared set is edited (constraints added or removed), the
+minimization is replayed incrementally — per-candidate decisions recorded
+during the previous pass are reused verbatim for every candidate whose
+decision provably cannot have changed, and only candidates inside the
+edit's dependency region are re-checked.  The result is bit-identical to
+cold-minimizing the edited declared set (property-tested in
+``tests/test_session_rebase.py``) at a fraction of the cost.
 """
 
 from __future__ import annotations
@@ -125,6 +134,11 @@ class MinimizationSession:
 
         self._raw: List[Optional[MaskClosure]] = [None] * size
         self._sem: List[Optional[MaskClosure]] = [None] * size
+
+        # Per-candidate decision log from the most recent minimization pass,
+        # keyed by edge key: (accepted, deciding_stage).  rebase() replays
+        # these for candidates outside an edit's dependency region.
+        self._decisions: Dict[_EdgeKey, Tuple[bool, str]] = {}
 
     # -- closures ------------------------------------------------------------
 
@@ -325,6 +339,12 @@ class MinimizationSession:
 
     def _try_remove_staged(self, constraint: Constraint) -> Tuple[bool, str]:
         """The three-stage check; returns ``(accepted, deciding_stage)``."""
+        key = (constraint.source, constraint.target, constraint.condition)
+        decision = self._try_remove_inner(constraint)
+        self._decisions[key] = decision
+        return decision
+
+    def _try_remove_inner(self, constraint: Constraint) -> Tuple[bool, str]:
         stats = self.stats
         if stats is not None:
             stats.candidates += 1
@@ -389,3 +409,209 @@ class MinimizationSession:
             not in self._removed
         ]
         return self._sc.replace_constraints(remaining)
+
+    # -- rebase ------------------------------------------------------------------
+
+    @staticmethod
+    def _reach(starts: Set[int], adjacency: List[List[int]]) -> Set[int]:
+        """Nodes reachable from ``starts`` (inclusive) over id adjacency lists."""
+        seen = set(starts)
+        stack = list(starts)
+        while stack:
+            node = stack.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return seen
+
+    def _invalidate_node(self, node: int, raw_only: bool = False) -> None:
+        """Drop cached closures of ``node`` and everything that reaches it."""
+        self._raw[node] = None
+        if not raw_only:
+            self._sem[node] = None
+        for ancestor in self._ancestors(node):
+            self._raw[ancestor] = None
+            if not raw_only:
+                self._sem[ancestor] = None
+
+    def rebase(
+        self,
+        added: Tuple[Constraint, ...] = (),
+        removed: Tuple[Constraint, ...] = (),
+    ) -> SynchronizationConstraintSet:
+        """Re-minimize after editing the declared set, reusing prior work.
+
+        ``added`` constraints are appended to the declared set (duplicates of
+        surviving constraints are no-ops); ``removed`` constraints are deleted
+        from it.  The result — and the session's state afterwards — is
+        *bit-identical* to building a fresh session on the edited declared set
+        and running the full candidate pass, but most candidates are replayed
+        from the recorded decision log instead of re-checked:
+
+        * A candidate's accept/reject decision depends on edges whose source
+          lies in ``desc*(anc*(u) ∪ {u})`` for its source ``u`` — but only
+          when the recorded decision came from the stage-3 ancestor check.
+          Stage-1 (``raw_shortcut``) and stage-2 (``cheap_reject``) decisions
+          read nothing beyond ``desc*(u)``.  Candidates are therefore
+          re-checked against a *two-tier* dependency region over the union
+          of the old and new declared graphs: ``anc*(S)`` (for edit sources
+          ``S``) gates stage-1/2 replays, ``desc*(anc*(S))`` gates stage-3
+          replays; both grow dynamically when a re-checked decision flips.
+        * Accepted removals preserve *semantic* closures exactly (that is the
+          minimization invariant), so cached semantic closures survive the
+          replay untouched outside the edit region; raw closures survive
+          stage-1 (``raw_shortcut``) removals and are invalidated only at the
+          ancestors of stage-3 (``full_check``) removal sources.
+
+        Raises ``ValueError`` — leaving the session untouched — when an added
+        constraint references an activity the set does not declare, when a
+        removal is not part of the declared set, or when the edited set is
+        cyclic.  Callers should fall back to a cold minimization then.
+        """
+        interner = self.interner
+        declared = self._sc.constraints
+        declared_keys = {(c.source, c.target, c.condition) for c in declared}
+
+        removed_keys: Set[_EdgeKey] = set()
+        for constraint in removed:
+            key = (constraint.source, constraint.target, constraint.condition)
+            if key not in declared_keys:
+                raise ValueError(
+                    "rebase removal is not in the declared set: %r" % (constraint,)
+                )
+            removed_keys.add(key)
+        known = set(self._sc.nodes)
+        additions: List[Constraint] = []
+        addition_keys: Set[_EdgeKey] = set()
+        for constraint in added:
+            if constraint.source not in known or constraint.target not in known:
+                raise ValueError(
+                    "rebase addition references unknown activities: %r" % (constraint,)
+                )
+            key = (constraint.source, constraint.target, constraint.condition)
+            if key in addition_keys or (
+                key in declared_keys and key not in removed_keys
+            ):
+                continue
+            addition_keys.add(key)
+            additions.append(constraint)
+        if not additions and not removed_keys:
+            return self.to_constraint_set()
+
+        survivors = [
+            c
+            for c in declared
+            if (c.source, c.target, c.condition) not in removed_keys
+        ]
+
+        # Fast path: every removed edge was *accepted* by the recorded pass
+        # (a redundant declared edge — the behavior-preserving edit of a hot
+        # redeploy).  Each accepted removal preserved per-node semantic
+        # closures, and by monotonicity the edited declared set's closures
+        # sit between the post-removal working set's and the full declared
+        # set's — so they are identical, every other candidate re-decides
+        # exactly as recorded, and the minimal set is unchanged.  The edges
+        # are already out of the working graph, so no cache is touched:
+        # only the declared set and the decision log shrink.
+        if not additions and removed_keys <= self._removed:
+            for key in removed_keys:
+                del self._edges[key]
+                self._removed.discard(key)
+                self._decisions.pop(key, None)
+            self._sc = self._sc.replace_constraints(survivors)
+            return self.to_constraint_set()
+
+        new_sc = self._sc.replace_constraints(survivors + additions)
+        order = topological_sort(new_sc.as_graph())  # ValueError on cycles
+
+        # Union-graph adjacency (old ∪ new declared) for region reachability.
+        size = len(self._out)
+        union_out: List[List[int]] = [[] for _ in range(size)]
+        union_rin: List[List[int]] = [[] for _ in range(size)]
+        pairs = {(edge.src, edge.tgt) for edge in self._edges.values()}
+        pairs.update(
+            (interner.node_id(c.source), interner.node_id(c.target))
+            for c in additions
+        )
+        for src, tgt in pairs:
+            union_out[src].append(tgt)
+            union_rin[tgt].append(src)
+        edit_sources = {interner.node_id(c.source) for c in additions}
+        edit_sources.update(self._edges[key].src for key in removed_keys)
+        up_region = self._reach(edit_sources, union_rin)
+        full_region = self._reach(up_region, union_out)
+
+        # Restore every minimization-removed edge: the replay starts from the
+        # full declared graph, exactly like a cold pass.  Stage-1 removals
+        # left raw closures unchanged as antichains, so only the ancestors of
+        # stage-3 removal sources go stale — and only their *raw* caches, the
+        # semantic ones being invariant across accepted removals.
+        stage3_sources: Set[int] = set()
+        for key in self._removed:
+            edge = self._edges[key]
+            self._out[edge.src].append(edge)
+            self._rin[edge.tgt].append(edge)
+            if self._decisions.get(key, (True, "full_check"))[1] != "raw_shortcut":
+                stage3_sources.add(edge.src)
+        self._removed.clear()
+        for node in self._reach(
+            stage3_sources, [[e.src for e in edges] for edges in self._rin]
+        ):
+            self._raw[node] = None
+
+        # Apply the edits to the declared graph, invalidating the closures of
+        # each edited edge's source and ancestors (both caches: the declared
+        # semantics themselves change here).
+        for key in removed_keys:
+            edge = self._edges.pop(key)
+            self._invalidate_node(edge.src)
+            self._out[edge.src].remove(edge)
+            self._rin[edge.tgt].remove(edge)
+        for constraint in additions:
+            edge = _Edge(
+                src=interner.node_id(constraint.source),
+                tgt=interner.node_id(constraint.target),
+                mask=interner.mask_of(constraint.annotation),
+                key=(constraint.source, constraint.target, constraint.condition),
+            )
+            self._edges[edge.key] = edge
+            self._out[edge.src].append(edge)
+            self._rin[edge.tgt].append(edge)
+            self._invalidate_node(edge.src)
+
+        self._sc = new_sc
+        for position, name in enumerate(order):
+            self._pos[interner.node_id(name)] = position
+
+        # Replay: out-of-region candidates reuse the recorded decision (an
+        # accepted removal is re-applied without re-checking), in-region
+        # candidates run the full three-stage check.  A decision that flips
+        # versus the record widens the region for everything downstream.
+        decisions: Dict[_EdgeKey, Tuple[bool, str]] = {}
+        for constraint in new_sc.constraints:
+            key = (constraint.source, constraint.target, constraint.condition)
+            edge = self._edges[key]
+            stored = self._decisions.get(key)
+            if stored is not None:
+                accepted, stage = stored
+                affected = (
+                    edge.src in full_region
+                    if stage == "full_check"
+                    else edge.src in up_region
+                )
+                if not affected:
+                    if accepted:
+                        self._remove_edge(edge)
+                        if stage != "raw_shortcut":
+                            self._invalidate_node(edge.src, raw_only=True)
+                    decisions[key] = stored
+                    continue
+            decision = self._try_remove_inner(constraint)
+            decisions[key] = decision
+            if stored is not None and decision[0] != stored[0]:
+                flipped_up = self._reach({edge.src}, union_rin)
+                up_region |= flipped_up
+                full_region |= self._reach(flipped_up, union_out)
+        self._decisions = decisions
+        return self.to_constraint_set()

@@ -1,0 +1,61 @@
+"""Zero-downtime constraint hot swaps (ROADMAP item 2).
+
+The deploy subsystem versions compiled constraint programs
+(:mod:`repro.deploy.registry`), re-minimizes edited dependency sets
+incrementally via :meth:`~repro.core.session.MinimizationSession.rebase`,
+gates rollouts on the VER005 strand sweep, and migrates in-flight cases
+live — upgrade / drain / reject, write-ahead journaled so a crash
+mid-swap recovers to a consistent version map
+(:mod:`repro.deploy.migrate`).  Migration findings surface as DEP001–
+DEP005 lint rules (:mod:`repro.deploy.rules`).
+"""
+
+from repro.deploy.migrate import (
+    CLASS_DRAIN,
+    CLASS_REJECT,
+    CLASS_UPGRADE,
+    STRATEGIES,
+    STRATEGY_DRAIN,
+    STRATEGY_REJECT,
+    STRATEGY_UPGRADE,
+    CaseDecision,
+    MigrationEngine,
+    MigrationPlan,
+    PoolSwap,
+    case_history,
+    execute_swap,
+    plan_swap,
+    preflight,
+    resume_swap,
+)
+from repro.deploy.registry import (
+    ProgramRegistry,
+    ProgramVersion,
+    RedeployResult,
+    load_edits,
+)
+from repro.deploy.rules import DEP_CODES
+
+__all__ = [
+    "CLASS_DRAIN",
+    "CLASS_REJECT",
+    "CLASS_UPGRADE",
+    "STRATEGIES",
+    "STRATEGY_DRAIN",
+    "STRATEGY_REJECT",
+    "STRATEGY_UPGRADE",
+    "CaseDecision",
+    "DEP_CODES",
+    "MigrationEngine",
+    "MigrationPlan",
+    "PoolSwap",
+    "ProgramRegistry",
+    "ProgramVersion",
+    "RedeployResult",
+    "case_history",
+    "execute_swap",
+    "load_edits",
+    "plan_swap",
+    "preflight",
+    "resume_swap",
+]

@@ -1,0 +1,97 @@
+"""DEP001–DEP005: hot-swap migration findings as first-class lint rules.
+
+The deploy engine (:mod:`repro.deploy.migrate`) produces
+:class:`~repro.lint.diagnostics.Diagnostic` records while planning and
+applying a constraint hot swap; registering them as rules makes the
+text/JSON/SARIF renderers, ``--select DEP`` and ``--fail-on`` gating of
+:mod:`repro.lint` work on migration outcomes unchanged.  Rules read an
+attached plan from ``context.deploy`` (mirroring how the RT00x rules
+read ``context.runtime``), so running the lint engine without a deploy
+attachment simply reports them as clean.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import LintContext, rule
+
+#: migrating this in-flight case to the new version would strand it (VER005).
+MIGRATION_WOULD_STRAND = "DEP001"
+#: the case's journaled prefix does not re-derive under the new program.
+PREFIX_REPLAY_DIVERGED = "DEP002"
+#: the case was failed at the swap barrier by the migration strategy.
+CASE_REJECTED_AT_SWAP = "DEP003"
+#: a crashed swap was rolled forward to a consistent version map.
+SWAP_RECOVERED = "DEP004"
+#: the pre-flight sweep found strandable prefixes (gate before rollout).
+PREFLIGHT_STRAND_GATE = "DEP005"
+
+DEP_CODES = (
+    MIGRATION_WOULD_STRAND,
+    PREFIX_REPLAY_DIVERGED,
+    CASE_REJECTED_AT_SWAP,
+    SWAP_RECOVERED,
+    PREFLIGHT_STRAND_GATE,
+)
+
+
+def _deploy(context: LintContext, code: str) -> List[Diagnostic]:
+    """Diagnostics of one DEP code from the attached migration plan."""
+    plan = getattr(context, "deploy", None)
+    if plan is None:
+        return []
+    return [d for d in plan.diagnostics if d.code == code]
+
+
+@rule(
+    MIGRATION_WOULD_STRAND,
+    "migration-would-strand",
+    "An in-flight case's history deadlocks under the new program version.",
+    Severity.ERROR,
+)
+def migration_would_strand(context: LintContext) -> List[Diagnostic]:
+    return _deploy(context, MIGRATION_WOULD_STRAND)
+
+
+@rule(
+    PREFIX_REPLAY_DIVERGED,
+    "prefix-replay-divergence",
+    "A case's journaled prefix does not replay cleanly under the new "
+    "version; the case drains on its old version.",
+    Severity.WARNING,
+)
+def prefix_replay_diverged(context: LintContext) -> List[Diagnostic]:
+    return _deploy(context, PREFIX_REPLAY_DIVERGED)
+
+
+@rule(
+    CASE_REJECTED_AT_SWAP,
+    "case-rejected-at-swap",
+    "The migration strategy failed an in-flight case at the swap barrier.",
+    Severity.ERROR,
+)
+def case_rejected_at_swap(context: LintContext) -> List[Diagnostic]:
+    return _deploy(context, CASE_REJECTED_AT_SWAP)
+
+
+@rule(
+    SWAP_RECOVERED,
+    "swap-recovered",
+    "Recovery found a swap begun but not committed and rolled it forward.",
+    Severity.WARNING,
+)
+def swap_recovered(context: LintContext) -> List[Diagnostic]:
+    return _deploy(context, SWAP_RECOVERED)
+
+
+@rule(
+    PREFLIGHT_STRAND_GATE,
+    "preflight-strand-gate",
+    "The pre-flight sweep over all reachable old-version prefixes found "
+    "histories the new version would strand.",
+    Severity.ERROR,
+)
+def preflight_strand_gate(context: LintContext) -> List[Diagnostic]:
+    return _deploy(context, PREFLIGHT_STRAND_GATE)

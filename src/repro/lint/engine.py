@@ -99,6 +99,7 @@ def _ensure_rules_loaded() -> None:
     # in so prefix selection (``--select VER``) and the SARIF rule table
     # see the complete registry regardless of which command is running.
     import repro.conformance.rules  # noqa: F401
+    import repro.deploy.rules  # noqa: F401
     import repro.discover.rules  # noqa: F401
     import repro.lint.rules  # noqa: F401
     import repro.runtime.rules  # noqa: F401

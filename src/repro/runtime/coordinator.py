@@ -71,6 +71,9 @@ class RuntimeReport:
     metrics: RuntimeMetrics
     results: Dict[str, CaseResult] = field(default_factory=dict)
     diagnostics: Tuple[Diagnostic, ...] = ()
+    #: case -> program version the case was served under (all 1 when no
+    #: hot swap ever ran; see :mod:`repro.deploy`).
+    versions: Dict[str, int] = field(default_factory=dict)
 
     def completed_cases(self) -> Tuple[str, ...]:
         return tuple(
@@ -191,10 +194,22 @@ class Runtime:
         fast: bool = True,
         flush_every: int = 1,
         external_gates: bool = False,
+        version: int = 1,
+        programs: Optional[Mapping[int, ConstraintProgram]] = None,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be at least 1")
         self.program = program
+        #: current program version — newly admitted cases run this version.
+        self.version = version
+        #: every version this runtime can serve (hot swaps add entries).
+        self._programs: Dict[int, ConstraintProgram] = dict(programs or {})
+        self._programs.setdefault(version, program)
+        self._case_versions: Dict[str, int] = {}
+        # Hot-swap migration counters (see repro.deploy.migrate).
+        self.upgraded = 0
+        self.drained = 0
+        self.swap_rejected = 0
         self._batch = batch
         self._indexed = indexed
         self._fast = fast
@@ -299,6 +314,12 @@ class Runtime:
         if state is None:
             state = read_journal(journal_path)
         runtime = cls(program, **kwargs)
+        if "version" not in kwargs:
+            # Adopt the journal's committed version: new admissions after a
+            # recovered (possibly mid-swap) run continue on the version the
+            # last committed deploy established.
+            runtime.version = state.current_version()
+            runtime._programs.setdefault(runtime.version, program)
         obs = runtime._obs
         span = (
             obs.tracer.span("runtime.recover", journal=journal_path)
@@ -335,9 +356,16 @@ class Runtime:
                 runtime._objects.preapply(record)
         for journaled in state.completed():
             runtime._recovered[journaled.case] = result_from_journal(journaled)
+            runtime._case_versions[journaled.case] = journaled.version
             if obs is not None:
                 runtime._m_recovery.labels(kind="adopted").inc()
         for journaled in state.in_flight():
+            if journaled.version not in runtime._programs:
+                raise ValueError(
+                    "journal assigns case %r to program version %d but no "
+                    "program was supplied for that version (pass programs="
+                    "{...} to recover)" % (journaled.case, journaled.version)
+                )
             runtime._submitted += 1
             runtime._admission.force_admit()
             runtime._activate(
@@ -345,6 +373,7 @@ class Runtime:
                 journaled.outcomes,
                 prefix=tuple(journaled.events),
                 journal_admission=False,
+                version=journaled.version,
             )
             if obs is not None:
                 runtime._m_recovery.labels(kind="resumed").inc()
@@ -426,9 +455,12 @@ class Runtime:
         outcomes: Dict[str, str],
         prefix: Tuple = (),
         journal_admission: bool = True,
+        version: Optional[int] = None,
     ) -> None:
         self._admitted += 1
         self._outcome_plans[case] = dict(outcomes)
+        effective = self.version if version is None else version
+        self._case_versions[case] = effective
         binding = self._case_bindings.pop(case, None)
         hook = None
         if self._objects is not None and binding is not None:
@@ -442,10 +474,11 @@ class Runtime:
                 0.0,
                 outcomes,
                 binding=binding.to_dict() if binding is not None else None,
+                version=effective,
             )
         instance = CaseInstance(
             case,
-            self.program,
+            self._programs.get(effective, self.program),
             outcomes=outcomes,
             indexed=self._indexed,
             seed=self._seed,
@@ -528,6 +561,140 @@ class Runtime:
         finally:
             self._wall_seconds += _time.perf_counter() - started
         return bool(self._parked)
+
+    def run_until_completed(self, target: int) -> bool:
+        """Drive scheduling rounds until ``target`` cases have finished.
+
+        The pause point for a mid-run hot swap (``serve --redeploy-after
+        N``): the method returns *between* scheduling rounds, where every
+        resident non-parked case sits in its shard queue exactly once —
+        the invariant :meth:`swap_case` relies on.  Returns True while
+        runnable work remains (the run is paused, not finished).
+        """
+        started = _time.perf_counter()
+        try:
+            while len(self._results) + len(self._recovered) < target:
+                self._drain_wakes()
+                if not self._store.any_runnable():
+                    if self._parked:
+                        self._fail_stranded()
+                        continue
+                    break
+                for shard in self._store.shards:
+                    self._advance_batch(shard, shard.take_batch(self._batch))
+        finally:
+            self._wall_seconds += _time.perf_counter() - started
+        self._drain_wakes()
+        return self._store.any_runnable() or bool(self._parked)
+
+    # -- hot swap (driven by repro.deploy.migrate) ----------------------------
+
+    @property
+    def journal(self) -> Optional[Journal]:
+        """The write-ahead journal (None when journaling is off)."""
+        return self._journal
+
+    @property
+    def has_objects(self) -> bool:
+        """True when an object spec is declared (hot swap is refused)."""
+        return self._objects is not None
+
+    def version_map(self) -> Dict[str, int]:
+        """``case -> program version`` for every case this runtime owns."""
+        return dict(self._case_versions)
+
+    def register_program(self, version: int, program: ConstraintProgram) -> None:
+        """Make ``program`` available as ``version`` for upgrades/admissions."""
+        self._programs[version] = program
+
+    def activate_version(self, version: int) -> None:
+        """Route *new* admissions to ``version`` (must be registered)."""
+        if version not in self._programs:
+            raise KeyError("program version %d is not registered" % version)
+        self.version = version
+        self.program = self._programs[version]
+
+    def resident_cases(self) -> Dict[str, CaseInstance]:
+        """Every in-flight case instance currently resident on a shard."""
+        resident: Dict[str, CaseInstance] = {}
+        for shard in self._store.shards:
+            resident.update(shard.cases)
+        return resident
+
+    def case_plan(self, case: str) -> Dict[str, str]:
+        """The outcome plan ``case`` was admitted with."""
+        return dict(self._outcome_plans.get(case, {}))
+
+    def probe_case(self, case: str, program: ConstraintProgram, prefix: Tuple) -> CaseInstance:
+        """Build an *unjournaled* replay probe of ``case`` under ``program``.
+
+        Identical construction to :meth:`swap_case`'s replacement —
+        same outcome plan, seed, policies and evaluation strategy — but
+        with no journal attached, so the migration engine can drive the
+        probe through its prefix without emitting anything.
+        """
+        return CaseInstance(
+            case,
+            program,
+            outcomes=self._outcome_plans.get(case, {}),
+            indexed=self._indexed,
+            seed=self._seed,
+            policies=self._policies,
+            journal=None,
+            replay_prefix=prefix,
+            fast=self._fast,
+        )
+
+    def _shard_holding(self, case: str):
+        for shard in self._store.shards:
+            if case in shard.cases:
+                return shard
+        raise KeyError("case %r is not resident on any shard" % case)
+
+    def swap_case(self, case: str, version: int, prefix: Tuple) -> None:
+        """Hot-upgrade one resident case to ``version`` in place.
+
+        The replacement instance re-derives the journaled ``prefix`` under
+        the new program exactly like crash recovery does — verified record
+        for record as the scheduler drives it.  Only the instance behind
+        the case id changes; queue membership is untouched, so this is
+        safe precisely at the between-rounds point
+        :meth:`run_until_completed` pauses at.  The caller (the migration
+        engine) has already probed that the replay succeeds.
+        """
+        shard = self._shard_holding(case)
+        instance = CaseInstance(
+            case,
+            self._programs[version],
+            outcomes=self._outcome_plans.get(case, {}),
+            indexed=self._indexed,
+            seed=self._seed,
+            policies=self._policies,
+            journal=self._journal,
+            replay_prefix=prefix,
+            fast=self._fast,
+        )
+        shard.cases[case] = instance
+        self._case_versions[case] = version
+        self.upgraded += 1
+
+    def drain_case(self, case: str) -> None:
+        """Leave ``case`` on its current version; count the decision."""
+        self._shard_holding(case)  # raises for unknown cases
+        self.drained += 1
+
+    def reject_case(self, case: str, message: str, diagnostic: Diagnostic) -> None:
+        """Fail a resident case rejected at the swap barrier (``DEP003``)."""
+        shard = self._shard_holding(case)
+        instance = shard.cases[case]
+        try:
+            shard.queue.remove(case)
+        except ValueError:
+            pass  # parked or mid-batch; resident but not queued
+        instance.fail_migration(message, diagnostic)
+        shard.retire(instance)
+        self._on_case_done(instance)
+        self.swap_rejected += 1
 
     def take_gate_outbox(self) -> List[Dict[str, object]]:
         """Drain obligation records destined for sibling workers.
@@ -665,6 +832,9 @@ class Runtime:
                 if self._objects is not None
                 else 0
             ),
+            upgraded=self.upgraded,
+            drained=self.drained,
+            swap_rejected=self.swap_rejected,
         )
         if self._obs is not None:
             snapshot.publish(self._obs.metrics)
@@ -687,6 +857,7 @@ class Runtime:
             metrics=self.metrics(),
             results=results,
             diagnostics=tuple(self.diagnostics),
+            versions=self.version_map(),
         )
 
     def close(self) -> None:

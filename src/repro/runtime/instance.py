@@ -210,6 +210,16 @@ class CaseInstance:
         self._gate_check_mask = gate_mask
 
     @property
+    def replaying(self) -> bool:
+        """True while a journaled prefix remains to be re-derived.
+
+        The deploy migration probe drives a candidate instance until this
+        goes False: a case whose prefix re-derives cleanly under a new
+        program version can be hot-upgraded in place.
+        """
+        return bool(self._prefix)
+
+    @property
     def parked(self) -> bool:
         """True when the case froze on an unresolved cross-case barrier.
 
@@ -344,6 +354,17 @@ class CaseInstance:
                 + evidence,
             ),
         )
+
+    def fail_migration(self, message: str, diagnostic: Diagnostic) -> None:
+        """Fail a case rejected at a hot-swap barrier (``DEP003``).
+
+        Called by the coordinator's :meth:`~Runtime.reject_case` between
+        scheduling rounds: the FAILED completion is journaled write-ahead
+        exactly like any other terminal failure, so recovery and the
+        uncrashed run agree on the case's fate.
+        """
+        self._parked = False
+        self._fail(self.now, diagnostic.code, message, diagnostic)
 
     @property
     def makespan(self) -> float:

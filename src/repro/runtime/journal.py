@@ -29,6 +29,23 @@ constraints are declared, keeping plain journals byte-identical):
   record and re-execution of the surrounding prefix cannot double-count
   a partially satisfied barrier.
 
+Hot constraint redeploys (:mod:`repro.deploy`) add ``dep`` control
+records — again absent entirely from runs that never swap, keeping
+plain journals byte-identical.  A swap is framed write-ahead as::
+
+    {"rt": "dep", "kind": "begin",  "from": 1, "to": 2, "time": 4.0}
+    {"rt": "dep", "kind": "assign", "case": "case-7", "version": 2,
+     "action": "upgrade", "time": 4.0}
+    ...one assign per in-flight case...
+    {"rt": "dep", "kind": "commit", "version": 2, "time": 4.0}
+
+and admissions after the swap carry the program version in a ``"v"``
+field (omitted at version 1).  A ``begin`` without its ``commit`` marks
+a crash mid-swap; recovery rolls the swap *forward* deterministically —
+the migration decisions are pure functions of the journaled prefixes —
+so a crashed-and-recovered run converges to the same version map as an
+uninterrupted one.
+
 Every record is flushed before the state transition it describes is
 applied (write-ahead), so after a crash the journal is a faithful prefix
 of the run.  :func:`read_journal` rebuilds the durable state: which cases
@@ -151,6 +168,7 @@ class Journal:
         time: float,
         outcomes: Dict[str, str],
         binding: Optional[Dict[str, Any]] = None,
+        version: int = 1,
     ) -> None:
         payload: Dict[str, Any] = {
             "rt": "admit",
@@ -160,7 +178,38 @@ class Journal:
         }
         if binding is not None:
             payload["object"] = dict(binding)
+        if version != 1:
+            payload["v"] = version
         self._write(payload)
+
+    def dep_begin(self, from_version: int, to_version: int, time: float) -> None:
+        """Open a swap frame (write-ahead: before any migration applies)."""
+        self._write(
+            {
+                "rt": "dep",
+                "kind": "begin",
+                "from": from_version,
+                "to": to_version,
+                "time": time,
+            }
+        )
+
+    def dep_assign(self, case: str, version: int, action: str, time: float) -> None:
+        """Journal one case's migration decision before applying it."""
+        self._write(
+            {
+                "rt": "dep",
+                "kind": "assign",
+                "case": case,
+                "version": version,
+                "action": action,
+                "time": time,
+            }
+        )
+
+    def dep_commit(self, version: int, time: float) -> None:
+        """Close the swap frame: every decision is journaled and applied."""
+        self._write({"rt": "dep", "kind": "commit", "version": version, "time": time})
 
     def object_record(
         self, kind: str, case: str, object_key: str, sync: str, time: float
@@ -217,6 +266,11 @@ class JournaledCase:
     reason: Optional[str] = None
     #: object binding payload of the admit record, when present.
     binding: Optional[Dict[str, Any]] = None
+    #: program version the case runs under (admit ``"v"`` field, then
+    #: overridden by any later ``dep``/``assign`` record).
+    version: int = 1
+    #: migration action of the last ``assign`` touching the case, if any.
+    migration: Optional[str] = None
 
     @property
     def in_flight(self) -> bool:
@@ -233,6 +287,8 @@ class JournalState:
     event_stream: List[Event] = field(default_factory=list)
     #: ``obj`` control records in journal order, for obligation pre-apply.
     objects: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``dep`` control records in journal order, for swap roll-forward.
+    deploys: List[Dict[str, Any]] = field(default_factory=list)
     records: int = 0
 
     def in_flight(self) -> List[JournaledCase]:
@@ -240,6 +296,29 @@ class JournalState:
 
     def completed(self) -> List[JournaledCase]:
         return [case for case in self.cases.values() if not case.in_flight]
+
+    def version_map(self) -> Dict[str, int]:
+        """Program version of every journaled case (admit + assign records)."""
+        return {case.case: case.version for case in self.cases.values()}
+
+    def current_version(self) -> int:
+        """The serving version: the last committed swap's target, else 1."""
+        version = 1
+        for record in self.deploys:
+            if record.get("kind") == "commit":
+                version = int(record["version"])
+        return version
+
+    def pending_deploy(self) -> Optional[Dict[str, Any]]:
+        """The last ``begin`` record lacking its ``commit`` — a crashed swap."""
+        pending: Optional[Dict[str, Any]] = None
+        for record in self.deploys:
+            kind = record.get("kind")
+            if kind == "begin":
+                pending = record
+            elif kind == "commit":
+                pending = None
+        return pending
 
 
 def read_journal(path: str, strict: bool = True) -> JournalState:
@@ -284,6 +363,7 @@ def read_journal(path: str, strict: bool = True) -> JournalState:
                     case=case,
                     outcomes=dict(payload.get("outcomes") or {}),
                     binding=dict(binding) if binding is not None else None,
+                    version=int(payload.get("v", 1)),
                 )
             elif kind == "complete":
                 case = str(payload["case"])
@@ -332,6 +412,28 @@ def read_journal(path: str, strict: bool = True) -> JournalState:
                 # idempotent, so duplicates from the crash window are
                 # fine to keep).
                 state.objects.append(dict(payload))
+            elif kind == "dep":
+                dep_kind = payload.get("kind")
+                if dep_kind not in ("begin", "assign", "commit"):
+                    if strict:
+                        raise JournalError(
+                            "record %d: unknown dep record kind %r"
+                            % (number, dep_kind)
+                        )
+                    continue
+                if dep_kind == "assign":
+                    case = str(payload["case"])
+                    journaled = state.cases.get(case)
+                    if journaled is None:
+                        if strict:
+                            raise JournalError(
+                                "record %d: version assignment for unknown "
+                                "case %r" % (number, case)
+                            )
+                        continue  # ingestion: stray assigns carry no events
+                    journaled.version = int(payload["version"])
+                    journaled.migration = payload.get("action")
+                state.deploys.append(dict(payload))
             else:
                 if strict:
                     raise JournalError(

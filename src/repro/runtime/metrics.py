@@ -59,6 +59,10 @@ class RuntimeMetrics:
     barriers_stranded: int = 0
     #: shard worker processes that served the load (1 = in-process runtime).
     workers: int = 1
+    # Hot-swap migration outcomes (all zero when no redeploy happened).
+    upgraded: int = 0
+    drained: int = 0
+    swap_rejected: int = 0
 
     @property
     def checks_per_transition(self) -> float:
@@ -99,6 +103,11 @@ class RuntimeMetrics:
                 "objects: %d tracked | barriers: %d released, %d stranded"
                 % (self.objects, self.barriers_released, self.barriers_stranded)
             )
+        if self.upgraded or self.drained or self.swap_rejected:
+            lines.append(
+                "redeploy: %d upgraded, %d drained, %d rejected"
+                % (self.upgraded, self.drained, self.swap_rejected)
+            )
         return "\n".join(lines)
 
     def publish(self, registry: "MetricsRegistry") -> None:
@@ -124,6 +133,9 @@ class RuntimeMetrics:
             "repro_runtime_barriers_released": self.barriers_released,
             "repro_runtime_barriers_stranded": self.barriers_stranded,
             "repro_runtime_workers": self.workers,
+            "repro_deploy_upgraded_cases": self.upgraded,
+            "repro_deploy_drained_cases": self.drained,
+            "repro_deploy_rejected_cases": self.swap_rejected,
         }
         for name, value in gauges.items():
             registry.gauge(name, _GAUGE_HELP[name]).set(value)
@@ -196,6 +208,9 @@ class RuntimeMetrics:
             barriers_released=int(gauge("repro_runtime_barriers_released")),
             barriers_stranded=int(gauge("repro_runtime_barriers_stranded")),
             workers=int(gauge("repro_runtime_workers")) or 1,
+            upgraded=int(gauge("repro_deploy_upgraded_cases")),
+            drained=int(gauge("repro_deploy_drained_cases")),
+            swap_rejected=int(gauge("repro_deploy_rejected_cases")),
         )
 
 
@@ -215,6 +230,9 @@ _GAUGE_HELP = {
     "repro_runtime_barriers_released": "Cross-case barriers released.",
     "repro_runtime_barriers_stranded": "Cross-case barriers never released.",
     "repro_runtime_workers": "Shard worker processes that served the load.",
+    "repro_deploy_upgraded_cases": "In-flight cases hot-upgraded to the new version.",
+    "repro_deploy_drained_cases": "In-flight cases drained on their old version.",
+    "repro_deploy_rejected_cases": "In-flight cases rejected at the swap barrier.",
 }
 
 

@@ -137,6 +137,10 @@ class _WorkerOptions:
     co_shard: bool
     seed: int
     policies: Optional[RetryPolicies]
+    #: armed hot-swap spec (:class:`repro.deploy.migrate.PoolSwap`), or
+    #: None.  Set at construction, before any fork, so worker processes
+    #: inherit the compiled old/new programs by memory.
+    deploy: Optional[object] = None
 
 
 class _ShardWorker:
@@ -144,18 +148,25 @@ class _ShardWorker:
 
     Commands (one reply each)::
 
-        ("scan",)                      -> ("meta", bindings, records)
+        ("scan",)                      -> ("meta", bindings, records,
+                                           cases, begun)
         ("start", plans, bindings,
-                  foreign_b, foreign_r) -> ("round", blocked, outbox)
-        ("gates", records)             -> ("round", blocked, outbox)
-        ("finalize",)                  -> ("round", blocked, outbox)
+         foreign_b, foreign_r,
+         swap_now)                     -> ("round", blocked, outbox, paused)
+        ("gates", records)             -> ("round", blocked, outbox, paused)
+        ("finalize",)                  -> ("round", blocked, outbox, paused)
+        ("swap",)                      -> ("round", blocked, outbox, paused)
         ("finish",)                    -> ("done", results, diagnostics,
-                                           metrics, counters, records)
+                                           metrics, counters, versions)
         ("stop",)                      -> ("stopped",)
 
-    A :class:`SimulatedCrash` during any run turns the reply into
-    ``("crashed", records_written)``; the worker then only accepts
-    ``("stop",)``.
+    ``paused`` is True while an armed hot swap has not been applied yet:
+    the worker stopped at the scheduling barrier once its local pause
+    target was reached and waits for the pool to broadcast ``("swap",)``,
+    so all workers flip versions in the same exchange round.  A
+    :class:`SimulatedCrash` during any run (including the swap itself)
+    turns the reply into ``("crashed", records_written)``; the worker
+    then only accepts ``("stop",)``.
     """
 
     def __init__(self, program: ConstraintProgram, spec: Optional[ObjectSpec],
@@ -166,18 +177,23 @@ class _ShardWorker:
         self._recovering = recovering
         self._runtime: Optional[Runtime] = None
         self._state = None  # parsed JournalState in recover mode
+        self._swapped = options.deploy is None
 
     def handle(self, command: Tuple) -> Tuple:
         kind = command[0]
         if kind == "scan":
             return self._scan()
         if kind == "start":
-            _, plans, bindings, foreign_bindings, foreign_records = command
-            return self._start(plans, bindings, foreign_bindings, foreign_records)
+            _, plans, bindings, foreign_bindings, foreign_records, swap_now = command
+            return self._start(
+                plans, bindings, foreign_bindings, foreign_records, swap_now
+            )
         if kind == "gates":
             return self._run(apply_records=command[1])
         if kind == "finalize":
             return self._run(finalize=True)
+        if kind == "swap":
+            return self._swap()
         if kind == "finish":
             return self._finish()
         if kind == "stop":
@@ -199,11 +215,17 @@ class _ShardWorker:
             for journaled in self._state.cases.values()
             if journaled.binding is not None
         }
+        deploy = self._options.deploy
+        begun = self._state.pending_deploy() is not None or (
+            deploy is not None
+            and self._state.current_version() >= deploy.new.version
+        )
         return (
             "meta",
             bindings,
             [dict(r) for r in self._state.objects],
             sorted(self._state.cases),
+            begun,
         )
 
     # -- rounds ---------------------------------------------------------------
@@ -222,8 +244,19 @@ class _ShardWorker:
             objects=self._spec,
             external_gates=True,
         )
+        deploy = options.deploy
+        if deploy is not None:
+            kwargs["programs"] = {
+                deploy.old.version: deploy.old.program,
+                deploy.new.version: deploy.new.program,
+            }
+            kwargs["version"] = deploy.old.version
         if self._recovering:
             assert options.journal_path is not None
+            if deploy is not None:
+                # Recovery must trust the journal, not the pre-swap
+                # default, for the serving version of this segment.
+                kwargs.pop("version")
             return Runtime.recover(
                 options.journal_path,
                 self._program,
@@ -238,9 +271,12 @@ class _ShardWorker:
             **kwargs,
         )
 
-    def _start(self, plans, bindings, foreign_bindings, foreign_records) -> Tuple:
+    def _start(self, plans, bindings, foreign_bindings, foreign_records,
+               swap_now: bool = False) -> Tuple:
         try:
             self._runtime = self._build()
+            if self._recovering and self._options.deploy is not None:
+                self._recover_swap(swap_now)
             self._runtime.seed_foreign_bindings(
                 {
                     case: ObjectBinding.from_dict(payload)
@@ -260,6 +296,37 @@ class _ShardWorker:
         except SimulatedCrash as crash:
             return ("crashed", crash.records_written)
 
+    def _recover_swap(self, swap_now: bool) -> None:
+        """Converge this segment's version state at recovery start.
+
+        Any sibling segment with a ``begin`` means the crashed run was
+        mid-swap, so *every* worker completes the swap before any case
+        resumes: segments with a pending ``begin`` roll forward
+        (:func:`~repro.deploy.migrate.resume_swap`), segments the crash
+        hit before their ``begin`` swap from scratch, and segments whose
+        ``commit`` survived only re-register the new program.
+        """
+        from repro.deploy.migrate import MigrationEngine, execute_swap, resume_swap
+
+        spec = self._options.deploy
+        runtime = self._runtime
+        state = self._state
+        assert spec is not None and runtime is not None and state is not None
+        if state.current_version() >= spec.new.version:
+            # Committed before the crash; recover() adopted the version.
+            runtime.register_program(spec.new.version, spec.new.program)
+            self._swapped = True
+            return
+        engine = MigrationEngine(spec.old, spec.new, state_limit=spec.state_limit)
+        if state.pending_deploy() is not None:
+            resume_swap(runtime, engine, state, spec.strategy)
+            self._swapped = True
+        elif swap_now:
+            execute_swap(runtime, engine, spec.strategy)
+            self._swapped = True
+        # else: no segment begun — the swap is still armed and will run
+        # at the pause barrier like an uncrashed serve.
+
     def _run(self, apply_records=None, finalize: bool = False) -> Tuple:
         runtime = self._runtime
         assert runtime is not None
@@ -272,11 +339,37 @@ class _ShardWorker:
         except SimulatedCrash as crash:
             return ("crashed", crash.records_written)
 
+    def _swap(self) -> Tuple:
+        """Apply the armed hot swap at the pool's exchange barrier."""
+        from repro.deploy.migrate import MigrationEngine, execute_swap
+
+        spec = self._options.deploy
+        runtime = self._runtime
+        assert runtime is not None
+        try:
+            if spec is not None and not self._swapped:
+                engine = MigrationEngine(
+                    spec.old, spec.new, state_limit=spec.state_limit
+                )
+                execute_swap(runtime, engine, spec.strategy)
+                self._swapped = True
+            return self._round()
+        except SimulatedCrash as crash:
+            return ("crashed", crash.records_written)
+
     def _round(self) -> Tuple:
         runtime = self._runtime
         assert runtime is not None
+        if not self._swapped:
+            # Armed swap: pause at the scheduling barrier once the local
+            # target is reached (or the store drains) and wait for the
+            # pool to broadcast ("swap",).
+            deploy = self._options.deploy
+            assert deploy is not None
+            runtime.run_until_completed(deploy.after)
+            return ("round", False, runtime.take_gate_outbox(), True)
         blocked = runtime.run_until_blocked()
-        return ("round", blocked, runtime.take_gate_outbox())
+        return ("round", blocked, runtime.take_gate_outbox(), False)
 
     # -- completion -----------------------------------------------------------
 
@@ -291,6 +384,7 @@ class _ShardWorker:
             list(report.diagnostics),
             report.metrics,
             runtime.object_counters(),
+            runtime.version_map(),
         )
 
 
@@ -382,11 +476,19 @@ class WorkerPool:
         seed: int = 0,
         policies: Optional[RetryPolicies] = None,
         processes: bool = True,
+        deploy: Optional[object] = None,
     ) -> None:
         if workers < 1:
             raise WorkerPoolError("workers must be at least 1")
         if crash_after is not None and journal_dir is None:
             raise WorkerPoolError("crash_after requires journal_dir")
+        if deploy is not None:
+            if journal_dir is None:
+                raise WorkerPoolError("hot swap requires journal_dir")
+            if objects:
+                raise WorkerPoolError(
+                    "hot swap is not supported for object-centric runs"
+                )
         self._program = program
         self._workers = workers
         self._journal_dir = journal_dir
@@ -401,6 +503,7 @@ class WorkerPool:
         self._seed = seed
         self._policies = policies
         self._processes = processes
+        self._deploy = deploy
 
     # -- public one-shot entry points ----------------------------------------
 
@@ -447,6 +550,7 @@ class WorkerPool:
                     per_worker_bindings[index],
                     foreign,
                     [],
+                    False,
                 )
             )
         return self._drive(handles, starts)
@@ -491,12 +595,14 @@ class WorkerPool:
         all_bindings: List[Dict[str, Dict[str, Any]]] = []
         all_records: List[List[Dict[str, Any]]] = []
         known: set = set()
+        any_begun = False
         for reply in metas:
             if reply[0] != "meta":
                 raise WorkerPoolError("unexpected scan reply %r" % (reply[0],))
             all_bindings.append(reply[1])
             all_records.append(reply[2])
             known.update(reply[3])
+            any_begun = any_begun or bool(reply[4])
         bindings = dict(bindings or {})
         fresh_plans: List[Dict[str, Dict[str, str]]] = [
             {} for _ in range(pool._workers)
@@ -535,6 +641,10 @@ class WorkerPool:
                     fresh_bindings[index],
                     foreign_bindings,
                     foreign_records,
+                    # A crash mid-swap leaves some segments without their
+                    # ``begin``: if any sibling begun, those workers swap
+                    # at start so recovery converges on one version map.
+                    any_begun,
                 )
             )
         return pool._drive(handles, starts)
@@ -565,6 +675,7 @@ class WorkerPool:
                         co_shard=self._co_shard,
                         seed=self._seed,
                         policies=self._policies,
+                        deploy=self._deploy,
                     ),
                     recovering=recovering,
                 )
@@ -601,6 +712,12 @@ class WorkerPool:
             if crashed:
                 self._abort(handles, replies)
                 raise SimulatedCrash(max(reply[1] for reply in crashed))
+            if any(len(reply) > 3 and reply[3] for reply in replies):
+                # Every worker paused at the scheduling barrier with its
+                # armed swap (hot swap excludes objects, so outboxes are
+                # empty): flip all workers in this one exchange round.
+                commands = [("swap",) for _ in handles]
+                continue
             blocked = [index for index, reply in enumerate(replies) if reply[1]]
             outboxes = [reply[2] for reply in replies]
             if any(outboxes):
@@ -649,14 +766,16 @@ class WorkerPool:
         diagnostics: List[Diagnostic] = []
         per_worker_metrics: List[RuntimeMetrics] = []
         self._counters: List[Dict] = []
+        self._version_map: Dict[str, int] = {}
         for reply in dones:
             if reply[0] != "done":
                 raise WorkerPoolError("unexpected finish reply %r" % (reply[0],))
-            _, worker_results, worker_diags, worker_metrics, counters = reply
+            _, worker_results, worker_diags, worker_metrics, counters, versions = reply
             results.update(worker_results)
             diagnostics.extend(worker_diags)
             per_worker_metrics.append(worker_metrics)
             self._counters.append(counters)
+            self._version_map.update(versions)
         from repro.runtime.journal import COMPLETED
 
         makespans = tuple(
@@ -695,12 +814,22 @@ class WorkerPool:
             barriers_released=max(m.barriers_released for m in per_worker_metrics),
             barriers_stranded=max(m.barriers_stranded for m in per_worker_metrics),
             workers=self._workers,
+            upgraded=sum(m.upgraded for m in per_worker_metrics),
+            drained=sum(m.drained for m in per_worker_metrics),
+            swap_rejected=sum(m.swap_rejected for m in per_worker_metrics),
         )
         return RuntimeReport(
-            metrics=merged, results=results, diagnostics=tuple(diagnostics)
+            metrics=merged,
+            results=results,
+            diagnostics=tuple(diagnostics),
+            versions=dict(self._version_map),
         )
 
     def object_counters(self) -> Dict:
         """Converged per-object counters (worker 0's view) of the last run."""
         counters = getattr(self, "_counters", None)
         return counters[0] if counters else {}
+
+    def version_map(self) -> Dict[str, int]:
+        """Merged case → program-version assignments of the last run."""
+        return dict(getattr(self, "_version_map", {}) or {})

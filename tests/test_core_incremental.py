@@ -108,6 +108,89 @@ class TestIncrementalAdd:
         assert is_minimal(incremental, Semantics.GUARD_AWARE)
 
 
+class TestDuplicateClosureEdge:
+    """Adding a constraint that duplicates an existing *closure* edge.
+
+    Regression guard for the kernel path: such an addition must be a
+    no-op for `add_constraint_incremental` (same object back), and a
+    session `rebase` over it must match a cold rebuild bit-for-bit
+    without invalidating closure caches outside the edit's ancestor
+    region.
+    """
+
+    def _chain(self):
+        from repro.core.constraints import SynchronizationConstraintSet
+
+        return SynchronizationConstraintSet(
+            ["a", "b", "c", "d"],
+            constraints=[
+                Constraint("a", "b"),
+                Constraint("b", "c"),
+                Constraint("c", "d"),
+            ],
+        )
+
+    @pytest.mark.parametrize("kernel", [True, False])
+    def test_noop_on_both_evaluator_paths(self, kernel):
+        minimal = minimize(self._chain(), Semantics.GUARD_AWARE)
+        duplicate = Constraint("b", "d")  # closure already has b ->* d
+        assert is_covered(minimal, duplicate, Semantics.GUARD_AWARE, kernel=kernel)
+        result = add_constraint_incremental(
+            minimal, duplicate, Semantics.GUARD_AWARE, kernel=kernel
+        )
+        assert result is minimal
+
+    @pytest.mark.parametrize("kernel", [True, False])
+    def test_guarded_duplicate_is_covered(self, kernel):
+        from repro.analysis.conditions import Cond
+        from repro.core.constraints import SynchronizationConstraintSet
+
+        sc = SynchronizationConstraintSet(
+            ["a", "b", "c"],
+            constraints=[Constraint("a", "b", "T"), Constraint("b", "c")],
+            guards={"b": {Cond("a", "T")}},
+        )
+        minimal = minimize(sc, Semantics.GUARD_AWARE)
+        duplicate = Constraint("a", "c", "T")
+        result = add_constraint_incremental(
+            minimal, duplicate, Semantics.GUARD_AWARE, kernel=kernel
+        )
+        assert result is minimal
+
+    def test_rebase_matches_cold_without_spurious_invalidation(self):
+        from repro.core.kernel import KernelStats
+        from repro.core.minimize import minimize_fast
+        from repro.core.session import MinimizationSession
+
+        sc = self._chain()
+        stats = KernelStats()
+        session = MinimizationSession(sc, Semantics.GUARD_AWARE, stats=stats)
+        for constraint in sc.constraints:
+            session.try_remove(constraint)
+
+        # A declared duplicate is a pure no-op: nothing re-checked.
+        candidates_before = stats.candidates
+        unchanged = session.rebase(added=(Constraint("a", "b"),))
+        assert stats.candidates == candidates_before
+        assert {(c.source, c.target, c.condition) for c in unchanged} == {
+            (c.source, c.target, c.condition) for c in sc.constraints
+        }
+
+        # A closure duplicate (b ->* d already holds) re-minimizes to the
+        # cold result and leaves non-ancestor closure caches warm.
+        rebased = session.rebase(added=(Constraint("b", "d"),))
+        cold = minimize_fast(
+            sc.replace_constraints(list(sc.constraints) + [Constraint("b", "d")]),
+            semantics=Semantics.GUARD_AWARE,
+        )
+        assert {(c.source, c.target, c.condition) for c in rebased} == {
+            (c.source, c.target, c.condition) for c in cold
+        }
+        interner = session.interner
+        for name in ("c", "d"):  # strictly below the edit source b
+            assert session._raw[interner.node_id(name)] is not None
+
+
 class TestRemoveRequirement:
     def test_member_removal(self, purchasing_weave):
         minimal = purchasing_weave.minimal

@@ -1,0 +1,134 @@
+"""`{"rt": "dep"}` control records through the journal and mining paths.
+
+A swap journal must (a) round-trip its deploy frames through
+`read_journal` in both strict and ingestion modes, and (b) stay
+invisible to `repro.discover` — dep records carry no case events, so
+mining a post-swap journal must count exactly the events it would have
+counted without the swap.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.deploy import MigrationEngine, ProgramRegistry, execute_swap
+from repro.discover import load_log, sniff_format
+from repro.runtime.coordinator import Runtime
+from repro.runtime.journal import JournalError, read_journal
+
+REDUNDANT_EDGE = Constraint("recClient_po", "invPurchase_po")
+
+
+def _plans(count):
+    return {
+        "case-%03d" % i: {"if_au": "T" if i % 2 == 0 else "F"}
+        for i in range(count)
+    }
+
+
+@pytest.fixture()
+def swap_journal(purchasing_weave, tmp_path):
+    """A completed 12-case run with one committed v1 -> v2 swap."""
+    registry = ProgramRegistry.from_weave(purchasing_weave)
+    result = registry.redeploy(removed=(REDUNDANT_EDGE,))
+    path = str(tmp_path / "journal.jsonl")
+    runtime = Runtime(registry.version(1).program, journal_path=path)
+    runtime.submit_batch(_plans(12))
+    runtime.run_until_completed(4)
+    plan = execute_swap(
+        runtime, MigrationEngine(registry.version(1), result.version)
+    )
+    report = runtime.run()
+    return path, plan, report
+
+
+class TestRoundTrip:
+    def test_deploy_frames_survive_strict_reads(self, swap_journal):
+        path, plan, report = swap_journal
+        state = read_journal(path)
+        kinds = [record["kind"] for record in state.deploys]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "commit"
+        assert kinds.count("assign") == len(plan.decisions)
+        assert state.current_version() == 2
+        assert state.pending_deploy() is None
+        assert state.version_map() == dict(report.versions)
+
+    def test_assigns_set_case_version_and_migration(self, swap_journal):
+        path, plan, _ = swap_journal
+        state = read_journal(path)
+        for decision in plan.decisions:
+            journaled = state.cases[decision.case]
+            assert journaled.version == decision.version
+            assert journaled.migration == decision.action
+        untouched = set(state.cases) - {d.case for d in plan.decisions}
+        assert all(state.cases[c].migration is None for c in untouched)
+
+    def test_non_strict_read_agrees(self, swap_journal):
+        path, _, report = swap_journal
+        strict = read_journal(path, strict=True)
+        loose = read_journal(path, strict=False)
+        assert loose.deploys == strict.deploys
+        assert loose.version_map() == dict(report.versions)
+
+    def test_unknown_dep_kind_strictness(self, swap_journal, tmp_path):
+        path, _, _ = swap_journal
+        mangled = tmp_path / "mangled.jsonl"
+        content = open(path).read()
+        mangled.write_text(
+            content + json.dumps({"rt": "dep", "kind": "rollback"}) + "\n"
+        )
+        with pytest.raises(JournalError, match="unknown dep record kind"):
+            read_journal(str(mangled))
+        state = read_journal(str(mangled), strict=False)
+        assert all(r["kind"] != "rollback" for r in state.deploys)
+
+    def test_stray_assign_strictness(self, swap_journal, tmp_path):
+        path, _, _ = swap_journal
+        mangled = tmp_path / "stray.jsonl"
+        stray = {"rt": "dep", "kind": "assign", "case": "ghost",
+                 "version": 2, "action": "upgrade", "time": 0.0}
+        mangled.write_text(open(path).read() + json.dumps(stray) + "\n")
+        with pytest.raises(JournalError, match="unknown *case|unknown\n *case"):
+            read_journal(str(mangled))
+        state = read_journal(str(mangled), strict=False)
+        assert "ghost" not in state.cases
+
+
+class TestDiscoverIngestion:
+    def test_swap_journal_sniffs_as_a_journal(self, swap_journal):
+        path, _, _ = swap_journal
+        assert sniff_format(path) == "journal"
+
+    def test_dep_records_do_not_miscount_events(
+        self, swap_journal, purchasing_weave, tmp_path
+    ):
+        path, _, _ = swap_journal
+        # Reference: the identical run without any swap.
+        registry = ProgramRegistry.from_weave(purchasing_weave)
+        plain_path = str(tmp_path / "plain.jsonl")
+        runtime = Runtime(registry.version(1).program, journal_path=plain_path)
+        runtime.submit_batch(_plans(12))
+        runtime.run()
+
+        swapped = load_log(path)
+        plain = load_log(plain_path)
+        assert len(swapped.events) == len(plain.events)
+        assert set(swapped.cases()) == set(plain.cases())
+        # The swap was behavior-preserving, so per-case event multisets
+        # match the no-swap run exactly.
+        for case, events in plain.cases().items():
+            swapped_case = swapped.cases()[case]
+            assert sorted((e.activity, e.lifecycle) for e in swapped_case) == \
+                sorted((e.activity, e.lifecycle) for e in events)
+
+    def test_mining_a_swap_journal_round_trips(self, swap_journal):
+        from repro.discover import LogStatistics, mine
+
+        path, _, _ = swap_journal
+        log = load_log(path)
+        mined = mine(LogStatistics.from_log(log))
+        assert mined.candidates

@@ -1,0 +1,377 @@
+"""Tests for live case migration (`repro.deploy.migrate`).
+
+Pinned contract: the preflight gate and swap-time rejections agree with
+the VER005 strand analysis exactly; behavior-preserving edits upgrade
+every resident case; divergent edits drain (never corrupt) them; the
+strategy matrix maps classifications to actions; a crash between the
+``begin`` and ``commit`` dep records rolls forward at recovery to the
+same final states and version assignments as an uncrashed run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.events import FINISH, Event
+from repro.conformance.monitor import compile_monitor
+from repro.core.constraints import Constraint, SynchronizationConstraintSet
+from repro.deploy import (
+    MigrationEngine,
+    ProgramRegistry,
+    ProgramVersion,
+    execute_swap,
+    preflight,
+    resume_swap,
+)
+from repro.deploy.rules import (
+    CASE_REJECTED_AT_SWAP,
+    MIGRATION_WOULD_STRAND,
+    PREFIX_REPLAY_DIVERGED,
+    PREFLIGHT_STRAND_GATE,
+    SWAP_RECOVERED,
+)
+from repro.runtime.coordinator import Runtime
+from repro.runtime.journal import read_journal
+from repro.runtime.program import compile_program
+from repro.runtime.workers import SimulatedCrash, WorkerPool, WorkerPoolError
+from repro.verify import synthesize_process
+
+# A declared edge the purchasing minimizer removed (behavior-preserving
+# to drop) and one it kept (dropping it changes observable order).
+REDUNDANT_EDGE = Constraint("recClient_po", "invPurchase_po")
+MINIMAL_EDGE = Constraint("recClient_po", "invCredit_po")
+
+
+def _version(number, constraints, activities):
+    sc = SynchronizationConstraintSet(activities=activities, constraints=constraints)
+    program = compile_program(synthesize_process(sc), sc)
+    return ProgramVersion(number, sc, sc, program, compile_monitor(sc))
+
+
+@pytest.fixture(scope="module")
+def chain_versions():
+    """v1 = a->b->c; v2 adds c->b, stranding prefixes () and (a,)."""
+    activities = ("a", "b", "c")
+    old = _version(1, [Constraint("a", "b"), Constraint("b", "c")], activities)
+    new = _version(
+        2,
+        [Constraint("a", "b"), Constraint("b", "c"), Constraint("c", "b")],
+        activities,
+    )
+    return old, new
+
+
+def _plans(count):
+    return {
+        "case-%03d" % i: {"if_au": "T" if i % 2 == 0 else "F"}
+        for i in range(count)
+    }
+
+
+def _swap_fixture(purchasing_weave, tmp_path, removed, strategy="upgrade",
+                  cases=12, after=4, dry_run=False):
+    """Run purchasing to a mid-flight barrier, swap, finish; return all."""
+    registry = ProgramRegistry.from_weave(purchasing_weave)
+    result = registry.redeploy(removed=(removed,))
+    old, new = registry.version(1), result.version
+    runtime = Runtime(old.program, journal_path=str(tmp_path / "journal.jsonl"))
+    runtime.submit_batch(_plans(cases))
+    runtime.run_until_completed(after)
+    engine = MigrationEngine(old, new)
+    plan = execute_swap(runtime, engine, strategy, dry_run=dry_run)
+    report = runtime.run()
+    return plan, report, runtime
+
+
+class TestPreflight:
+    def test_relaxing_edit_is_clean(self, chain_versions):
+        old, _ = chain_versions
+        relaxed = _version(2, [Constraint("a", "b")], ("a", "b", "c"))
+        report, findings = preflight(old, relaxed)
+        assert list(report.stranded) == []
+        assert findings == []
+
+    def test_stranding_edit_gates_with_dep005(self, chain_versions):
+        old, new = chain_versions
+        report, findings = preflight(old, new)
+        assert [executed for executed, _, _ in report.stranded] == [(), ("a",)]
+        assert len(findings) == len(report.stranded)
+        assert {f.code for f in findings} == {PREFLIGHT_STRAND_GATE}
+        assert all(f.severity.name == "ERROR" for f in findings)
+        assert "v1 -> v2" in findings[0].message
+
+    def test_truncated_sweep_is_undecided_hence_an_error(self, chain_versions):
+        old, new = chain_versions
+        report, findings = preflight(old, new, state_limit=1)
+        assert report.truncated
+        assert any("truncated" in f.message for f in findings)
+        assert all(f.code == PREFLIGHT_STRAND_GATE for f in findings)
+
+
+class TestClassification:
+    def test_rejections_match_ver005_exactly(self, chain_versions):
+        """Swap-time rejects are precisely the VER005 stranded prefixes."""
+        old, new = chain_versions
+        report, _ = preflight(old, new)
+        stranded = {executed for executed, _, _ in report.stranded}
+        engine = MigrationEngine(old, new)
+        rejected = set()
+        for prefix in [(), ("a",), ("a", "b"), ("a", "b", "c")]:
+            events = tuple(
+                Event(case="probe", activity=activity, lifecycle=FINISH, time=float(i))
+                for i, activity in enumerate(prefix)
+            )
+            # The reject decision never consults the runtime: it is a pure
+            # function of the journaled prefix (classify returns before the
+            # probe), which is what makes crash re-classification safe.
+            classification, reasons, diagnostics = engine.classify(
+                None, "probe", events
+            )
+            if classification == "reject":
+                rejected.add(prefix)
+                assert {d.code for d in diagnostics} == {MIGRATION_WOULD_STRAND}
+                assert reasons
+        assert rejected == stranded
+
+    def test_upgrade_all_on_redundant_edge_removal(
+        self, purchasing_weave, tmp_path
+    ):
+        plan, report, runtime = _swap_fixture(
+            purchasing_weave, tmp_path, REDUNDANT_EDGE
+        )
+        assert plan.applied
+        assert plan.upgraded == len(plan.decisions) > 0
+        assert plan.drained == plan.rejected == 0
+        assert all(r.status == "completed" for r in report.results.values())
+        # Pre-swap completions stay attributed to v1; migrated ones to v2.
+        versions = sorted(set(report.versions.values()))
+        assert versions == [1, 2]
+        assert list(report.versions.values()).count(2) == plan.upgraded
+        assert runtime.upgraded == plan.upgraded
+
+    def test_minimal_edge_removal_drains(self, purchasing_weave, tmp_path):
+        plan, report, runtime = _swap_fixture(
+            purchasing_weave, tmp_path, MINIMAL_EDGE
+        )
+        assert plan.upgraded == 0
+        assert plan.drained == len(plan.decisions) > 0
+        assert {d.code for d in plan.diagnostics} == {PREFIX_REPLAY_DIVERGED}
+        # Draining is safe: every case still completes, all on v1.
+        assert all(r.status == "completed" for r in report.results.values())
+        assert set(report.versions.values()) == {1}
+        assert runtime.drained == plan.drained
+
+
+class TestStrategyMatrix:
+    def test_drain_strategy_keeps_everything_on_v1(
+        self, purchasing_weave, tmp_path
+    ):
+        plan, report, _ = _swap_fixture(
+            purchasing_weave, tmp_path, REDUNDANT_EDGE, strategy="drain"
+        )
+        assert plan.upgraded == plan.rejected == 0
+        assert plan.drained == len(plan.decisions) > 0
+        assert set(report.versions.values()) == {1}
+
+    def test_reject_strategy_fails_non_upgradable_cases(
+        self, purchasing_weave, tmp_path
+    ):
+        plan, report, runtime = _swap_fixture(
+            purchasing_weave, tmp_path, MINIMAL_EDGE, strategy="reject"
+        )
+        assert plan.rejected == len(plan.decisions) > 0
+        assert {d.code for d in plan.diagnostics} >= {CASE_REJECTED_AT_SWAP}
+        rejected_cases = {d.case for d in plan.decisions if d.action == "reject"}
+        for case in rejected_cases:
+            assert report.results[case].status == "failed"
+        assert runtime.swap_rejected == plan.rejected
+
+    def test_dry_run_applies_nothing(self, purchasing_weave, tmp_path):
+        plan, report, runtime = _swap_fixture(
+            purchasing_weave, tmp_path, REDUNDANT_EDGE, dry_run=True
+        )
+        assert not plan.applied
+        assert plan.upgraded > 0  # the plan still classifies...
+        assert runtime.upgraded == 0  # ...but nothing moved.
+        assert set(report.versions.values()) == {1}
+        state = read_journal(str(tmp_path / "journal.jsonl"))
+        assert state.deploys == []
+        assert state.current_version() == 1
+
+
+class TestGuards:
+    def test_unknown_strategy_rejected(self, purchasing_weave, tmp_path):
+        registry = ProgramRegistry.from_weave(purchasing_weave)
+        result = registry.redeploy(removed=(REDUNDANT_EDGE,))
+        runtime = Runtime(
+            registry.version(1).program,
+            journal_path=str(tmp_path / "journal.jsonl"),
+        )
+        engine = MigrationEngine(registry.version(1), result.version)
+        with pytest.raises(ValueError, match="strategy"):
+            execute_swap(runtime, engine, "yolo")
+
+    def test_swap_without_journal_rejected(self, purchasing_weave):
+        registry = ProgramRegistry.from_weave(purchasing_weave)
+        result = registry.redeploy(removed=(REDUNDANT_EDGE,))
+        runtime = Runtime(registry.version(1).program)
+        engine = MigrationEngine(registry.version(1), result.version)
+        with pytest.raises(ValueError, match="journal"):
+            execute_swap(runtime, engine)
+
+    def test_pool_swap_requires_journal_dir(self, purchasing_weave):
+        from repro.deploy import PoolSwap
+
+        registry = ProgramRegistry.from_weave(purchasing_weave)
+        result = registry.redeploy(removed=(REDUNDANT_EDGE,))
+        swap = PoolSwap(
+            old=registry.version(1), new=result.version,
+            strategy="upgrade", after=4,
+        )
+        with pytest.raises(WorkerPoolError, match="journal_dir"):
+            WorkerPool(registry.version(1).program, workers=2, deploy=swap)
+
+
+class TestCrashDuringSwap:
+    """Crash-mid-swap rolls forward to the uncrashed run's exact outcome."""
+
+    def _baseline(self, purchasing_weave, tmp_path):
+        plan, report, _ = _swap_fixture(
+            purchasing_weave, tmp_path / "clean", REDUNDANT_EDGE
+        )
+        return plan, report
+
+    def test_resume_swap_reaches_the_clean_outcome(
+        self, purchasing_weave, tmp_path
+    ):
+        (tmp_path / "clean").mkdir()
+        plan, clean = self._baseline(purchasing_weave, tmp_path)
+        # Crash two records after dep:begin — inside the swap window, so
+        # the begin and the first assign are durable but the commit is not.
+        clean_journal = tmp_path / "clean" / "journal.jsonl"
+        lines = clean_journal.read_text().splitlines()
+        begin_at = next(
+            i for i, line in enumerate(lines) if '"rt":"dep"' in line
+        )
+        crash_after = begin_at + 2
+
+        registry = ProgramRegistry.from_weave(purchasing_weave)
+        result = registry.redeploy(removed=(REDUNDANT_EDGE,))
+        old, new = registry.version(1), result.version
+        path = str(tmp_path / "journal.jsonl")
+        runtime = Runtime(
+            old.program, journal_path=path, crash_after=crash_after
+        )
+        runtime.submit_batch(_plans(12))
+        runtime.run_until_completed(4)
+        engine = MigrationEngine(old, new)
+        with pytest.raises(SimulatedCrash):
+            execute_swap(runtime, engine)
+
+        state = read_journal(path, strict=False)
+        pending = state.pending_deploy()
+        assert pending is not None and pending["to"] == 2
+
+        recovered = Runtime.recover(
+            path,
+            old.program,
+            programs={1: old.program, 2: new.program},
+            state=state,
+        )
+        resumed = resume_swap(recovered, MigrationEngine(old, new), state)
+        assert resumed is not None and resumed.recovered
+        assert any(d.code == SWAP_RECOVERED for d in resumed.diagnostics)
+        report = recovered.run()
+
+        assert {c: r.status for c, r in report.results.items()} == {
+            c: r.status for c, r in clean.results.items()
+        }
+        assert dict(report.versions) == dict(clean.versions)
+        committed = read_journal(path)
+        assert committed.pending_deploy() is None
+        assert committed.current_version() == 2
+
+    def test_committed_swap_needs_no_resume(self, purchasing_weave, tmp_path):
+        plan, report, runtime = _swap_fixture(
+            purchasing_weave, tmp_path, REDUNDANT_EDGE
+        )
+        state = read_journal(str(tmp_path / "journal.jsonl"))
+        assert state.pending_deploy() is None
+        assert state.current_version() == 2
+        assert state.version_map() == dict(report.versions)
+
+
+class TestWorkerPoolSwap:
+    """The 2-worker barrier swap and its crash recovery."""
+
+    def _pool(self, purchasing_weave, journal_dir, crash_after=None):
+        from repro.deploy import PoolSwap
+
+        registry = ProgramRegistry.from_weave(purchasing_weave)
+        result = registry.redeploy(removed=(REDUNDANT_EDGE,))
+        swap = PoolSwap(
+            old=registry.version(1), new=result.version,
+            strategy="upgrade", after=4,
+        )
+        pool = WorkerPool(
+            registry.version(1).program,
+            workers=2,
+            journal_dir=journal_dir,
+            deploy=swap,
+            processes=False,
+            crash_after=crash_after,
+        )
+        return pool, swap
+
+    def test_clean_pool_swap(self, purchasing_weave, tmp_path):
+        pool, _ = self._pool(purchasing_weave, str(tmp_path / "clean"))
+        report = pool.serve(_plans(24))
+        metrics = report.metrics
+        assert metrics.completed == 24
+        assert metrics.failed == 0
+        assert metrics.upgraded > 0
+        assert metrics.swap_rejected == 0
+        assert sorted(set(report.versions.values())) == [1, 2]
+        assert list(report.versions.values()).count(2) == metrics.upgraded
+
+    def test_crash_at_the_barrier_recovers_identically(
+        self, purchasing_weave, tmp_path
+    ):
+        pool, _ = self._pool(purchasing_weave, str(tmp_path / "clean"))
+        clean = pool.serve(_plans(24))
+
+        # Find a crash point inside one shard's swap window.
+        dep_offsets = []
+        for shard in sorted((tmp_path / "clean").glob("*.jsonl")):
+            lines = shard.read_text().splitlines()
+            for i, line in enumerate(lines):
+                if '"rt":"dep"' in line:
+                    dep_offsets.append(i)
+                    break
+        assert dep_offsets, "no dep records in the clean pool run"
+        crash_after = min(dep_offsets) + 2
+
+        crashed_dir = str(tmp_path / "crash")
+        pool, swap = self._pool(
+            purchasing_weave, crashed_dir, crash_after=crash_after
+        )
+        with pytest.raises(SimulatedCrash):
+            pool.serve(_plans(24))
+
+        report = WorkerPool.recover(
+            crashed_dir,
+            swap.old.program,
+            plans=_plans(24),
+            deploy=swap,
+            processes=False,
+        )
+        assert {c: r.status for c, r in report.results.items()} == {
+            c: r.status for c, r in clean.results.items()
+        }
+        assert dict(report.versions) == dict(clean.versions)
+        # Cases already terminal in the journal count as recovered, the
+        # rest complete live — together they cover the whole load.
+        assert len(report.results) == 24
+        assert report.metrics.completed + report.metrics.recovered == 24

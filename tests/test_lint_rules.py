@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 import repro.conformance.rules  # noqa: F401  (registers the CONF00x rules)
+import repro.deploy.rules  # noqa: F401  (registers the DEP00x rules)
 import repro.objects.rules  # noqa: F401  (registers the OBJ00x rules)
 import repro.runtime.rules  # noqa: F401  (registers the RT00x rules)
 from repro.analysis.conditions import Cond, ConditionDomains
@@ -30,6 +31,11 @@ ALL_CODES = (
     "CONF005",
     "CONF006",
     "CONF007",
+    "DEP001",
+    "DEP002",
+    "DEP003",
+    "DEP004",
+    "DEP005",
     "DIS001",
     "DIS002",
     "DIS003",
